@@ -1,0 +1,170 @@
+//! Fragment dissemination policy (§4.5).
+//!
+//! "To maximize the survivability of archival copies, we identify and rank
+//! administrative domains by their reliability and trustworthiness. We
+//! avoid dispersing all of our fragments to locations that have a high
+//! correlated probability of failure."
+
+use std::collections::HashMap;
+
+use oceanstore_sim::NodeId;
+
+/// A server eligible to hold archival fragments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageSite {
+    /// The server.
+    pub node: NodeId,
+    /// Administrative domain the server belongs to (failures correlate
+    /// within a domain).
+    pub domain: u32,
+    /// Reliability/trustworthiness score in `[0, 1]` (higher is better).
+    pub reliability: f64,
+}
+
+/// Chooses holders for `fragments` fragments from `sites`:
+/// domains are ranked by their best reliability, and fragments round-robin
+/// across domains (most-reliable site first within each domain) so that no
+/// domain concentrates fragments until every domain has been used.
+///
+/// Returns one site per fragment (sites repeat only when
+/// `fragments > sites.len()`).
+///
+/// # Panics
+///
+/// Panics if `sites` is empty.
+pub fn plan_dissemination(sites: &[StorageSite], fragments: usize) -> Vec<StorageSite> {
+    assert!(!sites.is_empty(), "need at least one storage site");
+    // Group by domain, each group sorted by descending reliability.
+    let mut domains: HashMap<u32, Vec<StorageSite>> = HashMap::new();
+    for s in sites {
+        domains.entry(s.domain).or_default().push(*s);
+    }
+    let mut groups: Vec<Vec<StorageSite>> = domains.into_values().collect();
+    for g in &mut groups {
+        g.sort_by(|a, b| b.reliability.total_cmp(&a.reliability).then(a.node.0.cmp(&b.node.0)));
+    }
+    // Rank domains by their best site.
+    groups.sort_by(|a, b| {
+        b[0].reliability
+            .total_cmp(&a[0].reliability)
+            .then(a[0].node.0.cmp(&b[0].node.0))
+    });
+    // Round-robin across domains.
+    let mut out = Vec::with_capacity(fragments);
+    let mut round = 0usize;
+    while out.len() < fragments {
+        let mut placed_any = false;
+        for g in &groups {
+            if out.len() == fragments {
+                break;
+            }
+            if let Some(site) = g.get(round % g.len().max(1)) {
+                // When round >= g.len() we wrap within the domain (reuse).
+                if round < g.len() || out.len() + remaining_capacity(&groups, round) < fragments {
+                    out.push(*site);
+                    placed_any = true;
+                } else {
+                    continue;
+                }
+            }
+        }
+        if !placed_any {
+            // All domains exhausted at this round depth: wrap.
+            for g in &groups {
+                if out.len() == fragments {
+                    break;
+                }
+                out.push(g[round % g.len()]);
+            }
+        }
+        round += 1;
+    }
+    out
+}
+
+fn remaining_capacity(groups: &[Vec<StorageSite>], round: usize) -> usize {
+    groups.iter().map(|g| g.len().saturating_sub(round + 1)).sum()
+}
+
+/// How spread-out an assignment is: the maximum number of fragments that
+/// share one administrative domain (lower = safer against correlated
+/// failure).
+pub fn max_domain_concentration(assignment: &[StorageSite]) -> usize {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for s in assignment {
+        *counts.entry(s.domain).or_default() += 1;
+    }
+    counts.values().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(node: usize, domain: u32, reliability: f64) -> StorageSite {
+        StorageSite { node: NodeId(node), domain, reliability }
+    }
+
+    #[test]
+    fn spreads_across_domains_first() {
+        // 4 domains × 4 sites; 8 fragments ⇒ exactly 2 per domain.
+        let mut sites = Vec::new();
+        for d in 0..4u32 {
+            for i in 0..4usize {
+                sites.push(site(d as usize * 4 + i, d, 0.5 + 0.1 * i as f64));
+            }
+        }
+        let plan = plan_dissemination(&sites, 8);
+        assert_eq!(plan.len(), 8);
+        assert_eq!(max_domain_concentration(&plan), 2);
+        // No duplicate node while capacity remains.
+        let mut nodes: Vec<usize> = plan.iter().map(|s| s.node.0).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 8);
+    }
+
+    #[test]
+    fn prefers_reliable_sites() {
+        let sites = vec![
+            site(0, 0, 0.1),
+            site(1, 0, 0.9),
+            site(2, 1, 0.2),
+            site(3, 1, 0.8),
+        ];
+        let plan = plan_dissemination(&sites, 2);
+        // One fragment per domain, and the better site of each.
+        let nodes: Vec<usize> = plan.iter().map(|s| s.node.0).collect();
+        assert!(nodes.contains(&1));
+        assert!(nodes.contains(&3));
+    }
+
+    #[test]
+    fn wraps_when_fragments_exceed_sites() {
+        let sites = vec![site(0, 0, 0.5), site(1, 1, 0.5)];
+        let plan = plan_dissemination(&sites, 5);
+        assert_eq!(plan.len(), 5);
+        assert!(max_domain_concentration(&plan) >= 2);
+    }
+
+    #[test]
+    fn single_domain_still_works() {
+        let sites = vec![site(0, 7, 0.5), site(1, 7, 0.9), site(2, 7, 0.2)];
+        let plan = plan_dissemination(&sites, 3);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(max_domain_concentration(&plan), 3);
+        // Best site first.
+        assert_eq!(plan[0].node, NodeId(1));
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut sites = Vec::new();
+        for d in 0..3u32 {
+            for i in 0..3usize {
+                sites.push(site(d as usize * 3 + i, d, 0.3 + 0.2 * i as f64));
+            }
+        }
+        assert_eq!(plan_dissemination(&sites, 6), plan_dissemination(&sites, 6));
+    }
+}

@@ -1,0 +1,191 @@
+//! Self-verifying archival fragments (§4.5).
+//!
+//! "To preserve the erasure nature of the fragments ... we use a
+//! hierarchical hashing method to verify each fragment. We generate a hash
+//! over each fragment, and recursively hash over the concatenation of
+//! pairs of hashes to form a binary tree. Each fragment is stored along
+//! with the hashes neighboring its path to the root. ... We can use the
+//! top-most hash as the GUID to the immutable archival object, making
+//! every fragment in the archive completely self-verifying."
+
+use oceanstore_crypto::merkle::{MerkleProof, MerkleTree};
+use oceanstore_erasure::object::ObjectCodec;
+use oceanstore_erasure::rs::CodeError;
+use oceanstore_naming::guid::Guid;
+
+/// One archival fragment, carrying everything needed to verify itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragment {
+    /// GUID of the immutable archival object (derived from the tree root).
+    pub archive: Guid,
+    /// Fragment index within the encoding.
+    pub index: usize,
+    /// The erasure-coded payload.
+    pub data: Vec<u8>,
+    /// Sibling hashes up to the root.
+    pub proof: MerkleProof,
+    /// The Merkle root itself (the "top-most hash").
+    pub root: [u8; 32],
+}
+
+impl Fragment {
+    /// Verifies the fragment against its own embedded root and the archive
+    /// GUID: either it is retrieved "correctly and completely, or not at
+    /// all".
+    pub fn verify(&self) -> bool {
+        self.archive == archive_guid(&self.root) && self.proof.verify(&self.data, &self.root)
+    }
+
+    /// Wire size when a fragment travels.
+    pub fn wire_size(&self) -> usize {
+        Guid::WIRE_SIZE + 8 + self.data.len() + self.proof.wire_size() + 32
+    }
+}
+
+/// Derives the archival object's GUID from the Merkle root.
+pub fn archive_guid(root: &[u8; 32]) -> Guid {
+    Guid::for_content(root)
+}
+
+/// An archived version: the full fragment set plus its identity.
+#[derive(Debug, Clone)]
+pub struct Archive {
+    /// GUID of the immutable archival object.
+    pub guid: Guid,
+    /// The Merkle root over all fragments.
+    pub root: [u8; 32],
+    /// All `n` fragments.
+    pub fragments: Vec<Fragment>,
+}
+
+/// Erasure-codes `data` and wraps every fragment with its verification
+/// path.
+///
+/// # Errors
+///
+/// Propagates encoding errors from the codec.
+pub fn archive_object(codec: &ObjectCodec, data: &[u8]) -> Result<Archive, CodeError> {
+    let shards = codec.encode_object(data)?;
+    let tree = MerkleTree::build(&shards);
+    let root = tree.root();
+    let guid = archive_guid(&root);
+    let fragments = shards
+        .into_iter()
+        .enumerate()
+        .map(|(index, data)| Fragment {
+            archive: guid,
+            index,
+            data,
+            proof: tree.proof(index),
+            root,
+        })
+        .collect();
+    Ok(Archive { guid, root, fragments })
+}
+
+/// Reconstructs the original bytes from any sufficient set of *verified*
+/// fragments. Unverifiable fragments are discarded first (self-verifying
+/// erasure property).
+///
+/// # Errors
+///
+/// [`CodeError::NotEnoughShards`] (or `DecodingStalled` for Tornado) when
+/// the verified survivors don't suffice.
+pub fn reconstruct_object(
+    codec: &ObjectCodec,
+    fragments: &[Fragment],
+) -> Result<Vec<u8>, CodeError> {
+    let n = codec.total_shards();
+    let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
+    let mut have = 0usize;
+    for f in fragments {
+        if f.index < n && f.verify() && shards[f.index].is_none() {
+            shards[f.index] = Some(f.data.clone());
+            have += 1;
+        }
+    }
+    if have < codec.data_shards() {
+        return Err(CodeError::NotEnoughShards { have, need: codec.data_shards() });
+    }
+    codec.decode_object(&mut shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oceanstore_erasure::object::CodeKind;
+
+    fn codec() -> ObjectCodec {
+        ObjectCodec::new(CodeKind::ReedSolomon, 8, 16, 0).unwrap()
+    }
+
+    fn payload() -> Vec<u8> {
+        (0..3000u32).map(|i| (i * 17 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn archive_and_reconstruct() {
+        let arch = archive_object(&codec(), &payload()).unwrap();
+        assert_eq!(arch.fragments.len(), 16);
+        assert!(arch.fragments.iter().all(Fragment::verify));
+        // Any 8 fragments suffice.
+        let out = reconstruct_object(&codec(), &arch.fragments[4..12]).unwrap();
+        assert_eq!(out, payload());
+    }
+
+    #[test]
+    fn corrupted_fragment_is_discarded_not_used() {
+        let arch = archive_object(&codec(), &payload()).unwrap();
+        let mut frags: Vec<Fragment> = arch.fragments[..9].to_vec();
+        frags[0].data[0] ^= 0xff; // silent corruption
+        // 8 verified fragments remain: reconstruction must still succeed
+        // and must not be polluted by the bad one.
+        let out = reconstruct_object(&codec(), &frags).unwrap();
+        assert_eq!(out, payload());
+    }
+
+    #[test]
+    fn too_much_corruption_detected() {
+        let arch = archive_object(&codec(), &payload()).unwrap();
+        let mut frags: Vec<Fragment> = arch.fragments[..8].to_vec();
+        frags[3].data[0] ^= 1;
+        let err = reconstruct_object(&codec(), &frags).unwrap_err();
+        assert_eq!(err, CodeError::NotEnoughShards { have: 7, need: 8 });
+    }
+
+    #[test]
+    fn fragment_from_wrong_archive_rejected() {
+        let a = archive_object(&codec(), &payload()).unwrap();
+        let b = archive_object(&codec(), b"other data entirely").unwrap();
+        let mut frankenstein = a.fragments[0].clone();
+        frankenstein.archive = b.guid;
+        assert!(!frankenstein.verify());
+    }
+
+    #[test]
+    fn archive_guid_is_content_addressed() {
+        let a1 = archive_object(&codec(), &payload()).unwrap();
+        let a2 = archive_object(&codec(), &payload()).unwrap();
+        assert_eq!(a1.guid, a2.guid, "same content, same archival GUID");
+        let b = archive_object(&codec(), b"different").unwrap();
+        assert_ne!(a1.guid, b.guid);
+    }
+
+    #[test]
+    fn duplicate_fragments_counted_once() {
+        let arch = archive_object(&codec(), &payload()).unwrap();
+        let frags: Vec<Fragment> =
+            std::iter::repeat(arch.fragments[0].clone()).take(10).collect();
+        let err = reconstruct_object(&codec(), &frags).unwrap_err();
+        assert_eq!(err, CodeError::NotEnoughShards { have: 1, need: 8 });
+    }
+
+    #[test]
+    fn works_with_tornado_codec() {
+        let codec = ObjectCodec::new(CodeKind::Tornado, 8, 24, 5).unwrap();
+        let arch = archive_object(&codec, &payload()).unwrap();
+        // Generous survivor set for the peeling decoder.
+        let out = reconstruct_object(&codec, &arch.fragments[..20]).unwrap();
+        assert_eq!(out, payload());
+    }
+}

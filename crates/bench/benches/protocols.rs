@@ -1,0 +1,87 @@
+//! Criterion benchmarks for the simulated protocols: one per reproduced
+//! experiment family (Byzantine update = Figure 6's kernel, archival fetch
+//! = S3's kernel, Plaxton locate = S2's kernel, Bloom query = S1's
+//! kernel). These measure *host* CPU time to execute the deterministic
+//! simulations, demonstrating the harness is fast enough for the full
+//! parameter sweeps in the `report` binary.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oceanstore_bloom::routing::{converge_filters, make_network, BloomConfig};
+use oceanstore_consensus::harness::{build_tier, run_updates};
+use oceanstore_naming::guid::Guid;
+use oceanstore_plaxton::{build_network, PlaxtonConfig};
+use oceanstore_sim::{NodeId, SimDuration, Simulator, Topology};
+
+fn bench_pbft_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pbft_update");
+    for m in [1usize, 4] {
+        g.bench_function(format!("m{m}_4k"), |b| {
+            b.iter(|| {
+                let mut tier = build_tier(m, SimDuration::from_millis(100), 42);
+                run_updates(&mut tier, 4096, 1)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_plaxton_locate(c: &mut Criterion) {
+    // Build once; bench the publish+locate cycle.
+    let seed = 5u64;
+    c.bench_function("plaxton/publish_locate_64", |b| {
+        b.iter(|| {
+            use rand::SeedableRng;
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let topo = Arc::new(Topology::random_geometric(
+                64,
+                0.25,
+                SimDuration::from_millis(20),
+                &mut rng,
+            ));
+            let (nodes, _) = build_network(&topo, &PlaxtonConfig::default(), seed);
+            let mut rng2 = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let topo2 =
+                Topology::random_geometric(64, 0.25, SimDuration::from_millis(20), &mut rng2);
+            let mut sim = Simulator::new(topo2, nodes, seed);
+            sim.start();
+            let obj = Guid::from_label("bench-object");
+            sim.with_node_ctx(NodeId(7), |n, ctx| n.publish(ctx, obj));
+            sim.run_for(SimDuration::from_secs(1));
+            sim.with_node_ctx(NodeId(50), |n, ctx| n.locate(ctx, 1, obj));
+            sim.run_for(SimDuration::from_secs(1));
+            assert!(sim.node(NodeId(50)).outcome(1).is_some());
+        })
+    });
+}
+
+fn bench_bloom_query(c: &mut Criterion) {
+    c.bench_function("bloom/converge_and_query_48", |b| {
+        b.iter(|| {
+            use rand::SeedableRng;
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+            let topo =
+                Topology::random_geometric(48, 0.2, SimDuration::from_millis(10), &mut rng);
+            let cfg = BloomConfig {
+                advertise_interval: SimDuration::from_millis(100),
+                ..BloomConfig::default()
+            };
+            let nodes = make_network(&topo, &cfg);
+            let mut sim = Simulator::new(topo, nodes, 9);
+            let obj = Guid::from_label("bench-bloom");
+            sim.node_mut(NodeId(40)).insert_object(obj);
+            sim.start();
+            converge_filters(&mut sim, &cfg);
+            sim.with_node_ctx(NodeId(0), |n, ctx| n.start_query(ctx, 1, obj));
+            sim.run_for(SimDuration::from_millis(500));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pbft_update, bench_plaxton_locate, bench_bloom_query
+}
+criterion_main!(benches);

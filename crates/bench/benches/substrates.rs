@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks for the cryptographic and coding substrates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use oceanstore_crypto::cipher::BlockCipherKey;
+use oceanstore_crypto::schnorr::{verify, KeyPair};
+use oceanstore_crypto::sha1::sha1;
+use oceanstore_erasure::{ObjectCodec, CodeKind};
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1");
+    for size in [64usize, 4096, 65536] {
+        let data = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| b.iter(|| sha1(&data)));
+    }
+    g.finish();
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let kp = KeyPair::from_seed(b"bench");
+    let msg = b"a typical update digest payload";
+    c.bench_function("schnorr/sign", |b| b.iter(|| kp.sign(msg)));
+    let sig = kp.sign(msg);
+    c.bench_function("schnorr/verify", |b| b.iter(|| verify(kp.public(), msg, &sig)));
+}
+
+fn bench_cipher(c: &mut Criterion) {
+    let key = BlockCipherKey::from_seed(b"bench");
+    let block = vec![0x5Au8; 4096];
+    let mut g = c.benchmark_group("position_cipher");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("encrypt_4k", |b| b.iter(|| key.encrypt_block(7, &block)));
+    g.finish();
+}
+
+fn bench_erasure(c: &mut Criterion) {
+    let data = vec![0x3Cu8; 64 * 1024];
+    let mut g = c.benchmark_group("erasure_64k");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for (kind, name) in [(CodeKind::ReedSolomon, "rs_8_16"), (CodeKind::Tornado, "tornado_8_16")] {
+        let codec = ObjectCodec::new(kind, 8, 16, 7).expect("valid");
+        g.bench_function(format!("{name}/encode"), |b| {
+            b.iter(|| codec.encode_object(&data).expect("encodes"))
+        });
+        let frags = codec.encode_object(&data).expect("encodes");
+        g.bench_function(format!("{name}/decode_with_losses"), |b| {
+            b.iter_batched(
+                || {
+                    let mut have: Vec<Option<Vec<u8>>> =
+                        frags.iter().cloned().map(Some).collect();
+                    // Tornado needs survivors beyond k; lose 3 data shards.
+                    have[0] = None;
+                    have[3] = None;
+                    have[6] = None;
+                    have
+                },
+                |mut have| codec.decode_object(&mut have).expect("decodes"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sha1, bench_schnorr, bench_cipher, bench_erasure
+}
+criterion_main!(benches);

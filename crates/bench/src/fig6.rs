@@ -1,0 +1,110 @@
+//! Figure 6: "The cost of an update in bytes sent across the network,
+//! normalized to the minimum cost needed to send the update to each of the
+//! replicas", for (m=2, n=7), (m=3, n=10), (m=4, n=13).
+
+use oceanstore_consensus::harness::{build_tier, run_updates, CostModel};
+use oceanstore_sim::SimDuration;
+
+/// One point of the Figure 6 curves.
+#[derive(Debug, Clone)]
+pub struct Fig6Point {
+    /// Faults tolerated.
+    pub m: usize,
+    /// Tier size (3m + 1).
+    pub n: usize,
+    /// Update size in bytes.
+    pub update_size: usize,
+    /// Measured bytes across the network.
+    pub measured_bytes: u64,
+    /// Measured bytes normalized to `u · n` (the figure's y-axis).
+    pub normalized: f64,
+    /// The analytic model's prediction of the same ratio.
+    pub model_normalized: f64,
+}
+
+/// The paper's x-axis: update sizes from 100 B to 10 MB.
+pub fn default_sizes() -> Vec<usize> {
+    vec![
+        100, 250, 500, 1_000, 2_500, 4_000, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+        1_000_000, 2_500_000, 5_000_000, 10_000_000,
+    ]
+}
+
+/// Runs the experiment: one committed update per (m, size) over a 100 ms
+/// WAN mesh, counting real wire bytes.
+pub fn run(ms: &[usize], sizes: &[usize]) -> Vec<Fig6Point> {
+    let model = CostModel::default();
+    let mut out = Vec::new();
+    for &m in ms {
+        let n = 3 * m + 1;
+        for &u in sizes {
+            let mut tier = build_tier(m, SimDuration::from_millis(100), 42 + m as u64);
+            let run = run_updates(&mut tier, u, 1);
+            let measured = run.total_bytes;
+            out.push(Fig6Point {
+                m,
+                n,
+                update_size: u,
+                measured_bytes: measured,
+                normalized: measured as f64 / (u as f64 * n as f64),
+                model_normalized: model.normalized(n, u),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_have_figure6_shape() {
+        let points = run(&[2, 4], &[100, 4_000, 100_000, 1_000_000]);
+        // Normalized cost decreases monotonically with update size.
+        for m in [2usize, 4] {
+            let curve: Vec<f64> = points
+                .iter()
+                .filter(|p| p.m == m)
+                .map(|p| p.normalized)
+                .collect();
+            for w in curve.windows(2) {
+                assert!(w[1] <= w[0], "normalized cost must fall with size: {curve:?}");
+            }
+            // Approaches 1 for large updates.
+            assert!(*curve.last().unwrap() < 1.1);
+        }
+        // Larger tiers cost more at small sizes.
+        let small_m2 = points.iter().find(|p| p.m == 2 && p.update_size == 100).unwrap();
+        let small_m4 = points.iter().find(|p| p.m == 4 && p.update_size == 100).unwrap();
+        assert!(small_m4.normalized > small_m2.normalized);
+    }
+
+    #[test]
+    fn paper_calibration_points() {
+        // "for m = 4 and n = 13, the normalized cost approaches 1 for
+        // update sizes around 100k bytes, but it approaches 2 at update
+        // sizes of only around 4k bytes."
+        let points = run(&[4], &[4_000, 100_000]);
+        let at_4k = points.iter().find(|p| p.update_size == 4_000).unwrap();
+        let at_100k = points.iter().find(|p| p.update_size == 100_000).unwrap();
+        assert!(
+            (1.5..3.0).contains(&at_4k.normalized),
+            "4k normalized {}",
+            at_4k.normalized
+        );
+        assert!(
+            (1.0..1.25).contains(&at_100k.normalized),
+            "100k normalized {}",
+            at_100k.normalized
+        );
+    }
+
+    #[test]
+    fn measurement_tracks_model() {
+        for p in run(&[3], &[1_000, 50_000]) {
+            let ratio = p.normalized / p.model_normalized;
+            assert!((0.6..1.4).contains(&ratio), "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! S2: the Plaxton locality claim (§4.3.3) — "the average distance
+//! traveled is proportional to the distance between the source of the
+//! query and the closest replica", and "most object searches do not travel
+//! all the way to the root".
+
+use std::sync::Arc;
+
+use oceanstore_naming::guid::Guid;
+use oceanstore_plaxton::{build_network, PlaxtonConfig, PlaxtonNode};
+use oceanstore_sim::{NodeId, SimDuration, Simulator, Topology};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Locality statistics bucketed by origin→replica distance.
+#[derive(Debug, Clone)]
+pub struct LocalityBucket {
+    /// Upper edge of the IP-distance bucket (ms).
+    pub dist_ms_upper: u64,
+    /// Queries in this bucket.
+    pub queries: usize,
+    /// Mean locate latency (ms).
+    pub mean_locate_ms: f64,
+    /// Mean latency / distance ratio (the proportionality constant).
+    pub mean_stretch: f64,
+    /// Fraction of queries answered by the object's root.
+    pub root_fraction: f64,
+}
+
+/// Runs locate queries against one published replica from origins at
+/// varying distances, bucketing by IP distance.
+pub fn run(nodes: usize, objects: usize, queries_per_object: usize, seed: u64) -> Vec<LocalityBucket> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let topo = Arc::new(Topology::random_geometric(
+        nodes,
+        0.15,
+        SimDuration::from_millis(40),
+        &mut rng,
+    ));
+    let (net, _guids) = build_network(&topo, &PlaxtonConfig::default(), seed);
+    let mut rng2 = ChaCha8Rng::seed_from_u64(seed);
+    let topo2 = Topology::random_geometric(nodes, 0.15, SimDuration::from_millis(40), &mut rng2);
+    let mut sim: Simulator<PlaxtonNode> = Simulator::new(topo2, net, seed ^ 0x52);
+    sim.start();
+
+    // Publish each object at one random holder.
+    let mut placements = Vec::new();
+    for i in 0..objects {
+        let g = Guid::from_label(&format!("s2-{seed}-{i}"));
+        let holder = NodeId(rng.gen_range(0..nodes));
+        sim.with_node_ctx(holder, |n, ctx| n.publish(ctx, g));
+        placements.push((g, holder));
+    }
+    sim.run_for(SimDuration::from_secs(3));
+
+    // Issue queries and collect (distance, latency, via_root).
+    let mut samples: Vec<(u64, u64, bool)> = Vec::new();
+    let mut qid = 0u64;
+    for (g, holder) in &placements {
+        for _ in 0..queries_per_object {
+            let origin = NodeId(rng.gen_range(0..nodes));
+            if origin == *holder {
+                continue;
+            }
+            let Some(dist) = sim.topology().dist(origin, *holder) else { continue };
+            qid += 1;
+            let start = sim.now();
+            sim.with_node_ctx(origin, |n, ctx| n.locate(ctx, qid, *g));
+            sim.run_for(SimDuration::from_secs(5));
+            if let Some(o) = sim.node(origin).outcome(qid) {
+                if o.holder.is_some() {
+                    let latency = o.completed_at.saturating_since(start);
+                    samples.push((dist.as_millis(), latency.as_millis(), o.answered_by_root));
+                }
+            }
+        }
+    }
+
+    // Bucket by distance quartiles.
+    let mut dists: Vec<u64> = samples.iter().map(|(d, _, _)| *d).collect();
+    dists.sort_unstable();
+    if dists.is_empty() {
+        return Vec::new();
+    }
+    let edges: Vec<u64> = (1..=4)
+        .map(|q| dists[(dists.len() * q / 4).min(dists.len() - 1)])
+        .collect();
+    edges
+        .iter()
+        .enumerate()
+        .map(|(i, &upper)| {
+            let lower = if i == 0 { 0 } else { edges[i - 1] };
+            let bucket: Vec<&(u64, u64, bool)> = samples
+                .iter()
+                .filter(|(d, _, _)| *d > lower && *d <= upper)
+                .collect();
+            let n = bucket.len().max(1);
+            LocalityBucket {
+                dist_ms_upper: upper,
+                queries: bucket.len(),
+                mean_locate_ms: bucket.iter().map(|(_, l, _)| *l as f64).sum::<f64>() / n as f64,
+                mean_stretch: bucket
+                    .iter()
+                    .map(|(d, l, _)| *l as f64 / (*d).max(1) as f64)
+                    .sum::<f64>()
+                    / n as f64,
+                root_fraction: bucket.iter().filter(|(_, _, r)| *r).count() as f64 / n as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_distance_and_root_rarely_answers() {
+        let buckets = run(64, 6, 6, 3);
+        assert!(buckets.len() >= 2, "{buckets:?}");
+        let first = buckets.first().unwrap();
+        let last = buckets.last().unwrap();
+        assert!(
+            last.mean_locate_ms > first.mean_locate_ms,
+            "locate cost must grow with replica distance: {buckets:?}"
+        );
+        // The locality property behind "most object searches do not travel
+        // all the way to the root": queries issued *near* the replica hit
+        // a pointer before the root far more often than distant queries.
+        assert!(
+            first.root_fraction < last.root_fraction
+                || (first.root_fraction < 1.0 && last.root_fraction >= 0.9),
+            "close queries should short-circuit before the root: {buckets:?}"
+        );
+    }
+}

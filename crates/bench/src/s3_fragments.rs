@@ -1,0 +1,97 @@
+//! S3: "Although only one half of the fragments were required to
+//! reconstruct the object, we found that issuing requests for extra
+//! fragments proved beneficial due to dropped requests." (§5)
+//!
+//! Reconstruction success rate and latency as a function of how many extra
+//! fragments are requested, under varying message-drop probabilities.
+
+use oceanstore_archival::fragment::archive_object;
+use oceanstore_archival::protocol::{disseminate, ArchNode};
+use oceanstore_erasure::object::{CodeKind, ObjectCodec};
+use oceanstore_sim::{NodeId, SimDuration, Simulator, Topology};
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct FragmentRow {
+    /// Message drop probability.
+    pub drop_prob: f64,
+    /// Extra fragments requested beyond k.
+    pub extra: usize,
+    /// Trials run.
+    pub trials: usize,
+    /// Successful reconstructions.
+    pub successes: usize,
+    /// Mean completion latency over successes (ms).
+    pub mean_latency_ms: f64,
+}
+
+/// Runs the sweep: `k = 8`, `n = 16` rate-1/2 Reed-Solomon.
+pub fn run(drop_probs: &[f64], extras: &[usize], trials: usize, seed: u64) -> Vec<FragmentRow> {
+    let k = 8;
+    let n = 16;
+    let codec = ObjectCodec::new(CodeKind::ReedSolomon, k, n, 0).expect("valid params");
+    let payload: Vec<u8> = (0..4000u32).map(|i| (i % 251) as u8).collect();
+    let mut out = Vec::new();
+    for &p in drop_probs {
+        for &extra in extras {
+            let mut successes = 0usize;
+            let mut latency_sum = 0.0f64;
+            for t in 0..trials {
+                let topo = Topology::full_mesh(n + 1, SimDuration::from_millis(30));
+                let nodes: Vec<ArchNode> = (0..n + 1).map(|_| ArchNode::new()).collect();
+                let mut sim = Simulator::new(topo, nodes, seed + t as u64);
+                sim.start();
+                let arch = archive_object(&codec, &payload).expect("encodes");
+                let guid = arch.guid;
+                let sites: Vec<NodeId> = (0..n).map(NodeId).collect();
+                let holders = sim.with_node_ctx(NodeId(n), |node, ctx| {
+                    disseminate(ctx, node, arch.fragments.clone(), &sites)
+                });
+                sim.run_to_quiescence(100_000);
+                sim.set_drop_prob(p);
+                let start = sim.now();
+                let c = codec.clone();
+                sim.with_node_ctx(NodeId(n), |node, ctx| {
+                    node.fetch(ctx, 1, guid, c, &holders, extra);
+                });
+                sim.run_to_quiescence(1_000_000);
+                if let Some(o) = sim.node(NodeId(n)).outcome(1) {
+                    successes += 1;
+                    latency_sum += o.completed_at.saturating_since(start).as_millis() as f64;
+                }
+            }
+            out.push(FragmentRow {
+                drop_prob: p,
+                extra,
+                trials,
+                successes,
+                mean_latency_ms: if successes == 0 {
+                    f64::NAN
+                } else {
+                    latency_sum / successes as f64
+                },
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extras_help_under_drops() {
+        let rows = run(&[0.2], &[0, 8], 8, 11);
+        let none = rows.iter().find(|r| r.extra == 0).unwrap();
+        let full = rows.iter().find(|r| r.extra == 8).unwrap();
+        assert!(full.successes > none.successes, "none={none:?} full={full:?}");
+    }
+
+    #[test]
+    fn no_drops_everything_succeeds_fast() {
+        let rows = run(&[0.0], &[0], 3, 5);
+        assert_eq!(rows[0].successes, 3);
+        assert!((rows[0].mean_latency_ms - 60.0).abs() < 1.0, "{rows:?}");
+    }
+}

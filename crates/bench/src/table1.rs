@@ -1,0 +1,109 @@
+//! Table 1 (the in-text §4.5 reliability example): availability of a
+//! document on a million machines with ten percent down, comparing plain
+//! replication against erasure coding at equal storage cost — plus the
+//! extended sweep (S6) over fragment counts.
+
+use oceanstore_archival::reliability::{
+    erasure_availability, nines, replication_availability,
+};
+
+/// One row of the reliability table.
+#[derive(Debug, Clone)]
+pub struct ReliabilityRow {
+    /// Scheme description.
+    pub scheme: String,
+    /// Storage blow-up factor relative to the raw document.
+    pub storage_factor: f64,
+    /// Availability probability.
+    pub availability: f64,
+    /// Nines of availability.
+    pub nines: f64,
+}
+
+/// The paper's scenario: 10⁶ machines, 10% down.
+pub const MACHINES: u64 = 1_000_000;
+/// Unavailable machines in the scenario.
+pub const DOWN: u64 = 100_000;
+
+/// The paper's headline rows: 2× replication, rate-1/2 with 16 fragments,
+/// rate-1/2 with 32 fragments.
+pub fn paper_rows() -> Vec<ReliabilityRow> {
+    vec![
+        row("2x replication", 2.0, replication_availability(MACHINES, DOWN, 2)),
+        row("4x replication", 4.0, replication_availability(MACHINES, DOWN, 4)),
+        row(
+            "rate-1/2 erasure, 16 fragments (any 8)",
+            2.0,
+            erasure_availability(MACHINES, DOWN, 16, 8),
+        ),
+        row(
+            "rate-1/2 erasure, 32 fragments (any 16)",
+            2.0,
+            erasure_availability(MACHINES, DOWN, 32, 16),
+        ),
+        row(
+            "rate-1/2 erasure, 64 fragments (any 32)",
+            2.0,
+            erasure_availability(MACHINES, DOWN, 64, 32),
+        ),
+        row(
+            "rate-1/4 erasure, 32 fragments (any 8)",
+            4.0,
+            erasure_availability(MACHINES, DOWN, 32, 8),
+        ),
+    ]
+}
+
+/// Extended sweep: rate-1/2 codes from 4 to 64 fragments.
+pub fn sweep_rows() -> Vec<ReliabilityRow> {
+    [4u64, 8, 16, 24, 32, 48, 64]
+        .into_iter()
+        .map(|f| {
+            row(
+                &format!("rate-1/2 erasure, {f} fragments"),
+                2.0,
+                erasure_availability(MACHINES, DOWN, f, f / 2),
+            )
+        })
+        .collect()
+}
+
+fn row(scheme: &str, storage_factor: f64, availability: f64) -> ReliabilityRow {
+    ReliabilityRow {
+        scheme: scheme.to_string(),
+        storage_factor,
+        availability,
+        nines: nines(availability),
+    }
+}
+
+/// The improvement factor 16 → 32 fragments the paper quotes as "a factor
+/// of 4000".
+pub fn improvement_16_to_32() -> f64 {
+    let p16 = erasure_availability(MACHINES, DOWN, 16, 8);
+    let p32 = erasure_availability(MACHINES, DOWN, 32, 16);
+    (1.0 - p16) / (1.0 - p32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_numbers_match_paper() {
+        let rows = paper_rows();
+        let repl = &rows[0];
+        assert!((repl.availability - 0.99).abs() < 0.001, "{repl:?}");
+        let e16 = rows.iter().find(|r| r.scheme.contains("16 fragments")).unwrap();
+        assert!((e16.availability - 0.999994).abs() < 2e-6, "{e16:?}");
+        assert!(improvement_16_to_32() > 1000.0);
+    }
+
+    #[test]
+    fn sweep_is_monotone() {
+        let rows = sweep_rows();
+        for w in rows.windows(2) {
+            assert!(w[1].availability >= w[0].availability);
+        }
+    }
+}

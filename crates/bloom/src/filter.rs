@@ -1,0 +1,295 @@
+//! Plain and attenuated Bloom filters (§4.3.2).
+//!
+//! "An attenuated Bloom filter of depth D can be viewed as an array of D
+//! normal Bloom filters. The first Bloom filter is a record of the objects
+//! contained locally on the current node. The i-th Bloom filter is the
+//! union of all of the Bloom filters for all of the nodes a distance i
+//! through any path from the current node."
+//!
+//! Hash positions are derived from a GUID by double hashing over its
+//! digest, so filters of equal geometry are unionable bit-by-bit.
+
+use oceanstore_naming::guid::Guid;
+
+/// A fixed-geometry Bloom filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    m: usize,
+    k: usize,
+}
+
+impl BloomFilter {
+    /// Creates an `m`-bit filter probed by `k` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `k == 0`.
+    pub fn new(m: usize, k: usize) -> Self {
+        assert!(m > 0, "filter needs at least one bit");
+        assert!(k > 0, "filter needs at least one hash");
+        BloomFilter { bits: vec![0; m.div_ceil(64)], m, k }
+    }
+
+    /// Bit width `m`.
+    pub fn bit_len(&self) -> usize {
+        self.m
+    }
+
+    /// Hash count `k`.
+    pub fn hash_count(&self) -> usize {
+        self.k
+    }
+
+    /// Positions probed for `guid` (double hashing off the digest).
+    fn positions(&self, guid: &Guid) -> impl Iterator<Item = usize> + '_ {
+        let bytes = guid.as_bytes();
+        let h1 = u64::from_be_bytes(bytes[0..8].try_into().expect("8 bytes"));
+        let h2 = u64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes")) | 1;
+        let m = self.m as u64;
+        (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+    }
+
+    /// Inserts a GUID.
+    pub fn insert(&mut self, guid: &Guid) {
+        let pos: Vec<usize> = self.positions(guid).collect();
+        for p in pos {
+            self.bits[p / 64] |= 1 << (p % 64);
+        }
+    }
+
+    /// Membership probe: `false` is definitive, `true` may be a false
+    /// positive.
+    pub fn contains(&self, guid: &Guid) -> bool {
+        self.positions(guid).collect::<Vec<_>>().iter().all(|&p| self.bits[p / 64] >> (p % 64) & 1 == 1)
+    }
+
+    /// Bitwise union with another filter of the same geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a geometry mismatch.
+    pub fn union_with(&mut self, other: &BloomFilter) {
+        assert_eq!((self.m, self.k), (other.m, other.k), "filter geometry mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Estimated false-positive rate at the current fill level:
+    /// `(ones/m)^k`.
+    pub fn estimated_fpr(&self) -> f64 {
+        (self.count_ones() as f64 / self.m as f64).powi(self.k as i32)
+    }
+
+    /// Wire size in bytes when advertised to a neighbour.
+    pub fn wire_size(&self) -> usize {
+        self.m.div_ceil(8)
+    }
+}
+
+/// An attenuated Bloom filter: one [`BloomFilter`] per distance level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttenuatedBloom {
+    levels: Vec<BloomFilter>,
+}
+
+impl AttenuatedBloom {
+    /// Creates a depth-`d` attenuated filter of `m`-bit, `k`-hash levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` (a depth-1 filter is just a local Bloom filter).
+    pub fn new(d: usize, m: usize, k: usize) -> Self {
+        assert!(d > 0, "attenuated filter needs at least one level");
+        AttenuatedBloom { levels: (0..d).map(|_| BloomFilter::new(m, k)).collect() }
+    }
+
+    /// Depth `D`.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The filter for distance `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= depth()`.
+    pub fn level(&self, level: usize) -> &BloomFilter {
+        &self.levels[level]
+    }
+
+    /// Mutable access to one level (used when recording local objects at
+    /// level 0).
+    pub fn level_mut(&mut self, level: usize) -> &mut BloomFilter {
+        &mut self.levels[level]
+    }
+
+    /// Smallest level whose filter claims `guid`, i.e. the estimated
+    /// distance to the object through this edge. `None` if no level claims
+    /// it.
+    pub fn min_distance(&self, guid: &Guid) -> Option<usize> {
+        self.levels.iter().position(|f| f.contains(guid))
+    }
+
+    /// The view of this filter from one hop further away: level `i` of the
+    /// result is level `i - 1` of `self`, and level 0 is empty. This is
+    /// what a node advertises to its neighbours.
+    pub fn attenuated(&self) -> AttenuatedBloom {
+        let m = self.levels[0].bit_len();
+        let k = self.levels[0].hash_count();
+        let mut levels = Vec::with_capacity(self.levels.len());
+        levels.push(BloomFilter::new(m, k));
+        levels.extend(self.levels[..self.levels.len() - 1].iter().cloned());
+        AttenuatedBloom { levels }
+    }
+
+    /// Level-wise union.
+    ///
+    /// # Panics
+    ///
+    /// Panics on depth or geometry mismatch.
+    pub fn union_with(&mut self, other: &AttenuatedBloom) {
+        assert_eq!(self.depth(), other.depth(), "depth mismatch");
+        for (a, b) in self.levels.iter_mut().zip(&other.levels) {
+            a.union_with(b);
+        }
+    }
+
+    /// Clears all levels.
+    pub fn clear(&mut self) {
+        self.levels.iter_mut().for_each(BloomFilter::clear);
+    }
+
+    /// Wire size in bytes when advertised.
+    pub fn wire_size(&self) -> usize {
+        self.levels.iter().map(BloomFilter::wire_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(label: &str) -> Guid {
+        Guid::from_label(label)
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(256, 3);
+        let items: Vec<Guid> = (0..50).map(|i| g(&format!("item-{i}"))).collect();
+        for it in &items {
+            f.insert(it);
+        }
+        for it in &items {
+            assert!(f.contains(it));
+        }
+    }
+
+    #[test]
+    fn absent_items_usually_rejected() {
+        let mut f = BloomFilter::new(2048, 4);
+        for i in 0..50 {
+            f.insert(&g(&format!("present-{i}")));
+        }
+        let fps = (0..200)
+            .filter(|i| f.contains(&g(&format!("absent-{i}"))))
+            .count();
+        // FPR at this fill is tiny; allow a couple of flukes.
+        assert!(fps <= 2, "false positives: {fps}");
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let (mut a, mut b) = (BloomFilter::new(128, 3), BloomFilter::new(128, 3));
+        a.insert(&g("x"));
+        b.insert(&g("y"));
+        a.union_with(&b);
+        assert!(a.contains(&g("x")) && a.contains(&g("y")));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut f = BloomFilter::new(64, 2);
+        f.insert(&g("x"));
+        assert!(!f.is_empty());
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.count_ones(), 0);
+    }
+
+    #[test]
+    fn fpr_estimate_monotone() {
+        let mut f = BloomFilter::new(256, 3);
+        let mut last = f.estimated_fpr();
+        for i in 0..64 {
+            f.insert(&g(&format!("i{i}")));
+            let now = f.estimated_fpr();
+            assert!(now >= last);
+            last = now;
+        }
+        assert!(last > 0.0 && last < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn union_geometry_checked() {
+        let mut a = BloomFilter::new(128, 3);
+        a.union_with(&BloomFilter::new(64, 3));
+    }
+
+    #[test]
+    fn attenuated_min_distance() {
+        let mut a = AttenuatedBloom::new(3, 256, 3);
+        a.level_mut(0).insert(&g("here"));
+        a.level_mut(2).insert(&g("far"));
+        assert_eq!(a.min_distance(&g("here")), Some(0));
+        assert_eq!(a.min_distance(&g("far")), Some(2));
+        assert_eq!(a.min_distance(&g("nowhere")), None);
+    }
+
+    #[test]
+    fn attenuation_shifts_levels() {
+        let mut a = AttenuatedBloom::new(3, 256, 3);
+        a.level_mut(0).insert(&g("obj"));
+        let shifted = a.attenuated();
+        assert_eq!(shifted.min_distance(&g("obj")), Some(1));
+        // Deepest level falls off the end.
+        let mut b = AttenuatedBloom::new(3, 256, 3);
+        b.level_mut(2).insert(&g("edge"));
+        assert_eq!(b.attenuated().min_distance(&g("edge")), None);
+    }
+
+    #[test]
+    fn attenuated_union() {
+        let mut a = AttenuatedBloom::new(2, 128, 3);
+        let mut b = AttenuatedBloom::new(2, 128, 3);
+        a.level_mut(0).insert(&g("a"));
+        b.level_mut(1).insert(&g("b"));
+        a.union_with(&b);
+        assert_eq!(a.min_distance(&g("a")), Some(0));
+        assert_eq!(a.min_distance(&g("b")), Some(1));
+    }
+
+    #[test]
+    fn wire_size_scales_with_depth() {
+        let a = AttenuatedBloom::new(4, 1024, 3);
+        assert_eq!(a.wire_size(), 4 * 128);
+    }
+}

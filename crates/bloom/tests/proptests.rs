@@ -1,0 +1,74 @@
+//! Property-based tests for (attenuated) Bloom filters.
+
+use oceanstore_bloom::filter::{AttenuatedBloom, BloomFilter};
+use oceanstore_naming::guid::Guid;
+use proptest::prelude::*;
+
+fn guids(labels: &[String]) -> Vec<Guid> {
+    labels.iter().map(|l| Guid::from_label(l)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The defining Bloom property: no false negatives, ever.
+    #[test]
+    fn no_false_negatives(
+        labels in proptest::collection::vec("[a-z]{1,12}", 1..60),
+        m_exp in 6u32..13,
+        k in 1usize..6,
+    ) {
+        let mut f = BloomFilter::new(1 << m_exp, k);
+        let items = guids(&labels);
+        for g in &items {
+            f.insert(g);
+        }
+        for g in &items {
+            prop_assert!(f.contains(g));
+        }
+    }
+
+    /// Union never loses members from either side.
+    #[test]
+    fn union_superset(
+        a_labels in proptest::collection::vec("[a-z]{1,10}", 0..30),
+        b_labels in proptest::collection::vec("[a-z]{1,10}", 0..30),
+    ) {
+        let mut a = BloomFilter::new(2048, 3);
+        let mut b = BloomFilter::new(2048, 3);
+        for g in guids(&a_labels) {
+            a.insert(&g);
+        }
+        for g in guids(&b_labels) {
+            b.insert(&g);
+        }
+        let mut u = a.clone();
+        u.union_with(&b);
+        for g in guids(&a_labels).iter().chain(guids(&b_labels).iter()) {
+            prop_assert!(u.contains(g));
+        }
+    }
+
+    /// Attenuation shifts distances by exactly one and never invents a
+    /// closer sighting.
+    #[test]
+    fn attenuation_shifts_distance(
+        labels in proptest::collection::vec("[a-z]{1,10}", 1..20),
+        levels in proptest::collection::vec(0usize..4, 1..20),
+    ) {
+        let mut a = AttenuatedBloom::new(4, 4096, 3);
+        let items = guids(&labels);
+        for (g, &lvl) in items.iter().zip(&levels) {
+            a.level_mut(lvl).insert(g);
+        }
+        let shifted = a.attenuated();
+        for g in &items {
+            match (a.min_distance(g), shifted.min_distance(g)) {
+                (Some(d), Some(s)) => prop_assert!(s >= d + 1, "d={d} s={s}"),
+                (Some(d), None) => prop_assert!(d + 1 >= 4, "dropped too early: d={d}"),
+                (None, Some(_)) => prop_assert!(false, "attenuation invented an object"),
+                (None, None) => {}
+            }
+        }
+    }
+}

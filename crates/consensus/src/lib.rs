@@ -1,0 +1,222 @@
+//! Byzantine agreement for the OceanStore primary tier (§4.4.3–§4.4.5).
+//!
+//! A PBFT-style (Castro–Liskov \[10\]) protocol: `n = 3m + 1` replicas choose
+//! the final commit order for updates, tolerating up to `m` arbitrary
+//! faults. Clients send updates to the whole tier and wait for `m + 1`
+//! matching replies. The module also carries the paper's analytic cost
+//! model (`b = c1·n² + (u + c2)·n + c3`, Figure 6) and a measurement
+//! harness that reproduces it from actual wire bytes.
+//!
+//! * [`messages`] — signed wire messages with honest byte accounting.
+//! * [`replica`] — the replica state machine with fault injection
+//!   (silent / equivocating) and a simplified view change.
+//! * [`client`] — submit + reply-quorum collection.
+//! * [`harness`] — tier construction and the Figure 6 measurement kernel.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod harness;
+pub mod messages;
+pub mod node;
+pub mod replica;
+
+pub use client::{Client, ClientOutcome};
+pub use harness::{build_tier, build_tier_with_faults, run_updates, CostModel, TierSim};
+pub use messages::{Payload, PbftMsg, RequestId};
+pub use node::PbftNode;
+pub use replica::{Committed, FaultMode, Replica, TierConfig};
+
+#[cfg(test)]
+mod tests {
+    use oceanstore_sim::{NodeId, SimDuration};
+
+    use crate::harness::{build_tier, build_tier_with_faults, run_updates};
+    use crate::messages::Payload;
+    use crate::replica::FaultMode;
+
+    const WAN: SimDuration = SimDuration::from_millis(100);
+
+    fn executed_digests(ts: &crate::TierSim, idx: usize) -> Vec<[u8; 20]> {
+        ts.sim
+            .node(NodeId(idx))
+            .as_replica()
+            .expect("replica")
+            .executed_digests()
+    }
+
+    #[test]
+    fn single_update_commits_everywhere() {
+        let mut ts = build_tier(1, WAN, 1);
+        let run = run_updates(&mut ts, 1024, 1);
+        assert_eq!(run.latencies.len(), 1);
+        for i in 0..4 {
+            assert_eq!(
+                ts.sim.node(NodeId(i)).as_replica().unwrap().executed().len(),
+                1,
+                "replica {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn commit_latency_is_a_few_wan_rtts() {
+        // §4.4.5: "six phases of messages ... approximate latency per
+        // update of less than a second" at 100 ms per message. Our path is
+        // request → pre-prepare → prepare → commit → reply = 5 phases
+        // (the client talks to the tier directly), i.e. 500 ms.
+        let mut ts = build_tier(1, WAN, 2);
+        let run = run_updates(&mut ts, 4096, 3);
+        for lat in &run.latencies {
+            assert_eq!(lat.as_millis(), 500, "got {lat}");
+            assert!(lat.as_millis() < 1000, "under a second as the paper estimates");
+        }
+    }
+
+    #[test]
+    fn replicas_agree_on_order() {
+        let mut ts = build_tier(1, WAN, 3);
+        let _ = run_updates(&mut ts, 100, 5);
+        let reference = executed_digests(&ts, 0);
+        assert_eq!(reference.len(), 5);
+        for i in 1..4 {
+            assert_eq!(executed_digests(&ts, i), reference, "replica {i}");
+        }
+    }
+
+    #[test]
+    fn tolerates_m_silent_replicas() {
+        let mut ts = build_tier_with_faults(1, WAN, 4, &[(2, FaultMode::Silent)]);
+        let run = run_updates(&mut ts, 2048, 2);
+        assert_eq!(run.latencies.len(), 2);
+        // Honest replicas still agree.
+        let reference = executed_digests(&ts, 0);
+        assert_eq!(reference.len(), 2);
+        for i in [1usize, 3] {
+            assert_eq!(executed_digests(&ts, i), reference, "replica {i}");
+        }
+    }
+
+    #[test]
+    fn tolerates_equivocating_replica() {
+        // A non-leader equivocator lies about digests; honest replicas
+        // still commit identically.
+        let mut ts = build_tier_with_faults(1, WAN, 5, &[(3, FaultMode::Equivocate)]);
+        let _ = run_updates(&mut ts, 512, 3);
+        let reference = executed_digests(&ts, 0);
+        assert_eq!(reference.len(), 3);
+        for i in [1usize, 2] {
+            assert_eq!(executed_digests(&ts, i), reference, "replica {i}");
+        }
+    }
+
+    #[test]
+    fn silent_leader_triggers_view_change() {
+        // Replica 0 leads view 0 and is silent: the tier must rotate to a
+        // new view and still commit the client's update.
+        let mut ts = build_tier_with_faults(1, WAN, 6, &[(0, FaultMode::Silent)]);
+        let client = ts.client;
+        let id = ts.sim.with_node_ctx(client, |node, ctx| {
+            node.as_client_mut().unwrap().submit(ctx, Payload::simulated(256))
+        });
+        ts.sim.run_to_quiescence(1_000_000);
+        let outcome = ts.sim.node(client).as_client().unwrap().outcome(id).copied();
+        let outcome = outcome.expect("update must commit despite the dead leader");
+        assert!(outcome.seq == 0);
+        // Honest replicas moved past view 0 and agree.
+        let views: Vec<u64> = (1..4)
+            .map(|i| ts.sim.node(NodeId(i)).as_replica().unwrap().view())
+            .collect();
+        assert!(views.iter().all(|&v| v >= 1), "views: {views:?}");
+        let reference = executed_digests(&ts, 1);
+        assert_eq!(reference.len(), 1);
+        for i in [2usize, 3] {
+            assert_eq!(executed_digests(&ts, i), reference);
+        }
+    }
+
+    #[test]
+    fn equivocating_leader_cannot_split_honest_replicas() {
+        // Leader 0 equivocates. Honest replicas may or may not commit
+        // (liveness can require a view change), but they must never commit
+        // *different* orders — Byzantine safety.
+        let mut ts = build_tier_with_faults(1, WAN, 7, &[(0, FaultMode::Equivocate)]);
+        let client = ts.client;
+        ts.sim.with_node_ctx(client, |node, ctx| {
+            node.as_client_mut().unwrap().submit(ctx, Payload::simulated(64))
+        });
+        ts.sim.run_to_quiescence(1_000_000);
+        let orders: Vec<Vec<[u8; 20]>> = (1..4).map(|i| executed_digests(&ts, i)).collect();
+        for pair in orders.windows(2) {
+            let common = pair[0].len().min(pair[1].len());
+            assert_eq!(&pair[0][..common], &pair[1][..common], "diverging committed orders");
+        }
+    }
+
+    #[test]
+    fn byte_cost_matches_analytic_model_shape() {
+        // Measured bytes should scale like c1·n² + (u + c2)·n: doubling the
+        // update size adds ~n·Δu bytes.
+        let mut ts = build_tier(2, WAN, 8); // n = 7
+        let small = run_updates(&mut ts, 1_000, 1).total_bytes;
+        let mut ts2 = build_tier(2, WAN, 8);
+        let large = run_updates(&mut ts2, 11_000, 1).total_bytes;
+        let delta = large - small;
+        // Δ = n × Δu = 7 × 10_000.
+        assert_eq!(delta, 70_000, "payload bytes scale with n");
+    }
+
+    #[test]
+    fn normalized_cost_approaches_one_for_large_updates() {
+        // Figure 6's shape: the normalized cost → 1 as u grows, and is
+        // large for small updates.
+        let mut ts = build_tier(4, WAN, 9); // n = 13, the paper's worst curve
+        let tiny = run_updates(&mut ts, 100, 1);
+        let tiny_norm = tiny.total_bytes as f64 / (100.0 * 13.0);
+        let mut ts2 = build_tier(4, WAN, 9);
+        let big = run_updates(&mut ts2, 1_000_000, 1);
+        let big_norm = big.total_bytes as f64 / (1_000_000.0 * 13.0);
+        assert!(tiny_norm > 10.0, "tiny updates dominated by overhead: {tiny_norm}");
+        assert!(big_norm < 1.1, "large updates near the floor: {big_norm}");
+    }
+
+    #[test]
+    fn cost_model_default_constants_track_measurement() {
+        use crate::harness::CostModel;
+        let model = CostModel::default();
+        for (m, u) in [(1usize, 4096usize), (2, 4096), (4, 100_000)] {
+            let n = 3 * m + 1;
+            let mut ts = build_tier(m, WAN, 10 + m as u64);
+            let measured = run_updates(&mut ts, u, 1).total_bytes as f64;
+            let predicted = model.bytes(n, u);
+            let ratio = measured / predicted;
+            assert!(
+                (0.7..1.3).contains(&ratio),
+                "m={m} u={u}: measured {measured}, predicted {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_request_not_executed_twice() {
+        let mut ts = build_tier(1, WAN, 11);
+        let client = ts.client;
+        let payload = Payload::simulated(128);
+        let id = ts.sim.with_node_ctx(client, |node, ctx| {
+            node.as_client_mut().unwrap().submit(ctx, payload.clone())
+        });
+        ts.sim.run_to_quiescence(1_000_000);
+        // Replay the same signed request directly at every replica.
+        let outcome = ts.sim.node(client).as_client().unwrap().outcome(id).copied().unwrap();
+        let _ = outcome;
+        for i in 0..4 {
+            let node = NodeId(i);
+            let replayed = {
+                let r = ts.sim.node(node).as_replica().unwrap();
+                r.executed().len()
+            };
+            assert_eq!(replayed, 1, "replica {i} executed once");
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Wire messages of the Byzantine agreement protocol (§4.4.3).
+//!
+//! The paper models update cost as `b = c1·n² + (u + c2)·n + c3` with "the
+//! constant c1 ... quite small, on the order of 100 bytes" (§4.4.5). Our
+//! message overhead reproduces that constant honestly: every protocol
+//! message carries a header (view/sequence/ids), a SHA-1 digest, and a
+//! signature charged at its production-equivalent size — together about
+//! 100 bytes.
+
+use std::sync::Arc;
+
+use oceanstore_crypto::schnorr::Signature;
+use oceanstore_crypto::sha1::{sha1_concat, Digest};
+use oceanstore_sim::{Message, NodeId};
+
+/// Fixed per-message header charge: kind + view + seq + replica ids +
+/// framing.
+pub const HEADER_SIZE: usize = 48;
+
+/// Digest bytes carried by agreement messages.
+pub const DIGEST_SIZE: usize = 20;
+
+/// An update payload travelling through agreement.
+///
+/// Real bytes ride in `bytes`; `padded_size` lets benchmarks simulate large
+/// updates (the Figure 6 sweep goes to 10 MB) without allocating them —
+/// wire accounting uses `max(bytes.len(), padded_size)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Payload {
+    /// The actual update content (interpreted by the layer above).
+    pub bytes: Arc<Vec<u8>>,
+    /// Simulated size floor for byte accounting.
+    pub padded_size: usize,
+}
+
+impl Payload {
+    /// Payload carrying real bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Payload { bytes: Arc::new(bytes), padded_size: 0 }
+    }
+
+    /// Payload of a simulated size (for cost experiments).
+    pub fn simulated(size: usize) -> Self {
+        Payload { bytes: Arc::new(Vec::new()), padded_size: size }
+    }
+
+    /// Bytes charged on the wire.
+    pub fn wire_len(&self) -> usize {
+        self.bytes.len().max(self.padded_size)
+    }
+
+    /// Digest binding the payload (includes the simulated size so padded
+    /// payloads of different sizes differ).
+    pub fn digest(&self) -> Digest {
+        sha1_concat(&[&(self.padded_size as u64).to_be_bytes(), &self.bytes])
+    }
+}
+
+/// A client request identifier: (client node, client-local sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId {
+    /// The requesting client's node id.
+    pub client: NodeId,
+    /// Client-local sequence number.
+    pub seq: u64,
+}
+
+/// Messages of the PBFT-style agreement protocol.
+#[derive(Debug, Clone)]
+pub enum PbftMsg {
+    /// Client → every replica: please order this update. The paper's
+    /// Figure 5(a) shows updates flowing from the client directly to the
+    /// whole primary tier.
+    Request {
+        /// Request identity (client + client seq).
+        id: RequestId,
+        /// The client's optimistic timestamp (guides ordering; §4.4.3).
+        timestamp: u64,
+        /// The update payload.
+        payload: Payload,
+        /// Client signature over the request digest.
+        sig: Signature,
+    },
+    /// Leader → replicas: proposal to order `digest` at `seq` in `view`.
+    PrePrepare {
+        /// Current view.
+        view: u64,
+        /// Proposed agreement sequence number.
+        seq: u64,
+        /// Digest of the request payload.
+        digest: Digest,
+        /// Request identity.
+        id: RequestId,
+        /// Leader signature.
+        sig: Signature,
+    },
+    /// Replica → all: I saw the proposal.
+    Prepare {
+        /// Current view.
+        view: u64,
+        /// Agreement sequence.
+        seq: u64,
+        /// Digest being prepared.
+        digest: Digest,
+        /// Index of the sending replica within the tier.
+        replica: usize,
+        /// Replica signature.
+        sig: Signature,
+    },
+    /// Replica → all: a prepared certificate exists.
+    Commit {
+        /// Current view.
+        view: u64,
+        /// Agreement sequence.
+        seq: u64,
+        /// Digest being committed.
+        digest: Digest,
+        /// Index of the sending replica.
+        replica: usize,
+        /// Replica signature.
+        sig: Signature,
+    },
+    /// Replica → client: your request executed at `seq`.
+    Reply {
+        /// Request identity this answers.
+        id: RequestId,
+        /// Final agreement sequence.
+        seq: u64,
+        /// Digest of the executed payload.
+        digest: Digest,
+        /// Index of the replying replica.
+        replica: usize,
+        /// Replica signature.
+        sig: Signature,
+    },
+    /// Replica → all: the current leader is broken, move to `new_view`.
+    ViewChange {
+        /// Proposed view.
+        new_view: u64,
+        /// Highest sequence executed by the sender.
+        last_exec: u64,
+        /// Digests the sender holds prepared certificates for:
+        /// `(seq, digest, request id)`.
+        prepared: Vec<(u64, Digest, RequestId)>,
+        /// Index of the sending replica.
+        replica: usize,
+        /// Replica signature.
+        sig: Signature,
+    },
+    /// New leader → all: view `view` starts; re-proposals follow.
+    NewView {
+        /// The new view.
+        view: u64,
+        /// Index of the sending (new leader) replica.
+        replica: usize,
+        /// Leader signature.
+        sig: Signature,
+    },
+}
+
+impl Message for PbftMsg {
+    fn wire_size(&self) -> usize {
+        let sig = Signature::WIRE_SIZE;
+        match self {
+            PbftMsg::Request { payload, .. } => HEADER_SIZE + sig + payload.wire_len(),
+            PbftMsg::PrePrepare { .. }
+            | PbftMsg::Prepare { .. }
+            | PbftMsg::Commit { .. }
+            | PbftMsg::Reply { .. } => HEADER_SIZE + DIGEST_SIZE + sig,
+            PbftMsg::ViewChange { prepared, .. } => {
+                HEADER_SIZE + sig + prepared.len() * (8 + DIGEST_SIZE + 16)
+            }
+            PbftMsg::NewView { .. } => HEADER_SIZE + sig,
+        }
+    }
+
+    fn class(&self) -> &'static str {
+        match self {
+            PbftMsg::Request { .. } => "pbft/request",
+            PbftMsg::PrePrepare { .. } => "pbft/preprepare",
+            PbftMsg::Prepare { .. } => "pbft/prepare",
+            PbftMsg::Commit { .. } => "pbft/commit",
+            PbftMsg::Reply { .. } => "pbft/reply",
+            PbftMsg::ViewChange { .. } => "pbft/viewchange",
+            PbftMsg::NewView { .. } => "pbft/newview",
+        }
+    }
+}
+
+/// Canonical signing bytes for each message kind (what the signature
+/// covers).
+pub fn signing_bytes(msg: &PbftMsg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match msg {
+        PbftMsg::Request { id, timestamp, payload, .. } => {
+            out.extend_from_slice(b"req");
+            out.extend_from_slice(&(id.client.0 as u64).to_be_bytes());
+            out.extend_from_slice(&id.seq.to_be_bytes());
+            out.extend_from_slice(&timestamp.to_be_bytes());
+            out.extend_from_slice(&payload.digest());
+        }
+        PbftMsg::PrePrepare { view, seq, digest, id, .. } => {
+            out.extend_from_slice(b"ppr");
+            out.extend_from_slice(&view.to_be_bytes());
+            out.extend_from_slice(&seq.to_be_bytes());
+            out.extend_from_slice(digest);
+            out.extend_from_slice(&(id.client.0 as u64).to_be_bytes());
+            out.extend_from_slice(&id.seq.to_be_bytes());
+        }
+        PbftMsg::Prepare { view, seq, digest, replica, .. } => {
+            out.extend_from_slice(b"prp");
+            out.extend_from_slice(&view.to_be_bytes());
+            out.extend_from_slice(&seq.to_be_bytes());
+            out.extend_from_slice(digest);
+            out.extend_from_slice(&(*replica as u64).to_be_bytes());
+        }
+        PbftMsg::Commit { view, seq, digest, replica, .. } => {
+            out.extend_from_slice(b"cmt");
+            out.extend_from_slice(&view.to_be_bytes());
+            out.extend_from_slice(&seq.to_be_bytes());
+            out.extend_from_slice(digest);
+            out.extend_from_slice(&(*replica as u64).to_be_bytes());
+        }
+        PbftMsg::Reply { id, seq, digest, replica, .. } => {
+            out.extend_from_slice(b"rpl");
+            out.extend_from_slice(&(id.client.0 as u64).to_be_bytes());
+            out.extend_from_slice(&id.seq.to_be_bytes());
+            out.extend_from_slice(&seq.to_be_bytes());
+            out.extend_from_slice(digest);
+            out.extend_from_slice(&(*replica as u64).to_be_bytes());
+        }
+        PbftMsg::ViewChange { new_view, last_exec, prepared, replica, .. } => {
+            out.extend_from_slice(b"vch");
+            out.extend_from_slice(&new_view.to_be_bytes());
+            out.extend_from_slice(&last_exec.to_be_bytes());
+            for (s, d, id) in prepared {
+                out.extend_from_slice(&s.to_be_bytes());
+                out.extend_from_slice(d);
+                out.extend_from_slice(&(id.client.0 as u64).to_be_bytes());
+                out.extend_from_slice(&id.seq.to_be_bytes());
+            }
+            out.extend_from_slice(&(*replica as u64).to_be_bytes());
+        }
+        PbftMsg::NewView { view, replica, .. } => {
+            out.extend_from_slice(b"nvw");
+            out.extend_from_slice(&view.to_be_bytes());
+            out.extend_from_slice(&(*replica as u64).to_be_bytes());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizes() {
+        let real = Payload::from_bytes(vec![1, 2, 3]);
+        assert_eq!(real.wire_len(), 3);
+        let sim = Payload::simulated(4096);
+        assert_eq!(sim.wire_len(), 4096);
+    }
+
+    #[test]
+    fn payload_digests_distinguish_sizes() {
+        assert_ne!(Payload::simulated(1).digest(), Payload::simulated(2).digest());
+        assert_ne!(
+            Payload::from_bytes(vec![1]).digest(),
+            Payload::from_bytes(vec![2]).digest()
+        );
+    }
+
+    #[test]
+    fn small_message_overhead_is_about_100_bytes() {
+        // The paper's c1 ≈ 100 bytes claim.
+        let kp = oceanstore_crypto::schnorr::KeyPair::from_seed(b"r0");
+        let msg = PbftMsg::Prepare {
+            view: 0,
+            seq: 1,
+            digest: [0; 20],
+            replica: 0,
+            sig: kp.sign(b"x"),
+        };
+        let size = msg.wire_size();
+        assert!((90..=130).contains(&size), "overhead {size} out of c1 range");
+    }
+
+    #[test]
+    fn request_size_tracks_payload() {
+        let kp = oceanstore_crypto::schnorr::KeyPair::from_seed(b"c");
+        let mk = |size| PbftMsg::Request {
+            id: RequestId { client: NodeId(9), seq: 1 },
+            timestamp: 0,
+            payload: Payload::simulated(size),
+            sig: kp.sign(b"x"),
+        };
+        assert_eq!(mk(10_000).wire_size() - mk(0).wire_size(), 10_000);
+    }
+
+    #[test]
+    fn signing_bytes_distinguish_kinds_and_fields() {
+        let kp = oceanstore_crypto::schnorr::KeyPair::from_seed(b"r");
+        let sig = kp.sign(b"x");
+        let a = PbftMsg::Prepare { view: 0, seq: 1, digest: [0; 20], replica: 0, sig };
+        let b = PbftMsg::Commit { view: 0, seq: 1, digest: [0; 20], replica: 0, sig };
+        let c = PbftMsg::Prepare { view: 0, seq: 2, digest: [0; 20], replica: 0, sig };
+        assert_ne!(signing_bytes(&a), signing_bytes(&b));
+        assert_ne!(signing_bytes(&a), signing_bytes(&c));
+    }
+}

@@ -1,0 +1,600 @@
+//! The primary-tier replica state machine (§4.4.3).
+//!
+//! "We replace this master replica with a primary tier of replicas. These
+//! replicas cooperate with one another in a Byzantine agreement protocol to
+//! choose the final commit order for updates." The protocol is the
+//! Castro–Liskov three-phase scheme the paper cites \[10\]: pre-prepare,
+//! prepare (quorum 2m), commit (quorum 2m + 1), with `n = 3m + 1` replicas
+//! tolerating `m` arbitrary faults, plus a simplified view change that
+//! re-proposes prepared requests under a new leader.
+//!
+//! Fault injection is built in: a replica can be [`FaultMode::Silent`]
+//! (crash-like) or [`FaultMode::Equivocate`] (lies about digests, including
+//! equivocating pre-prepares as leader). Safety tests assert that honest
+//! replicas never execute conflicting orders regardless.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use oceanstore_crypto::schnorr::{verify, KeyPair, PublicKey};
+use oceanstore_crypto::sha1::Digest;
+use oceanstore_sim::{Context, NodeId, SimDuration};
+
+use crate::messages::{signing_bytes, Payload, PbftMsg, RequestId};
+
+/// Timer tag: view-change alarm (low bits carry the view it guards).
+const TIMER_VIEW_BASE: u64 = 1 << 40;
+
+/// Static configuration of one primary tier.
+#[derive(Debug, Clone)]
+pub struct TierConfig {
+    /// Faults tolerated; the tier has `3m + 1` replicas.
+    pub m: usize,
+    /// Transport address of each replica, by tier index.
+    pub members: Vec<NodeId>,
+    /// Public key of each replica, by tier index.
+    pub replica_keys: Vec<PublicKey>,
+    /// Public keys of authorized clients (writer restriction happens above
+    /// this layer; these are transport-level client identities).
+    pub client_keys: HashMap<NodeId, PublicKey>,
+    /// How long a replica waits for an accepted request to execute before
+    /// starting a view change.
+    pub view_timeout: SimDuration,
+}
+
+impl TierConfig {
+    /// Total replica count `n = 3m + 1`.
+    pub fn n(&self) -> usize {
+        3 * self.m + 1
+    }
+
+    /// Prepare quorum (2m matching prepares beyond the pre-prepare).
+    pub fn prepare_quorum(&self) -> usize {
+        2 * self.m
+    }
+
+    /// Commit quorum (2m + 1 commits).
+    pub fn commit_quorum(&self) -> usize {
+        2 * self.m + 1
+    }
+
+    /// The leader index for `view`.
+    pub fn leader(&self, view: u64) -> usize {
+        (view % self.n() as u64) as usize
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if member/key counts disagree with `3m + 1`.
+    pub fn validate(&self) {
+        assert_eq!(self.members.len(), self.n(), "need 3m+1 members");
+        assert_eq!(self.replica_keys.len(), self.n(), "need 3m+1 keys");
+    }
+}
+
+/// Fault behaviour of a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultMode {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Sends nothing at all (crash fault).
+    Silent,
+    /// Sends conflicting digests to different peers (Byzantine).
+    Equivocate,
+}
+
+/// One agreement slot.
+#[derive(Debug, Default, Clone)]
+struct Instance {
+    digest: Option<Digest>,
+    request: Option<RequestId>,
+    prepares: HashSet<usize>,
+    commits: HashSet<usize>,
+    sent_commit: bool,
+    executed: bool,
+}
+
+/// A committed update, in final serialization order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Committed {
+    /// Agreement sequence number.
+    pub seq: u64,
+    /// Payload digest.
+    pub digest: Digest,
+    /// The payload itself.
+    pub payload: Payload,
+    /// Originating request.
+    pub request: RequestId,
+    /// The client's optimistic timestamp.
+    pub timestamp: u64,
+}
+
+/// A primary-tier replica.
+#[derive(Debug)]
+pub struct Replica {
+    cfg: TierConfig,
+    index: usize,
+    keypair: KeyPair,
+    fault: FaultMode,
+    view: u64,
+    /// Leader-only: next sequence to assign.
+    next_seq: u64,
+    /// Agreement slots by sequence.
+    log: BTreeMap<u64, Instance>,
+    /// Request payloads by id (from Request messages).
+    requests: HashMap<RequestId, (Payload, u64)>,
+    /// Requests assigned to a sequence (leader bookkeeping / dedup).
+    assigned: HashMap<RequestId, u64>,
+    /// Highest sequence executed + 1 == next to execute.
+    next_exec: u64,
+    /// The committed order (the tier's output).
+    executed: Vec<Committed>,
+    /// View-change votes: new_view → voter → prepared set.
+    vc_votes: HashMap<u64, HashMap<usize, Vec<(u64, Digest, RequestId)>>>,
+    /// Whether a view-change alarm is armed for the current view.
+    alarm_armed: bool,
+}
+
+impl Replica {
+    /// Creates replica `index` of the tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is inconsistent or `index` out of range.
+    pub fn new(cfg: TierConfig, index: usize, keypair: KeyPair, fault: FaultMode) -> Self {
+        cfg.validate();
+        assert!(index < cfg.n(), "replica index out of range");
+        assert_eq!(
+            cfg.replica_keys[index],
+            keypair.public(),
+            "keypair must match the configured key"
+        );
+        Replica {
+            cfg,
+            index,
+            keypair,
+            fault,
+            view: 0,
+            next_seq: 0,
+            log: BTreeMap::new(),
+            requests: HashMap::new(),
+            assigned: HashMap::new(),
+            next_exec: 0,
+            executed: Vec::new(),
+            vc_votes: HashMap::new(),
+            alarm_armed: false,
+        }
+    }
+
+    /// The committed updates in serialization order.
+    pub fn executed(&self) -> &[Committed] {
+        &self.executed
+    }
+
+    /// The digests of the committed order (for safety comparisons).
+    pub fn executed_digests(&self) -> Vec<Digest> {
+        self.executed.iter().map(|c| c.digest).collect()
+    }
+
+    /// Current view.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// This replica's tier index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Injects or clears a fault mode (failure-injection tests).
+    pub fn set_fault(&mut self, fault: FaultMode) {
+        self.fault = fault;
+    }
+
+    fn am_leader(&self) -> bool {
+        self.cfg.leader(self.view) == self.index
+    }
+
+    fn verify_replica(&self, replica: usize, msg: &PbftMsg) -> bool {
+        let Some(key) = self.cfg.replica_keys.get(replica) else { return false };
+        let sig = match msg {
+            PbftMsg::PrePrepare { sig, .. }
+            | PbftMsg::Prepare { sig, .. }
+            | PbftMsg::Commit { sig, .. }
+            | PbftMsg::ViewChange { sig, .. }
+            | PbftMsg::NewView { sig, .. } => sig,
+            _ => return false,
+        };
+        verify(*key, &signing_bytes(msg), sig)
+    }
+
+    /// Sends to every *other* replica, honoring the fault mode. `mutate`
+    /// lets an equivocating replica tamper per-recipient.
+    fn broadcast(
+        &self,
+        ctx: &mut Context<'_, PbftMsg>,
+        mut make: impl FnMut(usize) -> Option<PbftMsg>,
+    ) {
+        if self.fault == FaultMode::Silent {
+            return;
+        }
+        for (i, &node) in self.cfg.members.iter().enumerate() {
+            if i == self.index {
+                continue;
+            }
+            if let Some(msg) = make(i) {
+                ctx.send(node, msg);
+            }
+        }
+    }
+
+    /// An equivocator flips a digest for odd-indexed recipients.
+    fn maybe_corrupt(&self, recipient: usize, digest: Digest) -> Digest {
+        if self.fault == FaultMode::Equivocate && recipient % 2 == 1 {
+            let mut d = digest;
+            d[0] ^= 0xff;
+            d
+        } else {
+            digest
+        }
+    }
+
+    /// Handles a client request (entry point from `on_message`).
+    pub fn on_request(
+        &mut self,
+        ctx: &mut Context<'_, PbftMsg>,
+        id: RequestId,
+        timestamp: u64,
+        payload: Payload,
+        sig: &oceanstore_crypto::schnorr::Signature,
+    ) {
+        // Writer restriction at the transport level: unknown or bad
+        // signatures are ignored.
+        let Some(key) = self.cfg.client_keys.get(&id.client) else { return };
+        let check = PbftMsg::Request { id, timestamp, payload: payload.clone(), sig: *sig };
+        if !verify(*key, &signing_bytes(&check), sig) {
+            return;
+        }
+        self.requests.insert(id, (payload.clone(), timestamp));
+        if let Some(&seq) = self.assigned.get(&id) {
+            // Duplicate (likely a retransmission): re-send the reply if the
+            // request already executed, otherwise let agreement finish.
+            if self.log.get(&seq).is_some_and(|i| i.executed) && self.fault != FaultMode::Silent {
+                let digest = payload.digest();
+                let my = self.index;
+                let mut reply =
+                    PbftMsg::Reply { id, seq, digest, replica: my, sig: self.keypair.sign(b"") };
+                let rsig = self.keypair.sign(&signing_bytes(&reply));
+                if let PbftMsg::Reply { sig: s, .. } = &mut reply {
+                    *s = rsig;
+                }
+                ctx.send(id.client, reply);
+            }
+            return;
+        }
+        if self.am_leader() {
+            self.propose(ctx, id);
+        } else if !self.alarm_armed {
+            // Guard the request with a view-change alarm.
+            self.alarm_armed = true;
+            ctx.set_timer(self.cfg.view_timeout, TIMER_VIEW_BASE + self.view);
+        }
+    }
+
+    fn propose(&mut self, ctx: &mut Context<'_, PbftMsg>, id: RequestId) {
+        let Some((payload, _ts)) = self.requests.get(&id) else { return };
+        let digest = payload.digest();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.assigned.insert(id, seq);
+        let inst = self.log.entry(seq).or_default();
+        inst.digest = Some(digest);
+        inst.request = Some(id);
+        inst.prepares.insert(self.index);
+        let view = self.view;
+        self.broadcast(ctx, |recipient| {
+            let d = self.maybe_corrupt(recipient, digest);
+            let mut msg = PbftMsg::PrePrepare { view, seq, digest: d, id, sig: self.keypair.sign(b"") };
+            let sig = self.keypair.sign(&signing_bytes(&msg));
+            if let PbftMsg::PrePrepare { sig: s, .. } = &mut msg {
+                *s = sig;
+            }
+            Some(msg)
+        });
+    }
+
+    fn on_preprepare(
+        &mut self,
+        ctx: &mut Context<'_, PbftMsg>,
+        view: u64,
+        seq: u64,
+        digest: Digest,
+        id: RequestId,
+    ) {
+        if view != self.view {
+            return;
+        }
+        let inst = self.log.entry(seq).or_default();
+        if inst.digest.is_some_and(|d| d != digest) {
+            // Conflicting proposal for this slot: ignore (view change will
+            // handle a bad leader).
+            return;
+        }
+        inst.digest = Some(digest);
+        inst.request = Some(id);
+        inst.prepares.insert(self.cfg.leader(view));
+        inst.prepares.insert(self.index);
+        self.assigned.insert(id, seq);
+        let my = self.index;
+        let base = PbftMsg::Prepare { view, seq, digest, replica: my, sig: self.keypair.sign(b"") };
+        let sig = self.keypair.sign(&signing_bytes(&base));
+        self.broadcast(ctx, |recipient| {
+            let d = self.maybe_corrupt(recipient, digest);
+            if d == digest {
+                let mut m = base.clone();
+                if let PbftMsg::Prepare { sig: s, .. } = &mut m {
+                    *s = sig;
+                }
+                Some(m)
+            } else {
+                let mut m =
+                    PbftMsg::Prepare { view, seq, digest: d, replica: my, sig: self.keypair.sign(b"") };
+                let s2 = self.keypair.sign(&signing_bytes(&m));
+                if let PbftMsg::Prepare { sig: s, .. } = &mut m {
+                    *s = s2;
+                }
+                Some(m)
+            }
+        });
+        self.maybe_commit_phase(ctx, seq);
+        if !self.alarm_armed {
+            self.alarm_armed = true;
+            ctx.set_timer(self.cfg.view_timeout, TIMER_VIEW_BASE + self.view);
+        }
+    }
+
+    fn on_prepare(&mut self, ctx: &mut Context<'_, PbftMsg>, seq: u64, digest: Digest, replica: usize) {
+        let inst = self.log.entry(seq).or_default();
+        if inst.digest == Some(digest) {
+            inst.prepares.insert(replica);
+        }
+        self.maybe_commit_phase(ctx, seq);
+    }
+
+    fn maybe_commit_phase(&mut self, ctx: &mut Context<'_, PbftMsg>, seq: u64) {
+        let Some(inst) = self.log.get_mut(&seq) else { return };
+        let Some(digest) = inst.digest else { return };
+        if inst.sent_commit || inst.prepares.len() < self.cfg.prepare_quorum() + 1 {
+            return;
+        }
+        inst.sent_commit = true;
+        inst.commits.insert(self.index);
+        let view = self.view;
+        let my = self.index;
+        let base = PbftMsg::Commit { view, seq, digest, replica: my, sig: self.keypair.sign(b"") };
+        let sig = self.keypair.sign(&signing_bytes(&base));
+        self.broadcast(ctx, |_| {
+            let mut m = base.clone();
+            if let PbftMsg::Commit { sig: s, .. } = &mut m {
+                *s = sig;
+            }
+            Some(m)
+        });
+        self.try_execute(ctx);
+    }
+
+    fn on_commit(&mut self, ctx: &mut Context<'_, PbftMsg>, seq: u64, digest: Digest, replica: usize) {
+        let inst = self.log.entry(seq).or_default();
+        if inst.digest == Some(digest) {
+            inst.commits.insert(replica);
+        }
+        self.try_execute(ctx);
+    }
+
+    fn try_execute(&mut self, ctx: &mut Context<'_, PbftMsg>) {
+        loop {
+            let seq = self.next_exec;
+            let Some(inst) = self.log.get(&seq) else { break };
+            if inst.executed
+                || inst.commits.len() < self.cfg.commit_quorum()
+                || inst.digest.is_none()
+            {
+                break;
+            }
+            let digest = inst.digest.expect("checked above");
+            let id = inst.request.expect("digest implies request");
+            let Some((payload, timestamp)) = self.requests.get(&id).cloned() else { break };
+            // A faulty leader could propose a digest that doesn't match the
+            // request payload; never execute such a slot.
+            if payload.digest() != digest {
+                break;
+            }
+            let inst = self.log.get_mut(&seq).expect("present");
+            inst.executed = true;
+            self.next_exec += 1;
+            self.executed.push(Committed { seq, digest, payload, request: id, timestamp });
+            self.alarm_armed = false;
+            // Reply to the client.
+            let my = self.index;
+            let mut reply =
+                PbftMsg::Reply { id, seq, digest, replica: my, sig: self.keypair.sign(b"") };
+            let sig = self.keypair.sign(&signing_bytes(&reply));
+            if let PbftMsg::Reply { sig: s, .. } = &mut reply {
+                *s = sig;
+            }
+            if self.fault != FaultMode::Silent {
+                ctx.send(id.client, reply);
+            }
+        }
+    }
+
+    /// View-change alarm fired.
+    pub fn on_view_alarm(&mut self, ctx: &mut Context<'_, PbftMsg>, guarded_view: u64) {
+        if guarded_view != self.view {
+            return; // stale alarm from an earlier view
+        }
+        // Anything accepted but not executed? Then the leader failed us.
+        let stuck = self
+            .assigned
+            .values()
+            .any(|&seq| self.log.get(&seq).is_none_or(|i| !i.executed))
+            || self.requests.keys().any(|id| !self.assigned.contains_key(id));
+        self.alarm_armed = false;
+        if !stuck {
+            return;
+        }
+        let new_view = self.view + 1;
+        let prepared: Vec<(u64, Digest, RequestId)> = self
+            .log
+            .iter()
+            .filter(|(_, i)| {
+                !i.executed
+                    && i.digest.is_some()
+                    && i.prepares.len() >= self.cfg.prepare_quorum() + 1
+            })
+            .map(|(&s, i)| (s, i.digest.expect("checked"), i.request.expect("checked")))
+            .collect();
+        let my = self.index;
+        let last_exec = self.next_exec;
+        let mut msg = PbftMsg::ViewChange {
+            new_view,
+            last_exec,
+            prepared: prepared.clone(),
+            replica: my,
+            sig: self.keypair.sign(b""),
+        };
+        let sig = self.keypair.sign(&signing_bytes(&msg));
+        if let PbftMsg::ViewChange { sig: s, .. } = &mut msg {
+            *s = sig;
+        }
+        self.broadcast(ctx, |_| Some(msg.clone()));
+        // Vote for ourselves too.
+        self.record_vc_vote(ctx, new_view, my, prepared);
+    }
+
+    fn record_vc_vote(
+        &mut self,
+        ctx: &mut Context<'_, PbftMsg>,
+        new_view: u64,
+        replica: usize,
+        prepared: Vec<(u64, Digest, RequestId)>,
+    ) {
+        if new_view <= self.view {
+            return;
+        }
+        self.vc_votes.entry(new_view).or_default().insert(replica, prepared);
+        let votes = self.vc_votes[&new_view].len();
+        if votes >= self.cfg.commit_quorum() && self.cfg.leader(new_view) == self.index {
+            // We are the new leader: announce and re-propose.
+            self.enter_view(new_view);
+            let my = self.index;
+            let mut msg =
+                PbftMsg::NewView { view: new_view, replica: my, sig: self.keypair.sign(b"") };
+            let sig = self.keypair.sign(&signing_bytes(&msg));
+            if let PbftMsg::NewView { sig: s, .. } = &mut msg {
+                *s = sig;
+            }
+            self.broadcast(ctx, |_| Some(msg.clone()));
+            self.repropose(ctx, new_view);
+        }
+    }
+
+    fn enter_view(&mut self, view: u64) {
+        self.view = view;
+        self.alarm_armed = false;
+        // Reset uncommitted slots; re-proposal will rebuild them.
+        let next_exec = self.next_exec;
+        self.log.retain(|&s, i| s < next_exec || i.executed);
+        self.assigned.retain(|_, &mut s| s < next_exec);
+        self.next_seq = self.next_seq.max(next_exec);
+    }
+
+    fn repropose(&mut self, ctx: &mut Context<'_, PbftMsg>, view: u64) {
+        // Collect prepared certificates from the votes (highest priority),
+        // then any known-but-unassigned requests ordered by client
+        // timestamp ("clients optimistically timestamp their updates ...
+        // the primary tier uses these same timestamps to guide its ordering
+        // decisions", §4.4.3).
+        let votes = self.vc_votes.get(&view).cloned().unwrap_or_default();
+        let mut to_propose: Vec<RequestId> = Vec::new();
+        let mut seen = HashSet::new();
+        let mut prepared_entries: Vec<(u64, RequestId)> = votes
+            .values()
+            .flatten()
+            .map(|(s, _, id)| (*s, *id))
+            .collect();
+        prepared_entries.sort_unstable();
+        for (_, id) in prepared_entries {
+            if seen.insert(id) && !self.assigned.contains_key(&id) {
+                to_propose.push(id);
+            }
+        }
+        let mut rest: Vec<(u64, RequestId)> = self
+            .requests
+            .iter()
+            .filter(|(id, _)| !self.assigned.contains_key(*id) && !seen.contains(*id))
+            .map(|(id, (_, ts))| (*ts, *id))
+            .collect();
+        rest.sort_unstable();
+        to_propose.extend(rest.into_iter().map(|(_, id)| id));
+        for id in to_propose {
+            if self.requests.contains_key(&id) {
+                self.propose(ctx, id);
+            }
+        }
+    }
+
+    /// Main message dispatch (called by the enclosing protocol node).
+    pub fn on_message(&mut self, ctx: &mut Context<'_, PbftMsg>, _from: NodeId, msg: PbftMsg) {
+        match &msg {
+            PbftMsg::Request { id, timestamp, payload, sig } => {
+                self.on_request(ctx, *id, *timestamp, payload.clone(), sig);
+            }
+            PbftMsg::PrePrepare { view, seq, digest, id, .. } => {
+                let leader = self.cfg.leader(*view);
+                if self.verify_replica(leader, &msg) {
+                    self.on_preprepare(ctx, *view, *seq, *digest, *id);
+                }
+            }
+            PbftMsg::Prepare { view, seq, digest, replica, .. } => {
+                if *view == self.view && self.verify_replica(*replica, &msg) {
+                    self.on_prepare(ctx, *seq, *digest, *replica);
+                }
+            }
+            PbftMsg::Commit { view, seq, digest, replica, .. } => {
+                if *view == self.view && self.verify_replica(*replica, &msg) {
+                    self.on_commit(ctx, *seq, *digest, *replica);
+                }
+            }
+            PbftMsg::ViewChange { new_view, prepared, replica, .. } => {
+                if self.verify_replica(*replica, &msg) {
+                    self.record_vc_vote(ctx, *new_view, *replica, prepared.clone());
+                }
+            }
+            PbftMsg::NewView { view, replica, .. } => {
+                if self.cfg.leader(*view) == *replica
+                    && *view > self.view
+                    && self.verify_replica(*replica, &msg)
+                {
+                    self.enter_view(*view);
+                    // Re-arm the alarm if we still have unexecuted requests.
+                    let pending = self.requests.keys().any(|id| !self.assigned.contains_key(id));
+                    if pending {
+                        self.alarm_armed = true;
+                        ctx.set_timer(self.cfg.view_timeout, TIMER_VIEW_BASE + self.view);
+                    }
+                }
+            }
+            PbftMsg::Reply { .. } => {} // replicas ignore replies
+        }
+    }
+
+    /// Timer dispatch (called by the enclosing protocol node).
+    pub fn on_timer(&mut self, ctx: &mut Context<'_, PbftMsg>, tag: u64) {
+        if tag >= TIMER_VIEW_BASE {
+            self.on_view_alarm(ctx, tag - TIMER_VIEW_BASE);
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Legacy facades over the native OceanStore API (§4.6).
+
+pub mod fs;
+pub mod txn;
+pub mod web;

@@ -1,0 +1,43 @@
+//! The unified OceanStore wire protocol: every server speaks the
+//! replication, location, and archival dialects over one envelope.
+
+use oceanstore_archival::ArchMsg;
+use oceanstore_plaxton::PlaxtonMsg;
+use oceanstore_replica::ReplicaMsg;
+use oceanstore_sim::Message;
+
+/// Top-level message envelope.
+#[derive(Debug, Clone)]
+pub enum OceanMsg {
+    /// Two-tier replication traffic (incl. embedded Byzantine agreement).
+    Replica(ReplicaMsg),
+    /// Global data-location traffic (the Plaxton mesh).
+    Plaxton(PlaxtonMsg),
+    /// Deep-archival traffic (fragments, repair sweep).
+    Arch(ArchMsg),
+}
+
+impl Message for OceanMsg {
+    fn wire_size(&self) -> usize {
+        // One envelope byte plus the inner message.
+        1 + match self {
+            OceanMsg::Replica(m) => m.wire_size(),
+            OceanMsg::Plaxton(m) => m.wire_size(),
+            OceanMsg::Arch(m) => m.wire_size(),
+        }
+    }
+
+    fn class(&self) -> &'static str {
+        match self {
+            OceanMsg::Replica(m) => m.class(),
+            OceanMsg::Plaxton(m) => m.class(),
+            OceanMsg::Arch(m) => m.class(),
+        }
+    }
+}
+
+/// Timer-tag namespace bases for the three subsystems (top bits).
+pub(crate) const TAG_REPLICA: u64 = 0;
+pub(crate) const TAG_PLAXTON: u64 = 1 << 62;
+pub(crate) const TAG_ARCH: u64 = 2 << 62;
+pub(crate) const TAG_MASK: u64 = 3 << 62;

@@ -1,0 +1,696 @@
+//! The OceanStore system: pools of servers, clients, and the high-level
+//! object API (§2, §4.6).
+//!
+//! [`OceanStore`] owns a deterministic simulation of a whole deployment —
+//! primary tier, secondary tier with a dissemination tree, the Plaxton
+//! location mesh, and archival fragment stores — and exposes the
+//! operations an application writer sees: create objects, submit updates,
+//! read with session guarantees, locate replicas, archive versions, and
+//! recover from deep archival storage.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use oceanstore_archival::{archive_object, TrackedArchive};
+use oceanstore_consensus::messages::RequestId;
+use oceanstore_consensus::replica::{FaultMode, TierConfig};
+use oceanstore_crypto::schnorr::KeyPair;
+use oceanstore_erasure::object::{CodeKind, ObjectCodec};
+use oceanstore_erasure::rs::CodeError;
+use oceanstore_naming::guid::Guid;
+use oceanstore_plaxton::{build_network, PlaxtonConfig};
+use oceanstore_replica::{
+    ChildMode, OceanNode, Primary, Secondary, SecondaryConfig, UpdateClient,
+};
+use oceanstore_sim::{NodeId, Protocol as _, SimDuration, Simulator, Topology};
+use oceanstore_update::ops::ObjectKeys;
+use oceanstore_update::session::{GuaranteeSet, SessionState};
+use oceanstore_update::{ops, Update};
+
+use crate::server::OceanServer;
+use crate::version_codec;
+
+/// Errors surfaced by the high-level API.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The operation did not complete within the settle budget.
+    Timeout,
+    /// No replica satisfied the session guarantees.
+    NoSuitableReplica,
+    /// Archival reconstruction failed.
+    Archival(CodeError),
+    /// Version bytes failed to decode.
+    CorruptArchive,
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Timeout => write!(f, "operation timed out in simulated time"),
+            CoreError::NoSuitableReplica => {
+                write!(f, "no reachable replica satisfies the session guarantees")
+            }
+            CoreError::Archival(e) => write!(f, "archival reconstruction failed: {e}"),
+            CoreError::CorruptArchive => write!(f, "archived version bytes are corrupt"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<CodeError> for CoreError {
+    fn from(e: CodeError) -> Self {
+        CoreError::Archival(e)
+    }
+}
+
+/// Outcome of a serialized update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// The update committed, producing this version.
+    Committed {
+        /// New version number.
+        version: u64,
+    },
+    /// The update was serialized but its predicates all failed.
+    Aborted,
+}
+
+/// A handle to an OceanStore object, held by a client.
+#[derive(Debug, Clone)]
+pub struct ObjectRef {
+    /// Self-certifying GUID.
+    pub guid: Guid,
+    /// Human-readable name (certifiable against the GUID + owner key).
+    pub name: String,
+    /// The client-side key material (read key + search key).
+    pub keys: ObjectKeys,
+    /// The owner's signing key pair.
+    pub owner: KeyPair,
+}
+
+/// Reference to an archived (immutable) version in deep archival storage.
+#[derive(Debug, Clone)]
+pub struct ArchiveRef {
+    /// Content-derived archival GUID.
+    pub guid: Guid,
+    /// The archived version number.
+    pub version: u64,
+    /// Erasure parameters.
+    pub codec: ObjectCodec,
+    /// Fragment holders (parallel to fragment indices).
+    pub holders: Vec<NodeId>,
+}
+
+/// Deployment parameters.
+#[derive(Debug, Clone)]
+pub struct OceanStoreBuilder {
+    m: usize,
+    secondaries: usize,
+    clients: usize,
+    latency: SimDuration,
+    seed: u64,
+    archival_k: usize,
+    archival_n: usize,
+    invalidate_leaves: Vec<usize>,
+}
+
+impl Default for OceanStoreBuilder {
+    fn default() -> Self {
+        OceanStoreBuilder {
+            m: 1,
+            secondaries: 6,
+            clients: 2,
+            latency: SimDuration::from_millis(20),
+            seed: 1,
+            archival_k: 8,
+            archival_n: 16,
+            invalidate_leaves: Vec::new(),
+        }
+    }
+}
+
+impl OceanStoreBuilder {
+    /// Byzantine faults tolerated by the primary tier (n = 3m + 1).
+    pub fn faults_tolerated(&mut self, m: usize) -> &mut Self {
+        self.m = m;
+        self
+    }
+
+    /// Number of secondary replicas.
+    pub fn secondaries(&mut self, s: usize) -> &mut Self {
+        self.secondaries = s;
+        self
+    }
+
+    /// Number of clients.
+    pub fn clients(&mut self, c: usize) -> &mut Self {
+        self.clients = c;
+        self
+    }
+
+    /// Uniform one-way WAN latency.
+    pub fn latency(&mut self, l: SimDuration) -> &mut Self {
+        self.latency = l;
+        self
+    }
+
+    /// Deterministic seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Erasure-code shape for deep archival storage (`any k of n`).
+    pub fn archival_code(&mut self, k: usize, n: usize) -> &mut Self {
+        self.archival_k = k;
+        self.archival_n = n;
+        self
+    }
+
+    /// Marks secondary indices as bandwidth-limited (invalidation-fed).
+    pub fn invalidate_leaves(&mut self, leaves: Vec<usize>) -> &mut Self {
+        self.invalidate_leaves = leaves;
+        self
+    }
+
+    /// Constructs and starts the deployment.
+    pub fn build(&self) -> OceanStore {
+        OceanStore::build_from(self)
+    }
+}
+
+/// A full OceanStore deployment under deterministic simulation.
+pub struct OceanStore {
+    sim: Simulator<OceanServer>,
+    cfg: TierConfig,
+    primaries: Vec<NodeId>,
+    secondaries: Vec<NodeId>,
+    clients: Vec<NodeId>,
+    client_keys: Vec<KeyPair>,
+    archival_k: usize,
+    archival_n: usize,
+    next_locate_id: u64,
+    next_fetch_id: u64,
+    /// Commits already reported through [`OceanStore::poll_commits`].
+    reported: HashMap<NodeId, u64>,
+    /// Archive registry.
+    archives: Vec<ArchiveRef>,
+    settle_budget: SimDuration,
+}
+
+impl OceanStore {
+    /// A builder with laptop-scale defaults.
+    pub fn builder() -> OceanStoreBuilder {
+        OceanStoreBuilder::default()
+    }
+
+    fn build_from(b: &OceanStoreBuilder) -> OceanStore {
+        let n = 3 * b.m + 1;
+        let s = b.secondaries;
+        assert!(s >= 1, "need at least one secondary");
+        let total = n + s + b.clients;
+        let make_topo = || Topology::full_mesh(total, b.latency);
+        let arc_topo = Arc::new(make_topo());
+
+        let primaries: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let secondaries: Vec<NodeId> = (n..n + s).map(NodeId).collect();
+        let clients: Vec<NodeId> = (n + s..total).map(NodeId).collect();
+
+        let replica_keys: Vec<KeyPair> = (0..n)
+            .map(|i| KeyPair::from_seed(format!("core-{}-primary-{i}", b.seed).as_bytes()))
+            .collect();
+        let client_keys: Vec<KeyPair> = (0..b.clients)
+            .map(|i| KeyPair::from_seed(format!("core-{}-client-{i}", b.seed).as_bytes()))
+            .collect();
+        let cfg = TierConfig {
+            m: b.m,
+            members: primaries.clone(),
+            replica_keys: replica_keys.iter().map(KeyPair::public).collect(),
+            client_keys: clients
+                .iter()
+                .zip(&client_keys)
+                .map(|(node, kp)| (*node, kp.public()))
+                .collect(),
+            view_timeout: SimDuration::from_micros(b.latency.as_micros() * 30),
+        };
+
+        // Location mesh across every node (clients are addressable
+        // entities too, §4.3.1).
+        let (plaxton_nodes, _guids) =
+            build_network(&arc_topo, &PlaxtonConfig::default(), b.seed);
+
+        let child_mode = |j: usize| {
+            if b.invalidate_leaves.contains(&j) {
+                ChildMode::Invalidate
+            } else {
+                ChildMode::Push
+            }
+        };
+        let mut plaxton_iter = plaxton_nodes.into_iter();
+        let mut nodes: Vec<OceanServer> = Vec::with_capacity(total);
+        for (i, kp) in replica_keys.into_iter().enumerate() {
+            let role = OceanNode::Primary(Primary::new(
+                cfg.clone(),
+                i,
+                kp,
+                FaultMode::Honest,
+                vec![(secondaries[0], child_mode(0))],
+            ));
+            nodes.push(OceanServer::new(role, Some(plaxton_iter.next().expect("enough"))));
+        }
+        for j in 0..s {
+            let parent = if j == 0 { primaries[0] } else { secondaries[(j - 1) / 2] };
+            let children: Vec<(NodeId, ChildMode)> = [2 * j + 1, 2 * j + 2]
+                .into_iter()
+                .filter(|&c| c < s)
+                .map(|c| (secondaries[c], child_mode(c)))
+                .collect();
+            let peers: Vec<NodeId> =
+                secondaries.iter().copied().filter(|&p| p != secondaries[j]).collect();
+            let scfg = SecondaryConfig {
+                parent: Some(parent),
+                children,
+                peers,
+                ..SecondaryConfig::default()
+            };
+            let role =
+                OceanNode::Secondary(Secondary::new(scfg, cfg.replica_keys.clone(), b.m));
+            nodes.push(OceanServer::new(role, Some(plaxton_iter.next().expect("enough"))));
+        }
+        for kp in &client_keys {
+            let mut c = UpdateClient::new(cfg.clone(), kp.clone(), secondaries.clone());
+            c.enable_retransmit(SimDuration::from_micros(b.latency.as_micros() * 60));
+            nodes.push(OceanServer::new(
+                OceanNode::Client(c),
+                Some(plaxton_iter.next().expect("enough")),
+            ));
+        }
+
+        let mut sim = Simulator::new(make_topo(), nodes, b.seed);
+        sim.start();
+        OceanStore {
+            sim,
+            cfg,
+            primaries,
+            secondaries,
+            clients,
+            client_keys,
+            archival_k: b.archival_k,
+            archival_n: b.archival_n,
+            next_locate_id: 1,
+            next_fetch_id: 1,
+            reported: HashMap::new(),
+            archives: Vec::new(),
+            settle_budget: SimDuration::from_secs(30),
+        }
+    }
+
+    /// The underlying simulator (power users: failure injection, stats).
+    pub fn sim(&mut self) -> &mut Simulator<OceanServer> {
+        &mut self.sim
+    }
+
+    /// Primary-tier node ids.
+    pub fn primaries(&self) -> &[NodeId] {
+        &self.primaries
+    }
+
+    /// Secondary-tier node ids.
+    pub fn secondaries(&self) -> &[NodeId] {
+        &self.secondaries
+    }
+
+    /// Client node ids.
+    pub fn clients(&self) -> &[NodeId] {
+        &self.clients
+    }
+
+    /// Tier configuration.
+    pub fn tier(&self) -> &TierConfig {
+        &self.cfg
+    }
+
+    /// Lets simulated time pass.
+    pub fn settle(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    /// Creates a client-held object handle: self-certifying GUID from the
+    /// client's owner key and `name`, with derived read/search keys. The
+    /// object materializes on servers with its first update.
+    pub fn create_object(&mut self, client_idx: usize, name: &str) -> ObjectRef {
+        let owner = self.client_keys[client_idx].clone();
+        let guid = Guid::for_object(owner.public(), name);
+        let keys = ObjectKeys::from_seed(
+            format!("object-keys-{}-{name}", oceanstore_crypto::hex(&owner.public().to_bytes()))
+                .as_bytes(),
+        );
+        ObjectRef { guid, name: name.to_string(), keys, owner }
+    }
+
+    /// Submits an update from `client_idx` and waits for serialization.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Timeout`] if the tier does not answer within the
+    /// settle budget.
+    pub fn update(
+        &mut self,
+        client_idx: usize,
+        object: &ObjectRef,
+        update: &Update,
+    ) -> Result<UpdateOutcome, CoreError> {
+        let id = self.submit(client_idx, object, update);
+        self.wait_for(id, object)
+    }
+
+    /// Fire-and-forget submission (for concurrency experiments); pair with
+    /// [`OceanStore::wait_for`].
+    pub fn submit(&mut self, client_idx: usize, object: &ObjectRef, update: &Update) -> RequestId {
+        let client = self.clients[client_idx];
+        let guid = object.guid;
+        self.sim.with_node_ctx(client, |server, ctx| {
+            server.with_replica(ctx, |role, ictx| {
+                role.as_client_mut().expect("client role").submit(ictx, guid, update)
+            })
+        })
+    }
+
+    /// Waits for a previously submitted update to serialize.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Timeout`] when the settle budget expires first.
+    pub fn wait_for(&mut self, id: RequestId, object: &ObjectRef) -> Result<UpdateOutcome, CoreError> {
+        let client = id.client;
+        let deadline = self.sim.now() + self.settle_budget;
+        loop {
+            let done = self
+                .sim
+                .node(client)
+                .replica
+                .as_client()
+                .expect("client role")
+                .outcome(id)
+                .is_some();
+            if done {
+                break;
+            }
+            if self.sim.now() >= deadline {
+                return Err(CoreError::Timeout);
+            }
+            self.sim.run_for(SimDuration::from_millis(10));
+        }
+        // Determine commit-vs-abort from a primary's record.
+        let tid = oceanstore_replica::TentativeId { client, counter: id.seq };
+        for &p in &self.primaries {
+            if let Some(st) = self.sim.node(p).replica.as_primary().and_then(|pr| pr.store.get(&object.guid))
+            {
+                if let Some(rec) = st.records.iter().find(|r| r.id == tid) {
+                    return Ok(match rec.version {
+                        Some(version) => UpdateOutcome::Committed { version },
+                        None => UpdateOutcome::Aborted,
+                    });
+                }
+            }
+        }
+        Err(CoreError::Timeout)
+    }
+
+    /// Reads the committed content of `object` from a secondary that
+    /// satisfies the session's guarantees, closest-first. Updates the
+    /// session's read watermark.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSuitableReplica`] when no live secondary satisfies
+    /// the guarantees.
+    pub fn read(
+        &mut self,
+        client_idx: usize,
+        object: &ObjectRef,
+        session: &mut SessionState,
+        guarantees: &GuaranteeSet,
+    ) -> Result<Vec<Vec<u8>>, CoreError> {
+        let _client = self.clients[client_idx];
+        let deadline = self.sim.now() + self.settle_budget;
+        loop {
+            // Closest-first: the full mesh makes all equal; keep a
+            // deterministic order.
+            let candidates: Vec<NodeId> = self.secondaries.clone();
+            let mut any_live = false;
+            for s in candidates {
+                if self.sim.is_down(s) {
+                    continue;
+                }
+                any_live = true;
+                let version = {
+                    let sec = self.sim.node(s).replica.as_secondary().expect("secondary role");
+                    sec.committed_view(&object.guid).map(|d| d.version_number()).unwrap_or(0)
+                };
+                if session.read_permitted(guarantees, &object.guid, version) {
+                    let sec = self.sim.node(s).replica.as_secondary().expect("secondary role");
+                    let Some(data) = sec.committed_view(&object.guid) else {
+                        // Object unknown here but guarantees allow version
+                        // 0: empty object.
+                        session.note_read(object.guid, 0);
+                        return Ok(Vec::new());
+                    };
+                    let content = ops::read_object(&object.keys, data.current())
+                        .map_err(|_| CoreError::NoSuitableReplica)?;
+                    session.note_read(object.guid, data.version_number());
+                    return Ok(content);
+                }
+            }
+            if !any_live || self.sim.now() >= deadline {
+                return Err(CoreError::NoSuitableReplica);
+            }
+            // Dissemination may simply not have reached anyone yet: let
+            // the tree and anti-entropy run, then retry (read-repair).
+            self.sim.run_for(SimDuration::from_millis(50));
+        }
+    }
+
+    /// Reads the *tentative* view (optimistic data, §4.4.3) from a given
+    /// secondary — what a disconnected or latency-sensitive reader sees.
+    pub fn read_tentative(
+        &mut self,
+        secondary: NodeId,
+        object: &ObjectRef,
+    ) -> Result<Vec<Vec<u8>>, CoreError> {
+        let sec = self.sim.node(secondary).replica.as_secondary().expect("secondary role");
+        let view = sec.tentative_view_or_empty(&object.guid);
+        ops::read_object(&object.keys, view.current()).map_err(|_| CoreError::NoSuitableReplica)
+    }
+
+    /// Publishes `object`'s replica locations into the location mesh from
+    /// the given secondaries (or all, if empty).
+    pub fn publish_location(&mut self, object: &ObjectRef, holders: &[NodeId]) {
+        let holders: Vec<NodeId> =
+            if holders.is_empty() { self.secondaries.clone() } else { holders.to_vec() };
+        let guid = object.guid;
+        for h in holders {
+            self.sim.with_node_ctx(h, |server, ctx| {
+                server.with_plaxton(ctx, |p, ictx| p.publish(ictx, guid));
+            });
+        }
+        self.settle(SimDuration::from_secs(2));
+    }
+
+    /// Locates a replica of `object` through the global mesh, from
+    /// `from`'s position.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Timeout`] when no answer arrives in the budget.
+    pub fn locate(&mut self, from: NodeId, object: &ObjectRef) -> Result<Option<NodeId>, CoreError> {
+        let id = self.next_locate_id;
+        self.next_locate_id += 1;
+        let guid = object.guid;
+        self.sim.with_node_ctx(from, |server, ctx| {
+            server.with_plaxton(ctx, |p, ictx| p.locate(ictx, id, guid));
+        });
+        let deadline = self.sim.now() + self.settle_budget;
+        loop {
+            let done = self
+                .sim
+                .node(from)
+                .plaxton
+                .as_ref()
+                .expect("location role")
+                .outcome(id)
+                .map(|o| o.holder);
+            if let Some(holder) = done {
+                return Ok(holder);
+            }
+            if self.sim.now() >= deadline {
+                return Err(CoreError::Timeout);
+            }
+            self.sim.run_for(SimDuration::from_millis(50));
+        }
+    }
+
+    /// Archives the current committed version of `object` (§4.4.4: "the
+    /// archival mechanisms are tightly coupled with update activity"):
+    /// erasure-codes the version bytes and disseminates the fragments to
+    /// the server pool.
+    ///
+    /// # Errors
+    ///
+    /// Archival encoding errors, or [`CoreError::NoSuitableReplica`] if no
+    /// secondary holds the object.
+    pub fn archive(&mut self, object: &ObjectRef) -> Result<ArchiveRef, CoreError> {
+        let source = self
+            .secondaries
+            .iter()
+            .copied()
+            .find(|&s| {
+                !self.sim.is_down(s)
+                    && self
+                        .sim
+                        .node(s)
+                        .replica
+                        .as_secondary()
+                        .and_then(|sec| sec.committed_view(&object.guid))
+                        .is_some()
+            })
+            .ok_or(CoreError::NoSuitableReplica)?;
+        let (version_no, bytes) = {
+            let sec = self.sim.node(source).replica.as_secondary().expect("secondary");
+            let data = sec.committed_view(&object.guid).expect("checked");
+            (data.version_number(), version_codec::encode_version(data.current()))
+        };
+        let codec = ObjectCodec::new(CodeKind::ReedSolomon, self.archival_k, self.archival_n, 0)?;
+        let arch = archive_object(&codec, &bytes)?;
+        // Disseminate to servers (primaries + secondaries), round-robin —
+        // every server is a storage site.
+        let sites: Vec<NodeId> = self
+            .primaries
+            .iter()
+            .chain(self.secondaries.iter())
+            .copied()
+            .collect();
+        let fragments = arch.fragments.clone();
+        let holders = self.sim.with_node_ctx(source, |server, ctx| {
+            server.with_arch(ctx, |a, ictx| {
+                oceanstore_archival::disseminate(ictx, a, fragments, &sites)
+            })
+        });
+        self.settle(SimDuration::from_secs(1));
+        let aref = ArchiveRef { guid: arch.guid, version: version_no, codec, holders };
+        self.archives.push(aref.clone());
+        Ok(aref)
+    }
+
+    /// Recovers an archived version's cleartext blocks — even after every
+    /// active replica is gone — by fetching `k + extra` fragments.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Timeout`] if reconstruction never completes,
+    /// [`CoreError::CorruptArchive`] on undecodable version bytes.
+    pub fn recover_from_archive(
+        &mut self,
+        requester: NodeId,
+        archive: &ArchiveRef,
+        keys: &ObjectKeys,
+        extra: usize,
+    ) -> Result<Vec<Vec<u8>>, CoreError> {
+        let id = self.next_fetch_id;
+        self.next_fetch_id += 1;
+        let guid = archive.guid;
+        let codec = archive.codec.clone();
+        let holders = archive.holders.clone();
+        self.sim.with_node_ctx(requester, |server, ctx| {
+            server.with_arch(ctx, |a, ictx| a.fetch(ictx, id, guid, codec, &holders, extra));
+        });
+        let deadline = self.sim.now() + self.settle_budget;
+        loop {
+            let data = self
+                .sim
+                .node(requester)
+                .arch
+                .outcome(id)
+                .map(|o| o.data.clone());
+            if let Some(bytes) = data {
+                let version =
+                    version_codec::decode_version(&bytes).ok_or(CoreError::CorruptArchive)?;
+                return ops::read_object(keys, &version).map_err(|_| CoreError::CorruptArchive);
+            }
+            if self.sim.now() >= deadline {
+                return Err(CoreError::Timeout);
+            }
+            self.sim.run_for(SimDuration::from_millis(50));
+        }
+    }
+
+    /// Installs a repair sweeper for an archive on `sweeper`.
+    pub fn enable_archive_sweeper(
+        &mut self,
+        sweeper: NodeId,
+        archive: &ArchiveRef,
+        interval: SimDuration,
+        repair_threshold: usize,
+    ) {
+        let universe: Vec<NodeId> = self
+            .primaries
+            .iter()
+            .chain(self.secondaries.iter())
+            .copied()
+            .collect();
+        let node = self.sim.node_mut(sweeper);
+        node.arch.enable_sweeper(interval, universe);
+        node.arch.track(TrackedArchive {
+            archive: archive.guid,
+            codec: archive.codec.clone(),
+            holders: archive.holders.clone(),
+            repair_threshold,
+        });
+        // Restart so the sweep timer arms (enable after start).
+        let s = sweeper;
+        self.sim.with_node_ctx(s, |server, ctx| {
+            server.with_arch(ctx, |a, ictx| a.on_start(ictx));
+        });
+    }
+
+    /// Callback-style notification drain: newly committed/aborted records
+    /// for `object` observed at the root secondary since the last call.
+    /// (The paper's API "provides a callback feature to notify
+    /// applications of relevant events" — poll-based here because the
+    /// whole world is a simulation.)
+    pub fn poll_commits(&mut self, object: &ObjectRef) -> Vec<(TentativeIdPub, UpdateOutcome)> {
+        let root = self.secondaries[0];
+        let key = root;
+        let from = *self.reported.get(&key).unwrap_or(&0);
+        let sec = self.sim.node(root).replica.as_secondary().expect("secondary");
+        let mut out = Vec::new();
+        let mut max_index = from;
+        if let Some(st) = sec.store.get(&object.guid) {
+            for r in &st.records {
+                if r.index >= from {
+                    out.push((
+                        TentativeIdPub { client: r.id.client, counter: r.id.counter },
+                        match r.version {
+                            Some(version) => UpdateOutcome::Committed { version },
+                            None => UpdateOutcome::Aborted,
+                        },
+                    ));
+                    max_index = max_index.max(r.index + 1);
+                }
+            }
+        }
+        self.reported.insert(key, max_index);
+        out
+    }
+}
+
+/// Public mirror of the internal tentative-update identity (for
+/// notifications).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TentativeIdPub {
+    /// Originating client node.
+    pub client: NodeId,
+    /// Client-local counter.
+    pub counter: u64,
+}

@@ -1,0 +1,146 @@
+//! Serialization of object versions for deep archival storage.
+//!
+//! "An archival form represents a permanent, read-only version of the
+//! object" (§2). Archiving flattens a [`Version`] — its ciphertext blocks
+//! and index blocks — into bytes that the erasure coder fragments; the
+//! version number rides along so recovered archives are self-describing.
+
+use std::sync::Arc;
+
+use oceanstore_crypto::swp::EncryptedIndex;
+use oceanstore_update::object::{Block, Version};
+
+/// Encodes a version canonically.
+pub fn encode_version(v: &Version) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&v.number.to_be_bytes());
+    out.extend_from_slice(&(v.blocks.len() as u32).to_be_bytes());
+    for b in &v.blocks {
+        match b {
+            Block::Data(d) => {
+                out.push(0);
+                out.extend_from_slice(&(d.len() as u32).to_be_bytes());
+                out.extend_from_slice(d);
+            }
+            Block::Index(ptrs) => {
+                out.push(1);
+                out.extend_from_slice(&(ptrs.len() as u32).to_be_bytes());
+                for p in ptrs {
+                    out.extend_from_slice(&(*p as u64).to_be_bytes());
+                }
+            }
+        }
+    }
+    let idx = v.search_index.to_bytes();
+    out.extend_from_slice(&(idx.len() as u32).to_be_bytes());
+    out.extend_from_slice(&idx);
+    out
+}
+
+/// Decodes bytes produced by [`encode_version`]; `None` on corruption.
+pub fn decode_version(bytes: &[u8]) -> Option<Version> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = bytes.get(*pos..*pos + n)?;
+        *pos += n;
+        Some(s)
+    };
+    let number = u64::from_be_bytes(take(&mut pos, 8)?.try_into().ok()?);
+    let nblocks = u32::from_be_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    if nblocks > 1_000_000 {
+        return None;
+    }
+    let mut blocks = Vec::with_capacity(nblocks);
+    for _ in 0..nblocks {
+        match take(&mut pos, 1)?[0] {
+            0 => {
+                let len = u32::from_be_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+                blocks.push(Block::Data(Arc::new(take(&mut pos, len)?.to_vec())));
+            }
+            1 => {
+                let n = u32::from_be_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+                if n > 1_000_000 {
+                    return None;
+                }
+                let mut ptrs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ptrs.push(u64::from_be_bytes(take(&mut pos, 8)?.try_into().ok()?) as usize);
+                }
+                blocks.push(Block::Index(ptrs));
+            }
+            _ => return None,
+        }
+    }
+    let idx_len = u32::from_be_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    let idx = EncryptedIndex::from_bytes(take(&mut pos, idx_len)?)?;
+    if pos != bytes.len() {
+        return None;
+    }
+    Some(Version { number, blocks, search_index: Arc::new(idx) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oceanstore_crypto::swp::SearchKey;
+
+    fn sample() -> Version {
+        let key = SearchKey::from_seed(b"k");
+        Version {
+            number: 7,
+            blocks: vec![
+                Block::Data(Arc::new(vec![1, 2, 3])),
+                Block::Index(vec![4, 5]),
+                Block::Data(Arc::new(Vec::new())),
+                Block::Index(Vec::new()),
+            ],
+            search_index: Arc::new(
+                key.build_index(b"doc", vec![b"alpha".as_slice(), b"beta".as_slice()]),
+            ),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let v = sample();
+        let enc = encode_version(&v);
+        let dec = decode_version(&enc).expect("decodes");
+        assert_eq!(dec.number, v.number);
+        assert_eq!(dec.blocks, v.blocks);
+        assert_eq!(*dec.search_index, *v.search_index);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let enc = encode_version(&sample());
+        for cut in [0, 5, enc.len() / 2, enc.len() - 1] {
+            assert!(decode_version(&enc[..cut]).is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut enc = encode_version(&sample());
+        enc.push(0xFF);
+        assert!(decode_version(&enc).is_none());
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut enc = encode_version(&sample());
+        enc[12] = 9; // first block tag
+        assert!(decode_version(&enc).is_none());
+    }
+
+    #[test]
+    fn empty_version_roundtrips() {
+        let v = Version {
+            number: 0,
+            blocks: Vec::new(),
+            search_index: Arc::new(EncryptedIndex::default()),
+        };
+        let dec = decode_version(&encode_version(&v)).unwrap();
+        assert_eq!(dec.blocks.len(), 0);
+        assert_eq!(dec.number, 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Position-dependent block cipher (§4.4.2), built on XTEA from scratch.
+//!
+//! The paper's ciphertext-side update operations (`compare-block`,
+//! `replace-block`, `append`) are "easy if the encryption technology is a
+//! position-dependent block cipher: the client simply computes a hash of the
+//! encrypted block and submits it along with the block number for
+//! comparison". The required property is: *the same plaintext encrypted at
+//! the same block position under the same key yields the same ciphertext*,
+//! while the same plaintext at a *different* position yields different
+//! ciphertext.
+//!
+//! [`BlockCipherKey::encrypt_block`] provides exactly that: data is split
+//! into 8-byte cells, each enciphered with XTEA in an XEX-style tweaked mode
+//! where the tweak binds `(object position, cell index)`; a trailing partial
+//! cell is masked with a position-bound keystream so ciphertext length
+//! equals plaintext length.
+//!
+//! XTEA here is a stand-in for a production cipher — 64 Feistel rounds, well
+//! past the published attacks, but with a 64-bit block; acceptable because
+//! no experiment depends on real confidentiality margins (see DESIGN.md,
+//! *Substitutions*).
+
+use crate::hmac::hmac_sha256;
+
+const ROUNDS: u32 = 32; // 32 cycles = 64 Feistel rounds
+const DELTA: u32 = 0x9E3779B9;
+
+/// XTEA encryption of one 8-byte block.
+pub fn xtea_encrypt(key: &[u32; 4], block: [u8; 8]) -> [u8; 8] {
+    let mut v0 = u32::from_be_bytes(block[..4].try_into().expect("4 bytes"));
+    let mut v1 = u32::from_be_bytes(block[4..].try_into().expect("4 bytes"));
+    let mut sum = 0u32;
+    for _ in 0..ROUNDS {
+        v0 = v0.wrapping_add(
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(key[(sum & 3) as usize])),
+        );
+        sum = sum.wrapping_add(DELTA);
+        v1 = v1.wrapping_add(
+            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                ^ (sum.wrapping_add(key[((sum >> 11) & 3) as usize])),
+        );
+    }
+    let mut out = [0u8; 8];
+    out[..4].copy_from_slice(&v0.to_be_bytes());
+    out[4..].copy_from_slice(&v1.to_be_bytes());
+    out
+}
+
+/// XTEA decryption of one 8-byte block.
+pub fn xtea_decrypt(key: &[u32; 4], block: [u8; 8]) -> [u8; 8] {
+    let mut v0 = u32::from_be_bytes(block[..4].try_into().expect("4 bytes"));
+    let mut v1 = u32::from_be_bytes(block[4..].try_into().expect("4 bytes"));
+    let mut sum = DELTA.wrapping_mul(ROUNDS);
+    for _ in 0..ROUNDS {
+        v1 = v1.wrapping_sub(
+            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                ^ (sum.wrapping_add(key[((sum >> 11) & 3) as usize])),
+        );
+        sum = sum.wrapping_sub(DELTA);
+        v0 = v0.wrapping_sub(
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(key[(sum & 3) as usize])),
+        );
+    }
+    let mut out = [0u8; 8];
+    out[..4].copy_from_slice(&v0.to_be_bytes());
+    out[4..].copy_from_slice(&v1.to_be_bytes());
+    out
+}
+
+/// Key for the position-dependent cipher: an XTEA data key plus an
+/// independent tweak key, XEX-style.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockCipherKey {
+    data_key: [u32; 4],
+    tweak_key: [u32; 4],
+}
+
+impl BlockCipherKey {
+    /// Derives a key deterministically from a seed (the object owner's read
+    /// key material in the full system).
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let d = hmac_sha256(b"oceanstore-block-cipher", seed);
+        let mut words = [0u32; 8];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = u32::from_be_bytes(d[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        }
+        BlockCipherKey {
+            data_key: words[..4].try_into().expect("4 words"),
+            tweak_key: words[4..].try_into().expect("4 words"),
+        }
+    }
+
+    /// Encrypts `plaintext` as the object block at `position`.
+    ///
+    /// Deterministic: identical `(key, position, plaintext)` always yields
+    /// identical ciphertext — the property `compare-block` relies on.
+    /// Output length equals input length.
+    pub fn encrypt_block(&self, position: u64, plaintext: &[u8]) -> Vec<u8> {
+        self.apply(position, plaintext, true)
+    }
+
+    /// Decrypts a block previously produced by
+    /// [`BlockCipherKey::encrypt_block`] at the same `position`.
+    pub fn decrypt_block(&self, position: u64, ciphertext: &[u8]) -> Vec<u8> {
+        self.apply(position, ciphertext, false)
+    }
+
+    fn tweak(&self, position: u64, cell: u64) -> [u8; 8] {
+        let mut t = [0u8; 8];
+        t[..4].copy_from_slice(&(position as u32 ^ (position >> 32) as u32).to_be_bytes());
+        t[4..].copy_from_slice(&(cell as u32 ^ (cell >> 32) as u32).to_be_bytes());
+        xtea_encrypt(&self.tweak_key, t)
+    }
+
+    fn apply(&self, position: u64, data: &[u8], encrypt: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len());
+        let mut cells = data.chunks_exact(8);
+        for (i, cell) in cells.by_ref().enumerate() {
+            let t = self.tweak(position, i as u64);
+            let mut b: [u8; 8] = cell.try_into().expect("8 bytes");
+            for (x, y) in b.iter_mut().zip(&t) {
+                *x ^= y;
+            }
+            let mut c = if encrypt {
+                xtea_encrypt(&self.data_key, b)
+            } else {
+                xtea_decrypt(&self.data_key, b)
+            };
+            for (x, y) in c.iter_mut().zip(&t) {
+                *x ^= y;
+            }
+            out.extend_from_slice(&c);
+        }
+        let tail = cells.remainder();
+        if !tail.is_empty() {
+            // Partial trailing cell: XOR with a position-bound keystream
+            // (encryption of the tweak for a sentinel cell index).
+            let ks = xtea_encrypt(&self.data_key, self.tweak(position, u64::MAX));
+            for (i, b) in tail.iter().enumerate() {
+                out.push(b ^ ks[i]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xtea_roundtrip() {
+        let key = [0x01020304, 0x05060708, 0x090a0b0c, 0x0d0e0f10];
+        let pt = *b"ABCDEFGH";
+        let ct = xtea_encrypt(&key, pt);
+        assert_ne!(ct, pt);
+        assert_eq!(xtea_decrypt(&key, ct), pt);
+    }
+
+    #[test]
+    fn xtea_key_sensitivity() {
+        let k1 = [1, 2, 3, 4];
+        let k2 = [1, 2, 3, 5];
+        assert_ne!(xtea_encrypt(&k1, *b"ABCDEFGH"), xtea_encrypt(&k2, *b"ABCDEFGH"));
+    }
+
+    #[test]
+    fn block_roundtrip_various_lengths() {
+        let key = BlockCipherKey::from_seed(b"object-key");
+        for len in [0usize, 1, 7, 8, 9, 16, 100, 1024, 1025] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 31 % 256) as u8).collect();
+            let ct = key.encrypt_block(42, &pt);
+            assert_eq!(ct.len(), pt.len(), "length preserved at len={len}");
+            assert_eq!(key.decrypt_block(42, &ct), pt, "roundtrip at len={len}");
+        }
+    }
+
+    #[test]
+    fn position_dependence() {
+        // Same plaintext, same key, different position => different ciphertext.
+        let key = BlockCipherKey::from_seed(b"object-key");
+        let pt = vec![0xAAu8; 64];
+        assert_ne!(key.encrypt_block(1, &pt), key.encrypt_block(2, &pt));
+    }
+
+    #[test]
+    fn determinism_enables_compare_block() {
+        // Same (key, position, plaintext) => same ciphertext; this is what
+        // makes the compare-block predicate work on ciphertext (§4.4.2).
+        let key = BlockCipherKey::from_seed(b"object-key");
+        let pt = b"shared calendar entry".to_vec();
+        assert_eq!(key.encrypt_block(7, &pt), key.encrypt_block(7, &pt));
+    }
+
+    #[test]
+    fn wrong_position_garbles() {
+        let key = BlockCipherKey::from_seed(b"object-key");
+        let ct = key.encrypt_block(3, b"some plaintext bytes!");
+        assert_ne!(key.decrypt_block(4, &ct), b"some plaintext bytes!".to_vec());
+    }
+
+    #[test]
+    fn key_separation() {
+        let k1 = BlockCipherKey::from_seed(b"a");
+        let k2 = BlockCipherKey::from_seed(b"b");
+        let pt = vec![7u8; 32];
+        assert_ne!(k1.encrypt_block(0, &pt), k2.encrypt_block(0, &pt));
+    }
+
+    #[test]
+    fn identical_cells_at_different_offsets_differ() {
+        // Within one block, two identical 8-byte cells must encrypt
+        // differently (the XEX tweak includes the cell index).
+        let key = BlockCipherKey::from_seed(b"k");
+        let pt = vec![0x55u8; 16];
+        let ct = key.encrypt_block(0, &pt);
+        assert_ne!(&ct[..8], &ct[8..16]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Hierarchical fragment hashing (§4.5 of the paper).
+//!
+//! The paper preserves the *erasure* property of archival fragments (a
+//! fragment is retrieved correctly and completely, or not at all) by hashing
+//! each fragment, recursively hashing concatenated pairs into a binary tree,
+//! and storing each fragment together with the sibling hashes along its path
+//! to the root. The root hash names the immutable archival object, making
+//! every fragment self-verifying.
+//!
+//! This module implements that Merkle tree with SHA-256. Leaves and interior
+//! nodes are domain-separated so that an interior node can never be
+//! reinterpreted as a leaf (a classic second-preimage pitfall).
+
+use crate::sha256::{sha256_concat, Digest};
+
+const LEAF_TAG: &[u8] = b"\x00oceanstore-leaf";
+const NODE_TAG: &[u8] = b"\x01oceanstore-node";
+
+/// A Merkle tree over an ordered list of fragments.
+///
+/// Construction is `O(n)` hashes; proofs are `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaf hashes, last level = the root alone.
+    levels: Vec<Vec<Digest>>,
+}
+
+/// A verification path: the sibling hashes from a leaf up to the root,
+/// stored alongside the fragment per §4.5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the fragment this proof authenticates.
+    pub leaf_index: usize,
+    /// Sibling hash at each level, bottom-up.
+    pub siblings: Vec<Digest>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over `fragments` (each hashed as a leaf).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fragments` is empty — an archival object always has at
+    /// least one fragment.
+    pub fn build<T: AsRef<[u8]>>(fragments: &[T]) -> Self {
+        assert!(!fragments.is_empty(), "Merkle tree needs at least one fragment");
+        let leaves: Vec<Digest> =
+            fragments.iter().map(|f| hash_leaf(f.as_ref())).collect();
+        Self::from_leaf_hashes(leaves)
+    }
+
+    /// Builds a tree from precomputed leaf hashes.
+    pub fn from_leaf_hashes(leaves: Vec<Digest>) -> Self {
+        assert!(!leaves.is_empty(), "Merkle tree needs at least one leaf");
+        let mut levels = vec![leaves];
+        while levels.last().expect("nonempty").len() > 1 {
+            let prev = levels.last().expect("nonempty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                // An odd node is paired with itself, keeping the tree total.
+                let right = pair.get(1).unwrap_or(&pair[0]);
+                next.push(hash_node(&pair[0], right));
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root hash. Per §4.5 this is the GUID of the immutable archival
+    /// object.
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("nonempty")[0]
+    }
+
+    /// Number of leaves (fragments).
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Produces the verification path for the fragment at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= leaf_count()`.
+    pub fn proof(&self, index: usize) -> MerkleProof {
+        assert!(index < self.leaf_count(), "leaf index out of range");
+        let mut siblings = Vec::with_capacity(self.levels.len() - 1);
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sib = if i % 2 == 0 {
+                // Odd-count level: last node is its own sibling.
+                *level.get(i + 1).unwrap_or(&level[i])
+            } else {
+                level[i - 1]
+            };
+            siblings.push(sib);
+            i /= 2;
+        }
+        MerkleProof { leaf_index: index, siblings }
+    }
+}
+
+impl MerkleProof {
+    /// Verifies that `fragment` is the `leaf_index`-th fragment of the
+    /// archival object named by `root`.
+    pub fn verify(&self, fragment: &[u8], root: &Digest) -> bool {
+        let mut acc = hash_leaf(fragment);
+        let mut i = self.leaf_index;
+        for sib in &self.siblings {
+            acc = if i % 2 == 0 { hash_node(&acc, sib) } else { hash_node(sib, &acc) };
+            i /= 2;
+        }
+        acc == *root
+    }
+
+    /// Serialized size in bytes (used for wire accounting in the simulator).
+    pub fn wire_size(&self) -> usize {
+        8 + self.siblings.len() * 32
+    }
+}
+
+fn hash_leaf(data: &[u8]) -> Digest {
+    sha256_concat(&[LEAF_TAG, data])
+}
+
+fn hash_node(left: &Digest, right: &Digest) -> Digest {
+    sha256_concat(&[NODE_TAG, left, right])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frags(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("fragment-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn single_fragment_tree() {
+        let f = frags(1);
+        let t = MerkleTree::build(&f);
+        assert_eq!(t.leaf_count(), 1);
+        let p = t.proof(0);
+        assert!(p.siblings.is_empty());
+        assert!(p.verify(&f[0], &t.root()));
+    }
+
+    #[test]
+    fn every_fragment_verifies_all_sizes() {
+        for n in [2usize, 3, 4, 5, 7, 8, 16, 33] {
+            let f = frags(n);
+            let t = MerkleTree::build(&f);
+            for (i, frag) in f.iter().enumerate() {
+                assert!(t.proof(i).verify(frag, &t.root()), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_fragment_rejected() {
+        let f = frags(8);
+        let t = MerkleTree::build(&f);
+        let p = t.proof(3);
+        let mut bad = f[3].clone();
+        bad[0] ^= 0xff;
+        assert!(!p.verify(&bad, &t.root()));
+    }
+
+    #[test]
+    fn wrong_index_rejected() {
+        let f = frags(8);
+        let t = MerkleTree::build(&f);
+        let p = t.proof(3);
+        // Presenting fragment 4 under fragment 3's proof must fail.
+        assert!(!p.verify(&f[4], &t.root()));
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let f = frags(8);
+        let t = MerkleTree::build(&f);
+        let other = MerkleTree::build(&frags(9));
+        assert!(!t.proof(0).verify(&f[0], &other.root()));
+    }
+
+    #[test]
+    fn root_depends_on_order() {
+        let f = frags(4);
+        let mut g = f.clone();
+        g.swap(0, 1);
+        assert_ne!(MerkleTree::build(&f).root(), MerkleTree::build(&g).root());
+    }
+
+    #[test]
+    fn interior_node_not_confusable_with_leaf() {
+        // Domain separation: a leaf whose content equals the encoding of two
+        // child hashes must not produce the parent hash.
+        let f = frags(2);
+        let t = MerkleTree::build(&f);
+        let l0 = hash_leaf(&f[0]);
+        let l1 = hash_leaf(&f[1]);
+        let mut concat = Vec::new();
+        concat.extend_from_slice(&l0);
+        concat.extend_from_slice(&l1);
+        assert_ne!(hash_leaf(&concat), t.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fragment")]
+    fn empty_panics() {
+        let empty: Vec<Vec<u8>> = Vec::new();
+        let _ = MerkleTree::build(&empty);
+    }
+}

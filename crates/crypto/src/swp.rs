@@ -1,0 +1,235 @@
+//! Searchable encryption for the `search` predicate (§4.4.2).
+//!
+//! The paper cites Song–Wagner–Perrig \[47\]: servers can test whether an
+//! encrypted object contains a word without learning the word, and cannot
+//! initiate searches themselves. We implement a simplified SWP-style scheme:
+//!
+//! * The client derives a per-word *trapdoor* `T_w = HMAC(k_search, w)`.
+//! * The encrypted index stores, for every word occurrence `i`, a salt
+//!   `salt_i` and a tag `HMAC(T_w, salt_i)`.
+//! * To search, the client releases `T_w`; the server recomputes the tag for
+//!   each entry and reports whether any matches.
+//!
+//! What the server learns: the boolean result, plus *which positions*
+//! matched (a small leak beyond the paper's ideal; the paper itself notes
+//! its ciphertext operations "leak a small amount of information"). Without
+//! a trapdoor the index entries are pseudorandom under HMAC, so the server
+//! cannot mount searches of its own.
+
+use crate::hmac::hmac_sha256;
+
+/// Truncated tag length: enough to make false positives negligible in the
+/// simulation while keeping the index compact.
+const TAG_LEN: usize = 8;
+
+/// The client-held search key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchKey {
+    k: [u8; 32],
+}
+
+/// A released trapdoor allowing the server to test for one specific word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trapdoor {
+    t: [u8; 32],
+}
+
+impl Trapdoor {
+    /// Wire size charged when a trapdoor travels in an update message.
+    pub const WIRE_SIZE: usize = 32;
+
+    /// Raw bytes (for update serialization).
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.t
+    }
+
+    /// Rebuilds a trapdoor from raw bytes.
+    pub fn from_bytes(t: [u8; 32]) -> Self {
+        Trapdoor { t }
+    }
+}
+
+/// One entry of an encrypted index: a salt and a word tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct IndexEntry {
+    salt: [u8; 8],
+    tag: [u8; TAG_LEN],
+}
+
+/// A server-side encrypted word index for one object version.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EncryptedIndex {
+    entries: Vec<IndexEntry>,
+}
+
+impl SearchKey {
+    /// Derives a search key from seed material.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        SearchKey { k: hmac_sha256(b"oceanstore-search-key", seed) }
+    }
+
+    /// Trapdoor for `word`; give this to a server to let it search for
+    /// exactly this word.
+    pub fn trapdoor(&self, word: &[u8]) -> Trapdoor {
+        Trapdoor { t: hmac_sha256(&self.k, word) }
+    }
+
+    /// Builds the encrypted index for a document's `words`.
+    ///
+    /// Salts are derived from `doc_id` and the position so that index
+    /// construction is deterministic (reproducible simulation) yet identical
+    /// words in different documents or positions produce unlinkable entries.
+    pub fn build_index<'a, I>(&self, doc_id: &[u8], words: I) -> EncryptedIndex
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut entries = Vec::new();
+        for (i, word) in words.into_iter().enumerate() {
+            let mut salt_input = doc_id.to_vec();
+            salt_input.extend_from_slice(&(i as u64).to_be_bytes());
+            let salt_full = hmac_sha256(&self.k, &salt_input);
+            let salt: [u8; 8] = salt_full[..8].try_into().expect("8 bytes");
+            let tag_full = hmac_sha256(&self.trapdoor(word).t, &salt);
+            entries.push(IndexEntry {
+                salt,
+                tag: tag_full[..TAG_LEN].try_into().expect("TAG_LEN bytes"),
+            });
+        }
+        EncryptedIndex { entries }
+    }
+}
+
+impl EncryptedIndex {
+    /// Server-side search: does any indexed word match the trapdoor?
+    ///
+    /// This is the whole `search` predicate of §4.4.1 — the server never
+    /// sees the cleartext word.
+    pub fn search(&self, trapdoor: &Trapdoor) -> bool {
+        self.match_count(trapdoor) > 0
+    }
+
+    /// Number of matching occurrences (exposed for tests and for the
+    /// traffic-analysis discussion; the update model only uses the boolean).
+    pub fn match_count(&self, trapdoor: &Trapdoor) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| hmac_sha256(&trapdoor.t, &e.salt)[..TAG_LEN] == e.tag)
+            .count()
+    }
+
+    /// Number of indexed word occurrences.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Wire size charged when the index travels with an update.
+    pub fn wire_size(&self) -> usize {
+        self.entries.len() * (8 + TAG_LEN)
+    }
+
+    /// Serializes the index (for update encoding).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.entries.len() * (8 + TAG_LEN));
+        for e in &self.entries {
+            out.extend_from_slice(&e.salt);
+            out.extend_from_slice(&e.tag);
+        }
+        out
+    }
+
+    /// Rebuilds an index from [`EncryptedIndex::to_bytes`] output; `None`
+    /// on a malformed length.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() % (8 + TAG_LEN) != 0 {
+            return None;
+        }
+        let entries = bytes
+            .chunks_exact(8 + TAG_LEN)
+            .map(|c| IndexEntry {
+                salt: c[..8].try_into().expect("8 bytes"),
+                tag: c[8..].try_into().expect("TAG_LEN bytes"),
+            })
+            .collect();
+        Some(EncryptedIndex { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words<'a>(s: &[&'a str]) -> Vec<&'a [u8]> {
+        s.iter().map(|w| w.as_bytes()).collect()
+    }
+
+    #[test]
+    fn finds_present_word() {
+        let key = SearchKey::from_seed(b"user");
+        let idx = key.build_index(b"doc1", words(&["meet", "at", "noon"]));
+        assert!(idx.search(&key.trapdoor(b"noon")));
+    }
+
+    #[test]
+    fn rejects_absent_word() {
+        let key = SearchKey::from_seed(b"user");
+        let idx = key.build_index(b"doc1", words(&["meet", "at", "noon"]));
+        assert!(!idx.search(&key.trapdoor(b"midnight")));
+    }
+
+    #[test]
+    fn counts_occurrences() {
+        let key = SearchKey::from_seed(b"user");
+        let idx = key.build_index(b"doc1", words(&["a", "b", "a", "a"]));
+        assert_eq!(idx.match_count(&key.trapdoor(b"a")), 3);
+        assert_eq!(idx.match_count(&key.trapdoor(b"b")), 1);
+    }
+
+    #[test]
+    fn wrong_key_trapdoor_fails() {
+        // A server (or revoked reader) holding a trapdoor made under a
+        // different key learns nothing.
+        let key = SearchKey::from_seed(b"user");
+        let other = SearchKey::from_seed(b"attacker");
+        let idx = key.build_index(b"doc1", words(&["secret"]));
+        assert!(!idx.search(&other.trapdoor(b"secret")));
+    }
+
+    #[test]
+    fn identical_words_produce_distinct_entries() {
+        // The raw index entries for two occurrences of the same word must
+        // differ (different salts) — otherwise the server could detect
+        // repeats without any trapdoor.
+        let key = SearchKey::from_seed(b"user");
+        let idx = key.build_index(b"doc1", words(&["x", "x"]));
+        assert_ne!(idx.entries[0], idx.entries[1]);
+    }
+
+    #[test]
+    fn same_word_across_documents_unlinkable() {
+        let key = SearchKey::from_seed(b"user");
+        let a = key.build_index(b"docA", words(&["x"]));
+        let b = key.build_index(b"docB", words(&["x"]));
+        assert_ne!(a.entries[0], b.entries[0]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let key = SearchKey::from_seed(b"user");
+        let idx = key.build_index(b"doc1", words(&[]));
+        assert!(idx.is_empty());
+        assert!(!idx.search(&key.trapdoor(b"anything")));
+    }
+
+    #[test]
+    fn index_is_deterministic() {
+        let key = SearchKey::from_seed(b"user");
+        let a = key.build_index(b"doc1", words(&["p", "q"]));
+        let b = key.build_index(b"doc1", words(&["p", "q"]));
+        assert_eq!(a, b);
+    }
+}

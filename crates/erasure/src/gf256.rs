@@ -1,0 +1,210 @@
+//! Arithmetic in GF(2^8), the field underlying the Reed-Solomon code.
+//!
+//! Uses the AES polynomial `x^8 + x^4 + x^3 + x + 1` (0x11d with the
+//! generator convention below) and exp/log tables built once at startup.
+//! Addition is XOR; multiplication/division go through the tables.
+
+use std::sync::OnceLock;
+
+/// The reduction polynomial (0x11d) with generator 2.
+const POLY: u16 = 0x11d;
+
+struct Tables {
+    exp: [u8; 512], // doubled so mul can skip a modulo
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static T: OnceLock<Tables> = OnceLock::new();
+    T.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Field addition (== subtraction): XOR.
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Field division.
+///
+/// # Panics
+///
+/// Panics on division by zero.
+pub fn div(a: u8, b: u8) -> u8 {
+    assert_ne!(b, 0, "division by zero in GF(256)");
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[(t.log[a as usize] as usize + 255 - t.log[b as usize] as usize) % 255]
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics on zero.
+pub fn inv(a: u8) -> u8 {
+    div(1, a)
+}
+
+/// `a` raised to the `e`-th power.
+pub fn pow(a: u8, e: usize) -> u8 {
+    if a == 0 {
+        return if e == 0 { 1 } else { 0 };
+    }
+    let t = tables();
+    let l = t.log[a as usize] as usize * (e % 255);
+    t.exp[l % 255]
+}
+
+/// The field generator raised to `e` (i.e. `2^e`), handy for Vandermonde
+/// rows.
+pub fn exp(e: usize) -> u8 {
+    tables().exp[e % 255]
+}
+
+/// Multiply-accumulate a slice: `dst[i] ^= c * src[i]`.
+///
+/// This is the encoder's hot loop.
+///
+/// # Panics
+///
+/// Panics if slices have different lengths.
+pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let t = tables();
+    let lc = t.log[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= t.exp[lc + t.log[*s as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(add(a, a), 0);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative_and_associative() {
+        // Spot-check over a deterministic subset (full triple loop is 16M).
+        for a in (1..=255u8).step_by(7) {
+            for b in (1..=255u8).step_by(11) {
+                assert_eq!(mul(a, b), mul(b, a));
+                for c in (1..=255u8).step_by(31) {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributive() {
+        for a in (0..=255u8).step_by(5) {
+            for b in (0..=255u8).step_by(9) {
+                for c in (0..=255u8).step_by(13) {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let mut acc = 1u8;
+        for e in 0..520usize {
+            assert_eq!(pow(3, e), acc, "e={e}");
+            acc = mul(acc, 3);
+        }
+        assert_eq!(pow(0, 0), 1);
+        assert_eq!(pow(0, 5), 0);
+    }
+
+    #[test]
+    fn exp_is_generator_powers() {
+        assert_eq!(exp(0), 1);
+        assert_eq!(exp(1), 2);
+        assert_eq!(exp(255), 1); // order of the multiplicative group
+    }
+
+    #[test]
+    fn div_matches_mul_inv() {
+        for a in (0..=255u8).step_by(3) {
+            for b in (1..=255u8).step_by(5) {
+                assert_eq!(div(a, b), mul(a, inv(b)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        div(3, 0);
+    }
+
+    #[test]
+    fn mul_acc_slice_matches_scalar() {
+        let src: Vec<u8> = (0..=255).collect();
+        for c in [0u8, 1, 2, 0x53, 0xff] {
+            let mut dst = vec![0x5au8; 256];
+            let mut expect = dst.clone();
+            mul_acc_slice(&mut dst, &src, c);
+            for (e, s) in expect.iter_mut().zip(&src) {
+                *e ^= mul(c, *s);
+            }
+            assert_eq!(dst, expect, "c={c}");
+        }
+    }
+}

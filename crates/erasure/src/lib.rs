@@ -1,0 +1,40 @@
+//! Erasure codes for OceanStore's deep archival storage (§4.5).
+//!
+//! Two codecs, matching the paper:
+//!
+//! * [`rs::ReedSolomon`] — systematic Reed-Solomon over GF(2^8): any `k` of
+//!   `n` fragments reconstruct the object exactly.
+//! * [`tornado::Tornado`] — a Tornado-style XOR peeling code: much cheaper
+//!   arithmetic, needs slightly more than `k` fragments (footnote 12).
+//!
+//! [`object`] frames arbitrary byte objects into equal-length shards and
+//! offers the [`object::ObjectCodec`] the archival layer consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use oceanstore_erasure::object::{CodeKind, ObjectCodec};
+//!
+//! # fn main() -> Result<(), oceanstore_erasure::rs::CodeError> {
+//! let codec = ObjectCodec::new(CodeKind::ReedSolomon, 4, 8, 0)?;
+//! let fragments = codec.encode_object(b"archival me")?;
+//! let mut have: Vec<_> = fragments.into_iter().map(Some).collect();
+//! // Any 4 of the 8 fragments suffice:
+//! have[0] = None; have[2] = None; have[5] = None; have[7] = None;
+//! assert_eq!(codec.decode_object(&mut have)?, b"archival me");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gf256;
+pub mod matrix;
+pub mod object;
+pub mod rs;
+pub mod tornado;
+
+pub use object::{CodeKind, ObjectCodec};
+pub use rs::{CodeError, ReedSolomon};
+pub use tornado::Tornado;

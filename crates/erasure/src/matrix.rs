@@ -1,0 +1,246 @@
+//! Dense matrices over GF(2^8) for Reed-Solomon encode/decode.
+
+use std::fmt;
+
+use crate::gf256;
+
+/// A row-major matrix over GF(256).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:02x?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Vandermonde matrix: entry `(r, c) = r^c` in GF(256) where row
+    /// indices enumerate distinct field elements. Any `cols` rows of it are
+    /// linearly independent (for `rows <= 256`), which is the Reed-Solomon
+    /// recoverability property.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows > 256` (GF(256) has only 256 distinct elements).
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        assert!(rows <= 256, "at most 256 distinct evaluation points in GF(256)");
+        let mut m = Self::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, gf256::pow(r as u8, c));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element at `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r`.
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let v = gf256::add(out.get(r, c), gf256::mul(a, rhs.get(k, c)));
+                    out.set(r, c, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds a new matrix from a subset of this one's rows.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zero(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            for c in 0..self.cols {
+                out.set(i, c, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Inverse via Gauss-Jordan elimination, or `None` if singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "inverse needs a square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n).find(|&r| a.get(r, col) != 0)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Scale pivot row to 1.
+            let p = a.get(col, col);
+            if p != 1 {
+                let pinv = gf256::inv(p);
+                a.scale_row(col, pinv);
+                inv.scale_row(col, pinv);
+            }
+            // Eliminate the column everywhere else.
+            for r in 0..n {
+                if r != col {
+                    let f = a.get(r, col);
+                    if f != 0 {
+                        a.add_scaled_row(r, col, f);
+                        inv.add_scaled_row(r, col, f);
+                    }
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let (x, y) = (self.get(a, c), self.get(b, c));
+            self.set(a, c, y);
+            self.set(b, c, x);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, f: u8) {
+        for c in 0..self.cols {
+            let v = gf256::mul(self.get(r, c), f);
+            self.set(r, c, v);
+        }
+    }
+
+    /// `row[dst] ^= f * row[src]`.
+    fn add_scaled_row(&mut self, dst: usize, src: usize, f: u8) {
+        for c in 0..self.cols {
+            let v = gf256::add(self.get(dst, c), gf256::mul(f, self.get(src, c)));
+            self.set(dst, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_anything() {
+        let v = Matrix::vandermonde(4, 4);
+        assert_eq!(Matrix::identity(4).mul(&v), v);
+        assert_eq!(v.mul(&Matrix::identity(4)), v);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let v = Matrix::vandermonde(5, 5);
+        let inv = v.inverse().expect("Vandermonde is invertible");
+        assert_eq!(v.mul(&inv), Matrix::identity(5));
+        assert_eq!(inv.mul(&v), Matrix::identity(5));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut m = Matrix::zero(3, 3);
+        // Row 2 = row 0 + row 1 (XOR), hence singular.
+        m.set(0, 0, 1);
+        m.set(0, 1, 2);
+        m.set(0, 2, 3);
+        m.set(1, 0, 4);
+        m.set(1, 1, 5);
+        m.set(1, 2, 6);
+        for c in 0..3 {
+            m.set(2, c, m.get(0, c) ^ m.get(1, c));
+        }
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn any_k_rows_of_vandermonde_invertible() {
+        // The Reed-Solomon property: every k-subset of rows is invertible.
+        let v = Matrix::vandermonde(8, 4);
+        // Exhaustively test all C(8,4)=70 subsets.
+        let rows: Vec<usize> = (0..8).collect();
+        let mut count = 0;
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                for c in (b + 1)..8 {
+                    for d in (c + 1)..8 {
+                        let sub = v.select_rows(&[rows[a], rows[b], rows[c], rows[d]]);
+                        assert!(sub.inverse().is_some(), "rows {a},{b},{c},{d}");
+                        count += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(count, 70);
+    }
+
+    #[test]
+    fn select_rows_picks_rows() {
+        let v = Matrix::vandermonde(4, 3);
+        let s = v.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), v.row(2));
+        assert_eq!(s.row(1), v.row(0));
+    }
+}

@@ -1,0 +1,200 @@
+//! Object-level fragmentation: bytes ⇄ equal-sized shards.
+//!
+//! "Erasure coding is a process that treats input data as a series of
+//! fragments (say n) and transforms these fragments into a greater number
+//! of fragments (say 2n or 4n)" (§4.5). This module handles the framing —
+//! length prefix and padding — so the codecs in [`crate::rs`] and
+//! [`crate::tornado`] can work on equal-length shards, and exposes a
+//! unified [`ObjectCodec`] for the archival layer.
+
+use crate::rs::{CodeError, ReedSolomon};
+use crate::tornado::Tornado;
+
+/// Splits `data` into exactly `k` equal-length shards, prefixed with the
+/// original length (8 bytes little-endian) and zero-padded.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn split_into_shards(data: &[u8], k: usize) -> Vec<Vec<u8>> {
+    assert!(k > 0, "need at least one shard");
+    let mut framed = Vec::with_capacity(8 + data.len());
+    framed.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    framed.extend_from_slice(data);
+    let shard_len = framed.len().div_ceil(k).max(1);
+    framed.resize(shard_len * k, 0);
+    framed.chunks(shard_len).map(<[u8]>::to_vec).collect()
+}
+
+/// Reassembles the original bytes from the `k` data shards produced by
+/// [`split_into_shards`].
+///
+/// # Errors
+///
+/// [`CodeError::CorruptObject`] if the length prefix is inconsistent with
+/// the shard sizes.
+pub fn join_shards<T: AsRef<[u8]>>(shards: &[T]) -> Result<Vec<u8>, CodeError> {
+    let mut framed = Vec::new();
+    for s in shards {
+        framed.extend_from_slice(s.as_ref());
+    }
+    if framed.len() < 8 {
+        return Err(CodeError::CorruptObject);
+    }
+    let len = u64::from_le_bytes(framed[..8].try_into().expect("8 bytes")) as usize;
+    if framed.len() < 8 + len {
+        return Err(CodeError::CorruptObject);
+    }
+    framed.drain(..8);
+    framed.truncate(len);
+    Ok(framed)
+}
+
+/// Which erasure code an archival object uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodeKind {
+    /// Systematic Reed-Solomon: any `k` of `n` fragments suffice.
+    ReedSolomon,
+    /// Tornado-style peeling code: fast XOR, needs slightly more than `k`.
+    Tornado,
+}
+
+/// A whole-object erasure codec: `encode` bytes to `n` fragments,
+/// `decode` any sufficient subset back to bytes.
+#[derive(Debug, Clone)]
+pub enum ObjectCodec {
+    /// Reed-Solomon-backed codec.
+    Rs(ReedSolomon),
+    /// Tornado-backed codec.
+    Tornado(Tornado),
+}
+
+impl ObjectCodec {
+    /// Creates a codec of the requested kind. The `seed` only matters for
+    /// [`CodeKind::Tornado`] (it fixes the check graph).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation from the underlying codec.
+    pub fn new(kind: CodeKind, k: usize, n: usize, seed: u64) -> Result<Self, CodeError> {
+        Ok(match kind {
+            CodeKind::ReedSolomon => ObjectCodec::Rs(ReedSolomon::new(k, n)?),
+            CodeKind::Tornado => ObjectCodec::Tornado(Tornado::new(k, n, seed)?),
+        })
+    }
+
+    /// Data fragment count `k`.
+    pub fn data_shards(&self) -> usize {
+        match self {
+            ObjectCodec::Rs(c) => c.data_shards(),
+            ObjectCodec::Tornado(c) => c.data_shards(),
+        }
+    }
+
+    /// Total fragment count `n`.
+    pub fn total_shards(&self) -> usize {
+        match self {
+            ObjectCodec::Rs(c) => c.total_shards(),
+            ObjectCodec::Tornado(c) => c.total_shards(),
+        }
+    }
+
+    /// Encodes an object into `n` fragments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard-shape errors from the underlying codec (cannot
+    /// occur for input produced by this function's own framing).
+    pub fn encode_object(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let shards = split_into_shards(data, self.data_shards());
+        match self {
+            ObjectCodec::Rs(c) => c.encode(&shards),
+            ObjectCodec::Tornado(c) => c.encode(&shards),
+        }
+    }
+
+    /// Decodes an object from surviving fragments (`None` = lost).
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::NotEnoughShards`] / [`CodeError::DecodingStalled`]
+    ///   when the survivors don't suffice;
+    /// * [`CodeError::CorruptObject`] if framing fails after reconstruction.
+    pub fn decode_object(&self, fragments: &mut [Option<Vec<u8>>]) -> Result<Vec<u8>, CodeError> {
+        match self {
+            ObjectCodec::Rs(c) => c.reconstruct(fragments)?,
+            ObjectCodec::Tornado(c) => c.reconstruct(fragments)?,
+        }
+        let data: Vec<&Vec<u8>> = fragments[..self.data_shards()]
+            .iter()
+            .map(|f| f.as_ref().expect("reconstruct fills all fragments"))
+            .collect();
+        join_shards(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_join_roundtrip() {
+        for len in [0usize, 1, 7, 8, 9, 100, 1000] {
+            for k in [1usize, 2, 3, 16] {
+                let data: Vec<u8> = (0..len).map(|i| (i % 256) as u8).collect();
+                let shards = split_into_shards(&data, k);
+                assert_eq!(shards.len(), k);
+                let l0 = shards[0].len();
+                assert!(shards.iter().all(|s| s.len() == l0));
+                assert_eq!(join_shards(&shards).unwrap(), data, "len={len} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_rejects_truncation() {
+        let shards = split_into_shards(b"hello world, this is an object", 4);
+        assert_eq!(join_shards(&shards[..1]), Err(CodeError::CorruptObject));
+    }
+
+    #[test]
+    fn join_rejects_bad_length_prefix() {
+        let mut shards = split_into_shards(b"abc", 1);
+        shards[0][0] = 0xff; // claim a huge length
+        assert_eq!(join_shards(&shards), Err(CodeError::CorruptObject));
+    }
+
+    #[test]
+    fn rs_object_roundtrip_with_losses() {
+        let codec = ObjectCodec::new(CodeKind::ReedSolomon, 8, 16, 0).unwrap();
+        let data: Vec<u8> = (0..5000u32).map(|i| (i * 13 % 256) as u8).collect();
+        let frags = codec.encode_object(&data).unwrap();
+        assert_eq!(frags.len(), 16);
+        let mut have: Vec<Option<Vec<u8>>> = frags.into_iter().map(Some).collect();
+        // Lose any 8 (here: every even index).
+        for i in (0..16).step_by(2) {
+            have[i] = None;
+        }
+        assert_eq!(codec.decode_object(&mut have).unwrap(), data);
+    }
+
+    #[test]
+    fn tornado_object_roundtrip() {
+        let codec = ObjectCodec::new(CodeKind::Tornado, 8, 24, 9).unwrap();
+        let data = vec![0xabu8; 3000];
+        let frags = codec.encode_object(&data).unwrap();
+        let mut have: Vec<Option<Vec<u8>>> = frags.into_iter().map(Some).collect();
+        have[1] = None;
+        have[6] = None;
+        assert_eq!(codec.decode_object(&mut have).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_object_roundtrip() {
+        let codec = ObjectCodec::new(CodeKind::ReedSolomon, 4, 8, 0).unwrap();
+        let frags = codec.encode_object(b"").unwrap();
+        let mut have: Vec<Option<Vec<u8>>> = frags.into_iter().map(Some).collect();
+        have[0] = None;
+        assert_eq!(codec.decode_object(&mut have).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the erasure codes: the invariants the deep
+//! archival argument rests on must hold for *arbitrary* data and erasure
+//! patterns, not just hand-picked cases.
+
+use oceanstore_erasure::object::{split_into_shards, join_shards, CodeKind, ObjectCodec};
+use oceanstore_erasure::rs::ReedSolomon;
+use oceanstore_erasure::tornado::Tornado;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reed-Solomon: any k-subset of shards reconstructs every shard
+    /// exactly, for arbitrary data and arbitrary k-subsets.
+    #[test]
+    fn rs_any_k_subset_reconstructs(
+        data in proptest::collection::vec(any::<u8>(), 1..2000),
+        k in 2usize..8,
+        extra in 1usize..8,
+        subset_seed in any::<u64>(),
+    ) {
+        let n = k + extra;
+        let rs = ReedSolomon::new(k, n).expect("valid");
+        let shards = split_into_shards(&data, k);
+        let coded = rs.encode(&shards).expect("encodes");
+        // Choose a pseudo-random k-subset to survive.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = subset_seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let mut have: Vec<Option<Vec<u8>>> = vec![None; n];
+        for &i in order.iter().take(k) {
+            have[i] = Some(coded[i].clone());
+        }
+        rs.reconstruct(&mut have).expect("any k suffice");
+        for (i, c) in coded.iter().enumerate() {
+            prop_assert_eq!(have[i].as_ref().expect("filled"), c);
+        }
+        // And the object reassembles bit-exactly.
+        let rebuilt: Vec<Vec<u8>> =
+            have[..k].iter().map(|x| x.clone().expect("data shard")).collect();
+        prop_assert_eq!(join_shards(&rebuilt).expect("joins"), data);
+    }
+
+    /// Tornado: whenever decoding succeeds, the result is exactly right —
+    /// never silently wrong — for arbitrary survivor sets.
+    #[test]
+    fn tornado_never_wrong(
+        data in proptest::collection::vec(any::<u8>(), 1..1500),
+        k in 2usize..8,
+        seed in any::<u64>(),
+        survivors in proptest::collection::vec(any::<bool>(), 24),
+    ) {
+        let n = 3 * k;
+        let t = Tornado::new(k, n, seed).expect("valid");
+        let shards = split_into_shards(&data, k);
+        let coded = t.encode(&shards).expect("encodes");
+        let mut have: Vec<Option<Vec<u8>>> = coded
+            .iter()
+            .enumerate()
+            .map(|(i, c)| survivors.get(i).copied().unwrap_or(false).then(|| c.clone()))
+            .collect();
+        if t.reconstruct(&mut have).is_ok() {
+            for (i, c) in coded.iter().enumerate() {
+                prop_assert_eq!(have[i].as_ref().expect("filled"), c);
+            }
+        }
+    }
+
+    /// Object framing: split/join is the identity for every (data, k).
+    #[test]
+    fn framing_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 0..4000),
+        k in 1usize..20,
+    ) {
+        let shards = split_into_shards(&data, k);
+        prop_assert_eq!(shards.len(), k);
+        let l0 = shards[0].len();
+        prop_assert!(shards.iter().all(|s| s.len() == l0));
+        prop_assert_eq!(join_shards(&shards).expect("joins"), data);
+    }
+
+    /// Whole-object codec: encode → lose a random non-fatal subset →
+    /// decode is the identity (Reed-Solomon flavor).
+    #[test]
+    fn object_codec_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 0..3000),
+        loss_mask in any::<u16>(),
+    ) {
+        let codec = ObjectCodec::new(CodeKind::ReedSolomon, 8, 16, 0).expect("valid");
+        let frags = codec.encode_object(&data).expect("encodes");
+        let mut have: Vec<Option<Vec<u8>>> = frags
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (loss_mask >> i & 1 == 0).then(|| f.clone()))
+            .collect();
+        let survivors = have.iter().filter(|s| s.is_some()).count();
+        let result = codec.decode_object(&mut have);
+        if survivors >= 8 {
+            prop_assert_eq!(result.expect("enough survivors"), data);
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Cluster recognition via semantic distance (§4.7.2).
+//!
+//! "Each client machine contains an event handler triggered by each data
+//! object access. This handler incrementally constructs a graph
+//! representing the semantic distance \[28\] among data objects, which
+//! requires only a few operations per access. Periodically, we run a
+//! clustering algorithm that consumes this graph and detects clusters of
+//! strongly-related objects."
+//!
+//! Semantic distance here follows Kuenning's Seer: two objects are close
+//! if they are accessed within few intervening accesses of each other. Each
+//! access adds edge weight `1 / gap` to every object seen in the recent
+//! window; clustering takes connected components over edges above a
+//! threshold.
+
+use std::collections::{HashMap, VecDeque};
+
+use oceanstore_naming::guid::Guid;
+
+/// Incremental semantic-distance graph.
+#[derive(Debug)]
+pub struct ClusterRecognizer {
+    window: usize,
+    recent: VecDeque<Guid>,
+    weights: HashMap<(Guid, Guid), f64>,
+}
+
+impl ClusterRecognizer {
+    /// Creates a recognizer considering co-accesses within `window`
+    /// intervening accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        ClusterRecognizer { window, recent: VecDeque::new(), weights: HashMap::new() }
+    }
+
+    /// Records an object access — "only a few operations per access".
+    pub fn observe(&mut self, object: Guid) {
+        for (gap, prev) in self.recent.iter().rev().enumerate() {
+            if *prev != object {
+                let key = edge(*prev, object);
+                *self.weights.entry(key).or_insert(0.0) += 1.0 / (gap as f64 + 1.0);
+            }
+        }
+        self.recent.push_back(object);
+        if self.recent.len() > self.window {
+            self.recent.pop_front();
+        }
+    }
+
+    /// Current weight of the edge between two objects.
+    pub fn weight(&self, a: Guid, b: Guid) -> f64 {
+        self.weights.get(&edge(a, b)).copied().unwrap_or(0.0)
+    }
+
+    /// The periodic clustering pass: connected components over edges with
+    /// weight ≥ `min_weight`. Singleton objects are omitted. Clusters are
+    /// returned largest-first, members sorted for determinism.
+    pub fn clusters(&self, min_weight: f64) -> Vec<Vec<Guid>> {
+        // Union-find over objects that appear in a strong edge.
+        let mut parent: HashMap<Guid, Guid> = HashMap::new();
+        fn find(parent: &mut HashMap<Guid, Guid>, x: Guid) -> Guid {
+            let p = *parent.get(&x).unwrap_or(&x);
+            if p == x {
+                x
+            } else {
+                let r = find(parent, p);
+                parent.insert(x, r);
+                r
+            }
+        }
+        for ((a, b), w) in &self.weights {
+            if *w >= min_weight {
+                parent.entry(*a).or_insert(*a);
+                parent.entry(*b).or_insert(*b);
+                let (ra, rb) = (find(&mut parent, *a), find(&mut parent, *b));
+                if ra != rb {
+                    parent.insert(ra, rb);
+                }
+            }
+        }
+        let keys: Vec<Guid> = parent.keys().copied().collect();
+        let mut groups: HashMap<Guid, Vec<Guid>> = HashMap::new();
+        for k in keys {
+            let r = find(&mut parent, k);
+            groups.entry(r).or_default().push(k);
+        }
+        let mut out: Vec<Vec<Guid>> = groups.into_values().filter(|g| g.len() > 1).collect();
+        for g in &mut out {
+            g.sort();
+        }
+        out.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+        out
+    }
+
+    /// Decays all edge weights by `factor` (periodic aging so stale
+    /// relationships fade; "the frequency of this operation adapts to the
+    /// stability of the input").
+    pub fn decay(&mut self, factor: f64) {
+        for w in self.weights.values_mut() {
+            *w *= factor;
+        }
+        self.weights.retain(|_, w| *w > 1e-6);
+    }
+
+    /// Number of tracked edges (resource accounting).
+    pub fn edge_count(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+fn edge(a: Guid, b: Guid) -> (Guid, Guid) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: usize) -> Guid {
+        Guid::from_label(&format!("obj-{i}"))
+    }
+
+    #[test]
+    fn co_accessed_objects_cluster() {
+        let mut cr = ClusterRecognizer::new(4);
+        // Project A files 0,1,2 accessed together repeatedly; project B
+        // files 10,11 too; never interleaved.
+        for _ in 0..10 {
+            for i in [0usize, 1, 2] {
+                cr.observe(g(i));
+            }
+        }
+        for _ in 0..10 {
+            for i in [10usize, 11] {
+                cr.observe(g(i));
+            }
+        }
+        let clusters = cr.clusters(2.0);
+        assert_eq!(clusters.len(), 2);
+        let sizes: Vec<usize> = clusters.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![3, 2]);
+    }
+
+    #[test]
+    fn closer_accesses_weigh_more() {
+        let mut cr = ClusterRecognizer::new(8);
+        cr.observe(g(1));
+        cr.observe(g(2)); // gap 1 from g1
+        cr.observe(g(3)); // gap 1 from g2, gap 2 from g1
+        assert!(cr.weight(g(1), g(2)) > cr.weight(g(1), g(3)));
+    }
+
+    #[test]
+    fn window_limits_relationships() {
+        let mut cr = ClusterRecognizer::new(2);
+        cr.observe(g(1));
+        cr.observe(g(2));
+        cr.observe(g(3));
+        cr.observe(g(4)); // g1 now out of the window
+        assert_eq!(cr.weight(g(1), g(4)), 0.0);
+        assert!(cr.weight(g(3), g(4)) > 0.0);
+    }
+
+    #[test]
+    fn noise_does_not_merge_clusters() {
+        let mut cr = ClusterRecognizer::new(4);
+        for round in 0..20 {
+            // Work on project A...
+            for i in [0usize, 1, 0, 1] {
+                cr.observe(g(i));
+            }
+            // ...unique noise accesses push A out of the window...
+            for n in 0..5usize {
+                cr.observe(g(1000 + round * 10 + n));
+            }
+            // ...then project B.
+            for i in [10usize, 11, 10, 11] {
+                cr.observe(g(i));
+            }
+            for n in 0..5usize {
+                cr.observe(g(2000 + round * 10 + n));
+            }
+        }
+        // With a threshold above the noise level, exactly the two pairs.
+        let clusters = cr.clusters(10.0);
+        assert_eq!(clusters.len(), 2, "clusters: {clusters:?}");
+        for c in &clusters {
+            assert_eq!(c.len(), 2);
+        }
+    }
+
+    #[test]
+    fn decay_fades_old_relationships() {
+        let mut cr = ClusterRecognizer::new(4);
+        cr.observe(g(1));
+        cr.observe(g(2));
+        let before = cr.weight(g(1), g(2));
+        cr.decay(0.5);
+        assert!((cr.weight(g(1), g(2)) - before * 0.5).abs() < 1e-12);
+        // Heavy decay prunes the edge entirely.
+        for _ in 0..40 {
+            cr.decay(0.5);
+        }
+        assert_eq!(cr.edge_count(), 0);
+    }
+
+    #[test]
+    fn repeated_same_object_is_not_an_edge() {
+        let mut cr = ClusterRecognizer::new(4);
+        cr.observe(g(1));
+        cr.observe(g(1));
+        cr.observe(g(1));
+        assert_eq!(cr.edge_count(), 0);
+    }
+}

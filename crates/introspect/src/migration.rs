@@ -1,0 +1,165 @@
+//! Periodic-migration detection (§4.7.2).
+//!
+//! "Nodes regularly analyze global usage trends ... OceanStore can detect
+//! periodic migration of clusters from site to site and prefetch data
+//! based on these cycles. Thus users will find their project files and
+//! email folder on a local machine during the work day, and waiting for
+//! them on their home machines at night."
+//!
+//! The detector buckets accesses by hour-of-day and site; once a cycle is
+//! established, [`MigrationDetector::predicted_site`] says where an object
+//! should be prefetched for a given hour.
+
+use std::collections::HashMap;
+
+use oceanstore_naming::guid::Guid;
+use oceanstore_sim::NodeId;
+
+/// Hours in the modeled cycle.
+pub const HOURS: usize = 24;
+
+/// Access-by-hour histogram tracker.
+#[derive(Debug, Default)]
+pub struct MigrationDetector {
+    /// (object, hour) → site → access count.
+    counts: HashMap<(Guid, usize), HashMap<NodeId, u64>>,
+}
+
+impl MigrationDetector {
+    /// An empty detector.
+    pub fn new() -> Self {
+        MigrationDetector::default()
+    }
+
+    /// Records that `object` was accessed from `site` at `hour` (0–23).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn observe(&mut self, object: Guid, site: NodeId, hour: usize) {
+        assert!(hour < HOURS, "hour out of range");
+        *self
+            .counts
+            .entry((object, hour))
+            .or_default()
+            .entry(site)
+            .or_insert(0) += 1;
+    }
+
+    /// The site where `object` is predominantly used at `hour`, if any
+    /// site holds a strict majority of that hour's accesses.
+    pub fn predicted_site(&self, object: Guid, hour: usize) -> Option<NodeId> {
+        let sites = self.counts.get(&(object, hour % HOURS))?;
+        let total: u64 = sites.values().sum();
+        let (site, count) = sites
+            .iter()
+            .max_by_key(|(n, c)| (**c, std::cmp::Reverse(n.0)))?;
+        (*count * 2 > total).then_some(*site)
+    }
+
+    /// Detects a day/night migration cycle for `object`: returns
+    /// `(day_site, night_site)` when the object's predicted sites differ
+    /// between working hours (9–17) and evening hours (19–23).
+    pub fn daily_cycle(&self, object: Guid) -> Option<(NodeId, NodeId)> {
+        let majority_over = |hours: std::ops::Range<usize>| -> Option<NodeId> {
+            let mut votes: HashMap<NodeId, u64> = HashMap::new();
+            for h in hours {
+                if let Some(sites) = self.counts.get(&(object, h)) {
+                    for (s, c) in sites {
+                        *votes.entry(*s).or_insert(0) += c;
+                    }
+                }
+            }
+            let total: u64 = votes.values().sum();
+            let (site, count) = votes.into_iter().max_by_key(|(n, c)| (*c, std::cmp::Reverse(n.0)))?;
+            (count * 2 > total).then_some(site)
+        };
+        let day = majority_over(9..17)?;
+        let night = majority_over(19..23)?;
+        (day != night).then_some((day, night))
+    }
+
+    /// Prefetch plan: objects that should be staged at `site` for `hour`.
+    pub fn prefetch_plan(&self, site: NodeId, hour: usize) -> Vec<Guid> {
+        let mut out: Vec<Guid> = self
+            .counts
+            .keys()
+            .filter(|(_, h)| *h == hour % HOURS)
+            .map(|(g, _)| *g)
+            .filter(|g| self.predicted_site(*g, hour) == Some(site))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: usize) -> Guid {
+        Guid::from_label(&format!("mig-{i}"))
+    }
+
+    const WORK: NodeId = NodeId(1);
+    const HOME: NodeId = NodeId(2);
+
+    fn commuter() -> MigrationDetector {
+        let mut d = MigrationDetector::new();
+        // Two weeks of a commuting pattern.
+        for _day in 0..14 {
+            for h in 9..17 {
+                d.observe(g(1), WORK, h);
+            }
+            for h in 19..23 {
+                d.observe(g(1), HOME, h);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn detects_daily_cycle() {
+        let d = commuter();
+        assert_eq!(d.daily_cycle(g(1)), Some((WORK, HOME)));
+    }
+
+    #[test]
+    fn predicts_site_by_hour() {
+        let d = commuter();
+        assert_eq!(d.predicted_site(g(1), 10), Some(WORK));
+        assert_eq!(d.predicted_site(g(1), 21), Some(HOME));
+        assert_eq!(d.predicted_site(g(1), 3), None, "no data at 3am");
+    }
+
+    #[test]
+    fn prefetch_plan_stages_the_right_objects() {
+        let mut d = commuter();
+        // A second object that lives at home all the time.
+        for _ in 0..5 {
+            d.observe(g(2), HOME, 21);
+        }
+        let plan = d.prefetch_plan(HOME, 21);
+        assert!(plan.contains(&g(1)));
+        assert!(plan.contains(&g(2)));
+        assert!(d.prefetch_plan(WORK, 21).is_empty());
+    }
+
+    #[test]
+    fn no_majority_no_prediction() {
+        let mut d = MigrationDetector::new();
+        d.observe(g(3), WORK, 12);
+        d.observe(g(3), HOME, 12);
+        assert_eq!(d.predicted_site(g(3), 12), None);
+    }
+
+    #[test]
+    fn stationary_object_has_no_cycle() {
+        let mut d = MigrationDetector::new();
+        for h in 9..23 {
+            d.observe(g(4), WORK, h);
+        }
+        assert_eq!(d.daily_cycle(g(4)), None);
+    }
+}

@@ -1,0 +1,250 @@
+//! Directory objects (§4.1).
+//!
+//! "Certain OceanStore objects act as directories, mapping human-readable
+//! names to GUIDs. To allow arbitrary directory hierarchies to be built, we
+//! allow directories to contain pointers to other directories. A user of
+//! the OceanStore can choose several directories as 'roots' ... such root
+//! directories are only roots with respect to the clients that use them;
+//! the system as a whole has no one root."
+//!
+//! Directories here are plain data structures; in the full system they
+//! live inside OceanStore objects like any other data. Resolution is
+//! parameterized over a fetch function so it works against any storage
+//! backend (tests use in-memory maps, the core crate uses replicas).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::guid::Guid;
+
+/// What a directory entry points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirEntry {
+    /// A data object.
+    Object(Guid),
+    /// Another directory (enabling arbitrary hierarchies).
+    Directory(Guid),
+}
+
+impl DirEntry {
+    /// The target GUID regardless of kind.
+    pub fn guid(&self) -> Guid {
+        match self {
+            DirEntry::Object(g) | DirEntry::Directory(g) => *g,
+        }
+    }
+}
+
+/// A directory object: an ordered map of human-readable names to entries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Directory {
+    entries: BTreeMap<String, DirEntry>,
+}
+
+/// Errors during path resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// A path component was not present in its directory.
+    NotFound {
+        /// The missing component.
+        component: String,
+    },
+    /// A non-final component named an object rather than a directory.
+    NotADirectory {
+        /// The offending component.
+        component: String,
+    },
+    /// The backing store could not supply a directory object.
+    Unavailable {
+        /// GUID of the directory that could not be fetched.
+        guid: Guid,
+    },
+    /// The path was empty.
+    EmptyPath,
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::NotFound { component } => write!(f, "no entry named {component:?}"),
+            ResolveError::NotADirectory { component } => {
+                write!(f, "{component:?} is not a directory")
+            }
+            ResolveError::Unavailable { guid } => write!(f, "directory {guid} unavailable"),
+            ResolveError::EmptyPath => write!(f, "empty path"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Binds `name` to `entry`, replacing any previous binding. Returns the
+    /// previous entry, if any.
+    pub fn bind(&mut self, name: impl Into<String>, entry: DirEntry) -> Option<DirEntry> {
+        self.entries.insert(name.into(), entry)
+    }
+
+    /// Removes a binding, returning it.
+    pub fn unbind(&mut self, name: &str) -> Option<DirEntry> {
+        self.entries.remove(name)
+    }
+
+    /// Looks up a single component.
+    pub fn lookup(&self, name: &str) -> Option<DirEntry> {
+        self.entries.get(name).copied()
+    }
+
+    /// Iterates bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, DirEntry)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the directory has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resolves a multi-component path starting at this directory. `fetch`
+    /// maps a directory GUID to its current contents (returning `None` when
+    /// the object cannot be retrieved).
+    ///
+    /// # Errors
+    ///
+    /// See [`ResolveError`].
+    pub fn resolve<F>(&self, path: &[&str], mut fetch: F) -> Result<DirEntry, ResolveError>
+    where
+        F: FnMut(Guid) -> Option<Directory>,
+    {
+        let (&last, init) = path.split_last().ok_or(ResolveError::EmptyPath)?;
+        let mut current = self.clone();
+        for &component in init {
+            match current.lookup(component) {
+                None => return Err(ResolveError::NotFound { component: component.into() }),
+                Some(DirEntry::Object(_)) => {
+                    return Err(ResolveError::NotADirectory { component: component.into() })
+                }
+                Some(DirEntry::Directory(g)) => {
+                    current = fetch(g).ok_or(ResolveError::Unavailable { guid: g })?;
+                }
+            }
+        }
+        current
+            .lookup(last)
+            .ok_or(ResolveError::NotFound { component: last.into() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn obj(label: &str) -> Guid {
+        Guid::from_label(label)
+    }
+
+    /// Builds /home/alice/{calendar,mail} with a store of directories.
+    fn fixture() -> (Directory, HashMap<Guid, Directory>) {
+        let mut store = HashMap::new();
+        let mut alice = Directory::new();
+        alice.bind("calendar", DirEntry::Object(obj("cal")));
+        alice.bind("mail", DirEntry::Object(obj("mail")));
+        let alice_guid = obj("dir:alice");
+        store.insert(alice_guid, alice);
+        let mut home = Directory::new();
+        home.bind("alice", DirEntry::Directory(alice_guid));
+        let home_guid = obj("dir:home");
+        store.insert(home_guid, home);
+        let mut root = Directory::new();
+        root.bind("home", DirEntry::Directory(home_guid));
+        root.bind("motd", DirEntry::Object(obj("motd")));
+        (root, store)
+    }
+
+    #[test]
+    fn single_component() {
+        let (root, store) = fixture();
+        let e = root.resolve(&["motd"], |g| store.get(&g).cloned()).unwrap();
+        assert_eq!(e, DirEntry::Object(obj("motd")));
+    }
+
+    #[test]
+    fn nested_resolution() {
+        let (root, store) = fixture();
+        let e = root
+            .resolve(&["home", "alice", "calendar"], |g| store.get(&g).cloned())
+            .unwrap();
+        assert_eq!(e.guid(), obj("cal"));
+    }
+
+    #[test]
+    fn missing_component() {
+        let (root, store) = fixture();
+        let err = root
+            .resolve(&["home", "bob", "calendar"], |g| store.get(&g).cloned())
+            .unwrap_err();
+        assert_eq!(err, ResolveError::NotFound { component: "bob".into() });
+    }
+
+    #[test]
+    fn object_in_middle_of_path() {
+        let (root, store) = fixture();
+        let err = root
+            .resolve(&["motd", "deeper"], |g| store.get(&g).cloned())
+            .unwrap_err();
+        assert_eq!(err, ResolveError::NotADirectory { component: "motd".into() });
+    }
+
+    #[test]
+    fn unavailable_directory() {
+        let (root, _) = fixture();
+        let err = root
+            .resolve(&["home", "alice", "calendar"], |_| None)
+            .unwrap_err();
+        assert!(matches!(err, ResolveError::Unavailable { .. }));
+    }
+
+    #[test]
+    fn empty_path() {
+        let (root, store) = fixture();
+        assert_eq!(
+            root.resolve(&[], |g| store.get(&g).cloned()),
+            Err(ResolveError::EmptyPath)
+        );
+    }
+
+    #[test]
+    fn rebinding_replaces() {
+        let mut d = Directory::new();
+        assert_eq!(d.bind("x", DirEntry::Object(obj("a"))), None);
+        let prev = d.bind("x", DirEntry::Object(obj("b")));
+        assert_eq!(prev, Some(DirEntry::Object(obj("a"))));
+        assert_eq!(d.lookup("x"), Some(DirEntry::Object(obj("b"))));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn multiple_roots_see_different_trees() {
+        // "The system as a whole has no one root": two clients with
+        // different root directories resolve the same name differently.
+        let (root_a, store) = fixture();
+        let mut root_b = Directory::new();
+        root_b.bind("motd", DirEntry::Object(obj("other-motd")));
+        let fetch = |g: Guid| store.get(&g).cloned();
+        assert_ne!(
+            root_a.resolve(&["motd"], fetch).unwrap().guid(),
+            root_b.resolve(&["motd"], fetch).unwrap().guid()
+        );
+    }
+}

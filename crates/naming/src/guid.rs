@@ -1,0 +1,234 @@
+//! Globally unique identifiers (§4.1).
+//!
+//! "At the lowest level, OceanStore objects are identified by a globally
+//! unique identifier (GUID), which can be thought of as a pseudo-random,
+//! fixed-length bit string." GUIDs are SHA-1 digests (the paper's footnote
+//! 3) and name *every* addressable entity:
+//!
+//! * objects — `hash(owner key ‖ human-readable name)`, making names
+//!   self-certifying in the style of Mazières;
+//! * servers — `hash(server public key)`;
+//! * archival fragments / immutable versions — `hash(content)`.
+//!
+//! The digit-extraction helpers ([`Guid::nibble`], [`Guid::low_nibble_match_len`])
+//! serve the Plaxton mesh, which routes by resolving a GUID one digit at a
+//! time starting from the *least* significant (§4.3.3); [`Guid::salted`]
+//! produces the replicated roots that remove the single point of failure.
+
+use std::fmt;
+
+use oceanstore_crypto::schnorr::PublicKey;
+use oceanstore_crypto::sha1::{sha1_concat, Digest, DIGEST_LEN};
+
+/// Number of hex digits (nibbles) in a GUID.
+pub const NIBBLES: usize = DIGEST_LEN * 2;
+
+/// A 160-bit globally unique identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Guid(Digest);
+
+impl fmt::Debug for Guid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Guid({self})")
+    }
+}
+
+impl fmt::Display for Guid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Print the first 8 hex digits; enough to tell GUIDs apart in logs.
+        for b in &self.0[..4] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…")
+    }
+}
+
+impl Guid {
+    /// Wire size of a GUID (160 bits).
+    pub const WIRE_SIZE: usize = DIGEST_LEN;
+
+    /// Constructs a GUID from a raw digest.
+    pub fn from_bytes(bytes: Digest) -> Self {
+        Guid(bytes)
+    }
+
+    /// The raw digest.
+    pub fn as_bytes(&self) -> &Digest {
+        &self.0
+    }
+
+    /// Self-certifying object GUID: the secure hash of the owner's key and
+    /// a human-readable name (§4.1).
+    pub fn for_object(owner: PublicKey, name: &str) -> Self {
+        Guid(sha1_concat(&[b"object", &owner.to_bytes(), name.as_bytes()]))
+    }
+
+    /// Server GUID: the secure hash of the server's public key (§4.1).
+    pub fn for_server(key: PublicKey) -> Self {
+        Guid(sha1_concat(&[b"server", &key.to_bytes()]))
+    }
+
+    /// Content GUID for an archival fragment or immutable version: the
+    /// secure hash over the data it holds (§4.1, §4.5).
+    pub fn for_content(data: &[u8]) -> Self {
+        Guid(sha1_concat(&[b"content", data]))
+    }
+
+    /// Deterministic GUID from an arbitrary label (used by tests and
+    /// workload generators).
+    pub fn from_label(label: &str) -> Self {
+        Guid(sha1_concat(&[b"label", label.as_bytes()]))
+    }
+
+    /// Verifies the self-certifying property: does this GUID belong to
+    /// `(owner, name)`? This is how "servers verify an object's owner
+    /// efficiently" for access checks and resource accounting.
+    pub fn certifies(&self, owner: PublicKey, name: &str) -> bool {
+        *self == Guid::for_object(owner, name)
+    }
+
+    /// Hashes this GUID with a salt value, yielding the root GUID replica
+    /// mapping of §4.3.3 ("hashes each GUID with a small number of
+    /// different salt values").
+    pub fn salted(&self, salt: u32) -> Self {
+        Guid(sha1_concat(&[b"salt", &salt.to_be_bytes(), &self.0]))
+    }
+
+    /// The `i`-th nibble counted from the **least significant** end, the
+    /// digit order in which the Plaxton mesh resolves GUIDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= NIBBLES`.
+    pub fn nibble(&self, i: usize) -> u8 {
+        assert!(i < NIBBLES, "nibble index out of range");
+        // Least-significant nibble = low half of the last byte.
+        let byte = self.0[DIGEST_LEN - 1 - i / 2];
+        if i % 2 == 0 {
+            byte & 0x0f
+        } else {
+            byte >> 4
+        }
+    }
+
+    /// Number of consecutive matching nibbles between two GUIDs, starting
+    /// from the least significant — the "matches the object's GUID in the
+    /// most bits (starting from the least significant)" measure used to
+    /// choose an object's root node.
+    pub fn low_nibble_match_len(&self, other: &Guid) -> usize {
+        (0..NIBBLES).take_while(|&i| self.nibble(i) == other.nibble(i)).count()
+    }
+
+    /// The `i`-th bit counted from the least significant end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 160`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < DIGEST_LEN * 8, "bit index out of range");
+        let byte = self.0[DIGEST_LEN - 1 - i / 8];
+        byte >> (i % 8) & 1 == 1
+    }
+
+    /// Interprets the low 8 bytes as an integer (handy for deterministic
+    /// hashing into buckets).
+    pub fn low_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[DIGEST_LEN - 8..].try_into().expect("8 bytes"))
+    }
+
+    /// Full lowercase hex rendering.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oceanstore_crypto::schnorr::KeyPair;
+
+    fn key(seed: &[u8]) -> PublicKey {
+        KeyPair::from_seed(seed).public()
+    }
+
+    #[test]
+    fn self_certifying_names() {
+        let owner = key(b"alice");
+        let g = Guid::for_object(owner, "calendar");
+        assert!(g.certifies(owner, "calendar"));
+        assert!(!g.certifies(owner, "mail"));
+        assert!(!g.certifies(key(b"mallory"), "calendar"));
+    }
+
+    #[test]
+    fn entity_kinds_are_domain_separated() {
+        // A server key and an object owned by that key with an empty name
+        // must not collide (tags differ).
+        let k = key(b"s");
+        assert_ne!(Guid::for_server(k), Guid::for_object(k, ""));
+    }
+
+    #[test]
+    fn content_guids_track_content() {
+        assert_eq!(Guid::for_content(b"abc"), Guid::for_content(b"abc"));
+        assert_ne!(Guid::for_content(b"abc"), Guid::for_content(b"abd"));
+    }
+
+    #[test]
+    fn salting_disperses_roots() {
+        let g = Guid::from_label("object");
+        let salts: Vec<Guid> = (0..4).map(|s| g.salted(s)).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(salts[i], salts[j]);
+            }
+        }
+        // And is deterministic.
+        assert_eq!(g.salted(2), g.salted(2));
+    }
+
+    #[test]
+    fn nibble_extraction() {
+        let mut bytes = [0u8; DIGEST_LEN];
+        bytes[DIGEST_LEN - 1] = 0xAB; // low byte
+        bytes[DIGEST_LEN - 2] = 0xCD;
+        let g = Guid::from_bytes(bytes);
+        assert_eq!(g.nibble(0), 0xB);
+        assert_eq!(g.nibble(1), 0xA);
+        assert_eq!(g.nibble(2), 0xD);
+        assert_eq!(g.nibble(3), 0xC);
+    }
+
+    #[test]
+    fn low_match_len() {
+        let mut a = [0u8; DIGEST_LEN];
+        let mut b = [0u8; DIGEST_LEN];
+        a[DIGEST_LEN - 1] = 0x34;
+        b[DIGEST_LEN - 1] = 0x34;
+        a[DIGEST_LEN - 2] = 0x12;
+        b[DIGEST_LEN - 2] = 0x52; // differ at nibble 3
+        let (ga, gb) = (Guid::from_bytes(a), Guid::from_bytes(b));
+        assert_eq!(ga.low_nibble_match_len(&gb), 3);
+        assert_eq!(ga.low_nibble_match_len(&ga), NIBBLES);
+    }
+
+    #[test]
+    fn bit_extraction() {
+        let mut bytes = [0u8; DIGEST_LEN];
+        bytes[DIGEST_LEN - 1] = 0b0000_0101;
+        let g = Guid::from_bytes(bytes);
+        assert!(g.bit(0));
+        assert!(!g.bit(1));
+        assert!(g.bit(2));
+        assert!(!g.bit(3));
+    }
+
+    #[test]
+    fn display_is_short_hex() {
+        let g = Guid::from_label("x");
+        let s = format!("{g}");
+        assert_eq!(s.chars().count(), 9); // 8 hex + ellipsis
+        assert!(g.to_hex().starts_with(&s[..8]));
+        assert_eq!(g.to_hex().len(), 40);
+    }
+}

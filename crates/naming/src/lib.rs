@@ -1,0 +1,37 @@
+//! Naming and access control for OceanStore (§4.1, §4.2).
+//!
+//! * [`guid`] — 160-bit self-certifying GUIDs for objects, servers, and
+//!   archival fragments, with the digit-extraction helpers the Plaxton
+//!   location mesh routes by.
+//! * [`directory`] — directory objects mapping human-readable names to
+//!   GUIDs, with client-chosen roots ("the system as a whole has no one
+//!   root").
+//! * [`namespace`] — SDSI-style locally linked namespaces reducing secure
+//!   naming to secure key lookup.
+//! * [`acl`] — reader restriction (key distribution + revocation
+//!   generations) and writer restriction (signed ACL certificates checked
+//!   by servers).
+//!
+//! # Examples
+//!
+//! ```
+//! use oceanstore_crypto::schnorr::KeyPair;
+//! use oceanstore_naming::guid::Guid;
+//!
+//! let owner = KeyPair::from_seed(b"alice");
+//! let guid = Guid::for_object(owner.public(), "calendar");
+//! // Any server can check ownership from the GUID alone:
+//! assert!(guid.certifies(owner.public(), "calendar"));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acl;
+pub mod directory;
+pub mod guid;
+pub mod namespace;
+
+pub use acl::{Acl, AclCertificate, AclChoice, Privilege};
+pub use directory::{DirEntry, Directory};
+pub use guid::Guid;
+pub use namespace::LocalNamespace;

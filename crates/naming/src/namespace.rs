@@ -1,0 +1,191 @@
+//! SDSI-style locally linked namespaces (§4.1).
+//!
+//! Self-certifying GUIDs reduce naming to "a problem of secure key lookup.
+//! We address this problem using the locally linked name spaces from the
+//! SDSI framework [1, 42]." Every principal (key holder) maintains a local
+//! namespace binding nicknames to other principals' public keys; compound
+//! names like `alice's bob's calendar-key` resolve by chaining through
+//! those local namespaces. There is no global key authority.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use oceanstore_crypto::schnorr::PublicKey;
+
+/// One principal's local name space: nickname → principal key.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LocalNamespace {
+    bindings: BTreeMap<String, PublicKey>,
+}
+
+/// Errors during linked-name resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// A link in the chain was not bound.
+    Unbound {
+        /// The nickname that failed to resolve.
+        nickname: String,
+    },
+    /// No namespace is published for an intermediate principal.
+    NoNamespace {
+        /// The principal whose namespace was unavailable.
+        principal: PublicKey,
+    },
+    /// The chain was empty.
+    EmptyChain,
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::Unbound { nickname } => write!(f, "nickname {nickname:?} unbound"),
+            NameError::NoNamespace { .. } => write!(f, "principal publishes no namespace"),
+            NameError::EmptyChain => write!(f, "empty name chain"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+impl LocalNamespace {
+    /// An empty namespace.
+    pub fn new() -> Self {
+        LocalNamespace::default()
+    }
+
+    /// Binds `nickname` to a principal's key, replacing any prior binding.
+    pub fn bind(&mut self, nickname: impl Into<String>, key: PublicKey) {
+        self.bindings.insert(nickname.into(), key);
+    }
+
+    /// Looks up a single nickname.
+    pub fn lookup(&self, nickname: &str) -> Option<PublicKey> {
+        self.bindings.get(nickname).copied()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether the namespace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Resolves a linked chain of nicknames ("alice's bob's carol") against
+    /// this namespace, fetching intermediate principals' namespaces through
+    /// `fetch` (in the full system, namespaces are OceanStore objects named
+    /// by their owner's key).
+    ///
+    /// # Errors
+    ///
+    /// See [`NameError`].
+    pub fn resolve_chain<F>(&self, chain: &[&str], mut fetch: F) -> Result<PublicKey, NameError>
+    where
+        F: FnMut(PublicKey) -> Option<LocalNamespace>,
+    {
+        if chain.is_empty() {
+            return Err(NameError::EmptyChain);
+        }
+        let mut current = self.clone();
+        let mut resolved = None;
+        for (i, nickname) in chain.iter().enumerate() {
+            let key = current
+                .lookup(nickname)
+                .ok_or_else(|| NameError::Unbound { nickname: (*nickname).into() })?;
+            resolved = Some(key);
+            if i + 1 < chain.len() {
+                current = fetch(key).ok_or(NameError::NoNamespace { principal: key })?;
+            }
+        }
+        Ok(resolved.expect("nonempty chain"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oceanstore_crypto::schnorr::KeyPair;
+    use std::collections::HashMap;
+
+    fn key(seed: &[u8]) -> PublicKey {
+        KeyPair::from_seed(seed).public()
+    }
+
+    /// me -> alice -> bob -> carol.
+    fn fixture() -> (LocalNamespace, HashMap<PublicKey, LocalNamespace>) {
+        let (alice, bob, carol) = (key(b"alice"), key(b"bob"), key(b"carol"));
+        let mut me = LocalNamespace::new();
+        me.bind("alice", alice);
+        let mut alice_ns = LocalNamespace::new();
+        alice_ns.bind("bob", bob);
+        let mut bob_ns = LocalNamespace::new();
+        bob_ns.bind("carol", carol);
+        let mut published = HashMap::new();
+        published.insert(alice, alice_ns);
+        published.insert(bob, bob_ns);
+        (me, published)
+    }
+
+    #[test]
+    fn single_link() {
+        let (me, pubs) = fixture();
+        let k = me.resolve_chain(&["alice"], |p| pubs.get(&p).cloned()).unwrap();
+        assert_eq!(k, key(b"alice"));
+    }
+
+    #[test]
+    fn chained_resolution() {
+        let (me, pubs) = fixture();
+        let k = me
+            .resolve_chain(&["alice", "bob", "carol"], |p| pubs.get(&p).cloned())
+            .unwrap();
+        assert_eq!(k, key(b"carol"));
+    }
+
+    #[test]
+    fn unbound_link() {
+        let (me, pubs) = fixture();
+        let err = me
+            .resolve_chain(&["alice", "dave"], |p| pubs.get(&p).cloned())
+            .unwrap_err();
+        assert_eq!(err, NameError::Unbound { nickname: "dave".into() });
+    }
+
+    #[test]
+    fn missing_namespace() {
+        let (me, pubs) = fixture();
+        // carol publishes no namespace, so chaining *through* her fails...
+        let err = me
+            .resolve_chain(&["alice", "bob", "carol", "dan"], |p| pubs.get(&p).cloned())
+            .unwrap_err();
+        assert_eq!(err, NameError::NoNamespace { principal: key(b"carol") });
+    }
+
+    #[test]
+    fn empty_chain() {
+        let (me, pubs) = fixture();
+        assert_eq!(
+            me.resolve_chain(&[], |p| pubs.get(&p).cloned()),
+            Err(NameError::EmptyChain)
+        );
+    }
+
+    #[test]
+    fn names_are_local() {
+        // Two principals can use the same nickname for different keys —
+        // SDSI names are local, not global.
+        let (me, mut pubs) = fixture();
+        let mut alice_ns = pubs[&key(b"alice")].clone();
+        alice_ns.bind("friend", key(b"x"));
+        pubs.insert(key(b"alice"), alice_ns);
+        let mut me2 = me.clone();
+        me2.bind("friend", key(b"y"));
+        let via_alice = me2
+            .resolve_chain(&["alice", "friend"], |p| pubs.get(&p).cloned())
+            .unwrap();
+        let direct = me2.resolve_chain(&["friend"], |p| pubs.get(&p).cloned()).unwrap();
+        assert_ne!(via_alice, direct);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for GUIDs and naming invariants.
+
+use oceanstore_crypto::schnorr::KeyPair;
+use oceanstore_naming::guid::{Guid, NIBBLES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Nibble extraction is a faithful view of the digest bytes.
+    #[test]
+    fn nibbles_reconstruct_bytes(bytes in any::<[u8; 20]>()) {
+        let g = Guid::from_bytes(bytes);
+        let mut rebuilt = [0u8; 20];
+        for i in 0..NIBBLES {
+            let byte = &mut rebuilt[20 - 1 - i / 2];
+            if i % 2 == 0 {
+                *byte |= g.nibble(i);
+            } else {
+                *byte |= g.nibble(i) << 4;
+            }
+        }
+        prop_assert_eq!(rebuilt, bytes);
+    }
+
+    /// low_nibble_match_len is symmetric, maximal on identity, and
+    /// the first mismatching nibble is exactly at the reported length.
+    #[test]
+    fn match_len_properties(a in any::<[u8; 20]>(), b in any::<[u8; 20]>()) {
+        let (ga, gb) = (Guid::from_bytes(a), Guid::from_bytes(b));
+        let m = ga.low_nibble_match_len(&gb);
+        prop_assert_eq!(m, gb.low_nibble_match_len(&ga));
+        prop_assert_eq!(ga.low_nibble_match_len(&ga), NIBBLES);
+        for i in 0..m {
+            prop_assert_eq!(ga.nibble(i), gb.nibble(i));
+        }
+        if m < NIBBLES {
+            prop_assert_ne!(ga.nibble(m), gb.nibble(m));
+        }
+    }
+
+    /// Self-certification binds owner and name: any change to either
+    /// breaks certification.
+    #[test]
+    fn self_certification_binds(
+        seed1 in proptest::collection::vec(any::<u8>(), 1..16),
+        seed2 in proptest::collection::vec(any::<u8>(), 1..16),
+        name in "[a-z/]{1,20}",
+        other_name in "[a-z/]{1,20}",
+    ) {
+        let k1 = KeyPair::from_seed(&seed1).public();
+        let g = Guid::for_object(k1, &name);
+        prop_assert!(g.certifies(k1, &name));
+        if name != other_name {
+            prop_assert!(!g.certifies(k1, &other_name));
+        }
+        if seed1 != seed2 {
+            let k2 = KeyPair::from_seed(&seed2).public();
+            prop_assert!(!g.certifies(k2, &name));
+        }
+    }
+
+    /// Salting is injective-in-practice and deterministic.
+    #[test]
+    fn salting_properties(bytes in any::<[u8; 20]>(), s1 in any::<u32>(), s2 in any::<u32>()) {
+        let g = Guid::from_bytes(bytes);
+        prop_assert_eq!(g.salted(s1), g.salted(s1));
+        if s1 != s2 {
+            prop_assert_ne!(g.salted(s1), g.salted(s2));
+        }
+        prop_assert_ne!(g.salted(s1), g, "salting always moves the GUID");
+    }
+}

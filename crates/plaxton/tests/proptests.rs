@@ -1,0 +1,47 @@
+//! Property-based tests for the global location mesh: for arbitrary
+//! topologies and object GUIDs, routing must terminate at a *unique* root
+//! that maximizes the low-nibble match — the invariant that makes
+//! publish/locate meet.
+
+use std::sync::Arc;
+
+use oceanstore_naming::guid::Guid;
+use oceanstore_plaxton::build::{build_network, find_root};
+use oceanstore_plaxton::protocol::PlaxtonConfig;
+use oceanstore_sim::{NodeId, SimDuration, Topology};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Root uniqueness and maximality over arbitrary meshes and targets.
+    #[test]
+    fn surrogate_root_is_unique_and_maximal(
+        topo_seed in any::<u64>(),
+        guid_seed in any::<u64>(),
+        n in 8usize..48,
+        labels in proptest::collection::vec("[a-z]{1,10}", 1..6),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(topo_seed);
+        let topo = Arc::new(Topology::random_geometric(
+            n,
+            0.3,
+            SimDuration::from_millis(20),
+            &mut rng,
+        ));
+        let (nodes, guids) = build_network(&topo, &PlaxtonConfig::default(), guid_seed);
+        for label in &labels {
+            let target = Guid::from_label(label);
+            let root0 = find_root(&nodes, &target, NodeId(0));
+            // Unique regardless of the starting node.
+            for start in [1usize, n / 2, n - 1] {
+                prop_assert_eq!(find_root(&nodes, &target, NodeId(start)), root0);
+            }
+            // Maximal low-nibble match.
+            let best = guids.iter().map(|g| g.low_nibble_match_len(&target)).max().unwrap();
+            prop_assert_eq!(guids[root0.0].low_nibble_match_len(&target), best);
+        }
+    }
+}

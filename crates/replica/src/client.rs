@@ -1,0 +1,93 @@
+//! The client side of the full update path (Figure 5a): "a client sends it
+//! directly to the object's primary tier, as well as to several other
+//! random replicas for that object."
+
+use oceanstore_consensus::client::{Client as PbftClient, ClientOutcome};
+use oceanstore_consensus::messages::{Payload, RequestId};
+use oceanstore_consensus::replica::TierConfig;
+use oceanstore_crypto::schnorr::KeyPair;
+use oceanstore_naming::guid::Guid;
+use oceanstore_sim::{Context, NodeId, SimDuration};
+use oceanstore_update::{encode_update, Update};
+use rand::seq::SliceRandom;
+use std::sync::Arc;
+
+use crate::messages::{ReplicaMsg, TentativeId};
+use crate::primary::encode_payload;
+
+/// An update-submitting client.
+#[derive(Debug)]
+pub struct UpdateClient {
+    pbft: PbftClient,
+    /// Known secondary replicas to seed the epidemic path.
+    secondaries: Vec<NodeId>,
+    /// How many random secondaries receive the tentative copy.
+    tentative_fanout: usize,
+}
+
+impl UpdateClient {
+    /// Creates a client of the given tier, seeding tentative updates to
+    /// `secondaries`.
+    pub fn new(cfg: TierConfig, keypair: KeyPair, secondaries: Vec<NodeId>) -> Self {
+        UpdateClient { pbft: PbftClient::new(cfg, keypair), secondaries, tentative_fanout: 3 }
+    }
+
+    /// Enables retransmission of unanswered serialize requests
+    /// (disconnected operation: "modifications are automatically
+    /// disseminated upon reconnection", §3).
+    pub fn enable_retransmit(&mut self, interval: SimDuration) {
+        self.pbft.enable_retransmit(interval);
+    }
+
+    /// Sets the tentative fan-out.
+    pub fn set_tentative_fanout(&mut self, k: usize) {
+        self.tentative_fanout = k;
+    }
+
+    /// Submits an update along both paths of Figure 5a. Returns the
+    /// request id for [`UpdateClient::outcome`].
+    pub fn submit(
+        &mut self,
+        ctx: &mut Context<'_, ReplicaMsg>,
+        object: Guid,
+        update: &Update,
+    ) -> RequestId {
+        let encoded = Arc::new(encode_update(update));
+        let payload = Payload::from_bytes(encode_payload(&object, &encoded));
+        let timestamp = ctx.now().as_micros();
+        let id = ctx.with_inner(ReplicaMsg::Pbft, |ictx| self.pbft.submit(ictx, payload));
+        // Tentative copies to random secondaries.
+        let tid = TentativeId { client: id.client, counter: id.seq };
+        let mut secondaries = self.secondaries.clone();
+        secondaries.shuffle(ctx.rng());
+        for s in secondaries.into_iter().take(self.tentative_fanout) {
+            ctx.send(
+                s,
+                ReplicaMsg::Tentative { object, update: Arc::clone(&encoded), timestamp, id: tid },
+            );
+        }
+        id
+    }
+
+    /// The committed outcome, once `m + 1` matching replies arrived.
+    pub fn outcome(&self, id: RequestId) -> Option<&ClientOutcome> {
+        self.pbft.outcome(id)
+    }
+
+    /// Requests still awaiting commitment.
+    pub fn pending_count(&self) -> usize {
+        self.pbft.pending_count()
+    }
+
+    /// Message dispatch.
+    pub fn on_message(&mut self, ctx: &mut Context<'_, ReplicaMsg>, from: NodeId, msg: ReplicaMsg) {
+        if let ReplicaMsg::Pbft(inner) = msg {
+            ctx.with_inner(ReplicaMsg::Pbft, |ictx| self.pbft.on_message(ictx, from, inner));
+        }
+    }
+
+    /// Timer dispatch (retransmissions).
+    pub fn on_timer(&mut self, ctx: &mut Context<'_, ReplicaMsg>, tag: u64) {
+        ctx.with_inner(ReplicaMsg::Pbft, |ictx| self.pbft.on_timer(ictx, tag));
+    }
+}

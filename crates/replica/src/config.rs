@@ -1,0 +1,42 @@
+//! Configuration of the secondary tier and dissemination trees.
+
+use oceanstore_sim::{NodeId, SimDuration};
+
+/// How a dissemination-tree parent feeds one child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChildMode {
+    /// Stream full certified commit records.
+    Push,
+    /// Send only invalidations; the child pulls on demand ("such a
+    /// transformation is exploited at the leaves of the network where
+    /// bandwidth is limited", §4.4.3).
+    Invalidate,
+}
+
+/// Configuration of one secondary replica.
+#[derive(Debug, Clone)]
+pub struct SecondaryConfig {
+    /// Dissemination-tree parent (a primary's disseminator reaches the
+    /// root secondaries directly).
+    pub parent: Option<NodeId>,
+    /// Children this node feeds, with their modes.
+    pub children: Vec<(NodeId, ChildMode)>,
+    /// Epidemic gossip partners (other secondaries).
+    pub peers: Vec<NodeId>,
+    /// How many peers a fresh tentative update is rumored to.
+    pub gossip_fanout: usize,
+    /// Anti-entropy exchange period.
+    pub anti_entropy_interval: SimDuration,
+}
+
+impl Default for SecondaryConfig {
+    fn default() -> Self {
+        SecondaryConfig {
+            parent: None,
+            children: Vec::new(),
+            peers: Vec::new(),
+            gossip_fanout: 2,
+            anti_entropy_interval: SimDuration::from_millis(500),
+        }
+    }
+}

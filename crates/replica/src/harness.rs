@@ -1,0 +1,139 @@
+//! Ready-made two-tier deployments for tests, benches, and examples.
+
+use std::collections::HashMap;
+
+use oceanstore_consensus::replica::{FaultMode, TierConfig};
+use oceanstore_crypto::schnorr::KeyPair;
+use oceanstore_sim::{NodeId, SimDuration, Simulator, Topology};
+
+use crate::client::UpdateClient;
+use crate::config::{ChildMode, SecondaryConfig};
+use crate::node::OceanNode;
+use crate::primary::Primary;
+use crate::secondary::Secondary;
+
+/// Deployment parameters.
+#[derive(Debug, Clone)]
+pub struct DeploymentOpts {
+    /// Faults tolerated by the tier (n = 3m + 1 primaries).
+    pub m: usize,
+    /// Number of secondary replicas.
+    pub secondaries: usize,
+    /// Number of clients.
+    pub clients: usize,
+    /// Uniform one-way latency of the mesh.
+    pub latency: SimDuration,
+    /// Secondary indices fed by invalidation instead of full pushes.
+    pub invalidate_leaves: Vec<usize>,
+    /// RNG/key seed.
+    pub seed: u64,
+}
+
+impl Default for DeploymentOpts {
+    fn default() -> Self {
+        DeploymentOpts {
+            m: 1,
+            secondaries: 6,
+            clients: 1,
+            latency: SimDuration::from_millis(20),
+            invalidate_leaves: Vec::new(),
+            seed: 1,
+        }
+    }
+}
+
+/// A constructed deployment.
+pub struct Deployment {
+    /// The driving simulator.
+    pub sim: Simulator<OceanNode>,
+    /// Tier configuration.
+    pub cfg: TierConfig,
+    /// Node ids of the primaries (tier order).
+    pub primaries: Vec<NodeId>,
+    /// Node ids of the secondaries (tree order: 0 is the root).
+    pub secondaries: Vec<NodeId>,
+    /// Node ids of the clients.
+    pub clients: Vec<NodeId>,
+}
+
+/// Builds a deployment: primaries at nodes `0..n`, secondaries next (in a
+/// binary dissemination tree rooted at secondary 0, which all primaries
+/// feed), then clients.
+pub fn build_deployment(opts: &DeploymentOpts) -> Deployment {
+    let n = 3 * opts.m + 1;
+    let s = opts.secondaries;
+    assert!(s >= 1, "need at least one secondary for the tree root");
+    let total = n + s + opts.clients;
+    let topo = Topology::full_mesh(total, opts.latency);
+
+    let primaries: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let secondaries: Vec<NodeId> = (n..n + s).map(NodeId).collect();
+    let clients: Vec<NodeId> = (n + s..total).map(NodeId).collect();
+
+    let replica_keys: Vec<KeyPair> = (0..n)
+        .map(|i| KeyPair::from_seed(format!("dep-{}-primary-{i}", opts.seed).as_bytes()))
+        .collect();
+    let client_keys: Vec<KeyPair> = (0..opts.clients)
+        .map(|i| KeyPair::from_seed(format!("dep-{}-client-{i}", opts.seed).as_bytes()))
+        .collect();
+    let cfg = TierConfig {
+        m: opts.m,
+        members: primaries.clone(),
+        replica_keys: replica_keys.iter().map(KeyPair::public).collect(),
+        client_keys: clients
+            .iter()
+            .zip(&client_keys)
+            .map(|(node, kp)| (*node, kp.public()))
+            .collect::<HashMap<_, _>>(),
+        view_timeout: SimDuration::from_micros(opts.latency.as_micros() * 30),
+    };
+
+    // Binary tree over the secondaries (heap indexing).
+    let child_mode = |j: usize| {
+        if opts.invalidate_leaves.contains(&j) {
+            ChildMode::Invalidate
+        } else {
+            ChildMode::Push
+        }
+    };
+    let mut nodes: Vec<OceanNode> = Vec::with_capacity(total);
+    for (i, kp) in replica_keys.into_iter().enumerate() {
+        nodes.push(OceanNode::Primary(Primary::new(
+            cfg.clone(),
+            i,
+            kp,
+            FaultMode::Honest,
+            vec![(secondaries[0], child_mode(0))],
+        )));
+    }
+    for j in 0..s {
+        let parent = if j == 0 { primaries[0] } else { secondaries[(j - 1) / 2] };
+        let children: Vec<(NodeId, ChildMode)> = [2 * j + 1, 2 * j + 2]
+            .into_iter()
+            .filter(|&c| c < s)
+            .map(|c| (secondaries[c], child_mode(c)))
+            .collect();
+        let peers: Vec<NodeId> =
+            secondaries.iter().copied().filter(|&p| p != secondaries[j]).collect();
+        let scfg = SecondaryConfig {
+            parent: Some(parent),
+            children,
+            peers,
+            ..SecondaryConfig::default()
+        };
+        nodes.push(OceanNode::Secondary(Secondary::new(
+            scfg,
+            cfg.replica_keys.clone(),
+            opts.m,
+        )));
+    }
+    for kp in client_keys {
+        let mut c = UpdateClient::new(cfg.clone(), kp, secondaries.clone());
+        c.enable_retransmit(SimDuration::from_micros(opts.latency.as_micros() * 60));
+        nodes.push(OceanNode::Client(c));
+    }
+
+    let mut sim = Simulator::new(topo, nodes, opts.seed);
+    sim.start();
+    Deployment { sim, cfg, primaries, secondaries, clients }
+}

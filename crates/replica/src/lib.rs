@@ -1,0 +1,438 @@
+//! Two-tier replication for OceanStore (§4.4.3, §4.4.4, Figure 5).
+//!
+//! * [`primary`] — primary-tier servers: embedded Byzantine agreement,
+//!   deterministic update execution, k-of-n serialization certificates,
+//!   dissemination.
+//! * [`secondary`] — secondary-tier servers: epidemic tentative
+//!   propagation with timestamp ordering, the committed stream down the
+//!   dissemination tree (with the leaf invalidation transformation), pull
+//!   repair and anti-entropy.
+//! * [`client`] — the Figure 5a client: updates flow to the primary tier
+//!   *and* to several random secondaries simultaneously.
+//! * [`store`] — versioned object stores replaying certified records.
+//! * [`harness`] — deployment builder for tests/benches/examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod harness;
+pub mod messages;
+pub mod node;
+pub mod primary;
+pub mod secondary;
+pub mod store;
+
+pub use client::UpdateClient;
+pub use config::{ChildMode, SecondaryConfig};
+pub use harness::{build_deployment, Deployment, DeploymentOpts};
+pub use messages::{CommitRecord, ReplicaMsg, TentativeId};
+pub use node::OceanNode;
+pub use primary::Primary;
+pub use secondary::Secondary;
+pub use store::{ObjectStore, ObjectState};
+
+#[cfg(test)]
+mod tests {
+    use oceanstore_naming::guid::Guid;
+    use oceanstore_sim::SimDuration;
+    use oceanstore_update::ops::{initial_write, read_object, ObjectKeys};
+    use oceanstore_update::update::{Action, Predicate};
+    use oceanstore_update::Update;
+
+    use crate::harness::{build_deployment, Deployment, DeploymentOpts};
+
+    fn submit(
+        dep: &mut Deployment,
+        client_idx: usize,
+        object: Guid,
+        update: &Update,
+    ) -> oceanstore_consensus::messages::RequestId {
+        let client = dep.clients[client_idx];
+        dep.sim.with_node_ctx(client, |node, ctx| {
+            node.as_client_mut().expect("client").submit(ctx, object, update)
+        })
+    }
+
+    fn settle(dep: &mut Deployment, secs: u64) {
+        dep.sim.run_for(SimDuration::from_secs(secs));
+    }
+
+    #[test]
+    fn figure5_full_update_path() {
+        let mut dep = build_deployment(&DeploymentOpts::default());
+        let keys = ObjectKeys::from_seed(b"obj");
+        let object = Guid::from_label("shared");
+        let update = initial_write(&keys, b"shared", &[b"hello world"], &[]);
+        let id = submit(&mut dep, 0, object, &update);
+        settle(&mut dep, 5);
+        // Client saw the commit.
+        let outcome = dep.sim.node(dep.clients[0]).as_client().unwrap().outcome(id).copied();
+        assert!(outcome.is_some(), "client never saw m+1 replies");
+        // Every primary executed it.
+        for &p in &dep.primaries {
+            let prim = dep.sim.node(p).as_primary().unwrap();
+            assert_eq!(prim.store.get(&object).unwrap().data.version_number(), 1);
+        }
+        // Every secondary converged through the dissemination tree.
+        for &s in &dep.secondaries {
+            let sec = dep.sim.node(s).as_secondary().unwrap();
+            let data = sec.committed_view(&object).expect("replicated");
+            assert_eq!(data.version_number(), 1, "secondary {s}");
+            let content = read_object(&keys, data.current()).unwrap();
+            assert_eq!(content, vec![b"hello world".to_vec()]);
+            assert_eq!(sec.tentative_count(&object), 0, "tentative reconciled");
+        }
+    }
+
+    #[test]
+    fn tentative_data_visible_before_commit() {
+        let mut dep = build_deployment(&DeploymentOpts {
+            latency: SimDuration::from_millis(50),
+            ..DeploymentOpts::default()
+        });
+        let object = Guid::from_label("quick");
+        let update =
+            Update::unconditional(vec![Action::Append { ciphertext: vec![1, 2, 3] }]);
+        submit(&mut dep, 0, object, &update);
+        // One hop (50 ms) delivers tentatives; the commit needs ~5 phases.
+        dep.sim.run_for(SimDuration::from_millis(120));
+        let tentative_somewhere = dep
+            .secondaries
+            .iter()
+            .any(|&s| dep.sim.node(s).as_secondary().unwrap().tentative_count(&object) > 0);
+        assert!(tentative_somewhere, "epidemic path should be ahead of the committed path");
+        let committed_anywhere = dep.secondaries.iter().any(|&s| {
+            dep.sim
+                .node(s)
+                .as_secondary()
+                .unwrap()
+                .committed_view(&object)
+                .is_some_and(|d| d.version_number() > 0)
+        });
+        assert!(!committed_anywhere, "commit cannot have finished yet");
+        // Tentative view already shows the data.
+        let sec_with_tentative = dep
+            .secondaries
+            .iter()
+            .find(|&&s| dep.sim.node(s).as_secondary().unwrap().tentative_count(&object) > 0)
+            .copied()
+            .unwrap();
+        let view = dep
+            .sim
+            .node(sec_with_tentative)
+            .as_secondary()
+            .unwrap()
+            .tentative_view_or_empty(&object);
+        assert_eq!(view.version_number(), 1);
+        // Eventually everything converges and tentative state drains.
+        settle(&mut dep, 10);
+        for &s in &dep.secondaries {
+            let sec = dep.sim.node(s).as_secondary().unwrap();
+            assert_eq!(sec.committed_view(&object).unwrap().version_number(), 1);
+            assert_eq!(sec.tentative_count(&object), 0);
+        }
+    }
+
+    #[test]
+    fn epidemic_gossip_spreads_tentatives_everywhere() {
+        let mut dep = build_deployment(&DeploymentOpts {
+            secondaries: 10,
+            latency: SimDuration::from_millis(200),
+            ..DeploymentOpts::default()
+        });
+        let object = Guid::from_label("gossip");
+        let update = Update::unconditional(vec![Action::Append { ciphertext: vec![7] }]);
+        submit(&mut dep, 0, object, &update);
+        // Give the rumor mill a few rounds, well before commits land
+        // (commit takes ~1s at 200 ms per phase; gossip+anti-entropy lap it).
+        dep.sim.run_for(SimDuration::from_millis(900));
+        let holding = dep
+            .secondaries
+            .iter()
+            .filter(|&&s| {
+                let sec = dep.sim.node(s).as_secondary().unwrap();
+                sec.tentative_count(&object) > 0
+            })
+            .count();
+        assert!(
+            holding >= dep.secondaries.len() / 2,
+            "only {holding}/{} secondaries saw the rumor",
+            dep.secondaries.len()
+        );
+    }
+
+    #[test]
+    fn conflicting_updates_serialize_one_winner() {
+        let mut dep = build_deployment(&DeploymentOpts {
+            clients: 2,
+            ..DeploymentOpts::default()
+        });
+        let object = Guid::from_label("contested");
+        // Both clients race a compare-version(0)-guarded write.
+        let u1 = Update::default().with_clause(
+            Predicate::CompareVersion(0),
+            vec![Action::Append { ciphertext: vec![1] }],
+        );
+        let u2 = Update::default().with_clause(
+            Predicate::CompareVersion(0),
+            vec![Action::Append { ciphertext: vec![2] }],
+        );
+        submit(&mut dep, 0, object, &u1);
+        submit(&mut dep, 1, object, &u2);
+        settle(&mut dep, 10);
+        // Exactly one commit bumped the version; the loser aborted but was
+        // still serialized (two records).
+        for &p in &dep.primaries {
+            let st = dep.sim.node(p).as_primary().unwrap().store.get(&object).unwrap();
+            assert_eq!(st.next_index, 2, "both updates serialized");
+            assert_eq!(st.data.version_number(), 1, "only one committed");
+        }
+        // Secondaries agree bit-for-bit.
+        let reference = dep
+            .sim
+            .node(dep.secondaries[0])
+            .as_secondary()
+            .unwrap()
+            .committed_view(&object)
+            .unwrap()
+            .current()
+            .blocks
+            .clone();
+        for &s in &dep.secondaries[1..] {
+            let sec = dep.sim.node(s).as_secondary().unwrap();
+            assert_eq!(sec.committed_view(&object).unwrap().current().blocks, reference);
+        }
+    }
+
+    #[test]
+    fn invalidation_leaves_go_stale_then_pull() {
+        // Secondary 5 (a leaf) is bandwidth-limited: it receives
+        // invalidations only.
+        let mut dep = build_deployment(&DeploymentOpts {
+            secondaries: 6,
+            invalidate_leaves: vec![5],
+            ..DeploymentOpts::default()
+        });
+        let object = Guid::from_label("thin-leaf");
+        let update = Update::unconditional(vec![Action::Append { ciphertext: vec![9; 1000] }]);
+        submit(&mut dep, 0, object, &update);
+        // Let the commit land but beat the anti-entropy pull (500 ms tick).
+        dep.sim.run_for(SimDuration::from_millis(420));
+        let leaf = dep.secondaries[5];
+        {
+            let sec = dep.sim.node(leaf).as_secondary().unwrap();
+            assert!(sec.is_stale(&object), "leaf must know it is behind");
+            assert!(
+                sec.committed_view(&object).map_or(true, |d| d.version_number() == 0),
+                "leaf must not have the data yet"
+            );
+        }
+        // The periodic anti-entropy pull repairs it.
+        settle(&mut dep, 5);
+        let sec = dep.sim.node(leaf).as_secondary().unwrap();
+        assert_eq!(sec.committed_view(&object).unwrap().version_number(), 1);
+        assert!(!sec.is_stale(&object));
+    }
+
+    #[test]
+    fn partitioned_secondary_catches_up_by_anti_entropy() {
+        let mut dep = build_deployment(&DeploymentOpts::default());
+        let object = Guid::from_label("partitioned");
+        // Cut secondary[4] off from everyone.
+        let victim = dep.secondaries[4];
+        let total = dep.sim.len();
+        let groups: Vec<u32> = (0..total).map(|i| u32::from(i == victim.0)).collect();
+        dep.sim.set_partitions(Some(groups));
+        let update = Update::unconditional(vec![Action::Append { ciphertext: vec![3] }]);
+        submit(&mut dep, 0, object, &update);
+        settle(&mut dep, 5);
+        assert!(
+            dep.sim
+                .node(victim)
+                .as_secondary()
+                .unwrap()
+                .committed_view(&object)
+                .map_or(true, |d| d.version_number() == 0),
+            "partitioned replica cannot have the update"
+        );
+        // Heal; anti-entropy with peers brings it up to date.
+        dep.sim.set_partitions(None);
+        settle(&mut dep, 5);
+        let sec = dep.sim.node(victim).as_secondary().unwrap();
+        assert_eq!(sec.committed_view(&object).unwrap().version_number(), 1);
+    }
+
+    #[test]
+    fn disconnected_client_commits_on_reconnection() {
+        // The §3 email story: the client is cut off from the primary tier
+        // but reaches one secondary; its update lives tentatively until
+        // reconnection, then commits.
+        let mut dep = build_deployment(&DeploymentOpts::default());
+        let object = Guid::from_label("offline-mail");
+        let client = dep.clients[0];
+        let reachable = dep.secondaries[1];
+        // Partition: client + one secondary on one side, world on the other.
+        let total = dep.sim.len();
+        let groups: Vec<u32> = (0..total)
+            .map(|i| u32::from(!(i == client.0 || i == reachable.0)))
+            .collect();
+        dep.sim.set_partitions(Some(groups));
+        let update = Update::unconditional(vec![Action::Append { ciphertext: vec![5] }]);
+        let id = submit(&mut dep, 0, object, &update);
+        settle(&mut dep, 3);
+        {
+            let sec = dep.sim.node(reachable).as_secondary().unwrap();
+            assert!(sec.tentative_count(&object) > 0, "tentative data on the near secondary");
+            let view = sec.tentative_view_or_empty(&object);
+            assert_eq!(view.version_number(), 1, "disconnected reads see the write");
+            assert!(
+                dep.sim.node(client).as_client().unwrap().outcome(id).is_none(),
+                "no commit while disconnected"
+            );
+        }
+        // Reconnect: client retransmission pushes the update through.
+        dep.sim.set_partitions(None);
+        settle(&mut dep, 10);
+        assert!(
+            dep.sim.node(client).as_client().unwrap().outcome(id).is_some(),
+            "update commits after reconnection"
+        );
+        for &s in &dep.secondaries {
+            let sec = dep.sim.node(s).as_secondary().unwrap();
+            assert_eq!(sec.committed_view(&object).unwrap().version_number(), 1);
+            assert_eq!(sec.tentative_count(&object), 0);
+        }
+    }
+
+    #[test]
+    fn tentative_order_follows_timestamps() {
+        let mut dep = build_deployment(&DeploymentOpts {
+            clients: 2,
+            // Slow network so commits don't race the check.
+            latency: SimDuration::from_millis(300),
+            ..DeploymentOpts::default()
+        });
+        let object = Guid::from_label("ordered");
+        let u_first = Update::unconditional(vec![Action::Append { ciphertext: vec![1] }]);
+        let u_second = Update::unconditional(vec![Action::Append { ciphertext: vec![2] }]);
+        // Client 0 writes at t=0; client 1 writes 50 ms later.
+        submit(&mut dep, 0, object, &u_first);
+        dep.sim.run_for(SimDuration::from_millis(50));
+        submit(&mut dep, 1, object, &u_second);
+        // Give the epidemic time to reach everyone, commits still pending.
+        dep.sim.run_for(SimDuration::from_millis(1200));
+        let mut checked = 0;
+        for &s in &dep.secondaries {
+            let sec = dep.sim.node(s).as_secondary().unwrap();
+            if sec.tentative_count(&object) == 2 {
+                let view = sec.tentative_view_or_empty(&object);
+                let v = view.current();
+                let order = v.logical_order();
+                let bytes: Vec<u8> = order
+                    .iter()
+                    .map(|&slot| match &v.blocks[slot] {
+                        oceanstore_update::Block::Data(d) => d[0],
+                        _ => 0,
+                    })
+                    .collect();
+                assert_eq!(bytes, vec![1, 2], "timestamp order on secondary {s}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no secondary held both tentatives");
+    }
+}
+
+#[cfg(test)]
+mod security_tests {
+    use std::sync::Arc;
+
+    use oceanstore_crypto::schnorr::KeyPair;
+    use oceanstore_crypto::threshold::SerializationCert;
+    use oceanstore_naming::guid::Guid;
+    use oceanstore_sim::{NodeId, SimDuration};
+    use oceanstore_update::encode_update;
+    use oceanstore_update::update::Action;
+    use oceanstore_update::Update;
+
+    use crate::harness::{build_deployment, DeploymentOpts};
+    use crate::messages::{CommitRecord, ReplicaMsg, TentativeId};
+
+    /// A compromised server forging a commit record (no valid tier
+    /// certificate) must be ignored by secondaries: the untrusted
+    /// infrastructure cannot fabricate committed state.
+    #[test]
+    fn forged_commit_record_rejected() {
+        let mut dep = build_deployment(&DeploymentOpts::default());
+        let object = Guid::from_label("forged");
+        let evil_update =
+            Update::unconditional(vec![Action::Append { ciphertext: vec![0xEE; 4] }]);
+        let attacker_keys: Vec<KeyPair> =
+            (0..4).map(|i| KeyPair::from_seed(format!("attacker-{i}").as_bytes())).collect();
+        let mut record = CommitRecord {
+            object,
+            index: 0,
+            update: Arc::new(encode_update(&evil_update)),
+            version: Some(1),
+            timestamp: 0,
+            id: TentativeId { client: NodeId(99), counter: 0 },
+            cert: SerializationCert::new(),
+        };
+        // The attacker signs with keys that are NOT the tier's.
+        let msg = record.signing_bytes();
+        for kp in &attacker_keys {
+            record.cert.add(kp.public(), kp.sign(&msg));
+        }
+        let victim = dep.secondaries[1];
+        let source = dep.secondaries[2];
+        dep.sim.inject(source, victim, ReplicaMsg::Commit(record));
+        dep.sim.run_for(SimDuration::from_secs(2));
+        let sec = dep.sim.node(victim).as_secondary().unwrap();
+        assert!(
+            sec.committed_view(&object).is_none()
+                || sec.committed_view(&object).unwrap().version_number() == 0,
+            "forged record must not apply"
+        );
+    }
+
+    /// A record with a *valid* certificate but tampered update bytes must
+    /// also be rejected (the cert binds the update digest).
+    #[test]
+    fn tampered_certified_record_rejected() {
+        let mut dep = build_deployment(&DeploymentOpts::default());
+        let object = Guid::from_label("tampered");
+        let update = Update::unconditional(vec![Action::Append { ciphertext: vec![1, 2, 3] }]);
+        let client = dep.clients[0];
+        dep.sim.with_node_ctx(client, |node, ctx| {
+            node.as_client_mut().unwrap().submit(ctx, object, &update)
+        });
+        dep.sim.run_for(SimDuration::from_secs(5));
+        // Steal the genuine certified record from a secondary's log...
+        let genuine = dep
+            .sim
+            .node(dep.secondaries[0])
+            .as_secondary()
+            .unwrap()
+            .store
+            .records_from(&object, 0)
+            .into_iter()
+            .next()
+            .expect("committed");
+        // ...and tamper with the update bytes while keeping the cert.
+        let other = Update::unconditional(vec![Action::Append { ciphertext: vec![9, 9, 9] }]);
+        let mut forged = genuine.clone();
+        forged.update = Arc::new(encode_update(&other));
+        forged.index = 1; // next slot, so the gap check doesn't mask the cert check
+        let victim = dep.secondaries[3];
+        dep.sim.inject(dep.secondaries[2], victim, ReplicaMsg::Commit(forged));
+        dep.sim.run_for(SimDuration::from_secs(2));
+        let sec = dep.sim.node(victim).as_secondary().unwrap();
+        assert_eq!(
+            sec.committed_view(&object).unwrap().version_number(),
+            1,
+            "only the genuine update applied"
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Wire messages of the two-tier replication layer (§4.4.3, §4.4.4).
+
+use std::sync::Arc;
+
+use oceanstore_consensus::messages::PbftMsg;
+use oceanstore_crypto::schnorr::Signature;
+use oceanstore_crypto::threshold::SerializationCert;
+use oceanstore_naming::guid::Guid;
+use oceanstore_sim::{Message, NodeId};
+
+/// Identity of a tentative update: (origin client, client-local counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TentativeId {
+    /// Client that generated the update.
+    pub client: NodeId,
+    /// Client-local counter.
+    pub counter: u64,
+}
+
+/// A commit record as certified by the primary tier and streamed down the
+/// dissemination tree.
+#[derive(Debug, Clone)]
+pub struct CommitRecord {
+    /// The object this commit belongs to.
+    pub object: Guid,
+    /// Per-object serialization index (dense, starting at 0; counts aborts
+    /// too — "the update itself is logged regardless").
+    pub index: u64,
+    /// The encoded update.
+    pub update: Arc<Vec<u8>>,
+    /// Resulting version if the update committed; `None` if it aborted.
+    pub version: Option<u64>,
+    /// Client timestamp (tentative-order hint).
+    pub timestamp: u64,
+    /// Tentative identity, for reconciling the optimistic path.
+    pub id: TentativeId,
+    /// k-of-n certificate from the primary tier over this record.
+    pub cert: SerializationCert,
+}
+
+impl CommitRecord {
+    /// The bytes the tier signs for this record.
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        let mut out = b"commit-record".to_vec();
+        out.extend_from_slice(self.object.as_bytes());
+        out.extend_from_slice(&self.index.to_be_bytes());
+        out.extend_from_slice(&oceanstore_crypto::sha1::sha1(&self.update));
+        match self.version {
+            Some(v) => {
+                out.push(1);
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Wire size of the record inside messages.
+    pub fn wire_size(&self) -> usize {
+        Guid::WIRE_SIZE + 8 + self.update.len() + 9 + 8 + 16 + self.cert.wire_size()
+    }
+}
+
+/// Messages of the replication layer.
+#[derive(Debug, Clone)]
+pub enum ReplicaMsg {
+    /// An embedded Byzantine-agreement message (primary tier traffic).
+    Pbft(PbftMsg),
+    /// An optimistic update spreading epidemically among secondaries
+    /// (Figure 5b).
+    Tentative {
+        /// Target object.
+        object: Guid,
+        /// Encoded update.
+        update: Arc<Vec<u8>>,
+        /// Client's optimistic timestamp.
+        timestamp: u64,
+        /// Identity for dedup/reconciliation.
+        id: TentativeId,
+    },
+    /// A primary replica's signature share over a commit record, sent to
+    /// the disseminating replica.
+    ResultShare {
+        /// Record being vouched for (without a cert yet).
+        object: Guid,
+        /// Per-object serialization index.
+        index: u64,
+        /// Digest of the encoded update.
+        update_digest: [u8; 20],
+        /// Resulting version (None = abort).
+        version: Option<u64>,
+        /// Tier index of the signer.
+        replica: usize,
+        /// Signature over the record's signing bytes.
+        sig: Signature,
+    },
+    /// A certified commit pushed down the dissemination tree (Figure 5c).
+    Commit(CommitRecord),
+    /// Leaf-edge transformation: "dissemination trees transform updates
+    /// into invalidations ... at the leaves of the network where bandwidth
+    /// is limited" (§4.4.3).
+    Invalidate {
+        /// The stale object.
+        object: Guid,
+        /// Serialization index the child is now behind.
+        index: u64,
+        /// Latest version number.
+        version: Option<u64>,
+    },
+    /// Pull path: give me commit records from `from_index` on.
+    FetchCommits {
+        /// Object to catch up.
+        object: Guid,
+        /// First missing index.
+        from_index: u64,
+    },
+    /// Response to [`ReplicaMsg::FetchCommits`].
+    Commits {
+        /// The records, in index order.
+        records: Vec<CommitRecord>,
+    },
+    /// Periodic anti-entropy summary between secondaries.
+    AntiEntropy {
+        /// Object being summarized.
+        object: Guid,
+        /// Sender's next expected commit index.
+        committed_index: u64,
+        /// Tentative updates the sender holds.
+        tentative_ids: Vec<TentativeId>,
+    },
+}
+
+impl Message for ReplicaMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            ReplicaMsg::Pbft(m) => m.wire_size(),
+            ReplicaMsg::Tentative { update, .. } => Guid::WIRE_SIZE + update.len() + 32,
+            ReplicaMsg::ResultShare { .. } => {
+                Guid::WIRE_SIZE + 8 + 20 + 9 + 8 + Signature::WIRE_SIZE
+            }
+            ReplicaMsg::Commit(r) => r.wire_size(),
+            ReplicaMsg::Invalidate { .. } => Guid::WIRE_SIZE + 24,
+            ReplicaMsg::FetchCommits { .. } => Guid::WIRE_SIZE + 16,
+            ReplicaMsg::Commits { records } => {
+                16 + records.iter().map(CommitRecord::wire_size).sum::<usize>()
+            }
+            ReplicaMsg::AntiEntropy { tentative_ids, .. } => {
+                Guid::WIRE_SIZE + 16 + tentative_ids.len() * 16
+            }
+        }
+    }
+
+    fn class(&self) -> &'static str {
+        match self {
+            ReplicaMsg::Pbft(m) => m.class(),
+            ReplicaMsg::Tentative { .. } => "replica/tentative",
+            ReplicaMsg::ResultShare { .. } => "replica/resultshare",
+            ReplicaMsg::Commit(_) => "replica/commit",
+            ReplicaMsg::Invalidate { .. } => "replica/invalidate",
+            ReplicaMsg::FetchCommits { .. } => "replica/fetch",
+            ReplicaMsg::Commits { .. } => "replica/commits",
+            ReplicaMsg::AntiEntropy { .. } => "replica/antientropy",
+        }
+    }
+}

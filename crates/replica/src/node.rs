@@ -1,0 +1,116 @@
+//! Composite simulation node for the replication layer.
+
+use oceanstore_sim::{Context, NodeId, Protocol};
+
+use crate::client::UpdateClient;
+use crate::messages::ReplicaMsg;
+use crate::primary::Primary;
+use crate::secondary::Secondary;
+
+/// A node in a two-tier replication deployment.
+#[derive(Debug)]
+pub enum OceanNode {
+    /// Primary-tier server (agreement + dissemination).
+    Primary(Primary),
+    /// Secondary-tier server (epidemic + tree).
+    Secondary(Secondary),
+    /// An update-submitting client.
+    Client(UpdateClient),
+    /// Bystander.
+    Idle,
+}
+
+impl OceanNode {
+    /// Primary accessor.
+    pub fn as_primary(&self) -> Option<&Primary> {
+        match self {
+            OceanNode::Primary(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Secondary accessor.
+    pub fn as_secondary(&self) -> Option<&Secondary> {
+        match self {
+            OceanNode::Secondary(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Mutable secondary accessor.
+    pub fn as_secondary_mut(&mut self) -> Option<&mut Secondary> {
+        match self {
+            OceanNode::Secondary(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Client accessor.
+    pub fn as_client(&self) -> Option<&UpdateClient> {
+        match self {
+            OceanNode::Client(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Mutable client accessor.
+    pub fn as_client_mut(&mut self) -> Option<&mut UpdateClient> {
+        match self {
+            OceanNode::Client(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl Protocol for OceanNode {
+    type Msg = ReplicaMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ReplicaMsg>) {
+        if let OceanNode::Secondary(s) = self {
+            s.on_start(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ReplicaMsg>, from: NodeId, msg: ReplicaMsg) {
+        match self {
+            OceanNode::Primary(p) => match msg {
+                ReplicaMsg::Pbft(inner) => p.on_pbft(ctx, from, inner),
+                ReplicaMsg::ResultShare { object, index, update_digest, version, replica, sig } => {
+                    p.on_result_share(ctx, object, index, update_digest, version, replica, sig);
+                }
+                ReplicaMsg::FetchCommits { object, from_index } => {
+                    p.on_fetch(ctx, from, object, from_index);
+                }
+                _ => {}
+            },
+            OceanNode::Secondary(s) => match msg {
+                ReplicaMsg::Tentative { object, update, timestamp, id } => {
+                    s.on_tentative(ctx, object, update, timestamp, id);
+                }
+                ReplicaMsg::Commit(record) => {
+                    s.on_commit(ctx, record);
+                }
+                ReplicaMsg::Commits { records } => s.on_commits(ctx, records),
+                ReplicaMsg::Invalidate { object, index, .. } => s.on_invalidate(ctx, object, index),
+                ReplicaMsg::FetchCommits { object, from_index } => {
+                    s.on_fetch(ctx, from, object, from_index);
+                }
+                ReplicaMsg::AntiEntropy { object, committed_index, tentative_ids } => {
+                    s.on_anti_entropy(ctx, from, object, committed_index, tentative_ids);
+                }
+                _ => {}
+            },
+            OceanNode::Client(c) => c.on_message(ctx, from, msg),
+            OceanNode::Idle => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ReplicaMsg>, tag: u64) {
+        match self {
+            OceanNode::Primary(p) => p.on_pbft_timer(ctx, tag),
+            OceanNode::Secondary(s) => s.on_timer(ctx, tag),
+            OceanNode::Client(c) => c.on_timer(ctx, tag),
+            OceanNode::Idle => {}
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Primary-tier replica: Byzantine serialization + certified dissemination
+//! (§4.4.3, §4.4.4).
+//!
+//! Each primary embeds a PBFT replica (from `oceanstore-consensus`). When
+//! agreement executes an update, the primary deterministically applies it
+//! to its object store, signs the resulting commit record, and sends its
+//! signature share to the record's *disseminator* (a tier member chosen by
+//! rotation). The disseminator assembles an `m + 1`-of-`n` serialization
+//! certificate — the offline-verifiable artifact of §4.4.3 — and pushes the
+//! certified record into the dissemination tree.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use oceanstore_consensus::messages::PbftMsg;
+use oceanstore_consensus::replica::{Replica, TierConfig};
+use oceanstore_crypto::schnorr::{verify, KeyPair, Signature};
+use oceanstore_crypto::threshold::SerializationCert;
+use oceanstore_naming::guid::Guid;
+use oceanstore_sim::{Context, NodeId};
+use oceanstore_update::decode_update;
+
+use crate::config::ChildMode;
+use crate::messages::{CommitRecord, ReplicaMsg, TentativeId};
+use crate::store::ObjectStore;
+
+/// Encodes an agreement payload: object GUID followed by the encoded
+/// update.
+pub fn encode_payload(object: &Guid, update_bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20 + update_bytes.len());
+    out.extend_from_slice(object.as_bytes());
+    out.extend_from_slice(update_bytes);
+    out
+}
+
+/// Splits an agreement payload back into GUID and update bytes.
+pub fn decode_payload(bytes: &[u8]) -> Option<(Guid, &[u8])> {
+    if bytes.len() < 20 {
+        return None;
+    }
+    let guid = Guid::from_bytes(bytes[..20].try_into().expect("20 bytes"));
+    Some((guid, &bytes[20..]))
+}
+
+/// A primary-tier server.
+#[derive(Debug)]
+pub struct Primary {
+    /// The embedded agreement machine.
+    pbft: Replica,
+    cfg: TierConfig,
+    index: usize,
+    keypair: KeyPair,
+    /// Committed object state (primaries hold the active form too).
+    pub store: ObjectStore,
+    /// Dissemination-tree children fed by this primary when it
+    /// disseminates.
+    children: Vec<(NodeId, ChildMode)>,
+    /// Executed agreement entries already turned into records.
+    drained: usize,
+    /// Certificate assembly: (object, index) → (record, cert so far).
+    assembling: HashMap<(Guid, u64), (CommitRecord, SerializationCert)>,
+    /// Records already disseminated (so late shares don't re-send).
+    disseminated: std::collections::HashSet<(Guid, u64)>,
+}
+
+impl Primary {
+    /// Creates primary `index` with its embedded PBFT replica.
+    pub fn new(
+        cfg: TierConfig,
+        index: usize,
+        keypair: KeyPair,
+        fault: oceanstore_consensus::replica::FaultMode,
+        children: Vec<(NodeId, ChildMode)>,
+    ) -> Self {
+        let pbft = Replica::new(cfg.clone(), index, keypair.clone(), fault);
+        Primary {
+            pbft,
+            cfg,
+            index,
+            keypair,
+            store: ObjectStore::new(),
+            children,
+            drained: 0,
+            assembling: HashMap::new(),
+            disseminated: Default::default(),
+        }
+    }
+
+    /// Tier index of this primary.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The embedded agreement replica (tests / inspection).
+    pub fn pbft(&self) -> &Replica {
+        &self.pbft
+    }
+
+    /// Which tier member disseminates record `index` of `object`
+    /// (rotation keyed by object and index so one faulty member only
+    /// stalls a slice of traffic).
+    fn disseminator(&self, object: &Guid, index: u64) -> usize {
+        ((object.low_u64().wrapping_add(index)) % self.cfg.n() as u64) as usize
+    }
+
+    /// Handles an embedded agreement message, then turns any newly
+    /// executed updates into signed commit records.
+    pub fn on_pbft(&mut self, ctx: &mut Context<'_, ReplicaMsg>, from: NodeId, msg: PbftMsg) {
+        ctx.with_inner(ReplicaMsg::Pbft, |ictx| self.pbft.on_message(ictx, from, msg));
+        self.drain_executed(ctx);
+    }
+
+    /// Forwards an agreement timer.
+    pub fn on_pbft_timer(&mut self, ctx: &mut Context<'_, ReplicaMsg>, tag: u64) {
+        ctx.with_inner(ReplicaMsg::Pbft, |ictx| self.pbft.on_timer(ictx, tag));
+        self.drain_executed(ctx);
+    }
+
+    fn drain_executed(&mut self, ctx: &mut Context<'_, ReplicaMsg>) {
+        while self.drained < self.pbft.executed().len() {
+            let entry = self.pbft.executed()[self.drained].clone();
+            self.drained += 1;
+            let Some((object, update_bytes)) = decode_payload(&entry.payload.bytes) else {
+                continue; // malformed payload agreed on; logged nowhere to go
+            };
+            let Ok(update) = decode_update(update_bytes) else { continue };
+            let id = TentativeId { client: entry.request.client, counter: entry.request.seq };
+            let record = self.store.serialize_update(
+                object,
+                &update,
+                Arc::new(update_bytes.to_vec()),
+                entry.timestamp,
+                id,
+            );
+            // Sign and route the share to the disseminator.
+            let sig = self.keypair.sign(&record.signing_bytes());
+            let diss = self.disseminator(&object, record.index);
+            let share = ReplicaMsg::ResultShare {
+                object,
+                index: record.index,
+                update_digest: oceanstore_crypto::sha1::sha1(&record.update),
+                version: record.version,
+                replica: self.index,
+                sig,
+            };
+            if diss == self.index {
+                self.accept_share(ctx, object, record.index, self.index, sig);
+            } else {
+                ctx.send(self.cfg.members[diss], share);
+            }
+        }
+    }
+
+    /// Handles a signature share (we are the disseminator for it).
+    pub fn on_result_share(
+        &mut self,
+        ctx: &mut Context<'_, ReplicaMsg>,
+        object: Guid,
+        index: u64,
+        update_digest: [u8; 20],
+        version: Option<u64>,
+        replica: usize,
+        sig: Signature,
+    ) {
+        // Only meaningful once we executed the same record ourselves.
+        let our: Vec<CommitRecord> = self.store.records_from(&object, index);
+        let Some(record) = our.first().filter(|r| r.index == index) else {
+            // We haven't executed this far yet; shares from faster peers
+            // will be re-derived when we do (they also resend via fetch).
+            return;
+        };
+        if oceanstore_crypto::sha1::sha1(&record.update) != update_digest
+            || record.version != version
+        {
+            return; // share disagrees with our deterministic result
+        }
+        let Some(key) = self.cfg.replica_keys.get(replica) else { return };
+        if !verify(*key, &record.signing_bytes(), &sig) {
+            return;
+        }
+        self.accept_share(ctx, object, index, replica, sig);
+    }
+
+    fn accept_share(
+        &mut self,
+        ctx: &mut Context<'_, ReplicaMsg>,
+        object: Guid,
+        index: u64,
+        replica: usize,
+        sig: Signature,
+    ) {
+        if self.disseminated.contains(&(object, index)) {
+            return;
+        }
+        let record = {
+            let recs = self.store.records_from(&object, index);
+            match recs.into_iter().next() {
+                Some(r) if r.index == index => r,
+                _ => return,
+            }
+        };
+        let entry = self
+            .assembling
+            .entry((object, index))
+            .or_insert_with(|| (record, SerializationCert::new()));
+        entry.1.add(self.cfg.replica_keys[replica], sig);
+        // Make sure our own share is always in the pool.
+        let own = self.keypair.sign(&entry.0.signing_bytes());
+        entry.1.add(self.keypair.public(), own);
+        if entry.1.valid_count(&entry.0.signing_bytes(), &self.cfg.replica_keys)
+            >= self.cfg.m + 1
+        {
+            let (mut record, cert) = self
+                .assembling
+                .remove(&(object, index))
+                .expect("entry just touched");
+            record.cert = cert.clone();
+            // Persist the cert so fetch responses serve verifiable records.
+            self.store.set_cert(&object, index, cert);
+            self.disseminated.insert((object, index));
+            for (child, mode) in self.children.clone() {
+                match mode {
+                    ChildMode::Push => ctx.send(child, ReplicaMsg::Commit(record.clone())),
+                    ChildMode::Invalidate => ctx.send(
+                        child,
+                        ReplicaMsg::Invalidate {
+                            object,
+                            index: record.index,
+                            version: record.version,
+                        },
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Serves the pull path for children and stale secondaries.
+    pub fn on_fetch(
+        &mut self,
+        ctx: &mut Context<'_, ReplicaMsg>,
+        from: NodeId,
+        object: Guid,
+        from_index: u64,
+    ) {
+        // Only serve records whose certificate is assembled; a record
+        // without one is unverifiable for the requester.
+        let records: Vec<_> = self
+            .store
+            .records_from(&object, from_index)
+            .into_iter()
+            .filter(|r| !r.cert.is_empty())
+            .collect();
+        if !records.is_empty() {
+            ctx.send(from, ReplicaMsg::Commits { records });
+        }
+    }
+}

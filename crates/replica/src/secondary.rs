@@ -1,0 +1,318 @@
+//! Secondary-tier replicas (§4.4.3): epidemic tentative propagation plus
+//! the committed stream from the dissemination tree.
+//!
+//! "Secondary replicas contain both tentative and committed data. They
+//! employ an epidemic-style communication pattern to quickly spread
+//! tentative commits among themselves and to pick a tentative
+//! serialization order ... Secondary replicas order tentative updates in
+//! timestamp order."
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use oceanstore_crypto::schnorr::PublicKey;
+use oceanstore_naming::guid::Guid;
+use oceanstore_sim::{Context, NodeId};
+use oceanstore_update::object::DataObject;
+use oceanstore_update::update::apply;
+use oceanstore_update::decode_update;
+use rand::seq::SliceRandom;
+
+use crate::config::{ChildMode, SecondaryConfig};
+use crate::messages::{CommitRecord, ReplicaMsg, TentativeId};
+use crate::store::ObjectStore;
+
+/// Timer tag for the anti-entropy exchange.
+const TIMER_ANTI_ENTROPY: u64 = 10;
+
+/// A secondary replica.
+#[derive(Debug)]
+pub struct Secondary {
+    cfg: SecondaryConfig,
+    /// Committed state + record log.
+    pub store: ObjectStore,
+    /// Tentative updates per object, in (timestamp, id) order — the
+    /// tentative serialization order.
+    tentative: HashMap<Guid, BTreeMap<(u64, TentativeId), Arc<Vec<u8>>>>,
+    /// Updates already seen (dedup for the rumor mill).
+    seen: HashSet<(Guid, TentativeId)>,
+    /// Primary-tier verification material.
+    tier_keys: Vec<PublicKey>,
+    tier_m: usize,
+}
+
+impl Secondary {
+    /// Creates a secondary verifying certificates against `tier_keys`
+    /// (threshold `tier_m + 1`).
+    pub fn new(cfg: SecondaryConfig, tier_keys: Vec<PublicKey>, tier_m: usize) -> Self {
+        Secondary {
+            cfg,
+            store: ObjectStore::new(),
+            tentative: HashMap::new(),
+            seen: HashSet::new(),
+            tier_keys,
+            tier_m,
+        }
+    }
+
+    /// The committed view of an object, if replicated here.
+    pub fn committed_view(&self, object: &Guid) -> Option<&DataObject> {
+        self.store.get(object).map(|s| &s.data)
+    }
+
+    /// The tentative view: committed state plus tentative updates applied
+    /// in timestamp order (what an optimistic reader sees, e.g. for
+    /// disconnected operation).
+    pub fn tentative_view(&self, object: &Guid) -> Option<DataObject> {
+        let mut data = self.store.get(object).map(|s| s.data.clone())?;
+        if let Some(pending) = self.tentative.get(object) {
+            for enc in pending.values() {
+                if let Ok(u) = decode_update(enc) {
+                    let _ = apply(&mut data, &u);
+                }
+            }
+        }
+        Some(data)
+    }
+
+    /// Like [`Secondary::tentative_view`] but creates the object if this
+    /// replica has only tentative data for it (fully disconnected write).
+    pub fn tentative_view_or_empty(&self, object: &Guid) -> DataObject {
+        let mut data = self
+            .store
+            .get(object)
+            .map(|s| s.data.clone())
+            .unwrap_or_default();
+        if let Some(pending) = self.tentative.get(object) {
+            for enc in pending.values() {
+                if let Ok(u) = decode_update(enc) {
+                    let _ = apply(&mut data, &u);
+                }
+            }
+        }
+        data
+    }
+
+    /// Number of tentative updates held for `object`.
+    pub fn tentative_count(&self, object: &Guid) -> usize {
+        self.tentative.get(object).map_or(0, BTreeMap::len)
+    }
+
+    /// Whether this replica knows it is behind on `object`.
+    pub fn is_stale(&self, object: &Guid) -> bool {
+        self.store.get(object).is_some_and(|s| s.known_index > s.next_index)
+    }
+
+    /// Starts the periodic anti-entropy timer.
+    pub fn on_start(&mut self, ctx: &mut Context<'_, ReplicaMsg>) {
+        ctx.set_timer(self.cfg.anti_entropy_interval, TIMER_ANTI_ENTROPY);
+    }
+
+    /// Timer dispatch.
+    pub fn on_timer(&mut self, ctx: &mut Context<'_, ReplicaMsg>, tag: u64) {
+        if tag != TIMER_ANTI_ENTROPY {
+            return;
+        }
+        // One random peer, one summary per known object.
+        if !self.cfg.peers.is_empty() {
+            let peer = *self.cfg.peers[..].choose(ctx.rng()).expect("nonempty");
+            let objects: Vec<Guid> = self
+                .store
+                .guids()
+                .copied()
+                .chain(self.tentative.keys().copied())
+                .collect::<HashSet<_>>()
+                .into_iter()
+                .collect();
+            for object in objects {
+                let committed_index = self.store.get(&object).map_or(0, |s| s.next_index);
+                let tentative_ids: Vec<TentativeId> = self
+                    .tentative
+                    .get(&object)
+                    .map(|m| m.keys().map(|(_, id)| *id).collect())
+                    .unwrap_or_default();
+                ctx.send(peer, ReplicaMsg::AntiEntropy { object, committed_index, tentative_ids });
+            }
+        }
+        // Re-pull anything stale from the parent.
+        if let Some(parent) = self.cfg.parent {
+            let stale: Vec<(Guid, u64)> = self
+                .store
+                .guids()
+                .copied()
+                .collect::<Vec<_>>()
+                .into_iter()
+                .filter_map(|g| {
+                    let s = self.store.get(&g).expect("just listed");
+                    (s.known_index > s.next_index).then_some((g, s.next_index))
+                })
+                .collect();
+            for (object, from_index) in stale {
+                ctx.send(parent, ReplicaMsg::FetchCommits { object, from_index });
+            }
+        }
+        ctx.set_timer(self.cfg.anti_entropy_interval, TIMER_ANTI_ENTROPY);
+    }
+
+    /// Accepts a tentative update (from a client or a gossiping peer) and
+    /// rumors it onward.
+    pub fn on_tentative(
+        &mut self,
+        ctx: &mut Context<'_, ReplicaMsg>,
+        object: Guid,
+        update: Arc<Vec<u8>>,
+        timestamp: u64,
+        id: TentativeId,
+    ) {
+        if !self.seen.insert((object, id)) {
+            return; // already rumored
+        }
+        // Skip updates that are already committed.
+        let already_committed = self
+            .store
+            .get(&object)
+            .is_some_and(|s| s.records.iter().any(|r| r.id == id));
+        if !already_committed {
+            self.tentative
+                .entry(object)
+                .or_default()
+                .insert((timestamp, id), Arc::clone(&update));
+        }
+        // Rumor mongering to a few random peers.
+        let mut peers = self.cfg.peers.clone();
+        peers.shuffle(ctx.rng());
+        for peer in peers.into_iter().take(self.cfg.gossip_fanout) {
+            ctx.send(peer, ReplicaMsg::Tentative { object, update: Arc::clone(&update), timestamp, id });
+        }
+    }
+
+    fn verify_record(&self, record: &CommitRecord) -> bool {
+        record
+            .cert
+            .verify_threshold(&record.signing_bytes(), &self.tier_keys, self.tier_m + 1)
+    }
+
+    /// Handles a certified commit record (tree push or fetch response).
+    /// Returns whether it was applied.
+    pub fn on_commit(&mut self, ctx: &mut Context<'_, ReplicaMsg>, record: CommitRecord) -> bool {
+        if !self.verify_record(&record) {
+            return false; // forged or partial certificate
+        }
+        let applied = self.store.apply_record(&record);
+        if applied {
+            // Reconcile the optimistic path: this update is now final.
+            if let Some(pending) = self.tentative.get_mut(&record.object) {
+                pending.retain(|(_, id), _| *id != record.id);
+            }
+            // Stream onward per child mode.
+            for (child, mode) in self.cfg.children.clone() {
+                match mode {
+                    ChildMode::Push => ctx.send(child, ReplicaMsg::Commit(record.clone())),
+                    ChildMode::Invalidate => ctx.send(
+                        child,
+                        ReplicaMsg::Invalidate {
+                            object: record.object,
+                            index: record.index,
+                            version: record.version,
+                        },
+                    ),
+                }
+            }
+        } else {
+            // Gap: pull the missing prefix from the parent (or whoever is
+            // configured), while remembering how far the world has moved.
+            let from_index = self.store.get(&record.object).map_or(0, |s| s.next_index);
+            if let Some(parent) = self.cfg.parent {
+                ctx.send(parent, ReplicaMsg::FetchCommits { object: record.object, from_index });
+            }
+        }
+        applied
+    }
+
+    /// Handles an invalidation: mark stale; the pull happens on the next
+    /// anti-entropy tick or explicit read-repair.
+    pub fn on_invalidate(&mut self, ctx: &mut Context<'_, ReplicaMsg>, object: Guid, index: u64) {
+        let st = self.store.entry(object);
+        st.known_index = st.known_index.max(index + 1);
+        // Propagate the invalidation to invalidate-mode children so the
+        // whole bandwidth-limited subtree learns it is stale.
+        for (child, mode) in self.cfg.children.clone() {
+            if mode == ChildMode::Invalidate {
+                ctx.send(
+                    child,
+                    ReplicaMsg::Invalidate { object, index, version: None },
+                );
+            }
+        }
+        let _ = ctx;
+    }
+
+    /// Explicit read-repair: pull latest commits from the parent before
+    /// serving a strong read.
+    pub fn pull_now(&mut self, ctx: &mut Context<'_, ReplicaMsg>, object: Guid) {
+        if let Some(parent) = self.cfg.parent {
+            let from_index = self.store.get(&object).map_or(0, |s| s.next_index);
+            ctx.send(parent, ReplicaMsg::FetchCommits { object, from_index });
+        }
+    }
+
+    /// Serves the pull path for our own children/peers.
+    pub fn on_fetch(
+        &mut self,
+        ctx: &mut Context<'_, ReplicaMsg>,
+        from: NodeId,
+        object: Guid,
+        from_index: u64,
+    ) {
+        let records = self.store.records_from(&object, from_index);
+        if !records.is_empty() {
+            ctx.send(from, ReplicaMsg::Commits { records });
+        }
+    }
+
+    /// Handles a batch of fetched records.
+    pub fn on_commits(&mut self, ctx: &mut Context<'_, ReplicaMsg>, records: Vec<CommitRecord>) {
+        for r in records {
+            self.on_commit(ctx, r);
+        }
+    }
+
+    /// Handles a peer's anti-entropy summary.
+    pub fn on_anti_entropy(
+        &mut self,
+        ctx: &mut Context<'_, ReplicaMsg>,
+        from: NodeId,
+        object: Guid,
+        committed_index: u64,
+        tentative_ids: Vec<TentativeId>,
+    ) {
+        // Send tentatives the peer lacks.
+        let their: HashSet<TentativeId> = tentative_ids.into_iter().collect();
+        if let Some(ours) = self.tentative.get(&object) {
+            for ((timestamp, id), update) in ours {
+                if !their.contains(id) {
+                    ctx.send(
+                        from,
+                        ReplicaMsg::Tentative {
+                            object,
+                            update: Arc::clone(update),
+                            timestamp: *timestamp,
+                            id: *id,
+                        },
+                    );
+                }
+            }
+        }
+        let ours_committed = self.store.get(&object).map_or(0, |s| s.next_index);
+        if committed_index < ours_committed {
+            // Push the suffix they lack.
+            let records = self.store.records_from(&object, committed_index);
+            if !records.is_empty() {
+                ctx.send(from, ReplicaMsg::Commits { records });
+            }
+        } else if committed_index > ours_committed {
+            // Pull what we lack.
+            ctx.send(from, ReplicaMsg::FetchCommits { object, from_index: ours_committed });
+        }
+    }
+}

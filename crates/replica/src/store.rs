@@ -1,0 +1,252 @@
+//! Per-server object store: committed state plus the commit-record log.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use oceanstore_naming::guid::Guid;
+use oceanstore_update::object::DataObject;
+use oceanstore_update::update::{apply, Outcome};
+use oceanstore_update::{decode_update, Update};
+
+use crate::messages::CommitRecord;
+
+/// One object's replicated state on a server.
+#[derive(Debug, Default)]
+pub struct ObjectState {
+    /// The committed object (active form).
+    pub data: DataObject,
+    /// Commit records in index order (dense from `first_index`).
+    pub records: Vec<CommitRecord>,
+    /// Next expected serialization index.
+    pub next_index: u64,
+    /// For invalidation-mode children: highest index known to exist (may
+    /// exceed `next_index` when stale).
+    pub known_index: u64,
+}
+
+impl ObjectState {
+    fn new() -> Self {
+        ObjectState {
+            data: DataObject::new(),
+            records: Vec::new(),
+            next_index: 0,
+            known_index: 0,
+        }
+    }
+
+    /// Whether this replica knows it is missing commits.
+    pub fn is_stale(&self) -> bool {
+        self.known_index > self.next_index
+    }
+}
+
+/// A server's store of replicated objects.
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    objects: HashMap<Guid, ObjectState>,
+}
+
+impl ObjectStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    /// State for `object`, creating an empty one on first touch.
+    pub fn entry(&mut self, object: Guid) -> &mut ObjectState {
+        self.objects.entry(object).or_insert_with(ObjectState::new)
+    }
+
+    /// Read-only lookup.
+    pub fn get(&self, object: &Guid) -> Option<&ObjectState> {
+        self.objects.get(object)
+    }
+
+    /// All object GUIDs present.
+    pub fn guids(&self) -> impl Iterator<Item = &Guid> {
+        self.objects.keys()
+    }
+
+    /// Number of objects stored.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Applies `record` if it is the next expected index. Returns `true`
+    /// if applied (or already applied), `false` if a gap remains.
+    ///
+    /// The record's embedded outcome is **recomputed locally** — a correct
+    /// replica never trusts the claimed version without the deterministic
+    /// re-execution matching (the cert's job is authenticating the
+    /// *serialization order*, determinism does the rest).
+    pub fn apply_record(&mut self, record: &CommitRecord) -> bool {
+        let st = self.entry(record.object);
+        st.known_index = st.known_index.max(record.index + 1);
+        if record.index < st.next_index {
+            return true; // duplicate
+        }
+        if record.index > st.next_index {
+            return false; // gap
+        }
+        let outcome = match decode_update(&record.update) {
+            Ok(update) => apply(&mut st.data, &update),
+            Err(_) => Outcome::Aborted(oceanstore_update::update::AbortReason::NoPredicateHeld),
+        };
+        debug_assert_eq!(
+            match &outcome {
+                Outcome::Committed { version } => Some(*version),
+                Outcome::Aborted(_) => None,
+            },
+            record.version,
+            "deterministic replay must match the tier's outcome"
+        );
+        st.records.push(record.clone());
+        st.next_index += 1;
+        true
+    }
+
+    /// Attaches an assembled serialization certificate to a stored record
+    /// (primary-tier path: records are created before their cert exists).
+    pub fn set_cert(
+        &mut self,
+        object: &Guid,
+        index: u64,
+        cert: oceanstore_crypto::threshold::SerializationCert,
+    ) {
+        if let Some(st) = self.objects.get_mut(object) {
+            if let Some(r) = st.records.iter_mut().find(|r| r.index == index) {
+                r.cert = cert;
+            }
+        }
+    }
+
+    /// Serialized-but-unapplied catch-up: commit records from `from_index`.
+    pub fn records_from(&self, object: &Guid, from_index: u64) -> Vec<CommitRecord> {
+        let Some(st) = self.objects.get(object) else { return Vec::new() };
+        st.records
+            .iter()
+            .filter(|r| r.index >= from_index)
+            .cloned()
+            .collect()
+    }
+
+    /// Serializes and applies `update` directly (primary-tier path, where
+    /// the order is already decided). Returns the new record (without
+    /// cert).
+    pub fn serialize_update(
+        &mut self,
+        object: Guid,
+        update: &Update,
+        encoded: Arc<Vec<u8>>,
+        timestamp: u64,
+        id: crate::messages::TentativeId,
+    ) -> CommitRecord {
+        let st = self.entry(object);
+        let outcome = apply(&mut st.data, update);
+        let version = match outcome {
+            Outcome::Committed { version } => Some(version),
+            Outcome::Aborted(_) => None,
+        };
+        let record = CommitRecord {
+            object,
+            index: st.next_index,
+            update: encoded,
+            version,
+            timestamp,
+            id,
+            cert: Default::default(),
+        };
+        st.records.push(record.clone());
+        st.next_index += 1;
+        st.known_index = st.known_index.max(st.next_index);
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::TentativeId;
+    use oceanstore_sim::NodeId;
+    use oceanstore_update::encode_update;
+    use oceanstore_update::update::Action;
+
+    fn update(tag: u8) -> (Update, Arc<Vec<u8>>) {
+        let u = Update::unconditional(vec![Action::Append { ciphertext: vec![tag; 4] }]);
+        let enc = Arc::new(encode_update(&u));
+        (u, enc)
+    }
+
+    fn tid(c: u64) -> TentativeId {
+        TentativeId { client: NodeId(99), counter: c }
+    }
+
+    #[test]
+    fn serialize_then_replay_elsewhere() {
+        let obj = Guid::from_label("o");
+        let mut primary = ObjectStore::new();
+        let mut secondary = ObjectStore::new();
+        for (i, tag) in [1u8, 2, 3].iter().enumerate() {
+            let (u, enc) = update(*tag);
+            let rec = primary.serialize_update(obj, &u, enc, i as u64, tid(i as u64));
+            assert!(secondary.apply_record(&rec));
+        }
+        let p = primary.get(&obj).unwrap();
+        let s = secondary.get(&obj).unwrap();
+        assert_eq!(p.data.current().blocks, s.data.current().blocks);
+        assert_eq!(s.next_index, 3);
+    }
+
+    #[test]
+    fn gap_detected_and_catchup_works() {
+        let obj = Guid::from_label("o");
+        let mut primary = ObjectStore::new();
+        let mut secondary = ObjectStore::new();
+        let mut recs = Vec::new();
+        for i in 0..4u8 {
+            let (u, enc) = update(i);
+            recs.push(primary.serialize_update(obj, &u, enc, i as u64, tid(i as u64)));
+        }
+        // Deliver out of order: record 2 first.
+        assert!(!secondary.apply_record(&recs[2]));
+        assert!(secondary.entry(obj).is_stale());
+        // Catch up from the primary's log.
+        for r in primary.records_from(&obj, 0) {
+            assert!(secondary.apply_record(&r));
+        }
+        assert_eq!(secondary.get(&obj).unwrap().next_index, 4);
+        assert!(!secondary.entry(obj).is_stale());
+    }
+
+    #[test]
+    fn duplicates_are_idempotent() {
+        let obj = Guid::from_label("o");
+        let mut primary = ObjectStore::new();
+        let mut secondary = ObjectStore::new();
+        let (u, enc) = update(1);
+        let rec = primary.serialize_update(obj, &u, enc, 0, tid(0));
+        assert!(secondary.apply_record(&rec));
+        assert!(secondary.apply_record(&rec));
+        assert_eq!(secondary.get(&obj).unwrap().next_index, 1);
+        assert_eq!(secondary.get(&obj).unwrap().data.version_number(), 1);
+    }
+
+    #[test]
+    fn aborted_updates_advance_index_not_version() {
+        use oceanstore_update::update::Predicate;
+        let obj = Guid::from_label("o");
+        let mut primary = ObjectStore::new();
+        let u = Update::default().with_clause(Predicate::CompareVersion(42), vec![]);
+        let enc = Arc::new(encode_update(&u));
+        let rec = primary.serialize_update(obj, &u, enc, 0, tid(0));
+        assert_eq!(rec.version, None);
+        let st = primary.get(&obj).unwrap();
+        assert_eq!(st.next_index, 1);
+        assert_eq!(st.data.version_number(), 0);
+    }
+}

@@ -1,0 +1,707 @@
+//! The discrete-event simulation engine.
+//!
+//! Protocols are written sans-io: a [`Protocol`] is a state machine that
+//! reacts to message deliveries and timer expirations by emitting new sends
+//! and timers through a [`Context`]. The engine owns the event queue, the
+//! clock, the [`crate::topology::Topology`], failure injection,
+//! and byte accounting. Everything is deterministic for a given seed:
+//! events at equal times fire in insertion order, and all randomness flows
+//! from per-node ChaCha streams derived from the master seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::stats::NetStats;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeId, Topology};
+
+/// A protocol message that can travel over the simulated network.
+pub trait Message: Clone {
+    /// Bytes this message occupies on the wire (used for Figure-6-style
+    /// accounting). Include headers/signatures as the real system would.
+    fn wire_size(&self) -> usize;
+
+    /// Accounting class (e.g. `"prepare"`, `"gossip"`). Defaults to `"msg"`.
+    fn class(&self) -> &'static str {
+        "msg"
+    }
+}
+
+/// A node-local protocol state machine.
+pub trait Protocol {
+    /// Message type exchanged between nodes.
+    type Msg: Message;
+
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Context<'_, Self::Msg>) {}
+
+    /// Called when a message addressed to this node arrives.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer set through [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Self::Msg>, _tag: u64) {}
+}
+
+/// What a protocol may do in reaction to an event.
+#[derive(Debug)]
+enum Action<M> {
+    Send { to: NodeId, msg: M },
+    Timer { delay: SimDuration, tag: u64 },
+}
+
+/// Handle given to protocol callbacks for interacting with the simulated
+/// world.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    now: SimTime,
+    node: NodeId,
+    actions: &'a mut Vec<Action<M>>,
+    rng: &'a mut ChaCha8Rng,
+}
+
+impl<M> Context<'_, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this callback runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends `msg` to `to`; it arrives after the topology's shortest-path
+    /// latency (or never, if `to` is unreachable, partitioned away, down at
+    /// delivery time, or the message is randomly dropped).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Schedules [`Protocol::on_timer`] with `tag` after `delay`.
+    ///
+    /// Timers cannot be cancelled; protocols should treat stale timers as
+    /// no-ops based on their own state.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.actions.push(Action::Timer { delay, tag });
+    }
+
+    /// This node's deterministic random stream.
+    pub fn rng(&mut self) -> &mut impl Rng {
+        self.rng
+    }
+
+    /// Runs an *embedded* protocol that speaks message type `N`, wrapping
+    /// every send with `wrap` so it travels as this protocol's `M`. Timers
+    /// pass through unchanged — composite protocols must partition the tag
+    /// space between layers.
+    ///
+    /// This is how a composite node (e.g. an OceanStore server) hosts a
+    /// self-contained state machine (e.g. a PBFT replica) without the inner
+    /// machine knowing about the envelope type.
+    pub fn with_inner<N, R>(
+        &mut self,
+        wrap: impl Fn(N) -> M,
+        f: impl FnOnce(&mut Context<'_, N>) -> R,
+    ) -> R {
+        self.with_inner_mapped(wrap, |t| t, f)
+    }
+
+    /// Like [`Context::with_inner`], additionally rewriting timer tags the
+    /// embedded protocol sets through `tag_map`. A composite node hosting
+    /// several timer-using subsystems namespaces their tags this way (and
+    /// inverts the map in its own `on_timer`).
+    pub fn with_inner_mapped<N, R>(
+        &mut self,
+        wrap: impl Fn(N) -> M,
+        tag_map: impl Fn(u64) -> u64,
+        f: impl FnOnce(&mut Context<'_, N>) -> R,
+    ) -> R {
+        let mut inner_actions: Vec<Action<N>> = Vec::new();
+        let r = {
+            let mut inner = Context {
+                now: self.now,
+                node: self.node,
+                actions: &mut inner_actions,
+                rng: self.rng,
+            };
+            f(&mut inner)
+        };
+        for action in inner_actions {
+            match action {
+                Action::Send { to, msg } => self.actions.push(Action::Send { to, msg: wrap(msg) }),
+                Action::Timer { delay, tag } => {
+                    self.actions.push(Action::Timer { delay, tag: tag_map(tag) })
+                }
+            }
+        }
+        r
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, tag: u64 },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // breaking ties by insertion order for determinism.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The discrete-event simulator driving one [`Protocol`] instance per node.
+pub struct Simulator<P: Protocol> {
+    nodes: Vec<P>,
+    node_rngs: Vec<ChaCha8Rng>,
+    topo: Topology,
+    clock: SimTime,
+    queue: BinaryHeap<Event<P::Msg>>,
+    seq: u64,
+    stats: NetStats,
+    down: Vec<bool>,
+    /// Partition group per node; messages cross groups only if `None`.
+    partitions: Option<Vec<u32>>,
+    drop_prob: f64,
+    engine_rng: ChaCha8Rng,
+    events_processed: u64,
+}
+
+impl<P: Protocol> std::fmt::Debug for Simulator<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("nodes", &self.nodes.len())
+            .field("clock", &self.clock)
+            .field("pending_events", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Creates a simulator over `topology` with one protocol instance per
+    /// node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != topology.len()`.
+    pub fn new(topology: Topology, nodes: Vec<P>, seed: u64) -> Self {
+        assert_eq!(nodes.len(), topology.len(), "one protocol instance per topology node");
+        let n = nodes.len();
+        let node_rngs = (0..n)
+            .map(|i| ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))))
+            .collect();
+        Simulator {
+            nodes,
+            node_rngs,
+            topo: topology,
+            clock: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            stats: NetStats::new(n),
+            down: vec![false; n],
+            partitions: None,
+            drop_prob: 0.0,
+            engine_rng: ChaCha8Rng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03),
+            events_processed: 0,
+        }
+    }
+
+    /// Calls [`Protocol::on_start`] on every live node.
+    pub fn start(&mut self) {
+        for i in 0..self.nodes.len() {
+            if !self.down[i] {
+                self.dispatch_start(NodeId(i));
+            }
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Network accounting so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Resets the byte counters (e.g. after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// The topology the simulation runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the simulation has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Shared access to the protocol instance at `node`.
+    pub fn node(&self, node: NodeId) -> &P {
+        &self.nodes[node.0]
+    }
+
+    /// Exclusive access to the protocol instance at `node` (for test
+    /// inspection and external stimulus outside the event loop).
+    pub fn node_mut(&mut self, node: NodeId) -> &mut P {
+        &mut self.nodes[node.0]
+    }
+
+    /// Iterates over all protocol instances.
+    pub fn nodes(&self) -> impl Iterator<Item = &P> {
+        self.nodes.iter()
+    }
+
+    /// Marks a node crashed (true) or recovered (false). A crashed node
+    /// receives no messages or timers; pending events addressed to it are
+    /// dropped at delivery time.
+    pub fn set_down(&mut self, node: NodeId, down: bool) {
+        self.down[node.0] = down;
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down[node.0]
+    }
+
+    /// Sets the independent per-message drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn set_drop_prob(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.drop_prob = p;
+    }
+
+    /// Installs a network partition: messages are delivered only within a
+    /// group. `None` heals all partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group vector length differs from the node count.
+    pub fn set_partitions(&mut self, groups: Option<Vec<u32>>) {
+        if let Some(g) = &groups {
+            assert_eq!(g.len(), self.nodes.len(), "one group per node");
+        }
+        self.partitions = groups;
+    }
+
+    /// Injects a message from the outside world (e.g. a test driver acting
+    /// as a client) for delivery to `to` at the current time, attributed to
+    /// `from`.
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
+        self.push(Event {
+            at: self.clock,
+            seq: 0, // replaced by push
+            kind: EventKind::Deliver { from, to, msg },
+        });
+    }
+
+    /// Lets external code act *as* `node`: the closure receives the
+    /// protocol and a live [`Context`], so stimulus goes through the same
+    /// send/timer path as real events.
+    pub fn with_node_ctx<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>) -> R,
+    ) -> R {
+        let mut actions = Vec::new();
+        let r = {
+            let mut ctx = Context {
+                now: self.clock,
+                node,
+                actions: &mut actions,
+                rng: &mut self.node_rngs[node.0],
+            };
+            f(&mut self.nodes[node.0], &mut ctx)
+        };
+        self.apply_actions(node, actions);
+        r
+    }
+
+    /// Runs a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else { return false };
+        debug_assert!(ev.at >= self.clock, "time must be monotonic");
+        self.clock = ev.at;
+        self.events_processed += 1;
+        match ev.kind {
+            EventKind::Deliver { from, to, msg } => {
+                if self.down[to.0] {
+                    self.stats.record_drop();
+                } else {
+                    self.dispatch_message(to, from, msg);
+                }
+            }
+            EventKind::Timer { node, tag } => {
+                if !self.down[node.0] {
+                    self.dispatch_timer(node, tag);
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until the event queue drains. Returns the number of events
+    /// processed by this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `max_events` events as a runaway-protocol guard.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        let start = self.events_processed;
+        while self.step() {
+            assert!(
+                self.events_processed - start <= max_events,
+                "simulation exceeded {max_events} events without quiescing"
+            );
+        }
+        self.events_processed - start
+    }
+
+    /// Runs events with timestamps `<= until`, leaving later events queued.
+    /// The clock is advanced to `until` even if the queue drains early.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > until {
+                break;
+            }
+            self.step();
+        }
+        if self.clock < until {
+            self.clock = until;
+        }
+    }
+
+    /// Runs for a span of simulated time from the current clock.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let until = self.clock + d;
+        self.run_until(until);
+    }
+
+    /// Total events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of events currently queued.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn push(&mut self, mut ev: Event<P::Msg>) {
+        ev.seq = self.seq;
+        self.seq += 1;
+        self.queue.push(ev);
+    }
+
+    fn dispatch_start(&mut self, node: NodeId) {
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Context {
+                now: self.clock,
+                node,
+                actions: &mut actions,
+                rng: &mut self.node_rngs[node.0],
+            };
+            self.nodes[node.0].on_start(&mut ctx);
+        }
+        self.apply_actions(node, actions);
+    }
+
+    fn dispatch_message(&mut self, node: NodeId, from: NodeId, msg: P::Msg) {
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Context {
+                now: self.clock,
+                node,
+                actions: &mut actions,
+                rng: &mut self.node_rngs[node.0],
+            };
+            self.nodes[node.0].on_message(&mut ctx, from, msg);
+        }
+        self.apply_actions(node, actions);
+    }
+
+    fn dispatch_timer(&mut self, node: NodeId, tag: u64) {
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Context {
+                now: self.clock,
+                node,
+                actions: &mut actions,
+                rng: &mut self.node_rngs[node.0],
+            };
+            self.nodes[node.0].on_timer(&mut ctx, tag);
+        }
+        self.apply_actions(node, actions);
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<P::Msg>>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => self.route(node, to, msg),
+                Action::Timer { delay, tag } => {
+                    let at = self.clock + delay;
+                    self.push(Event { at, seq: 0, kind: EventKind::Timer { node, tag } });
+                }
+            }
+        }
+    }
+
+    fn route(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
+        // Accounting happens at send time: bytes hit the wire even when the
+        // destination later proves dead.
+        self.stats.record_send(from, to, msg.wire_size(), msg.class());
+        if let Some(groups) = &self.partitions {
+            if groups[from.0] != groups[to.0] {
+                self.stats.record_drop();
+                return;
+            }
+        }
+        if self.drop_prob > 0.0 && self.engine_rng.gen::<f64>() < self.drop_prob {
+            self.stats.record_drop();
+            return;
+        }
+        let Some(latency) = self.topo.dist(from, to) else {
+            self.stats.record_drop();
+            return;
+        };
+        let at = self.clock + latency;
+        self.push(Event { at, seq: 0, kind: EventKind::Deliver { from, to, msg } });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// Toy protocol: floods a counter token around the ring `rounds` times.
+    #[derive(Debug)]
+    struct RingToken {
+        id: usize,
+        n: usize,
+        rounds_left: u32,
+        seen: u32,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Token(u32);
+
+    impl Message for Token {
+        fn wire_size(&self) -> usize {
+            16
+        }
+        fn class(&self) -> &'static str {
+            "token"
+        }
+    }
+
+    impl Protocol for RingToken {
+        type Msg = Token;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Token>) {
+            if self.id == 0 {
+                ctx.send(NodeId(1 % self.n), Token(self.rounds_left));
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<'_, Token>, _from: NodeId, msg: Token) {
+            self.seen += 1;
+            let next = NodeId((self.id + 1) % self.n);
+            if self.id == 0 {
+                if msg.0 > 1 {
+                    ctx.send(next, Token(msg.0 - 1));
+                }
+            } else {
+                ctx.send(next, msg);
+            }
+        }
+    }
+
+    fn ring_sim(n: usize, rounds: u32, seed: u64) -> Simulator<RingToken> {
+        let topo = crate::topology::Topology::ring(n, SimDuration::from_millis(10));
+        let nodes = (0..n)
+            .map(|id| RingToken { id, n, rounds_left: rounds, seen: 0 })
+            .collect();
+        Simulator::new(topo, nodes, seed)
+    }
+
+    #[test]
+    fn token_circulates_and_time_advances() {
+        let mut sim = ring_sim(5, 3, 1);
+        sim.start();
+        sim.run_to_quiescence(10_000);
+        // 3 full rounds of 5 hops = 15 deliveries, 10 ms each.
+        assert_eq!(sim.now().as_millis(), 150);
+        for i in 0..5 {
+            assert_eq!(sim.node(NodeId(i)).seen, 3, "node {i}");
+        }
+        assert_eq!(sim.stats().class("token").messages, 15);
+        assert_eq!(sim.stats().total_bytes(), 15 * 16);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = |seed| {
+            let mut sim = ring_sim(7, 4, seed);
+            sim.start();
+            sim.run_to_quiescence(10_000);
+            (sim.now(), sim.stats().total_messages(), sim.events_processed())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn down_node_breaks_the_ring() {
+        let mut sim = ring_sim(5, 3, 1);
+        sim.set_down(NodeId(3), true);
+        sim.start();
+        sim.run_to_quiescence(10_000);
+        // Token dies at node 3: nodes 1..=2 saw it once, 4 never.
+        assert_eq!(sim.node(NodeId(1)).seen, 1);
+        assert_eq!(sim.node(NodeId(2)).seen, 1);
+        assert_eq!(sim.node(NodeId(4)).seen, 0);
+        assert_eq!(sim.stats().dropped_messages(), 1);
+    }
+
+    #[test]
+    fn partitions_block_delivery() {
+        let mut sim = ring_sim(4, 1, 1);
+        // Node 0,1 in group 0; nodes 2,3 in group 1.
+        sim.set_partitions(Some(vec![0, 0, 1, 1]));
+        sim.start();
+        sim.run_to_quiescence(10_000);
+        assert_eq!(sim.node(NodeId(1)).seen, 1);
+        assert_eq!(sim.node(NodeId(2)).seen, 0);
+    }
+
+    #[test]
+    fn full_drop_probability_kills_everything() {
+        let mut sim = ring_sim(4, 2, 9);
+        sim.set_drop_prob(1.0);
+        sim.start();
+        sim.run_to_quiescence(10_000);
+        for i in 1..4 {
+            assert_eq!(sim.node(NodeId(i)).seen, 0);
+        }
+    }
+
+    #[test]
+    fn run_until_respects_bound() {
+        let mut sim = ring_sim(5, 3, 1);
+        sim.start();
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(35));
+        // 10ms per hop: 3 deliveries fit in 35 ms.
+        let total: u32 = (0..5).map(|i| sim.node(NodeId(i)).seen).sum();
+        assert_eq!(total, 3);
+        assert_eq!(sim.now().as_millis(), 35);
+        assert!(sim.pending_events() > 0);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        #[derive(Debug, Default)]
+        struct T {
+            fired: Vec<u64>,
+        }
+        #[derive(Debug, Clone)]
+        struct Never;
+        impl Message for Never {
+            fn wire_size(&self) -> usize {
+                0
+            }
+        }
+        impl Protocol for T {
+            type Msg = Never;
+            fn on_start(&mut self, ctx: &mut Context<'_, Never>) {
+                ctx.set_timer(SimDuration::from_millis(30), 3);
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                ctx.set_timer(SimDuration::from_millis(20), 2);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Never>, _: NodeId, _: Never) {}
+            fn on_timer(&mut self, _: &mut Context<'_, Never>, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let topo = crate::topology::Topology::builder(1).build();
+        let mut sim = Simulator::new(topo, vec![T::default()], 0);
+        sim.start();
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.node(NodeId(0)).fired, vec![1, 2, 3]);
+        assert_eq!(sim.now().as_millis(), 30);
+    }
+
+    #[test]
+    fn with_node_ctx_sends_through_network() {
+        let mut sim = ring_sim(3, 1, 5);
+        // Drive node 2 externally instead of via on_start.
+        sim.with_node_ctx(NodeId(2), |_, ctx| ctx.send(NodeId(0), Token(1)));
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.node(NodeId(0)).seen, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without quiescing")]
+    fn runaway_guard_trips() {
+        // Protocol that ping-pongs forever.
+        #[derive(Debug)]
+        struct Pong;
+        #[derive(Debug, Clone)]
+        struct Ping;
+        impl Message for Ping {
+            fn wire_size(&self) -> usize {
+                1
+            }
+        }
+        impl Protocol for Pong {
+            type Msg = Ping;
+            fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+                if ctx.node() == NodeId(0) {
+                    ctx.send(NodeId(1), Ping);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, Ping>, from: NodeId, _: Ping) {
+                ctx.send(from, Ping);
+            }
+        }
+        let topo = crate::topology::Topology::full_mesh(2, SimDuration::from_millis(1));
+        let mut sim = Simulator::new(topo, vec![Pong, Pong], 0);
+        sim.start();
+        sim.run_to_quiescence(50);
+    }
+}

@@ -1,0 +1,126 @@
+//! Network accounting.
+//!
+//! Figure 6 of the paper is a pure byte-count experiment (bytes sent across
+//! the network per update, normalized to the minimum), so the simulator
+//! meters every message: totals, per-node, and per message class.
+
+use std::collections::BTreeMap;
+
+use crate::topology::NodeId;
+
+/// Byte and message counters for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    total_messages: u64,
+    total_bytes: u64,
+    dropped_messages: u64,
+    per_node_sent: Vec<u64>,
+    per_node_received: Vec<u64>,
+    by_class: BTreeMap<&'static str, ClassStats>,
+}
+
+/// Counters for one message class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Messages delivered in this class.
+    pub messages: u64,
+    /// Bytes delivered in this class.
+    pub bytes: u64,
+}
+
+impl NetStats {
+    pub(crate) fn new(n: usize) -> Self {
+        NetStats {
+            per_node_sent: vec![0; n],
+            per_node_received: vec![0; n],
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn record_send(&mut self, from: NodeId, to: NodeId, bytes: usize, class: &'static str) {
+        self.total_messages += 1;
+        self.total_bytes += bytes as u64;
+        self.per_node_sent[from.0] += bytes as u64;
+        self.per_node_received[to.0] += bytes as u64;
+        let c = self.by_class.entry(class).or_default();
+        c.messages += 1;
+        c.bytes += bytes as u64;
+    }
+
+    pub(crate) fn record_drop(&mut self) {
+        self.dropped_messages += 1;
+    }
+
+    /// Total messages sent (whether or not delivered).
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Total bytes sent across the network.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Messages lost to drops, partitions, or dead destinations.
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped_messages
+    }
+
+    /// Bytes sent by `node`.
+    pub fn sent_by(&self, node: NodeId) -> u64 {
+        self.per_node_sent[node.0]
+    }
+
+    /// Bytes addressed to `node`.
+    pub fn received_by(&self, node: NodeId) -> u64 {
+        self.per_node_received[node.0]
+    }
+
+    /// Counters for one message class (zero counters if never seen).
+    pub fn class(&self, name: &str) -> ClassStats {
+        self.by_class.get(name).copied().unwrap_or_default()
+    }
+
+    /// Iterates over `(class, counters)` pairs in name order.
+    pub fn classes(&self) -> impl Iterator<Item = (&'static str, ClassStats)> + '_ {
+        self.by_class.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Resets every counter to zero (e.g. between warm-up and measurement).
+    pub fn reset(&mut self) {
+        let n = self.per_node_sent.len();
+        *self = NetStats::new(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting() {
+        let mut s = NetStats::new(3);
+        s.record_send(NodeId(0), NodeId(1), 100, "prepare");
+        s.record_send(NodeId(0), NodeId(2), 50, "prepare");
+        s.record_send(NodeId(1), NodeId(0), 10, "commit");
+        s.record_drop();
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_bytes(), 160);
+        assert_eq!(s.dropped_messages(), 1);
+        assert_eq!(s.sent_by(NodeId(0)), 150);
+        assert_eq!(s.received_by(NodeId(0)), 10);
+        assert_eq!(s.class("prepare"), ClassStats { messages: 2, bytes: 150 });
+        assert_eq!(s.class("unknown"), ClassStats::default());
+        assert_eq!(s.classes().count(), 2);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = NetStats::new(2);
+        s.record_send(NodeId(0), NodeId(1), 5, "x");
+        s.reset();
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.sent_by(NodeId(0)), 0);
+        assert_eq!(s.classes().count(), 0);
+    }
+}

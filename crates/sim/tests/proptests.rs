@@ -1,0 +1,62 @@
+//! Property-based tests for the simulator's topology metrics.
+
+use oceanstore_sim::{NodeId, SimDuration, Topology};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Shortest-path latency is a metric on connected random geometric
+    /// graphs: symmetric, zero on the diagonal, triangle inequality.
+    #[test]
+    fn dist_is_a_metric(seed in any::<u64>(), n in 4usize..40) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let topo = Topology::random_geometric(n, 0.3, SimDuration::from_millis(50), &mut rng);
+        prop_assert!(topo.is_connected());
+        let idx = |i: usize| NodeId(i % n);
+        for i in 0..n.min(6) {
+            for j in 0..n.min(6) {
+                let dij = topo.dist(idx(i), idx(j)).expect("connected");
+                let dji = topo.dist(idx(j), idx(i)).expect("connected");
+                prop_assert_eq!(dij, dji, "symmetry");
+                if i == j {
+                    prop_assert_eq!(dij, SimDuration::ZERO);
+                }
+                for k in 0..n.min(6) {
+                    let dik = topo.dist(idx(i), idx(k)).expect("connected");
+                    let dkj = topo.dist(idx(k), idx(j)).expect("connected");
+                    prop_assert!(dij <= dik + dkj, "triangle inequality");
+                }
+            }
+        }
+    }
+
+    /// Hop counts lower-bound any path length and are 1 exactly for
+    /// direct neighbours.
+    #[test]
+    fn hops_consistent_with_edges(seed in any::<u64>(), n in 4usize..30) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let topo = Topology::random_geometric(n, 0.35, SimDuration::from_millis(10), &mut rng);
+        for i in 0..n {
+            for &(j, _) in topo.neighbors(NodeId(i)) {
+                prop_assert_eq!(topo.hops(NodeId(i), j), Some(1));
+            }
+        }
+    }
+
+    /// Grid distances are Manhattan.
+    #[test]
+    fn grid_is_manhattan(w in 2usize..8, h in 2usize..8) {
+        let topo = Topology::grid(w, h, SimDuration::from_millis(1));
+        for a in 0..(w * h).min(10) {
+            for b in 0..(w * h).min(10) {
+                let (ax, ay) = (a % w, a / w);
+                let (bx, by) = (b % w, b / w);
+                let manhattan = ax.abs_diff(bx) + ay.abs_diff(by);
+                prop_assert_eq!(topo.hops(NodeId(a), NodeId(b)), Some(manhattan as u32));
+            }
+        }
+    }
+}

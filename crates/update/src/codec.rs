@@ -1,0 +1,289 @@
+//! Canonical binary encoding of updates.
+//!
+//! Updates travel through Byzantine agreement as opaque payload bytes; the
+//! digest that replicas agree on is a hash of this encoding, so it must be
+//! canonical (identical updates encode identically) and self-delimiting.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use oceanstore_crypto::swp::{EncryptedIndex, Trapdoor};
+
+use crate::update::{Action, Clause, Predicate, Update};
+
+/// Errors decoding an update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError;
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed update encoding")
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes an update canonically.
+pub fn encode_update(u: &Update) -> Vec<u8> {
+    let mut b = BytesMut::new();
+    b.put_u32(u.clauses.len() as u32);
+    for c in &u.clauses {
+        encode_predicate(&mut b, &c.predicate);
+        b.put_u32(c.actions.len() as u32);
+        for a in &c.actions {
+            encode_action(&mut b, a);
+        }
+    }
+    b.to_vec()
+}
+
+/// Decodes an update previously produced by [`encode_update`].
+///
+/// # Errors
+///
+/// [`DecodeError`] on truncation or invalid tags.
+pub fn decode_update(bytes: &[u8]) -> Result<Update, DecodeError> {
+    let mut b = Bytes::copy_from_slice(bytes);
+    let n = get_u32(&mut b)? as usize;
+    if n > 10_000 {
+        return Err(DecodeError);
+    }
+    let mut clauses = Vec::with_capacity(n);
+    for _ in 0..n {
+        let predicate = decode_predicate(&mut b)?;
+        let an = get_u32(&mut b)? as usize;
+        if an > 100_000 {
+            return Err(DecodeError);
+        }
+        let mut actions = Vec::with_capacity(an);
+        for _ in 0..an {
+            actions.push(decode_action(&mut b)?);
+        }
+        clauses.push(Clause { predicate, actions });
+    }
+    if b.has_remaining() {
+        return Err(DecodeError);
+    }
+    Ok(Update { clauses })
+}
+
+fn encode_predicate(b: &mut BytesMut, p: &Predicate) {
+    match p {
+        Predicate::True => b.put_u8(0),
+        Predicate::CompareVersion(v) => {
+            b.put_u8(1);
+            b.put_u64(*v);
+        }
+        Predicate::CompareSize(s) => {
+            b.put_u8(2);
+            b.put_u64(*s as u64);
+        }
+        Predicate::CompareBlock { position, hash } => {
+            b.put_u8(3);
+            b.put_u64(*position as u64);
+            b.put_slice(hash);
+        }
+        Predicate::Search(t) => {
+            b.put_u8(4);
+            b.put_slice(&t.to_bytes());
+        }
+        Predicate::SearchAbsent(t) => {
+            b.put_u8(5);
+            b.put_slice(&t.to_bytes());
+        }
+    }
+}
+
+fn decode_predicate(b: &mut Bytes) -> Result<Predicate, DecodeError> {
+    Ok(match get_u8(b)? {
+        0 => Predicate::True,
+        1 => Predicate::CompareVersion(get_u64(b)?),
+        2 => Predicate::CompareSize(get_u64(b)? as usize),
+        3 => {
+            let position = get_u64(b)? as usize;
+            let hash = get_array::<32>(b)?;
+            Predicate::CompareBlock { position, hash }
+        }
+        4 => Predicate::Search(Trapdoor::from_bytes(get_array::<32>(b)?)),
+        5 => Predicate::SearchAbsent(Trapdoor::from_bytes(get_array::<32>(b)?)),
+        _ => return Err(DecodeError),
+    })
+}
+
+fn encode_action(b: &mut BytesMut, a: &Action) {
+    match a {
+        Action::ReplaceBlock { position, ciphertext } => {
+            b.put_u8(0);
+            b.put_u64(*position as u64);
+            b.put_u32(ciphertext.len() as u32);
+            b.put_slice(ciphertext);
+        }
+        Action::Append { ciphertext } => {
+            b.put_u8(1);
+            b.put_u32(ciphertext.len() as u32);
+            b.put_slice(ciphertext);
+        }
+        Action::ReplaceWithIndex { position, pointers } => {
+            b.put_u8(2);
+            b.put_u64(*position as u64);
+            b.put_u32(pointers.len() as u32);
+            for p in pointers {
+                b.put_u64(*p as u64);
+            }
+        }
+        Action::DeleteBlock { position } => {
+            b.put_u8(3);
+            b.put_u64(*position as u64);
+        }
+        Action::SetSearchIndex(ix) => {
+            b.put_u8(4);
+            let raw = ix.to_bytes();
+            b.put_u32(raw.len() as u32);
+            b.put_slice(&raw);
+        }
+    }
+}
+
+fn decode_action(b: &mut Bytes) -> Result<Action, DecodeError> {
+    Ok(match get_u8(b)? {
+        0 => {
+            let position = get_u64(b)? as usize;
+            let len = get_u32(b)? as usize;
+            Action::ReplaceBlock { position, ciphertext: get_vec(b, len)? }
+        }
+        1 => {
+            let len = get_u32(b)? as usize;
+            Action::Append { ciphertext: get_vec(b, len)? }
+        }
+        2 => {
+            let position = get_u64(b)? as usize;
+            let n = get_u32(b)? as usize;
+            if n > 100_000 {
+                return Err(DecodeError);
+            }
+            let mut pointers = Vec::with_capacity(n);
+            for _ in 0..n {
+                pointers.push(get_u64(b)? as usize);
+            }
+            Action::ReplaceWithIndex { position, pointers }
+        }
+        3 => Action::DeleteBlock { position: get_u64(b)? as usize },
+        4 => {
+            let len = get_u32(b)? as usize;
+            let raw = get_vec(b, len)?;
+            Action::SetSearchIndex(EncryptedIndex::from_bytes(&raw).ok_or(DecodeError)?)
+        }
+        _ => return Err(DecodeError),
+    })
+}
+
+fn get_u8(b: &mut Bytes) -> Result<u8, DecodeError> {
+    if b.remaining() < 1 {
+        return Err(DecodeError);
+    }
+    Ok(b.get_u8())
+}
+
+fn get_u32(b: &mut Bytes) -> Result<u32, DecodeError> {
+    if b.remaining() < 4 {
+        return Err(DecodeError);
+    }
+    Ok(b.get_u32())
+}
+
+fn get_u64(b: &mut Bytes) -> Result<u64, DecodeError> {
+    if b.remaining() < 8 {
+        return Err(DecodeError);
+    }
+    Ok(b.get_u64())
+}
+
+fn get_vec(b: &mut Bytes, len: usize) -> Result<Vec<u8>, DecodeError> {
+    if b.remaining() < len {
+        return Err(DecodeError);
+    }
+    let mut v = vec![0u8; len];
+    b.copy_to_slice(&mut v);
+    Ok(v)
+}
+
+fn get_array<const N: usize>(b: &mut Bytes) -> Result<[u8; N], DecodeError> {
+    if b.remaining() < N {
+        return Err(DecodeError);
+    }
+    let mut v = [0u8; N];
+    b.copy_to_slice(&mut v);
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oceanstore_crypto::swp::SearchKey;
+
+    fn sample_updates() -> Vec<Update> {
+        let key = SearchKey::from_seed(b"k");
+        vec![
+            Update::default(),
+            Update::unconditional(vec![Action::Append { ciphertext: vec![1, 2, 3] }]),
+            Update::default()
+                .with_clause(
+                    Predicate::CompareVersion(7),
+                    vec![
+                        Action::ReplaceBlock { position: 2, ciphertext: vec![9; 100] },
+                        Action::DeleteBlock { position: 0 },
+                    ],
+                )
+                .with_clause(
+                    Predicate::CompareBlock { position: 1, hash: [0xAB; 32] },
+                    vec![Action::ReplaceWithIndex { position: 1, pointers: vec![4, 5, 6] }],
+                ),
+            Update::default().with_clause(
+                Predicate::Search(key.trapdoor(b"word")),
+                vec![Action::SetSearchIndex(
+                    key.build_index(b"doc", vec![b"a".as_slice(), b"b".as_slice()]),
+                )],
+            ),
+            Update::default().with_clause(Predicate::SearchAbsent(key.trapdoor(b"x")), vec![]),
+            Update::default().with_clause(Predicate::CompareSize(123), vec![]),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_shapes() {
+        for (i, u) in sample_updates().iter().enumerate() {
+            let enc = encode_update(u);
+            let dec = decode_update(&enc).unwrap_or_else(|_| panic!("decode sample {i}"));
+            // Re-encoding must be canonical.
+            assert_eq!(encode_update(&dec), enc, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let enc = encode_update(&sample_updates()[2]);
+        for cut in [0, 1, enc.len() / 2, enc.len() - 1] {
+            assert!(decode_update(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut enc = encode_update(&sample_updates()[1]);
+        enc.push(0);
+        assert!(decode_update(&enc).is_err());
+    }
+
+    #[test]
+    fn bad_tag_detected() {
+        let mut enc = encode_update(&sample_updates()[1]);
+        // First clause's predicate tag lives at offset 4.
+        enc[4] = 0xEE;
+        assert!(decode_update(&enc).is_err());
+    }
+
+    #[test]
+    fn absurd_counts_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u32(u32::MAX);
+        assert!(decode_update(&b).is_err());
+    }
+}

@@ -1,0 +1,303 @@
+//! Server-side data objects: versioned sequences of ciphertext blocks.
+//!
+//! Replicas store only ciphertext (§1.2: "all information that enters the
+//! infrastructure must be encrypted"). An object is a list of *slots*, each
+//! holding either an encrypted data block or an *index block* — a pointer
+//! list that splices other slots into the logical block sequence, which is
+//! how insert/delete work over ciphertext (§4.4.2, Figure 4).
+//!
+//! "In principle, every update to an OceanStore object creates a new
+//! version" (§2). Versions here are persistent snapshots sharing block
+//! storage via `Arc`; a retirement policy trims ancient versions (the
+//! Elephant-style interfaces the paper cites \[44\]).
+
+use std::sync::Arc;
+
+use oceanstore_crypto::swp::EncryptedIndex;
+
+/// One stored block slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Block {
+    /// An encrypted data block (opaque to servers).
+    Data(Arc<Vec<u8>>),
+    /// An index block splicing other slots into the logical sequence.
+    /// An empty pointer list is a deletion tombstone.
+    Index(Vec<usize>),
+}
+
+impl Block {
+    /// Byte length charged for storage/wire purposes.
+    pub fn stored_len(&self) -> usize {
+        match self {
+            Block::Data(d) => d.len(),
+            Block::Index(p) => 8 * p.len() + 8,
+        }
+    }
+}
+
+/// One immutable version of an object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Version {
+    /// Monotonic version number (0 = initial empty object).
+    pub number: u64,
+    /// The block slots.
+    pub blocks: Vec<Block>,
+    /// Server-searchable encrypted word index for this version.
+    pub search_index: Arc<EncryptedIndex>,
+}
+
+impl Version {
+    /// The logical block sequence: slot indices in reading order, after
+    /// resolving index blocks depth-first. Tombstones contribute nothing.
+    ///
+    /// Cycles (which only a malicious writer could construct) are broken by
+    /// visiting each slot at most once.
+    pub fn logical_order(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut visited = vec![false; self.blocks.len()];
+        // Top-level sequence: slots not reachable *through* an index block
+        // are roots in their stored order. Compute reachable-set first.
+        let mut pointed_to = vec![false; self.blocks.len()];
+        for b in &self.blocks {
+            if let Block::Index(ptrs) = b {
+                for &p in ptrs {
+                    if p < self.blocks.len() {
+                        pointed_to[p] = true;
+                    }
+                }
+            }
+        }
+        for i in 0..self.blocks.len() {
+            if !pointed_to[i] {
+                self.expand(i, &mut visited, &mut out);
+            }
+        }
+        out
+    }
+
+    fn expand(&self, slot: usize, visited: &mut [bool], out: &mut Vec<usize>) {
+        if slot >= self.blocks.len() || visited[slot] {
+            return;
+        }
+        visited[slot] = true;
+        match &self.blocks[slot] {
+            Block::Data(_) => out.push(slot),
+            Block::Index(ptrs) => {
+                for &p in ptrs {
+                    self.expand(p, visited, out);
+                }
+            }
+        }
+    }
+
+    /// Total stored bytes across all slots (the `compare-size` metadata).
+    pub fn stored_size(&self) -> usize {
+        self.blocks.iter().map(Block::stored_len).sum()
+    }
+
+    /// Number of slots (physical blocks).
+    pub fn slot_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// A versioned, server-side object.
+#[derive(Debug, Clone)]
+pub struct DataObject {
+    versions: Vec<Arc<Version>>,
+    /// Keep at most this many trailing versions (`None` = keep all; "we
+    /// plan to provide interfaces for retiring old versions").
+    retain: Option<usize>,
+}
+
+impl Default for DataObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DataObject {
+    /// A fresh object with one empty version 0.
+    pub fn new() -> Self {
+        DataObject {
+            versions: vec![Arc::new(Version {
+                number: 0,
+                blocks: Vec::new(),
+                search_index: Arc::new(EncryptedIndex::default()),
+            })],
+            retain: None,
+        }
+    }
+
+    /// Sets the retirement policy: keep at most `n` most-recent versions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (the current version can never be retired).
+    pub fn set_retention(&mut self, n: usize) {
+        assert!(n > 0, "must retain at least the current version");
+        self.retain = Some(n);
+        self.trim();
+    }
+
+    /// The current (latest) version.
+    pub fn current(&self) -> &Arc<Version> {
+        self.versions.last().expect("objects always have a version")
+    }
+
+    /// The current version number.
+    pub fn version_number(&self) -> u64 {
+        self.current().number
+    }
+
+    /// Fetches a retained historical version by number.
+    pub fn version(&self, number: u64) -> Option<&Arc<Version>> {
+        self.versions.iter().find(|v| v.number == number)
+    }
+
+    /// Number of retained versions.
+    pub fn retained_versions(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Installs `next` as the new current version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the version number is not exactly `current + 1`.
+    pub fn push_version(&mut self, next: Version) {
+        assert_eq!(
+            next.number,
+            self.version_number() + 1,
+            "versions are consecutive"
+        );
+        self.versions.push(Arc::new(next));
+        self.trim();
+    }
+
+    fn trim(&mut self) {
+        if let Some(n) = self.retain {
+            while self.versions.len() > n {
+                self.versions.remove(0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(tag: u8) -> Block {
+        Block::Data(Arc::new(vec![tag; 4]))
+    }
+
+    fn version(number: u64, blocks: Vec<Block>) -> Version {
+        Version { number, blocks, search_index: Arc::new(EncryptedIndex::default()) }
+    }
+
+    #[test]
+    fn fresh_object() {
+        let o = DataObject::new();
+        assert_eq!(o.version_number(), 0);
+        assert_eq!(o.current().slot_count(), 0);
+        assert_eq!(o.current().logical_order(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn logical_order_plain_blocks() {
+        let v = version(0, vec![data(1), data(2), data(3)]);
+        assert_eq!(v.logical_order(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn figure4_insert_shape() {
+        // Blocks 41, 42, 43 → insert 41.5: append old-42 and 41.5, replace
+        // slot 1 with an index pointing at [41.5's slot, old-42's slot].
+        let v = version(
+            1,
+            vec![
+                data(41),            // slot 0
+                Block::Index(vec![4, 3]), // slot 1: points at 41.5 then 42
+                data(43),            // slot 2
+                data(42),            // slot 3: the re-appended old block
+                data(100),           // slot 4: block 41.5
+            ],
+        );
+        // Logical: 41, 41.5, 42, 43 → slots 0, 4, 3, 2.
+        assert_eq!(v.logical_order(), vec![0, 4, 3, 2]);
+    }
+
+    #[test]
+    fn tombstone_deletes() {
+        let v = version(1, vec![data(1), Block::Index(vec![]), data(3)]);
+        assert_eq!(v.logical_order(), vec![0, 2]);
+    }
+
+    #[test]
+    fn nested_index_blocks() {
+        let v = version(
+            1,
+            vec![
+                Block::Index(vec![3, 1]), // slot 0
+                data(2),                  // slot 1 (pointed)
+                data(9),                  // slot 2 (top-level after 0)
+                Block::Index(vec![4]),    // slot 3 (pointed): → 4
+                data(7),                  // slot 4 (pointed)
+            ],
+        );
+        // slot0 expands to [slot3→slot4, slot1]; then slot2 at top level.
+        assert_eq!(v.logical_order(), vec![4, 1, 2]);
+    }
+
+    #[test]
+    fn cycles_do_not_hang() {
+        let v = version(1, vec![Block::Index(vec![1]), Block::Index(vec![0]), data(5)]);
+        // Both index blocks point at each other: visited-set breaks the
+        // cycle; the data block is still reachable at top level.
+        let order = v.logical_order();
+        assert_eq!(order, vec![2]);
+    }
+
+    #[test]
+    fn out_of_range_pointers_ignored() {
+        let v = version(1, vec![Block::Index(vec![99]), data(1)]);
+        assert_eq!(v.logical_order(), vec![1]);
+    }
+
+    #[test]
+    fn versions_are_persistent_and_consecutive() {
+        let mut o = DataObject::new();
+        o.push_version(version(1, vec![data(1)]));
+        o.push_version(version(2, vec![data(1), data(2)]));
+        assert_eq!(o.version_number(), 2);
+        assert_eq!(o.version(1).unwrap().slot_count(), 1);
+        assert_eq!(o.version(0).unwrap().slot_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive")]
+    fn skipped_version_rejected() {
+        let mut o = DataObject::new();
+        o.push_version(version(5, vec![]));
+    }
+
+    #[test]
+    fn retention_trims_old_versions() {
+        let mut o = DataObject::new();
+        o.set_retention(2);
+        for i in 1..=5 {
+            o.push_version(version(i, vec![data(i as u8)]));
+        }
+        assert_eq!(o.retained_versions(), 2);
+        assert!(o.version(3).is_none());
+        assert!(o.version(4).is_some());
+        assert!(o.version(5).is_some());
+    }
+
+    #[test]
+    fn stored_size_counts_blocks_and_indices() {
+        let v = version(0, vec![data(1), Block::Index(vec![1, 2, 3])]);
+        assert_eq!(v.stored_size(), 4 + (8 * 3 + 8));
+    }
+}

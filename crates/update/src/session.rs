@@ -1,0 +1,225 @@
+//! Session guarantees in the Bayou style (§2, §4.6).
+//!
+//! "Each session is a sequence of read and write requests related to one
+//! another through the session guarantees ... they can range from
+//! supporting extremely loose consistency semantics to supporting the ACID
+//! semantics favored in databases."
+//!
+//! A session tracks, per object, the latest version it has read and the
+//! latest version it has written; each guarantee constrains which replica
+//! states the session may read from or write to. The checks are pure
+//! functions over `(session state, replica version)` so any replica layer
+//! can enforce them.
+
+use std::collections::HashMap;
+
+use oceanstore_naming::guid::Guid;
+
+/// The four Bayou session guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Guarantee {
+    /// Reads reflect this session's earlier writes.
+    ReadYourWrites,
+    /// Successive reads never go backwards in time.
+    MonotonicReads,
+    /// Writes are ordered after reads they depend on.
+    WritesFollowReads,
+    /// This session's writes apply in issue order.
+    MonotonicWrites,
+}
+
+/// A named consistency level: which guarantees a session demands.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GuaranteeSet {
+    guarantees: Vec<Guarantee>,
+}
+
+impl GuaranteeSet {
+    /// No guarantees: "extremely loose consistency semantics".
+    pub fn none() -> Self {
+        GuaranteeSet::default()
+    }
+
+    /// All four guarantees: the strongest session-level consistency (full
+    /// ACID additionally requires predicate-guarded updates through the
+    /// primary tier).
+    pub fn all() -> Self {
+        GuaranteeSet {
+            guarantees: vec![
+                Guarantee::ReadYourWrites,
+                Guarantee::MonotonicReads,
+                Guarantee::WritesFollowReads,
+                Guarantee::MonotonicWrites,
+            ],
+        }
+    }
+
+    /// Adds a guarantee.
+    pub fn with(mut self, g: Guarantee) -> Self {
+        if !self.guarantees.contains(&g) {
+            self.guarantees.push(g);
+        }
+        self
+    }
+
+    /// Whether `g` is demanded.
+    pub fn requires(&self, g: Guarantee) -> bool {
+        self.guarantees.contains(&g)
+    }
+}
+
+/// Per-object watermark a session has observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Watermark {
+    read: u64,
+    written: u64,
+}
+
+/// Tracks a session's dependencies across objects.
+#[derive(Debug, Clone, Default)]
+pub struct SessionState {
+    marks: HashMap<Guid, Watermark>,
+}
+
+impl SessionState {
+    /// A fresh session with no history.
+    pub fn new() -> Self {
+        SessionState::default()
+    }
+
+    /// Records a successful read of `object` at `version`.
+    pub fn note_read(&mut self, object: Guid, version: u64) {
+        let m = self.marks.entry(object).or_default();
+        m.read = m.read.max(version);
+    }
+
+    /// Records that this session's write committed as `version`.
+    pub fn note_write(&mut self, object: Guid, version: u64) {
+        let m = self.marks.entry(object).or_default();
+        m.written = m.written.max(version);
+    }
+
+    /// Highest version of `object` this session has read.
+    pub fn read_watermark(&self, object: &Guid) -> u64 {
+        self.marks.get(object).map_or(0, |m| m.read)
+    }
+
+    /// Highest version of `object` this session has written.
+    pub fn write_watermark(&self, object: &Guid) -> u64 {
+        self.marks.get(object).map_or(0, |m| m.written)
+    }
+
+    /// May this session read `object` from a replica at `replica_version`
+    /// under `set`? (Read guarantees: RYW, MR.)
+    pub fn read_permitted(&self, set: &GuaranteeSet, object: &Guid, replica_version: u64) -> bool {
+        let m = self.marks.get(object).copied().unwrap_or_default();
+        if set.requires(Guarantee::ReadYourWrites) && replica_version < m.written {
+            return false;
+        }
+        if set.requires(Guarantee::MonotonicReads) && replica_version < m.read {
+            return false;
+        }
+        true
+    }
+
+    /// May this session submit a write against a replica at
+    /// `replica_version` under `set`? (Write guarantees: WFR, MW.)
+    pub fn write_permitted(&self, set: &GuaranteeSet, object: &Guid, replica_version: u64) -> bool {
+        let m = self.marks.get(object).copied().unwrap_or_default();
+        if set.requires(Guarantee::WritesFollowReads) && replica_version < m.read {
+            return false;
+        }
+        if set.requires(Guarantee::MonotonicWrites) && replica_version < m.written {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj() -> Guid {
+        Guid::from_label("session-test-object")
+    }
+
+    #[test]
+    fn loose_sessions_accept_anything() {
+        let mut s = SessionState::new();
+        s.note_read(obj(), 10);
+        s.note_write(obj(), 12);
+        let set = GuaranteeSet::none();
+        assert!(s.read_permitted(&set, &obj(), 0));
+        assert!(s.write_permitted(&set, &obj(), 0));
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let mut s = SessionState::new();
+        s.note_write(obj(), 5);
+        let set = GuaranteeSet::none().with(Guarantee::ReadYourWrites);
+        assert!(!s.read_permitted(&set, &obj(), 4), "stale replica rejected");
+        assert!(s.read_permitted(&set, &obj(), 5));
+        assert!(s.read_permitted(&set, &obj(), 9));
+    }
+
+    #[test]
+    fn monotonic_reads() {
+        let mut s = SessionState::new();
+        s.note_read(obj(), 7);
+        let set = GuaranteeSet::none().with(Guarantee::MonotonicReads);
+        assert!(!s.read_permitted(&set, &obj(), 6));
+        assert!(s.read_permitted(&set, &obj(), 7));
+    }
+
+    #[test]
+    fn writes_follow_reads() {
+        let mut s = SessionState::new();
+        s.note_read(obj(), 3);
+        let set = GuaranteeSet::none().with(Guarantee::WritesFollowReads);
+        assert!(!s.write_permitted(&set, &obj(), 2));
+        assert!(s.write_permitted(&set, &obj(), 3));
+    }
+
+    #[test]
+    fn monotonic_writes() {
+        let mut s = SessionState::new();
+        s.note_write(obj(), 4);
+        let set = GuaranteeSet::none().with(Guarantee::MonotonicWrites);
+        assert!(!s.write_permitted(&set, &obj(), 3));
+        assert!(s.write_permitted(&set, &obj(), 4));
+    }
+
+    #[test]
+    fn guarantees_are_per_object() {
+        let other = Guid::from_label("other-object");
+        let mut s = SessionState::new();
+        s.note_write(obj(), 100);
+        let set = GuaranteeSet::all();
+        // No history on the other object: any replica will do.
+        assert!(s.read_permitted(&set, &other, 0));
+        assert!(!s.read_permitted(&set, &obj(), 0));
+    }
+
+    #[test]
+    fn watermarks_only_advance() {
+        let mut s = SessionState::new();
+        s.note_read(obj(), 9);
+        s.note_read(obj(), 5);
+        assert_eq!(s.read_watermark(&obj()), 9);
+        s.note_write(obj(), 2);
+        s.note_write(obj(), 1);
+        assert_eq!(s.write_watermark(&obj()), 2);
+    }
+
+    #[test]
+    fn guarantee_set_dedups() {
+        let set = GuaranteeSet::none()
+            .with(Guarantee::MonotonicReads)
+            .with(Guarantee::MonotonicReads);
+        assert!(set.requires(Guarantee::MonotonicReads));
+        assert!(!set.requires(Guarantee::ReadYourWrites));
+        assert_eq!(GuaranteeSet::all(), GuaranteeSet::all());
+    }
+}

@@ -1,0 +1,467 @@
+//! The update model (§4.4.1): predicate/action lists evaluated by
+//! replicas over ciphertext.
+//!
+//! "Changes to data objects within OceanStore are made by client-generated
+//! updates, which are lists of predicates associated with actions. ... a
+//! replica evaluates each of the update's predicates in order. If any of
+//! the predicates evaluates to true, the actions associated with the
+//! earliest true predicate are atomically applied ... and the update is
+//! said to commit. Otherwise, no changes are applied, and the update is
+//! said to abort. The update itself is logged regardless."
+//!
+//! All predicates/actions are exactly those §4.4.2 shows computable over
+//! ciphertext: compare-version, compare-size, compare-block, search;
+//! replace-block, insert-block (via index blocks), delete-block, append.
+
+use std::sync::Arc;
+
+use oceanstore_crypto::sha256::{sha256, Digest as Digest256};
+use oceanstore_crypto::swp::{EncryptedIndex, Trapdoor};
+
+use crate::object::{Block, DataObject, Version};
+
+/// A predicate a replica can evaluate without cleartext access.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// Always true (used for unconditional writes).
+    True,
+    /// Object is at exactly this version (§4.4.2: "trivial ... over the
+    /// unencrypted meta-data").
+    CompareVersion(u64),
+    /// Object's stored size equals this many bytes.
+    CompareSize(usize),
+    /// The ciphertext block at logical position `position` hashes to
+    /// `hash` ("the client simply computes a hash of the encrypted block
+    /// and submits it along with the block number").
+    CompareBlock {
+        /// Logical block position.
+        position: usize,
+        /// SHA-256 of the expected ciphertext.
+        hash: Digest256,
+    },
+    /// The encrypted search index matches this trapdoor (Song–Wagner–
+    /// Perrig search on ciphertext \[47\]).
+    Search(Trapdoor),
+    /// Negation of `Search` (lets clients express "insert only if not
+    /// already present").
+    SearchAbsent(Trapdoor),
+}
+
+/// An action applied to ciphertext.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Overwrite the slot at a logical position with new ciphertext.
+    ReplaceBlock {
+        /// Logical block position.
+        position: usize,
+        /// Replacement ciphertext.
+        ciphertext: Vec<u8>,
+    },
+    /// Append a ciphertext block at the end of the object.
+    Append {
+        /// New block ciphertext.
+        ciphertext: Vec<u8>,
+    },
+    /// Replace the slot at a logical position with an index block
+    /// (the insert-block machinery of Figure 4).
+    ReplaceWithIndex {
+        /// Logical block position.
+        position: usize,
+        /// Slot numbers the index block points at. Slots appended by
+        /// earlier [`Action::Append`]s in the same update may be referenced
+        /// by their final slot numbers.
+        pointers: Vec<usize>,
+    },
+    /// Replace the slot at a logical position with an empty pointer block
+    /// ("to delete, one replaces the block in question with an empty
+    /// pointer block").
+    DeleteBlock {
+        /// Logical block position.
+        position: usize,
+    },
+    /// Install a new encrypted search index for the object.
+    SetSearchIndex(EncryptedIndex),
+}
+
+/// One guarded clause: if `predicate` holds, apply `actions`.
+#[derive(Debug, Clone)]
+pub struct Clause {
+    /// The guard.
+    pub predicate: Predicate,
+    /// Actions applied atomically if this is the earliest true guard.
+    pub actions: Vec<Action>,
+}
+
+/// A client-generated update.
+#[derive(Debug, Clone, Default)]
+pub struct Update {
+    /// Guarded clauses, evaluated in order.
+    pub clauses: Vec<Clause>,
+}
+
+impl Update {
+    /// An update with a single unconditional clause.
+    pub fn unconditional(actions: Vec<Action>) -> Self {
+        Update { clauses: vec![Clause { predicate: Predicate::True, actions }] }
+    }
+
+    /// Builder-style: adds a clause.
+    pub fn with_clause(mut self, predicate: Predicate, actions: Vec<Action>) -> Self {
+        self.clauses.push(Clause { predicate, actions });
+        self
+    }
+
+    /// Wire size charged when the update travels through consensus or the
+    /// dissemination tree.
+    pub fn wire_size(&self) -> usize {
+        let mut total = 16;
+        for c in &self.clauses {
+            total += 16; // clause framing
+            total += match &c.predicate {
+                Predicate::True => 1,
+                Predicate::CompareVersion(_) => 9,
+                Predicate::CompareSize(_) => 9,
+                Predicate::CompareBlock { .. } => 8 + 32,
+                Predicate::Search(_) | Predicate::SearchAbsent(_) => Trapdoor::WIRE_SIZE + 1,
+            };
+            for a in &c.actions {
+                total += match a {
+                    Action::ReplaceBlock { ciphertext, .. } => 16 + ciphertext.len(),
+                    Action::Append { ciphertext } => 8 + ciphertext.len(),
+                    Action::ReplaceWithIndex { pointers, .. } => 16 + 8 * pointers.len(),
+                    Action::DeleteBlock { .. } => 9,
+                    Action::SetSearchIndex(ix) => ix.wire_size(),
+                };
+            }
+        }
+        total
+    }
+}
+
+/// Why an update aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Every predicate evaluated false.
+    NoPredicateHeld,
+    /// A chosen action referenced a nonexistent block position.
+    BadPosition,
+}
+
+/// The result of applying an update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The update committed, creating this version number.
+    Committed {
+        /// The new version number.
+        version: u64,
+    },
+    /// The update aborted; the object is unchanged.
+    Aborted(AbortReason),
+}
+
+impl Outcome {
+    /// Whether the update committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, Outcome::Committed { .. })
+    }
+}
+
+/// One entry of the per-object update log ("the update itself is logged
+/// regardless of whether it commits or aborts").
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    /// The applied (or rejected) update.
+    pub update: Update,
+    /// What happened.
+    pub outcome: Outcome,
+}
+
+/// Evaluates `predicate` against the current version of `object`.
+pub fn evaluate(object: &DataObject, predicate: &Predicate) -> bool {
+    let v = object.current();
+    match predicate {
+        Predicate::True => true,
+        Predicate::CompareVersion(n) => v.number == *n,
+        Predicate::CompareSize(s) => v.stored_size() == *s,
+        Predicate::CompareBlock { position, hash } => {
+            let order = v.logical_order();
+            let Some(&slot) = order.get(*position) else { return false };
+            match &v.blocks[slot] {
+                Block::Data(bytes) => sha256(bytes) == *hash,
+                Block::Index(_) => false,
+            }
+        }
+        Predicate::Search(t) => v.search_index.search(t),
+        Predicate::SearchAbsent(t) => !v.search_index.search(t),
+    }
+}
+
+/// Applies `update` to `object`, per the §4.4.1 semantics. Deterministic:
+/// replicas applying the same update sequence converge bit-for-bit.
+pub fn apply(object: &mut DataObject, update: &Update) -> Outcome {
+    let Some(clause) = update.clauses.iter().find(|c| evaluate(object, &c.predicate)) else {
+        return Outcome::Aborted(AbortReason::NoPredicateHeld);
+    };
+    // Build the next version on a scratch copy so aborts are atomic.
+    let cur = object.current();
+    let mut blocks = cur.blocks.clone();
+    let mut search_index = Arc::clone(&cur.search_index);
+    // Logical positions refer to the object state at the *start* of the
+    // update; appended slots are addressed by slot number.
+    let order = cur.logical_order();
+    let resolve = |position: usize, blocks_len: usize| -> Option<usize> {
+        order.get(position).copied().filter(|&s| s < blocks_len)
+    };
+    for action in &clause.actions {
+        match action {
+            Action::ReplaceBlock { position, ciphertext } => {
+                let Some(slot) = resolve(*position, blocks.len()) else {
+                    return Outcome::Aborted(AbortReason::BadPosition);
+                };
+                blocks[slot] = Block::Data(Arc::new(ciphertext.clone()));
+            }
+            Action::Append { ciphertext } => {
+                blocks.push(Block::Data(Arc::new(ciphertext.clone())));
+            }
+            Action::ReplaceWithIndex { position, pointers } => {
+                let Some(slot) = resolve(*position, blocks.len()) else {
+                    return Outcome::Aborted(AbortReason::BadPosition);
+                };
+                if pointers.iter().any(|&p| p >= blocks.len() + pointers_headroom(&clause.actions)) {
+                    return Outcome::Aborted(AbortReason::BadPosition);
+                }
+                blocks[slot] = Block::Index(pointers.clone());
+            }
+            Action::DeleteBlock { position } => {
+                let Some(slot) = resolve(*position, blocks.len()) else {
+                    return Outcome::Aborted(AbortReason::BadPosition);
+                };
+                blocks[slot] = Block::Index(Vec::new());
+            }
+            Action::SetSearchIndex(ix) => {
+                search_index = Arc::new(ix.clone());
+            }
+        }
+    }
+    let next = Version { number: cur.number + 1, blocks, search_index };
+    let version = next.number;
+    object.push_version(next);
+    Outcome::Committed { version }
+}
+
+/// Upper bound on how many slots the update's remaining appends could still
+/// create (used to validate forward references in index pointers).
+fn pointers_headroom(actions: &[Action]) -> usize {
+    actions.iter().filter(|a| matches!(a, Action::Append { .. })).count()
+}
+
+/// Applies an update and records it in `log` ("logged regardless").
+pub fn apply_logged(object: &mut DataObject, update: &Update, log: &mut Vec<LogEntry>) -> Outcome {
+    let outcome = apply(object, update);
+    log.push(LogEntry { update: update.clone(), outcome: outcome.clone() });
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ct(tag: u8) -> Vec<u8> {
+        vec![tag; 8]
+    }
+
+    fn fresh_with_blocks(tags: &[u8]) -> DataObject {
+        let mut o = DataObject::new();
+        let actions = tags.iter().map(|&t| Action::Append { ciphertext: ct(t) }).collect();
+        assert!(apply(&mut o, &Update::unconditional(actions)).is_committed());
+        o
+    }
+
+    #[test]
+    fn unconditional_append_commits() {
+        let mut o = DataObject::new();
+        let out = apply(&mut o, &Update::unconditional(vec![Action::Append { ciphertext: ct(1) }]));
+        assert_eq!(out, Outcome::Committed { version: 1 });
+        assert_eq!(o.current().slot_count(), 1);
+    }
+
+    #[test]
+    fn all_false_predicates_abort() {
+        let mut o = fresh_with_blocks(&[1]);
+        let u = Update::default().with_clause(
+            Predicate::CompareVersion(99),
+            vec![Action::Append { ciphertext: ct(2) }],
+        );
+        let out = apply(&mut o, &u);
+        assert_eq!(out, Outcome::Aborted(AbortReason::NoPredicateHeld));
+        assert_eq!(o.version_number(), 1, "object unchanged");
+    }
+
+    #[test]
+    fn earliest_true_clause_wins() {
+        let mut o = fresh_with_blocks(&[1]);
+        let u = Update::default()
+            .with_clause(Predicate::CompareVersion(0), vec![Action::Append { ciphertext: ct(9) }])
+            .with_clause(Predicate::CompareVersion(1), vec![Action::Append { ciphertext: ct(2) }])
+            .with_clause(Predicate::True, vec![Action::Append { ciphertext: ct(3) }]);
+        assert!(apply(&mut o, &u).is_committed());
+        // Only the version-1 clause ran: exactly one new block with tag 2.
+        let v = o.current();
+        let order = v.logical_order();
+        assert_eq!(order.len(), 2);
+        match &v.blocks[order[1]] {
+            Block::Data(d) => assert_eq!(**d, ct(2)),
+            _ => panic!("expected data"),
+        }
+    }
+
+    #[test]
+    fn compare_block_gates_replacement() {
+        // Optimistic concurrency on one block: replace block 0 only if its
+        // ciphertext is unchanged.
+        let mut o = fresh_with_blocks(&[7, 8]);
+        let expected_hash = sha256(&ct(7));
+        let u = Update::default().with_clause(
+            Predicate::CompareBlock { position: 0, hash: expected_hash },
+            vec![Action::ReplaceBlock { position: 0, ciphertext: ct(9) }],
+        );
+        assert!(apply(&mut o, &u).is_committed());
+        // Now the same update aborts: block 0 changed.
+        let out = apply(&mut o, &u);
+        assert_eq!(out, Outcome::Aborted(AbortReason::NoPredicateHeld));
+    }
+
+    #[test]
+    fn compare_size_predicate() {
+        let o = fresh_with_blocks(&[1, 2]);
+        assert!(evaluate(&o, &Predicate::CompareSize(16)));
+        assert!(!evaluate(&o, &Predicate::CompareSize(15)));
+    }
+
+    #[test]
+    fn delete_block_leaves_tombstone() {
+        let mut o = fresh_with_blocks(&[1, 2, 3]);
+        let u = Update::unconditional(vec![Action::DeleteBlock { position: 1 }]);
+        assert!(apply(&mut o, &u).is_committed());
+        let v = o.current();
+        assert_eq!(v.logical_order().len(), 2);
+        // Old version still shows three blocks (versioning).
+        assert_eq!(o.version(1).unwrap().logical_order().len(), 3);
+    }
+
+    #[test]
+    fn figure4_insert_via_actions() {
+        // Object with blocks 41, 42, 43; insert 41.5 after 41:
+        // append old-42 (slot 3), append 41.5 (slot 4), replace position 1
+        // with an index pointing at [4, 3].
+        let mut o = fresh_with_blocks(&[41, 42, 43]);
+        let u = Update::unconditional(vec![
+            Action::Append { ciphertext: ct(42) },  // slot 3
+            Action::Append { ciphertext: ct(100) }, // slot 4 = "41.5"
+            Action::ReplaceWithIndex { position: 1, pointers: vec![4, 3] },
+        ]);
+        assert!(apply(&mut o, &u).is_committed());
+        let v = o.current();
+        let logical: Vec<Vec<u8>> = v
+            .logical_order()
+            .into_iter()
+            .map(|s| match &v.blocks[s] {
+                Block::Data(d) => (**d).clone(),
+                _ => panic!("index in logical order"),
+            })
+            .collect();
+        assert_eq!(logical, vec![ct(41), ct(100), ct(42), ct(43)]);
+    }
+
+    #[test]
+    fn bad_position_aborts_atomically() {
+        let mut o = fresh_with_blocks(&[1]);
+        let u = Update::unconditional(vec![
+            Action::Append { ciphertext: ct(5) },
+            Action::ReplaceBlock { position: 7, ciphertext: ct(6) },
+        ]);
+        let out = apply(&mut o, &u);
+        assert_eq!(out, Outcome::Aborted(AbortReason::BadPosition));
+        // The earlier Append must not have leaked through.
+        assert_eq!(o.version_number(), 1);
+        assert_eq!(o.current().slot_count(), 1);
+    }
+
+    #[test]
+    fn search_predicate_over_ciphertext() {
+        use oceanstore_crypto::swp::SearchKey;
+        let key = SearchKey::from_seed(b"reader");
+        let idx = key.build_index(b"obj", vec![b"hello".as_slice(), b"world".as_slice()]);
+        let mut o = DataObject::new();
+        let u = Update::unconditional(vec![Action::SetSearchIndex(idx)]);
+        assert!(apply(&mut o, &u).is_committed());
+        assert!(evaluate(&o, &Predicate::Search(key.trapdoor(b"world"))));
+        assert!(!evaluate(&o, &Predicate::Search(key.trapdoor(b"absent"))));
+        assert!(evaluate(&o, &Predicate::SearchAbsent(key.trapdoor(b"absent"))));
+    }
+
+    #[test]
+    fn replicas_converge_on_same_log() {
+        // Determinism: two replicas applying the same update sequence end
+        // with identical state.
+        let updates = vec![
+            Update::unconditional(vec![Action::Append { ciphertext: ct(1) }]),
+            Update::unconditional(vec![Action::Append { ciphertext: ct(2) }]),
+            Update::default().with_clause(
+                Predicate::CompareVersion(2),
+                vec![Action::ReplaceBlock { position: 0, ciphertext: ct(3) }],
+            ),
+            Update::unconditional(vec![Action::DeleteBlock { position: 1 }]),
+        ];
+        let mut a = DataObject::new();
+        let mut b = DataObject::new();
+        for u in &updates {
+            let oa = apply(&mut a, u);
+            let ob = apply(&mut b, u);
+            assert_eq!(oa, ob);
+        }
+        assert_eq!(a.current().blocks, b.current().blocks);
+        assert_eq!(a.version_number(), b.version_number());
+    }
+
+    #[test]
+    fn log_records_aborts_too() {
+        let mut o = DataObject::new();
+        let mut log = Vec::new();
+        let good = Update::unconditional(vec![Action::Append { ciphertext: ct(1) }]);
+        let bad = Update::default()
+            .with_clause(Predicate::CompareVersion(77), vec![]);
+        apply_logged(&mut o, &good, &mut log);
+        apply_logged(&mut o, &bad, &mut log);
+        assert_eq!(log.len(), 2);
+        assert!(log[0].outcome.is_committed());
+        assert!(!log[1].outcome.is_committed());
+    }
+
+    #[test]
+    fn acid_transaction_encoding() {
+        // §4.4.1: "the model can be used to provide ACID semantics: the
+        // first predicate is made to check the read set of a transaction,
+        // the corresponding action applies the write set."
+        let mut o = fresh_with_blocks(&[10, 20]);
+        let read_set_ok = Predicate::CompareBlock { position: 0, hash: sha256(&ct(10)) };
+        let txn = Update::default().with_clause(
+            read_set_ok,
+            vec![Action::ReplaceBlock { position: 1, ciphertext: ct(21) }],
+        );
+        assert!(apply(&mut o, &txn).is_committed());
+        // A conflicting writer changed block 0 → the same transaction now
+        // aborts rather than writing stale data.
+        let conflict =
+            Update::unconditional(vec![Action::ReplaceBlock { position: 0, ciphertext: ct(11) }]);
+        assert!(apply(&mut o, &conflict).is_committed());
+        assert!(!apply(&mut o, &txn).is_committed());
+    }
+
+    #[test]
+    fn wire_size_grows_with_content() {
+        let small = Update::unconditional(vec![Action::Append { ciphertext: vec![0; 10] }]);
+        let big = Update::unconditional(vec![Action::Append { ciphertext: vec![0; 1000] }]);
+        assert_eq!(big.wire_size() - small.wire_size(), 990);
+    }
+}

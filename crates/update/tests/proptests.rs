@@ -1,0 +1,124 @@
+//! Property-based tests for the update model: codec canonicity and — the
+//! invariant the whole replication layer rests on — deterministic replay.
+
+use oceanstore_update::codec::{decode_update, encode_update};
+use oceanstore_update::object::{Block, DataObject};
+use oceanstore_update::update::{apply, Action, Outcome, Predicate};
+use oceanstore_update::Update;
+use proptest::prelude::*;
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        Just(Predicate::True),
+        any::<u64>().prop_map(Predicate::CompareVersion),
+        (0usize..10_000).prop_map(Predicate::CompareSize),
+        (any::<usize>(), any::<[u8; 32]>())
+            .prop_map(|(position, hash)| Predicate::CompareBlock { position: position % 64, hash }),
+    ]
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0usize..16, proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(position, ciphertext)| Action::ReplaceBlock { position, ciphertext }),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|ciphertext| Action::Append { ciphertext }),
+        (0usize..16, proptest::collection::vec(0usize..32, 0..6))
+            .prop_map(|(position, pointers)| Action::ReplaceWithIndex { position, pointers }),
+        (0usize..16).prop_map(|position| Action::DeleteBlock { position }),
+    ]
+}
+
+fn arb_update() -> impl Strategy<Value = Update> {
+    proptest::collection::vec(
+        (arb_predicate(), proptest::collection::vec(arb_action(), 0..6)),
+        0..4,
+    )
+    .prop_map(|clauses| {
+        let mut u = Update::default();
+        for (p, a) in clauses {
+            u = u.with_clause(p, a);
+        }
+        u
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The wire codec is canonical and lossless for arbitrary updates.
+    #[test]
+    fn codec_roundtrip(u in arb_update()) {
+        let enc = encode_update(&u);
+        let dec = decode_update(&enc).expect("round-trips");
+        prop_assert_eq!(encode_update(&dec), enc);
+    }
+
+    /// Truncating an encoding is always detected.
+    #[test]
+    fn codec_rejects_truncation(u in arb_update(), cut_frac in 0.0f64..1.0) {
+        let enc = encode_update(&u);
+        if enc.len() > 4 {
+            let cut = ((enc.len() as f64) * cut_frac) as usize;
+            if cut < enc.len() {
+                prop_assert!(decode_update(&enc[..cut]).is_err());
+            }
+        }
+    }
+
+    /// Determinism: two replicas applying the same update stream converge
+    /// to bit-identical state with identical outcomes — regardless of the
+    /// updates' content.
+    #[test]
+    fn replay_determinism(updates in proptest::collection::vec(arb_update(), 0..12)) {
+        let mut a = DataObject::new();
+        let mut b = DataObject::new();
+        for u in &updates {
+            // Route one replica's copy through the wire codec for good
+            // measure.
+            let u2 = decode_update(&encode_update(u)).expect("codec roundtrip");
+            let oa = apply(&mut a, u);
+            let ob = apply(&mut b, &u2);
+            prop_assert_eq!(&oa, &ob);
+        }
+        prop_assert_eq!(a.version_number(), b.version_number());
+        prop_assert_eq!(&a.current().blocks, &b.current().blocks);
+    }
+
+    /// Aborted updates never change the object.
+    #[test]
+    fn aborts_are_side_effect_free(updates in proptest::collection::vec(arb_update(), 1..10)) {
+        let mut o = DataObject::new();
+        for u in &updates {
+            let before_version = o.version_number();
+            let before_blocks = o.current().blocks.clone();
+            match apply(&mut o, u) {
+                Outcome::Committed { version } => {
+                    prop_assert_eq!(version, before_version + 1);
+                }
+                Outcome::Aborted(_) => {
+                    prop_assert_eq!(o.version_number(), before_version);
+                    prop_assert_eq!(&o.current().blocks, &before_blocks);
+                }
+            }
+        }
+    }
+
+    /// The logical order never references an index block or repeats a
+    /// slot, whatever the update history did to the object.
+    #[test]
+    fn logical_order_well_formed(updates in proptest::collection::vec(arb_update(), 0..12)) {
+        let mut o = DataObject::new();
+        for u in &updates {
+            let _ = apply(&mut o, u);
+        }
+        let v = o.current();
+        let order = v.logical_order();
+        let mut seen = std::collections::HashSet::new();
+        for slot in order {
+            prop_assert!(slot < v.blocks.len());
+            prop_assert!(matches!(v.blocks[slot], Block::Data(_)));
+            prop_assert!(seen.insert(slot), "slot repeated in logical order");
+        }
+    }
+}

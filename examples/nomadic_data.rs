@@ -1,0 +1,119 @@
+//! Nomadic data and introspection (§4.7): the system watches access
+//! patterns, recognizes clusters of related objects, predicts the next
+//! access, detects the day/night commute, and adjusts replicas — "users
+//! will find their project files and email folder on a local machine
+//! during the work day, and waiting for them on their home machines at
+//! night."
+//!
+//! ```text
+//! cargo run --release --example nomadic_data
+//! ```
+
+use oceanstore::introspect::cluster::ClusterRecognizer;
+use oceanstore::introspect::event::{Aggregate, Event, Expr, Handler, SummaryDb};
+use oceanstore::introspect::migration::MigrationDetector;
+use oceanstore::introspect::prefetch::Prefetcher;
+use oceanstore::introspect::replica_mgmt::{ReplicaAction, ReplicaManager};
+use oceanstore::naming::guid::Guid;
+use oceanstore::sim::NodeId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2026);
+
+    // Objects: a project (3 files), an email folder, and unrelated noise.
+    let project: Vec<Guid> =
+        (0..3).map(|i| Guid::from_label(&format!("project/file{i}"))).collect();
+    let email = Guid::from_label("email/inbox");
+    let noise: Vec<Guid> = (0..30).map(|i| Guid::from_label(&format!("noise/{i}"))).collect();
+
+    let office = NodeId(1);
+    let home = NodeId(2);
+
+    // The introspective machinery of Figure 8.
+    let mut db = SummaryDb::new();
+    db.register(
+        "access-rate",
+        Handler::new(
+            Expr::KindIs("access"),
+            vec![
+                ("count", Aggregate::Count),
+                ("avg_bytes", Aggregate::Average(Expr::Field("bytes"))),
+            ],
+        ),
+    );
+    let mut clusters = ClusterRecognizer::new(6);
+    let mut prefetcher = Prefetcher::new(3);
+    let mut migration = MigrationDetector::new();
+    let mut mgr = ReplicaManager::new(30.0, 1.0, 0.5, 3);
+
+    // Two simulated weeks of a commuting user.
+    for day in 0..14 {
+        // Work hours at the office: project files together, heavily.
+        for hour in 9..17 {
+            for _ in 0..5 {
+                for f in &project {
+                    clusters.observe(*f);
+                    prefetcher.observe(*f);
+                    migration.observe(*f, office, hour);
+                    mgr.record_access(*f);
+                    db.observe(&Event::new("access").with("bytes", 4096.0));
+                }
+                if rng.gen::<f64>() < 0.3 {
+                    let n = noise[rng.gen_range(0..noise.len())];
+                    clusters.observe(n);
+                    prefetcher.observe(n);
+                }
+            }
+        }
+        // Evenings at home: email.
+        for hour in 19..23 {
+            for _ in 0..8 {
+                clusters.observe(email);
+                prefetcher.observe(email);
+                migration.observe(email, home, hour);
+                db.observe(&Event::new("access").with("bytes", 1024.0));
+            }
+        }
+        let actions = mgr.tick();
+        if day == 0 {
+            for a in &actions {
+                if let ReplicaAction::Create { object } = a {
+                    println!("replica management: hot object {object} → request replica nearby");
+                }
+            }
+        }
+    }
+
+    let summary = db.summary("access-rate").expect("registered");
+    println!(
+        "event handlers summarized {} accesses (avg {} bytes) without storing raw events",
+        summary.values["count"], summary.values["avg_bytes"]
+    );
+
+    // Cluster recognition: the project files hang together.
+    let found = clusters.clusters(50.0);
+    println!("clusters detected: {}", found.len());
+    let biggest = &found[0];
+    assert!(project.iter().all(|f| biggest.contains(f)), "project forms one cluster");
+    println!("  biggest cluster has {} members (the project) ✓", biggest.len());
+
+    // Prefetching: after file0, file1; the predictor knows.
+    prefetcher.observe(project[0]);
+    let predicted = prefetcher.predict(1);
+    assert_eq!(predicted, vec![project[1]]);
+    println!("prefetcher: after file0 it stages {:?} ✓", predicted);
+
+    // Migration detection: office by day, home by night.
+    let cycle = migration.daily_cycle(project[0]).expect("cycle detected");
+    assert_eq!(cycle, (office, home));
+    println!("daily cycle for project files: day at {} / night at {}", cycle.0, cycle.1);
+    let evening_plan = migration.prefetch_plan(home, 21);
+    assert!(evening_plan.contains(&email));
+    println!(
+        "at 21:00 the prefetch plan stages {} object(s) at the home machine ✓",
+        evening_plan.len()
+    );
+    println!("nomadic data scenario complete");
+}

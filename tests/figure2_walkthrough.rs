@@ -1,0 +1,82 @@
+//! Figure 2 of the paper, reenacted: "The probabilistic query process.
+//! The replica at n1 is looking for object X. (1) The local Bloom filter
+//! for n1 shows that it does not have the object, but (2) its neighbor
+//! filter for n2 indicates that n2 might be an intermediate node en route
+//! to the object. The query moves to n2, (3) whose Bloom filter indicates
+//! that it does not have the document locally, (4a) that its neighbor n4
+//! doesn't have it either, but (4b) that its neighbor n3 might. The query
+//! is forwarded to n3, (5) which verifies that it has the object."
+
+use oceanstore::bloom::routing::{converge_filters, make_network, BloomConfig};
+use oceanstore::naming::guid::Guid;
+use oceanstore::sim::{NodeId, SimDuration, Simulator, Topology};
+
+const N1: NodeId = NodeId(0);
+const N2: NodeId = NodeId(1);
+const N3: NodeId = NodeId(2);
+const N4: NodeId = NodeId(3);
+
+fn figure2_network() -> Simulator<oceanstore::bloom::BloomNode> {
+    // The figure's shape: n1 — n2 with n3 and n4 hanging off n2.
+    let mut b = Topology::builder(4);
+    let ms = SimDuration::from_millis(10);
+    b.edge(N1, N2, ms);
+    b.edge(N2, N3, ms);
+    b.edge(N2, N4, ms);
+    let topo = b.build();
+    let cfg = BloomConfig {
+        advertise_interval: SimDuration::from_millis(100),
+        ..BloomConfig::default()
+    };
+    let nodes = make_network(&topo, &cfg);
+    Simulator::new(topo, nodes, 2)
+}
+
+#[test]
+fn figure2_query_reaches_n3_without_touching_n4() {
+    let mut sim = figure2_network();
+    let x = Guid::from_label("object-X");
+    sim.node_mut(N3).insert_object(x);
+    sim.start();
+    let cfg = BloomConfig {
+        advertise_interval: SimDuration::from_millis(100),
+        ..BloomConfig::default()
+    };
+    converge_filters(&mut sim, &cfg);
+
+    // Step 1: n1's local filter does not contain X…
+    assert!(!sim.node(N1).has_object(&x));
+    // …step 2: but its edge filter for n2 claims X at distance 2.
+    assert_eq!(
+        sim.node(N1).own_filter().min_distance(&x),
+        Some(2),
+        "n1 sees X two hops away through n2"
+    );
+
+    // Steps 3–5: run the query.
+    sim.reset_stats();
+    sim.with_node_ctx(N1, |n, ctx| n.start_query(ctx, 1, x));
+    sim.run_for(SimDuration::from_millis(200));
+    let outcome = sim.node(N1).outcome(1).copied().expect("query completed");
+    assert_eq!(outcome.found_at, Some(N3), "(5) n3 verifies that it has the object");
+    assert_eq!(outcome.hops, 2, "n1 → n2 → n3");
+    // (4a) the query never travels toward n4: exactly two query messages.
+    assert_eq!(sim.stats().class("bloom/query").messages, 2);
+}
+
+#[test]
+fn figure2_negative_lookup_fails_fast() {
+    let mut sim = figure2_network();
+    sim.start();
+    let cfg = BloomConfig {
+        advertise_interval: SimDuration::from_millis(100),
+        ..BloomConfig::default()
+    };
+    converge_filters(&mut sim, &cfg);
+    let ghost = Guid::from_label("not-anywhere");
+    sim.with_node_ctx(N1, |n, ctx| n.start_query(ctx, 2, ghost));
+    sim.run_for(SimDuration::from_millis(200));
+    let outcome = sim.node(N1).outcome(2).copied().expect("completed");
+    assert_eq!(outcome.found_at, None, "miss → defer to the global algorithm");
+    assert_eq!(outcome.hops, 0, "no filter claims it, so the query never leaves n1");
+}

@@ -1,0 +1,79 @@
+//! The two-tier location mechanism of §4.3: "a fast, probabilistic
+//! algorithm attempts to find the object near the requesting machine. If
+//! the probabilistic algorithm fails, location is left to a slower,
+//! deterministic algorithm."
+//!
+//! This test runs both layers over the same topology and drives the
+//! fallback by hand, the way an OceanStore routing layer would.
+
+use std::sync::Arc;
+
+use oceanstore::bloom::routing::{converge_filters, make_network, BloomConfig};
+use oceanstore::naming::guid::Guid;
+use oceanstore::plaxton::{build_network, PlaxtonConfig};
+use oceanstore::sim::{NodeId, SimDuration, Simulator, Topology};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn geo(n: usize, seed: u64) -> Topology {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Topology::random_geometric(n, 0.16, SimDuration::from_millis(25), &mut rng)
+}
+
+#[test]
+fn near_object_resolves_probabilistically_far_object_needs_plaxton() {
+    let n = 64;
+    let seed = 31;
+
+    // --- Probabilistic tier ---
+    let cfg = BloomConfig {
+        depth: 4,
+        advertise_interval: SimDuration::from_millis(100),
+        ..BloomConfig::default()
+    };
+    let topo_bloom = geo(n, seed);
+    // Choose a holder, then derive a "near" origin (within filter range)
+    // and a "far" origin (beyond it).
+    let holder = NodeId(5);
+    let near = (0..n)
+        .map(NodeId)
+        .find(|&x| x != holder && topo_bloom.hops(x, holder) == Some(2))
+        .expect("some node 2 hops from the holder");
+    let far = (0..n)
+        .map(NodeId)
+        .find(|&x| topo_bloom.hops(x, holder).is_some_and(|h| h >= 6))
+        .expect("some node at least 6 hops away");
+    let object = Guid::from_label("two-tier-object");
+
+    let nodes = make_network(&topo_bloom, &cfg);
+    let mut bloom_sim = Simulator::new(topo_bloom, nodes, seed);
+    bloom_sim.node_mut(holder).insert_object(object);
+    bloom_sim.start();
+    converge_filters(&mut bloom_sim, &cfg);
+
+    bloom_sim.with_node_ctx(near, |node, ctx| node.start_query(ctx, 1, object));
+    bloom_sim.with_node_ctx(far, |node, ctx| node.start_query(ctx, 2, object));
+    bloom_sim.run_for(SimDuration::from_secs(3));
+
+    let near_out = bloom_sim.node(near).outcome(1).copied().expect("completed");
+    assert_eq!(near_out.found_at, Some(holder), "fast path finds the nearby replica");
+
+    let far_out = bloom_sim.node(far).outcome(2).copied().expect("completed");
+    assert_eq!(far_out.found_at, None, "fast path correctly gives up on a far object");
+
+    // --- Deterministic fallback (the Plaxton mesh) ---
+    let topo_plaxton = Arc::new(geo(n, seed));
+    let (pnodes, _) = build_network(&topo_plaxton, &PlaxtonConfig::default(), seed);
+    let mut plaxton_sim = Simulator::new(geo(n, seed), pnodes, seed);
+    plaxton_sim.start();
+    plaxton_sim.with_node_ctx(holder, |node, ctx| node.publish(ctx, object));
+    plaxton_sim.run_for(SimDuration::from_secs(2));
+    plaxton_sim.with_node_ctx(far, |node, ctx| node.locate(ctx, 9, object));
+    plaxton_sim.run_for(SimDuration::from_secs(5));
+    let global = plaxton_sim.node(far).outcome(9).copied().expect("completed");
+    assert_eq!(
+        global.holder,
+        Some(holder),
+        "the slower, deterministic algorithm always succeeds"
+    );
+}
