@@ -175,7 +175,7 @@ mod tests {
     fn duplicate_fragments_counted_once() {
         let arch = archive_object(&codec(), &payload()).unwrap();
         let frags: Vec<Fragment> =
-            std::iter::repeat(arch.fragments[0].clone()).take(10).collect();
+            std::iter::repeat_n(arch.fragments[0].clone(), 10).collect();
         let err = reconstruct_object(&codec(), &frags).unwrap_err();
         assert_eq!(err, CodeError::NotEnoughShards { have: 1, need: 8 });
     }

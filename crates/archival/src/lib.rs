@@ -181,16 +181,6 @@ mod tests {
         let (guid, holders) = disseminated(&mut sim);
         // Corrupt node 0's stored fragment in place.
         let corrupt_holder = holders[0];
-        {
-            let node = sim.node_mut(corrupt_holder);
-            let frags: Vec<_> = (0..N)
-                .filter_map(|i| {
-                    node.holds(&guid).then_some(i) // placeholder; replaced below
-                })
-                .collect();
-            let _ = frags;
-        }
-        // Simpler: seed a bogus fragment over the real one.
         let arch = archive_object(&codec(), &payload()).unwrap();
         let mut bogus = arch.fragments[0].clone();
         bogus.data[0] ^= 0x5a;

@@ -62,7 +62,7 @@ proptest! {
             prop_assert!(availability(n, m, f, rf + 1) >= p - 1e-9);
         }
         // More dead machines never help.
-        if m + 1 <= n {
+        if m < n {
             prop_assert!(availability(n, m + 1, f, rf) <= p + 1e-9);
         }
     }

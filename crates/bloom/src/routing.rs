@@ -254,7 +254,7 @@ impl BloomNode {
             }
             if let Some(d) = filter.min_distance(&target) {
                 let d = d + self.penalties.get(&nbr).copied().unwrap_or(0);
-                if best.map_or(true, |(bd, bn)| d < bd || (d == bd && nbr < bn)) {
+                if best.is_none_or(|(bd, bn)| d < bd || (d == bd && nbr < bn)) {
                     best = Some((d, nbr));
                 }
             }

@@ -64,7 +64,7 @@ proptest! {
         let shifted = a.attenuated();
         for g in &items {
             match (a.min_distance(g), shifted.min_distance(g)) {
-                (Some(d), Some(s)) => prop_assert!(s >= d + 1, "d={d} s={s}"),
+                (Some(d), Some(s)) => prop_assert!(s > d, "d={d} s={s}"),
                 (Some(d), None) => prop_assert!(d + 1 >= 4, "dropped too early: d={d}"),
                 (None, Some(_)) => prop_assert!(false, "attenuation invented an object"),
                 (None, None) => {}

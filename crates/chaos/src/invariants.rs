@@ -1,0 +1,132 @@
+//! Post-scenario invariant checkers over two-tier deployments.
+//!
+//! A chaos run is only meaningful with a verdict: after the faults have
+//! played out and a settling window has elapsed, these checkers inspect
+//! the deployment and report every broken promise as a human-readable
+//! failure line.
+
+use oceanstore_naming::guid::Guid;
+use oceanstore_replica::Deployment;
+
+/// Outcome of a set of invariant checks.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantReport {
+    /// One line per broken invariant; empty means all checks passed.
+    pub failures: Vec<String>,
+}
+
+impl InvariantReport {
+    /// Whether every checked invariant held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Folds another report's failures into this one.
+    pub fn merge(mut self, other: InvariantReport) -> Self {
+        self.failures.extend(other.failures);
+        self
+    }
+}
+
+/// Highest committed index any *live* primary reached for `object` (the
+/// tier's authoritative frontier).
+pub fn committed_frontier(dep: &Deployment, object: &Guid) -> u64 {
+    dep.primaries
+        .iter()
+        .filter(|&&p| !dep.sim.is_down(p))
+        .filter_map(|&p| dep.sim.node(p).as_primary())
+        .map(|prim| prim.store.get(object).map_or(0, |st| st.next_index))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Eventual convergence: every live secondary holds the full committed
+/// prefix of every listed object.
+pub fn check_convergence(dep: &Deployment, objects: &[Guid]) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    for object in objects {
+        let frontier = committed_frontier(dep, object);
+        for &s in &dep.secondaries {
+            if dep.sim.is_down(s) {
+                continue;
+            }
+            let sec = dep.sim.node(s).as_secondary().expect("secondary node");
+            let have = sec.store.get(object).map_or(0, |st| st.next_index);
+            if have < frontier {
+                report.failures.push(format!(
+                    "convergence: secondary {s:?} has {have}/{frontier} commits of {object:?}"
+                ));
+            }
+        }
+    }
+    report
+}
+
+/// No committed-update loss: the tier committed at least `expected`
+/// records for `object`, and every live secondary can replay all of them
+/// (dense record log up to the frontier).
+pub fn check_no_committed_loss(dep: &Deployment, object: &Guid, expected: u64) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    let frontier = committed_frontier(dep, object);
+    if frontier < expected {
+        report.failures.push(format!(
+            "loss: tier committed only {frontier}/{expected} updates of {object:?}"
+        ));
+    }
+    for &s in &dep.secondaries {
+        if dep.sim.is_down(s) {
+            continue;
+        }
+        let sec = dep.sim.node(s).as_secondary().expect("secondary node");
+        let records = sec.store.records_from(object, 0).len() as u64;
+        if records < expected {
+            report.failures.push(format!(
+                "loss: secondary {s:?} holds {records}/{expected} committed records of {object:?}"
+            ));
+        }
+    }
+    report
+}
+
+/// All clients saw their submissions commit (`m + 1` matching replies).
+pub fn check_clients_settled(dep: &Deployment) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    for &c in &dep.clients {
+        if dep.sim.is_down(c) {
+            continue;
+        }
+        let pending = dep.sim.node(c).as_client().expect("client node").pending_count();
+        if pending > 0 {
+            report
+                .failures
+                .push(format!("client {c:?} still has {pending} uncommitted requests"));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oceanstore_replica::{build_deployment, DeploymentOpts};
+
+    #[test]
+    fn fresh_deployment_passes_vacuously() {
+        let dep = build_deployment(&DeploymentOpts::default());
+        let object = Guid::from_label("untouched");
+        assert_eq!(committed_frontier(&dep, &object), 0);
+        let report = check_convergence(&dep, &[object])
+            .merge(check_no_committed_loss(&dep, &object, 0))
+            .merge(check_clients_settled(&dep));
+        assert!(report.passed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn missing_commits_are_reported() {
+        let dep = build_deployment(&DeploymentOpts::default());
+        let object = Guid::from_label("never-committed");
+        let report = check_no_committed_loss(&dep, &object, 2);
+        assert!(!report.passed());
+        assert!(report.failures.iter().any(|f| f.contains("tier committed only 0/2")));
+    }
+}

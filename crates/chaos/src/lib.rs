@@ -1,0 +1,34 @@
+//! Deterministic chaos harness for the OceanStore simulation.
+//!
+//! The paper's thesis is that a global-scale store must be "built from
+//! untrusted infrastructure" and survive "server failures without loss of
+//! data" (§2, §4.4). This crate turns that claim into executable
+//! experiments: a *fault schedule* — a scripted, time-ordered list of
+//! crashes, recoveries, partitions, drop bursts, and link degradations —
+//! is replayed against a [`oceanstore_sim::Simulator`] from a fixed seed,
+//! and post-scenario *invariant checkers* decide whether the system kept
+//! its promises (eventual convergence of live secondaries, no
+//! committed-update loss, locate success under churn).
+//!
+//! Everything is deterministic: the same seed and schedule produce an
+//! identical event trace and identical network statistics, so a failing
+//! scenario is a reproducible bug report.
+//!
+//! * [`schedule`] — the fault-event vocabulary and timed schedules.
+//! * [`runner`] — replays a schedule against any simulation.
+//! * [`invariants`] — post-scenario checks over two-tier deployments.
+//! * [`scenarios`] — canned chaos experiments used by the test suite and
+//!   CI's chaos job.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod invariants;
+pub mod runner;
+pub mod scenarios;
+pub mod schedule;
+
+pub use invariants::InvariantReport;
+pub use runner::{run_schedule, stats_fingerprint, TraceEntry};
+pub use scenarios::ScenarioOutcome;
+pub use schedule::{FaultAction, Schedule};

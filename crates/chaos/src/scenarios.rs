@@ -1,0 +1,258 @@
+//! Canned chaos scenarios.
+//!
+//! Each scenario builds a deployment, replays a fault schedule against it
+//! with update traffic in flight, and returns the event trace, a stats
+//! fingerprint (for determinism checks), and the invariant verdict. The
+//! same seed always yields the same outcome.
+
+use std::sync::Arc;
+
+use oceanstore_naming::guid::Guid;
+use oceanstore_plaxton::build::{build_network, find_root};
+use oceanstore_plaxton::protocol::{PlaxtonConfig, PlaxtonNode};
+use oceanstore_replica::{build_deployment, Deployment, DeploymentOpts};
+use oceanstore_sim::{NodeId, SimDuration, SimTime, Simulator, Topology};
+use oceanstore_update::update::Action;
+use oceanstore_update::Update;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::invariants::{
+    check_clients_settled, check_convergence, check_no_committed_loss, InvariantReport,
+};
+use crate::runner::{run_schedule, stats_fingerprint, TraceEntry};
+use crate::schedule::{FaultAction, Schedule};
+
+/// Everything a chaos scenario produces.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Replayable trace of the fault events actually applied.
+    pub trace: Vec<TraceEntry>,
+    /// Stable fingerprint of the network counters at the end of the run.
+    pub fingerprint: String,
+    /// The invariant verdict.
+    pub report: InvariantReport,
+}
+
+fn t(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+fn submit(dep: &mut Deployment, object: Guid, payload: &[u8]) {
+    let client = dep.clients[0];
+    let update = Update::unconditional(vec![Action::Append { ciphertext: payload.to_vec() }]);
+    dep.sim.with_node_ctx(client, |node, ctx| {
+        node.as_client_mut().expect("client").submit(ctx, object, &update)
+    });
+}
+
+/// Crashes an interior dissemination-tree node (secondary 1, which feeds
+/// secondaries 3 and 4) while a committed-update stream is in flight.
+///
+/// With `reparent = true` the orphaned subtree must re-attach (to the
+/// grandparent, a sibling, or the primary ring) and converge; with
+/// `reparent = false` the orphans demonstrably stall — the caller asserts
+/// the report *fails*. The epidemic anti-entropy period is stretched far
+/// past the run horizon so the dissemination tree is the only timely
+/// repair path.
+pub fn interior_crash(reparent: bool, seed: u64) -> ScenarioOutcome {
+    let mut dep = build_deployment(&DeploymentOpts {
+        m: 1,
+        secondaries: 6,
+        clients: 1,
+        latency: SimDuration::from_millis(20),
+        anti_entropy: Some(SimDuration::from_secs(60)),
+        reparent,
+        seed,
+        ..DeploymentOpts::default()
+    });
+    let object = Guid::from_label("chaos-interior");
+    let victim = dep.secondaries[1];
+    let orphans = [dep.secondaries[3], dep.secondaries[4]];
+
+    // First update flows through the intact tree.
+    submit(&mut dep, object, b"before-crash");
+    let mut trace = run_schedule(&mut dep.sim, &Schedule::new(), t(3_000));
+    // Second update enters the pipeline; the interior node dies while the
+    // commit stream is mid-flight.
+    submit(&mut dep, object, b"mid-stream");
+    let sched = Schedule::new().at(t(3_050), FaultAction::Crash(victim));
+    trace.extend(run_schedule(&mut dep.sim, &sched, t(10_000)));
+    // Third update exercises the (re-wired) tree end to end.
+    submit(&mut dep, object, b"after-rewire");
+    trace.extend(run_schedule(&mut dep.sim, &Schedule::new(), t(14_000)));
+
+    let mut report = check_convergence(&dep, &[object])
+        .merge(check_no_committed_loss(&dep, &object, 3))
+        .merge(check_clients_settled(&dep));
+    if reparent {
+        for &o in &orphans {
+            let sec = dep.sim.node(o).as_secondary().expect("secondary");
+            if sec.reparent_count() == 0 {
+                report.failures.push(format!("orphan {o:?} never re-parented"));
+            }
+            if sec.parent() == Some(victim) {
+                report.failures.push(format!("orphan {o:?} still attached to dead {victim:?}"));
+            }
+        }
+    }
+    ScenarioOutcome { trace, fingerprint: stats_fingerprint(&dep.sim), report }
+}
+
+/// Partitions a whole subtree (secondary 2 and its child secondary 5)
+/// away from the rest of the network, commits an update on the majority
+/// side, then heals. The islanded subtree must catch up afterwards.
+pub fn partition_and_heal(seed: u64) -> ScenarioOutcome {
+    let mut dep = build_deployment(&DeploymentOpts {
+        latency: SimDuration::from_millis(20),
+        seed,
+        ..DeploymentOpts::default()
+    });
+    let object = Guid::from_label("chaos-partition");
+    let total = dep.sim.len();
+    let mut groups = vec![0u32; total];
+    groups[dep.secondaries[2].0] = 1;
+    groups[dep.secondaries[5].0] = 1;
+
+    submit(&mut dep, object, b"pre-partition");
+    let sched = Schedule::new()
+        .at(t(2_000), FaultAction::Partition(groups))
+        .at(t(6_000), FaultAction::Heal);
+    let mut trace = run_schedule(&mut dep.sim, &sched, t(2_500));
+    // Committed while the island is unreachable.
+    submit(&mut dep, object, b"during-partition");
+    trace.extend(run_schedule(&mut dep.sim, &sched, t(14_000)));
+
+    let report = check_convergence(&dep, &[object])
+        .merge(check_no_committed_loss(&dep, &object, 2))
+        .merge(check_clients_settled(&dep));
+    ScenarioOutcome { trace, fingerprint: stats_fingerprint(&dep.sim), report }
+}
+
+/// A lossy, slow network burst: 15% random drop plus doubled latency
+/// while two updates are in flight, then conditions normalize. Client
+/// retransmission (with backoff), agreement retransmissions, and pull
+/// repair must still deliver everything everywhere.
+pub fn drop_burst(seed: u64) -> ScenarioOutcome {
+    let mut dep = build_deployment(&DeploymentOpts {
+        latency: SimDuration::from_millis(20),
+        seed,
+        ..DeploymentOpts::default()
+    });
+    let object = Guid::from_label("chaos-drops");
+    let sched = Schedule::new()
+        .at(t(1_000), FaultAction::DropProb(0.15))
+        .at(t(1_000), FaultAction::LatencyFactor(2.0))
+        .at(t(6_000), FaultAction::DropProb(0.0))
+        .at(t(6_000), FaultAction::LatencyFactor(1.0));
+    let mut trace = run_schedule(&mut dep.sim, &sched, t(1_500));
+    submit(&mut dep, object, b"through-the-storm");
+    trace.extend(run_schedule(&mut dep.sim, &sched, t(3_000)));
+    submit(&mut dep, object, b"still-storming");
+    trace.extend(run_schedule(&mut dep.sim, &sched, t(20_000)));
+
+    let report = check_convergence(&dep, &[object])
+        .merge(check_no_committed_loss(&dep, &object, 2))
+        .merge(check_clients_settled(&dep));
+    ScenarioOutcome { trace, fingerprint: stats_fingerprint(&dep.sim), report }
+}
+
+/// Crashes the agreement leader (primary 0) before any traffic: the tier
+/// must view-change to a new leader, the tree root (whose parent was the
+/// dead leader) must re-attach to a live primary, and all updates must
+/// commit and disseminate.
+pub fn leader_crash_view_change(seed: u64) -> ScenarioOutcome {
+    let mut dep = build_deployment(&DeploymentOpts {
+        latency: SimDuration::from_millis(20),
+        seed,
+        ..DeploymentOpts::default()
+    });
+    // The crashed primary can no longer assemble certificates, so pick an
+    // object whose disseminator rotation (object.low_u64() + index mod n)
+    // dodges member 0 for all three records.
+    let n = dep.primaries.len() as u64;
+    let object = (0..)
+        .map(|k| Guid::from_label(&format!("chaos-view-{k}")))
+        .find(|g| (0..3).all(|i| (g.low_u64().wrapping_add(i)) % n != 0))
+        .expect("some label dodges member 0");
+    let leader = dep.primaries[0];
+    let root = dep.secondaries[0];
+
+    let sched = Schedule::new().at(t(500), FaultAction::Crash(leader));
+    let mut trace = run_schedule(&mut dep.sim, &sched, t(1_000));
+    for (at, payload) in [(4_000, b"first".as_slice()), (7_000, b"second"), (10_000, b"third")] {
+        submit(&mut dep, object, payload);
+        trace.extend(run_schedule(&mut dep.sim, &Schedule::new(), t(at)));
+    }
+    trace.extend(run_schedule(&mut dep.sim, &Schedule::new(), t(20_000)));
+
+    let mut report = check_convergence(&dep, &[object])
+        .merge(check_no_committed_loss(&dep, &object, 3))
+        .merge(check_clients_settled(&dep));
+    let sec = dep.sim.node(root).as_secondary().expect("root secondary");
+    if sec.parent() == Some(leader) {
+        report.failures.push(format!("tree root {root:?} still parented to dead leader"));
+    }
+    ScenarioOutcome { trace, fingerprint: stats_fingerprint(&dep.sim), report }
+}
+
+/// Location under churn: publish an object into a 32-node Tapestry-style
+/// mesh, crash the salt-0 root, run a 15% drop burst, and locate from
+/// five scattered origins. Salted multi-root retry plus origin-side
+/// restart must keep the success rate at 1.
+pub fn locate_under_churn(seed: u64) -> ScenarioOutcome {
+    let n = 32;
+    let mk_topo = || {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Topology::random_geometric(n, 0.3, SimDuration::from_millis(40), &mut rng)
+    };
+    let topo = Arc::new(mk_topo());
+    // Paranoid locate settings: under churn a full salted sweep can miss
+    // spuriously, so never declare the object absent inside the run.
+    let cfg = PlaxtonConfig {
+        min_notfound_sweeps: 50,
+        max_locate_retries: 50,
+        ..PlaxtonConfig::default()
+    };
+    let (nodes, _guids) = build_network(&topo, &cfg, seed);
+    let holder = NodeId(7);
+    let object = Guid::from_label("chaos-located");
+    // The salt-0 root is the scenario's crash target (computed offline
+    // from the founding tables).
+    let root0 = find_root(&nodes, &object.salted(0), NodeId(0));
+    let mut sim: Simulator<PlaxtonNode> = Simulator::new(mk_topo(), nodes, seed);
+    sim.start();
+    sim.with_node_ctx(holder, |node, ctx| node.publish(ctx, object));
+
+    let sched = Schedule::new()
+        .at(t(2_000), FaultAction::Crash(root0))
+        .at(t(2_000), FaultAction::DropProb(0.15))
+        .at(t(12_000), FaultAction::DropProb(0.0));
+    let mut trace = run_schedule(&mut sim, &sched, t(3_000));
+    let origins: Vec<NodeId> = [0usize, 5, 13, 22, 31]
+        .into_iter()
+        .map(NodeId)
+        .filter(|&o| o != holder && o != root0)
+        .collect();
+    for (qid, &origin) in origins.iter().enumerate() {
+        sim.with_node_ctx(origin, |node, ctx| node.locate(ctx, qid as u64, object));
+    }
+    trace.extend(run_schedule(&mut sim, &sched, t(40_000)));
+
+    let mut report = InvariantReport::default();
+    let mut found = 0usize;
+    for (qid, &origin) in origins.iter().enumerate() {
+        match sim.node(origin).outcome(qid as u64) {
+            Some(out) if out.holder == Some(holder) => found += 1,
+            Some(out) => report
+                .failures
+                .push(format!("locate {qid} from {origin:?} answered {:?}", out.holder)),
+            None => report.failures.push(format!("locate {qid} from {origin:?} never completed")),
+        }
+    }
+    let rate = found as f64 / origins.len() as f64;
+    if rate < 1.0 {
+        report.failures.push(format!("locate success rate {rate:.2} < 1.00"));
+    }
+    ScenarioOutcome { trace, fingerprint: stats_fingerprint(&sim), report }
+}

@@ -1,0 +1,92 @@
+//! Scripted fault schedules.
+//!
+//! A [`Schedule`] is a time-ordered list of [`FaultAction`]s. It is pure
+//! data: building one performs no side effects, so the same schedule can
+//! be replayed against any number of simulations (or printed as the
+//! scenario's specification).
+
+use oceanstore_sim::{NodeId, SimTime};
+
+/// One fault (or repair) applied to the network at a scheduled instant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Fail-stop a node, preserving its state for a later recovery.
+    Crash(NodeId),
+    /// Restart a crashed node with its state intact.
+    Recover(NodeId),
+    /// Install a partition: `groups[i]` is the side node `i` lands on.
+    Partition(Vec<u32>),
+    /// Heal any installed partition.
+    Heal,
+    /// Set the network-wide independent message-drop probability.
+    DropProb(f64),
+    /// Stretch (factor > 1) or restore (factor = 1) every link latency.
+    LatencyFactor(f64),
+}
+
+/// A time-ordered fault schedule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Schedule {
+    events: Vec<(SimTime, FaultAction)>,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Adds `action` at absolute simulation time `at` (builder style;
+    /// events may be added out of order, same-instant events keep their
+    /// insertion order).
+    pub fn at(mut self, at: SimTime, action: FaultAction) -> Self {
+        self.events.push((at, action));
+        self.events.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// The events in replay order.
+    pub fn events(&self) -> &[(SimTime, FaultAction)] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oceanstore_sim::SimDuration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn events_replay_in_time_order() {
+        let s = Schedule::new()
+            .at(t(5), FaultAction::Heal)
+            .at(t(1), FaultAction::Crash(NodeId(3)))
+            .at(t(3), FaultAction::Partition(vec![0, 1]));
+        let order: Vec<u64> = s.events().iter().map(|(at, _)| at.as_micros()).collect();
+        assert_eq!(order, vec![1_000_000, 3_000_000, 5_000_000]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn same_instant_keeps_insertion_order() {
+        let s = Schedule::new()
+            .at(t(2), FaultAction::Crash(NodeId(1)))
+            .at(t(2), FaultAction::Crash(NodeId(2)));
+        assert_eq!(s.events()[0].1, FaultAction::Crash(NodeId(1)));
+        assert_eq!(s.events()[1].1, FaultAction::Crash(NodeId(2)));
+    }
+}

@@ -1,0 +1,81 @@
+//! The chaos scenario suite — CI runs this as its own named job.
+//!
+//! Acceptance criteria from the robustness milestone:
+//! * crashing an interior dissemination-tree node mid-stream passes the
+//!   invariant checks (surviving secondaries converge, zero
+//!   committed-update loss) with re-parenting enabled, and demonstrably
+//!   fails (orphaned subtree) with re-parenting disabled;
+//! * every scenario is deterministic: the same seed and schedule produce
+//!   an identical event trace and identical network statistics.
+
+use oceanstore_chaos::scenarios;
+
+#[test]
+fn interior_crash_with_reparenting_converges() {
+    let out = scenarios::interior_crash(true, 42);
+    assert!(out.report.passed(), "invariants failed: {:#?}", out.report.failures);
+    assert!(!out.trace.is_empty(), "the crash must appear in the trace");
+}
+
+#[test]
+fn interior_crash_without_reparenting_orphans_the_subtree() {
+    let out = scenarios::interior_crash(false, 42);
+    assert!(
+        !out.report.passed(),
+        "with re-parenting disabled the orphaned subtree must stall"
+    );
+    assert!(
+        out.report.failures.iter().any(|f| f.starts_with("convergence:")),
+        "the failure must be a convergence failure, got: {:#?}",
+        out.report.failures
+    );
+}
+
+#[test]
+fn interior_crash_is_deterministic() {
+    let a = scenarios::interior_crash(true, 7);
+    let b = scenarios::interior_crash(true, 7);
+    assert_eq!(a.trace, b.trace, "event traces diverged between replays");
+    assert_eq!(a.fingerprint, b.fingerprint, "network stats diverged between replays");
+}
+
+#[test]
+fn different_seeds_change_the_stats_but_not_the_verdict() {
+    let a = scenarios::interior_crash(true, 1);
+    let b = scenarios::interior_crash(true, 2);
+    assert!(a.report.passed(), "{:#?}", a.report.failures);
+    assert!(b.report.passed(), "{:#?}", b.report.failures);
+    assert_ne!(a.fingerprint, b.fingerprint, "different seeds should shuffle the run");
+}
+
+#[test]
+fn partitioned_subtree_catches_up_after_heal() {
+    let out = scenarios::partition_and_heal(11);
+    assert!(out.report.passed(), "invariants failed: {:#?}", out.report.failures);
+}
+
+#[test]
+fn drop_burst_with_slow_links_converges() {
+    let out = scenarios::drop_burst(5);
+    assert!(out.report.passed(), "invariants failed: {:#?}", out.report.failures);
+}
+
+#[test]
+fn leader_crash_view_changes_and_tree_rewires() {
+    let out = scenarios::leader_crash_view_change(3);
+    assert!(out.report.passed(), "invariants failed: {:#?}", out.report.failures);
+}
+
+#[test]
+fn locate_survives_root_crash_and_drop_burst() {
+    let out = scenarios::locate_under_churn(13);
+    assert!(out.report.passed(), "invariants failed: {:#?}", out.report.failures);
+}
+
+#[test]
+fn locate_scenario_is_deterministic() {
+    let a = scenarios::locate_under_churn(13);
+    let b = scenarios::locate_under_churn(13);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.fingerprint, b.fingerprint);
+}

@@ -34,6 +34,8 @@ struct PendingRequest {
     msg: PbftMsg,
     /// replica index → (seq, digest)
     replies: HashMap<usize, (u64, Digest)>,
+    /// Retransmissions so far; drives exponential backoff.
+    retries: u32,
 }
 
 /// A client of the primary tier.
@@ -76,12 +78,16 @@ impl Client {
         let seq = tag - TIMER_RETRANSMIT_BASE;
         let id = RequestId { client: ctx.node(), seq };
         let Some(interval) = self.retransmit else { return };
-        if let Some(p) = self.pending.get(&id) {
+        if let Some(p) = self.pending.get_mut(&id) {
             let msg = p.msg.clone();
+            p.retries = p.retries.saturating_add(1);
+            // Exponential backoff, capped at 8x the base interval, so a
+            // long outage doesn't keep hammering the tier.
+            let factor = 1u32 << p.retries.min(3);
             for &replica in &self.cfg.members {
                 ctx.send(replica, msg.clone());
             }
-            ctx.set_timer(interval, tag);
+            ctx.set_timer(interval.mul_f64(factor as f64), tag);
         }
     }
 
@@ -107,7 +113,7 @@ impl Client {
         }
         self.pending.insert(
             id,
-            PendingRequest { sent_at: ctx.now(), msg, replies: HashMap::new() },
+            PendingRequest { sent_at: ctx.now(), msg, replies: HashMap::new(), retries: 0 },
         );
         if let Some(interval) = self.retransmit {
             ctx.set_timer(interval, TIMER_RETRANSMIT_BASE + id.seq);
@@ -142,7 +148,7 @@ impl Client {
             *counts.entry(*v).or_default() += 1;
         }
         if let Some(((seq, digest), _)) =
-            counts.into_iter().find(|(_, c)| *c >= self.cfg.m + 1)
+            counts.into_iter().find(|(_, c)| *c > self.cfg.m)
         {
             let outcome = ClientOutcome {
                 seq,

@@ -111,6 +111,10 @@ pub struct Committed {
     pub timestamp: u64,
 }
 
+/// One tier member's view-change votes: voter index → prepared entries
+/// (seq, digest, request) it can certify from earlier views.
+type VcVotes = HashMap<usize, Vec<(u64, Digest, RequestId)>>;
+
 /// A primary-tier replica.
 #[derive(Debug)]
 pub struct Replica {
@@ -132,7 +136,7 @@ pub struct Replica {
     /// The committed order (the tier's output).
     executed: Vec<Committed>,
     /// View-change votes: new_view → voter → prepared set.
-    vc_votes: HashMap<u64, HashMap<usize, Vec<(u64, Digest, RequestId)>>>,
+    vc_votes: HashMap<u64, VcVotes>,
     /// Whether a view-change alarm is armed for the current view.
     alarm_armed: bool,
 }
@@ -260,7 +264,13 @@ impl Replica {
         self.requests.insert(id, (payload.clone(), timestamp));
         if let Some(&seq) = self.assigned.get(&id) {
             // Duplicate (likely a retransmission): re-send the reply if the
-            // request already executed, otherwise let agreement finish.
+            // request already executed, otherwise re-guard the stuck
+            // agreement with a view-change alarm (messages of the original
+            // round may all have been lost).
+            if !self.log.get(&seq).is_some_and(|i| i.executed) && !self.alarm_armed {
+                self.alarm_armed = true;
+                ctx.set_timer(self.cfg.view_timeout, TIMER_VIEW_BASE + self.view);
+            }
             if self.log.get(&seq).is_some_and(|i| i.executed) && self.fault != FaultMode::Silent {
                 let digest = payload.digest();
                 let my = self.index;
@@ -445,14 +455,24 @@ impl Replica {
         if !stuck {
             return;
         }
+        // Re-arm the alarm before voting: if the view change itself stalls
+        // (votes lost on a lossy network), the next expiry rebroadcasts it.
+        // Entering the new view invalidates the re-armed alarm's guard.
+        self.alarm_armed = true;
+        ctx.set_timer(self.cfg.view_timeout, TIMER_VIEW_BASE + self.view);
         let new_view = self.view + 1;
+        self.send_view_change(ctx, new_view);
+    }
+
+    /// Broadcasts (and self-records) a view-change vote for `new_view`.
+    fn send_view_change(&mut self, ctx: &mut Context<'_, PbftMsg>, new_view: u64) {
         let prepared: Vec<(u64, Digest, RequestId)> = self
             .log
             .iter()
             .filter(|(_, i)| {
                 !i.executed
                     && i.digest.is_some()
-                    && i.prepares.len() >= self.cfg.prepare_quorum() + 1
+                    && i.prepares.len() > self.cfg.prepare_quorum()
             })
             .map(|(&s, i)| (s, i.digest.expect("checked"), i.request.expect("checked")))
             .collect();
@@ -570,7 +590,24 @@ impl Replica {
             }
             PbftMsg::ViewChange { new_view, prepared, replica, .. } => {
                 if self.verify_replica(*replica, &msg) {
-                    self.record_vc_vote(ctx, *new_view, *replica, prepared.clone());
+                    let nv = *new_view;
+                    self.record_vc_vote(ctx, nv, *replica, prepared.clone());
+                    // Join a higher view change we haven't voted in yet:
+                    // after a lossy burst, view numbers can diverge across
+                    // the tier, and a laggard re-proposing `view + 1`
+                    // forever would deadlock the tier without this.
+                    let already_voted = self
+                        .vc_votes
+                        .get(&nv)
+                        .is_some_and(|votes| votes.contains_key(&self.index));
+                    let stuck = self
+                        .assigned
+                        .values()
+                        .any(|&seq| self.log.get(&seq).is_none_or(|i| !i.executed))
+                        || self.requests.keys().any(|id| !self.assigned.contains_key(id));
+                    if nv > self.view && !already_voted && stuck {
+                        self.send_view_change(ctx, nv);
+                    }
                 }
             }
             PbftMsg::NewView { view, replica, .. } => {

@@ -87,7 +87,7 @@ impl MerkleTree {
         let mut siblings = Vec::with_capacity(self.levels.len() - 1);
         let mut i = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sib = if i % 2 == 0 {
+            let sib = if i.is_multiple_of(2) {
                 // Odd-count level: last node is its own sibling.
                 *level.get(i + 1).unwrap_or(&level[i])
             } else {
@@ -107,7 +107,7 @@ impl MerkleProof {
         let mut acc = hash_leaf(fragment);
         let mut i = self.leaf_index;
         for sib in &self.siblings {
-            acc = if i % 2 == 0 { hash_node(&acc, sib) } else { hash_node(sib, &acc) };
+            acc = if i.is_multiple_of(2) { hash_node(&acc, sib) } else { hash_node(sib, &acc) };
             i /= 2;
         }
         acc == *root

@@ -145,7 +145,7 @@ impl EncryptedIndex {
     /// Rebuilds an index from [`EncryptedIndex::to_bytes`] output; `None`
     /// on a malformed length.
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
-        if bytes.len() % (8 + TAG_LEN) != 0 {
+        if !bytes.len().is_multiple_of(8 + TAG_LEN) {
             return None;
         }
         let entries = bytes

@@ -237,8 +237,8 @@ mod tests {
         let rs = ReedSolomon::new(4, 8).unwrap();
         let coded = rs.encode(&shards(4, 16)).unwrap();
         let mut have: Vec<Option<Vec<u8>>> = coded.into_iter().map(Some).collect();
-        for i in 0..5 {
-            have[i] = None;
+        for h in have.iter_mut().take(5) {
+            *h = None;
         }
         assert_eq!(
             rs.reconstruct(&mut have),

@@ -182,8 +182,7 @@ impl Tornado {
             eqs.push(Eq { value, unknowns });
         }
         // Peel: resolve any equation with exactly one unknown.
-        loop {
-            let Some(pos) = eqs.iter().position(|e| e.unknowns.len() == 1) else { break };
+        while let Some(pos) = eqs.iter().position(|e| e.unknowns.len() == 1) {
             let eq = eqs.swap_remove(pos);
             let j = eq.unknowns[0];
             if known[j].is_none() {
@@ -225,7 +224,7 @@ impl Tornado {
                 .collect();
             let mut pivot_row_of_col: Vec<Option<usize>> = vec![None; width];
             let mut next_row = 0usize;
-            for col in 0..width {
+            for (col, pivot_slot) in pivot_row_of_col.iter_mut().enumerate() {
                 let Some(r) = (next_row..rows.len()).find(|&r| {
                     rows[r].0[col / 64] >> (col % 64) & 1 == 1
                 }) else {
@@ -244,7 +243,7 @@ impl Tornado {
                         }
                     }
                 }
-                pivot_row_of_col[col] = Some(next_row);
+                *pivot_slot = Some(next_row);
                 next_row += 1;
             }
             if pivot_row_of_col.iter().all(Option::is_some) {
@@ -436,7 +435,7 @@ mod tests {
             let mut have: Vec<Option<Vec<u8>>> = vec![None; n];
             let mut cnt = 0;
             for (i, slot) in have.iter_mut().enumerate() {
-                if splitmix64(&mut st) % 2 == 0 {
+                if splitmix64(&mut st).is_multiple_of(2) {
                     *slot = Some(coded[i].clone());
                     cnt += 1;
                 }

@@ -104,7 +104,7 @@ impl Guid {
         assert!(i < NIBBLES, "nibble index out of range");
         // Least-significant nibble = low half of the last byte.
         let byte = self.0[DIGEST_LEN - 1 - i / 2];
-        if i % 2 == 0 {
+        if i.is_multiple_of(2) {
             byte & 0x0f
         } else {
             byte >> 4

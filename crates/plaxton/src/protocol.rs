@@ -32,6 +32,10 @@ const TIMER_BEACON: u64 = 1;
 const TIMER_REPUBLISH: u64 = 2;
 /// Timer tags at or above this value carry an in-flight token.
 const TIMER_ACK_BASE: u64 = 1 << 32;
+/// Timer tags at or above this value carry a locate query id (origin-side
+/// end-to-end retry; answers carry no per-hop acknowledgment, so a lost
+/// `Found`/`NotFound` would otherwise strand the query).
+const TIMER_LOCATE_RETRY_BASE: u64 = 1 << 56;
 
 /// Configuration of the global location layer.
 #[derive(Debug, Clone)]
@@ -50,6 +54,17 @@ pub struct PlaxtonConfig {
     /// hop marks its next-hop suspect and re-routes ("bad links can be
     /// immediately detected, and routing can be continued", §4.3.3).
     pub ack_timeout: SimDuration,
+    /// Origin-side locate retry period: a query still unanswered after
+    /// this long restarts from salt 0 (doubling up to 4x).
+    pub locate_retry_interval: SimDuration,
+    /// Give up and record a `None` outcome after this many end-to-end
+    /// retries.
+    pub max_locate_retries: u32,
+    /// Declare an object absent only after this many *complete* sweeps of
+    /// every salted root came back empty. Under churn a single sweep can
+    /// fail spuriously (a falsely-suspected hop turns the live root into
+    /// an empty surrogate), so chaos experiments raise this.
+    pub min_notfound_sweeps: u32,
 }
 
 impl Default for PlaxtonConfig {
@@ -61,6 +76,9 @@ impl Default for PlaxtonConfig {
             republish_interval: SimDuration::from_secs(20),
             beacon_interval: SimDuration::from_secs(5),
             ack_timeout: SimDuration::from_millis(500),
+            locate_retry_interval: SimDuration::from_secs(3),
+            max_locate_retries: 8,
+            min_notfound_sweeps: 2,
         }
     }
 }
@@ -222,6 +240,8 @@ struct PendingLocate {
     object: Guid,
     next_salt: u32,
     hops_so_far: u32,
+    /// End-to-end restarts so far (origin-side churn recovery).
+    attempts: u32,
 }
 
 /// Liveness bookkeeping for one table neighbour (the "second-chance
@@ -368,9 +388,11 @@ impl PlaxtonNode {
             );
             return;
         }
-        self.pending.insert(id, PendingLocate { object, next_salt: 1, hops_so_far: 0 });
+        self.pending
+            .insert(id, PendingLocate { object, next_salt: 1, hops_so_far: 0, attempts: 0 });
         let target = object.salted(0);
         self.step_locate(ctx, id, object, target, ctx.node(), 0, 0);
+        ctx.set_timer(self.cfg.locate_retry_interval, TIMER_LOCATE_RETRY_BASE + id);
     }
 
     fn send_publishes(&mut self, ctx: &mut Context<'_, PlaxtonMsg>, object: Guid) {
@@ -392,7 +414,7 @@ impl PlaxtonNode {
         };
         let liveness = &self.liveness;
         let step = self.table.route_step(me, &target, level, |n| {
-            liveness.get(&n).map_or(true, |l| !l.suspect)
+            liveness.get(&n).is_none_or(|l| !l.suspect)
         });
         if let RouteStep::Forward { next, level: new_level } = step {
             let fwd = match msg {
@@ -424,7 +446,7 @@ impl PlaxtonNode {
         let me = ctx.node();
         let liveness = &self.liveness;
         let step = self.table.route_step(me, &target, level, |n| {
-            liveness.get(&n).map_or(true, |l| !l.suspect)
+            liveness.get(&n).is_none_or(|l| !l.suspect)
         });
         match step {
             RouteStep::Forward { next, level: new_level } => {
@@ -483,12 +505,28 @@ impl PlaxtonNode {
                     let origin = ctx.node();
                     self.step_locate(ctx, id, object, target, origin, 0, 0);
                 } else {
-                    self.outcomes.entry(id).or_insert(LocateOutcome {
-                        holder: None,
-                        hops: p.hops_so_far,
-                        answered_by_root: true,
-                        completed_at: ctx.now(),
-                    });
+                    // One complete sweep of all salted roots came back
+                    // empty.
+                    p.attempts += 1;
+                    if p.attempts >= self.cfg.min_notfound_sweeps {
+                        self.outcomes.entry(id).or_insert(LocateOutcome {
+                            holder: None,
+                            hops: p.hops_so_far,
+                            answered_by_root: true,
+                            completed_at: ctx.now(),
+                        });
+                    } else if p.attempts == 1 {
+                        // Sweep again right away; further sweeps ride the
+                        // origin retry timer.
+                        p.next_salt = 1;
+                        let object = p.object;
+                        self.pending.insert(id, p);
+                        let origin = ctx.node();
+                        let target = object.salted(0);
+                        self.step_locate(ctx, id, object, target, origin, 0, 0);
+                    } else {
+                        self.pending.insert(id, p);
+                    }
                 }
             }
             _ => unreachable!("only answers are handled here"),
@@ -626,6 +664,32 @@ impl Protocol for PlaxtonNode {
                 }
                 ctx.set_timer(self.cfg.republish_interval, TIMER_REPUBLISH);
             }
+            t if t >= TIMER_LOCATE_RETRY_BASE => {
+                let id = t - TIMER_LOCATE_RETRY_BASE;
+                let Some(p) = self.pending.get_mut(&id) else { return };
+                if p.attempts >= self.cfg.max_locate_retries {
+                    // Out of patience: declare the object unlocatable.
+                    let p = self.pending.remove(&id).expect("just present");
+                    self.outcomes.entry(id).or_insert(LocateOutcome {
+                        holder: None,
+                        hops: p.hops_so_far,
+                        answered_by_root: false,
+                        completed_at: ctx.now(),
+                    });
+                    return;
+                }
+                p.attempts += 1;
+                p.next_salt = 1;
+                let backoff = 1u64 << p.attempts.min(2);
+                let object = p.object;
+                let target = object.salted(0);
+                let origin = ctx.node();
+                self.step_locate(ctx, id, object, target, origin, 0, 0);
+                ctx.set_timer(
+                    self.cfg.locate_retry_interval.mul_f64(backoff as f64),
+                    TIMER_LOCATE_RETRY_BASE + id,
+                );
+            }
             t if t >= TIMER_ACK_BASE => {
                 let token = t - TIMER_ACK_BASE;
                 if let Some((next, msg)) = self.in_flight.remove(&token) {
@@ -666,7 +730,7 @@ impl Protocol for PlaxtonNode {
                     let liveness = &self.liveness;
                     let is_root = matches!(
                         self.table.route_step(me, &target, level, |n| {
-                            liveness.get(&n).map_or(true, |l| !l.suspect)
+                            liveness.get(&n).is_none_or(|l| !l.suspect)
                         }),
                         RouteStep::Root
                     );
@@ -698,7 +762,7 @@ impl Protocol for PlaxtonNode {
                 let me = ctx.node();
                 let liveness = &self.liveness;
                 let step = self.table.route_step(me, &guid, level, |n| {
-                    n != joiner && liveness.get(&n).map_or(true, |l| !l.suspect)
+                    n != joiner && liveness.get(&n).is_none_or(|l| !l.suspect)
                 });
                 match step {
                     RouteStep::Forward { next, level: new_level } => {

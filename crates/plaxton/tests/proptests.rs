@@ -7,8 +7,8 @@ use std::sync::Arc;
 
 use oceanstore_naming::guid::Guid;
 use oceanstore_plaxton::build::{build_network, find_root};
-use oceanstore_plaxton::protocol::PlaxtonConfig;
-use oceanstore_sim::{NodeId, SimDuration, Topology};
+use oceanstore_plaxton::protocol::{PlaxtonConfig, PlaxtonNode};
+use oceanstore_sim::{NodeId, SimDuration, Simulator, Topology};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -42,6 +42,58 @@ proptest! {
             // Maximal low-nibble match.
             let best = guids.iter().map(|g| g.low_nibble_match_len(&target)).max().unwrap();
             prop_assert_eq!(guids[root0.0].low_nibble_match_len(&target), best);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Locate-under-churn: with the salt-0 root crashed and every message
+    /// subject to an independent drop probability of up to 0.2, the salted
+    /// multi-root retry (plus per-hop re-routing and origin-side restart)
+    /// must still find the published replica.
+    #[test]
+    fn locate_survives_drops_and_a_crashed_root(
+        seed in any::<u64>(),
+        drop_prob in 0.0f64..0.2,
+    ) {
+        let n = 32;
+        let mk_topo = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            Topology::random_geometric(n, 0.3, SimDuration::from_millis(40), &mut rng)
+        };
+        let topo = Arc::new(mk_topo());
+        // Never conclude "absent" from a sweep that churn may have spoiled.
+        let cfg = PlaxtonConfig {
+            min_notfound_sweeps: 50,
+            max_locate_retries: 50,
+            ..PlaxtonConfig::default()
+        };
+        let (nodes, _) = build_network(&topo, &cfg, seed);
+        let holder = NodeId(7);
+        let object = Guid::from_label("churn-located");
+        let root0 = find_root(&nodes, &object.salted(0), NodeId(0));
+        let mut sim: Simulator<PlaxtonNode> = Simulator::new(mk_topo(), nodes, seed);
+        sim.start();
+        // Publish on a clean network, then let the churn begin.
+        sim.with_node_ctx(holder, |node, ctx| node.publish(ctx, object));
+        sim.run_for(SimDuration::from_secs(2));
+        sim.crash_node(root0);
+        sim.set_drop_prob(drop_prob);
+        let origins: Vec<NodeId> = [0usize, 13, 29]
+            .into_iter()
+            .map(NodeId)
+            .filter(|&o| o != holder && o != root0)
+            .collect();
+        for (qid, &origin) in origins.iter().enumerate() {
+            sim.with_node_ctx(origin, |node, ctx| node.locate(ctx, qid as u64, object));
+        }
+        sim.run_for(SimDuration::from_secs(60));
+        for (qid, &origin) in origins.iter().enumerate() {
+            let out = sim.node(origin).outcome(qid as u64).copied();
+            prop_assert!(out.is_some(), "locate {} from {:?} never completed", qid, origin);
+            prop_assert_eq!(out.unwrap().holder, Some(holder), "locate {} from {:?}", qid, origin);
         }
     }
 }

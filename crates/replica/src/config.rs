@@ -27,6 +27,25 @@ pub struct SecondaryConfig {
     pub gossip_fanout: usize,
     /// Anti-entropy exchange period.
     pub anti_entropy_interval: SimDuration,
+    /// Tree metadata: the parent's parent, first candidate when the
+    /// parent dies and this node must re-attach.
+    pub grandparent: Option<NodeId>,
+    /// Tree metadata: same-parent nodes, next re-parenting candidates
+    /// after the grandparent.
+    pub siblings: Vec<NodeId>,
+    /// Last-resort attach points (the primary ring): always reachable
+    /// re-join targets when the whole neighborhood is gone.
+    pub fallback_parents: Vec<NodeId>,
+    /// Parent liveness probe period.
+    pub heartbeat_interval: SimDuration,
+    /// Silence from the parent longer than this declares it dead.
+    pub parent_timeout: SimDuration,
+    /// Whether an orphaned node seeks a new parent. Disable to study the
+    /// failure mode (orphaned subtrees stop converging through the tree).
+    pub reparent_enabled: bool,
+    /// After this many FetchCommits pulls with no Commits response, pull
+    /// from a random gossip peer instead of the (possibly dead) parent.
+    pub max_unanswered_pulls: u32,
 }
 
 impl Default for SecondaryConfig {
@@ -37,6 +56,13 @@ impl Default for SecondaryConfig {
             peers: Vec::new(),
             gossip_fanout: 2,
             anti_entropy_interval: SimDuration::from_millis(500),
+            grandparent: None,
+            siblings: Vec::new(),
+            fallback_parents: Vec::new(),
+            heartbeat_interval: SimDuration::from_millis(200),
+            parent_timeout: SimDuration::from_millis(1000),
+            reparent_enabled: true,
+            max_unanswered_pulls: 3,
         }
     }
 }

@@ -25,6 +25,13 @@ pub struct DeploymentOpts {
     pub latency: SimDuration,
     /// Secondary indices fed by invalidation instead of full pushes.
     pub invalidate_leaves: Vec<usize>,
+    /// Whether orphaned secondaries re-attach to the tree (disable to
+    /// demonstrate the orphaned-subtree failure mode).
+    pub reparent: bool,
+    /// Override for the secondaries' anti-entropy period (`None` keeps the
+    /// [`SecondaryConfig`] default). Chaos scenarios stretch this to
+    /// isolate the dissemination tree from the epidemic repair path.
+    pub anti_entropy: Option<SimDuration>,
     /// RNG/key seed.
     pub seed: u64,
 }
@@ -37,6 +44,8 @@ impl Default for DeploymentOpts {
             clients: 1,
             latency: SimDuration::from_millis(20),
             invalidate_leaves: Vec::new(),
+            reparent: true,
+            anti_entropy: None,
             seed: 1,
         }
     }
@@ -108,6 +117,22 @@ pub fn build_deployment(opts: &DeploymentOpts) -> Deployment {
     }
     for j in 0..s {
         let parent = if j == 0 { primaries[0] } else { secondaries[(j - 1) / 2] };
+        // Grandparent in the heap tree: the parent's parent; the root's
+        // parent is a primary, so its children fall straight through to
+        // the primary ring.
+        let grandparent = if j == 0 {
+            None
+        } else {
+            let p = (j - 1) / 2;
+            Some(if p == 0 { primaries[0] } else { secondaries[(p - 1) / 2] })
+        };
+        // The other child of the same parent, if it exists.
+        let siblings: Vec<NodeId> = if j == 0 {
+            Vec::new()
+        } else {
+            let sib = if j % 2 == 1 { j + 1 } else { j - 1 };
+            (sib < s).then(|| secondaries[sib]).into_iter().collect()
+        };
         let children: Vec<(NodeId, ChildMode)> = [2 * j + 1, 2 * j + 2]
             .into_iter()
             .filter(|&c| c < s)
@@ -115,11 +140,19 @@ pub fn build_deployment(opts: &DeploymentOpts) -> Deployment {
             .collect();
         let peers: Vec<NodeId> =
             secondaries.iter().copied().filter(|&p| p != secondaries[j]).collect();
+        let defaults = SecondaryConfig::default();
         let scfg = SecondaryConfig {
             parent: Some(parent),
             children,
             peers,
-            ..SecondaryConfig::default()
+            anti_entropy_interval: opts.anti_entropy.unwrap_or(defaults.anti_entropy_interval),
+            grandparent,
+            siblings,
+            fallback_parents: primaries.clone(),
+            heartbeat_interval: SimDuration::from_micros(opts.latency.as_micros() * 5),
+            parent_timeout: SimDuration::from_micros(opts.latency.as_micros() * 25),
+            reparent_enabled: opts.reparent,
+            ..defaults
         };
         nodes.push(OceanNode::Secondary(Secondary::new(
             scfg,

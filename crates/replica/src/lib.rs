@@ -225,7 +225,7 @@ mod tests {
             let sec = dep.sim.node(leaf).as_secondary().unwrap();
             assert!(sec.is_stale(&object), "leaf must know it is behind");
             assert!(
-                sec.committed_view(&object).map_or(true, |d| d.version_number() == 0),
+                sec.committed_view(&object).is_none_or(|d| d.version_number() == 0),
                 "leaf must not have the data yet"
             );
         }
@@ -254,7 +254,7 @@ mod tests {
                 .as_secondary()
                 .unwrap()
                 .committed_view(&object)
-                .map_or(true, |d| d.version_number() == 0),
+                .is_none_or(|d| d.version_number() == 0),
             "partitioned replica cannot have the update"
         );
         // Heal; anti-entropy with peers brings it up to date.
@@ -262,6 +262,39 @@ mod tests {
         settle(&mut dep, 5);
         let sec = dep.sim.node(victim).as_secondary().unwrap();
         assert_eq!(sec.committed_view(&object).unwrap().version_number(), 1);
+    }
+
+    #[test]
+    fn orphaned_subtree_reparents_and_keeps_receiving_commits() {
+        // Stretch anti-entropy past the horizon so the dissemination tree
+        // is the only timely delivery path, then kill an interior node.
+        let mut dep = build_deployment(&DeploymentOpts {
+            secondaries: 6,
+            anti_entropy: Some(SimDuration::from_secs(120)),
+            ..DeploymentOpts::default()
+        });
+        let object = Guid::from_label("orphans");
+        let victim = dep.secondaries[1];
+        let orphans = [dep.secondaries[3], dep.secondaries[4]];
+        let update = Update::unconditional(vec![Action::Append { ciphertext: vec![7] }]);
+        submit(&mut dep, 0, object, &update);
+        settle(&mut dep, 3);
+        dep.sim.crash_node(victim);
+        // Heartbeats time out; the orphans re-attach somewhere alive.
+        settle(&mut dep, 6);
+        let update2 = Update::unconditional(vec![Action::Append { ciphertext: vec![8] }]);
+        submit(&mut dep, 0, object, &update2);
+        settle(&mut dep, 6);
+        for &o in &orphans {
+            let sec = dep.sim.node(o).as_secondary().unwrap();
+            assert!(sec.reparent_count() > 0, "orphan {o} never re-parented");
+            assert_ne!(sec.parent(), Some(victim), "orphan {o} still on the dead parent");
+            assert_eq!(
+                sec.committed_view(&object).unwrap().version_number(),
+                2,
+                "orphan {o} missed the post-crash commit"
+            );
+        }
     }
 
     #[test]
@@ -279,6 +312,15 @@ mod tests {
             .map(|i| u32::from(!(i == client.0 || i == reachable.0)))
             .collect();
         dep.sim.set_partitions(Some(groups));
+        // Fan the tentative copy out to every secondary so the one
+        // reachable peer is seeded no matter which random subset the
+        // client would have picked.
+        let n_secondaries = dep.secondaries.len();
+        dep.sim
+            .node_mut(client)
+            .as_client_mut()
+            .unwrap()
+            .set_tentative_fanout(n_secondaries);
         let update = Update::unconditional(vec![Action::Append { ciphertext: vec![5] }]);
         let id = submit(&mut dep, 0, object, &update);
         settle(&mut dep, 3);

@@ -128,6 +128,19 @@ pub enum ReplicaMsg {
         /// Tentative updates the sender holds.
         tentative_ids: Vec<TentativeId>,
     },
+    /// Liveness probe from a dissemination-tree child to its parent.
+    Ping,
+    /// Liveness reply to [`ReplicaMsg::Ping`].
+    Pong,
+    /// An orphaned secondary (its parent stopped answering) asking to be
+    /// adopted as a dissemination child.
+    Attach,
+    /// Adoption granted: the sender now feeds the requester commits.
+    AttachOk {
+        /// The adopter's own parent, which becomes the requester's new
+        /// grandparent (next-in-line re-parenting candidate).
+        grandparent: Option<NodeId>,
+    },
 }
 
 impl Message for ReplicaMsg {
@@ -147,6 +160,9 @@ impl Message for ReplicaMsg {
             ReplicaMsg::AntiEntropy { tentative_ids, .. } => {
                 Guid::WIRE_SIZE + 16 + tentative_ids.len() * 16
             }
+            ReplicaMsg::Ping | ReplicaMsg::Pong => 8,
+            ReplicaMsg::Attach => 8,
+            ReplicaMsg::AttachOk { .. } => 16,
         }
     }
 
@@ -160,6 +176,8 @@ impl Message for ReplicaMsg {
             ReplicaMsg::FetchCommits { .. } => "replica/fetch",
             ReplicaMsg::Commits { .. } => "replica/commits",
             ReplicaMsg::AntiEntropy { .. } => "replica/antientropy",
+            ReplicaMsg::Ping | ReplicaMsg::Pong => "replica/heartbeat",
+            ReplicaMsg::Attach | ReplicaMsg::AttachOk { .. } => "replica/attach",
         }
     }
 }

@@ -9,6 +9,7 @@ use crate::secondary::Secondary;
 
 /// A node in a two-tier replication deployment.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
 pub enum OceanNode {
     /// Primary-tier server (agreement + dissemination).
     Primary(Primary),
@@ -81,25 +82,37 @@ impl Protocol for OceanNode {
                 ReplicaMsg::FetchCommits { object, from_index } => {
                     p.on_fetch(ctx, from, object, from_index);
                 }
+                ReplicaMsg::Ping => ctx.send(from, ReplicaMsg::Pong),
+                ReplicaMsg::Attach => p.on_attach(ctx, from),
                 _ => {}
             },
-            OceanNode::Secondary(s) => match msg {
-                ReplicaMsg::Tentative { object, update, timestamp, id } => {
-                    s.on_tentative(ctx, object, update, timestamp, id);
+            OceanNode::Secondary(s) => {
+                // Anything the parent sends proves it alive.
+                s.note_traffic(from, ctx.now());
+                match msg {
+                    ReplicaMsg::Tentative { object, update, timestamp, id } => {
+                        s.on_tentative(ctx, object, update, timestamp, id);
+                    }
+                    ReplicaMsg::Commit(record) => {
+                        s.on_commit(ctx, record);
+                    }
+                    ReplicaMsg::Commits { records } => s.on_commits(ctx, records),
+                    ReplicaMsg::Invalidate { object, index, .. } => {
+                        s.on_invalidate(ctx, object, index)
+                    }
+                    ReplicaMsg::FetchCommits { object, from_index } => {
+                        s.on_fetch(ctx, from, object, from_index);
+                    }
+                    ReplicaMsg::AntiEntropy { object, committed_index, tentative_ids } => {
+                        s.on_anti_entropy(ctx, from, object, committed_index, tentative_ids);
+                    }
+                    ReplicaMsg::Ping => s.on_ping(ctx, from),
+                    ReplicaMsg::Pong => {}
+                    ReplicaMsg::Attach => s.on_attach(ctx, from),
+                    ReplicaMsg::AttachOk { grandparent } => s.on_attach_ok(ctx, from, grandparent),
+                    _ => {}
                 }
-                ReplicaMsg::Commit(record) => {
-                    s.on_commit(ctx, record);
-                }
-                ReplicaMsg::Commits { records } => s.on_commits(ctx, records),
-                ReplicaMsg::Invalidate { object, index, .. } => s.on_invalidate(ctx, object, index),
-                ReplicaMsg::FetchCommits { object, from_index } => {
-                    s.on_fetch(ctx, from, object, from_index);
-                }
-                ReplicaMsg::AntiEntropy { object, committed_index, tentative_ids } => {
-                    s.on_anti_entropy(ctx, from, object, committed_index, tentative_ids);
-                }
-                _ => {}
-            },
+            }
             OceanNode::Client(c) => c.on_message(ctx, from, msg),
             OceanNode::Idle => {}
         }

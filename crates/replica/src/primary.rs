@@ -152,6 +152,7 @@ impl Primary {
     }
 
     /// Handles a signature share (we are the disseminator for it).
+    #[allow(clippy::too_many_arguments)]
     pub fn on_result_share(
         &mut self,
         ctx: &mut Context<'_, ReplicaMsg>,
@@ -208,7 +209,7 @@ impl Primary {
         let own = self.keypair.sign(&entry.0.signing_bytes());
         entry.1.add(self.keypair.public(), own);
         if entry.1.valid_count(&entry.0.signing_bytes(), &self.cfg.replica_keys)
-            >= self.cfg.m + 1
+            > self.cfg.m
         {
             let (mut record, cert) = self
                 .assembling
@@ -232,6 +233,15 @@ impl Primary {
                 }
             }
         }
+    }
+
+    /// Adopts an orphaned secondary as a dissemination child (the
+    /// last-resort rejoin path: the primary ring is always attachable).
+    pub fn on_attach(&mut self, ctx: &mut Context<'_, ReplicaMsg>, from: NodeId) {
+        if !self.children.iter().any(|(c, _)| *c == from) {
+            self.children.push((from, ChildMode::Push));
+        }
+        ctx.send(from, ReplicaMsg::AttachOk { grandparent: None });
     }
 
     /// Serves the pull path for children and stale secondaries.

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use oceanstore_crypto::schnorr::PublicKey;
 use oceanstore_naming::guid::Guid;
-use oceanstore_sim::{Context, NodeId};
+use oceanstore_sim::{Context, NodeId, SimTime};
 use oceanstore_update::object::DataObject;
 use oceanstore_update::update::apply;
 use oceanstore_update::decode_update;
@@ -24,6 +24,12 @@ use crate::store::ObjectStore;
 
 /// Timer tag for the anti-entropy exchange.
 const TIMER_ANTI_ENTROPY: u64 = 10;
+/// Timer tag for the parent-liveness heartbeat.
+const TIMER_HEARTBEAT: u64 = 11;
+
+/// Tentative updates for one object in (timestamp, id) order — the
+/// tentative serialization order.
+type TentativeLog = BTreeMap<(u64, TentativeId), Arc<Vec<u8>>>;
 
 /// A secondary replica.
 #[derive(Debug)]
@@ -33,12 +39,24 @@ pub struct Secondary {
     pub store: ObjectStore,
     /// Tentative updates per object, in (timestamp, id) order — the
     /// tentative serialization order.
-    tentative: HashMap<Guid, BTreeMap<(u64, TentativeId), Arc<Vec<u8>>>>,
+    tentative: HashMap<Guid, TentativeLog>,
     /// Updates already seen (dedup for the rumor mill).
     seen: HashSet<(Guid, TentativeId)>,
     /// Primary-tier verification material.
     tier_keys: Vec<PublicKey>,
     tier_m: usize,
+    /// Last time the current parent gave any sign of life.
+    parent_last_seen: SimTime,
+    /// Outstanding adoption request: (candidate, when asked).
+    pending_attach: Option<(NodeId, SimTime)>,
+    /// Rotates through re-parenting candidates across attempts.
+    candidate_cursor: usize,
+    /// Consecutive stale-pull rounds with no Commits response.
+    unanswered_pulls: u32,
+    /// Anti-entropy ticks to skip before the next pull (backoff).
+    ticks_until_pull: u32,
+    /// How many times this node successfully re-attached.
+    reparented: u64,
 }
 
 impl Secondary {
@@ -52,7 +70,28 @@ impl Secondary {
             seen: HashSet::new(),
             tier_keys,
             tier_m,
+            parent_last_seen: SimTime::ZERO,
+            pending_attach: None,
+            candidate_cursor: 0,
+            unanswered_pulls: 0,
+            ticks_until_pull: 0,
+            reparented: 0,
         }
+    }
+
+    /// The current dissemination-tree parent.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.cfg.parent
+    }
+
+    /// How many times this node re-attached after losing a parent.
+    pub fn reparent_count(&self) -> u64 {
+        self.reparented
+    }
+
+    /// This node's current dissemination children.
+    pub fn children(&self) -> &[(NodeId, ChildMode)] {
+        &self.cfg.children
     }
 
     /// The committed view of an object, if replicated here.
@@ -103,20 +142,29 @@ impl Secondary {
         self.store.get(object).is_some_and(|s| s.known_index > s.next_index)
     }
 
-    /// Starts the periodic anti-entropy timer.
+    /// Starts the periodic anti-entropy and heartbeat timers.
     pub fn on_start(&mut self, ctx: &mut Context<'_, ReplicaMsg>) {
+        self.parent_last_seen = ctx.now();
         ctx.set_timer(self.cfg.anti_entropy_interval, TIMER_ANTI_ENTROPY);
+        if self.cfg.parent.is_some() {
+            ctx.set_timer(self.cfg.heartbeat_interval, TIMER_HEARTBEAT);
+        }
     }
 
     /// Timer dispatch.
     pub fn on_timer(&mut self, ctx: &mut Context<'_, ReplicaMsg>, tag: u64) {
-        if tag != TIMER_ANTI_ENTROPY {
-            return;
+        match tag {
+            TIMER_ANTI_ENTROPY => self.on_anti_entropy_tick(ctx),
+            TIMER_HEARTBEAT => self.on_heartbeat_tick(ctx),
+            _ => {}
         }
+    }
+
+    fn on_anti_entropy_tick(&mut self, ctx: &mut Context<'_, ReplicaMsg>) {
         // One random peer, one summary per known object.
         if !self.cfg.peers.is_empty() {
             let peer = *self.cfg.peers[..].choose(ctx.rng()).expect("nonempty");
-            let objects: Vec<Guid> = self
+            let mut objects: Vec<Guid> = self
                 .store
                 .guids()
                 .copied()
@@ -124,6 +172,8 @@ impl Secondary {
                 .collect::<HashSet<_>>()
                 .into_iter()
                 .collect();
+            // Deterministic send order (hash-map iteration is not).
+            objects.sort();
             for object in objects {
                 let committed_index = self.store.get(&object).map_or(0, |s| s.next_index);
                 let tentative_ids: Vec<TentativeId> = self
@@ -134,24 +184,161 @@ impl Secondary {
                 ctx.send(peer, ReplicaMsg::AntiEntropy { object, committed_index, tentative_ids });
             }
         }
-        // Re-pull anything stale from the parent.
-        if let Some(parent) = self.cfg.parent {
-            let stale: Vec<(Guid, u64)> = self
-                .store
-                .guids()
-                .copied()
-                .collect::<Vec<_>>()
-                .into_iter()
-                .filter_map(|g| {
-                    let s = self.store.get(&g).expect("just listed");
-                    (s.known_index > s.next_index).then_some((g, s.next_index))
-                })
-                .collect();
-            for (object, from_index) in stale {
-                ctx.send(parent, ReplicaMsg::FetchCommits { object, from_index });
+        // Re-pull anything stale — from the parent while it answers, from a
+        // random live peer once too many pulls have gone unanswered, with
+        // backoff so a long outage doesn't turn into a fetch storm.
+        let mut stale: Vec<(Guid, u64)> = self
+            .store
+            .guids()
+            .copied()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .filter_map(|g| {
+                let s = self.store.get(&g).expect("just listed");
+                (s.known_index > s.next_index).then_some((g, s.next_index))
+            })
+            .collect();
+        stale.sort();
+        if !stale.is_empty() {
+            if self.ticks_until_pull > 0 {
+                self.ticks_until_pull -= 1;
+            } else if let Some(target) = self.pull_target(ctx) {
+                for (object, from_index) in stale {
+                    ctx.send(target, ReplicaMsg::FetchCommits { object, from_index });
+                }
+                self.unanswered_pulls = self.unanswered_pulls.saturating_add(1);
+                self.ticks_until_pull =
+                    self.unanswered_pulls.saturating_sub(self.cfg.max_unanswered_pulls).min(4);
             }
         }
         ctx.set_timer(self.cfg.anti_entropy_interval, TIMER_ANTI_ENTROPY);
+    }
+
+    /// Where catch-up pulls go: the parent while it is believed alive, a
+    /// random gossip peer once `max_unanswered_pulls` pulls went nowhere.
+    fn pull_target(&mut self, ctx: &mut Context<'_, ReplicaMsg>) -> Option<NodeId> {
+        if self.unanswered_pulls >= self.cfg.max_unanswered_pulls && !self.cfg.peers.is_empty() {
+            return self.cfg.peers[..].choose(ctx.rng()).copied();
+        }
+        self.cfg.parent.or_else(|| self.cfg.peers[..].choose(ctx.rng()).copied())
+    }
+
+    fn on_heartbeat_tick(&mut self, ctx: &mut Context<'_, ReplicaMsg>) {
+        let now = ctx.now();
+        if let Some(parent) = self.cfg.parent {
+            match self.pending_attach {
+                Some((_candidate, asked_at)) => {
+                    // An adoption request is in flight; give the candidate
+                    // one timeout's worth of patience, then move on.
+                    if now.saturating_since(asked_at) > self.cfg.parent_timeout {
+                        self.try_next_candidate(ctx);
+                    }
+                }
+                None => {
+                    if self.cfg.reparent_enabled
+                        && now.saturating_since(self.parent_last_seen) > self.cfg.parent_timeout
+                    {
+                        // Parent is dead to us: seek a new one.
+                        self.try_next_candidate(ctx);
+                    } else {
+                        ctx.send(parent, ReplicaMsg::Ping);
+                    }
+                }
+            }
+        }
+        ctx.set_timer(self.cfg.heartbeat_interval, TIMER_HEARTBEAT);
+    }
+
+    /// Re-parenting candidates in preference order: grandparent, then
+    /// siblings, then the primary ring.
+    fn candidates(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        if let Some(g) = self.cfg.grandparent {
+            out.push(g);
+        }
+        out.extend(self.cfg.siblings.iter().copied());
+        out.extend(self.cfg.fallback_parents.iter().copied());
+        out.retain(|&c| Some(c) != self.cfg.parent);
+        out.dedup();
+        out
+    }
+
+    fn try_next_candidate(&mut self, ctx: &mut Context<'_, ReplicaMsg>) {
+        let candidates = self.candidates();
+        if candidates.is_empty() {
+            self.pending_attach = None;
+            return;
+        }
+        let candidate = candidates[self.candidate_cursor % candidates.len()];
+        self.candidate_cursor += 1;
+        self.pending_attach = Some((candidate, ctx.now()));
+        ctx.send(candidate, ReplicaMsg::Attach);
+    }
+
+    /// Any message from the current parent proves it alive.
+    pub fn note_traffic(&mut self, from: NodeId, now: SimTime) {
+        if Some(from) == self.cfg.parent {
+            self.parent_last_seen = now;
+        }
+    }
+
+    /// Handles a liveness probe from a child.
+    pub fn on_ping(&mut self, ctx: &mut Context<'_, ReplicaMsg>, from: NodeId) {
+        ctx.send(from, ReplicaMsg::Pong);
+    }
+
+    /// Handles an adoption request from an orphaned node.
+    pub fn on_attach(&mut self, ctx: &mut Context<'_, ReplicaMsg>, from: NodeId) {
+        // Refuse adoptions that would loop the tree (our own parent asking
+        // us) and adoptions while we are orphaned ourselves — the requester
+        // will retry elsewhere.
+        if Some(from) == self.cfg.parent || self.pending_attach.is_some() {
+            return;
+        }
+        if !self.cfg.children.iter().any(|(c, _)| *c == from) {
+            self.cfg.children.push((from, ChildMode::Push));
+        }
+        // A new child is no longer a same-level sibling candidate.
+        self.cfg.siblings.retain(|&s| s != from);
+        ctx.send(from, ReplicaMsg::AttachOk { grandparent: self.cfg.parent });
+    }
+
+    /// Handles adoption confirmation from the candidate we asked.
+    pub fn on_attach_ok(
+        &mut self,
+        ctx: &mut Context<'_, ReplicaMsg>,
+        from: NodeId,
+        grandparent: Option<NodeId>,
+    ) {
+        if !matches!(self.pending_attach, Some((candidate, _)) if candidate == from) {
+            return; // stale grant from an earlier attempt
+        }
+        // The old parent must stop being anyone's child/candidate state.
+        let old_parent = self.cfg.parent;
+        self.cfg.parent = Some(from);
+        self.cfg.grandparent = grandparent.filter(|&g| g != ctx.node());
+        if let Some(old) = old_parent {
+            self.cfg.children.retain(|(c, _)| *c != old);
+        }
+        self.pending_attach = None;
+        self.candidate_cursor = 0;
+        self.parent_last_seen = ctx.now();
+        self.unanswered_pulls = 0;
+        self.ticks_until_pull = 0;
+        self.reparented += 1;
+        // Catch up through the new parent immediately: everything we hold
+        // is suspect after an outage, so pull from our committed frontier.
+        let objects: Vec<(Guid, u64)> = self
+            .store
+            .guids()
+            .copied()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|g| (g, self.store.get(&g).expect("just listed").next_index))
+            .collect();
+        for (object, from_index) in objects {
+            ctx.send(from, ReplicaMsg::FetchCommits { object, from_index });
+        }
     }
 
     /// Accepts a tentative update (from a client or a gossiping peer) and
@@ -219,11 +406,11 @@ impl Secondary {
                 }
             }
         } else {
-            // Gap: pull the missing prefix from the parent (or whoever is
-            // configured), while remembering how far the world has moved.
+            // Gap: pull the missing prefix, while remembering how far the
+            // world has moved.
             let from_index = self.store.get(&record.object).map_or(0, |s| s.next_index);
-            if let Some(parent) = self.cfg.parent {
-                ctx.send(parent, ReplicaMsg::FetchCommits { object: record.object, from_index });
+            if let Some(target) = self.pull_target(ctx) {
+                ctx.send(target, ReplicaMsg::FetchCommits { object: record.object, from_index });
             }
         }
         applied
@@ -247,12 +434,12 @@ impl Secondary {
         let _ = ctx;
     }
 
-    /// Explicit read-repair: pull latest commits from the parent before
-    /// serving a strong read.
+    /// Explicit read-repair: pull latest commits from the parent (or a
+    /// fallback peer) before serving a strong read.
     pub fn pull_now(&mut self, ctx: &mut Context<'_, ReplicaMsg>, object: Guid) {
-        if let Some(parent) = self.cfg.parent {
-            let from_index = self.store.get(&object).map_or(0, |s| s.next_index);
-            ctx.send(parent, ReplicaMsg::FetchCommits { object, from_index });
+        let from_index = self.store.get(&object).map_or(0, |s| s.next_index);
+        if let Some(target) = self.pull_target(ctx) {
+            ctx.send(target, ReplicaMsg::FetchCommits { object, from_index });
         }
     }
 
@@ -272,6 +459,9 @@ impl Secondary {
 
     /// Handles a batch of fetched records.
     pub fn on_commits(&mut self, ctx: &mut Context<'_, ReplicaMsg>, records: Vec<CommitRecord>) {
+        // The pull path answered: clear the fallback/backoff state.
+        self.unanswered_pulls = 0;
+        self.ticks_until_pull = 0;
         for r in records {
             self.on_commit(ctx, r);
         }

@@ -25,14 +25,6 @@ pub struct ObjectState {
 }
 
 impl ObjectState {
-    fn new() -> Self {
-        ObjectState {
-            data: DataObject::new(),
-            records: Vec::new(),
-            next_index: 0,
-            known_index: 0,
-        }
-    }
 
     /// Whether this replica knows it is missing commits.
     pub fn is_stale(&self) -> bool {
@@ -54,7 +46,7 @@ impl ObjectStore {
 
     /// State for `object`, creating an empty one on first touch.
     pub fn entry(&mut self, object: Guid) -> &mut ObjectState {
-        self.objects.entry(object).or_insert_with(ObjectState::new)
+        self.objects.entry(object).or_default()
     }
 
     /// Read-only lookup.

@@ -14,7 +14,7 @@ use std::collections::BinaryHeap;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use crate::stats::NetStats;
+use crate::stats::{DropCause, NetStats};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Topology};
 
@@ -185,6 +185,8 @@ pub struct Simulator<P: Protocol> {
     /// Partition group per node; messages cross groups only if `None`.
     partitions: Option<Vec<u32>>,
     drop_prob: f64,
+    /// Multiplier applied to every link latency (link degradation).
+    latency_factor: f64,
     engine_rng: ChaCha8Rng,
     events_processed: u64,
 }
@@ -224,6 +226,7 @@ impl<P: Protocol> Simulator<P> {
             down: vec![false; n],
             partitions: None,
             drop_prob: 0.0,
+            latency_factor: 1.0,
             engine_rng: ChaCha8Rng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03),
             events_processed: 0,
         }
@@ -287,6 +290,11 @@ impl<P: Protocol> Simulator<P> {
     /// Marks a node crashed (true) or recovered (false). A crashed node
     /// receives no messages or timers; pending events addressed to it are
     /// dropped at delivery time.
+    ///
+    /// Note that flipping a node back up this way does **not** re-run
+    /// [`Protocol::on_start`], so periodic timers stay dead — use
+    /// [`Simulator::recover_node`] for a crash-recovery that restarts the
+    /// protocol's timer wheels.
     pub fn set_down(&mut self, node: NodeId, down: bool) {
         self.down[node.0] = down;
     }
@@ -294,6 +302,35 @@ impl<P: Protocol> Simulator<P> {
     /// Whether `node` is currently crashed.
     pub fn is_down(&self, node: NodeId) -> bool {
         self.down[node.0]
+    }
+
+    /// Crashes `node`: from now until recovery it receives no messages and
+    /// none of its timers fire (they are silently discarded when they come
+    /// due). Protocol state is preserved in place. No-op if already down.
+    pub fn crash_node(&mut self, node: NodeId) {
+        self.down[node.0] = true;
+    }
+
+    /// Recovers a crashed node with its protocol state intact (a process
+    /// restart on a machine whose disk survived). [`Protocol::on_start`]
+    /// runs again so periodic timers — all lost while down — are re-armed.
+    /// No-op if the node is not down.
+    pub fn recover_node(&mut self, node: NodeId) {
+        if !self.down[node.0] {
+            return;
+        }
+        self.down[node.0] = false;
+        self.dispatch_start(node);
+    }
+
+    /// Recovers a crashed node with its state wiped: `fresh` replaces the
+    /// old protocol instance (a machine rebuilt from nothing) and
+    /// [`Protocol::on_start`] runs on it. Works whether or not the node is
+    /// currently down.
+    pub fn recover_node_wiped(&mut self, node: NodeId, fresh: P) {
+        self.nodes[node.0] = fresh;
+        self.down[node.0] = false;
+        self.dispatch_start(node);
     }
 
     /// Sets the independent per-message drop probability.
@@ -304,6 +341,27 @@ impl<P: Protocol> Simulator<P> {
     pub fn set_drop_prob(&mut self, p: f64) {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         self.drop_prob = p;
+    }
+
+    /// The current independent per-message drop probability.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+
+    /// Degrades (factor > 1) or restores (factor = 1) every link: message
+    /// latencies are multiplied by `factor` at send time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    pub fn set_latency_factor(&mut self, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "latency factor must be positive");
+        self.latency_factor = factor;
+    }
+
+    /// The current link-latency multiplier.
+    pub fn latency_factor(&self) -> f64 {
+        self.latency_factor
     }
 
     /// Installs a network partition: messages are delivered only within a
@@ -361,7 +419,7 @@ impl<P: Protocol> Simulator<P> {
         match ev.kind {
             EventKind::Deliver { from, to, msg } => {
                 if self.down[to.0] {
-                    self.stats.record_drop();
+                    self.stats.record_drop(DropCause::NodeDown);
                 } else {
                     self.dispatch_message(to, from, msg);
                 }
@@ -488,18 +546,20 @@ impl<P: Protocol> Simulator<P> {
         self.stats.record_send(from, to, msg.wire_size(), msg.class());
         if let Some(groups) = &self.partitions {
             if groups[from.0] != groups[to.0] {
-                self.stats.record_drop();
+                self.stats.record_drop(DropCause::Partition);
                 return;
             }
         }
         if self.drop_prob > 0.0 && self.engine_rng.gen::<f64>() < self.drop_prob {
-            self.stats.record_drop();
+            self.stats.record_drop(DropCause::Random);
             return;
         }
         let Some(latency) = self.topo.dist(from, to) else {
-            self.stats.record_drop();
+            self.stats.record_drop(DropCause::Unreachable);
             return;
         };
+        let latency =
+            if self.latency_factor == 1.0 { latency } else { latency.mul_f64(self.latency_factor) };
         let at = self.clock + latency;
         self.push(Event { at, seq: 0, kind: EventKind::Deliver { from, to, msg } });
     }
@@ -597,6 +657,79 @@ mod tests {
         assert_eq!(sim.node(NodeId(2)).seen, 1);
         assert_eq!(sim.node(NodeId(4)).seen, 0);
         assert_eq!(sim.stats().dropped_messages(), 1);
+        assert_eq!(sim.stats().dropped_by_cause(DropCause::NodeDown), 1);
+        assert_eq!(sim.stats().dropped_by_cause(DropCause::Random), 0);
+    }
+
+    #[test]
+    fn drops_are_attributed_to_their_cause() {
+        let mut sim = ring_sim(4, 1, 1);
+        sim.set_partitions(Some(vec![0, 1, 1, 1]));
+        sim.start();
+        sim.run_to_quiescence(10_000);
+        assert_eq!(sim.stats().dropped_by_cause(DropCause::Partition), 1);
+
+        let mut sim = ring_sim(4, 1, 1);
+        sim.set_drop_prob(1.0);
+        sim.start();
+        sim.run_to_quiescence(10_000);
+        assert_eq!(sim.stats().dropped_by_cause(DropCause::Random), 1);
+    }
+
+    #[test]
+    fn crash_preserves_state_and_recover_restarts() {
+        let mut sim = ring_sim(5, 3, 1);
+        sim.start();
+        // Let the token pass node 2 once, then crash it.
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(25));
+        assert_eq!(sim.node(NodeId(2)).seen, 1);
+        sim.crash_node(NodeId(2));
+        assert!(sim.is_down(NodeId(2)));
+        sim.run_for(SimDuration::from_millis(50));
+        // The ring is severed at node 2; its state survived the crash.
+        assert_eq!(sim.node(NodeId(2)).seen, 1);
+        assert_eq!(sim.stats().dropped_by_cause(DropCause::NodeDown), 1);
+        sim.recover_node(NodeId(2));
+        assert!(!sim.is_down(NodeId(2)));
+        assert_eq!(sim.node(NodeId(2)).seen, 1, "state preserved across recovery");
+    }
+
+    #[test]
+    fn recover_node_reruns_on_start() {
+        // RingToken's node 0 emits the token from on_start, so recovering
+        // node 0 restarts the whole circulation.
+        let mut sim = ring_sim(3, 1, 1);
+        sim.start();
+        sim.run_to_quiescence(10_000);
+        let seen_before = sim.node(NodeId(1)).seen;
+        sim.crash_node(NodeId(0));
+        sim.recover_node(NodeId(0));
+        sim.run_to_quiescence(10_000);
+        assert_eq!(sim.node(NodeId(1)).seen, seen_before + 1);
+    }
+
+    #[test]
+    fn recover_node_wiped_replaces_state() {
+        let mut sim = ring_sim(5, 3, 1);
+        sim.start();
+        sim.run_to_quiescence(10_000);
+        assert_eq!(sim.node(NodeId(2)).seen, 3);
+        sim.crash_node(NodeId(2));
+        sim.recover_node_wiped(NodeId(2), RingToken { id: 2, n: 5, rounds_left: 0, seen: 0 });
+        assert_eq!(sim.node(NodeId(2)).seen, 0, "wiped recovery loses state");
+        assert!(!sim.is_down(NodeId(2)));
+    }
+
+    #[test]
+    fn latency_factor_stretches_links() {
+        let mut sim = ring_sim(5, 1, 1);
+        sim.set_latency_factor(3.0);
+        sim.start();
+        sim.run_to_quiescence(10_000);
+        // One round of 5 hops at 10 ms × 3.
+        assert_eq!(sim.now().as_millis(), 150);
+        sim.set_latency_factor(1.0);
+        assert!((sim.latency_factor() - 1.0).abs() < f64::EPSILON);
     }
 
     #[test]

@@ -56,6 +56,6 @@ pub mod time;
 pub mod topology;
 
 pub use engine::{Context, Message, Protocol, Simulator};
-pub use stats::{ClassStats, NetStats};
+pub use stats::{ClassStats, DropCause, NetStats};
 pub use time::{SimDuration, SimTime};
 pub use topology::{NodeId, Topology, TopologyBuilder};

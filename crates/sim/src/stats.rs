@@ -8,12 +8,40 @@ use std::collections::BTreeMap;
 
 use crate::topology::NodeId;
 
+/// Why the network failed to deliver a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropCause {
+    /// The destination was crashed at delivery time.
+    NodeDown,
+    /// Sender and destination were in different partition groups.
+    Partition,
+    /// The message lost the independent drop-probability coin flip.
+    Random,
+    /// No topology path exists between sender and destination.
+    Unreachable,
+}
+
+impl DropCause {
+    /// All causes, in a fixed display order.
+    pub const ALL: [DropCause; 4] =
+        [DropCause::NodeDown, DropCause::Partition, DropCause::Random, DropCause::Unreachable];
+
+    fn index(self) -> usize {
+        match self {
+            DropCause::NodeDown => 0,
+            DropCause::Partition => 1,
+            DropCause::Random => 2,
+            DropCause::Unreachable => 3,
+        }
+    }
+}
+
 /// Byte and message counters for one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct NetStats {
     total_messages: u64,
     total_bytes: u64,
-    dropped_messages: u64,
+    dropped: [u64; 4],
     per_node_sent: Vec<u64>,
     per_node_received: Vec<u64>,
     by_class: BTreeMap<&'static str, ClassStats>,
@@ -47,8 +75,8 @@ impl NetStats {
         c.bytes += bytes as u64;
     }
 
-    pub(crate) fn record_drop(&mut self) {
-        self.dropped_messages += 1;
+    pub(crate) fn record_drop(&mut self, cause: DropCause) {
+        self.dropped[cause.index()] += 1;
     }
 
     /// Total messages sent (whether or not delivered).
@@ -61,9 +89,21 @@ impl NetStats {
         self.total_bytes
     }
 
-    /// Messages lost to drops, partitions, or dead destinations.
+    /// Messages lost to drops, partitions, or dead destinations (all
+    /// causes combined).
     pub fn dropped_messages(&self) -> u64 {
-        self.dropped_messages
+        self.dropped.iter().sum()
+    }
+
+    /// Messages lost to one specific cause.
+    pub fn dropped_by_cause(&self, cause: DropCause) -> u64 {
+        self.dropped[cause.index()]
+    }
+
+    /// Iterates over `(cause, count)` pairs in [`DropCause::ALL`] order,
+    /// including zero counts.
+    pub fn drops_by_cause(&self) -> impl Iterator<Item = (DropCause, u64)> + '_ {
+        DropCause::ALL.iter().map(|&c| (c, self.dropped[c.index()]))
     }
 
     /// Bytes sent by `node`.
@@ -103,7 +143,7 @@ mod tests {
         s.record_send(NodeId(0), NodeId(1), 100, "prepare");
         s.record_send(NodeId(0), NodeId(2), 50, "prepare");
         s.record_send(NodeId(1), NodeId(0), 10, "commit");
-        s.record_drop();
+        s.record_drop(DropCause::Partition);
         assert_eq!(s.total_messages(), 3);
         assert_eq!(s.total_bytes(), 160);
         assert_eq!(s.dropped_messages(), 1);
@@ -112,6 +152,20 @@ mod tests {
         assert_eq!(s.class("prepare"), ClassStats { messages: 2, bytes: 150 });
         assert_eq!(s.class("unknown"), ClassStats::default());
         assert_eq!(s.classes().count(), 2);
+    }
+
+    #[test]
+    fn drops_split_by_cause() {
+        let mut s = NetStats::new(2);
+        s.record_drop(DropCause::NodeDown);
+        s.record_drop(DropCause::NodeDown);
+        s.record_drop(DropCause::Random);
+        assert_eq!(s.dropped_messages(), 3);
+        assert_eq!(s.dropped_by_cause(DropCause::NodeDown), 2);
+        assert_eq!(s.dropped_by_cause(DropCause::Random), 1);
+        assert_eq!(s.dropped_by_cause(DropCause::Partition), 0);
+        let collected: Vec<u64> = s.drops_by_cause().map(|(_, n)| n).collect();
+        assert_eq!(collected, vec![2, 0, 1, 0]);
     }
 
     #[test]

@@ -169,7 +169,7 @@ impl Topology {
                     if find(&mut parent, u) != find(&mut parent, v) {
                         let d = ((pts[u].0 - pts[v].0).powi(2) + (pts[u].1 - pts[v].1).powi(2))
                             .sqrt();
-                        if best.map_or(true, |(_, _, bd)| d < bd) {
+                        if best.is_none_or(|(_, _, bd)| d < bd) {
                             best = Some((u, v, d));
                         }
                     }

@@ -67,8 +67,8 @@ impl Version {
                 }
             }
         }
-        for i in 0..self.blocks.len() {
-            if !pointed_to[i] {
+        for (i, &pointed) in pointed_to.iter().enumerate() {
+            if !pointed {
                 self.expand(i, &mut visited, &mut out);
             }
         }

@@ -67,13 +67,18 @@ fn main() {
                 }
             }
         }
-        // Evenings at home: email.
+        // Evenings at home: email, plus a little project work — the
+        // nomadic pattern the detector is meant to catch.
         for hour in 19..23 {
             for _ in 0..8 {
                 clusters.observe(email);
                 prefetcher.observe(email);
                 migration.observe(email, home, hour);
                 db.observe(&Event::new("access").with("bytes", 1024.0));
+            }
+            for f in &project {
+                migration.observe(*f, home, hour);
+                db.observe(&Event::new("access").with("bytes", 4096.0));
             }
         }
         let actions = mgr.tick();

@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the harness surface the workspace benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`Throughput`],
+//! [`BatchSize`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — but reports plain mean wall-clock times instead of doing
+//! statistical analysis. Good enough to keep `cargo bench` compiling
+//! and producing comparable numbers without network access.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How a batched benchmark sizes its input batches. Accepted for API
+/// compatibility; this stub times one routine call per batch regardless.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// Setup output consumed once per batch.
+    PerIteration,
+}
+
+/// Units of work per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = 32u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Times `routine` on inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = 32u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("bench {id:<48} (no iterations)");
+            return;
+        }
+        let per_iter = self.total.as_secs_f64() / self.iters as f64;
+        let mut line = format!("bench {id:<48} {:>12.3} us/iter", per_iter * 1e6);
+        match throughput {
+            Some(Throughput::Bytes(n)) => {
+                let mibs = n as f64 / per_iter / (1024.0 * 1024.0);
+                line.push_str(&format!("  {mibs:>10.1} MiB/s"));
+            }
+            Some(Throughput::Elements(n)) => {
+                let eps = n as f64 / per_iter;
+                line.push_str(&format!("  {eps:>10.0} elem/s"));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// A named set of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id), self.throughput);
+    }
+
+    /// Finishes the group (no-op in this stub).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Sets the statistical sample size (accepted for compatibility).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&id.to_string(), None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), throughput: None, _parent: self }
+    }
+}
+
+/// Collects benchmark functions into a named runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running each group produced by [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(10);
+        targets = quick
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
