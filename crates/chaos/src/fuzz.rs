@@ -1,0 +1,241 @@
+//! Seeded schedule fuzzing: random fault schedules, invariant oracles.
+//!
+//! The canned [`crate::scenarios`] each probe one failure mode; the
+//! fuzzer probes their *combinations*. From a seed it draws a random —
+//! but constrained — fault schedule (crashes, rack outages, partitions,
+//! drop and latency bursts, link flaps), replays it against a deployment
+//! with update traffic interleaved, and asks the invariant checkers for
+//! a verdict. Constraints keep every schedule survivable, so any failed
+//! invariant is a protocol bug and the seed is its reproduction recipe:
+//!
+//! * at most `m` primaries are ever down concurrently (agreement quorum
+//!   and certificate threshold stay reachable);
+//! * every fault heals before [`FuzzOpts::turbulence_ms`], leaving a
+//!   clean settle window;
+//! * the last update is submitted *after* the turbulence deadline, so
+//!   its dissemination exposes stale nodes (gap detection triggers
+//!   catch-up pulls down the tree).
+
+use oceanstore_naming::guid::Guid;
+use oceanstore_replica::{build_deployment, Deployment, DeploymentOpts};
+use oceanstore_sim::{SimDuration, SimTime};
+use oceanstore_update::update::Action;
+use oceanstore_update::Update;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::invariants::{
+    check_clients_settled, check_convergence, check_every_commit_certifies,
+    check_no_committed_loss, check_no_uncertified_records, InvariantReport,
+};
+use crate::runner::{stats_fingerprint, ScheduleCursor, TraceEntry};
+use crate::schedule::{FaultAction, Schedule};
+
+/// Knobs of one fuzzing run.
+#[derive(Debug, Clone)]
+pub struct FuzzOpts {
+    /// Random fault groups drawn per schedule (each group is a
+    /// self-healing pair or burst of [`FaultAction`]s).
+    pub faults: usize,
+    /// Updates submitted while the schedule plays out (at least 1; the
+    /// last one always goes out after the turbulence deadline).
+    pub updates: usize,
+    /// Deadline by which every drawn fault has healed.
+    pub turbulence_ms: u64,
+    /// Total simulated run time; the span after `turbulence_ms` is the
+    /// clean settle window the oracles judge.
+    pub horizon_ms: u64,
+}
+
+impl Default for FuzzOpts {
+    fn default() -> Self {
+        FuzzOpts { faults: 5, updates: 3, turbulence_ms: 12_000, horizon_ms: 30_000 }
+    }
+}
+
+/// Everything one fuzzing run produces.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// The seed that generated (and reproduces) this run.
+    pub seed: u64,
+    /// The generated schedule, for shrinking a failure by hand.
+    pub schedule: Schedule,
+    /// Fault events actually applied, in order.
+    pub trace: Vec<TraceEntry>,
+    /// Stable network-counter fingerprint (determinism checks).
+    pub fingerprint: String,
+    /// The oracle verdict.
+    pub report: InvariantReport,
+}
+
+fn t(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+/// Draws a random self-healing schedule. All fault times land in
+/// `[1s, turbulence)` and every matching repair lands at or before
+/// `turbulence`.
+fn random_schedule(rng: &mut ChaCha8Rng, opts: &FuzzOpts, dep: &Deployment) -> Schedule {
+    let turbulence = opts.turbulence_ms;
+    let mut sched = Schedule::new();
+    // At most m primaries may be down at once; with non-overlapping
+    // outage bookkeeping left aside, the simplest safe rule is at most m
+    // primary crash groups in the whole schedule.
+    let mut primary_crashes_left = dep.cfg.m;
+    for _ in 0..opts.faults {
+        let start = rng.gen_range(1_000..turbulence.saturating_sub(1_000));
+        let end = rng.gen_range(start + 500..=turbulence);
+        match rng.gen_range(0..7u32) {
+            0 => {
+                // Single secondary crash + recover.
+                let s = dep.secondaries[rng.gen_range(0..dep.secondaries.len())];
+                sched = sched
+                    .at(t(start), FaultAction::Crash(s))
+                    .at(t(end), FaultAction::Recover(s));
+            }
+            1 if primary_crashes_left > 0 => {
+                primary_crashes_left -= 1;
+                let p = dep.primaries[rng.gen_range(0..dep.primaries.len())];
+                sched = sched
+                    .at(t(start), FaultAction::Crash(p))
+                    .at(t(end), FaultAction::Recover(p));
+            }
+            2 => {
+                let p = rng.gen_range(0.05..0.25);
+                sched = sched
+                    .at(t(start), FaultAction::DropProb(p))
+                    .at(t(end), FaultAction::DropProb(0.0));
+            }
+            3 => {
+                let f = rng.gen_range(1.5..3.0);
+                sched = sched
+                    .at(t(start), FaultAction::LatencyFactor(f))
+                    .at(t(end), FaultAction::LatencyFactor(1.0));
+            }
+            4 => {
+                // Partition a random non-empty subset of secondaries off;
+                // primaries, root, and clients stay on the majority side
+                // so agreement keeps running.
+                let total = dep.sim.len();
+                let mut groups = vec![0u32; total];
+                for &s in &dep.secondaries[1..] {
+                    if rng.gen_bool(0.4) {
+                        groups[s.0] = 1;
+                    }
+                }
+                sched = sched
+                    .at(t(start), FaultAction::Partition(groups))
+                    .at(t(end), FaultAction::Heal);
+            }
+            5 => {
+                // Flap the link between a random primary and the root.
+                let p = dep.primaries[rng.gen_range(0..dep.primaries.len())];
+                let period = SimDuration::from_millis(rng.gen_range(300..700));
+                sched = sched.flapping_link(p, dep.secondaries[0], 1.0, period, t(start), t(end));
+            }
+            _ => {
+                // Correlated rack outage: an interior secondary and its
+                // heap children go dark together.
+                let rack = [dep.secondaries[1], dep.secondaries[3], dep.secondaries[4]];
+                sched = sched.crash_rack(t(start), &rack).recover_rack(t(end), &rack);
+            }
+        }
+    }
+    sched
+}
+
+fn submit(dep: &mut Deployment, object: Guid, payload: Vec<u8>) {
+    let client = dep.clients[0];
+    let update = Update::unconditional(vec![Action::Append { ciphertext: payload }]);
+    dep.sim.with_node_ctx(client, |node, ctx| {
+        node.as_client_mut().expect("client").submit(ctx, object, &update)
+    });
+}
+
+/// Runs one seeded fuzz iteration and returns its outcome. Same seed and
+/// opts, same outcome — a failing seed is a bug report.
+pub fn run_fuzz(seed: u64, opts: &FuzzOpts) -> FuzzOutcome {
+    assert!(opts.updates >= 1, "need at least the post-turbulence update");
+    assert!(opts.horizon_ms > opts.turbulence_ms + 2_000, "settle window too small");
+    let mut dep = build_deployment(&DeploymentOpts {
+        latency: SimDuration::from_millis(20),
+        seed,
+        ..DeploymentOpts::default()
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0F0A_A5EE_D0DD_BA11);
+    let schedule = random_schedule(&mut rng, opts, &dep);
+    let object = Guid::from_label(&format!("fuzz-{seed}"));
+
+    // The cursor applies each fault exactly once while we interleave
+    // update submissions at random turbulent instants.
+    let mut cursor = ScheduleCursor::new(schedule.clone());
+    let mut trace = Vec::new();
+    let mut submit_times: Vec<u64> =
+        (1..opts.updates).map(|_| rng.gen_range(500..opts.turbulence_ms)).collect();
+    submit_times.sort_unstable();
+    for (i, at) in submit_times.iter().enumerate() {
+        trace.extend(cursor.run_to(&mut dep.sim, t(*at)));
+        submit(&mut dep, object, format!("fuzz-{seed}-update-{i}").into_bytes());
+    }
+    // Everything heals by the deadline; the final update goes out on a
+    // clean network and flushes stale state via gap pulls.
+    trace.extend(cursor.run_to(&mut dep.sim, t(opts.turbulence_ms + 2_000)));
+    submit(&mut dep, object, format!("fuzz-{seed}-final").into_bytes());
+    trace.extend(cursor.run_to(&mut dep.sim, t(opts.horizon_ms)));
+
+    let report = check_convergence(&dep, &[object])
+        .merge(check_no_committed_loss(&dep, &object, opts.updates as u64))
+        .merge(check_clients_settled(&dep))
+        .merge(check_every_commit_certifies(&dep, &[object]))
+        .merge(check_no_uncertified_records(&dep));
+    FuzzOutcome {
+        seed,
+        schedule,
+        trace,
+        fingerprint: stats_fingerprint(&dep.sim),
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_schedules_heal_by_the_deadline() {
+        let opts = FuzzOpts::default();
+        for seed in 0..20 {
+            let dep = build_deployment(&DeploymentOpts {
+                latency: SimDuration::from_millis(20),
+                seed,
+                ..DeploymentOpts::default()
+            });
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let sched = random_schedule(&mut rng, &opts, &dep);
+            // Every event sits inside the turbulence window.
+            for (at, _) in sched.events() {
+                assert!(*at <= t(opts.turbulence_ms), "event past deadline in seed {seed}");
+            }
+            // Crash/recover counts balance per node.
+            use std::collections::HashMap;
+            let mut balance: HashMap<usize, i64> = HashMap::new();
+            for (_, a) in sched.events() {
+                match a {
+                    FaultAction::Crash(n) => *balance.entry(n.0).or_default() += 1,
+                    FaultAction::Recover(n) => *balance.entry(n.0).or_default() -= 1,
+                    _ => {}
+                }
+            }
+            assert!(balance.values().all(|&v| v == 0), "unbalanced crash in seed {seed}");
+        }
+    }
+
+    #[test]
+    fn schedule_generation_is_deterministic() {
+        let opts = FuzzOpts::default();
+        let dep = build_deployment(&DeploymentOpts::default());
+        let a = random_schedule(&mut ChaCha8Rng::seed_from_u64(7), &opts, &dep);
+        let b = random_schedule(&mut ChaCha8Rng::seed_from_u64(7), &opts, &dep);
+        assert_eq!(a, b);
+    }
+}

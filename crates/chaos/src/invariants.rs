@@ -88,6 +88,72 @@ pub fn check_no_committed_loss(dep: &Deployment, object: &Guid, expected: u64) -
     report
 }
 
+/// Every committed record is certified: for each index below the
+/// committed frontier, at least one *live* primary holds the record with
+/// a valid `m + 1`-of-`n` serialization certificate. This is the
+/// disseminator-failover liveness property — a crashed disseminator must
+/// not leave a committed update stuck uncertified in the tier.
+pub fn check_every_commit_certifies(dep: &Deployment, objects: &[Guid]) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    let threshold = dep.cfg.m + 1;
+    for object in objects {
+        let frontier = committed_frontier(dep, object);
+        for index in 0..frontier {
+            let certified = dep
+                .primaries
+                .iter()
+                .filter(|&&p| !dep.sim.is_down(p))
+                .filter_map(|&p| dep.sim.node(p).as_primary())
+                .any(|prim| {
+                    prim.store.records_from(object, index).iter().any(|r| {
+                        r.index == index
+                            && r.cert.verify_threshold(
+                                &r.signing_bytes(),
+                                &dep.cfg.replica_keys,
+                                threshold,
+                            )
+                    })
+                });
+            if !certified {
+                report.failures.push(format!(
+                    "certify: no live primary holds a valid cert for {object:?}[{index}]"
+                ));
+            }
+        }
+    }
+    report
+}
+
+/// No uncertified record anywhere: every commit record held by every live
+/// honest secondary carries a valid `m + 1`-of-`n` certificate. A
+/// Byzantine peer serving forged records must not get a single byte past
+/// the ingest checks.
+pub fn check_no_uncertified_records(dep: &Deployment) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    let threshold = dep.cfg.m + 1;
+    for &s in &dep.secondaries {
+        if dep.sim.is_down(s) {
+            continue;
+        }
+        let sec = dep.sim.node(s).as_secondary().expect("secondary node");
+        if sec.config().fault != oceanstore_replica::SecondaryFault::Honest {
+            continue; // the liar's own store is not part of the promise
+        }
+        let objects: Vec<Guid> = sec.store.guids().copied().collect();
+        for object in objects {
+            for r in sec.store.records_from(&object, 0) {
+                if !r.cert.verify_threshold(&r.signing_bytes(), &dep.cfg.replica_keys, threshold) {
+                    report.failures.push(format!(
+                        "uncertified: secondary {s:?} stored {object:?}[{}] without a valid cert",
+                        r.index
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
 /// All clients saw their submissions commit (`m + 1` matching replies).
 pub fn check_clients_settled(dep: &Deployment) -> InvariantReport {
     let mut report = InvariantReport::default();

@@ -19,16 +19,20 @@
 //! * [`invariants`] — post-scenario checks over two-tier deployments.
 //! * [`scenarios`] — canned chaos experiments used by the test suite and
 //!   CI's chaos job.
+//! * [`fuzz`] — seeded random fault schedules with the invariant
+//!   checkers as oracle (CI's chaos-fuzz job).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz;
 pub mod invariants;
 pub mod runner;
 pub mod scenarios;
 pub mod schedule;
 
+pub use fuzz::{run_fuzz, FuzzOpts, FuzzOutcome};
 pub use invariants::InvariantReport;
-pub use runner::{run_schedule, stats_fingerprint, TraceEntry};
+pub use runner::{run_schedule, stats_fingerprint, ScheduleCursor, TraceEntry};
 pub use scenarios::ScenarioOutcome;
 pub use schedule::{FaultAction, Schedule};

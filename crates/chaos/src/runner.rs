@@ -48,6 +48,52 @@ pub fn apply<P: Protocol>(sim: &mut Simulator<P>, action: &FaultAction) {
         FaultAction::Heal => sim.set_partitions(None),
         FaultAction::DropProb(p) => sim.set_drop_prob(*p),
         FaultAction::LatencyFactor(f) => sim.set_latency_factor(*f),
+        FaultAction::LinkDrop(a, b, p) => sim.set_link_drop(*a, *b, *p),
+    }
+}
+
+/// Incremental schedule replay: each event is applied exactly once across
+/// any number of [`ScheduleCursor::run_to`] calls.
+///
+/// [`run_schedule`] re-walks its schedule from the first event on every
+/// call, which is fine for the hand-written scenarios (their actions are
+/// idempotent and each call uses a fresh schedule) but wrong for a driver
+/// that interleaves other work — e.g. the fuzzer submitting updates midway
+/// through one generated schedule. Re-applying a `Recover` after a later
+/// `Crash` would silently undo the fault.
+#[derive(Debug, Clone)]
+pub struct ScheduleCursor {
+    schedule: Schedule,
+    next: usize,
+}
+
+impl ScheduleCursor {
+    /// A cursor at the start of `schedule`.
+    pub fn new(schedule: Schedule) -> Self {
+        ScheduleCursor { schedule, next: 0 }
+    }
+
+    /// Runs `sim` to `until`, applying every not-yet-applied event with
+    /// `at <= until` at its instant. Returns the trace of newly applied
+    /// events.
+    pub fn run_to<P: Protocol>(&mut self, sim: &mut Simulator<P>, until: SimTime) -> Vec<TraceEntry> {
+        let mut trace = Vec::new();
+        while let Some((at, action)) = self.schedule.events().get(self.next) {
+            if *at > until {
+                break;
+            }
+            sim.run_until(*at);
+            apply(sim, action);
+            trace.push(TraceEntry { at_micros: at.as_micros(), description: format!("{action:?}") });
+            self.next += 1;
+        }
+        sim.run_until(until);
+        trace
+    }
+
+    /// Whether every event has been applied.
+    pub fn done(&self) -> bool {
+        self.next >= self.schedule.len()
     }
 }
 
@@ -141,6 +187,27 @@ mod tests {
         let trace = run_schedule(&mut s, &sched, SimTime::ZERO + SimDuration::from_secs(1));
         assert!(trace.is_empty());
         assert!(!s.is_down(NodeId(0)));
+    }
+
+    #[test]
+    fn cursor_applies_each_event_once() {
+        let mut s = sim();
+        let sched = Schedule::new()
+            .at(SimTime::ZERO + SimDuration::from_secs(1), FaultAction::Crash(NodeId(1)))
+            .at(SimTime::ZERO + SimDuration::from_secs(2), FaultAction::Recover(NodeId(1)))
+            .at(SimTime::ZERO + SimDuration::from_secs(3), FaultAction::Crash(NodeId(1)));
+        let mut cursor = ScheduleCursor::new(sched);
+        // First segment covers the crash and the recover...
+        let t1 = cursor.run_to(&mut s, SimTime::ZERO + SimDuration::from_millis(2_500));
+        assert_eq!(t1.len(), 2);
+        assert!(!s.is_down(NodeId(1)));
+        assert!(!cursor.done());
+        // ...and the second segment must NOT replay them (run_schedule
+        // would re-recover node 1 here); only the final crash applies.
+        let t2 = cursor.run_to(&mut s, SimTime::ZERO + SimDuration::from_secs(4));
+        assert_eq!(t2.len(), 1);
+        assert!(s.is_down(NodeId(1)));
+        assert!(cursor.done());
     }
 
     #[test]

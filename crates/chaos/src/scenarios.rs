@@ -10,15 +10,16 @@ use std::sync::Arc;
 use oceanstore_naming::guid::Guid;
 use oceanstore_plaxton::build::{build_network, find_root};
 use oceanstore_plaxton::protocol::{PlaxtonConfig, PlaxtonNode};
-use oceanstore_replica::{build_deployment, Deployment, DeploymentOpts};
-use oceanstore_sim::{NodeId, SimDuration, SimTime, Simulator, Topology};
+use oceanstore_replica::{build_deployment, disseminator_for, Deployment, DeploymentOpts};
+use oceanstore_sim::{DropCause, NodeId, SimDuration, SimTime, Simulator, Topology};
 use oceanstore_update::update::Action;
 use oceanstore_update::Update;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::invariants::{
-    check_clients_settled, check_convergence, check_no_committed_loss, InvariantReport,
+    check_clients_settled, check_convergence, check_every_commit_certifies,
+    check_no_committed_loss, check_no_uncertified_records, InvariantReport,
 };
 use crate::runner::{run_schedule, stats_fingerprint, TraceEntry};
 use crate::schedule::{FaultAction, Schedule};
@@ -167,14 +168,16 @@ pub fn leader_crash_view_change(seed: u64) -> ScenarioOutcome {
         seed,
         ..DeploymentOpts::default()
     });
-    // The crashed primary can no longer assemble certificates, so pick an
-    // object whose disseminator rotation (object.low_u64() + index mod n)
-    // dodges member 0 for all three records.
-    let n = dep.primaries.len() as u64;
+    // Deliberately pick an object whose disseminator rotation maps record
+    // 0 onto the crashed leader: share failover must re-route the
+    // certificate assembly past the dead member. (An earlier version of
+    // this scenario dodged member 0 for every record, which masked the
+    // single-disseminator liveness hole this now exercises.)
+    let n = dep.primaries.len();
     let object = (0..)
         .map(|k| Guid::from_label(&format!("chaos-view-{k}")))
-        .find(|g| (0..3).all(|i| (g.low_u64().wrapping_add(i)) % n != 0))
-        .expect("some label dodges member 0");
+        .find(|g| disseminator_for(n, g, 0, 0) == 0)
+        .expect("some label lands on member 0");
     let leader = dep.primaries[0];
     let root = dep.secondaries[0];
 
@@ -192,6 +195,180 @@ pub fn leader_crash_view_change(seed: u64) -> ScenarioOutcome {
     let sec = dep.sim.node(root).as_secondary().expect("root secondary");
     if sec.parent() == Some(leader) {
         report.failures.push(format!("tree root {root:?} still parented to dead leader"));
+    }
+    ScenarioOutcome { trace, fingerprint: stats_fingerprint(&dep.sim), report }
+}
+
+/// Crashes the one primary whose rotation slot makes it the disseminator
+/// of the next record, then submits an update.
+///
+/// The signature shares for record 0 all target the dead member; with
+/// `failover = true` every signer's retry deadline re-routes its share to
+/// the next rotation slot, the certificate assembles on a live member,
+/// and the record reaches the tree. With `failover = false` the shares
+/// pour into the dead node forever and the record never certifies — the
+/// caller asserts the report *fails*.
+pub fn disseminator_crash(failover: bool, seed: u64) -> ScenarioOutcome {
+    let mut dep = build_deployment(&DeploymentOpts {
+        latency: SimDuration::from_millis(20),
+        failover,
+        seed,
+        ..DeploymentOpts::default()
+    });
+    let n = dep.primaries.len();
+    // Record 0's disseminator must not be member 0: crashing the PBFT
+    // leader would entangle this scenario with view changes, which
+    // `leader_crash_view_change` covers.
+    let object = (0..)
+        .map(|k| Guid::from_label(&format!("chaos-dissem-{k}")))
+        .find(|g| disseminator_for(n, g, 0, 0) != 0)
+        .expect("some label dodges member 0");
+    let victim_idx = disseminator_for(n, &object, 0, 0);
+    let victim = dep.primaries[victim_idx];
+
+    let sched = Schedule::new().at(t(500), FaultAction::Crash(victim));
+    let mut trace = run_schedule(&mut dep.sim, &sched, t(1_000));
+    submit(&mut dep, object, b"orphaned-shares");
+    trace.extend(run_schedule(&mut dep.sim, &Schedule::new(), t(15_000)));
+
+    let mut report = check_convergence(&dep, &[object])
+        .merge(check_no_committed_loss(&dep, &object, 1))
+        .merge(check_clients_settled(&dep))
+        .merge(check_every_commit_certifies(&dep, &[object]));
+    if failover {
+        // The failover path must actually have engaged, and only live
+        // signers can have engaged it.
+        let stats = dep.sim.stats();
+        if stats.class("replica/sharerebroadcast").messages == 0 {
+            report.failures.push("failover enabled but no share was ever re-routed".into());
+        }
+        if stats.class_sent_by(victim, "replica/sharerebroadcast").messages > 0 {
+            report.failures.push(format!("crashed disseminator {victim:?} sent retries"));
+        }
+        let live_retries: u64 = dep
+            .primaries
+            .iter()
+            .filter(|&&p| p != victim)
+            .map(|&p| stats.class_sent_by(p, "replica/sharerebroadcast").messages)
+            .sum();
+        if live_retries == 0 {
+            report.failures.push("no live signer re-routed its share".into());
+        }
+    }
+    ScenarioOutcome { trace, fingerprint: stats_fingerprint(&dep.sim), report }
+}
+
+/// One secondary turns Byzantine: it inflates its anti-entropy summaries
+/// to bait peers into pulling, then serves forged, uncertified commit
+/// records. Honest nodes must reject every forgery (certificates are
+/// verified on all ingest paths), keep converging on the genuine stream,
+/// and store nothing uncertified.
+pub fn byzantine_secondary(seed: u64) -> ScenarioOutcome {
+    let liar_idx = 5;
+    let mut dep = build_deployment(&DeploymentOpts {
+        latency: SimDuration::from_millis(20),
+        byzantine_secondaries: vec![liar_idx],
+        seed,
+        ..DeploymentOpts::default()
+    });
+    let object = Guid::from_label("chaos-byzantine");
+    let liar = dep.secondaries[liar_idx];
+
+    submit(&mut dep, object, b"genuine-1");
+    let mut trace = run_schedule(&mut dep.sim, &Schedule::new(), t(4_000));
+    submit(&mut dep, object, b"genuine-2");
+    // Long tail so several anti-entropy rounds spread the liar's bait.
+    trace.extend(run_schedule(&mut dep.sim, &Schedule::new(), t(15_000)));
+
+    let mut report = check_convergence(&dep, &[object])
+        .merge(check_no_committed_loss(&dep, &object, 2))
+        .merge(check_clients_settled(&dep))
+        .merge(check_no_uncertified_records(&dep))
+        .merge(check_every_commit_certifies(&dep, &[object]));
+    let honest_rejects: u64 = dep
+        .secondaries
+        .iter()
+        .filter(|&&s| s != liar)
+        .filter_map(|&s| dep.sim.node(s).as_secondary())
+        .map(|sec| sec.rejected_count())
+        .sum();
+    if honest_rejects == 0 {
+        report.failures.push("no honest node ever saw (and rejected) a forgery".into());
+    }
+    ScenarioOutcome { trace, fingerprint: stats_fingerprint(&dep.sim), report }
+}
+
+/// A correlated failure: one whole "rack" — an interior tree node and
+/// both of its children — loses power at the same instant, an update
+/// commits during the outage, and the rack later comes back with state
+/// intact. The revived nodes must catch up on everything they missed.
+pub fn rack_failure(seed: u64) -> ScenarioOutcome {
+    let mut dep = build_deployment(&DeploymentOpts {
+        latency: SimDuration::from_millis(20),
+        seed,
+        ..DeploymentOpts::default()
+    });
+    let object = Guid::from_label("chaos-rack");
+    let rack = [dep.secondaries[1], dep.secondaries[3], dep.secondaries[4]];
+
+    submit(&mut dep, object, b"before-outage");
+    let sched =
+        Schedule::new().crash_rack(t(2_050), &rack).recover_rack(t(8_000), &rack);
+    let mut trace = run_schedule(&mut dep.sim, &sched, t(3_000));
+    submit(&mut dep, object, b"during-outage");
+    trace.extend(run_schedule(&mut dep.sim, &sched, t(12_000)));
+    submit(&mut dep, object, b"after-recovery");
+    trace.extend(run_schedule(&mut dep.sim, &Schedule::new(), t(18_000)));
+
+    let report = check_convergence(&dep, &[object])
+        .merge(check_no_committed_loss(&dep, &object, 3))
+        .merge(check_clients_settled(&dep))
+        .merge(check_every_commit_certifies(&dep, &[object]));
+    ScenarioOutcome { trace, fingerprint: stats_fingerprint(&dep.sim), report }
+}
+
+/// Flaps the link between primary 0 and the tree root: full loss and
+/// normal service alternate every 400 ms for almost five seconds. The
+/// object is chosen so the mid-flap record is disseminated by primary 0
+/// across exactly that link. Heartbeat churn, re-parenting, and gap-pull
+/// repair must still deliver every record everywhere once the link calms.
+pub fn link_flap(seed: u64) -> ScenarioOutcome {
+    let mut dep = build_deployment(&DeploymentOpts {
+        latency: SimDuration::from_millis(20),
+        seed,
+        ..DeploymentOpts::default()
+    });
+    let n = dep.primaries.len();
+    // Record 1 (the one submitted mid-flap) must be disseminated by
+    // member 0, whose link to the root is the one flapping.
+    let object = (0..)
+        .map(|k| Guid::from_label(&format!("chaos-flap-{k}")))
+        .find(|g| disseminator_for(n, g, 1, 0) == 0)
+        .expect("some label lands record 1 on member 0");
+    let p0 = dep.primaries[0];
+    let root = dep.secondaries[0];
+
+    submit(&mut dep, object, b"calm-before");
+    let sched = Schedule::new().flapping_link(
+        p0,
+        root,
+        1.0,
+        SimDuration::from_millis(400),
+        t(2_100),
+        t(6_900),
+    );
+    let mut trace = run_schedule(&mut dep.sim, &sched, t(2_500));
+    submit(&mut dep, object, b"through-the-flap");
+    trace.extend(run_schedule(&mut dep.sim, &sched, t(8_000)));
+    submit(&mut dep, object, b"calm-after");
+    trace.extend(run_schedule(&mut dep.sim, &Schedule::new(), t(16_000)));
+
+    let mut report = check_convergence(&dep, &[object])
+        .merge(check_no_committed_loss(&dep, &object, 3))
+        .merge(check_clients_settled(&dep))
+        .merge(check_every_commit_certifies(&dep, &[object]));
+    if dep.sim.stats().dropped_by_cause(DropCause::LinkFlap) == 0 {
+        report.failures.push("flap schedule never actually dropped a message".into());
     }
     ScenarioOutcome { trace, fingerprint: stats_fingerprint(&dep.sim), report }
 }

@@ -5,7 +5,7 @@
 //! be replayed against any number of simulations (or printed as the
 //! scenario's specification).
 
-use oceanstore_sim::{NodeId, SimTime};
+use oceanstore_sim::{NodeId, SimDuration, SimTime};
 
 /// One fault (or repair) applied to the network at a scheduled instant.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +22,9 @@ pub enum FaultAction {
     DropProb(f64),
     /// Stretch (factor > 1) or restore (factor = 1) every link latency.
     LatencyFactor(f64),
+    /// Set the drop probability of one (bidirectional) link; `0.0`
+    /// restores it. Models a flapping or lossy individual link.
+    LinkDrop(NodeId, NodeId, f64),
 }
 
 /// A time-ordered fault schedule.
@@ -43,6 +46,43 @@ impl Schedule {
         self.events.push((at, action));
         self.events.sort_by_key(|(t, _)| *t);
         self
+    }
+
+    /// Crashes every node of `rack` at `at` — a correlated failure (one
+    /// rack, switch, or availability zone going dark), as opposed to the
+    /// independent single-node crashes of the basic scenarios.
+    pub fn crash_rack(self, at: SimTime, rack: &[NodeId]) -> Self {
+        rack.iter().fold(self, |s, &n| s.at(at, FaultAction::Crash(n)))
+    }
+
+    /// Recovers every node of `rack` at `at` (state intact — the rack's
+    /// power came back).
+    pub fn recover_rack(self, at: SimTime, rack: &[NodeId]) -> Self {
+        rack.iter().fold(self, |s, &n| s.at(at, FaultAction::Recover(n)))
+    }
+
+    /// Makes the `a`–`b` link flap: starting at `from`, the link
+    /// alternates between dropping messages with probability `drop_prob`
+    /// and behaving normally, switching every `period`, until a final
+    /// restore at `until`.
+    pub fn flapping_link(
+        mut self,
+        a: NodeId,
+        b: NodeId,
+        drop_prob: f64,
+        period: SimDuration,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        let mut at = from;
+        let mut bad = true;
+        while at < until {
+            let p = if bad { drop_prob } else { 0.0 };
+            self = self.at(at, FaultAction::LinkDrop(a, b, p));
+            at += period;
+            bad = !bad;
+        }
+        self.at(until, FaultAction::LinkDrop(a, b, 0.0))
     }
 
     /// The events in replay order.
@@ -88,5 +128,38 @@ mod tests {
             .at(t(2), FaultAction::Crash(NodeId(2)));
         assert_eq!(s.events()[0].1, FaultAction::Crash(NodeId(1)));
         assert_eq!(s.events()[1].1, FaultAction::Crash(NodeId(2)));
+    }
+
+    #[test]
+    fn rack_builders_expand_to_per_node_events() {
+        let rack = [NodeId(4), NodeId(5)];
+        let s = Schedule::new().crash_rack(t(1), &rack).recover_rack(t(2), &rack);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.events()[0].1, FaultAction::Crash(NodeId(4)));
+        assert_eq!(s.events()[1].1, FaultAction::Crash(NodeId(5)));
+        assert_eq!(s.events()[2].1, FaultAction::Recover(NodeId(4)));
+        assert_eq!(s.events()[3].1, FaultAction::Recover(NodeId(5)));
+    }
+
+    #[test]
+    fn flapping_link_alternates_and_finally_restores() {
+        let s = Schedule::new().flapping_link(
+            NodeId(0),
+            NodeId(1),
+            0.8,
+            SimDuration::from_secs(1),
+            t(10),
+            t(13),
+        );
+        let probs: Vec<f64> = s
+            .events()
+            .iter()
+            .map(|(_, a)| match a {
+                FaultAction::LinkDrop(_, _, p) => *p,
+                other => panic!("unexpected action {other:?}"),
+            })
+            .collect();
+        assert_eq!(probs, vec![0.8, 0.0, 0.8, 0.0]);
+        assert_eq!(s.events().last().unwrap().0, t(13));
     }
 }

@@ -1,0 +1,60 @@
+//! Schedule fuzzing — CI runs this as the `chaos-fuzz` job.
+//!
+//! A fixed seed range replays deterministically: a failure here prints
+//! the reproducing seed (and the generated schedule) in the panic
+//! message, so `run_fuzz(<seed>, &FuzzOpts::default())` replays the bug
+//! locally bit-for-bit.
+
+use oceanstore_chaos::fuzz::{run_fuzz, FuzzOpts};
+use proptest::prelude::*;
+
+/// The fixed seed range CI sweeps. Every generated schedule is
+/// survivable by construction, so all invariants must hold.
+#[test]
+fn fixed_seed_sweep_holds_all_invariants() {
+    let opts = FuzzOpts::default();
+    for seed in 0..50u64 {
+        let out = run_fuzz(seed, &opts);
+        assert!(
+            out.report.passed(),
+            "fuzz seed {seed} broke invariants: {:#?}\nreproduce with run_fuzz({seed}, \
+             &FuzzOpts::default()); schedule was: {:#?}",
+            out.report.failures,
+            out.schedule,
+        );
+    }
+}
+
+/// Same seed, same everything: trace, fingerprint, and verdict.
+#[test]
+fn fuzz_runs_are_deterministic() {
+    let opts = FuzzOpts::default();
+    for seed in [3u64, 17, 41] {
+        let a = run_fuzz(seed, &opts);
+        let b = run_fuzz(seed, &opts);
+        assert_eq!(a.trace, b.trace, "trace diverged for seed {seed}");
+        assert_eq!(a.fingerprint, b.fingerprint, "stats diverged for seed {seed}");
+        assert_eq!(a.report.failures, b.report.failures, "verdict diverged for seed {seed}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property form: arbitrary seeds and fault/update counts still
+    /// produce survivable schedules whose invariants hold.
+    #[test]
+    fn arbitrary_seeds_hold_invariants(
+        seed in 1_000u64..1_000_000,
+        faults in 2usize..8,
+        updates in 1usize..4,
+    ) {
+        let opts = FuzzOpts { faults, updates, ..FuzzOpts::default() };
+        let out = run_fuzz(seed, &opts);
+        prop_assert!(
+            out.report.passed(),
+            "fuzz seed {} (faults={}, updates={}) broke invariants: {:#?}",
+            seed, faults, updates, out.report.failures,
+        );
+    }
+}

@@ -67,6 +67,56 @@ fn leader_crash_view_changes_and_tree_rewires() {
 }
 
 #[test]
+fn disseminator_crash_passes_with_failover() {
+    let out = scenarios::disseminator_crash(true, 7);
+    assert!(out.report.passed(), "invariants failed: {:#?}", out.report.failures);
+}
+
+#[test]
+fn disseminator_crash_fails_without_failover() {
+    let out = scenarios::disseminator_crash(false, 7);
+    assert!(
+        !out.report.passed(),
+        "without failover the record must never certify or disseminate"
+    );
+    assert!(
+        out.report
+            .failures
+            .iter()
+            .any(|f| f.starts_with("certify:") || f.starts_with("convergence:")),
+        "the failure must be a certification/convergence failure, got: {:#?}",
+        out.report.failures
+    );
+}
+
+#[test]
+fn disseminator_crash_is_deterministic() {
+    let a = scenarios::disseminator_crash(true, 21);
+    let b = scenarios::disseminator_crash(true, 21);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.fingerprint, b.fingerprint);
+}
+
+#[test]
+fn byzantine_secondary_never_pollutes_honest_stores() {
+    let out = scenarios::byzantine_secondary(9);
+    assert!(out.report.passed(), "invariants failed: {:#?}", out.report.failures);
+}
+
+#[test]
+fn rack_failure_recovers_and_catches_up() {
+    let out = scenarios::rack_failure(17);
+    assert!(out.report.passed(), "invariants failed: {:#?}", out.report.failures);
+    assert!(out.trace.len() >= 6, "three crashes and three recoveries must trace");
+}
+
+#[test]
+fn flapping_root_link_still_converges() {
+    let out = scenarios::link_flap(19);
+    assert!(out.report.passed(), "invariants failed: {:#?}", out.report.failures);
+}
+
+#[test]
 fn locate_survives_root_crash_and_drop_burst() {
     let out = scenarios::locate_under_churn(13);
     assert!(out.report.passed(), "invariants failed: {:#?}", out.report.failures);

@@ -628,9 +628,11 @@ impl Replica {
         }
     }
 
-    /// Timer dispatch (called by the enclosing protocol node).
+    /// Timer dispatch (called by the enclosing protocol node). Tags
+    /// outside the view-alarm band belong to other sub-protocols sharing
+    /// the node's timer namespace and are ignored here.
     pub fn on_timer(&mut self, ctx: &mut Context<'_, PbftMsg>, tag: u64) {
-        if tag >= TIMER_VIEW_BASE {
+        if (TIMER_VIEW_BASE..TIMER_VIEW_BASE << 1).contains(&tag) {
             self.on_view_alarm(ctx, tag - TIMER_VIEW_BASE);
         }
     }

@@ -2,6 +2,46 @@
 
 use oceanstore_sim::{NodeId, SimDuration};
 
+/// Disseminator-failover knobs for the primary tier.
+///
+/// A record's serialization certificate is assembled by one rotating
+/// member; if that member is crashed the signature shares go nowhere and
+/// the record never reaches the dissemination tree. With failover enabled
+/// every signer re-broadcasts its share to the next member in rotation
+/// order (`(base + attempt) % n`) whenever no certificate materializes
+/// within the deadline, so any `f + 1` consecutive rotation slots contain
+/// at least one live disseminator.
+#[derive(Debug, Clone)]
+pub struct FailoverConfig {
+    /// Whether share re-broadcast runs at all. Disable to demonstrate the
+    /// single-disseminator liveness hole (chaos `disseminator_crash`).
+    pub enabled: bool,
+    /// How long a signer waits for the certificate before re-routing its
+    /// share to the next fallback disseminator.
+    pub share_retry_timeout: SimDuration,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig { enabled: true, share_retry_timeout: SimDuration::from_millis(500) }
+    }
+}
+
+/// Fault behavior of a secondary replica (the tier is built from
+/// "untrusted infrastructure", so the chaos suite needs servers that lie,
+/// not just servers that stop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SecondaryFault {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Byzantine: inflates its anti-entropy summaries to bait pulls, then
+    /// serves forged, uncertified commit records on the pull path. Honest
+    /// peers must reject every byte of it (certificates are checked on
+    /// *all* ingest paths).
+    ForgeOnServe,
+}
+
 /// How a dissemination-tree parent feeds one child.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChildMode {
@@ -46,6 +86,8 @@ pub struct SecondaryConfig {
     /// After this many FetchCommits pulls with no Commits response, pull
     /// from a random gossip peer instead of the (possibly dead) parent.
     pub max_unanswered_pulls: u32,
+    /// Fault behavior of this replica (Byzantine chaos scenarios).
+    pub fault: SecondaryFault,
 }
 
 impl Default for SecondaryConfig {
@@ -63,6 +105,7 @@ impl Default for SecondaryConfig {
             parent_timeout: SimDuration::from_millis(1000),
             reparent_enabled: true,
             max_unanswered_pulls: 3,
+            fault: SecondaryFault::Honest,
         }
     }
 }

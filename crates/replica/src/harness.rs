@@ -7,7 +7,7 @@ use oceanstore_crypto::schnorr::KeyPair;
 use oceanstore_sim::{NodeId, SimDuration, Simulator, Topology};
 
 use crate::client::UpdateClient;
-use crate::config::{ChildMode, SecondaryConfig};
+use crate::config::{ChildMode, FailoverConfig, SecondaryConfig, SecondaryFault};
 use crate::node::OceanNode;
 use crate::primary::Primary;
 use crate::secondary::Secondary;
@@ -32,6 +32,11 @@ pub struct DeploymentOpts {
     /// [`SecondaryConfig`] default). Chaos scenarios stretch this to
     /// isolate the dissemination tree from the epidemic repair path.
     pub anti_entropy: Option<SimDuration>,
+    /// Whether signers re-route their shares past a crashed disseminator.
+    /// Disable to demonstrate the single-disseminator liveness hole.
+    pub failover: bool,
+    /// Secondary indices that run [`SecondaryFault::ForgeOnServe`].
+    pub byzantine_secondaries: Vec<usize>,
     /// RNG/key seed.
     pub seed: u64,
 }
@@ -46,6 +51,8 @@ impl Default for DeploymentOpts {
             invalidate_leaves: Vec::new(),
             reparent: true,
             anti_entropy: None,
+            failover: true,
+            byzantine_secondaries: Vec::new(),
             seed: 1,
         }
     }
@@ -106,13 +113,20 @@ pub fn build_deployment(opts: &DeploymentOpts) -> Deployment {
         }
     };
     let mut nodes: Vec<OceanNode> = Vec::with_capacity(total);
+    // The retry deadline must outlast a disseminator's normal assembly
+    // round-trip (share in, commit out) or healthy records double-send.
+    let failover = FailoverConfig {
+        enabled: opts.failover,
+        share_retry_timeout: SimDuration::from_micros(opts.latency.as_micros() * 25),
+    };
     for (i, kp) in replica_keys.into_iter().enumerate() {
-        nodes.push(OceanNode::Primary(Primary::new(
+        nodes.push(OceanNode::Primary(Primary::with_failover(
             cfg.clone(),
             i,
             kp,
             FaultMode::Honest,
             vec![(secondaries[0], child_mode(0))],
+            failover.clone(),
         )));
     }
     for j in 0..s {
@@ -152,6 +166,11 @@ pub fn build_deployment(opts: &DeploymentOpts) -> Deployment {
             heartbeat_interval: SimDuration::from_micros(opts.latency.as_micros() * 5),
             parent_timeout: SimDuration::from_micros(opts.latency.as_micros() * 25),
             reparent_enabled: opts.reparent,
+            fault: if opts.byzantine_secondaries.contains(&j) {
+                SecondaryFault::ForgeOnServe
+            } else {
+                SecondaryFault::Honest
+            },
             ..defaults
         };
         nodes.push(OceanNode::Secondary(Secondary::new(

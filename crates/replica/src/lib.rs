@@ -25,11 +25,11 @@ pub mod secondary;
 pub mod store;
 
 pub use client::UpdateClient;
-pub use config::{ChildMode, SecondaryConfig};
+pub use config::{ChildMode, FailoverConfig, SecondaryConfig, SecondaryFault};
 pub use harness::{build_deployment, Deployment, DeploymentOpts};
 pub use messages::{CommitRecord, ReplicaMsg, TentativeId};
 pub use node::OceanNode;
-pub use primary::Primary;
+pub use primary::{disseminator_for, Primary};
 pub use secondary::Secondary;
 pub use store::{ObjectStore, ObjectState};
 

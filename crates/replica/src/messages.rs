@@ -94,6 +94,38 @@ pub enum ReplicaMsg {
         /// Signature over the record's signing bytes.
         sig: Signature,
     },
+    /// A signature share re-routed to a fallback disseminator after the
+    /// original failed to certify the record within the deadline. The
+    /// fallback for attempt `a` is tier member `(base + a) % n`, so any
+    /// `f + 1` consecutive attempts reach at least one live member.
+    ShareRebroadcast {
+        /// Record being vouched for (without a cert yet).
+        object: Guid,
+        /// Per-object serialization index.
+        index: u64,
+        /// Digest of the encoded update.
+        update_digest: [u8; 20],
+        /// Resulting version (None = abort).
+        version: Option<u64>,
+        /// Tier index of the signer.
+        replica: usize,
+        /// Signature over the record's signing bytes.
+        sig: Signature,
+        /// Failover attempt number (1 = first fallback).
+        attempt: u64,
+    },
+    /// Tier-internal: the serialization certificate for `(object, index)`
+    /// exists. Signers stop their retry timers, and every member stores
+    /// the cert so *any* live primary can serve the record on the pull
+    /// path (not just the disseminator that assembled it).
+    CertFormed {
+        /// The certified object.
+        object: Guid,
+        /// Per-object serialization index.
+        index: u64,
+        /// The assembled `m + 1`-of-`n` certificate.
+        cert: SerializationCert,
+    },
     /// A certified commit pushed down the dissemination tree (Figure 5c).
     Commit(CommitRecord),
     /// Leaf-edge transformation: "dissemination trees transform updates
@@ -151,6 +183,10 @@ impl Message for ReplicaMsg {
             ReplicaMsg::ResultShare { .. } => {
                 Guid::WIRE_SIZE + 8 + 20 + 9 + 8 + Signature::WIRE_SIZE
             }
+            ReplicaMsg::ShareRebroadcast { .. } => {
+                Guid::WIRE_SIZE + 8 + 20 + 9 + 8 + Signature::WIRE_SIZE + 8
+            }
+            ReplicaMsg::CertFormed { cert, .. } => Guid::WIRE_SIZE + 8 + cert.wire_size(),
             ReplicaMsg::Commit(r) => r.wire_size(),
             ReplicaMsg::Invalidate { .. } => Guid::WIRE_SIZE + 24,
             ReplicaMsg::FetchCommits { .. } => Guid::WIRE_SIZE + 16,
@@ -171,6 +207,8 @@ impl Message for ReplicaMsg {
             ReplicaMsg::Pbft(m) => m.class(),
             ReplicaMsg::Tentative { .. } => "replica/tentative",
             ReplicaMsg::ResultShare { .. } => "replica/resultshare",
+            ReplicaMsg::ShareRebroadcast { .. } => "replica/sharerebroadcast",
+            ReplicaMsg::CertFormed { .. } => "replica/certformed",
             ReplicaMsg::Commit(_) => "replica/commit",
             ReplicaMsg::Invalidate { .. } => "replica/invalidate",
             ReplicaMsg::FetchCommits { .. } => "replica/fetch",

@@ -76,11 +76,26 @@ impl Protocol for OceanNode {
         match self {
             OceanNode::Primary(p) => match msg {
                 ReplicaMsg::Pbft(inner) => p.on_pbft(ctx, from, inner),
-                ReplicaMsg::ResultShare { object, index, update_digest, version, replica, sig } => {
+                ReplicaMsg::ResultShare { object, index, update_digest, version, replica, sig }
+                | ReplicaMsg::ShareRebroadcast {
+                    object,
+                    index,
+                    update_digest,
+                    version,
+                    replica,
+                    sig,
+                    ..
+                } => {
                     p.on_result_share(ctx, object, index, update_digest, version, replica, sig);
+                }
+                ReplicaMsg::CertFormed { object, index, cert } => {
+                    p.on_cert_formed(ctx, object, index, cert);
                 }
                 ReplicaMsg::FetchCommits { object, from_index } => {
                     p.on_fetch(ctx, from, object, from_index);
+                }
+                ReplicaMsg::AntiEntropy { object, committed_index, .. } => {
+                    p.on_anti_entropy(ctx, from, object, committed_index);
                 }
                 ReplicaMsg::Ping => ctx.send(from, ReplicaMsg::Pong),
                 ReplicaMsg::Attach => p.on_attach(ctx, from),
@@ -120,7 +135,7 @@ impl Protocol for OceanNode {
 
     fn on_timer(&mut self, ctx: &mut Context<'_, ReplicaMsg>, tag: u64) {
         match self {
-            OceanNode::Primary(p) => p.on_pbft_timer(ctx, tag),
+            OceanNode::Primary(p) => p.on_timer(ctx, tag),
             OceanNode::Secondary(s) => s.on_timer(ctx, tag),
             OceanNode::Client(c) => c.on_timer(ctx, tag),
             OceanNode::Idle => {}

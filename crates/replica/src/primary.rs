@@ -20,9 +20,37 @@ use oceanstore_naming::guid::Guid;
 use oceanstore_sim::{Context, NodeId};
 use oceanstore_update::decode_update;
 
-use crate::config::ChildMode;
+use crate::config::{ChildMode, FailoverConfig};
 use crate::messages::{CommitRecord, ReplicaMsg, TentativeId};
 use crate::store::ObjectStore;
+
+/// Timer tag namespace claimed by the share-retry machinery. The embedded
+/// PBFT replica owns `[1 << 40, 1 << 41)` (view alarms) and the client
+/// `[1 << 48, ...)` (retransmission); share-retry tokens live in
+/// `[1 << 44, 1 << 45)` so the three layers never misread each other's
+/// timers.
+const TIMER_SHARE_BASE: u64 = 1 << 44;
+/// Width of the share-retry tag namespace.
+const TIMER_SHARE_SPAN: u64 = 1 << 44;
+
+/// Which tier member disseminates record `index` of `object` on failover
+/// `attempt` (0 = the original rotation choice). Consecutive attempts walk
+/// consecutive members mod `n`, so attempts `0..=f` cover `f + 1` distinct
+/// members — with at most `f` crashed, at least one is live.
+pub fn disseminator_for(n: usize, object: &Guid, index: u64, attempt: u64) -> usize {
+    (object.low_u64().wrapping_add(index).wrapping_add(attempt) % n as u64) as usize
+}
+
+/// One signer's outstanding share, still waiting for its certificate.
+#[derive(Debug)]
+struct PendingShare {
+    /// Our signature over the record's signing bytes.
+    sig: Signature,
+    /// Failover attempts made so far (0 = only the original send).
+    attempt: u64,
+    /// Retry-timer token (stable for the life of the entry).
+    token: u64,
+}
 
 /// Encodes an agreement payload: object GUID followed by the encoded
 /// update.
@@ -59,8 +87,22 @@ pub struct Primary {
     drained: usize,
     /// Certificate assembly: (object, index) → (record, cert so far).
     assembling: HashMap<(Guid, u64), (CommitRecord, SerializationCert)>,
-    /// Records already disseminated (so late shares don't re-send).
+    /// Records whose certificate exists (assembled here or observed via
+    /// `CertFormed`), so late shares don't trigger a second dissemination.
     disseminated: std::collections::HashSet<(Guid, u64)>,
+    /// Disseminator-failover knobs.
+    failover: FailoverConfig,
+    /// Shares we signed that still lack a certificate, keyed by record.
+    pending: HashMap<(Guid, u64), PendingShare>,
+    /// Retry-timer token → the record it guards.
+    retry_tokens: HashMap<u64, (Guid, u64)>,
+    /// Next retry-timer token.
+    next_token: u64,
+    /// Certificates observed via `CertFormed` before we executed the
+    /// record ourselves (verified and attached at execution time).
+    early_certs: HashMap<(Guid, u64), SerializationCert>,
+    /// Total share re-broadcasts sent (failover engagement accounting).
+    share_retries: u64,
 }
 
 impl Primary {
@@ -71,6 +113,18 @@ impl Primary {
         keypair: KeyPair,
         fault: oceanstore_consensus::replica::FaultMode,
         children: Vec<(NodeId, ChildMode)>,
+    ) -> Self {
+        Primary::with_failover(cfg, index, keypair, fault, children, FailoverConfig::default())
+    }
+
+    /// Like [`Primary::new`] with explicit disseminator-failover knobs.
+    pub fn with_failover(
+        cfg: TierConfig,
+        index: usize,
+        keypair: KeyPair,
+        fault: oceanstore_consensus::replica::FaultMode,
+        children: Vec<(NodeId, ChildMode)>,
+        failover: FailoverConfig,
     ) -> Self {
         let pbft = Replica::new(cfg.clone(), index, keypair.clone(), fault);
         Primary {
@@ -83,6 +137,12 @@ impl Primary {
             drained: 0,
             assembling: HashMap::new(),
             disseminated: Default::default(),
+            failover,
+            pending: HashMap::new(),
+            retry_tokens: HashMap::new(),
+            next_token: 0,
+            early_certs: HashMap::new(),
+            share_retries: 0,
         }
     }
 
@@ -96,11 +156,24 @@ impl Primary {
         &self.pbft
     }
 
-    /// Which tier member disseminates record `index` of `object`
-    /// (rotation keyed by object and index so one faulty member only
-    /// stalls a slice of traffic).
-    fn disseminator(&self, object: &Guid, index: u64) -> usize {
-        ((object.low_u64().wrapping_add(index)) % self.cfg.n() as u64) as usize
+    /// Which tier member disseminates record `index` of `object` on
+    /// failover `attempt` (rotation keyed by object and index so one
+    /// faulty member only stalls a slice of traffic).
+    pub fn disseminator(&self, object: &Guid, index: u64, attempt: u64) -> usize {
+        disseminator_for(self.cfg.n(), object, index, attempt)
+    }
+
+    /// Total share re-broadcasts this primary has sent (failover
+    /// engagement accounting for the chaos suite).
+    pub fn share_retry_count(&self) -> u64 {
+        self.share_retries
+    }
+
+    /// Whether a valid certificate for `(object, index)` is stored here.
+    pub fn has_cert(&self, object: &Guid, index: u64) -> bool {
+        self.store
+            .get(object)
+            .is_some_and(|st| st.records.iter().any(|r| r.index == index && !r.cert.is_empty()))
     }
 
     /// Handles an embedded agreement message, then turns any newly
@@ -108,6 +181,16 @@ impl Primary {
     pub fn on_pbft(&mut self, ctx: &mut Context<'_, ReplicaMsg>, from: NodeId, msg: PbftMsg) {
         ctx.with_inner(ReplicaMsg::Pbft, |ictx| self.pbft.on_message(ictx, from, msg));
         self.drain_executed(ctx);
+    }
+
+    /// Timer dispatch: share-retry tokens are handled here, everything
+    /// else belongs to the embedded agreement replica.
+    pub fn on_timer(&mut self, ctx: &mut Context<'_, ReplicaMsg>, tag: u64) {
+        if (TIMER_SHARE_BASE..TIMER_SHARE_BASE + TIMER_SHARE_SPAN).contains(&tag) {
+            self.on_share_retry(ctx, tag - TIMER_SHARE_BASE);
+        } else {
+            self.on_pbft_timer(ctx, tag);
+        }
     }
 
     /// Forwards an agreement timer.
@@ -132,9 +215,24 @@ impl Primary {
                 entry.timestamp,
                 id,
             );
+            let key = (object, record.index);
+            // A certificate may have been observed (via `CertFormed`)
+            // before we executed this far; attach it and skip the share
+            // routing — the record is already certified tier-wide.
+            if let Some(cert) = self.early_certs.remove(&key) {
+                if cert.verify_threshold(
+                    &record.signing_bytes(),
+                    &self.cfg.replica_keys,
+                    self.cfg.m + 1,
+                ) {
+                    self.store.set_cert(&object, record.index, cert);
+                    self.disseminated.insert(key);
+                    continue;
+                }
+            }
             // Sign and route the share to the disseminator.
             let sig = self.keypair.sign(&record.signing_bytes());
-            let diss = self.disseminator(&object, record.index);
+            let diss = self.disseminator(&object, record.index, 0);
             let share = ReplicaMsg::ResultShare {
                 object,
                 index: record.index,
@@ -143,10 +241,116 @@ impl Primary {
                 replica: self.index,
                 sig,
             };
+            // Arm the failover deadline before routing: if no certificate
+            // materializes, the share walks the fallback rotation.
+            if self.failover.enabled && !self.disseminated.contains(&key) {
+                let token = self.next_token;
+                self.next_token += 1;
+                self.pending.insert(key, PendingShare { sig, attempt: 0, token });
+                self.retry_tokens.insert(token, key);
+                ctx.set_timer(self.failover.share_retry_timeout, TIMER_SHARE_BASE + token);
+            }
             if diss == self.index {
                 self.accept_share(ctx, object, record.index, self.index, sig);
             } else {
                 ctx.send(self.cfg.members[diss], share);
+            }
+        }
+    }
+
+    /// A retry deadline expired: if the record is still uncertified,
+    /// re-broadcast our share to the next fallback disseminator in
+    /// rotation order and re-arm the deadline.
+    fn on_share_retry(&mut self, ctx: &mut Context<'_, ReplicaMsg>, token: u64) {
+        let Some(&(object, index)) = self.retry_tokens.get(&token) else {
+            return; // certificate formed; the timer is stale
+        };
+        let (sig, attempt) = match self.pending.get_mut(&(object, index)) {
+            Some(entry) => {
+                entry.attempt += 1;
+                (entry.sig, entry.attempt)
+            }
+            None => {
+                self.retry_tokens.remove(&token);
+                return;
+            }
+        };
+        let Some(record) = self
+            .store
+            .records_from(&object, index)
+            .into_iter()
+            .next()
+            .filter(|r| r.index == index)
+        else {
+            return;
+        };
+        self.share_retries += 1;
+        let target = self.disseminator(&object, index, attempt);
+        if target == self.index {
+            self.accept_share(ctx, object, index, self.index, sig);
+        } else {
+            ctx.send(
+                self.cfg.members[target],
+                ReplicaMsg::ShareRebroadcast {
+                    object,
+                    index,
+                    update_digest: oceanstore_crypto::sha1::sha1(&record.update),
+                    version: record.version,
+                    replica: self.index,
+                    sig,
+                    attempt,
+                },
+            );
+        }
+        // Still uncertified (accept_share clears the entry when the cert
+        // assembles locally): keep walking the rotation.
+        if self.pending.contains_key(&(object, index)) {
+            ctx.set_timer(self.failover.share_retry_timeout, TIMER_SHARE_BASE + token);
+        }
+    }
+
+    /// Drops the retry state for a now-certified record.
+    fn clear_pending(&mut self, key: &(Guid, u64)) {
+        if let Some(entry) = self.pending.remove(key) {
+            self.retry_tokens.remove(&entry.token);
+        }
+    }
+
+    /// Handles a tier member's announcement that `(object, index)` is
+    /// certified: verify, persist the cert, and stop retrying.
+    pub fn on_cert_formed(
+        &mut self,
+        ctx: &mut Context<'_, ReplicaMsg>,
+        object: Guid,
+        index: u64,
+        cert: SerializationCert,
+    ) {
+        let _ = ctx;
+        let key = (object, index);
+        let record = self
+            .store
+            .records_from(&object, index)
+            .into_iter()
+            .next()
+            .filter(|r| r.index == index);
+        match record {
+            Some(record) => {
+                if !cert.verify_threshold(
+                    &record.signing_bytes(),
+                    &self.cfg.replica_keys,
+                    self.cfg.m + 1,
+                ) {
+                    return; // forged or partial certificate
+                }
+                self.store.set_cert(&object, index, cert);
+                self.disseminated.insert(key);
+                self.assembling.remove(&key);
+                self.clear_pending(&key);
+            }
+            None => {
+                // Not executed this far yet; verified once the record
+                // exists (drain_executed).
+                self.early_certs.insert(key, cert);
             }
         }
     }
@@ -191,6 +395,24 @@ impl Primary {
         sig: Signature,
     ) {
         if self.disseminated.contains(&(object, index)) {
+            // The cert already exists; a share arriving now is a signer
+            // (possibly a crash-recovered straggler) that never saw it —
+            // answer with the certificate so its retry loop stops.
+            if replica != self.index {
+                let cert = self
+                    .store
+                    .records_from(&object, index)
+                    .into_iter()
+                    .next()
+                    .filter(|r| r.index == index && !r.cert.is_empty())
+                    .map(|r| r.cert);
+                if let Some(cert) = cert {
+                    ctx.send(
+                        self.cfg.members[replica],
+                        ReplicaMsg::CertFormed { object, index, cert },
+                    );
+                }
+            }
             return;
         }
         let record = {
@@ -217,8 +439,17 @@ impl Primary {
                 .expect("entry just touched");
             record.cert = cert.clone();
             // Persist the cert so fetch responses serve verifiable records.
-            self.store.set_cert(&object, index, cert);
+            self.store.set_cert(&object, index, cert.clone());
             self.disseminated.insert((object, index));
+            self.clear_pending(&(object, index));
+            // Tell the rest of the tier: signers stop their failover
+            // retries, and every member becomes able to serve the
+            // certified record on the pull path.
+            for (i, member) in self.cfg.members.iter().enumerate() {
+                if i != self.index {
+                    ctx.send(*member, ReplicaMsg::CertFormed { object, index, cert: cert.clone() });
+                }
+            }
             for (child, mode) in self.children.clone() {
                 match mode {
                     ChildMode::Push => ctx.send(child, ReplicaMsg::Commit(record.clone())),
@@ -244,6 +475,21 @@ impl Primary {
         ctx.send(from, ReplicaMsg::AttachOk { grandparent: None });
     }
 
+    /// Handles a child secondary's anti-entropy summary: a child behind
+    /// this primary's certified frontier gets the suffix pushed. This
+    /// repairs a dropped `Commit` push on the tier→tree edge — without it
+    /// a record no secondary ever received is unrecoverable, because the
+    /// epidemic layer cannot spread what nobody holds.
+    pub fn on_anti_entropy(
+        &mut self,
+        ctx: &mut Context<'_, ReplicaMsg>,
+        from: NodeId,
+        object: Guid,
+        committed_index: u64,
+    ) {
+        self.on_fetch(ctx, from, object, committed_index);
+    }
+
     /// Serves the pull path for children and stale secondaries.
     pub fn on_fetch(
         &mut self,
@@ -263,5 +509,98 @@ impl Primary {
         if !records.is_empty() {
             ctx.send(from, ReplicaMsg::Commits { records });
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All crash sets of size exactly `k` over members `0..n`.
+    fn crash_sets(n: usize, k: usize) -> Vec<Vec<usize>> {
+        if k == 0 {
+            return vec![Vec::new()];
+        }
+        let mut out = Vec::new();
+        for first in 0..n {
+            for mut rest in crash_sets(n, k - 1) {
+                if rest.iter().all(|&r| r > first) {
+                    let mut set = vec![first];
+                    set.append(&mut rest);
+                    out.push(set);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fallback_ordering_walks_consecutive_members() {
+        for label in ["a", "b", "rotation", "walk"] {
+            let object = Guid::from_label(label);
+            for n in [4usize, 7, 10] {
+                for index in 0..5u64 {
+                    let base = disseminator_for(n, &object, index, 0);
+                    for attempt in 0..(2 * n as u64) {
+                        assert_eq!(
+                            disseminator_for(n, &object, index, attempt),
+                            (base + attempt as usize) % n,
+                            "attempt {attempt} must be (base + attempt) % n"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f_plus_one_attempts_cover_f_plus_one_distinct_members() {
+        for m in 1..=3usize {
+            let n = 3 * m + 1;
+            for k in 0..40u64 {
+                let object = Guid::from_label(&format!("cover-{k}"));
+                for index in 0..4u64 {
+                    let members: std::collections::HashSet<usize> = (0..=m as u64)
+                        .map(|attempt| disseminator_for(n, &object, index, attempt))
+                        .collect();
+                    assert_eq!(members.len(), m + 1, "f+1 attempts must be distinct members");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_record_reaches_a_live_member_within_f_plus_one_attempts() {
+        for m in 1..=2usize {
+            let n = 3 * m + 1;
+            for crashed in crash_sets(n, m) {
+                for k in 0..20u64 {
+                    let object = Guid::from_label(&format!("live-{k}"));
+                    for index in 0..4u64 {
+                        let reached_live = (0..=m as u64).any(|attempt| {
+                            !crashed.contains(&disseminator_for(n, &object, index, attempt))
+                        });
+                        assert!(
+                            reached_live,
+                            "n={n} crashed={crashed:?} object={k} index={index}: \
+                             no live disseminator within f+1 attempts"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_spreads_load_across_the_tier() {
+        // Not a single hot member: over many objects, every member is the
+        // base disseminator for some record.
+        let n = 4;
+        let mut hit = vec![false; n];
+        for k in 0..64u64 {
+            let object = Guid::from_label(&format!("spread-{k}"));
+            hit[disseminator_for(n, &object, 0, 0)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "rotation never chose some member: {hit:?}");
     }
 }

@@ -18,7 +18,7 @@ use oceanstore_update::update::apply;
 use oceanstore_update::decode_update;
 use rand::seq::SliceRandom;
 
-use crate::config::{ChildMode, SecondaryConfig};
+use crate::config::{ChildMode, SecondaryConfig, SecondaryFault};
 use crate::messages::{CommitRecord, ReplicaMsg, TentativeId};
 use crate::store::ObjectStore;
 
@@ -57,6 +57,12 @@ pub struct Secondary {
     ticks_until_pull: u32,
     /// How many times this node successfully re-attached.
     reparented: u64,
+    /// Records rejected because their certificate failed verification
+    /// (forged, tampered, or partial).
+    rejected: u64,
+    /// Duplicate commits suppressed instead of re-forwarded (two
+    /// disseminators racing after a failover is safe but redundant).
+    dup_suppressed: u64,
 }
 
 impl Secondary {
@@ -76,7 +82,14 @@ impl Secondary {
             unanswered_pulls: 0,
             ticks_until_pull: 0,
             reparented: 0,
+            rejected: 0,
+            dup_suppressed: 0,
         }
+    }
+
+    /// This replica's configuration.
+    pub fn config(&self) -> &SecondaryConfig {
+        &self.cfg
     }
 
     /// The current dissemination-tree parent.
@@ -87,6 +100,16 @@ impl Secondary {
     /// How many times this node re-attached after losing a parent.
     pub fn reparent_count(&self) -> u64 {
         self.reparented
+    }
+
+    /// Records rejected for failing certificate verification.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Duplicate commit records suppressed instead of re-forwarded.
+    pub fn dup_suppressed_count(&self) -> u64 {
+        self.dup_suppressed
     }
 
     /// This node's current dissemination children.
@@ -161,9 +184,14 @@ impl Secondary {
     }
 
     fn on_anti_entropy_tick(&mut self, ctx: &mut Context<'_, ReplicaMsg>) {
-        // One random peer, one summary per known object.
-        if !self.cfg.peers.is_empty() {
-            let peer = *self.cfg.peers[..].choose(ctx.rng()).expect("nonempty");
+        // One summary per known object, to one random peer — and to the
+        // tree parent, so a commit push dropped on the tier→tree edge is
+        // repaired top-down (a record no secondary ever received cannot
+        // be healed epidemically: nobody holds it).
+        let peer = (!self.cfg.peers.is_empty())
+            .then(|| *self.cfg.peers[..].choose(ctx.rng()).expect("nonempty"));
+        let targets: Vec<NodeId> = peer.into_iter().chain(self.cfg.parent).collect();
+        if !targets.is_empty() {
             let mut objects: Vec<Guid> = self
                 .store
                 .guids()
@@ -175,13 +203,27 @@ impl Secondary {
             // Deterministic send order (hash-map iteration is not).
             objects.sort();
             for object in objects {
-                let committed_index = self.store.get(&object).map_or(0, |s| s.next_index);
+                let mut committed_index = self.store.get(&object).map_or(0, |s| s.next_index);
+                if self.cfg.fault == SecondaryFault::ForgeOnServe {
+                    // Byzantine bait: claim commits that do not exist so
+                    // peers pull from us and receive forgeries.
+                    committed_index += 3;
+                }
                 let tentative_ids: Vec<TentativeId> = self
                     .tentative
                     .get(&object)
                     .map(|m| m.keys().map(|(_, id)| *id).collect())
                     .unwrap_or_default();
-                ctx.send(peer, ReplicaMsg::AntiEntropy { object, committed_index, tentative_ids });
+                for &target in &targets {
+                    ctx.send(
+                        target,
+                        ReplicaMsg::AntiEntropy {
+                            object,
+                            committed_index,
+                            tentative_ids: tentative_ids.clone(),
+                        },
+                    );
+                }
             }
         }
         // Re-pull anything stale — from the parent while it answers, from a
@@ -383,7 +425,16 @@ impl Secondary {
     /// Returns whether it was applied.
     pub fn on_commit(&mut self, ctx: &mut Context<'_, ReplicaMsg>, record: CommitRecord) -> bool {
         if !self.verify_record(&record) {
+            self.rejected += 1;
             return false; // forged or partial certificate
+        }
+        // Duplicate suppression: a record below our committed frontier was
+        // already applied *and* already streamed to our children — two
+        // disseminators racing after a failover must not re-flood the
+        // subtree.
+        if self.store.get(&record.object).is_some_and(|s| record.index < s.next_index) {
+            self.dup_suppressed += 1;
+            return true;
         }
         let applied = self.store.apply_record(&record);
         if applied {
@@ -443,6 +494,21 @@ impl Secondary {
         }
     }
 
+    /// A forged, uncertified record a Byzantine replica serves in place of
+    /// real data. Its certificate is empty, so honest receivers must
+    /// reject it on the pull path.
+    fn forged_record(&self, object: Guid, index: u64) -> CommitRecord {
+        CommitRecord {
+            object,
+            index,
+            update: Arc::new(vec![0xEE; 8]),
+            version: Some(9_999),
+            timestamp: 0,
+            id: TentativeId { client: NodeId(0), counter: u64::MAX },
+            cert: Default::default(),
+        }
+    }
+
     /// Serves the pull path for our own children/peers.
     pub fn on_fetch(
         &mut self,
@@ -451,6 +517,12 @@ impl Secondary {
         object: Guid,
         from_index: u64,
     ) {
+        if self.cfg.fault == SecondaryFault::ForgeOnServe {
+            // Byzantine: answer the pull with fabricated state.
+            let records = vec![self.forged_record(object, from_index)];
+            ctx.send(from, ReplicaMsg::Commits { records });
+            return;
+        }
         let records = self.store.records_from(&object, from_index);
         if !records.is_empty() {
             ctx.send(from, ReplicaMsg::Commits { records });
@@ -495,8 +567,13 @@ impl Secondary {
         }
         let ours_committed = self.store.get(&object).map_or(0, |s| s.next_index);
         if committed_index < ours_committed {
-            // Push the suffix they lack.
-            let records = self.store.records_from(&object, committed_index);
+            // Push the suffix they lack (a Byzantine replica pushes
+            // forgeries instead — honest receivers reject them).
+            let records = if self.cfg.fault == SecondaryFault::ForgeOnServe {
+                vec![self.forged_record(object, committed_index)]
+            } else {
+                self.store.records_from(&object, committed_index)
+            };
             if !records.is_empty() {
                 ctx.send(from, ReplicaMsg::Commits { records });
             }

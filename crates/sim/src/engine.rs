@@ -9,7 +9,7 @@
 //! from per-node ChaCha streams derived from the master seed.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -185,6 +185,9 @@ pub struct Simulator<P: Protocol> {
     /// Partition group per node; messages cross groups only if `None`.
     partitions: Option<Vec<u32>>,
     drop_prob: f64,
+    /// Per-link drop probabilities (flapping links), keyed by the
+    /// direction-normalized endpoint pair.
+    link_drops: HashMap<(usize, usize), f64>,
     /// Multiplier applied to every link latency (link degradation).
     latency_factor: f64,
     engine_rng: ChaCha8Rng,
@@ -226,6 +229,7 @@ impl<P: Protocol> Simulator<P> {
             down: vec![false; n],
             partitions: None,
             drop_prob: 0.0,
+            link_drops: HashMap::new(),
             latency_factor: 1.0,
             engine_rng: ChaCha8Rng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03),
             events_processed: 0,
@@ -346,6 +350,31 @@ impl<P: Protocol> Simulator<P> {
     /// The current independent per-message drop probability.
     pub fn drop_prob(&self) -> f64 {
         self.drop_prob
+    }
+
+    /// Sets the drop probability of the single (bidirectional) link between
+    /// `a` and `b`, independent of the global [`Simulator::set_drop_prob`]
+    /// coin. `p = 0.0` restores the link. Models a flapping or lossy link
+    /// without disturbing the rest of the mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn set_link_drop(&mut self, a: NodeId, b: NodeId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        if p == 0.0 {
+            self.link_drops.remove(&key);
+        } else {
+            self.link_drops.insert(key, p);
+        }
+    }
+
+    /// The drop probability of the link between `a` and `b` (0.0 unless
+    /// overridden via [`Simulator::set_link_drop`]).
+    pub fn link_drop(&self, a: NodeId, b: NodeId) -> f64 {
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        self.link_drops.get(&key).copied().unwrap_or(0.0)
     }
 
     /// Degrades (factor > 1) or restores (factor = 1) every link: message
@@ -554,6 +583,15 @@ impl<P: Protocol> Simulator<P> {
             self.stats.record_drop(DropCause::Random);
             return;
         }
+        // Per-link flap coin. Consumes engine randomness only when the link
+        // actually has an override, so installing none leaves event streams
+        // of unrelated runs byte-identical.
+        if let Some(&p) = self.link_drops.get(&(from.0.min(to.0), from.0.max(to.0))) {
+            if self.engine_rng.gen::<f64>() < p {
+                self.stats.record_drop(DropCause::LinkFlap);
+                return;
+            }
+        }
         let Some(latency) = self.topo.dist(from, to) else {
             self.stats.record_drop(DropCause::Unreachable);
             return;
@@ -741,6 +779,23 @@ mod tests {
         sim.run_to_quiescence(10_000);
         assert_eq!(sim.node(NodeId(1)).seen, 1);
         assert_eq!(sim.node(NodeId(2)).seen, 0);
+    }
+
+    #[test]
+    fn link_drop_kills_one_link_only() {
+        // Flap the 1→2 link closed; the token dies there and the drop is
+        // attributed to LinkFlap, not Random.
+        let mut sim = ring_sim(4, 1, 1);
+        sim.set_link_drop(NodeId(1), NodeId(2), 1.0);
+        sim.start();
+        sim.run_to_quiescence(10_000);
+        assert_eq!(sim.node(NodeId(1)).seen, 1);
+        assert_eq!(sim.node(NodeId(2)).seen, 0);
+        assert_eq!(sim.stats().dropped_by_cause(DropCause::LinkFlap), 1);
+        assert_eq!(sim.stats().dropped_by_cause(DropCause::Random), 0);
+        // Restoring the link clears the override in both directions.
+        sim.set_link_drop(NodeId(2), NodeId(1), 0.0);
+        assert_eq!(sim.link_drop(NodeId(1), NodeId(2)), 0.0);
     }
 
     #[test]

@@ -19,12 +19,20 @@ pub enum DropCause {
     Random,
     /// No topology path exists between sender and destination.
     Unreachable,
+    /// The message lost a per-link drop-probability coin flip (flapping
+    /// or lossy individual links, as opposed to the global `Random`).
+    LinkFlap,
 }
 
 impl DropCause {
     /// All causes, in a fixed display order.
-    pub const ALL: [DropCause; 4] =
-        [DropCause::NodeDown, DropCause::Partition, DropCause::Random, DropCause::Unreachable];
+    pub const ALL: [DropCause; 5] = [
+        DropCause::NodeDown,
+        DropCause::Partition,
+        DropCause::Random,
+        DropCause::Unreachable,
+        DropCause::LinkFlap,
+    ];
 
     fn index(self) -> usize {
         match self {
@@ -32,6 +40,7 @@ impl DropCause {
             DropCause::Partition => 1,
             DropCause::Random => 2,
             DropCause::Unreachable => 3,
+            DropCause::LinkFlap => 4,
         }
     }
 }
@@ -41,10 +50,11 @@ impl DropCause {
 pub struct NetStats {
     total_messages: u64,
     total_bytes: u64,
-    dropped: [u64; 4],
+    dropped: [u64; 5],
     per_node_sent: Vec<u64>,
     per_node_received: Vec<u64>,
     by_class: BTreeMap<&'static str, ClassStats>,
+    by_node_class: BTreeMap<(usize, &'static str), ClassStats>,
 }
 
 /// Counters for one message class.
@@ -73,6 +83,9 @@ impl NetStats {
         let c = self.by_class.entry(class).or_default();
         c.messages += 1;
         c.bytes += bytes as u64;
+        let nc = self.by_node_class.entry((from.0, class)).or_default();
+        nc.messages += 1;
+        nc.bytes += bytes as u64;
     }
 
     pub(crate) fn record_drop(&mut self, cause: DropCause) {
@@ -126,6 +139,13 @@ impl NetStats {
         self.by_class.iter().map(|(k, v)| (*k, *v))
     }
 
+    /// Counters for one message class restricted to messages sent by
+    /// `node` (zero counters if never seen). Chaos scenarios use this for
+    /// per-node retry accounting — e.g. "which primaries re-routed shares".
+    pub fn class_sent_by(&self, node: NodeId, name: &str) -> ClassStats {
+        self.by_node_class.get(&(node.0, name)).copied().unwrap_or_default()
+    }
+
     /// Resets every counter to zero (e.g. between warm-up and measurement).
     pub fn reset(&mut self) {
         let n = self.per_node_sent.len();
@@ -165,7 +185,19 @@ mod tests {
         assert_eq!(s.dropped_by_cause(DropCause::Random), 1);
         assert_eq!(s.dropped_by_cause(DropCause::Partition), 0);
         let collected: Vec<u64> = s.drops_by_cause().map(|(_, n)| n).collect();
-        assert_eq!(collected, vec![2, 0, 1, 0]);
+        assert_eq!(collected, vec![2, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn per_node_class_counters() {
+        let mut s = NetStats::new(3);
+        s.record_send(NodeId(0), NodeId(1), 100, "prepare");
+        s.record_send(NodeId(0), NodeId(2), 50, "prepare");
+        s.record_send(NodeId(1), NodeId(0), 10, "prepare");
+        assert_eq!(s.class_sent_by(NodeId(0), "prepare"), ClassStats { messages: 2, bytes: 150 });
+        assert_eq!(s.class_sent_by(NodeId(1), "prepare"), ClassStats { messages: 1, bytes: 10 });
+        assert_eq!(s.class_sent_by(NodeId(2), "prepare"), ClassStats::default());
+        assert_eq!(s.class_sent_by(NodeId(0), "unknown"), ClassStats::default());
     }
 
     #[test]
