@@ -154,6 +154,22 @@ pub fn check_no_uncertified_records(dep: &Deployment) -> InvariantReport {
     report
 }
 
+/// Quorum-loss safety: while a partition leaves *no* side with a
+/// `2m + 1` agreement quorum, the committed frontier must not advance.
+/// `before` and `after` are frontier samples taken inside the cut (after
+/// in-flight pre-cut traffic has settled, and just before the heal);
+/// `label` names the cut window in the failure line.
+pub fn check_frontier_stalled(label: &str, before: u64, after: u64) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    if after != before {
+        report.failures.push(format!(
+            "quorum-loss: frontier advanced {before} -> {after} during {label} \
+             (commits certified without a 2m+1 quorum)"
+        ));
+    }
+    report
+}
+
 /// All clients saw their submissions commit (`m + 1` matching replies).
 pub fn check_clients_settled(dep: &Deployment) -> InvariantReport {
     let mut report = InvariantReport::default();

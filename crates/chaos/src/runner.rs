@@ -116,6 +116,9 @@ pub fn stats_fingerprint<P: Protocol>(sim: &Simulator<P>) -> String {
     for (class, c) in s.classes() {
         let _ = write!(out, " {class}={}/{}", c.messages, c.bytes);
     }
+    for (event, n) in s.events() {
+        let _ = write!(out, " ev[{event}]={n}");
+    }
     out
 }
 

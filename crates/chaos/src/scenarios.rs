@@ -19,9 +19,10 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::invariants::{
     check_clients_settled, check_convergence, check_every_commit_certifies,
-    check_no_committed_loss, check_no_uncertified_records, InvariantReport,
+    check_frontier_stalled, check_no_committed_loss, check_no_uncertified_records,
+    committed_frontier, InvariantReport,
 };
-use crate::runner::{run_schedule, stats_fingerprint, TraceEntry};
+use crate::runner::{run_schedule, stats_fingerprint, ScheduleCursor, TraceEntry};
 use crate::schedule::{FaultAction, Schedule};
 
 /// Everything a chaos scenario produces.
@@ -254,6 +255,75 @@ pub fn disseminator_crash(failover: bool, seed: u64) -> ScenarioOutcome {
         if live_retries == 0 {
             report.failures.push("no live signer re-routed its share".into());
         }
+    }
+    ScenarioOutcome { trace, fingerprint: stats_fingerprint(&dep.sim), report }
+}
+
+/// Islands `m + 1` primaries behind a partition, leaving *neither* side
+/// with a `2m + 1` agreement quorum, while an update is submitted into
+/// the cut.
+///
+/// During the cut the tier must freeze: the committed frontier cannot
+/// advance (no quorum anywhere), and the view cannot change either — a
+/// view change needs the same quorum — so the majority side's
+/// view-change votes pile up without effect. After the heal the
+/// accumulated votes complete, a new leader re-proposes the stranded
+/// request, and everything commits, certifies, and disseminates.
+pub fn quorum_loss(seed: u64) -> ScenarioOutcome {
+    let mut dep = build_deployment(&DeploymentOpts {
+        latency: SimDuration::from_millis(20),
+        seed,
+        ..DeploymentOpts::default()
+    });
+    let object = Guid::from_label("chaos-quorum-loss");
+    let total = dep.sim.len();
+    let islanded: Vec<NodeId> = dep.primaries[..dep.cfg.m + 1].to_vec();
+
+    // One update commits on the intact tier.
+    submit(&mut dep, object, b"pre-cut");
+    let mut cursor =
+        ScheduleCursor::new(Schedule::new().island(total, &islanded, t(3_050), t(9_000)));
+    let mut trace = cursor.run_to(&mut dep.sim, t(3_500));
+    // This one lands inside the cut: only 2m primaries hear it.
+    submit(&mut dep, object, b"into-the-cut");
+    trace.extend(cursor.run_to(&mut dep.sim, t(4_000)));
+    let frontier_before = committed_frontier(&dep, &object);
+    let tier_state = |dep: &Deployment| {
+        let mut views = Vec::new();
+        let mut vc_sent = 0u64;
+        for &p in &dep.primaries {
+            let pbft = dep.sim.node(p).as_primary().expect("primary").pbft();
+            views.push(pbft.view());
+            vc_sent += pbft.view_changes_sent();
+        }
+        (views, vc_sent)
+    };
+    let (views_before, vc_before) = tier_state(&dep);
+    // Just before the heal: the cut has been quorumless for ~5 s.
+    trace.extend(cursor.run_to(&mut dep.sim, t(8_900)));
+    let frontier_after = committed_frontier(&dep, &object);
+    let (views_after, vc_after) = tier_state(&dep);
+    // Heal and settle: the stranded update must commit end to end.
+    trace.extend(cursor.run_to(&mut dep.sim, t(20_000)));
+
+    let mut report = check_convergence(&dep, &[object])
+        .merge(check_no_committed_loss(&dep, &object, 2))
+        .merge(check_clients_settled(&dep))
+        .merge(check_every_commit_certifies(&dep, &[object]))
+        .merge(check_frontier_stalled(
+            "quorum cut [3050ms, 9000ms)",
+            frontier_before,
+            frontier_after,
+        ));
+    if views_after != views_before {
+        report.failures.push(format!(
+            "quorum-loss: view changed {views_before:?} -> {views_after:?} without a 2m+1 quorum"
+        ));
+    }
+    if vc_after <= vc_before {
+        report.failures.push(format!(
+            "quorum-loss: no view-change churn during the cut (votes {vc_before} -> {vc_after})"
+        ));
     }
     ScenarioOutcome { trace, fingerprint: stats_fingerprint(&dep.sim), report }
 }

@@ -61,6 +61,27 @@ impl Schedule {
         rack.iter().fold(self, |s, &n| s.at(at, FaultAction::Recover(n)))
     }
 
+    /// Partition groups that island `islanded` away from everyone else in
+    /// a `total`-node deployment: islanded nodes land on side 1, the rest
+    /// stay on side 0. This is the building block for partitions that cut
+    /// *primaries* off — island at most `m` of them and agreement
+    /// survives; island `m + 1` and *neither* side holds a `2m + 1`
+    /// quorum (the `quorum_loss` scenario).
+    pub fn island_groups(total: usize, islanded: &[NodeId]) -> Vec<u32> {
+        let mut groups = vec![0u32; total];
+        for n in islanded {
+            groups[n.0] = 1;
+        }
+        groups
+    }
+
+    /// Installs a partition at `from` that islands `islanded` from the
+    /// rest of the `total`-node deployment, healing at `until`.
+    pub fn island(self, total: usize, islanded: &[NodeId], from: SimTime, until: SimTime) -> Self {
+        self.at(from, FaultAction::Partition(Schedule::island_groups(total, islanded)))
+            .at(until, FaultAction::Heal)
+    }
+
     /// Makes the `a`–`b` link flap: starting at `from`, the link
     /// alternates between dropping messages with probability `drop_prob`
     /// and behaving normally, switching every `period`, until a final
@@ -139,6 +160,15 @@ mod tests {
         assert_eq!(s.events()[1].1, FaultAction::Crash(NodeId(5)));
         assert_eq!(s.events()[2].1, FaultAction::Recover(NodeId(4)));
         assert_eq!(s.events()[3].1, FaultAction::Recover(NodeId(5)));
+    }
+
+    #[test]
+    fn island_builder_partitions_and_heals() {
+        let s = Schedule::new().island(6, &[NodeId(2), NodeId(4)], t(1), t(3));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.events()[0].1, FaultAction::Partition(vec![0, 0, 1, 0, 1, 0]));
+        assert_eq!(s.events()[1].1, FaultAction::Heal);
+        assert_eq!(s.events()[1].0, t(3));
     }
 
     #[test]

@@ -3,26 +3,62 @@
 //! A fixed seed range replays deterministically: a failure here prints
 //! the reproducing seed (and the generated schedule) in the panic
 //! message, so `run_fuzz(<seed>, &FuzzOpts::default())` replays the bug
-//! locally bit-for-bit.
+//! locally bit-for-bit. The sweep width is tunable: CI sets
+//! `CHAOS_FUZZ_SEEDS` to widen the range without a code change.
 
 use oceanstore_chaos::fuzz::{run_fuzz, FuzzOpts};
 use proptest::prelude::*;
 
+/// Number of seeds the fixed sweeps cover (env `CHAOS_FUZZ_SEEDS`,
+/// default 50).
+fn sweep_seeds() -> u64 {
+    std::env::var("CHAOS_FUZZ_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(50)
+}
+
+fn assert_seed_passes(seed: u64, opts: &FuzzOpts, label: &str) {
+    let out = run_fuzz(seed, opts);
+    assert!(
+        out.report.passed(),
+        "{label} seed {seed} broke invariants: {:#?}\nreproduce with run_fuzz({seed}, ...); \
+         quorum cuts: {:?}; schedule was: {:#?}",
+        out.report.failures,
+        out.quorum_cuts,
+        out.schedule,
+    );
+}
+
 /// The fixed seed range CI sweeps. Every generated schedule is
-/// survivable by construction, so all invariants must hold.
+/// survivable by construction, so all invariants — including the
+/// quorum-loss frontier stall — must hold.
 #[test]
 fn fixed_seed_sweep_holds_all_invariants() {
     let opts = FuzzOpts::default();
-    for seed in 0..50u64 {
-        let out = run_fuzz(seed, &opts);
-        assert!(
-            out.report.passed(),
-            "fuzz seed {seed} broke invariants: {:#?}\nreproduce with run_fuzz({seed}, \
-             &FuzzOpts::default()); schedule was: {:#?}",
-            out.report.failures,
-            out.schedule,
-        );
+    for seed in 0..sweep_seeds() {
+        assert_seed_passes(seed, &opts, "fuzz");
     }
+}
+
+/// m = 2 sweep: four overlapping-outage-capable primaries more. The
+/// generator may take two primaries down *at once* here (plus islanding
+/// pairs), which the old `m`-total crash budget could never produce.
+#[test]
+fn m2_sweep_with_overlapping_outages_holds_invariants() {
+    let opts = FuzzOpts { m: 2, faults: 7, ..FuzzOpts::default() };
+    for seed in 0..(sweep_seeds() / 5).max(5) {
+        assert_seed_passes(seed, &opts, "fuzz[m=2]");
+    }
+}
+
+/// Regression: seed 13 under default opts reproduces a view-change
+/// livelock the widened fuzzer first caught. A leader entering a new
+/// view kept its inflated `next_seq`, so its re-proposal landed above an
+/// empty slot that in-order execution could never cross; every
+/// view_timeout the tier churned to the next view (view 26 by the
+/// horizon) without committing the final update. `enter_view` now
+/// restarts proposals at the execution frontier.
+#[test]
+fn seed_13_view_change_livelock_regression() {
+    assert_seed_passes(13, &FuzzOpts::default(), "regression");
 }
 
 /// Same seed, same everything: trace, fingerprint, and verdict.

@@ -129,3 +129,17 @@ fn locate_scenario_is_deterministic() {
     assert_eq!(a.trace, b.trace);
     assert_eq!(a.fingerprint, b.fingerprint);
 }
+
+#[test]
+fn quorum_loss_stalls_then_recovers() {
+    let out = scenarios::quorum_loss(23);
+    assert!(out.report.passed(), "invariants failed: {:#?}", out.report.failures);
+}
+
+#[test]
+fn quorum_loss_is_deterministic() {
+    let a = scenarios::quorum_loss(23);
+    let b = scenarios::quorum_loss(23);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.fingerprint, b.fingerprint);
+}

@@ -137,6 +137,51 @@ mod tests {
     }
 
     #[test]
+    fn view_change_catches_up_a_replica_that_missed_commits() {
+        // Replica 3 is cut off from the tier (but still hears client
+        // broadcasts) while the first update commits, so it holds the
+        // request payload and an empty log. The next view change must
+        // repair it: view-change votes carry each voter's execution
+        // frontier plus its certifiable slots, and the new leader re-runs
+        // agreement from the lowest frontier in its quorum — re-seeding
+        // executed slots at their original sequences so a straggler
+        // re-commits them (idempotent for everyone else). Before this, a
+        // replica that missed a commit stayed behind forever, and
+        // re-proposal at fresh sequences could even fork the order.
+        let mut ts = build_tier(1, WAN, 8);
+        let client = ts.client;
+        for i in 0..3u64 {
+            ts.sim.set_link_drop(NodeId(i as usize), NodeId(3), 1.0);
+            ts.sim.set_link_drop(NodeId(3), NodeId(i as usize), 1.0);
+        }
+        ts.sim.with_node_ctx(client, |node, ctx| {
+            node.as_client_mut().unwrap().submit(ctx, Payload::simulated(128))
+        });
+        // Bounded run, not quiescence: the isolated straggler re-arms its
+        // view alarm indefinitely while its votes die on the dead links.
+        ts.sim.run_until(oceanstore_sim::SimTime::ZERO + SimDuration::from_secs(10));
+        assert_eq!(executed_digests(&ts, 0).len(), 1, "first update must commit without 3");
+        assert_eq!(executed_digests(&ts, 3).len(), 0, "replica 3 must have missed it");
+        for i in 0..3u64 {
+            ts.sim.set_link_drop(NodeId(i as usize), NodeId(3), 0.0);
+            ts.sim.set_link_drop(NodeId(3), NodeId(i as usize), 0.0);
+        }
+        // Silence the leader of view 0: the second update forces a view
+        // change whose vote quorum includes the straggler.
+        ts.sim.with_node_ctx(NodeId(0), |node, _ctx| {
+            node.as_replica_mut().unwrap().set_fault(FaultMode::Silent)
+        });
+        ts.sim.with_node_ctx(client, |node, ctx| {
+            node.as_client_mut().unwrap().submit(ctx, Payload::simulated(128))
+        });
+        ts.sim.run_to_quiescence(1_000_000);
+        let reference = executed_digests(&ts, 1);
+        assert_eq!(reference.len(), 2, "both updates must commit after the view change");
+        assert_eq!(executed_digests(&ts, 2), reference);
+        assert_eq!(executed_digests(&ts, 3), reference, "replica 3 must have caught up");
+    }
+
+    #[test]
     fn equivocating_leader_cannot_split_honest_replicas() {
         // Leader 0 equivocates. Honest replicas may or may not commit
         // (liveness can require a view change), but they must never commit

@@ -90,8 +90,19 @@ pub enum FaultMode {
 struct Instance {
     digest: Option<Digest>,
     request: Option<RequestId>,
+    /// View in which the current digest was adopted. A later view's
+    /// leader may overwrite an unexecuted slot (its choice is built from
+    /// a vote quorum, which must contain any certificate that could
+    /// underpin a commit); within one view the first digest is final, so
+    /// an equivocating leader cannot flip-flop a slot.
+    digest_view: u64,
     prepares: HashSet<usize>,
     commits: HashSet<usize>,
+    /// Sticky: this slot reached a prepare certificate (`> 2m` prepares)
+    /// at some point. Survives view changes — the certificate may
+    /// underpin a commit elsewhere, so it must keep circulating in
+    /// view-change votes until the slot executes.
+    prepared_cert: bool,
     sent_commit: bool,
     executed: bool,
 }
@@ -111,9 +122,10 @@ pub struct Committed {
     pub timestamp: u64,
 }
 
-/// One tier member's view-change votes: voter index → prepared entries
-/// (seq, digest, request) it can certify from earlier views.
-type VcVotes = HashMap<usize, Vec<(u64, Digest, RequestId)>>;
+/// One tier member's view-change votes: voter index → its execution
+/// frontier plus the certificate entries (seq, digest, request) it can
+/// vouch for — executed slots and prepared certificates alike.
+type VcVotes = HashMap<usize, (u64, Vec<(u64, Digest, RequestId)>)>;
 
 /// A primary-tier replica.
 #[derive(Debug)]
@@ -135,10 +147,19 @@ pub struct Replica {
     next_exec: u64,
     /// The committed order (the tier's output).
     executed: Vec<Committed>,
+    /// Requests that already executed at some slot. A request re-proposed
+    /// across view changes can commit at a second slot; the duplicate
+    /// slot executes as a no-op so the tier's output applies it once.
+    executed_ids: HashSet<RequestId>,
     /// View-change votes: new_view → voter → prepared set.
     vc_votes: HashMap<u64, VcVotes>,
     /// Whether a view-change alarm is armed for the current view.
     alarm_armed: bool,
+    /// Total view-change votes this replica has broadcast. During a
+    /// quorum-loss partition this climbs while `view` stays put — no side
+    /// can gather `2m + 1` votes — which is exactly the signature the
+    /// chaos `quorum_loss` scenario asserts on.
+    view_changes_sent: u64,
 }
 
 impl Replica {
@@ -167,8 +188,10 @@ impl Replica {
             assigned: HashMap::new(),
             next_exec: 0,
             executed: Vec::new(),
+            executed_ids: HashSet::new(),
             vc_votes: HashMap::new(),
             alarm_armed: false,
+            view_changes_sent: 0,
         }
     }
 
@@ -185,6 +208,13 @@ impl Replica {
     /// Current view.
     pub fn view(&self) -> u64 {
         self.view
+    }
+
+    /// Total view-change votes this replica has broadcast (liveness
+    /// probes under partition: votes without view advancement mean the
+    /// replica noticed the stall but cannot gather a quorum).
+    pub fn view_changes_sent(&self) -> u64 {
+        self.view_changes_sent
     }
 
     /// This replica's tier index.
@@ -296,14 +326,32 @@ impl Replica {
     fn propose(&mut self, ctx: &mut Context<'_, PbftMsg>, id: RequestId) {
         let Some((payload, _ts)) = self.requests.get(&id) else { return };
         let digest = payload.digest();
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        // Skip slots already seeded by re-proposal: after a view change
+        // `next_seq` points at the lowest unfilled slot, and the slots
+        // above it may hold adopted certificates.
+        let mut seq = self.next_seq;
+        while self.log.get(&seq).is_some_and(|i| i.digest.is_some()) {
+            seq += 1;
+        }
+        self.next_seq = seq + 1;
+        self.propose_at(ctx, seq, digest, id);
+    }
+
+    /// Seeds slot `seq` with `(digest, id)` and broadcasts the
+    /// pre-prepare. Used directly by re-proposal, where the digest comes
+    /// from a certificate rather than a local payload (which this replica
+    /// may not even hold yet); an already-executed slot is left untouched
+    /// but still re-announced so stragglers can rebuild its quorum.
+    fn propose_at(&mut self, ctx: &mut Context<'_, PbftMsg>, seq: u64, digest: Digest, id: RequestId) {
         self.assigned.insert(id, seq);
-        let inst = self.log.entry(seq).or_default();
-        inst.digest = Some(digest);
-        inst.request = Some(id);
-        inst.prepares.insert(self.index);
         let view = self.view;
+        let inst = self.log.entry(seq).or_default();
+        if !inst.executed {
+            inst.digest = Some(digest);
+            inst.digest_view = view;
+            inst.request = Some(id);
+            inst.prepares.insert(self.index);
+        }
         self.broadcast(ctx, |recipient| {
             let d = self.maybe_corrupt(recipient, digest);
             let mut msg = PbftMsg::PrePrepare { view, seq, digest: d, id, sig: self.keypair.sign(b"") };
@@ -313,6 +361,7 @@ impl Replica {
             }
             Some(msg)
         });
+        self.maybe_commit_phase(ctx, seq);
     }
 
     fn on_preprepare(
@@ -327,13 +376,35 @@ impl Replica {
             return;
         }
         let inst = self.log.entry(seq).or_default();
-        if inst.digest.is_some_and(|d| d != digest) {
-            // Conflicting proposal for this slot: ignore (view change will
-            // handle a bad leader).
-            return;
+        if inst.executed {
+            if inst.digest != Some(digest) {
+                return; // never rewrite executed history
+            }
+            // Re-announcement of a slot we already executed (a new view's
+            // leader catching up a straggler): fall through and re-send
+            // our prepare so the straggler can rebuild the quorum.
+        } else if inst.digest.is_some_and(|d| d != digest) {
+            if view > inst.digest_view {
+                // A later view's leader re-seeds the slot. Its choice is
+                // derived from a vote quorum, which must contain any
+                // certificate that could underpin a commit — adopt it and
+                // restart the rounds, so stale votes for the old digest
+                // don't count toward the new one.
+                inst.prepares.clear();
+                inst.commits.clear();
+                inst.sent_commit = false;
+                inst.prepared_cert = false;
+            } else {
+                // Conflicting proposal within one view: ignore (view
+                // change will handle an equivocating leader).
+                return;
+            }
         }
-        inst.digest = Some(digest);
-        inst.request = Some(id);
+        if !inst.executed {
+            inst.digest = Some(digest);
+            inst.digest_view = view;
+            inst.request = Some(id);
+        }
         inst.prepares.insert(self.cfg.leader(view));
         inst.prepares.insert(self.index);
         self.assigned.insert(id, seq);
@@ -374,9 +445,13 @@ impl Replica {
     }
 
     fn maybe_commit_phase(&mut self, ctx: &mut Context<'_, PbftMsg>, seq: u64) {
+        let prepare_quorum = self.cfg.prepare_quorum();
         let Some(inst) = self.log.get_mut(&seq) else { return };
         let Some(digest) = inst.digest else { return };
-        if inst.sent_commit || inst.prepares.len() < self.cfg.prepare_quorum() + 1 {
+        if inst.prepares.len() > prepare_quorum {
+            inst.prepared_cert = true;
+        }
+        if inst.sent_commit || inst.prepares.len() < prepare_quorum + 1 {
             return;
         }
         inst.sent_commit = true;
@@ -424,8 +499,17 @@ impl Replica {
             let inst = self.log.get_mut(&seq).expect("present");
             inst.executed = true;
             self.next_exec += 1;
-            self.executed.push(Committed { seq, digest, payload, request: id, timestamp });
             self.alarm_armed = false;
+            if !self.executed_ids.insert(id) {
+                // The request already executed at a lower slot (it was
+                // re-proposed across a view change before the original
+                // commit was visible here). The slot still commits — the
+                // order must stay gap-free and every replica with the same
+                // log makes the same call — but it adds nothing to the
+                // tier's output, and the client was already answered.
+                continue;
+            }
+            self.executed.push(Committed { seq, digest, payload, request: id, timestamp });
             // Reply to the client.
             let my = self.index;
             let mut reply =
@@ -466,13 +550,22 @@ impl Replica {
 
     /// Broadcasts (and self-records) a view-change vote for `new_view`.
     fn send_view_change(&mut self, ctx: &mut Context<'_, PbftMsg>, new_view: u64) {
+        self.view_changes_sent += 1;
+        // Vouch for every slot we can certify: executed slots and prepared
+        // certificates alike. Executed history rides along so a new leader
+        // can re-run agreement for stragglers below our frontier; any slot
+        // that may underpin a commit elsewhere appears in at least one
+        // vote of any quorum (certificates are sticky across views), which
+        // is what keeps re-proposal from contradicting a committed slot.
+        // Unbounded without checkpoints/GC — fine at simulation scale.
         let prepared: Vec<(u64, Digest, RequestId)> = self
             .log
             .iter()
             .filter(|(_, i)| {
-                !i.executed
-                    && i.digest.is_some()
-                    && i.prepares.len() > self.cfg.prepare_quorum()
+                i.digest.is_some()
+                    && (i.executed
+                        || i.prepared_cert
+                        || i.prepares.len() > self.cfg.prepare_quorum())
             })
             .map(|(&s, i)| (s, i.digest.expect("checked"), i.request.expect("checked")))
             .collect();
@@ -491,7 +584,7 @@ impl Replica {
         }
         self.broadcast(ctx, |_| Some(msg.clone()));
         // Vote for ourselves too.
-        self.record_vc_vote(ctx, new_view, my, prepared);
+        self.record_vc_vote(ctx, new_view, my, last_exec, prepared);
     }
 
     fn record_vc_vote(
@@ -499,12 +592,13 @@ impl Replica {
         ctx: &mut Context<'_, PbftMsg>,
         new_view: u64,
         replica: usize,
+        last_exec: u64,
         prepared: Vec<(u64, Digest, RequestId)>,
     ) {
         if new_view <= self.view {
             return;
         }
-        self.vc_votes.entry(new_view).or_default().insert(replica, prepared);
+        self.vc_votes.entry(new_view).or_default().insert(replica, (last_exec, prepared));
         let votes = self.vc_votes[&new_view].len();
         if votes >= self.cfg.commit_quorum() && self.cfg.leader(new_view) == self.index {
             // We are the new leader: announce and re-propose.
@@ -524,45 +618,124 @@ impl Replica {
     fn enter_view(&mut self, view: u64) {
         self.view = view;
         self.alarm_armed = false;
-        // Reset uncommitted slots; re-proposal will rebuild them.
-        let next_exec = self.next_exec;
-        self.log.retain(|&s, i| s < next_exec || i.executed);
-        self.assigned.retain(|_, &mut s| s < next_exec);
-        self.next_seq = self.next_seq.max(next_exec);
+        // Executed slots and prepare certificates survive the view change
+        // (a certificate may underpin a commit somewhere, so it must keep
+        // circulating in votes until the slot executes). Anything weaker
+        // is torn down for re-proposal.
+        let prepare_quorum = self.cfg.prepare_quorum();
+        self.log.retain(|_, i| {
+            if i.prepares.len() > prepare_quorum {
+                i.prepared_cert = true;
+            }
+            i.executed || i.prepared_cert
+        });
+        for i in self.log.values_mut() {
+            // The commit round re-runs in the new view — when the leader
+            // re-announces a slot, everyone (executed replicas included)
+            // re-broadcasts its commit so stragglers can gather a fresh
+            // quorum. Stale votes from the old view must not count toward
+            // a surviving-but-unexecuted slot.
+            i.sent_commit = false;
+            if !i.executed {
+                i.prepares.clear();
+                i.commits.clear();
+            }
+        }
+        let log = &self.log;
+        self.assigned.retain(|id, s| log.get(s).is_some_and(|i| i.request == Some(*id)));
+        // Restart proposals at the execution frontier; re-proposal walks
+        // the surviving slots from there and leaves `next_seq` at the
+        // lowest unfilled one (a stale, inflated `next_seq` would propose
+        // above a gap that in-order execution can never cross — every view
+        // change would then strand its own re-proposal and the tier would
+        // churn views forever without committing).
+        self.next_seq = self.next_exec;
     }
 
     fn repropose(&mut self, ctx: &mut Context<'_, PbftMsg>, view: u64) {
-        // Collect prepared certificates from the votes (highest priority),
-        // then any known-but-unassigned requests ordered by client
-        // timestamp ("clients optimistically timestamp their updates ...
-        // the primary tier uses these same timestamps to guide its ordering
-        // decisions", §4.4.3).
         let votes = self.vc_votes.get(&view).cloned().unwrap_or_default();
-        let mut to_propose: Vec<RequestId> = Vec::new();
-        let mut seen = HashSet::new();
-        let mut prepared_entries: Vec<(u64, RequestId)> = votes
-            .values()
-            .flatten()
-            .map(|(s, _, id)| (*s, *id))
-            .collect();
-        prepared_entries.sort_unstable();
-        for (_, id) in prepared_entries {
-            if seen.insert(id) && !self.assigned.contains_key(&id) {
-                to_propose.push(id);
+        // Re-run agreement from the lowest execution frontier in the vote
+        // quorum (ours included): replicas that missed commits catch up by
+        // re-committing, which is idempotent for everyone already past a
+        // slot. A straggler outside the quorum stays behind until it votes
+        // in a later change — there is no separate state-transfer path.
+        let base =
+            votes.values().map(|&(le, _)| le).chain([self.next_exec]).min().unwrap_or(0);
+        // Candidate per slot: the certificate reported by the most voters,
+        // ties broken by digest for determinism. Conflicting reports for
+        // one slot can only pit a live certificate against a stale one
+        // that never committed (two certificates with distinct digests
+        // cannot both commit — quorum intersection), so majority suffices
+        // in the fault mix this model runs; our own retained slots
+        // (executed or certified) override, local knowledge being at
+        // least as strong as a vote's.
+        let mut tally: BTreeMap<u64, HashMap<(Digest, RequestId), usize>> = BTreeMap::new();
+        for (_, prepared) in votes.values() {
+            for &(s, d, id) in prepared {
+                if s >= base {
+                    *tally.entry(s).or_default().entry((d, id)).or_default() += 1;
+                }
             }
         }
-        let mut rest: Vec<(u64, RequestId)> = self
+        let mut slots: BTreeMap<u64, (Digest, RequestId)> = tally
+            .into_iter()
+            .map(|(s, counts)| {
+                let ((d, id), _) = counts
+                    .into_iter()
+                    .max_by_key(|&((d, id), c)| (c, d, id))
+                    .expect("tally entries are non-empty");
+                (s, (d, id))
+            })
+            .collect();
+        for (&s, i) in &self.log {
+            if s >= base && (i.executed || i.prepared_cert) {
+                if let (Some(d), Some(id)) = (i.digest, i.request) {
+                    slots.insert(s, (d, id));
+                }
+            }
+        }
+        // Seed every candidate at its ORIGINAL slot — reassigning
+        // certificates to fresh sequences lets two leaders commit
+        // different requests at one slot (divergence) and one request at
+        // two slots (duplicate execution). Holes below the top candidate
+        // (no voter saw the old leader's proposal) are filled with
+        // pending requests; a hole we cannot fill yet stays open and
+        // `next_seq` points at it, so the next client (re)transmission
+        // plugs it.
+        let mut unassigned: Vec<(u64, RequestId)> = self
             .requests
             .iter()
-            .filter(|(id, _)| !self.assigned.contains_key(*id) && !seen.contains(*id))
+            .filter(|(id, _)| {
+                !self.assigned.contains_key(*id) && !self.executed_ids.contains(*id)
+            })
             .map(|(id, (_, ts))| (*ts, *id))
             .collect();
-        rest.sort_unstable();
-        to_propose.extend(rest.into_iter().map(|(_, id)| id));
-        for id in to_propose {
-            if self.requests.contains_key(&id) {
-                self.propose(ctx, id);
+        unassigned.sort_unstable();
+        let mut unassigned = unassigned.into_iter().map(|(_, id)| id);
+        if let Some(&top) = slots.keys().max() {
+            for s in base..=top {
+                match slots.get(&s).copied() {
+                    Some((d, id)) => self.propose_at(ctx, s, d, id),
+                    None => {
+                        if let Some(id) = unassigned.next() {
+                            let d = self.requests[&id].0.digest();
+                            self.propose_at(ctx, s, d, id);
+                        }
+                    }
+                }
             }
+            self.next_seq = (base..=top)
+                .find(|s| self.log.get(s).is_none_or(|i| i.digest.is_none()))
+                .unwrap_or(top + 1);
+        }
+        // Remaining known-but-unassigned requests at fresh sequences,
+        // ordered by client timestamp ("clients optimistically timestamp
+        // their updates ... the primary tier uses these same timestamps to
+        // guide its ordering decisions", §4.4.3).
+        let rest: Vec<RequestId> =
+            unassigned.filter(|id| !self.assigned.contains_key(id)).collect();
+        for id in rest {
+            self.propose(ctx, id);
         }
     }
 
@@ -588,10 +761,10 @@ impl Replica {
                     self.on_commit(ctx, *seq, *digest, *replica);
                 }
             }
-            PbftMsg::ViewChange { new_view, prepared, replica, .. } => {
+            PbftMsg::ViewChange { new_view, last_exec, prepared, replica, .. } => {
                 if self.verify_replica(*replica, &msg) {
                     let nv = *new_view;
-                    self.record_vc_vote(ctx, nv, *replica, prepared.clone());
+                    self.record_vc_vote(ctx, nv, *replica, *last_exec, prepared.clone());
                     // Join a higher view change we haven't voted in yet:
                     // after a lossy burst, view numbers can diverge across
                     // the tier, and a laggard re-proposing `view + 1`

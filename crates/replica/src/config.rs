@@ -27,6 +27,51 @@ impl Default for FailoverConfig {
     }
 }
 
+/// Acked re-push knobs for the tier→tree edge.
+///
+/// The disseminator pushes each certified record to its `Push` children
+/// exactly once; if that single `Commit` is lost, recovery used to wait
+/// for a full anti-entropy period. With re-push enabled the disseminator
+/// keeps every certified record on a bounded retry schedule until each
+/// `Push` child acks it (`CommitAck`), backing off exponentially; and any
+/// *other* primary that learns of the cert (`CertFormed`) arms a delayed
+/// watchdog, so a crashed or islanded disseminator is covered too. The
+/// retry budget is capped: once exhausted, the record degrades gracefully
+/// to the existing anti-entropy repair path.
+#[derive(Debug, Clone)]
+pub struct RepushConfig {
+    /// Whether acked re-push runs at all. The `repush-off` cargo feature
+    /// flips this default to `false` so the degraded (anti-entropy-only)
+    /// mode stays covered by the full test matrix.
+    pub enabled: bool,
+    /// How long the disseminator waits for a child's ack before
+    /// re-pushing. Must exceed one push+ack round trip or healthy records
+    /// double-send.
+    pub ack_timeout: SimDuration,
+    /// Deadline multiplier per retry (exponential backoff).
+    pub backoff: u32,
+    /// Re-pushes per record before giving up and leaving the record to
+    /// anti-entropy.
+    pub max_retries: u32,
+    /// Observer primaries (who saw `CertFormed` but are not the
+    /// disseminator) arm their first watchdog at `ack_timeout *
+    /// observer_grace`, giving the disseminator first crack and keeping
+    /// the healthy path free of duplicate pushes.
+    pub observer_grace: u32,
+}
+
+impl Default for RepushConfig {
+    fn default() -> Self {
+        RepushConfig {
+            enabled: cfg!(not(feature = "repush-off")),
+            ack_timeout: SimDuration::from_millis(60),
+            backoff: 2,
+            max_retries: 4,
+            observer_grace: 2,
+        }
+    }
+}
+
 /// Fault behavior of a secondary replica (the tier is built from
 /// "untrusted infrastructure", so the chaos suite needs servers that lie,
 /// not just servers that stop).

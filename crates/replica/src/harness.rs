@@ -7,7 +7,7 @@ use oceanstore_crypto::schnorr::KeyPair;
 use oceanstore_sim::{NodeId, SimDuration, Simulator, Topology};
 
 use crate::client::UpdateClient;
-use crate::config::{ChildMode, FailoverConfig, SecondaryConfig, SecondaryFault};
+use crate::config::{ChildMode, FailoverConfig, RepushConfig, SecondaryConfig, SecondaryFault};
 use crate::node::OceanNode;
 use crate::primary::Primary;
 use crate::secondary::Secondary;
@@ -35,6 +35,11 @@ pub struct DeploymentOpts {
     /// Whether signers re-route their shares past a crashed disseminator.
     /// Disable to demonstrate the single-disseminator liveness hole.
     pub failover: bool,
+    /// Whether certified records stay on an acked re-push schedule until
+    /// every `Push` child confirms them. Disable (or build with the
+    /// `repush-off` feature, which flips this default) to fall back to
+    /// anti-entropy-only repair of a lost tier→tree push.
+    pub repush: bool,
     /// Secondary indices that run [`SecondaryFault::ForgeOnServe`].
     pub byzantine_secondaries: Vec<usize>,
     /// RNG/key seed.
@@ -52,6 +57,7 @@ impl Default for DeploymentOpts {
             reparent: true,
             anti_entropy: None,
             failover: true,
+            repush: cfg!(not(feature = "repush-off")),
             byzantine_secondaries: Vec::new(),
             seed: 1,
         }
@@ -119,15 +125,32 @@ pub fn build_deployment(opts: &DeploymentOpts) -> Deployment {
         enabled: opts.failover,
         share_retry_timeout: SimDuration::from_micros(opts.latency.as_micros() * 25),
     };
+    // The ack deadline must exceed one push+ack round trip (2 × latency)
+    // or healthy records double-send; 3 × latency gives one-way slack
+    // while keeping dropped-push recovery at roughly one RTT + backoff
+    // step instead of one anti-entropy period.
+    let repush = RepushConfig {
+        enabled: opts.repush,
+        ack_timeout: SimDuration::from_micros(opts.latency.as_micros() * 3),
+        ..RepushConfig::default()
+    };
     for (i, kp) in replica_keys.into_iter().enumerate() {
-        nodes.push(OceanNode::Primary(Primary::with_failover(
+        let mut primary = Primary::with_knobs(
             cfg.clone(),
             i,
             kp,
             FaultMode::Honest,
             vec![(secondaries[0], child_mode(0))],
             failover.clone(),
-        )));
+            repush.clone(),
+        );
+        // Primaries gossip certified records among themselves on the same
+        // cadence as the tree's epidemic layer — the catch-up path for a
+        // member whose agreement replica missed commits for good.
+        primary.set_tier_anti_entropy(
+            opts.anti_entropy.unwrap_or(SecondaryConfig::default().anti_entropy_interval),
+        );
+        nodes.push(OceanNode::Primary(primary));
     }
     for j in 0..s {
         let parent = if j == 0 { primaries[0] } else { secondaries[(j - 1) / 2] };

@@ -25,7 +25,7 @@ pub mod secondary;
 pub mod store;
 
 pub use client::UpdateClient;
-pub use config::{ChildMode, FailoverConfig, SecondaryConfig, SecondaryFault};
+pub use config::{ChildMode, FailoverConfig, RepushConfig, SecondaryConfig, SecondaryFault};
 pub use harness::{build_deployment, Deployment, DeploymentOpts};
 pub use messages::{CommitRecord, ReplicaMsg, TentativeId};
 pub use node::OceanNode;

@@ -128,6 +128,18 @@ pub enum ReplicaMsg {
     },
     /// A certified commit pushed down the dissemination tree (Figure 5c).
     Commit(CommitRecord),
+    /// Delivery acknowledgment for a tier→tree `Commit` push. A secondary
+    /// that holds `(object, index)` certified and received it (or a
+    /// duplicate) from a *primary* acks the whole primary ring, so the
+    /// disseminator's re-push schedule and every observer primary's
+    /// watchdog stand down together. Acks from deeper tree edges are never
+    /// generated (secondary parents repair through anti-entropy instead).
+    CommitAck {
+        /// The acknowledged object.
+        object: Guid,
+        /// Per-object serialization index now held certified.
+        index: u64,
+    },
     /// Leaf-edge transformation: "dissemination trees transform updates
     /// into invalidations ... at the leaves of the network where bandwidth
     /// is limited" (§4.4.3).
@@ -188,6 +200,7 @@ impl Message for ReplicaMsg {
             }
             ReplicaMsg::CertFormed { cert, .. } => Guid::WIRE_SIZE + 8 + cert.wire_size(),
             ReplicaMsg::Commit(r) => r.wire_size(),
+            ReplicaMsg::CommitAck { .. } => Guid::WIRE_SIZE + 8,
             ReplicaMsg::Invalidate { .. } => Guid::WIRE_SIZE + 24,
             ReplicaMsg::FetchCommits { .. } => Guid::WIRE_SIZE + 16,
             ReplicaMsg::Commits { records } => {
@@ -210,6 +223,7 @@ impl Message for ReplicaMsg {
             ReplicaMsg::ShareRebroadcast { .. } => "replica/sharerebroadcast",
             ReplicaMsg::CertFormed { .. } => "replica/certformed",
             ReplicaMsg::Commit(_) => "replica/commit",
+            ReplicaMsg::CommitAck { .. } => "replica/commitack",
             ReplicaMsg::Invalidate { .. } => "replica/invalidate",
             ReplicaMsg::FetchCommits { .. } => "replica/fetch",
             ReplicaMsg::Commits { .. } => "replica/commits",

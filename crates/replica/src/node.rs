@@ -67,8 +67,10 @@ impl Protocol for OceanNode {
     type Msg = ReplicaMsg;
 
     fn on_start(&mut self, ctx: &mut Context<'_, ReplicaMsg>) {
-        if let OceanNode::Secondary(s) = self {
-            s.on_start(ctx);
+        match self {
+            OceanNode::Primary(p) => p.on_start(ctx),
+            OceanNode::Secondary(s) => s.on_start(ctx),
+            _ => {}
         }
     }
 
@@ -91,9 +93,13 @@ impl Protocol for OceanNode {
                 ReplicaMsg::CertFormed { object, index, cert } => {
                     p.on_cert_formed(ctx, object, index, cert);
                 }
+                ReplicaMsg::CommitAck { object, index } => {
+                    p.on_commit_ack(ctx, from, object, index);
+                }
                 ReplicaMsg::FetchCommits { object, from_index } => {
                     p.on_fetch(ctx, from, object, from_index);
                 }
+                ReplicaMsg::Commits { records } => p.on_commits(ctx, records),
                 ReplicaMsg::AntiEntropy { object, committed_index, .. } => {
                     p.on_anti_entropy(ctx, from, object, committed_index);
                 }
@@ -109,9 +115,9 @@ impl Protocol for OceanNode {
                         s.on_tentative(ctx, object, update, timestamp, id);
                     }
                     ReplicaMsg::Commit(record) => {
-                        s.on_commit(ctx, record);
+                        s.on_commit(ctx, from, record);
                     }
-                    ReplicaMsg::Commits { records } => s.on_commits(ctx, records),
+                    ReplicaMsg::Commits { records } => s.on_commits(ctx, from, records),
                     ReplicaMsg::Invalidate { object, index, .. } => {
                         s.on_invalidate(ctx, object, index)
                     }

@@ -9,7 +9,7 @@
 //! certificate — the offline-verifiable artifact of §4.4.3 — and pushes the
 //! certified record into the dissemination tree.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use oceanstore_consensus::messages::PbftMsg;
@@ -19,8 +19,9 @@ use oceanstore_crypto::threshold::SerializationCert;
 use oceanstore_naming::guid::Guid;
 use oceanstore_sim::{Context, NodeId};
 use oceanstore_update::decode_update;
+use rand::seq::SliceRandom;
 
-use crate::config::{ChildMode, FailoverConfig};
+use crate::config::{ChildMode, FailoverConfig, RepushConfig};
 use crate::messages::{CommitRecord, ReplicaMsg, TentativeId};
 use crate::store::ObjectStore;
 
@@ -32,6 +33,15 @@ use crate::store::ObjectStore;
 const TIMER_SHARE_BASE: u64 = 1 << 44;
 /// Width of the share-retry tag namespace.
 const TIMER_SHARE_SPAN: u64 = 1 << 44;
+/// Timer tag namespace of the tier→tree re-push machinery:
+/// `[1 << 45, 1 << 46)`, disjoint from PBFT view alarms, share retries,
+/// and client retransmission.
+const TIMER_PUSH_BASE: u64 = 1 << 45;
+/// Width of the re-push tag namespace.
+const TIMER_PUSH_SPAN: u64 = 1 << 45;
+/// Timer tag of the tier-internal anti-entropy tick (well below the
+/// `1 << 40` band where the namespaced machinery starts).
+const TIMER_TIER_AE: u64 = 12;
 
 /// Which tier member disseminates record `index` of `object` on failover
 /// `attempt` (0 = the original rotation choice). Consecutive attempts walk
@@ -39,6 +49,19 @@ const TIMER_SHARE_SPAN: u64 = 1 << 44;
 /// members — with at most `f` crashed, at least one is live.
 pub fn disseminator_for(n: usize, object: &Guid, index: u64, attempt: u64) -> usize {
     (object.low_u64().wrapping_add(index).wrapping_add(attempt) % n as u64) as usize
+}
+
+/// One certified record still waiting for `CommitAck`s from `Push`
+/// children on the tier→tree edge.
+#[derive(Debug)]
+struct PendingPush {
+    /// Children that have not acked `(object, index)` yet.
+    unacked: Vec<NodeId>,
+    /// Re-pushes sent so far (0 = only the disseminator's original push,
+    /// or — on observer primaries — nothing yet).
+    attempt: u32,
+    /// Re-push-timer token (stable for the life of the entry).
+    token: u64,
 }
 
 /// One signer's outstanding share, still waiting for its certificate.
@@ -103,6 +126,27 @@ pub struct Primary {
     early_certs: HashMap<(Guid, u64), SerializationCert>,
     /// Total share re-broadcasts sent (failover engagement accounting).
     share_retries: u64,
+    /// Tier→tree acked-re-push knobs.
+    repush: RepushConfig,
+    /// Certified records not yet acked by every `Push` child.
+    pending_push: HashMap<(Guid, u64), PendingPush>,
+    /// Re-push-timer token → the record it guards.
+    push_tokens: HashMap<u64, (Guid, u64)>,
+    /// Next re-push-timer token.
+    next_push_token: u64,
+    /// Children known (via `CommitAck`) to hold each record — consulted
+    /// when arming so an ack that raced ahead of `CertFormed` still
+    /// cancels the watchdog.
+    push_acked: HashMap<(Guid, u64), HashSet<NodeId>>,
+    /// Total `Commit` re-pushes sent (re-push engagement accounting).
+    repush_resends: u64,
+    /// Period of the tier-internal anti-entropy tick (`None` disables
+    /// it). Certified records are self-certifying, so primaries can
+    /// exchange them directly — the catch-up path for a primary that
+    /// missed commits (crash recovery, quorum-loss islanding) and whose
+    /// embedded agreement replica cannot rejoin on its own. Without it, a
+    /// behind primary serving as a tree parent starves its whole subtree.
+    tier_anti_entropy: Option<oceanstore_sim::SimDuration>,
 }
 
 impl Primary {
@@ -114,7 +158,15 @@ impl Primary {
         fault: oceanstore_consensus::replica::FaultMode,
         children: Vec<(NodeId, ChildMode)>,
     ) -> Self {
-        Primary::with_failover(cfg, index, keypair, fault, children, FailoverConfig::default())
+        Primary::with_knobs(
+            cfg,
+            index,
+            keypair,
+            fault,
+            children,
+            FailoverConfig::default(),
+            RepushConfig::default(),
+        )
     }
 
     /// Like [`Primary::new`] with explicit disseminator-failover knobs.
@@ -125,6 +177,20 @@ impl Primary {
         fault: oceanstore_consensus::replica::FaultMode,
         children: Vec<(NodeId, ChildMode)>,
         failover: FailoverConfig,
+    ) -> Self {
+        Primary::with_knobs(cfg, index, keypair, fault, children, failover, RepushConfig::default())
+    }
+
+    /// Like [`Primary::new`] with explicit failover *and* re-push knobs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_knobs(
+        cfg: TierConfig,
+        index: usize,
+        keypair: KeyPair,
+        fault: oceanstore_consensus::replica::FaultMode,
+        children: Vec<(NodeId, ChildMode)>,
+        failover: FailoverConfig,
+        repush: RepushConfig,
     ) -> Self {
         let pbft = Replica::new(cfg.clone(), index, keypair.clone(), fault);
         Primary {
@@ -143,6 +209,26 @@ impl Primary {
             next_token: 0,
             early_certs: HashMap::new(),
             share_retries: 0,
+            repush,
+            pending_push: HashMap::new(),
+            push_tokens: HashMap::new(),
+            next_push_token: 0,
+            push_acked: HashMap::new(),
+            repush_resends: 0,
+            tier_anti_entropy: None,
+        }
+    }
+
+    /// Enables the tier-internal anti-entropy tick with the given period
+    /// (effective from the next [`Primary::on_start`]).
+    pub fn set_tier_anti_entropy(&mut self, interval: oceanstore_sim::SimDuration) {
+        self.tier_anti_entropy = Some(interval);
+    }
+
+    /// Arms the tier anti-entropy tick, if enabled.
+    pub fn on_start(&mut self, ctx: &mut Context<'_, ReplicaMsg>) {
+        if let Some(interval) = self.tier_anti_entropy {
+            ctx.set_timer(interval, TIMER_TIER_AE);
         }
     }
 
@@ -169,6 +255,17 @@ impl Primary {
         self.share_retries
     }
 
+    /// Total `Commit` re-pushes this primary has sent (re-push engagement
+    /// accounting for the chaos suite).
+    pub fn repush_resend_count(&self) -> u64 {
+        self.repush_resends
+    }
+
+    /// Certified records still waiting for `Push`-child acks.
+    pub fn pending_push_count(&self) -> usize {
+        self.pending_push.len()
+    }
+
     /// Whether a valid certificate for `(object, index)` is stored here.
     pub fn has_cert(&self, object: &Guid, index: u64) -> bool {
         self.store
@@ -186,8 +283,12 @@ impl Primary {
     /// Timer dispatch: share-retry tokens are handled here, everything
     /// else belongs to the embedded agreement replica.
     pub fn on_timer(&mut self, ctx: &mut Context<'_, ReplicaMsg>, tag: u64) {
-        if (TIMER_SHARE_BASE..TIMER_SHARE_BASE + TIMER_SHARE_SPAN).contains(&tag) {
+        if tag == TIMER_TIER_AE {
+            self.on_tier_ae_tick(ctx);
+        } else if (TIMER_SHARE_BASE..TIMER_SHARE_BASE + TIMER_SHARE_SPAN).contains(&tag) {
             self.on_share_retry(ctx, tag - TIMER_SHARE_BASE);
+        } else if (TIMER_PUSH_BASE..TIMER_PUSH_BASE + TIMER_PUSH_SPAN).contains(&tag) {
+            self.on_push_retry(ctx, tag - TIMER_PUSH_BASE);
         } else {
             self.on_pbft_timer(ctx, tag);
         }
@@ -208,6 +309,12 @@ impl Primary {
             };
             let Ok(update) = decode_update(update_bytes) else { continue };
             let id = TentativeId { client: entry.request.client, counter: entry.request.seq };
+            // Tier anti-entropy may have adopted this record (certified)
+            // before our own agreement replica caught up to it; appending
+            // a second copy would fork the per-object index sequence.
+            if self.store.get(&object).is_some_and(|st| st.records.iter().any(|r| r.id == id)) {
+                continue;
+            }
             let record = self.store.serialize_update(
                 object,
                 &update,
@@ -227,6 +334,13 @@ impl Primary {
                 ) {
                     self.store.set_cert(&object, record.index, cert);
                     self.disseminated.insert(key);
+                    // Same observer watchdog as `on_cert_formed` — the
+                    // cert beat our own execution here, so the arming
+                    // there never ran.
+                    let grace = self
+                        .repush_deadline(0)
+                        .mul_f64(f64::from(self.repush.observer_grace.max(1)));
+                    self.arm_repush(ctx, object, record.index, grace);
                     continue;
                 }
             }
@@ -316,6 +430,128 @@ impl Primary {
         }
     }
 
+    /// Re-push deadline for retry number `attempt` (exponential backoff,
+    /// exponent clamped so the arithmetic can't overflow).
+    fn repush_deadline(&self, attempt: u32) -> oceanstore_sim::SimDuration {
+        let factor = u64::from(self.repush.backoff.max(1)).pow(attempt.min(16));
+        oceanstore_sim::SimDuration::from_micros(
+            self.repush.ack_timeout.as_micros().saturating_mul(factor),
+        )
+    }
+
+    /// Puts `(object, index)` under ack surveillance: every `Push` child
+    /// that has not already acked must do so before `initial_delay` (then
+    /// exponentially later deadlines) or the record is re-pushed to it.
+    /// The disseminator arms this at certificate assembly; observer
+    /// primaries arm it with the longer `observer_grace` deadline when
+    /// `CertFormed` arrives, covering a disseminator that died with the
+    /// push on the wire.
+    fn arm_repush(
+        &mut self,
+        ctx: &mut Context<'_, ReplicaMsg>,
+        object: Guid,
+        index: u64,
+        initial_delay: oceanstore_sim::SimDuration,
+    ) {
+        if !self.repush.enabled {
+            return;
+        }
+        let key = (object, index);
+        if self.pending_push.contains_key(&key) {
+            return;
+        }
+        let acked = self.push_acked.get(&key);
+        let unacked: Vec<NodeId> = self
+            .children
+            .iter()
+            .filter(|(c, mode)| {
+                *mode == ChildMode::Push && acked.is_none_or(|s| !s.contains(c))
+            })
+            .map(|(c, _)| *c)
+            .collect();
+        if unacked.is_empty() {
+            return;
+        }
+        let token = self.next_push_token;
+        self.next_push_token += 1;
+        self.pending_push.insert(key, PendingPush { unacked, attempt: 0, token });
+        self.push_tokens.insert(token, key);
+        ctx.set_timer(initial_delay, TIMER_PUSH_BASE + token);
+    }
+
+    /// A re-push deadline expired: if any `Push` child still hasn't acked
+    /// the record, re-send the certified `Commit` to exactly those
+    /// children and re-arm with a doubled deadline — until the retry
+    /// budget runs out and the record degrades to anti-entropy repair.
+    fn on_push_retry(&mut self, ctx: &mut Context<'_, ReplicaMsg>, token: u64) {
+        let Some(&(object, index)) = self.push_tokens.get(&token) else {
+            return; // every child acked; the timer is stale
+        };
+        let key = (object, index);
+        let (unacked, attempt) = match self.pending_push.get_mut(&key) {
+            Some(entry) if entry.attempt >= self.repush.max_retries => {
+                // Budget exhausted: stop pushing, leave repair to the
+                // anti-entropy path (which is correct, just slower).
+                self.pending_push.remove(&key);
+                self.push_tokens.remove(&token);
+                ctx.count("repush/exhausted");
+                return;
+            }
+            Some(entry) => {
+                entry.attempt += 1;
+                (entry.unacked.clone(), entry.attempt)
+            }
+            None => {
+                self.push_tokens.remove(&token);
+                return;
+            }
+        };
+        let record = self
+            .store
+            .records_from(&object, index)
+            .into_iter()
+            .next()
+            .filter(|r| r.index == index && !r.cert.is_empty());
+        let Some(record) = record else {
+            // Certified elsewhere but not locally attached yet; try again
+            // at the next deadline.
+            ctx.set_timer(self.repush_deadline(attempt), TIMER_PUSH_BASE + token);
+            return;
+        };
+        for child in unacked {
+            self.repush_resends += 1;
+            ctx.count("repush/resend");
+            ctx.send(child, ReplicaMsg::Commit(record.clone()));
+        }
+        ctx.set_timer(self.repush_deadline(attempt), TIMER_PUSH_BASE + token);
+    }
+
+    /// A `Push` child confirmed it holds `(object, index)` certified.
+    /// Acks are broadcast to the whole ring, so this also stands down
+    /// observer watchdogs on primaries that never pushed anything.
+    pub fn on_commit_ack(
+        &mut self,
+        ctx: &mut Context<'_, ReplicaMsg>,
+        from: NodeId,
+        object: Guid,
+        index: u64,
+    ) {
+        let key = (object, index);
+        self.push_acked.entry(key).or_default().insert(from);
+        if let Some(entry) = self.pending_push.get_mut(&key) {
+            entry.unacked.retain(|&c| c != from);
+            if entry.unacked.is_empty() {
+                if entry.attempt > 0 {
+                    // At least one re-push was needed before the ack came
+                    // back: the retry schedule did real recovery work.
+                    ctx.count("repush/recovered");
+                }
+                let entry = self.pending_push.remove(&key).expect("entry just touched");
+                self.push_tokens.remove(&entry.token);
+            }
+        }
+    }
+
     /// Handles a tier member's announcement that `(object, index)` is
     /// certified: verify, persist the cert, and stop retrying.
     pub fn on_cert_formed(
@@ -325,7 +561,6 @@ impl Primary {
         index: u64,
         cert: SerializationCert,
     ) {
-        let _ = ctx;
         let key = (object, index);
         let record = self
             .store
@@ -346,6 +581,13 @@ impl Primary {
                 self.disseminated.insert(key);
                 self.assembling.remove(&key);
                 self.clear_pending(&key);
+                // Observer watchdog: the disseminator pushed this record
+                // to the tree, but if it (or the push) dies, somebody has
+                // to notice. The grace period gives the disseminator's
+                // own schedule first crack.
+                let grace =
+                    self.repush_deadline(0).mul_f64(f64::from(self.repush.observer_grace.max(1)));
+                self.arm_repush(ctx, object, index, grace);
             }
             None => {
                 // Not executed this far yet; verified once the record
@@ -463,6 +705,10 @@ impl Primary {
                     ),
                 }
             }
+            // The push above is fire-and-forget; keep the record on the
+            // re-push schedule until every Push child acks it.
+            let deadline = self.repush_deadline(0);
+            self.arm_repush(ctx, object, index, deadline);
         }
     }
 
@@ -475,11 +721,46 @@ impl Primary {
         ctx.send(from, ReplicaMsg::AttachOk { grandparent: None });
     }
 
-    /// Handles a child secondary's anti-entropy summary: a child behind
-    /// this primary's certified frontier gets the suffix pushed. This
-    /// repairs a dropped `Commit` push on the tier→tree edge — without it
-    /// a record no secondary ever received is unrecoverable, because the
-    /// epidemic layer cannot spread what nobody holds.
+    /// Tier-internal anti-entropy tick: summarize every object we hold to
+    /// one random peer primary. A peer that is ahead pushes the certified
+    /// suffix back; a peer that is behind pulls from us in turn when it
+    /// handles the summary. This is the tier's only catch-up path for a
+    /// primary whose embedded agreement replica missed commits and cannot
+    /// rejoin (crash recovery with lost state, quorum-loss islanding) —
+    /// certified records are offline-verifiable, so no agreement round is
+    /// needed to adopt them.
+    fn on_tier_ae_tick(&mut self, ctx: &mut Context<'_, ReplicaMsg>) {
+        let peers: Vec<NodeId> = self
+            .cfg
+            .members
+            .iter()
+            .copied()
+            .filter(|&p| p != self.cfg.members[self.index])
+            .collect();
+        if let Some(&peer) = peers[..].choose(ctx.rng()) {
+            let mut objects: Vec<Guid> = self.store.guids().copied().collect();
+            // Deterministic send order (hash-map iteration is not).
+            objects.sort();
+            for object in objects {
+                let committed_index = self.store.get(&object).map_or(0, |s| s.next_index);
+                ctx.send(
+                    peer,
+                    ReplicaMsg::AntiEntropy { object, committed_index, tentative_ids: Vec::new() },
+                );
+            }
+        }
+        if let Some(interval) = self.tier_anti_entropy {
+            ctx.set_timer(interval, TIMER_TIER_AE);
+        }
+    }
+
+    /// Handles an anti-entropy summary from a child secondary or a peer
+    /// primary: a sender behind this primary's certified frontier gets
+    /// the suffix pushed — this repairs a dropped `Commit` push on the
+    /// tier→tree edge (a record no secondary ever received cannot spread
+    /// epidemically: nobody holds it). A sender *ahead* of us is asked
+    /// for the suffix we lack, which is how a behind primary catches up
+    /// through the tier anti-entropy tick.
     pub fn on_anti_entropy(
         &mut self,
         ctx: &mut Context<'_, ReplicaMsg>,
@@ -488,6 +769,39 @@ impl Primary {
         committed_index: u64,
     ) {
         self.on_fetch(ctx, from, object, committed_index);
+        let ours = self.store.get(&object).map_or(0, |s| s.next_index);
+        if committed_index > ours {
+            ctx.send(from, ReplicaMsg::FetchCommits { object, from_index: ours });
+        }
+    }
+
+    /// Handles a batch of fetched certified records (tier anti-entropy
+    /// pull response). Each record's certificate is verified before the
+    /// record is applied — the sender may be Byzantine, or a forging
+    /// secondary that baited the pull with an inflated summary.
+    pub fn on_commits(&mut self, ctx: &mut Context<'_, ReplicaMsg>, records: Vec<CommitRecord>) {
+        for record in records {
+            if record.cert.is_empty()
+                || !record.cert.verify_threshold(
+                    &record.signing_bytes(),
+                    &self.cfg.replica_keys,
+                    self.cfg.m + 1,
+                )
+            {
+                continue; // forged or partial certificate
+            }
+            let key = (record.object, record.index);
+            if !self.store.apply_record(&record) {
+                continue; // gap: the prefix arrives first or not at all
+            }
+            ctx.count("tier-ae/adopt");
+            // The record arrived certified: the share/assembly machinery
+            // for it (if any was armed) is moot.
+            self.disseminated.insert(key);
+            self.assembling.remove(&key);
+            self.early_certs.remove(&key);
+            self.clear_pending(&key);
+        }
     }
 
     /// Serves the pull path for children and stale secondaries.

@@ -421,9 +421,29 @@ impl Secondary {
             .verify_threshold(&record.signing_bytes(), &self.tier_keys, self.tier_m + 1)
     }
 
+    /// Acks a tier→tree push back to the primary ring when the sender was
+    /// a primary and we now hold the record certified. The ack goes to
+    /// *every* ring member (it is tiny), so observer primaries whose
+    /// watchdogs armed via `CertFormed` stand down without ever pushing a
+    /// duplicate. Deep tree edges (secondary sender) are never acked —
+    /// secondary parents repair through anti-entropy, not retry state.
+    fn ack_primary_push(&self, ctx: &mut Context<'_, ReplicaMsg>, from: NodeId, object: Guid, index: u64) {
+        if !self.cfg.fallback_parents.contains(&from) {
+            return;
+        }
+        for &primary in &self.cfg.fallback_parents {
+            ctx.send(primary, ReplicaMsg::CommitAck { object, index });
+        }
+    }
+
     /// Handles a certified commit record (tree push or fetch response).
     /// Returns whether it was applied.
-    pub fn on_commit(&mut self, ctx: &mut Context<'_, ReplicaMsg>, record: CommitRecord) -> bool {
+    pub fn on_commit(
+        &mut self,
+        ctx: &mut Context<'_, ReplicaMsg>,
+        from: NodeId,
+        record: CommitRecord,
+    ) -> bool {
         if !self.verify_record(&record) {
             self.rejected += 1;
             return false; // forged or partial certificate
@@ -431,13 +451,16 @@ impl Secondary {
         // Duplicate suppression: a record below our committed frontier was
         // already applied *and* already streamed to our children — two
         // disseminators racing after a failover must not re-flood the
-        // subtree.
+        // subtree. Duplicates are still acked: a late re-pusher must stop
+        // retrying even though the first copy won.
         if self.store.get(&record.object).is_some_and(|s| record.index < s.next_index) {
             self.dup_suppressed += 1;
+            self.ack_primary_push(ctx, from, record.object, record.index);
             return true;
         }
         let applied = self.store.apply_record(&record);
         if applied {
+            self.ack_primary_push(ctx, from, record.object, record.index);
             // Reconcile the optimistic path: this update is now final.
             if let Some(pending) = self.tentative.get_mut(&record.object) {
                 pending.retain(|(_, id), _| *id != record.id);
@@ -530,12 +553,17 @@ impl Secondary {
     }
 
     /// Handles a batch of fetched records.
-    pub fn on_commits(&mut self, ctx: &mut Context<'_, ReplicaMsg>, records: Vec<CommitRecord>) {
+    pub fn on_commits(
+        &mut self,
+        ctx: &mut Context<'_, ReplicaMsg>,
+        from: NodeId,
+        records: Vec<CommitRecord>,
+    ) {
         // The pull path answered: clear the fallback/backoff state.
         self.unanswered_pulls = 0;
         self.ticks_until_pull = 0;
         for r in records {
-            self.on_commit(ctx, r);
+            self.on_commit(ctx, from, r);
         }
     }
 

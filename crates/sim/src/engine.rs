@@ -50,6 +50,7 @@ pub trait Protocol {
 enum Action<M> {
     Send { to: NodeId, msg: M },
     Timer { delay: SimDuration, tag: u64 },
+    Count { name: &'static str, n: u64 },
 }
 
 /// Handle given to protocol callbacks for interacting with the simulated
@@ -91,6 +92,16 @@ impl<M> Context<'_, M> {
     /// This node's deterministic random stream.
     pub fn rng(&mut self) -> &mut impl Rng {
         self.rng
+    }
+
+    /// Bumps the named protocol-event counter in [`NetStats`] by one.
+    ///
+    /// Events are for costs that are invisible in pure message counts —
+    /// e.g. how many `Commit` re-pushes were retries vs the retry budget
+    /// being exhausted. They appear in [`NetStats::event`] and the chaos
+    /// fingerprint, so determinism checks cover them too.
+    pub fn count(&mut self, name: &'static str) {
+        self.actions.push(Action::Count { name, n: 1 });
     }
 
     /// Runs an *embedded* protocol that speaks message type `N`, wrapping
@@ -135,6 +146,7 @@ impl<M> Context<'_, M> {
                 Action::Timer { delay, tag } => {
                     self.actions.push(Action::Timer { delay, tag: tag_map(tag) })
                 }
+                Action::Count { name, n } => self.actions.push(Action::Count { name, n }),
             }
         }
         r
@@ -565,6 +577,7 @@ impl<P: Protocol> Simulator<P> {
                     let at = self.clock + delay;
                     self.push(Event { at, seq: 0, kind: EventKind::Timer { node, tag } });
                 }
+                Action::Count { name, n } => self.stats.record_event(name, n),
             }
         }
     }

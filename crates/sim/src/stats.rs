@@ -55,6 +55,7 @@ pub struct NetStats {
     per_node_received: Vec<u64>,
     by_class: BTreeMap<&'static str, ClassStats>,
     by_node_class: BTreeMap<(usize, &'static str), ClassStats>,
+    events: BTreeMap<&'static str, u64>,
 }
 
 /// Counters for one message class.
@@ -90,6 +91,10 @@ impl NetStats {
 
     pub(crate) fn record_drop(&mut self, cause: DropCause) {
         self.dropped[cause.index()] += 1;
+    }
+
+    pub(crate) fn record_event(&mut self, name: &'static str, n: u64) {
+        *self.events.entry(name).or_insert(0) += n;
     }
 
     /// Total messages sent (whether or not delivered).
@@ -144,6 +149,21 @@ impl NetStats {
     /// per-node retry accounting — e.g. "which primaries re-routed shares".
     pub fn class_sent_by(&self, node: NodeId, name: &str) -> ClassStats {
         self.by_node_class.get(&(node.0, name)).copied().unwrap_or_default()
+    }
+
+    /// Count of one named protocol event (zero if never recorded).
+    ///
+    /// Protocol code bumps these through [`crate::Context::count`]; the
+    /// re-push machinery uses them to expose its per-cause costs
+    /// (`repush/resend`, `repush/recovered`, `repush/exhausted`) without
+    /// every protocol growing its own accessor surface.
+    pub fn event(&self, name: &str) -> u64 {
+        self.events.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(event, count)` pairs in name order.
+    pub fn events(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.events.iter().map(|(k, v)| (*k, *v))
     }
 
     /// Resets every counter to zero (e.g. between warm-up and measurement).
@@ -204,9 +224,24 @@ mod tests {
     fn reset_clears() {
         let mut s = NetStats::new(2);
         s.record_send(NodeId(0), NodeId(1), 5, "x");
+        s.record_event("ev", 1);
         s.reset();
         assert_eq!(s.total_bytes(), 0);
         assert_eq!(s.sent_by(NodeId(0)), 0);
         assert_eq!(s.classes().count(), 0);
+        assert_eq!(s.event("ev"), 0);
+    }
+
+    #[test]
+    fn event_counters_accumulate() {
+        let mut s = NetStats::new(1);
+        s.record_event("repush/resend", 1);
+        s.record_event("repush/resend", 2);
+        s.record_event("repush/exhausted", 1);
+        assert_eq!(s.event("repush/resend"), 3);
+        assert_eq!(s.event("repush/exhausted"), 1);
+        assert_eq!(s.event("unknown"), 0);
+        let all: Vec<_> = s.events().collect();
+        assert_eq!(all, vec![("repush/exhausted", 1), ("repush/resend", 3)]);
     }
 }
