@@ -1,0 +1,314 @@
+//! A frozen copy of the pre-fast-path simulation engine, kept so the perf
+//! report can measure the production engine against the exact code it
+//! replaced.
+//!
+//! This is the engine as it stood before the timer wheel, `Arc`-shared
+//! multicast payloads, and pooled action buffers landed: timers share the
+//! message `BinaryHeap` as owned events, every callback allocates a fresh
+//! action `Vec`, and a fan-out is a loop of deep per-recipient clones. It is
+//! deliberately self-contained (own `Protocol`/`Context` types) so it can
+//! never drift into sharing the optimized code paths; only passive types
+//! (`Topology`, `SimTime`, `NetStats`, `Message`) come from the sim crate.
+//!
+//! Nothing outside `crates/bench` should use this. Protocol logic benched
+//! against it must be written twice — once per engine — with identical
+//! behavior; see `bin/perf_report.rs`.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use oceanstore_sim::engine::Message;
+use oceanstore_sim::time::{SimDuration, SimTime};
+use oceanstore_sim::topology::{NodeId, Topology};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Local stand-in for the sim crate's `NetStats` (whose recorders are
+/// crate-private). Mirrors the per-send bookkeeping cost — total counters
+/// plus a per-class hash-map update — so baseline route() does the same
+/// kind of work per message as the production engine's.
+#[derive(Debug, Default)]
+pub struct BaselineStats {
+    msgs: u64,
+    bytes: u64,
+    drops: u64,
+    classes: HashMap<&'static str, (u64, u64)>,
+}
+
+impl BaselineStats {
+    fn record_send(&mut self, bytes: usize, class: &'static str) {
+        self.msgs += 1;
+        self.bytes += bytes as u64;
+        let e = self.classes.entry(class).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += bytes as u64;
+    }
+
+    fn record_drop(&mut self) {
+        self.drops += 1;
+    }
+
+    /// Total messages put on the wire.
+    pub fn total_messages(&self) -> u64 {
+        self.msgs
+    }
+
+    /// Total bytes put on the wire.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Messages dropped before delivery.
+    pub fn dropped_messages(&self) -> u64 {
+        self.drops
+    }
+}
+
+/// The baseline engine's protocol trait (no `on_message_ref`, no broadcast
+/// fast path — fan-out is a caller-side loop of owned sends).
+pub trait Protocol {
+    /// Message type exchanged between nodes.
+    type Msg: Message;
+
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Context<'_, Self::Msg>) {}
+    /// Called when a message addressed to this node arrives.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+    /// Called when a timer set through [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Self::Msg>, _tag: u64) {}
+}
+
+#[derive(Debug)]
+enum Action<M> {
+    Send { to: NodeId, msg: M },
+    Timer { delay: SimDuration, tag: u64 },
+}
+
+/// Callback handle mirroring the old engine's `Context`.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    now: SimTime,
+    actions: &'a mut Vec<Action<M>>,
+    rng: &'a mut ChaCha8Rng,
+}
+
+impl<M: Clone> Context<'_, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Queues a message to `to`.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// The pre-multicast fan-out: one deep clone per recipient.
+    pub fn broadcast(&mut self, to: impl IntoIterator<Item = NodeId>, msg: M) {
+        for node in to {
+            self.actions.push(Action::Send { to: node, msg: msg.clone() });
+        }
+    }
+
+    /// Schedules [`Protocol::on_timer`] with `tag` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.actions.push(Action::Timer { delay, tag });
+    }
+
+    /// This node's deterministic random stream.
+    pub fn rng(&mut self) -> &mut impl Rng {
+        self.rng
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, tag: u64 },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The pre-fast-path simulator: one `BinaryHeap` holds both messages and
+/// timers as owned events.
+pub struct Simulator<P: Protocol> {
+    nodes: Vec<P>,
+    node_rngs: Vec<ChaCha8Rng>,
+    topo: Topology,
+    clock: SimTime,
+    queue: BinaryHeap<Event<P::Msg>>,
+    seq: u64,
+    stats: BaselineStats,
+    down: Vec<bool>,
+    drop_prob: f64,
+    link_drops: HashMap<(usize, usize), f64>,
+    engine_rng: ChaCha8Rng,
+    events_processed: u64,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Creates a simulator over `topology` with one protocol per node,
+    /// seeding RNGs exactly as the production engine does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != topology.len()`.
+    pub fn new(topology: Topology, nodes: Vec<P>, seed: u64) -> Self {
+        assert_eq!(nodes.len(), topology.len(), "one protocol instance per topology node");
+        let n = nodes.len();
+        let node_rngs = (0..n)
+            .map(|i| {
+                ChaCha8Rng::seed_from_u64(
+                    seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+                )
+            })
+            .collect();
+        Simulator {
+            nodes,
+            node_rngs,
+            topo: topology,
+            clock: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            stats: BaselineStats::default(),
+            down: vec![false; n],
+            drop_prob: 0.0,
+            link_drops: HashMap::new(),
+            engine_rng: ChaCha8Rng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03),
+            events_processed: 0,
+        }
+    }
+
+    /// Calls [`Protocol::on_start`] on every live node.
+    pub fn start(&mut self) {
+        for i in 0..self.nodes.len() {
+            if !self.down[i] {
+                self.dispatch(NodeId(i), |node, ctx| node.on_start(ctx));
+            }
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Network accounting so far.
+    pub fn stats(&self) -> &BaselineStats {
+        &self.stats
+    }
+
+    /// Total events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Runs a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else { return false };
+        debug_assert!(ev.at >= self.clock, "time must be monotonic");
+        self.clock = ev.at;
+        self.events_processed += 1;
+        match ev.kind {
+            EventKind::Deliver { from, to, msg } => {
+                if self.down[to.0] {
+                    self.stats.record_drop();
+                } else {
+                    self.dispatch(to, |node, ctx| node.on_message(ctx, from, msg));
+                }
+            }
+            EventKind::Timer { node, tag } => {
+                if !self.down[node.0] {
+                    self.dispatch(node, |n, ctx| n.on_timer(ctx, tag));
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs events with timestamps `<= until`, leaving later ones queued.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > until {
+                break;
+            }
+            self.step();
+        }
+        if self.clock < until {
+            self.clock = until;
+        }
+    }
+
+    fn push(&mut self, mut ev: Event<P::Msg>) {
+        ev.seq = self.seq;
+        self.seq += 1;
+        self.queue.push(ev);
+    }
+
+    fn dispatch(&mut self, node: NodeId, f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>)) {
+        // The old engine's signature cost: a fresh Vec per callback.
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Context {
+                now: self.clock,
+                actions: &mut actions,
+                rng: &mut self.node_rngs[node.0],
+            };
+            f(&mut self.nodes[node.0], &mut ctx);
+        }
+        self.apply_actions(node, actions);
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<P::Msg>>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => self.route(node, to, msg),
+                Action::Timer { delay, tag } => {
+                    let at = self.clock + delay;
+                    self.push(Event { at, seq: 0, kind: EventKind::Timer { node, tag } });
+                }
+            }
+        }
+    }
+
+    fn route(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
+        self.stats.record_send(msg.wire_size(), msg.class());
+        if self.drop_prob > 0.0 && self.engine_rng.gen::<f64>() < self.drop_prob {
+            self.stats.record_drop();
+            return;
+        }
+        if let Some(&p) = self.link_drops.get(&(from.0.min(to.0), from.0.max(to.0))) {
+            if self.engine_rng.gen::<f64>() < p {
+                self.stats.record_drop();
+                return;
+            }
+        }
+        let Some(latency) = self.topo.dist(from, to) else {
+            self.stats.record_drop();
+            return;
+        };
+        let at = self.clock + latency;
+        self.push(Event { at, seq: 0, kind: EventKind::Deliver { from, to, msg } });
+    }
+}

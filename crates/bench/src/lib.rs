@@ -6,6 +6,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod baseline;
 pub mod fig6;
 pub mod s1_bloom;
 pub mod s2_plaxton;

@@ -41,27 +41,43 @@ impl BloomFilter {
         self.k
     }
 
-    /// Positions probed for `guid` (double hashing off the digest).
-    fn positions(&self, guid: &Guid) -> impl Iterator<Item = usize> + '_ {
+    /// The double-hashing pair for `guid`; positions are
+    /// `(h1 + i·h2) mod m` for `i` in `0..k`. Hoisted out so callers
+    /// probing many same-geometry filters (the attenuated levels) derive
+    /// it once.
+    #[inline]
+    fn hash_pair(guid: &Guid) -> (u64, u64) {
         let bytes = guid.as_bytes();
         let h1 = u64::from_be_bytes(bytes[0..8].try_into().expect("8 bytes"));
         let h2 = u64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes")) | 1;
-        let m = self.m as u64;
-        (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+        (h1, h2)
     }
 
-    /// Inserts a GUID.
+    /// Inserts a GUID. Allocation-free: probes are streamed straight into
+    /// the word array.
     pub fn insert(&mut self, guid: &Guid) {
-        let pos: Vec<usize> = self.positions(guid).collect();
-        for p in pos {
+        let (h1, h2) = Self::hash_pair(guid);
+        let m = self.m as u64;
+        for i in 0..self.k as u64 {
+            let p = (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize;
             self.bits[p / 64] |= 1 << (p % 64);
         }
     }
 
     /// Membership probe: `false` is definitive, `true` may be a false
-    /// positive.
+    /// positive. Allocation-free.
     pub fn contains(&self, guid: &Guid) -> bool {
-        self.positions(guid).collect::<Vec<_>>().iter().all(|&p| self.bits[p / 64] >> (p % 64) & 1 == 1)
+        let (h1, h2) = Self::hash_pair(guid);
+        self.contains_hashed(h1, h2)
+    }
+
+    #[inline]
+    fn contains_hashed(&self, h1: u64, h2: u64) -> bool {
+        let m = self.m as u64;
+        (0..self.k as u64).all(|i| {
+            let p = (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize;
+            self.bits[p / 64] >> (p % 64) & 1 == 1
+        })
     }
 
     /// Bitwise union with another filter of the same geometry.
@@ -144,7 +160,10 @@ impl AttenuatedBloom {
     /// distance to the object through this edge. `None` if no level claims
     /// it.
     pub fn min_distance(&self, guid: &Guid) -> Option<usize> {
-        self.levels.iter().position(|f| f.contains(guid))
+        // All levels share one geometry, so the double-hash pair is derived
+        // once and reused across the depth-D probe sweep.
+        let (h1, h2) = BloomFilter::hash_pair(guid);
+        self.levels.iter().position(|f| f.contains_hashed(h1, h2))
     }
 
     /// The view of this filter from one hop further away: level `i` of the

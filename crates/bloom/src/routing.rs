@@ -346,9 +346,7 @@ impl Protocol for BloomNode {
         if tag == TIMER_ADVERTISE {
             self.rebuild_own();
             let advert = self.own.attenuated();
-            for &nbr in &self.neighbors {
-                ctx.send(nbr, BloomMsg::Advertise(advert.clone()));
-            }
+            ctx.broadcast(self.neighbors.iter().copied(), BloomMsg::Advertise(advert));
             ctx.set_timer(self.cfg.advertise_interval, TIMER_ADVERTISE);
         }
     }

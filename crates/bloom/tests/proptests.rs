@@ -8,6 +8,50 @@ fn guids(labels: &[String]) -> Vec<Guid> {
     labels.iter().map(|l| Guid::from_label(l)).collect()
 }
 
+/// A deliberately naive bit-level Bloom filter (one `bool` per bit, per-bit
+/// loops everywhere) mirroring the production double-hashing scheme. The
+/// word-at-a-time `BloomFilter` must be observably equivalent to this.
+struct BitBloom {
+    bits: Vec<bool>,
+    k: usize,
+}
+
+impl BitBloom {
+    fn new(m: usize, k: usize) -> Self {
+        BitBloom { bits: vec![false; m], k }
+    }
+
+    fn positions(&self, guid: &Guid) -> Vec<usize> {
+        let bytes = guid.as_bytes();
+        let h1 = u64::from_be_bytes(bytes[0..8].try_into().unwrap());
+        let h2 = u64::from_be_bytes(bytes[8..16].try_into().unwrap()) | 1;
+        let m = self.bits.len() as u64;
+        (0..self.k as u64)
+            .map(|i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+            .collect()
+    }
+
+    fn insert(&mut self, guid: &Guid) {
+        for p in self.positions(guid) {
+            self.bits[p] = true;
+        }
+    }
+
+    fn contains(&self, guid: &Guid) -> bool {
+        self.positions(guid).iter().all(|&p| self.bits[p])
+    }
+
+    fn union_with(&mut self, other: &BitBloom) {
+        for (a, &b) in self.bits.iter_mut().zip(&other.bits) {
+            *a = *a || b;
+        }
+    }
+
+    fn count_ones(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -46,6 +90,64 @@ proptest! {
         u.union_with(&b);
         for g in guids(&a_labels).iter().chain(guids(&b_labels).iter()) {
             prop_assert!(u.contains(g));
+        }
+    }
+
+    /// The word-at-a-time filter is observably equivalent to the bit-level
+    /// reference under interleaved insert/union/probe sequences: same
+    /// membership answers for present *and* absent keys (false positives
+    /// included — the probed positions are identical), same popcount, same
+    /// emptiness.
+    #[test]
+    fn word_level_filter_matches_bit_level_reference(
+        a_labels in proptest::collection::vec("[a-z]{1,10}", 0..40),
+        b_labels in proptest::collection::vec("[a-z]{1,10}", 0..40),
+        probes in proptest::collection::vec("[a-z]{1,10}", 0..60),
+        m in 64usize..1500,
+        k in 1usize..6,
+    ) {
+        let mut fast = BloomFilter::new(m, k);
+        let mut slow = BitBloom::new(m, k);
+        for g in guids(&a_labels) {
+            fast.insert(&g);
+            slow.insert(&g);
+        }
+        let mut fast_b = BloomFilter::new(m, k);
+        let mut slow_b = BitBloom::new(m, k);
+        for g in guids(&b_labels) {
+            fast_b.insert(&g);
+            slow_b.insert(&g);
+        }
+        fast.union_with(&fast_b);
+        slow.union_with(&slow_b);
+        prop_assert_eq!(fast.count_ones(), slow.count_ones());
+        prop_assert_eq!(fast.is_empty(), slow.count_ones() == 0);
+        for g in guids(&a_labels).iter().chain(guids(&probes).iter()) {
+            prop_assert_eq!(fast.contains(g), slow.contains(g));
+        }
+        fast.clear();
+        prop_assert_eq!(fast.count_ones(), 0);
+    }
+
+    /// Attenuated min-distance (which hoists the hash pair across levels)
+    /// agrees with a per-level bit-level probe.
+    #[test]
+    fn attenuated_min_distance_matches_reference(
+        labels in proptest::collection::vec("[a-z]{1,10}", 1..30),
+        levels in proptest::collection::vec(0usize..4, 1..30),
+        probes in proptest::collection::vec("[a-z]{1,10}", 0..30),
+    ) {
+        let (m, k) = (512, 3);
+        let mut fast = AttenuatedBloom::new(4, m, k);
+        let mut slow: Vec<BitBloom> = (0..4).map(|_| BitBloom::new(m, k)).collect();
+        let items = guids(&labels);
+        for (g, &lvl) in items.iter().zip(&levels) {
+            fast.level_mut(lvl).insert(g);
+            slow[lvl].insert(g);
+        }
+        for g in items.iter().chain(guids(&probes).iter()) {
+            let expect = slow.iter().position(|f| f.contains(g));
+            prop_assert_eq!(fast.min_distance(g), expect);
         }
     }
 

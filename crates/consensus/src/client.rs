@@ -84,9 +84,7 @@ impl Client {
             // Exponential backoff, capped at 8x the base interval, so a
             // long outage doesn't keep hammering the tier.
             let factor = 1u32 << p.retries.min(3);
-            for &replica in &self.cfg.members {
-                ctx.send(replica, msg.clone());
-            }
+            ctx.broadcast(self.cfg.members.iter().copied(), msg);
             ctx.set_timer(interval.mul_f64(factor as f64), tag);
         }
     }
@@ -108,9 +106,7 @@ impl Client {
         if let PbftMsg::Request { sig: s, .. } = &mut msg {
             *s = sig;
         }
-        for &replica in &self.cfg.members {
-            ctx.send(replica, msg.clone());
-        }
+        ctx.broadcast(self.cfg.members.iter().copied(), msg.clone());
         self.pending.insert(
             id,
             PendingRequest { sent_at: ctx.now(), msg, replies: HashMap::new(), retries: 0 },

@@ -264,6 +264,24 @@ impl Replica {
         }
     }
 
+    /// Sends the *same* message to every other replica, honoring the fault
+    /// mode. Uses the engine's shared-payload multicast: one allocation for
+    /// the whole quorum instead of a clone per recipient.
+    fn multicast(&self, ctx: &mut Context<'_, PbftMsg>, msg: PbftMsg) {
+        if self.fault == FaultMode::Silent {
+            return;
+        }
+        let my = self.index;
+        let peers = self
+            .cfg
+            .members
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| *i != my)
+            .map(|(_, &node)| node);
+        ctx.broadcast(peers, msg);
+    }
+
     /// An equivocator flips a digest for odd-indexed recipients.
     fn maybe_corrupt(&self, recipient: usize, digest: Digest) -> Digest {
         if self.fault == FaultMode::Equivocate && recipient % 2 == 1 {
@@ -458,15 +476,12 @@ impl Replica {
         inst.commits.insert(self.index);
         let view = self.view;
         let my = self.index;
-        let base = PbftMsg::Commit { view, seq, digest, replica: my, sig: self.keypair.sign(b"") };
-        let sig = self.keypair.sign(&signing_bytes(&base));
-        self.broadcast(ctx, |_| {
-            let mut m = base.clone();
-            if let PbftMsg::Commit { sig: s, .. } = &mut m {
-                *s = sig;
-            }
-            Some(m)
-        });
+        let mut msg = PbftMsg::Commit { view, seq, digest, replica: my, sig: self.keypair.sign(b"") };
+        let sig = self.keypair.sign(&signing_bytes(&msg));
+        if let PbftMsg::Commit { sig: s, .. } = &mut msg {
+            *s = sig;
+        }
+        self.multicast(ctx, msg);
         self.try_execute(ctx);
     }
 
@@ -582,7 +597,7 @@ impl Replica {
         if let PbftMsg::ViewChange { sig: s, .. } = &mut msg {
             *s = sig;
         }
-        self.broadcast(ctx, |_| Some(msg.clone()));
+        self.multicast(ctx, msg);
         // Vote for ourselves too.
         self.record_vc_vote(ctx, new_view, my, last_exec, prepared);
     }
@@ -610,7 +625,7 @@ impl Replica {
             if let PbftMsg::NewView { sig: s, .. } = &mut msg {
                 *s = sig;
             }
-            self.broadcast(ctx, |_| Some(msg.clone()));
+            self.multicast(ctx, msg);
             self.repropose(ctx, new_view);
         }
     }

@@ -114,6 +114,83 @@ impl ReedSolomon {
         if data.len() != self.k {
             return Err(CodeError::ShardSizeMismatch);
         }
+        let cols: Vec<&[u8]> = data.iter().map(|s| s.as_ref()).collect();
+        let len = cols[0].len();
+        if cols.iter().any(|s| s.len() != len) {
+            return Err(CodeError::ShardSizeMismatch);
+        }
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.n);
+        for col in &cols {
+            out.push(col.to_vec());
+        }
+        let parity_coeffs: Vec<Vec<u8>> = (self.k..self.n)
+            .map(|r| (0..self.k).map(|c| self.enc.get(r, c)).collect())
+            .collect();
+        out.extend(Self::parity_rows(&cols, &parity_coeffs, len));
+        Ok(out)
+    }
+
+    /// Computes parity rows: `row[r][i] = Σ_c coeffs[r][c] · cols[c][i]`.
+    ///
+    /// Each row starts as a *copy* of the first data column multiplied in
+    /// place — no zero-fill that the first accumulation immediately
+    /// overwrites — and the remaining columns accumulate into all rows per
+    /// pass through [`crate::gf256::mul_acc_multi`].
+    fn parity_rows(cols: &[&[u8]], coeffs: &[Vec<u8>], len: usize) -> Vec<Vec<u8>> {
+        #[cfg(feature = "parallel")]
+        {
+            // Rows are independent, so splitting them across threads cannot
+            // change the bytes produced — the feature only exists because
+            // encode throughput is the archival path's bottleneck (off by
+            // default; the simulator stays single-threaded).
+            let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+            if workers > 1 && coeffs.len() > 1 && len >= 4096 {
+                let chunk = coeffs.len().div_ceil(workers);
+                let mut rows: Vec<Vec<Vec<u8>>> = Vec::new();
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = coeffs
+                        .chunks(chunk)
+                        .map(|group| s.spawn(move || Self::parity_rows_serial(cols, group)))
+                        .collect();
+                    rows = handles.into_iter().map(|h| h.join().expect("worker")).collect();
+                });
+                return rows.into_iter().flatten().collect();
+            }
+        }
+        #[cfg(not(feature = "parallel"))]
+        let _ = len;
+        Self::parity_rows_serial(cols, coeffs)
+    }
+
+    fn parity_rows_serial(cols: &[&[u8]], coeffs: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let mut rows: Vec<Vec<u8>> = coeffs
+            .iter()
+            .map(|cs| {
+                let mut row = cols[0].to_vec();
+                crate::gf256::mul_slice_in_place(&mut row, cs[0]);
+                row
+            })
+            .collect();
+        for (c, col) in cols.iter().enumerate().skip(1) {
+            let mut fused: Vec<(&mut [u8], u8)> = rows
+                .iter_mut()
+                .zip(coeffs)
+                .map(|(row, cs)| (row.as_mut_slice(), cs[c]))
+                .collect();
+            crate::gf256::mul_acc_multi(&mut fused, col);
+        }
+        rows
+    }
+
+    /// The pre-optimization encode: zero-filled parity rows accumulated one
+    /// `mul_acc_slice_ref` column at a time. Kept so tests can pin the fast
+    /// path's output against it and the perf report can measure the delta;
+    /// not part of the public contract.
+    #[doc(hidden)]
+    pub fn encode_ref<T: AsRef<[u8]>>(&self, data: &[T]) -> Result<Vec<Vec<u8>>, CodeError> {
+        if data.len() != self.k {
+            return Err(CodeError::ShardSizeMismatch);
+        }
         let len = data[0].as_ref().len();
         if data.iter().any(|s| s.as_ref().len() != len) {
             return Err(CodeError::ShardSizeMismatch);
@@ -126,7 +203,7 @@ impl ReedSolomon {
             }
             let mut shard = vec![0u8; len];
             for (c, d) in data.iter().enumerate() {
-                crate::gf256::mul_acc_slice(&mut shard, d.as_ref(), self.enc.get(r, c));
+                crate::gf256::mul_acc_slice_ref(&mut shard, d.as_ref(), self.enc.get(r, c));
             }
             out.push(shard);
         }
@@ -161,17 +238,69 @@ impl ReedSolomon {
         let use_rows = &present[..self.k];
         let sub = self.enc.select_rows(use_rows);
         let dec = sub.inverse().expect("any k rows of the RS matrix are invertible");
-        // data[c] = sum_j dec[c][j] * shards[use_rows[j]]
+        // data[c] = sum_j dec[c][j] * shards[use_rows[j]], computed source-major:
+        // each surviving shard streams through all k output rows in one pass.
+        let survivors: Vec<&[u8]> = use_rows
+            .iter()
+            .map(|&row| shards[row].as_ref().expect("present").as_slice())
+            .collect();
+        let dec_coeffs: Vec<Vec<u8>> = (0..self.k)
+            .map(|c| (0..self.k).map(|j| dec.get(c, j)).collect())
+            .collect();
+        let data = Self::parity_rows(&survivors, &dec_coeffs, len);
+        // Re-derive every missing shard from the recovered data.
+        let missing: Vec<usize> = (self.k..self.n).filter(|&i| shards[i].is_none()).collect();
+        if !missing.is_empty() {
+            let cols: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let coeffs: Vec<Vec<u8>> = missing
+                .iter()
+                .map(|&i| (0..self.k).map(|c| self.enc.get(i, c)).collect())
+                .collect();
+            let rebuilt = Self::parity_rows(&cols, &coeffs, len);
+            for (&i, s) in missing.iter().zip(rebuilt) {
+                shards[i] = Some(s);
+            }
+        }
+        for (i, d) in data.into_iter().enumerate() {
+            if shards[i].is_none() {
+                shards[i] = Some(d);
+            }
+        }
+        Ok(())
+    }
+
+    /// The pre-optimization reconstruct (zero-filled destination rows,
+    /// one `mul_acc_slice_ref` source at a time). Kept as the perf report's
+    /// "before" measurement and as a test oracle; not part of the public
+    /// contract.
+    #[doc(hidden)]
+    pub fn reconstruct_ref(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
+        if shards.len() != self.n {
+            return Err(CodeError::ShardSizeMismatch);
+        }
+        let present: Vec<usize> = (0..self.n).filter(|&i| shards[i].is_some()).collect();
+        if present.len() < self.k {
+            return Err(CodeError::NotEnoughShards { have: present.len(), need: self.k });
+        }
+        let len = shards[present[0]].as_ref().expect("present").len();
+        if present.iter().any(|&i| shards[i].as_ref().expect("present").len() != len) {
+            return Err(CodeError::ShardSizeMismatch);
+        }
+        if present.len() == self.n {
+            return Ok(());
+        }
+        let use_rows = &present[..self.k];
+        let sub = self.enc.select_rows(use_rows);
+        let dec = sub.inverse().expect("any k rows of the RS matrix are invertible");
         let mut data: Vec<Vec<u8>> = Vec::with_capacity(self.k);
         for c in 0..self.k {
             let mut d = vec![0u8; len];
             for (j, &row) in use_rows.iter().enumerate() {
                 let shard = shards[row].as_ref().expect("present");
-                crate::gf256::mul_acc_slice(&mut d, shard, dec.get(c, j));
+                crate::gf256::mul_acc_slice_ref(&mut d, shard, dec.get(c, j));
             }
             data.push(d);
         }
-        // Re-derive every missing shard from the recovered data.
         for i in 0..self.n {
             if shards[i].is_none() {
                 if i < self.k {
@@ -179,7 +308,7 @@ impl ReedSolomon {
                 } else {
                     let mut s = vec![0u8; len];
                     for (c, d) in data.iter().enumerate() {
-                        crate::gf256::mul_acc_slice(&mut s, d, self.enc.get(i, c));
+                        crate::gf256::mul_acc_slice_ref(&mut s, d, self.enc.get(i, c));
                     }
                     shards[i] = Some(s);
                 }
@@ -230,6 +359,50 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fast_encode_matches_reference_path() {
+        // The fused-kernel encode (copy + mul_slice_in_place seed, then
+        // mul_acc_multi per column) must be bit-identical to the original
+        // zero-fill + column-at-a-time path, including on word-unaligned
+        // shard lengths that exercise the nibble-table tails.
+        for (k, n) in [(1, 2), (2, 4), (3, 6), (8, 16), (16, 32)] {
+            for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 611] {
+                let rs = ReedSolomon::new(k, n).unwrap();
+                let data = shards(k, len);
+                assert_eq!(
+                    rs.encode(&data).unwrap(),
+                    rs.encode_ref(&data).unwrap(),
+                    "k={k} n={n} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_reconstruct_matches_reference_path() {
+        // Mixed data + parity losses, word-unaligned length.
+        let rs = ReedSolomon::new(4, 8).unwrap();
+        let coded = rs.encode(&shards(4, 611)).unwrap();
+        let mut fast: Vec<Option<Vec<u8>>> = coded.iter().cloned().map(Some).collect();
+        for i in [0, 2, 5, 7] {
+            fast[i] = None;
+        }
+        let mut slow = fast.clone();
+        rs.reconstruct(&mut fast).unwrap();
+        rs.reconstruct_ref(&mut slow).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_encode_is_byte_identical() {
+        // Shards above the 4 KiB threshold take the threaded path; the
+        // output must not depend on how rows were split across workers.
+        let rs = ReedSolomon::new(8, 16).unwrap();
+        let data = shards(8, 8192 + 13);
+        assert_eq!(rs.encode(&data).unwrap(), rs.encode_ref(&data).unwrap());
     }
 
     #[test]

@@ -121,9 +121,7 @@ impl Tornado {
         for nbrs in &self.checks {
             let mut shard = vec![0u8; len];
             for &j in nbrs {
-                for (d, s) in shard.iter_mut().zip(data[j].as_ref()) {
-                    *d ^= s;
-                }
+                crate::gf256::xor_slice(&mut shard, data[j].as_ref());
             }
             out.push(shard);
         }
@@ -171,11 +169,7 @@ impl Tornado {
             let mut unknowns = Vec::new();
             for &j in nbrs {
                 match &known[j] {
-                    Some(d) => {
-                        for (v, x) in value.iter_mut().zip(d) {
-                            *v ^= x;
-                        }
-                    }
+                    Some(d) => crate::gf256::xor_slice(&mut value, d),
                     None => unknowns.push(j),
                 }
             }
@@ -190,9 +184,7 @@ impl Tornado {
                 for other in &mut eqs {
                     if let Some(idx) = other.unknowns.iter().position(|&u| u == j) {
                         other.unknowns.swap_remove(idx);
-                        for (v, x) in other.value.iter_mut().zip(&eq.value) {
-                            *v ^= x;
-                        }
+                        crate::gf256::xor_slice(&mut other.value, &eq.value);
                     }
                 }
             }
@@ -238,9 +230,7 @@ impl Tornado {
                         for (a, b) in m.iter_mut().zip(&pivot_mask) {
                             *a ^= b;
                         }
-                        for (a, b) in v.iter_mut().zip(&pivot_val) {
-                            *a ^= b;
-                        }
+                        crate::gf256::xor_slice(v, &pivot_val);
                     }
                 }
                 *pivot_slot = Some(next_row);
@@ -267,9 +257,7 @@ impl Tornado {
                 let mut v = vec![0u8; len];
                 for &j in nbrs {
                     let d = known[j].as_ref().expect("all data known");
-                    for (x, y) in v.iter_mut().zip(d) {
-                        *x ^= y;
-                    }
+                    crate::gf256::xor_slice(&mut v, d);
                 }
                 shards[self.k + c] = Some(v);
             }

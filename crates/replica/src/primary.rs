@@ -518,11 +518,11 @@ impl Primary {
             ctx.set_timer(self.repush_deadline(attempt), TIMER_PUSH_BASE + token);
             return;
         };
-        for child in unacked {
-            self.repush_resends += 1;
+        self.repush_resends += unacked.len() as u64;
+        for _ in 0..unacked.len() {
             ctx.count("repush/resend");
-            ctx.send(child, ReplicaMsg::Commit(record.clone()));
         }
+        ctx.broadcast(unacked, ReplicaMsg::Commit(record.clone()));
         ctx.set_timer(self.repush_deadline(attempt), TIMER_PUSH_BASE + token);
     }
 
@@ -687,11 +687,15 @@ impl Primary {
             // Tell the rest of the tier: signers stop their failover
             // retries, and every member becomes able to serve the
             // certified record on the pull path.
-            for (i, member) in self.cfg.members.iter().enumerate() {
-                if i != self.index {
-                    ctx.send(*member, ReplicaMsg::CertFormed { object, index, cert: cert.clone() });
-                }
-            }
+            let my = self.index;
+            let peers = self
+                .cfg
+                .members
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != my)
+                .map(|(_, &m)| m);
+            ctx.broadcast(peers, ReplicaMsg::CertFormed { object, index, cert: cert.clone() });
             for (child, mode) in self.children.clone() {
                 match mode {
                     ChildMode::Push => ctx.send(child, ReplicaMsg::Commit(record.clone())),

@@ -7,9 +7,26 @@
 //! and byte accounting. Everything is deterministic for a given seed:
 //! events at equal times fire in insertion order, and all randomness flows
 //! from per-node ChaCha streams derived from the master seed.
+//!
+//! # Hot-path structure
+//!
+//! Three things keep the event loop cheap without changing its observable
+//! order (a single global `(at, seq)` sequence, `seq` assigned at emission):
+//!
+//! * **Arc multicast** — [`Context::broadcast`] queues one allocation for n
+//!   recipients; each delivery borrows the shared payload through
+//!   [`Protocol::on_message_ref`] (the last one gets it by value for free).
+//! * **Timer wheel** — timers live in a hierarchical wheel
+//!   ([`crate::wheel`]) instead of the delivery heap; [`Simulator::step`]
+//!   pops the global `(at, seq)` minimum across both structures, which is
+//!   exactly the order the single-heap engine produced.
+//! * **Pooled action buffers** — every callback writes into one reusable
+//!   scratch `Vec<Action>` owned by the simulator rather than a fresh
+//!   allocation per dispatch.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -17,6 +34,7 @@ use rand_chacha::ChaCha8Rng;
 use crate::stats::{DropCause, NetStats};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Topology};
+use crate::wheel::{TimerEntry, TimerWheel};
 
 /// A protocol message that can travel over the simulated network.
 pub trait Message: Clone {
@@ -41,6 +59,16 @@ pub trait Protocol {
     /// Called when a message addressed to this node arrives.
     fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
 
+    /// Borrowing variant of [`Protocol::on_message`], used when the payload
+    /// is shared with other still-pending deliveries of the same
+    /// [`Context::broadcast`]. The default clones and delegates; protocols
+    /// that never need ownership may override it to skip the clone. An
+    /// override must be observably equivalent to `on_message` — the engine
+    /// is free to call either.
+    fn on_message_ref(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: &Self::Msg) {
+        self.on_message(ctx, from, msg.clone());
+    }
+
     /// Called when a timer set through [`Context::set_timer`] fires.
     fn on_timer(&mut self, _ctx: &mut Context<'_, Self::Msg>, _tag: u64) {}
 }
@@ -49,6 +77,7 @@ pub trait Protocol {
 #[derive(Debug)]
 enum Action<M> {
     Send { to: NodeId, msg: M },
+    Multicast { to: Vec<NodeId>, msg: Arc<M> },
     Timer { delay: SimDuration, tag: u64 },
     Count { name: &'static str, n: u64 },
 }
@@ -79,6 +108,19 @@ impl<M> Context<'_, M> {
     /// delivery time, or the message is randomly dropped).
     pub fn send(&mut self, to: NodeId, msg: M) {
         self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Sends one message to every recipient in `to`, in order — observably
+    /// identical to calling [`Context::send`] in a loop (same per-link
+    /// accounting, drops, and delivery order), but the payload is allocated
+    /// once and shared by reference until delivery.
+    pub fn broadcast(&mut self, to: impl IntoIterator<Item = NodeId>, msg: M) {
+        let to: Vec<NodeId> = to.into_iter().collect();
+        match to.len() {
+            0 => {}
+            1 => self.actions.push(Action::Send { to: to[0], msg }),
+            _ => self.actions.push(Action::Multicast { to, msg: Arc::new(msg) }),
+        }
     }
 
     /// Schedules [`Protocol::on_timer`] with `tag` after `delay`.
@@ -112,7 +154,7 @@ impl<M> Context<'_, M> {
     /// This is how a composite node (e.g. an OceanStore server) hosts a
     /// self-contained state machine (e.g. a PBFT replica) without the inner
     /// machine knowing about the envelope type.
-    pub fn with_inner<N, R>(
+    pub fn with_inner<N: Clone, R>(
         &mut self,
         wrap: impl Fn(N) -> M,
         f: impl FnOnce(&mut Context<'_, N>) -> R,
@@ -124,7 +166,7 @@ impl<M> Context<'_, M> {
     /// embedded protocol sets through `tag_map`. A composite node hosting
     /// several timer-using subsystems namespaces their tags this way (and
     /// inverts the map in its own `on_timer`).
-    pub fn with_inner_mapped<N, R>(
+    pub fn with_inner_mapped<N: Clone, R>(
         &mut self,
         wrap: impl Fn(N) -> M,
         tag_map: impl Fn(u64) -> u64,
@@ -143,6 +185,10 @@ impl<M> Context<'_, M> {
         for action in inner_actions {
             match action {
                 Action::Send { to, msg } => self.actions.push(Action::Send { to, msg: wrap(msg) }),
+                Action::Multicast { to, msg } => {
+                    let inner_msg = Arc::try_unwrap(msg).unwrap_or_else(|a| (*a).clone());
+                    self.actions.push(Action::Multicast { to, msg: Arc::new(wrap(inner_msg)) });
+                }
                 Action::Timer { delay, tag } => {
                     self.actions.push(Action::Timer { delay, tag: tag_map(tag) })
                 }
@@ -153,16 +199,30 @@ impl<M> Context<'_, M> {
     }
 }
 
+/// A delivery payload: owned for unicast, `Arc`-shared for multicast so one
+/// allocation serves every recipient.
 #[derive(Debug)]
-enum EventKind<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Timer { node: NodeId, tag: u64 },
+enum Payload<M> {
+    One(M),
+    Shared(Arc<M>),
 }
 
+impl<M> Payload<M> {
+    fn as_msg(&self) -> &M {
+        match self {
+            Payload::One(m) => m,
+            Payload::Shared(a) => a,
+        }
+    }
+}
+
+#[derive(Debug)]
 struct Event<M> {
     at: SimTime,
     seq: u64,
-    kind: EventKind<M>,
+    from: NodeId,
+    to: NodeId,
+    msg: Payload<M>,
 }
 
 impl<M> PartialEq for Event<M> {
@@ -190,7 +250,11 @@ pub struct Simulator<P: Protocol> {
     node_rngs: Vec<ChaCha8Rng>,
     topo: Topology,
     clock: SimTime,
+    /// Message deliveries only; timers live in `timers`. Both share the
+    /// global `seq` counter, so the merged `(at, seq)` order is identical
+    /// to the historical single-heap order.
     queue: BinaryHeap<Event<P::Msg>>,
+    timers: TimerWheel,
     seq: u64,
     stats: NetStats,
     down: Vec<bool>,
@@ -204,6 +268,8 @@ pub struct Simulator<P: Protocol> {
     latency_factor: f64,
     engine_rng: ChaCha8Rng,
     events_processed: u64,
+    /// Reusable per-callback action buffer (dispatch is not reentrant).
+    scratch: Vec<Action<P::Msg>>,
 }
 
 impl<P: Protocol> std::fmt::Debug for Simulator<P> {
@@ -211,7 +277,7 @@ impl<P: Protocol> std::fmt::Debug for Simulator<P> {
         f.debug_struct("Simulator")
             .field("nodes", &self.nodes.len())
             .field("clock", &self.clock)
-            .field("pending_events", &self.queue.len())
+            .field("pending_events", &(self.queue.len() + self.timers.len()))
             .field("events_processed", &self.events_processed)
             .finish()
     }
@@ -236,6 +302,7 @@ impl<P: Protocol> Simulator<P> {
             topo: topology,
             clock: SimTime::ZERO,
             queue: BinaryHeap::new(),
+            timers: TimerWheel::new(),
             seq: 0,
             stats: NetStats::new(n),
             down: vec![false; n],
@@ -245,6 +312,7 @@ impl<P: Protocol> Simulator<P> {
             latency_factor: 1.0,
             engine_rng: ChaCha8Rng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03),
             events_processed: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -422,11 +490,8 @@ impl<P: Protocol> Simulator<P> {
     /// as a client) for delivery to `to` at the current time, attributed to
     /// `from`.
     pub fn inject(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
-        self.push(Event {
-            at: self.clock,
-            seq: 0, // replaced by push
-            kind: EventKind::Deliver { from, to, msg },
-        });
+        let at = self.clock;
+        self.push_delivery(at, from, to, Payload::One(msg));
     }
 
     /// Lets external code act *as* `node`: the closure receives the
@@ -437,38 +502,58 @@ impl<P: Protocol> Simulator<P> {
         node: NodeId,
         f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>) -> R,
     ) -> R {
-        let mut actions = Vec::new();
-        let r = {
-            let mut ctx = Context {
-                now: self.clock,
-                node,
-                actions: &mut actions,
-                rng: &mut self.node_rngs[node.0],
-            };
-            f(&mut self.nodes[node.0], &mut ctx)
-        };
-        self.apply_actions(node, actions);
-        r
+        self.with_ctx(node, f)
     }
 
     /// Runs a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else { return false };
-        debug_assert!(ev.at >= self.clock, "time must be monotonic");
-        self.clock = ev.at;
-        self.events_processed += 1;
-        match ev.kind {
-            EventKind::Deliver { from, to, msg } => {
-                if self.down[to.0] {
-                    self.stats.record_drop(DropCause::NodeDown);
-                } else {
-                    self.dispatch_message(to, from, msg);
-                }
+        self.step_bounded(u64::MAX)
+    }
+
+    /// Runs the next event unless its timestamp (µs) exceeds `bound`.
+    /// Returns `false` when nothing ran. One peek pair decides both "is
+    /// there an event" and "is it in range", so `run_until` doesn't pay a
+    /// second round of queue peeks per event.
+    fn step_bounded(&mut self, bound: u64) -> bool {
+        // Global minimum across deliveries and timers by (at, seq); seqs
+        // are unique, so the two sources never tie.
+        let msg_key = self.queue.peek().map(|e| (e.at.as_micros(), e.seq));
+        let timer_key = self.timers.peek();
+        let take_timer = match (msg_key, timer_key) {
+            (None, None) => return false,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some(m), Some(t)) => t < m,
+        };
+        let (next_at, _) = if take_timer {
+            timer_key.expect("chosen side is non-empty")
+        } else {
+            msg_key.expect("chosen side is non-empty")
+        };
+        if next_at > bound {
+            return false;
+        }
+        if take_timer {
+            let entry = self.timers.pop_earliest().expect("peeked");
+            let at = SimTime::ZERO + SimDuration::from_micros(entry.at);
+            debug_assert!(at >= self.clock, "time must be monotonic");
+            self.clock = at;
+            self.events_processed += 1;
+            if !self.down[entry.node] {
+                self.dispatch_timer(NodeId(entry.node), entry.tag);
             }
-            EventKind::Timer { node, tag } => {
-                if !self.down[node.0] {
-                    self.dispatch_timer(node, tag);
-                }
+        } else {
+            let ev = self.queue.pop().expect("peeked");
+            debug_assert!(ev.at >= self.clock, "time must be monotonic");
+            self.clock = ev.at;
+            // Timers armed by this delivery's handler must be placeable
+            // relative to the new clock.
+            self.timers.advance(ev.at.as_micros());
+            self.events_processed += 1;
+            if self.down[ev.to.0] {
+                self.stats.record_drop(DropCause::NodeDown);
+            } else {
+                self.dispatch_payload(ev.to, ev.from, ev.msg);
             }
         }
         true
@@ -494,14 +579,11 @@ impl<P: Protocol> Simulator<P> {
     /// Runs events with timestamps `<= until`, leaving later events queued.
     /// The clock is advanced to `until` even if the queue drains early.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(ev) = self.queue.peek() {
-            if ev.at > until {
-                break;
-            }
-            self.step();
-        }
+        let bound = until.as_micros();
+        while self.step_bounded(bound) {}
         if self.clock < until {
             self.clock = until;
+            self.timers.advance(bound);
         }
     }
 
@@ -516,76 +598,97 @@ impl<P: Protocol> Simulator<P> {
         self.events_processed
     }
 
-    /// Number of events currently queued.
+    /// Number of events currently queued (deliveries and timers).
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.timers.len()
     }
 
-    fn push(&mut self, mut ev: Event<P::Msg>) {
-        ev.seq = self.seq;
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
         self.seq += 1;
-        self.queue.push(ev);
+        s
+    }
+
+    fn push_delivery(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: Payload<P::Msg>) {
+        let seq = self.next_seq();
+        self.queue.push(Event { at, seq, from, to, msg });
+    }
+
+    /// Runs `f` against `node`'s protocol with a live context backed by the
+    /// pooled scratch buffer, then applies the emitted actions.
+    fn with_ctx<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>) -> R,
+    ) -> R {
+        let mut actions = std::mem::take(&mut self.scratch);
+        debug_assert!(actions.is_empty());
+        let r = {
+            let mut ctx = Context {
+                now: self.clock,
+                node,
+                actions: &mut actions,
+                rng: &mut self.node_rngs[node.0],
+            };
+            f(&mut self.nodes[node.0], &mut ctx)
+        };
+        self.apply_actions(node, &mut actions);
+        self.scratch = actions;
+        r
     }
 
     fn dispatch_start(&mut self, node: NodeId) {
-        let mut actions = Vec::new();
-        {
-            let mut ctx = Context {
-                now: self.clock,
-                node,
-                actions: &mut actions,
-                rng: &mut self.node_rngs[node.0],
-            };
-            self.nodes[node.0].on_start(&mut ctx);
-        }
-        self.apply_actions(node, actions);
+        self.with_ctx(node, |p, ctx| p.on_start(ctx));
     }
 
-    fn dispatch_message(&mut self, node: NodeId, from: NodeId, msg: P::Msg) {
-        let mut actions = Vec::new();
-        {
-            let mut ctx = Context {
-                now: self.clock,
-                node,
-                actions: &mut actions,
-                rng: &mut self.node_rngs[node.0],
-            };
-            self.nodes[node.0].on_message(&mut ctx, from, msg);
+    fn dispatch_payload(&mut self, node: NodeId, from: NodeId, payload: Payload<P::Msg>) {
+        match payload {
+            Payload::One(msg) => self.with_ctx(node, |p, ctx| p.on_message(ctx, from, msg)),
+            // The last recipient of a multicast owns the payload outright;
+            // earlier ones borrow it.
+            Payload::Shared(arc) => match Arc::try_unwrap(arc) {
+                Ok(msg) => self.with_ctx(node, |p, ctx| p.on_message(ctx, from, msg)),
+                Err(arc) => self.with_ctx(node, |p, ctx| p.on_message_ref(ctx, from, &arc)),
+            },
         }
-        self.apply_actions(node, actions);
     }
 
     fn dispatch_timer(&mut self, node: NodeId, tag: u64) {
-        let mut actions = Vec::new();
-        {
-            let mut ctx = Context {
-                now: self.clock,
-                node,
-                actions: &mut actions,
-                rng: &mut self.node_rngs[node.0],
-            };
-            self.nodes[node.0].on_timer(&mut ctx, tag);
-        }
-        self.apply_actions(node, actions);
+        self.with_ctx(node, |p, ctx| p.on_timer(ctx, tag));
     }
 
-    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<P::Msg>>) {
-        for action in actions {
+    fn apply_actions(&mut self, node: NodeId, actions: &mut Vec<Action<P::Msg>>) {
+        for action in actions.drain(..) {
             match action {
-                Action::Send { to, msg } => self.route(node, to, msg),
+                Action::Send { to, msg } => self.route(node, to, Payload::One(msg)),
+                Action::Multicast { to, msg } => {
+                    for t in to {
+                        self.route(node, t, Payload::Shared(Arc::clone(&msg)));
+                    }
+                }
                 Action::Timer { delay, tag } => {
                     let at = self.clock + delay;
-                    self.push(Event { at, seq: 0, kind: EventKind::Timer { node, tag } });
+                    let seq = self.next_seq();
+                    self.timers.insert(TimerEntry {
+                        at: at.as_micros(),
+                        seq,
+                        node: node.0,
+                        tag,
+                    });
                 }
                 Action::Count { name, n } => self.stats.record_event(name, n),
             }
         }
     }
 
-    fn route(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
+    fn route(&mut self, from: NodeId, to: NodeId, msg: Payload<P::Msg>) {
         // Accounting happens at send time: bytes hit the wire even when the
         // destination later proves dead.
-        self.stats.record_send(from, to, msg.wire_size(), msg.class());
+        let (wire_size, class) = {
+            let m = msg.as_msg();
+            (m.wire_size(), m.class())
+        };
+        self.stats.record_send(from, to, wire_size, class);
         if let Some(groups) = &self.partitions {
             if groups[from.0] != groups[to.0] {
                 self.stats.record_drop(DropCause::Partition);
@@ -598,11 +701,14 @@ impl<P: Protocol> Simulator<P> {
         }
         // Per-link flap coin. Consumes engine randomness only when the link
         // actually has an override, so installing none leaves event streams
-        // of unrelated runs byte-identical.
-        if let Some(&p) = self.link_drops.get(&(from.0.min(to.0), from.0.max(to.0))) {
-            if self.engine_rng.gen::<f64>() < p {
-                self.stats.record_drop(DropCause::LinkFlap);
-                return;
+        // of unrelated runs byte-identical. The emptiness guard spares the
+        // common no-overrides case the per-message hash of the link key.
+        if !self.link_drops.is_empty() {
+            if let Some(&p) = self.link_drops.get(&(from.0.min(to.0), from.0.max(to.0))) {
+                if self.engine_rng.gen::<f64>() < p {
+                    self.stats.record_drop(DropCause::LinkFlap);
+                    return;
+                }
             }
         }
         let Some(latency) = self.topo.dist(from, to) else {
@@ -612,7 +718,7 @@ impl<P: Protocol> Simulator<P> {
         let latency =
             if self.latency_factor == 1.0 { latency } else { latency.mul_f64(self.latency_factor) };
         let at = self.clock + latency;
-        self.push(Event { at, seq: 0, kind: EventKind::Deliver { from, to, msg } });
+        self.push_delivery(at, from, to, msg);
     }
 }
 
@@ -868,12 +974,192 @@ mod tests {
     }
 
     #[test]
+    fn far_future_timers_survive_the_wheel_horizon() {
+        // A timer past the wheel's in-range horizon (~16.7 s) lands in the
+        // overflow heap and still fires in order with near-term timers.
+        #[derive(Debug, Default)]
+        struct T {
+            fired: Vec<(u64, u64)>,
+        }
+        #[derive(Debug, Clone)]
+        struct Never;
+        impl Message for Never {
+            fn wire_size(&self) -> usize {
+                0
+            }
+        }
+        impl Protocol for T {
+            type Msg = Never;
+            fn on_start(&mut self, ctx: &mut Context<'_, Never>) {
+                ctx.set_timer(SimDuration::from_secs(60), 60);
+                ctx.set_timer(SimDuration::from_millis(1), 1);
+                ctx.set_timer(SimDuration::from_secs(20), 20);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Never>, _: NodeId, _: Never) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Never>, tag: u64) {
+                self.fired.push((ctx.now().as_micros(), tag));
+            }
+        }
+        let topo = crate::topology::Topology::builder(1).build();
+        let mut sim = Simulator::new(topo, vec![T::default()], 0);
+        sim.start();
+        sim.run_to_quiescence(100);
+        assert_eq!(
+            sim.node(NodeId(0)).fired,
+            vec![(1_000, 1), (20_000_000, 20), (60_000_000, 60)]
+        );
+    }
+
+    #[test]
     fn with_node_ctx_sends_through_network() {
         let mut sim = ring_sim(3, 1, 5);
         // Drive node 2 externally instead of via on_start.
         sim.with_node_ctx(NodeId(2), |_, ctx| ctx.send(NodeId(0), Token(1)));
         sim.run_to_quiescence(100);
         assert_eq!(sim.node(NodeId(0)).seen, 1);
+    }
+
+    #[test]
+    fn broadcast_matches_send_loop_exactly() {
+        // Two identical sims, one protocol using a send loop, the other
+        // ctx.broadcast: stats, drop attribution, engine RNG consumption,
+        // and delivery order must be indistinguishable.
+        #[derive(Debug)]
+        struct Fan {
+            id: usize,
+            use_broadcast: bool,
+            got: Vec<(u64, usize, u32)>,
+        }
+        #[derive(Debug, Clone)]
+        struct Blob(u32, Vec<u8>);
+        impl Message for Blob {
+            fn wire_size(&self) -> usize {
+                32 + self.1.len()
+            }
+        }
+        impl Protocol for Fan {
+            type Msg = Blob;
+            fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+                if self.id == 0 {
+                    let msg = Blob(7, vec![0xAB; 256]);
+                    if self.use_broadcast {
+                        ctx.broadcast((1..5).map(NodeId), msg);
+                    } else {
+                        for i in 1..5 {
+                            ctx.send(NodeId(i), msg.clone());
+                        }
+                    }
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, Blob>, from: NodeId, msg: Blob) {
+                self.got.push((ctx.now().as_micros(), from.0, msg.0));
+                if self.id == 2 {
+                    // Reply so the broadcast run also exercises unicast after
+                    // shared deliveries.
+                    ctx.send(NodeId(0), Blob(msg.0 + 1, Vec::new()));
+                }
+            }
+        }
+        let run = |use_broadcast: bool| {
+            let topo = crate::topology::Topology::full_mesh(5, SimDuration::from_millis(10));
+            let nodes =
+                (0..5).map(|id| Fan { id, use_broadcast, got: Vec::new() }).collect();
+            let mut sim = Simulator::new(topo, nodes, 77);
+            sim.set_drop_prob(0.3);
+            sim.start();
+            sim.run_to_quiescence(1_000);
+            let got: Vec<_> = (0..5).map(|i| sim.node(NodeId(i)).got.clone()).collect();
+            (
+                got,
+                sim.stats().total_messages(),
+                sim.stats().total_bytes(),
+                sim.stats().dropped_by_cause(DropCause::Random),
+                sim.events_processed(),
+                sim.now(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn shared_payload_dispatches_via_on_message_ref() {
+        // A protocol overriding on_message_ref sees borrowed deliveries for
+        // all but the last recipient of a broadcast (which owns the Arc).
+        #[derive(Debug, Default)]
+        struct RefCounter {
+            owned: u32,
+            borrowed: u32,
+        }
+        #[derive(Debug, Clone)]
+        struct Big(#[allow(dead_code)] Vec<u8>);
+        impl Message for Big {
+            fn wire_size(&self) -> usize {
+                self.0.len()
+            }
+        }
+        impl Protocol for RefCounter {
+            type Msg = Big;
+            fn on_start(&mut self, ctx: &mut Context<'_, Big>) {
+                if ctx.node() == NodeId(0) {
+                    ctx.broadcast((1..4).map(NodeId), Big(vec![1; 1024]));
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Big>, _: NodeId, _: Big) {
+                self.owned += 1;
+            }
+            fn on_message_ref(&mut self, _: &mut Context<'_, Big>, _: NodeId, _: &Big) {
+                self.borrowed += 1;
+            }
+        }
+        let topo = crate::topology::Topology::full_mesh(4, SimDuration::from_millis(10));
+        let mut sim = Simulator::new(topo, (0..4).map(|_| RefCounter::default()).collect(), 0);
+        sim.start();
+        sim.run_to_quiescence(100);
+        let (owned, borrowed) = sim
+            .nodes()
+            .fold((0, 0), |(o, b), n| (o + n.owned, b + n.borrowed));
+        assert_eq!(owned + borrowed, 3);
+        assert_eq!(owned, 1, "exactly the final delivery owns the payload");
+        assert_eq!(borrowed, 2);
+    }
+
+    #[test]
+    fn broadcast_through_with_inner_wraps_once() {
+        // An embedded protocol broadcasting through with_inner keeps the
+        // multicast shape (one wrapped Arc payload, n recipients).
+        #[derive(Debug, Default)]
+        struct Outer {
+            inner_got: u32,
+        }
+        #[derive(Debug, Clone)]
+        struct Inner(u32);
+        #[derive(Debug, Clone)]
+        struct Env(Inner);
+        impl Message for Env {
+            fn wire_size(&self) -> usize {
+                8
+            }
+        }
+        impl Protocol for Outer {
+            type Msg = Env;
+            fn on_start(&mut self, ctx: &mut Context<'_, Env>) {
+                if ctx.node() == NodeId(0) {
+                    ctx.with_inner(Env, |inner: &mut Context<'_, Inner>| {
+                        inner.broadcast((1..3).map(NodeId), Inner(41));
+                    });
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Env>, _: NodeId, msg: Env) {
+                assert_eq!(msg.0 .0, 41);
+                self.inner_got += 1;
+            }
+        }
+        let topo = crate::topology::Topology::full_mesh(3, SimDuration::from_millis(5));
+        let mut sim = Simulator::new(topo, vec![Outer::default(), Outer::default(), Outer::default()], 3);
+        sim.start();
+        sim.run_to_quiescence(100);
+        let total: u32 = sim.nodes().map(|n| n.inner_got).sum();
+        assert_eq!(total, 2);
     }
 
     #[test]
@@ -904,5 +1190,65 @@ mod tests {
         let mut sim = Simulator::new(topo, vec![Pong, Pong], 0);
         sim.start();
         sim.run_to_quiescence(50);
+    }
+
+    /// Not a correctness test: times the engine on the perf-report grid
+    /// workload shape (timer-heavy, lockstep cohorts) for hot-path tuning.
+    /// Run with `cargo test -p oceanstore-sim --release
+    /// engine_grid_throughput -- --ignored --nocapture`.
+    #[test]
+    #[ignore]
+    fn engine_grid_throughput() {
+        const PERIODS_MS: [u64; 4] = [5, 11, 17, 29];
+        #[derive(Debug)]
+        struct Ticker {
+            id: usize,
+            fires: u64,
+            horizon: SimTime,
+        }
+        #[derive(Debug, Clone)]
+        struct Blob(Vec<u8>);
+        impl Message for Blob {
+            fn wire_size(&self) -> usize {
+                self.0.len()
+            }
+            fn class(&self) -> &'static str {
+                "tick"
+            }
+        }
+        impl Protocol for Ticker {
+            type Msg = Blob;
+            fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+                for p in PERIODS_MS {
+                    ctx.set_timer(SimDuration::from_millis(p), p);
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Blob>, _: NodeId, _: Blob) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Blob>, tag: u64) {
+                self.fires += 1;
+                let to = NodeId((self.id + 1 + (self.fires % 3) as usize) % 256);
+                ctx.send(to, Blob(vec![0x5A; 16]));
+                if ctx.now() + SimDuration::from_millis(tag) <= self.horizon {
+                    ctx.set_timer(SimDuration::from_millis(tag), tag);
+                }
+            }
+        }
+        let horizon = SimTime::ZERO + SimDuration::from_millis(400);
+        for round in 0..3 {
+            let nodes: Vec<Ticker> =
+                (0..256).map(|id| Ticker { id, fires: 0, horizon }).collect();
+            let topo = crate::topology::Topology::grid(16, 16, SimDuration::from_millis(1));
+            let mut sim = Simulator::new(topo, nodes, 7);
+            sim.start();
+            let t = std::time::Instant::now();
+            sim.run_until(horizon);
+            let dt = t.elapsed().as_secs_f64();
+            println!(
+                "round {round}: {} events in {:.1} ms = {:.2} M events/s",
+                sim.events_processed(),
+                dt * 1e3,
+                sim.events_processed() as f64 / dt / 1e6
+            );
+        }
     }
 }

@@ -54,6 +54,7 @@ pub mod engine;
 pub mod stats;
 pub mod time;
 pub mod topology;
+mod wheel;
 
 pub use engine::{Context, Message, Protocol, Simulator};
 pub use stats::{ClassStats, DropCause, NetStats};

@@ -53,9 +53,22 @@ pub struct NetStats {
     dropped: [u64; 5],
     per_node_sent: Vec<u64>,
     per_node_received: Vec<u64>,
-    by_class: BTreeMap<&'static str, ClassStats>,
-    by_node_class: BTreeMap<(usize, &'static str), ClassStats>,
+    /// Per-class counters in first-seen order. A flat vector, not a map:
+    /// `record_send` runs once per message, a run uses only a handful of
+    /// distinct classes, and class names are `&'static str` — so a linear
+    /// scan with a pointer-equality fast path beats hashing or tree walks
+    /// on every send. Name-ordered accessors sort on demand.
+    by_class: Vec<ClassEntry>,
     events: BTreeMap<&'static str, u64>,
+}
+
+/// Counters for one message class, including its per-sender breakdown.
+#[derive(Debug, Clone)]
+struct ClassEntry {
+    name: &'static str,
+    totals: ClassStats,
+    /// Indexed by sender node; sized lazily on first send of this class.
+    per_sender: Vec<ClassStats>,
 }
 
 /// Counters for one message class.
@@ -81,12 +94,32 @@ impl NetStats {
         self.total_bytes += bytes as u64;
         self.per_node_sent[from.0] += bytes as u64;
         self.per_node_received[to.0] += bytes as u64;
-        let c = self.by_class.entry(class).or_default();
-        c.messages += 1;
-        c.bytes += bytes as u64;
-        let nc = self.by_node_class.entry((from.0, class)).or_default();
-        nc.messages += 1;
-        nc.bytes += bytes as u64;
+        let n = self.per_node_sent.len();
+        let entry = match self.class_index(class) {
+            Some(i) => &mut self.by_class[i],
+            None => {
+                self.by_class.push(ClassEntry {
+                    name: class,
+                    totals: ClassStats::default(),
+                    per_sender: vec![ClassStats::default(); n],
+                });
+                self.by_class.last_mut().expect("just pushed")
+            }
+        };
+        entry.totals.messages += 1;
+        entry.totals.bytes += bytes as u64;
+        let ps = &mut entry.per_sender[from.0];
+        ps.messages += 1;
+        ps.bytes += bytes as u64;
+    }
+
+    /// Index of `class` in `by_class`, comparing pointers before contents:
+    /// class names come from `Message::class` returning the same `&'static`
+    /// literal every call, so the pointer test almost always decides.
+    fn class_index(&self, class: &str) -> Option<usize> {
+        self.by_class
+            .iter()
+            .position(|e| std::ptr::eq(e.name, class) || e.name == class)
     }
 
     pub(crate) fn record_drop(&mut self, cause: DropCause) {
@@ -136,19 +169,23 @@ impl NetStats {
 
     /// Counters for one message class (zero counters if never seen).
     pub fn class(&self, name: &str) -> ClassStats {
-        self.by_class.get(name).copied().unwrap_or_default()
+        self.class_index(name).map(|i| self.by_class[i].totals).unwrap_or_default()
     }
 
     /// Iterates over `(class, counters)` pairs in name order.
     pub fn classes(&self) -> impl Iterator<Item = (&'static str, ClassStats)> + '_ {
-        self.by_class.iter().map(|(k, v)| (*k, *v))
+        let mut sorted: Vec<_> = self.by_class.iter().map(|e| (e.name, e.totals)).collect();
+        sorted.sort_unstable_by_key(|&(name, _)| name);
+        sorted.into_iter()
     }
 
     /// Counters for one message class restricted to messages sent by
     /// `node` (zero counters if never seen). Chaos scenarios use this for
     /// per-node retry accounting — e.g. "which primaries re-routed shares".
     pub fn class_sent_by(&self, node: NodeId, name: &str) -> ClassStats {
-        self.by_node_class.get(&(node.0, name)).copied().unwrap_or_default()
+        self.class_index(name)
+            .and_then(|i| self.by_class[i].per_sender.get(node.0).copied())
+            .unwrap_or_default()
     }
 
     /// Count of one named protocol event (zero if never recorded).

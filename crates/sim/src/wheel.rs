@@ -1,0 +1,581 @@
+//! Hierarchical timer wheel.
+//!
+//! Timers used to live in the engine's global `BinaryHeap` alongside
+//! message deliveries, which made every heap operation pay for the
+//! (much more numerous, constantly re-armed) protocol timers —
+//! heartbeats, retransmit deadlines, anti-entropy periods. This wheel
+//! gives O(1) insert and near-O(1) extraction while preserving the
+//! engine's determinism contract *exactly*: timers fire in `(at, seq)`
+//! order, where `seq` is the engine's global insertion counter shared
+//! with message events, so the merged event order is bit-for-bit what
+//! the single-heap engine produced.
+//!
+//! Four levels of 64 slots at granularities 1 µs, 64 µs, 4096 µs and
+//! ~0.26 s cover every deadline within ~16.7 simulated seconds of its
+//! arming point; rarer far-future timers overflow into a small binary
+//! heap. Slots track occupancy in a per-level `u64` bitmask so finding
+//! the next armed slot is a rotate + trailing-zeros, not a scan.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS; // 64
+const LEVELS: usize = 4;
+/// Deadlines at least this far ahead of the wheel's clock overflow.
+const HORIZON: u64 = 1 << (SLOT_BITS * LEVELS as u32); // 64^4 µs ≈ 16.7 s
+
+/// One armed timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TimerEntry {
+    /// Absolute expiry in simulated microseconds.
+    pub at: u64,
+    /// Engine-global insertion sequence (shared with message events).
+    pub seq: u64,
+    /// Node whose `on_timer` runs.
+    pub node: usize,
+    /// Protocol-chosen timer tag.
+    pub tag: u64,
+}
+
+/// One wheel slot: a sorted run of entries consumed front-to-back
+/// (ladder-queue style).
+///
+/// Pushes append in O(1) and track whether the run is still ascending
+/// by `(at, seq)` plus its exact minimum; the one `sort_unstable` is
+/// deferred until the slot becomes the active extraction target (or is
+/// cascaded), after which pops are O(1) cursor bumps. This shape is
+/// what makes lockstep cohorts cheap — protocols routinely arm every
+/// node's timer for the same instant, and those cohorts land in one
+/// slot where a heap would pay O(log cohort) per element per level.
+/// Better still, cascades emit in sorted order, so destination slots
+/// receive already-ascending runs and steady-state re-sorts vanish.
+/// `(at, seq)` keys are engine-unique, so extraction order stays total
+/// and deterministic.
+#[derive(Debug, Default, Clone)]
+struct Slot {
+    /// Live entries are `entries[head..]`.
+    entries: Vec<TimerEntry>,
+    /// Consumed-prefix cursor; non-zero only while `sorted`.
+    head: usize,
+    /// Whether `entries[head..]` is ascending by `(at, seq)`.
+    sorted: bool,
+    /// Exact minimum key over live entries; meaningless when empty.
+    min: (u64, u64),
+}
+
+impl Slot {
+    fn push(&mut self, e: TimerEntry) {
+        let key = (e.at, e.seq);
+        if self.is_empty() {
+            self.entries.clear();
+            self.head = 0;
+            self.sorted = true;
+            self.min = key;
+        } else {
+            if self.sorted {
+                let last = self.entries.last().expect("non-empty");
+                if key < (last.at, last.seq) {
+                    self.sorted = false;
+                }
+            }
+            if key < self.min {
+                self.min = key;
+            }
+        }
+        self.entries.push(e);
+    }
+
+    /// Exact minimum key in O(1); the slot must be non-empty.
+    fn min_key(&self) -> (u64, u64) {
+        debug_assert!(!self.is_empty());
+        self.min
+    }
+
+    /// Sorts the live run if appends broke its order. Amortized: a run is
+    /// sorted at most once between becoming extraction-active and being
+    /// drained, and already-ascending runs (the common case, since
+    /// cascades emit in order) skip it entirely.
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            debug_assert_eq!(self.head, 0, "consumption only starts once sorted");
+            self.entries.sort_unstable_by_key(|e| (e.at, e.seq));
+            self.sorted = true;
+        }
+    }
+
+    /// Removes and returns the minimum entry; the slot must be non-empty.
+    fn pop_min(&mut self) -> TimerEntry {
+        self.ensure_sorted();
+        let e = self.entries[self.head];
+        self.head += 1;
+        if self.head == self.entries.len() {
+            self.entries.clear();
+            self.head = 0;
+        } else {
+            let next = &self.entries[self.head];
+            self.min = (next.at, next.seq);
+        }
+        e
+    }
+
+    fn is_empty(&self) -> bool {
+        self.head == self.entries.len()
+    }
+}
+
+/// Where the cached earliest entry lives.
+#[derive(Debug, Clone, Copy)]
+enum Source {
+    Slot { level: usize, slot: usize },
+    Overflow,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Earliest {
+    at: u64,
+    seq: u64,
+    source: Source,
+}
+
+/// Deterministic hierarchical timer wheel keyed on absolute `SimTime`
+/// microseconds.
+#[derive(Debug)]
+pub(crate) struct TimerWheel {
+    /// `levels[l][s]` holds entries whose slot at level `l` is `s`.
+    /// Order within a slot is irrelevant: extraction always selects the
+    /// minimum `(at, seq)`.
+    levels: Vec<Vec<Slot>>,
+    /// Per-level slot-occupancy bitmask (bit `s` ⇔ slot `s` non-empty).
+    occupied: [u64; LEVELS],
+    /// Entries ≥ `HORIZON` ahead at arming time, ordered by `(at, seq)`.
+    overflow: BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
+    /// The wheel's clock: never exceeds the earliest pending deadline.
+    now: u64,
+    len: usize,
+    /// Cached earliest entry; `None` means "needs recompute".
+    cached: Option<Earliest>,
+    /// Per-level cached earliest: outer `None` = stale, inner `None` =
+    /// level empty. A pop or cascade only stales the level it touched;
+    /// inserts keep a fresh cache fresh in O(1). Recomputing the global
+    /// earliest is then three cached compares plus one level rescan
+    /// instead of four full bitmask walks.
+    level_cache: [Option<Option<Earliest>>; LEVELS],
+    /// Reusable cascade buffer so redistributing a slot neither drops the
+    /// slot's capacity nor allocates a fresh vector each time.
+    scratch: Vec<TimerEntry>,
+}
+
+impl TimerWheel {
+    pub(crate) fn new() -> Self {
+        TimerWheel {
+            levels: (0..LEVELS).map(|_| vec![Slot::default(); SLOTS]).collect(),
+            occupied: [0; LEVELS],
+            overflow: BinaryHeap::new(),
+            now: 0,
+            len: 0,
+            cached: None,
+            level_cache: [Some(None); LEVELS],
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of armed timers.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Advances the wheel clock to `t` (no-op if already past). The caller
+    /// must guarantee every pending deadline is `>= t` — true for the engine
+    /// clock, since events pop in time order.
+    pub(crate) fn advance(&mut self, t: u64) {
+        debug_assert!(self.cached.is_none_or(|c| c.at >= t));
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Arms a timer. `at` must not precede the latest pop (the engine's
+    /// clock is monotone, so this holds by construction).
+    pub(crate) fn insert(&mut self, entry: TimerEntry) {
+        debug_assert!(entry.at >= self.now, "timer armed in the past");
+        self.len += 1;
+        // Keep the cache exact: a new minimum replaces it (seqs are unique,
+        // so beating the cached key means *being* the new global earliest),
+        // anything later leaves it valid.
+        let beats =
+            self.cached.is_some_and(|c| (entry.at, entry.seq) < (c.at, c.seq));
+        let (at, seq) = (entry.at, entry.seq);
+        let source = self.place(entry);
+        if beats {
+            self.cached = Some(Earliest { at, seq, source });
+        }
+    }
+
+    fn place(&mut self, entry: TimerEntry) -> Source {
+        let dt = entry.at - self.now;
+        if dt >= HORIZON {
+            self.overflow.push(Reverse((entry.at, entry.seq, entry.node, entry.tag)));
+            return Source::Overflow;
+        }
+        let level = (0..LEVELS)
+            .find(|&l| dt < 1 << (SLOT_BITS * (l as u32 + 1)))
+            .expect("dt < HORIZON");
+        let slot = ((entry.at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.levels[level][slot].push(entry);
+        self.occupied[level] |= 1 << slot;
+        // A fresh level cache stays fresh: the new entry either beats the
+        // cached minimum or leaves it untouched. A stale cache stays stale.
+        match self.level_cache[level] {
+            Some(Some(b)) if (entry.at, entry.seq) < (b.at, b.seq) => {
+                self.level_cache[level] =
+                    Some(Some(Earliest { at: entry.at, seq: entry.seq, source: Source::Slot { level, slot } }));
+            }
+            Some(None) => {
+                self.level_cache[level] =
+                    Some(Some(Earliest { at: entry.at, seq: entry.seq, source: Source::Slot { level, slot } }));
+            }
+            _ => {}
+        }
+        Source::Slot { level, slot }
+    }
+
+    /// Minimum `(at, seq)` entry at `level`, if any. Served from the
+    /// per-level cache when fresh; a rescan is one `Option` compare per
+    /// occupied slot (≤ 64) thanks to the per-slot memoized minima, and
+    /// needs no revolution bookkeeping: keys are absolute, so the smallest
+    /// key wins regardless of which revolution mapped an entry into its
+    /// slot.
+    fn level_earliest(&mut self, level: usize) -> Option<Earliest> {
+        if let Some(cached) = self.level_cache[level] {
+            return cached;
+        }
+        let mut occ = self.occupied[level];
+        let mut best: Option<Earliest> = None;
+        while occ != 0 {
+            let slot = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            let (at, seq) = self.levels[level][slot].min_key();
+            if best.is_none_or(|b| (at, seq) < (b.at, b.seq)) {
+                best = Some(Earliest { at, seq, source: Source::Slot { level, slot } });
+            }
+        }
+        self.level_cache[level] = Some(best);
+        best
+    }
+
+    /// `(at, seq)` of the earliest armed timer, or `None` when empty.
+    /// Interior mutability in spirit: cascades far slots downward as a
+    /// side effect, which never changes the observable firing order.
+    pub(crate) fn peek(&mut self) -> Option<(u64, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(c) = self.cached {
+            return Some((c.at, c.seq));
+        }
+        loop {
+            let mut best: Option<Earliest> = None;
+            for level in 0..LEVELS {
+                if let Some(e) = self.level_earliest(level) {
+                    if best.is_none_or(|b| (e.at, e.seq) < (b.at, b.seq)) {
+                        best = Some(e);
+                    }
+                    // A lower level's minimum can't be beaten by a higher
+                    // level's only when it is before that level's whole
+                    // window; cheap to just compare all four.
+                }
+            }
+            if let Some(&Reverse((at, seq, _, _))) = self.overflow.peek() {
+                if best.is_none_or(|b| (at, seq) < (b.at, b.seq)) {
+                    best = Some(Earliest { at, seq, source: Source::Overflow });
+                }
+            }
+            let best = best.expect("len > 0 implies an entry somewhere");
+            match best.source {
+                // Cascade: redistribute a due high-level slot into finer
+                // levels. Only legal once the wheel clock has reached the
+                // slot's covered window (`dt = at - now < 64^level` then
+                // guarantees strict descent); the clock itself only moves
+                // via `advance`/`pop_earliest`, because message deliveries
+                // may still be pending *before* this slot and their
+                // handlers may arm earlier timers.
+                Source::Slot { level, slot }
+                    if level > 0
+                        && (best.at >> (SLOT_BITS * level as u32)) << (SLOT_BITS * level as u32)
+                            <= self.now =>
+                {
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    {
+                        let s = &mut self.levels[level][slot];
+                        // Sorted so the redistribution emits ascending
+                        // runs: destination slots then receive their
+                        // entries in order and stay sorted for free.
+                        // Draining into scratch (not `into_iter`) keeps
+                        // the slot's allocation for future inserts.
+                        s.ensure_sorted();
+                        scratch.extend(s.entries.drain(s.head..));
+                        s.entries.clear();
+                        s.head = 0;
+                    }
+                    self.occupied[level] &= !(1 << slot);
+                    self.level_cache[level] = None;
+                    for e in scratch.drain(..) {
+                        // Entries sharing the slot but belonging to a later
+                        // wheel revolution keep their level; the rest drop
+                        // at least one level, so this terminates.
+                        self.place(e);
+                    }
+                    self.scratch = scratch;
+                }
+                _ => {
+                    self.cached = Some(best);
+                    return Some((best.at, best.seq));
+                }
+            }
+        }
+    }
+
+    /// Whether any source other than level `level` holds a key smaller
+    /// than `(at, seq)`. Sound only right after a pop at `level`: the
+    /// preceding peek filled every level cache, and only the popped level
+    /// has been disturbed since. A stale cache (possible when the cohort
+    /// fast path has been serving peeks) conservatively reports "beaten",
+    /// which just routes the caller to the full recompute.
+    fn beaten_elsewhere(&self, level: usize, at: u64, seq: u64) -> bool {
+        for l in 0..LEVELS {
+            if l == level {
+                continue;
+            }
+            match self.level_cache[l] {
+                Some(Some(b)) if (b.at, b.seq) < (at, seq) => return true,
+                Some(_) => {}
+                None => return true,
+            }
+        }
+        if let Some(&Reverse((oat, oseq, _, _))) = self.overflow.peek() {
+            if (oat, oseq) < (at, seq) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes and returns the earliest timer. Must follow a `peek` with
+    /// no intervening `insert` (the engine's step loop guarantees this).
+    pub(crate) fn pop_earliest(&mut self) -> Option<TimerEntry> {
+        self.peek()?;
+        let c = self.cached.take().expect("peek filled the cache");
+        self.len -= 1;
+        self.now = c.at;
+        match c.source {
+            Source::Overflow => {
+                let Reverse((at, seq, node, tag)) = self.overflow.pop().expect("cached overflow");
+                debug_assert_eq!((at, seq), (c.at, c.seq));
+                Some(TimerEntry { at, seq, node, tag })
+            }
+            Source::Slot { level, slot } => {
+                let (e, next) = {
+                    let s = &mut self.levels[level][slot];
+                    let e = s.pop_min();
+                    let next = (!s.is_empty()).then(|| s.min_key());
+                    (e, next)
+                };
+                debug_assert_eq!((e.at, e.seq), (c.at, c.seq), "cached entry was the slot minimum");
+                match next {
+                    None => {
+                        self.occupied[level] &= !(1 << slot);
+                        self.level_cache[level] = None;
+                    }
+                    // Cohort fast path. Lockstep protocols pop runs of
+                    // entries sharing one instant, and equal `at` maps to
+                    // equal slot indices, so within this level the slot's
+                    // next entry already wins. It is the *global* earliest
+                    // unless an equal-`at` entry armed earlier (smaller
+                    // seq) sits at another level (possible: the level is
+                    // chosen from `at - now` at arming time) or in the
+                    // overflow. Those are O(1) compares against caches the
+                    // preceding peek left fresh — no rescan, and the next
+                    // peek is a guaranteed cache hit.
+                    Some((at2, seq2)) if at2 == e.at && !self.beaten_elsewhere(level, at2, seq2) => {
+                        let ee = Earliest { at: at2, seq: seq2, source: Source::Slot { level, slot } };
+                        self.level_cache[level] = Some(Some(ee));
+                        self.cached = Some(ee);
+                    }
+                    Some(_) => {
+                        self.level_cache[level] = None;
+                    }
+                }
+                Some(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Reference model: the old heap semantics.
+    #[derive(Default)]
+    struct Model {
+        heap: BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
+    }
+
+    impl Model {
+        fn insert(&mut self, e: TimerEntry) {
+            self.heap.push(Reverse((e.at, e.seq, e.node, e.tag)));
+        }
+        fn pop(&mut self) -> Option<TimerEntry> {
+            self.heap.pop().map(|Reverse((at, seq, node, tag))| TimerEntry { at, seq, node, tag })
+        }
+    }
+
+    #[test]
+    fn empty_wheel() {
+        let mut w = TimerWheel::new();
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.peek(), None);
+        assert_eq!(w.pop_earliest(), None);
+    }
+
+    #[test]
+    fn fires_in_at_then_seq_order() {
+        let mut w = TimerWheel::new();
+        for (i, at) in [(0u64, 50u64), (1, 10), (2, 50), (3, 10)] {
+            w.insert(TimerEntry { at, seq: i, node: i as usize, tag: i });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| w.pop_earliest()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn spans_all_levels_and_overflow() {
+        let mut w = TimerWheel::new();
+        let ats = [3u64, 100, 5_000, 300_000, 20_000_000, HORIZON * 3, u64::MAX];
+        for (i, &at) in ats.iter().enumerate() {
+            w.insert(TimerEntry { at, seq: i as u64, node: 0, tag: 0 });
+        }
+        let fired: Vec<u64> = std::iter::from_fn(|| w.pop_earliest()).map(|e| e.at).collect();
+        assert_eq!(fired, ats.to_vec());
+    }
+
+    #[test]
+    fn matches_heap_model_under_random_interleaving() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xBEE5);
+        for trial in 0..20 {
+            let mut w = TimerWheel::new();
+            let mut m = Model::default();
+            let mut seq = 0u64;
+            let mut clock = 0u64;
+            for _ in 0..400 {
+                if rng.gen_bool(0.6) || w.len() == 0 {
+                    // Arm a timer with a delay spanning every level.
+                    let delay = match rng.gen_range(0..5u32) {
+                        0 => rng.gen_range(0..64),
+                        1 => rng.gen_range(0..4_096),
+                        2 => rng.gen_range(0..262_144),
+                        3 => rng.gen_range(0..HORIZON),
+                        _ => rng.gen_range(HORIZON..HORIZON * 20),
+                    };
+                    let e = TimerEntry { at: clock + delay, seq, node: 0, tag: seq };
+                    seq += 1;
+                    w.insert(e);
+                    m.insert(e);
+                } else {
+                    let (a, b) = (w.pop_earliest(), m.pop());
+                    assert_eq!(a, b, "trial {trial}: wheel diverged from heap model");
+                    clock = a.expect("non-empty").at;
+                }
+            }
+            // Drain both.
+            loop {
+                let (a, b) = (w.pop_earliest(), m.pop());
+                assert_eq!(a, b, "trial {trial}: drain diverged");
+                if a.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(w.len(), 0);
+        }
+    }
+
+    /// Not a correctness test: times the wheel against the heap model on
+    /// the perf-report grid pattern (many concurrent periodic timers).
+    /// Run manually with `cargo test -p oceanstore-sim --release
+    /// wheel_vs_heap_grid_pattern -- --ignored --nocapture`.
+    #[test]
+    #[ignore]
+    fn wheel_vs_heap_grid_pattern() {
+        const PERIODS: [u64; 4] = [5_000, 11_000, 17_000, 29_000];
+        const OPS: u64 = 2_000_000;
+        let run_wheel = |nodes: u64| {
+            let mut w = TimerWheel::new();
+            let mut seq = 0u64;
+            for n in 0..nodes {
+                for p in PERIODS {
+                    w.insert(TimerEntry { at: p, seq, node: n as usize, tag: p });
+                    seq += 1;
+                }
+            }
+            let mut fired = 0u64;
+            while fired < OPS {
+                let e = w.pop_earliest().expect("periodic timers never drain");
+                w.insert(TimerEntry { at: e.at + e.tag, seq, node: e.node, tag: e.tag });
+                seq += 1;
+                fired += 1;
+            }
+            w.len()
+        };
+        let run_heap = |nodes: u64| {
+            let mut m = Model::default();
+            let mut seq = 0u64;
+            for n in 0..nodes {
+                for p in PERIODS {
+                    m.insert(TimerEntry { at: p, seq, node: n as usize, tag: p });
+                    seq += 1;
+                }
+            }
+            let mut fired = 0u64;
+            while fired < OPS {
+                let e = m.pop().expect("periodic timers never drain");
+                m.insert(TimerEntry { at: e.at + e.tag, seq, node: e.node, tag: e.tag });
+                seq += 1;
+                fired += 1;
+            }
+            m.heap.len()
+        };
+        for nodes in [256u64, 4096, 16384] {
+            for round in 0..2 {
+                let t = std::time::Instant::now();
+                let wl = run_wheel(nodes);
+                let wheel_s = t.elapsed().as_secs_f64();
+                let t = std::time::Instant::now();
+                let hl = run_heap(nodes);
+                let heap_s = t.elapsed().as_secs_f64();
+                assert_eq!(wl, hl);
+                println!(
+                    "timers {:>6} round {round}: wheel {:.1} Mops/s  heap {:.1} Mops/s  ratio {:.2}x",
+                    nodes * 4,
+                    OPS as f64 / wheel_s / 1e6,
+                    OPS as f64 / heap_s / 1e6,
+                    heap_s / wheel_s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peek_is_stable_and_cheap_across_inserts_of_later_timers() {
+        let mut w = TimerWheel::new();
+        w.insert(TimerEntry { at: 10, seq: 0, node: 0, tag: 0 });
+        assert_eq!(w.peek(), Some((10, 0)));
+        w.insert(TimerEntry { at: 99, seq: 1, node: 0, tag: 1 });
+        assert_eq!(w.peek(), Some((10, 0)));
+        // An earlier timer invalidates and refreshes the cache.
+        w.insert(TimerEntry { at: 5, seq: 2, node: 0, tag: 2 });
+        assert_eq!(w.peek(), Some((5, 2)));
+    }
+}
