@@ -3,12 +3,12 @@
 
 use std::collections::HashMap;
 
-use oceanstore_crypto::schnorr::{verify, KeyPair, Signature};
+use oceanstore_crypto::schnorr::{verify_ref, KeyPair};
 use oceanstore_crypto::sha1::Digest;
 use oceanstore_sim::{Context, NodeId, SimDuration, SimTime};
 
-use crate::messages::{set_sig, signing_bytes, Payload, PbftMsg, RequestId};
-use crate::replica::TierConfig;
+use super::messages::{signing_bytes, Payload, PbftMsg, RequestId};
+use super::replica::TierConfig;
 
 /// Timer tag base for request retransmission (low bits carry the client
 /// sequence number).
@@ -100,10 +100,12 @@ impl Client {
             id,
             timestamp,
             payload: payload.clone(),
-            sig: Signature::default(),
+            sig: self.keypair.sign_ref(b""),
         };
-        let sig = self.keypair.sign(&signing_bytes(&msg));
-        set_sig(&mut msg, sig);
+        let sig = self.keypair.sign_ref(&signing_bytes(&msg));
+        if let PbftMsg::Request { sig: s, .. } = &mut msg {
+            *s = sig;
+        }
         ctx.broadcast(self.cfg.members.iter().copied(), msg.clone());
         self.pending.insert(
             id,
@@ -130,7 +132,7 @@ impl Client {
         let PbftMsg::Reply { id, seq, digest, replica, .. } = &msg else { return };
         let Some(key) = self.cfg.replica_keys.get(*replica) else { return };
         let PbftMsg::Reply { sig, .. } = &msg else { unreachable!() };
-        if !verify(*key, &signing_bytes(&msg), sig) {
+        if !verify_ref(*key, &signing_bytes(&msg), sig) {
             return;
         }
         let Some(pending) = self.pending.get_mut(id) else { return };

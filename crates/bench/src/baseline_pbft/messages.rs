@@ -187,22 +187,6 @@ impl Message for PbftMsg {
     }
 }
 
-/// Writes `sig` into the signature slot of any message variant. Messages
-/// are constructed with `Signature::default()` (which never verifies) and
-/// signed over their canonical bytes afterwards — [`signing_bytes`] skips
-/// the signature slot, so the placeholder does not affect what is signed.
-pub fn set_sig(msg: &mut PbftMsg, sig: Signature) {
-    match msg {
-        PbftMsg::Request { sig: s, .. }
-        | PbftMsg::PrePrepare { sig: s, .. }
-        | PbftMsg::Prepare { sig: s, .. }
-        | PbftMsg::Commit { sig: s, .. }
-        | PbftMsg::Reply { sig: s, .. }
-        | PbftMsg::ViewChange { sig: s, .. }
-        | PbftMsg::NewView { sig: s, .. } => *s = sig,
-    }
-}
-
 /// Canonical signing bytes for each message kind (what the signature
 /// covers).
 pub fn signing_bytes(msg: &PbftMsg) -> Vec<u8> {
@@ -266,62 +250,3 @@ pub fn signing_bytes(msg: &PbftMsg) -> Vec<u8> {
     out
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn payload_sizes() {
-        let real = Payload::from_bytes(vec![1, 2, 3]);
-        assert_eq!(real.wire_len(), 3);
-        let sim = Payload::simulated(4096);
-        assert_eq!(sim.wire_len(), 4096);
-    }
-
-    #[test]
-    fn payload_digests_distinguish_sizes() {
-        assert_ne!(Payload::simulated(1).digest(), Payload::simulated(2).digest());
-        assert_ne!(
-            Payload::from_bytes(vec![1]).digest(),
-            Payload::from_bytes(vec![2]).digest()
-        );
-    }
-
-    #[test]
-    fn small_message_overhead_is_about_100_bytes() {
-        // The paper's c1 ≈ 100 bytes claim.
-        let kp = oceanstore_crypto::schnorr::KeyPair::from_seed(b"r0");
-        let msg = PbftMsg::Prepare {
-            view: 0,
-            seq: 1,
-            digest: [0; 20],
-            replica: 0,
-            sig: kp.sign(b"x"),
-        };
-        let size = msg.wire_size();
-        assert!((90..=130).contains(&size), "overhead {size} out of c1 range");
-    }
-
-    #[test]
-    fn request_size_tracks_payload() {
-        let kp = oceanstore_crypto::schnorr::KeyPair::from_seed(b"c");
-        let mk = |size| PbftMsg::Request {
-            id: RequestId { client: NodeId(9), seq: 1 },
-            timestamp: 0,
-            payload: Payload::simulated(size),
-            sig: kp.sign(b"x"),
-        };
-        assert_eq!(mk(10_000).wire_size() - mk(0).wire_size(), 10_000);
-    }
-
-    #[test]
-    fn signing_bytes_distinguish_kinds_and_fields() {
-        let kp = oceanstore_crypto::schnorr::KeyPair::from_seed(b"r");
-        let sig = kp.sign(b"x");
-        let a = PbftMsg::Prepare { view: 0, seq: 1, digest: [0; 20], replica: 0, sig };
-        let b = PbftMsg::Commit { view: 0, seq: 1, digest: [0; 20], replica: 0, sig };
-        let c = PbftMsg::Prepare { view: 0, seq: 2, digest: [0; 20], replica: 0, sig };
-        assert_ne!(signing_bytes(&a), signing_bytes(&b));
-        assert_ne!(signing_bytes(&a), signing_bytes(&c));
-    }
-}

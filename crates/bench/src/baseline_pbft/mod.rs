@@ -1,0 +1,48 @@
+//! Frozen pre-PR-5 PBFT protocol path, for A/B benchmarking only.
+//!
+//! A verbatim copy of `crates/consensus` as it stood before the crypto and
+//! message-path fast paths landed, with two deliberate adaptations that pin
+//! the *old* cost model:
+//!
+//! * all signing/verification goes through the frozen reference crypto
+//!   paths ([`oceanstore_crypto::schnorr::KeyPair::sign_ref`] /
+//!   [`oceanstore_crypto::schnorr::verify_ref`]) — plain square-and-multiply,
+//!   computationally identical to the pre-PR implementation;
+//! * the double-sign wart is preserved: every message is constructed with a
+//!   throwaway `sign_ref(b"")` placeholder before the real signature is
+//!   computed, exactly as the old replica did.
+//!
+//! Both baseline and production tiers run on the *production* simulator
+//! engine, so a macro A/B between them isolates the protocol-layer crypto
+//! cost. Do not fix bugs here unless the production copy had them at
+//! freeze time; this module exists to be old.
+
+#![allow(missing_docs)]
+
+pub mod client;
+pub mod harness;
+pub mod messages;
+pub mod node;
+pub mod replica;
+
+pub use client::{Client, ClientOutcome};
+pub use harness::{build_tier, build_tier_with_faults, run_updates, CostModel, TierSim};
+pub use messages::{Payload, PbftMsg, RequestId};
+pub use node::PbftNode;
+pub use replica::{Committed, FaultMode, Replica, TierConfig};
+
+#[cfg(test)]
+mod tests {
+    use oceanstore_sim::{NodeId, SimDuration};
+
+    #[test]
+    fn frozen_baseline_tier_still_commits() {
+        let mut ts = super::build_tier(1, SimDuration::from_millis(100), 1);
+        let run = super::run_updates(&mut ts, 1024, 2);
+        assert_eq!(run.latencies.len(), 2);
+        for i in 0..4 {
+            let node = ts.sim.node(NodeId(i));
+            assert_eq!(node.as_replica().unwrap().executed().len(), 2, "replica {i}");
+        }
+    }
+}

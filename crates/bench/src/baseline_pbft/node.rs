@@ -3,17 +3,11 @@
 
 use oceanstore_sim::{Context, NodeId, Protocol};
 
-use crate::client::Client;
-use crate::messages::PbftMsg;
-use crate::replica::Replica;
+use super::client::Client;
+use super::messages::PbftMsg;
+use super::replica::Replica;
 
 /// A node in an agreement simulation.
-///
-/// The `Replica` variant is much larger than the others, but nodes live in
-/// one flat `Vec` built at setup and every message dispatch goes through
-/// this enum — boxing the replica would put a pointer chase on the
-/// simulator's hottest path to save memory only on idle nodes.
-#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum PbftNode {
     /// A primary-tier replica.

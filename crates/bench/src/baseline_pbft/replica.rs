@@ -15,11 +15,11 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use oceanstore_crypto::schnorr::{batch_verify_each, verify, KeyPair, PublicKey, Signature};
+use oceanstore_crypto::schnorr::{verify_ref, KeyPair, PublicKey};
 use oceanstore_crypto::sha1::Digest;
 use oceanstore_sim::{Context, NodeId, SimDuration};
 
-use crate::messages::{set_sig, signing_bytes, Payload, PbftMsg, RequestId};
+use super::messages::{signing_bytes, Payload, PbftMsg, RequestId};
 
 /// Timer tag: view-change alarm (low bits carry the view it guards).
 const TIMER_VIEW_BASE: u64 = 1 << 40;
@@ -83,11 +83,6 @@ pub enum FaultMode {
     Silent,
     /// Sends conflicting digests to different peers (Byzantine).
     Equivocate,
-    /// Participates in every round but signs with a key that is not its
-    /// configured one (Byzantine): every signature it emits is a forgery
-    /// against its tier slot. Exercises the verification cache and batch
-    /// drain — none of its messages may ever be counted.
-    ForgeSigs,
 }
 
 /// One agreement slot.
@@ -103,13 +98,6 @@ struct Instance {
     digest_view: u64,
     prepares: HashSet<usize>,
     commits: HashSet<usize>,
-    /// Prepares whose protocol-state checks passed at arrival (view and
-    /// digest match, sender not yet counted) but whose signatures have not
-    /// been verified yet. Drained through one `batch_verify` call when the
-    /// pool could complete a quorum, instead of one `verify` per arrival.
-    pending_prepares: Vec<(usize, Signature)>,
-    /// Commits awaiting deferred signature verification, same scheme.
-    pending_commits: Vec<(usize, Signature)>,
     /// Sticky: this slot reached a prepare certificate (`> 2m` prepares)
     /// at some point. Survives view changes — the certificate may
     /// underpin a commit elsewhere, so it must keep circulating in
@@ -138,14 +126,6 @@ pub struct Committed {
 /// frontier plus the certificate entries (seq, digest, request) it can
 /// vouch for — executed slots and prepared certificates alike.
 type VcVotes = HashMap<usize, (u64, Vec<(u64, Digest, RequestId)>)>;
-
-/// Verification-cache key for a prepare/commit signature. The key is the
-/// full `(phase, view, seq, digest, replica)` tuple that determines the
-/// signing bytes **plus the signature value itself**: keying on the claimed
-/// sender alone would let an attacker poison the cache with a forged
-/// "message from replica i" and have the cached `false` suppress replica
-/// i's real, valid message later.
-type SigCacheKey = (bool, u64, u64, Digest, usize, Signature);
 
 /// A primary-tier replica.
 #[derive(Debug)]
@@ -180,10 +160,6 @@ pub struct Replica {
     /// can gather `2m + 1` votes — which is exactly the signature the
     /// chaos `quorum_loss` scenario asserts on.
     view_changes_sent: u64,
-    /// Verified-signature cache: retransmissions and re-announcements of a
-    /// `(phase, view, seq, digest, replica, sig)` triple skip verification
-    /// entirely (both the valid and the known-forged direction).
-    sig_cache: HashMap<SigCacheKey, bool>,
 }
 
 impl Replica {
@@ -216,34 +192,12 @@ impl Replica {
             vc_votes: HashMap::new(),
             alarm_armed: false,
             view_changes_sent: 0,
-            sig_cache: HashMap::new(),
         }
     }
 
     /// The committed updates in serialization order.
     pub fn executed(&self) -> &[Committed] {
         &self.executed
-    }
-
-    /// Diagnostic: for every agreement slot, the replica indices whose
-    /// prepare and commit signatures were verified and counted toward a
-    /// quorum. Signatures still parked in a pending pool are *not*
-    /// counted. Lets tests assert that a Byzantine signer's votes never
-    /// enter any quorum set.
-    pub fn counted_vote_senders(&self) -> Vec<(u64, Vec<usize>, Vec<usize>)> {
-        let mut out: Vec<(u64, Vec<usize>, Vec<usize>)> = self
-            .log
-            .iter()
-            .map(|(&seq, inst)| {
-                let mut p: Vec<usize> = inst.prepares.iter().copied().collect();
-                let mut c: Vec<usize> = inst.commits.iter().copied().collect();
-                p.sort_unstable();
-                c.sort_unstable();
-                (seq, p, c)
-            })
-            .collect();
-        out.sort_unstable_by_key(|(seq, _, _)| *seq);
-        out
     }
 
     /// The digests of the committed order (for safety comparisons).
@@ -277,21 +231,6 @@ impl Replica {
         self.cfg.leader(self.view) == self.index
     }
 
-    /// Signs `msg` over its canonical bytes and returns it with the
-    /// signature filled in. A [`FaultMode::ForgeSigs`] replica signs with a
-    /// decoy key instead of its configured one, so every signature it emits
-    /// is a forgery against its tier slot.
-    fn signed(&self, mut msg: PbftMsg) -> PbftMsg {
-        let bytes = signing_bytes(&msg);
-        let sig = if self.fault == FaultMode::ForgeSigs {
-            KeyPair::from_seed(b"forge-sigs-decoy").sign(&bytes)
-        } else {
-            self.keypair.sign(&bytes)
-        };
-        set_sig(&mut msg, sig);
-        msg
-    }
-
     fn verify_replica(&self, replica: usize, msg: &PbftMsg) -> bool {
         let Some(key) = self.cfg.replica_keys.get(replica) else { return false };
         let sig = match msg {
@@ -302,7 +241,7 @@ impl Replica {
             | PbftMsg::NewView { sig, .. } => sig,
             _ => return false,
         };
-        verify(*key, &signing_bytes(msg), sig)
+        verify_ref(*key, &signing_bytes(msg), sig)
     }
 
     /// Sends to every *other* replica, honoring the fault mode. `mutate`
@@ -367,7 +306,7 @@ impl Replica {
         // signatures are ignored.
         let Some(key) = self.cfg.client_keys.get(&id.client) else { return };
         let check = PbftMsg::Request { id, timestamp, payload: payload.clone(), sig: *sig };
-        if !verify(*key, &signing_bytes(&check), sig) {
+        if !verify_ref(*key, &signing_bytes(&check), sig) {
             return;
         }
         self.requests.insert(id, (payload.clone(), timestamp));
@@ -383,13 +322,12 @@ impl Replica {
             if self.log.get(&seq).is_some_and(|i| i.executed) && self.fault != FaultMode::Silent {
                 let digest = payload.digest();
                 let my = self.index;
-                let reply = self.signed(PbftMsg::Reply {
-                    id,
-                    seq,
-                    digest,
-                    replica: my,
-                    sig: Signature::default(),
-                });
+                let mut reply =
+                    PbftMsg::Reply { id, seq, digest, replica: my, sig: self.keypair.sign_ref(b"") };
+                let rsig = self.keypair.sign_ref(&signing_bytes(&reply));
+                if let PbftMsg::Reply { sig: s, .. } = &mut reply {
+                    *s = rsig;
+                }
                 ctx.send(id.client, reply);
             }
             return;
@@ -434,13 +372,12 @@ impl Replica {
         }
         self.broadcast(ctx, |recipient| {
             let d = self.maybe_corrupt(recipient, digest);
-            Some(self.signed(PbftMsg::PrePrepare {
-                view,
-                seq,
-                digest: d,
-                id,
-                sig: Signature::default(),
-            }))
+            let mut msg = PbftMsg::PrePrepare { view, seq, digest: d, id, sig: self.keypair.sign_ref(b"") };
+            let sig = self.keypair.sign_ref(&signing_bytes(&msg));
+            if let PbftMsg::PrePrepare { sig: s, .. } = &mut msg {
+                *s = sig;
+            }
+            Some(msg)
         });
         self.maybe_commit_phase(ctx, seq);
     }
@@ -473,11 +410,6 @@ impl Replica {
                 // don't count toward the new one.
                 inst.prepares.clear();
                 inst.commits.clear();
-                // Unverified pools go too: the eager path would have
-                // verified and inserted these at arrival, and the re-seed
-                // would clear them right here — net zero either way.
-                inst.pending_prepares.clear();
-                inst.pending_commits.clear();
                 inst.sent_commit = false;
                 inst.prepared_cert = false;
             } else {
@@ -495,25 +427,24 @@ impl Replica {
         inst.prepares.insert(self.index);
         self.assigned.insert(id, seq);
         let my = self.index;
-        let base = self.signed(PbftMsg::Prepare {
-            view,
-            seq,
-            digest,
-            replica: my,
-            sig: Signature::default(),
-        });
+        let base = PbftMsg::Prepare { view, seq, digest, replica: my, sig: self.keypair.sign_ref(b"") };
+        let sig = self.keypair.sign_ref(&signing_bytes(&base));
         self.broadcast(ctx, |recipient| {
             let d = self.maybe_corrupt(recipient, digest);
             if d == digest {
-                Some(base.clone())
+                let mut m = base.clone();
+                if let PbftMsg::Prepare { sig: s, .. } = &mut m {
+                    *s = sig;
+                }
+                Some(m)
             } else {
-                Some(self.signed(PbftMsg::Prepare {
-                    view,
-                    seq,
-                    digest: d,
-                    replica: my,
-                    sig: Signature::default(),
-                }))
+                let mut m =
+                    PbftMsg::Prepare { view, seq, digest: d, replica: my, sig: self.keypair.sign_ref(b"") };
+                let s2 = self.keypair.sign_ref(&signing_bytes(&m));
+                if let PbftMsg::Prepare { sig: s, .. } = &mut m {
+                    *s = s2;
+                }
+                Some(m)
             }
         });
         self.maybe_commit_phase(ctx, seq);
@@ -523,120 +454,16 @@ impl Replica {
         }
     }
 
-    /// Accepts a prepare whose protocol-state checks pass, deferring its
-    /// signature into the slot's pending pool (or resolving it straight
-    /// from the verification cache). The signature is only checked — in a
-    /// batch with its quorum peers — once the pool could complete a
-    /// quorum; a prepare the eager path would discard unused (digest
-    /// mismatch, duplicate sender) is discarded here *without* ever being
-    /// verified, which is where the savings come from.
-    fn on_prepare(
-        &mut self,
-        ctx: &mut Context<'_, PbftMsg>,
-        seq: u64,
-        digest: Digest,
-        replica: usize,
-        sig: Signature,
-    ) {
-        let view = self.view;
+    fn on_prepare(&mut self, ctx: &mut Context<'_, PbftMsg>, seq: u64, digest: Digest, replica: usize) {
         let inst = self.log.entry(seq).or_default();
-        if inst.digest == Some(digest) && !inst.prepares.contains(&replica) {
-            match self.sig_cache.get(&(false, view, seq, digest, replica, sig)) {
-                Some(true) => {
-                    inst.prepares.insert(replica);
-                }
-                Some(false) => {} // known forgery: drop
-                None => {
-                    if !inst.pending_prepares.iter().any(|&(r, s)| r == replica && s == sig) {
-                        inst.pending_prepares.push((replica, sig));
-                    }
-                }
-            }
+        if inst.digest == Some(digest) {
+            inst.prepares.insert(replica);
         }
         self.maybe_commit_phase(ctx, seq);
     }
 
-    /// Batch-verifies a slot's pending prepare or commit signatures,
-    /// moving the valid ones into the counted quorum sets and caching
-    /// every verdict. Verification only — never emits messages, so callers
-    /// decide (exactly as the eager path would) whether a threshold was
-    /// crossed afterwards.
-    fn flush_pending(&mut self, seq: u64, commit_phase: bool) {
-        let view = self.view;
-        let Some(inst) = self.log.get_mut(&seq) else { return };
-        let Some(digest) = inst.digest else { return };
-        let pool = if commit_phase { &mut inst.pending_commits } else { &mut inst.pending_prepares };
-        if pool.is_empty() {
-            return;
-        }
-        let pend = std::mem::take(pool);
-        let bytes: Vec<Vec<u8>> = pend
-            .iter()
-            .map(|&(replica, sig)| {
-                let msg = if commit_phase {
-                    PbftMsg::Commit { view, seq, digest, replica, sig }
-                } else {
-                    PbftMsg::Prepare { view, seq, digest, replica, sig }
-                };
-                signing_bytes(&msg)
-            })
-            .collect();
-        let batch: Vec<(PublicKey, &[u8], Signature)> = pend
-            .iter()
-            .zip(&bytes)
-            .map(|(&(replica, sig), b)| (self.cfg.replica_keys[replica], b.as_slice(), sig))
-            .collect();
-        let verdicts = if batch.len() == 1 {
-            vec![verify(batch[0].0, batch[0].1, &batch[0].2)]
-        } else {
-            batch_verify_each(&batch)
-        };
-        let inst = self.log.get_mut(&seq).expect("slot exists");
-        for (&(replica, sig), ok) in pend.iter().zip(verdicts) {
-            self.sig_cache.insert((commit_phase, view, seq, digest, replica, sig), ok);
-            if ok {
-                if commit_phase {
-                    inst.commits.insert(replica);
-                } else {
-                    inst.prepares.insert(replica);
-                }
-            }
-        }
-    }
-
-    /// Flushes both pending pools of every slot (verification only). Run
-    /// before any code path that *observes* quorum sets outside normal
-    /// message processing — view-change vote collection and view teardown
-    /// — so the observed state matches what eager per-arrival verification
-    /// would have produced.
-    fn flush_all_pending(&mut self) {
-        let dirty: Vec<u64> = self
-            .log
-            .iter()
-            .filter(|(_, i)| !i.pending_prepares.is_empty() || !i.pending_commits.is_empty())
-            .map(|(&s, _)| s)
-            .collect();
-        for seq in dirty {
-            self.flush_pending(seq, false);
-            self.flush_pending(seq, true);
-        }
-    }
-
     fn maybe_commit_phase(&mut self, ctx: &mut Context<'_, PbftMsg>, seq: u64) {
         let prepare_quorum = self.cfg.prepare_quorum();
-        // Drain the pending pool iff it could complete the prepare quorum.
-        // The send threshold (`>= 2m + 1` prepares) and the certificate
-        // threshold (`> 2m`) coincide, so one flush trigger covers both;
-        // a flush that falls short (some pending signatures were forged)
-        // re-arms on the next arrival.
-        let need_flush = self.log.get(&seq).is_some_and(|i| {
-            !i.sent_commit
-                && i.digest.is_some()
-                && i.prepares.len() + i.pending_prepares.len() > prepare_quorum
-        });
-        if need_flush {
-            self.flush_pending(seq, false);
-        }
         let Some(inst) = self.log.get_mut(&seq) else { return };
         let Some(digest) = inst.digest else { return };
         if inst.prepares.len() > prepare_quorum {
@@ -649,44 +476,19 @@ impl Replica {
         inst.commits.insert(self.index);
         let view = self.view;
         let my = self.index;
-        let msg = self.signed(PbftMsg::Commit {
-            view,
-            seq,
-            digest,
-            replica: my,
-            sig: Signature::default(),
-        });
+        let mut msg = PbftMsg::Commit { view, seq, digest, replica: my, sig: self.keypair.sign_ref(b"") };
+        let sig = self.keypair.sign_ref(&signing_bytes(&msg));
+        if let PbftMsg::Commit { sig: s, .. } = &mut msg {
+            *s = sig;
+        }
         self.multicast(ctx, msg);
         self.try_execute(ctx);
     }
 
-    /// Accepts a commit, deferring its signature like [`Replica::on_prepare`]
-    /// does for prepares. Commit pools drain lazily at the execution
-    /// frontier (inside [`Replica::try_execute`]) rather than per arrival:
-    /// commits for slots above the frontier cannot change behaviour until
-    /// execution reaches them, so they accumulate into bigger batches.
-    fn on_commit(
-        &mut self,
-        ctx: &mut Context<'_, PbftMsg>,
-        seq: u64,
-        digest: Digest,
-        replica: usize,
-        sig: Signature,
-    ) {
-        let view = self.view;
+    fn on_commit(&mut self, ctx: &mut Context<'_, PbftMsg>, seq: u64, digest: Digest, replica: usize) {
         let inst = self.log.entry(seq).or_default();
-        if inst.digest == Some(digest) && !inst.commits.contains(&replica) {
-            match self.sig_cache.get(&(true, view, seq, digest, replica, sig)) {
-                Some(true) => {
-                    inst.commits.insert(replica);
-                }
-                Some(false) => {} // known forgery: drop
-                None => {
-                    if !inst.pending_commits.iter().any(|&(r, s)| r == replica && s == sig) {
-                        inst.pending_commits.push((replica, sig));
-                    }
-                }
-            }
+        if inst.digest == Some(digest) {
+            inst.commits.insert(replica);
         }
         self.try_execute(ctx);
     }
@@ -694,18 +496,6 @@ impl Replica {
     fn try_execute(&mut self, ctx: &mut Context<'_, PbftMsg>) {
         loop {
             let seq = self.next_exec;
-            // Drain the frontier slot's pending commits iff they could
-            // complete the commit quorum; the execution decision below
-            // then sees exactly the set eager verification would have.
-            let commit_quorum = self.cfg.commit_quorum();
-            let need_flush = self.log.get(&seq).is_some_and(|i| {
-                !i.executed
-                    && i.digest.is_some()
-                    && i.commits.len() + i.pending_commits.len() >= commit_quorum
-            });
-            if need_flush {
-                self.flush_pending(seq, true);
-            }
             let Some(inst) = self.log.get(&seq) else { break };
             if inst.executed
                 || inst.commits.len() < self.cfg.commit_quorum()
@@ -737,13 +527,12 @@ impl Replica {
             self.executed.push(Committed { seq, digest, payload, request: id, timestamp });
             // Reply to the client.
             let my = self.index;
-            let reply = self.signed(PbftMsg::Reply {
-                id,
-                seq,
-                digest,
-                replica: my,
-                sig: Signature::default(),
-            });
+            let mut reply =
+                PbftMsg::Reply { id, seq, digest, replica: my, sig: self.keypair.sign_ref(b"") };
+            let sig = self.keypair.sign_ref(&signing_bytes(&reply));
+            if let PbftMsg::Reply { sig: s, .. } = &mut reply {
+                *s = sig;
+            }
             if self.fault != FaultMode::Silent {
                 ctx.send(id.client, reply);
             }
@@ -776,9 +565,6 @@ impl Replica {
 
     /// Broadcasts (and self-records) a view-change vote for `new_view`.
     fn send_view_change(&mut self, ctx: &mut Context<'_, PbftMsg>, new_view: u64) {
-        // The vote inspects per-slot quorum sets; settle deferred
-        // signatures first so it sees what eager verification would have.
-        self.flush_all_pending();
         self.view_changes_sent += 1;
         // Vouch for every slot we can certify: executed slots and prepared
         // certificates alike. Executed history rides along so a new leader
@@ -800,13 +586,17 @@ impl Replica {
             .collect();
         let my = self.index;
         let last_exec = self.next_exec;
-        let msg = self.signed(PbftMsg::ViewChange {
+        let mut msg = PbftMsg::ViewChange {
             new_view,
             last_exec,
             prepared: prepared.clone(),
             replica: my,
-            sig: Signature::default(),
-        });
+            sig: self.keypair.sign_ref(b""),
+        };
+        let sig = self.keypair.sign_ref(&signing_bytes(&msg));
+        if let PbftMsg::ViewChange { sig: s, .. } = &mut msg {
+            *s = sig;
+        }
         self.multicast(ctx, msg);
         // Vote for ourselves too.
         self.record_vc_vote(ctx, new_view, my, last_exec, prepared);
@@ -829,22 +619,18 @@ impl Replica {
             // We are the new leader: announce and re-propose.
             self.enter_view(new_view);
             let my = self.index;
-            let msg = self.signed(PbftMsg::NewView {
-                view: new_view,
-                replica: my,
-                sig: Signature::default(),
-            });
+            let mut msg =
+                PbftMsg::NewView { view: new_view, replica: my, sig: self.keypair.sign_ref(b"") };
+            let sig = self.keypair.sign_ref(&signing_bytes(&msg));
+            if let PbftMsg::NewView { sig: s, .. } = &mut msg {
+                *s = sig;
+            }
             self.multicast(ctx, msg);
             self.repropose(ctx, new_view);
         }
     }
 
     fn enter_view(&mut self, view: u64) {
-        // Settle deferred signatures against the *old* view before
-        // teardown: executed slots keep their quorum sets across the view
-        // change, so unflushed-but-valid entries must land in them now,
-        // exactly as eager per-arrival verification would have left them.
-        self.flush_all_pending();
         self.view = view;
         self.alarm_armed = false;
         // Executed slots and prepare certificates survive the view change
@@ -980,16 +766,14 @@ impl Replica {
                     self.on_preprepare(ctx, *view, *seq, *digest, *id);
                 }
             }
-            PbftMsg::Prepare { view, seq, digest, replica, sig } => {
-                // Signature verification is deferred into the batch drain;
-                // only the protocol-state checks happen at arrival.
-                if *view == self.view && *replica < self.cfg.n() {
-                    self.on_prepare(ctx, *seq, *digest, *replica, *sig);
+            PbftMsg::Prepare { view, seq, digest, replica, .. } => {
+                if *view == self.view && self.verify_replica(*replica, &msg) {
+                    self.on_prepare(ctx, *seq, *digest, *replica);
                 }
             }
-            PbftMsg::Commit { view, seq, digest, replica, sig } => {
-                if *view == self.view && *replica < self.cfg.n() {
-                    self.on_commit(ctx, *seq, *digest, *replica, *sig);
+            PbftMsg::Commit { view, seq, digest, replica, .. } => {
+                if *view == self.view && self.verify_replica(*replica, &msg) {
+                    self.on_commit(ctx, *seq, *digest, *replica);
                 }
             }
             PbftMsg::ViewChange { new_view, last_exec, prepared, replica, .. } => {

@@ -1,29 +1,38 @@
 //! Measures the fast-path kernels against their frozen "before"
-//! implementations and emits a machine-readable `BENCH_PR4.json`.
+//! implementations and emits a machine-readable `BENCH_PR5.json`.
 //!
 //! ```text
 //! cargo run --release -p oceanstore-bench --bin perf_report
 //! cargo run --release -p oceanstore-bench --bin perf_report -- --small --out /tmp/b.json
+//! cargo run --release -p oceanstore-bench --bin perf_report -- --diff-frozen BENCH_PR4.json BENCH_PR5.json
 //! ```
 //!
 //! Flags:
 //! - `--small`: reduced workload sizes (CI smoke preset).
 //! - `--check`: exit nonzero unless the PR's speedup bars hold
-//!   (gf256 ≥ 4x, RS encode ≥ 3x, engine events/sec ≥ 1.5x).
+//!   (gf256 ≥ 4x, RS encode ≥ 3x, engine events/sec ≥ 1.5x,
+//!   Schnorr batch-32 verify ≥ 3x, tier commit throughput ≥ 1.1x).
 //! - `--min-gf256-mbps <N>`: absolute throughput floor for the fast
 //!   gf256 kernel (generous; catches catastrophic regressions in CI
 //!   without being sensitive to runner speed).
-//! - `--out <PATH>`: where to write the JSON (default `BENCH_PR4.json`).
+//! - `--out <PATH>`: where to write the JSON (default `BENCH_PR5.json`).
+//! - `--diff-frozen <OLD> <NEW>`: run no benches; statically compare two
+//!   frozen reports and exit nonzero if any speedup present in both files
+//!   regressed by more than 20%. CI runs this over the committed
+//!   `BENCH_PR<N>.json` files so a re-frozen report can't silently trade
+//!   away an earlier PR's win.
 //!
 //! The "before" column is measured in the same process by the same harness:
-//! `mul_acc_slice_ref`/`encode_ref`/`reconstruct_ref` are the pre-PR
-//! kernels kept in-tree, and `oceanstore_bench::baseline` is a frozen copy
-//! of the pre-PR engine. Later PRs append `BENCH_PR<N>.json` files with the
-//! same schema.
+//! `mul_acc_slice_ref`/`encode_ref`/`reconstruct_ref`/`verify_ref` are the
+//! pre-PR kernels kept in-tree, `oceanstore_bench::baseline` is a frozen
+//! copy of the pre-PR engine, and `oceanstore_bench::baseline_pbft` is a
+//! frozen copy of the pre-PR consensus stack. Later PRs append
+//! `BENCH_PR<N>.json` files with the same schema.
 
 use std::time::Instant;
 
-use oceanstore_bench::baseline;
+use oceanstore_bench::{baseline, baseline_pbft};
+use oceanstore_crypto::schnorr::{self, KeyPair, PublicKey, Signature};
 use oceanstore_erasure::gf256;
 use oceanstore_erasure::rs::ReedSolomon;
 use oceanstore_sim::engine::{Context, Message, Protocol, Simulator};
@@ -35,6 +44,7 @@ struct Args {
     check: bool,
     min_gf256_mbps: Option<f64>,
     out: String,
+    diff_frozen: Option<(String, String)>,
 }
 
 fn parse_args() -> Args {
@@ -42,7 +52,8 @@ fn parse_args() -> Args {
         small: false,
         check: false,
         min_gf256_mbps: None,
-        out: "BENCH_PR4.json".to_string(),
+        out: "BENCH_PR5.json".to_string(),
+        diff_frozen: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -54,6 +65,11 @@ fn parse_args() -> Args {
                 args.min_gf256_mbps = Some(v.parse().expect("invalid floor"));
             }
             "--out" => args.out = it.next().expect("--out needs a path"),
+            "--diff-frozen" => {
+                let old = it.next().expect("--diff-frozen needs OLD and NEW paths");
+                let new = it.next().expect("--diff-frozen needs OLD and NEW paths");
+                args.diff_frozen = Some((old, new));
+            }
             other => {
                 eprintln!("unknown flag {other:?}");
                 std::process::exit(2);
@@ -201,6 +217,121 @@ fn bench_rs(small: bool) -> Vec<Bench> {
             after: rec_after,
         },
     ]
+}
+
+// -------------------------------------------------------------- schnorr --
+
+/// Schnorr hot paths against the frozen square-and-multiply reference:
+/// single verify (comb tables) and a 32-signature batch (random-linear-
+/// combination batch verify) versus 32 sequential reference verifies. The
+/// batch mixes 7 signers, the size of an m=2 primary tier, so the shared
+/// `Σ z·e` exponent aggregation per key is exercised.
+fn bench_schnorr(small: bool) -> Vec<Bench> {
+    const BATCH: usize = 32;
+    const SIGNERS: usize = 7;
+    let keys: Vec<KeyPair> = (0..SIGNERS)
+        .map(|i| KeyPair::from_seed(format!("perf-report-signer-{i}").as_bytes()))
+        .collect();
+    let msgs: Vec<Vec<u8>> =
+        (0..BATCH).map(|i| format!("perf-report update digest {i}").into_bytes()).collect();
+    let signed: Vec<(PublicKey, &[u8], Signature)> = msgs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let kp = &keys[i % SIGNERS];
+            (kp.public(), m.as_slice(), kp.sign(m))
+        })
+        .collect();
+    let target = if small { 100 } else { 300 };
+
+    let one = &signed[0];
+    let (t_single_before, t_single_after) = ab_time_per_call(
+        target,
+        || {
+            assert!(schnorr::verify_ref(one.0, one.1, &one.2));
+        },
+        || {
+            assert!(schnorr::verify(one.0, one.1, &one.2));
+        },
+    );
+
+    let (t_batch_before, t_batch_after) = ab_time_per_call(
+        target * 2,
+        || {
+            for (y, m, s) in &signed {
+                assert!(schnorr::verify_ref(*y, m, s));
+            }
+        },
+        || {
+            assert!(schnorr::batch_verify(&signed));
+        },
+    );
+
+    vec![
+        Bench {
+            name: "schnorr/verify/single",
+            unit: "verifies/s",
+            before: Some(1.0 / t_single_before),
+            after: 1.0 / t_single_after,
+        },
+        Bench {
+            name: "schnorr/verify/batch32",
+            unit: "verifies/s",
+            before: Some(BATCH as f64 / t_batch_before),
+            after: BATCH as f64 / t_batch_after,
+        },
+    ]
+}
+
+// ------------------------------------------------------------ consensus --
+
+/// Macro end-to-end bar: committed updates per second of wall clock
+/// through an m=2 (7-replica) PBFT tier under fragment-sized payloads.
+/// The "before" side is the frozen `baseline_pbft` stack (reference
+/// crypto, per-message sequential verification, double-sign wart); the
+/// "after" side is the production stack (comb-table signing, verify
+/// cache and batch drain). Both run on the production engine and must
+/// process an identical message schedule, so the ratio isolates
+/// protocol-layer crypto cost.
+fn bench_consensus(small: bool) -> Vec<Bench> {
+    let m = 2;
+    let wan = SimDuration::from_millis(10);
+    let payload = 4096;
+    let count = if small { 3 } else { 8 };
+
+    let run_new = || {
+        let mut ts = oceanstore_consensus::build_tier(m, wan, 5);
+        let run = oceanstore_consensus::run_updates(&mut ts, payload, count);
+        (run.latencies.len(), run.total_bytes, ts.sim.events_processed())
+    };
+    let run_old = || {
+        let mut ts = baseline_pbft::build_tier(m, wan, 5);
+        let run = baseline_pbft::run_updates(&mut ts, payload, count);
+        (run.latencies.len(), run.total_bytes, ts.sim.events_processed())
+    };
+    let new = run_new();
+    let old = run_old();
+    assert_eq!(
+        new, old,
+        "frozen baseline tier diverged from the production tier's schedule"
+    );
+
+    let target = if small { 200 } else { 600 };
+    let (t_old, t_new) = ab_time_per_call(
+        target * 2,
+        || {
+            run_old();
+        },
+        || {
+            run_new();
+        },
+    );
+    vec![Bench {
+        name: "consensus/committed_updates_per_sec/m2_tier7_4k",
+        unit: "updates/s",
+        before: Some(count as f64 / t_old),
+        after: count as f64 / t_new,
+    }]
 }
 
 // --------------------------------------------------------------- engine --
@@ -540,7 +671,7 @@ fn render_json(preset: &str, benches: &[Bench]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"oceanstore-perf-report/v1\",\n");
-    s.push_str("  \"pr\": 4,\n");
+    s.push_str("  \"pr\": 5,\n");
     s.push_str(&format!("  \"preset\": \"{preset}\",\n"));
     s.push_str(&format!(
         "  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}}},\n",
@@ -566,16 +697,89 @@ fn render_json(preset: &str, benches: &[Bench]) -> String {
     s
 }
 
+// ---------------------------------------------------------- diff-frozen --
+
+/// `(name, speedup)` rows from a frozen report. The parser is deliberately
+/// line-oriented — `render_json` emits one bench object per line — so it
+/// stays dependency-free; it is not a general JSON parser.
+fn parse_frozen(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read frozen report {path}: {e}"));
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with("{\"name\":") {
+            continue;
+        }
+        let Some(name) = line
+            .split("\"name\": \"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+        else {
+            continue;
+        };
+        let Some(raw) = line.split("\"speedup\": ").nth(1) else { continue };
+        let raw = raw.trim_end_matches('}').trim();
+        if let Ok(speedup) = raw.parse::<f64>() {
+            out.push((name.to_string(), speedup));
+        }
+    }
+    assert!(!out.is_empty(), "{path} holds no benches with a speedup — wrong file?");
+    out
+}
+
+/// Compares two frozen reports: every speedup present in both must be no
+/// more than 20% below its old value. Returns the failure descriptions.
+fn diff_frozen(old_path: &str, new_path: &str) -> Vec<String> {
+    const TOLERANCE: f64 = 0.8;
+    let old = parse_frozen(old_path);
+    let new = parse_frozen(new_path);
+    let mut failures = Vec::new();
+    let mut compared = 0;
+    for (name, old_speedup) in &old {
+        let Some((_, new_speedup)) = new.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        compared += 1;
+        let ratio = new_speedup / old_speedup;
+        let verdict = if ratio >= TOLERANCE { "ok" } else { "FAIL" };
+        println!(
+            "{name:<52} {old_speedup:>8.2}x -> {new_speedup:>8.2}x  ({:.0}%)  {verdict}",
+            ratio * 100.0
+        );
+        if ratio < TOLERANCE {
+            failures.push(format!(
+                "{name}: frozen speedup fell {old_speedup:.2}x -> {new_speedup:.2}x \
+                 (more than 20% regression)"
+            ));
+        }
+    }
+    assert!(
+        compared > 0,
+        "no bench names shared between {old_path} and {new_path} — nothing was checked"
+    );
+    failures
+}
+
 // ----------------------------------------------------------------- main --
 
 fn main() {
     let args = parse_args();
+    if let Some((old, new)) = &args.diff_frozen {
+        let failures = diff_frozen(old, new);
+        for f in &failures {
+            eprintln!("perf_report: FAIL {f}");
+        }
+        std::process::exit(if failures.is_empty() { 0 } else { 1 });
+    }
     let preset = if args.small { "small" } else { "full" };
     eprintln!("perf_report: preset={preset}");
 
     let mut benches = Vec::new();
     benches.extend(bench_gf256(args.small));
     benches.extend(bench_rs(args.small));
+    benches.extend(bench_schnorr(args.small));
+    benches.extend(bench_consensus(args.small));
     benches.extend(bench_engine(args.small));
     benches.extend(bench_chaos(args.small));
 
@@ -607,6 +811,8 @@ fn main() {
             ("gf256/mul_acc_slice", 4.0),
             ("rs/encode", 3.0),
             ("engine/events_per_sec", 1.5),
+            ("schnorr/verify/batch32", 3.0),
+            ("consensus/committed_updates_per_sec", 1.1),
         ] {
             for b in benches.iter().filter(|b| b.name.starts_with(prefix)) {
                 match b.speedup() {

@@ -81,6 +81,11 @@ fn fuzz_runs_are_deterministic() {
 /// message, byte, and drop counter — is bit-for-bit unchanged for the
 /// same seed. Do not update these strings to "fix" a failure unless an
 /// ordering change is deliberate and documented in DESIGN.md.
+///
+/// Default features only: the strings were captured with re-push
+/// enabled, and `repush-off` deliberately changes the message flow
+/// (seed 42's schedule exercises two re-push recoveries).
+#[cfg(not(feature = "repush-off"))]
 #[test]
 fn fingerprints_pinned_across_engine_overhaul() {
     let opts = FuzzOpts::default();

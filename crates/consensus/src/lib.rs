@@ -200,6 +200,45 @@ mod tests {
     }
 
     #[test]
+    fn forged_signatures_never_counted() {
+        // One forger plus one silent replica at m = 1 leaves only two
+        // honest replicas: the prepare quorum (3) is unreachable unless a
+        // forged signature slips through the batch drain, and a view
+        // change (3 votes) can never complete either. Nothing may commit.
+        let mut ts =
+            build_tier_with_faults(1, WAN, 12, &[(1, FaultMode::ForgeSigs), (2, FaultMode::Silent)]);
+        let client = ts.client;
+        let id = ts.sim.with_node_ctx(client, |node, ctx| {
+            node.as_client_mut().unwrap().submit(ctx, Payload::simulated(256))
+        });
+        // Bounded run, not quiescence: the stuck tier re-arms view alarms
+        // and votes forever without ever completing a view change.
+        ts.sim.run_until(oceanstore_sim::SimTime::ZERO + SimDuration::from_secs(60));
+        assert!(
+            ts.sim.node(client).as_client().unwrap().outcome(id).is_none(),
+            "a commit here means a forged signature was accepted"
+        );
+        for i in [0usize, 3] {
+            assert!(executed_digests(&ts, i).is_empty(), "honest replica {i} executed");
+        }
+    }
+
+    #[test]
+    fn forger_alone_is_tolerated_as_the_single_fault() {
+        // With the forger as the only fault (m = 1), the three honest
+        // replicas form every quorum by themselves; its rejected
+        // signatures cost nothing but liveness margin.
+        let mut ts = build_tier_with_faults(1, WAN, 13, &[(3, FaultMode::ForgeSigs)]);
+        let run = run_updates(&mut ts, 1024, 2);
+        assert_eq!(run.latencies.len(), 2);
+        let reference = executed_digests(&ts, 0);
+        assert_eq!(reference.len(), 2);
+        for i in [1usize, 2] {
+            assert_eq!(executed_digests(&ts, i), reference, "replica {i}");
+        }
+    }
+
+    #[test]
     fn byte_cost_matches_analytic_model_shape() {
         // Measured bytes should scale like c1·n² + (u + c2)·n: doubling the
         // update size adds ~n·Δu bytes.

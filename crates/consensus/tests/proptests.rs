@@ -9,10 +9,11 @@ use oceanstore_sim::{NodeId, SimDuration};
 use proptest::prelude::*;
 
 fn fault_mode(tag: u8) -> FaultMode {
-    match tag % 3 {
+    match tag % 4 {
         0 => FaultMode::Honest,
         1 => FaultMode::Silent,
-        _ => FaultMode::Equivocate,
+        2 => FaultMode::Equivocate,
+        _ => FaultMode::ForgeSigs,
     }
 }
 
@@ -70,6 +71,53 @@ proptest! {
         if !leader_faulty {
             for (h, o) in honest.iter().zip(&orders) {
                 prop_assert_eq!(o.len(), update_count, "honest replica {} missing commits", h);
+            }
+        }
+    }
+
+    /// Replicas that sign every message with the wrong key are the most
+    /// direct adversary for the deferred-verification machinery (the
+    /// signature cache plus the batch drain). Their votes must never enter
+    /// any honest quorum set — not on any slot, not in either phase —
+    /// while the honest 2m+1 still drive every update to commit.
+    #[test]
+    fn forged_signatures_never_counted(
+        m in 1usize..3,
+        forger_picks in proptest::collection::vec(any::<u8>(), 1..3),
+        update_count in 1usize..4,
+        update_size in 16usize..1024,
+        seed in any::<u64>(),
+    ) {
+        let n = 3 * m + 1;
+        // Up to m distinct non-leader forgers (a forging leader stalls
+        // liveness, which run_updates treats as fatal; leader faults are
+        // covered by the divergence property above).
+        let mut forgers: Vec<usize> = Vec::new();
+        for pick in forger_picks {
+            let idx = 1 + (pick as usize) % (n - 1);
+            if forgers.len() < m && !forgers.contains(&idx) {
+                forgers.push(idx);
+            }
+        }
+        let faults: Vec<(usize, FaultMode)> =
+            forgers.iter().map(|&i| (i, FaultMode::ForgeSigs)).collect();
+        let mut ts = build_tier_with_faults(m, SimDuration::from_millis(50), seed, &faults);
+        let run = run_updates(&mut ts, update_size, update_count);
+        prop_assert_eq!(run.latencies.len(), update_count);
+        for i in (0..n).filter(|i| !forgers.contains(i)) {
+            let replica = ts.sim.node(NodeId(i)).as_replica().expect("replica");
+            prop_assert_eq!(replica.executed_digests().len(), update_count);
+            for (seq, prepares, commits) in replica.counted_vote_senders() {
+                for f in &forgers {
+                    prop_assert!(
+                        !prepares.contains(f),
+                        "replica {}: forged prepare from {} counted at seq {}", i, f, seq,
+                    );
+                    prop_assert!(
+                        !commits.contains(f),
+                        "replica {}: forged commit from {} counted at seq {}", i, f, seq,
+                    );
+                }
             }
         }
     }

@@ -2,7 +2,9 @@
 
 use oceanstore_crypto::cipher::BlockCipherKey;
 use oceanstore_crypto::merkle::MerkleTree;
-use oceanstore_crypto::schnorr::{verify, KeyPair};
+use oceanstore_crypto::schnorr::{
+    batch_verify, batch_verify_each, verify, verify_ref, KeyPair, PublicKey, Signature,
+};
 use oceanstore_crypto::sha1::{sha1, Sha1};
 use oceanstore_crypto::swp::SearchKey;
 use proptest::prelude::*;
@@ -90,6 +92,56 @@ proptest! {
             let kp2 = KeyPair::from_seed(&seed2);
             prop_assert!(!verify(kp2.public(), &msg, &sig));
         }
+    }
+
+    /// Batch verification agrees exactly with per-signature verification
+    /// on arbitrary mixes of valid, forged, bit-mutated, and wrong-message
+    /// signatures — including repeats of one (key, msg) pair where one
+    /// copy is valid and another forged, so a bad entry can never shadow a
+    /// good one. The fast single verifier also agrees with the frozen
+    /// reference verifier on every entry.
+    #[test]
+    fn batch_verify_agrees_with_per_sig(
+        specs in proptest::collection::vec(
+            (0u8..4, 0usize..4, any::<(usize, u8)>()), 0..12),
+        msgs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 4),
+    ) {
+        let keys: Vec<KeyPair> =
+            (0u8..4).map(|i| KeyPair::from_seed(&[b'k', i])).collect();
+        let decoy = KeyPair::from_seed(b"decoy");
+        let mut batch: Vec<(PublicKey, Vec<u8>, Signature)> = Vec::new();
+        for (mode, ki, (flip_pos, flip_mask)) in specs {
+            let kp = &keys[ki];
+            let msg = msgs[ki].clone();
+            let sig = match mode {
+                // Honestly signed.
+                0 => kp.sign(&msg),
+                // Forged: signed by a key that is not the claimed one.
+                1 => decoy.sign(&msg),
+                // A valid signature with one wire bit flipped.
+                2 => {
+                    let mut b = kp.sign(&msg).to_bytes();
+                    b[flip_pos % 16] ^= if flip_mask == 0 { 1 } else { flip_mask };
+                    Signature::from_bytes(b)
+                }
+                // A valid signature transplanted onto another message.
+                _ => kp.sign(&msgs[(ki + 1) % 4]),
+            };
+            batch.push((kp.public(), msg, sig));
+        }
+        let borrowed: Vec<(PublicKey, &[u8], Signature)> =
+            batch.iter().map(|(k, m, s)| (*k, m.as_slice(), *s)).collect();
+        let expect: Vec<bool> =
+            borrowed.iter().map(|(k, m, s)| verify(*k, m, s)).collect();
+        for ((k, m, s), e) in borrowed.iter().zip(&expect) {
+            prop_assert_eq!(verify_ref(*k, m, s), *e);
+        }
+        // The whole-batch check accepts iff every signature verifies
+        // (vacuously true for the empty batch)...
+        prop_assert_eq!(batch_verify(&borrowed), expect.iter().all(|&b| b));
+        // ...and bisection attributes validity per signature exactly.
+        prop_assert_eq!(batch_verify_each(&borrowed), expect);
     }
 
     /// Searchable encryption: every indexed word is findable with its

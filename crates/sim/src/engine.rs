@@ -10,21 +10,27 @@
 //!
 //! # Hot-path structure
 //!
-//! Three things keep the event loop cheap without changing its observable
+//! Four things keep the event loop cheap without changing its observable
 //! order (a single global `(at, seq)` sequence, `seq` assigned at emission):
 //!
 //! * **Arc multicast** — [`Context::broadcast`] queues one allocation for n
 //!   recipients; each delivery borrows the shared payload through
-//!   [`Protocol::on_message_ref`] (the last one gets it by value for free).
+//!   [`Protocol::on_message_ref`] (the last one gets it by value for free),
+//!   and its byte accounting is folded into one
+//!   [`NetStats::record_multicast`] batch instead of n counter updates.
 //! * **Timer wheel** — timers live in a hierarchical wheel
 //!   ([`crate::wheel`]) instead of the delivery heap; [`Simulator::step`]
 //!   pops the global `(at, seq)` minimum across both structures, which is
 //!   exactly the order the single-heap engine produced.
+//! * **Key-slab delivery queue** — the heap sifts compact 24-byte
+//!   `(at, seq, slab)` keys while the fat delivery bodies (sender,
+//!   destination, payload) sit still in a slab with a free list, so every
+//!   sift-up/sift-down moves three words instead of a whole `Event`.
 //! * **Pooled action buffers** — every callback writes into one reusable
 //!   scratch `Vec<Action>` owned by the simulator rather than a fresh
 //!   allocation per dispatch.
 
-use std::cmp::Ordering;
+use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
@@ -216,32 +222,19 @@ impl<M> Payload<M> {
     }
 }
 
+/// Heap key of one pending delivery: `(at µs, seq, slab index)`. Wrapped in
+/// [`Reverse`] so the `BinaryHeap` max-heap pops the earliest `(at, seq)`
+/// first, ties broken by insertion order for determinism. Seqs are unique,
+/// so the slab index never participates in an ordering decision.
+type DeliveryKey = Reverse<(u64, u64, u32)>;
+
+/// The fat part of a pending delivery, parked in the delivery slab while
+/// its compact [`DeliveryKey`] sifts through the heap.
 #[derive(Debug)]
-struct Event<M> {
-    at: SimTime,
-    seq: u64,
+struct DeliveryBody<M> {
     from: NodeId,
     to: NodeId,
     msg: Payload<M>,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first,
-        // breaking ties by insertion order for determinism.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
 }
 
 /// The discrete-event simulator driving one [`Protocol`] instance per node.
@@ -250,10 +243,15 @@ pub struct Simulator<P: Protocol> {
     node_rngs: Vec<ChaCha8Rng>,
     topo: Topology,
     clock: SimTime,
-    /// Message deliveries only; timers live in `timers`. Both share the
-    /// global `seq` counter, so the merged `(at, seq)` order is identical
-    /// to the historical single-heap order.
-    queue: BinaryHeap<Event<P::Msg>>,
+    /// Message delivery *keys* only; timers live in `timers`. Both share
+    /// the global `seq` counter, so the merged `(at, seq)` order is
+    /// identical to the historical single-heap order.
+    queue: BinaryHeap<DeliveryKey>,
+    /// Delivery bodies indexed by the key's slab slot; `None` marks a free
+    /// slot awaiting reuse through `delivery_free`.
+    delivery_slab: Vec<Option<DeliveryBody<P::Msg>>>,
+    /// Free slots in `delivery_slab`, reused LIFO for cache locality.
+    delivery_free: Vec<u32>,
     timers: TimerWheel,
     seq: u64,
     stats: NetStats,
@@ -302,6 +300,8 @@ impl<P: Protocol> Simulator<P> {
             topo: topology,
             clock: SimTime::ZERO,
             queue: BinaryHeap::new(),
+            delivery_slab: Vec::new(),
+            delivery_free: Vec::new(),
             timers: TimerWheel::new(),
             seq: 0,
             stats: NetStats::new(n),
@@ -517,7 +517,7 @@ impl<P: Protocol> Simulator<P> {
     fn step_bounded(&mut self, bound: u64) -> bool {
         // Global minimum across deliveries and timers by (at, seq); seqs
         // are unique, so the two sources never tie.
-        let msg_key = self.queue.peek().map(|e| (e.at.as_micros(), e.seq));
+        let msg_key = self.queue.peek().map(|&Reverse((at, seq, _))| (at, seq));
         let timer_key = self.timers.peek();
         let take_timer = match (msg_key, timer_key) {
             (None, None) => return false,
@@ -543,17 +543,22 @@ impl<P: Protocol> Simulator<P> {
                 self.dispatch_timer(NodeId(entry.node), entry.tag);
             }
         } else {
-            let ev = self.queue.pop().expect("peeked");
-            debug_assert!(ev.at >= self.clock, "time must be monotonic");
-            self.clock = ev.at;
+            let Reverse((at_us, _seq, slot)) = self.queue.pop().expect("peeked");
+            let body = self.delivery_slab[slot as usize]
+                .take()
+                .expect("queued key points at a parked body");
+            self.delivery_free.push(slot);
+            let at = SimTime::ZERO + SimDuration::from_micros(at_us);
+            debug_assert!(at >= self.clock, "time must be monotonic");
+            self.clock = at;
             // Timers armed by this delivery's handler must be placeable
             // relative to the new clock.
-            self.timers.advance(ev.at.as_micros());
+            self.timers.advance(at_us);
             self.events_processed += 1;
-            if self.down[ev.to.0] {
+            if self.down[body.to.0] {
                 self.stats.record_drop(DropCause::NodeDown);
             } else {
-                self.dispatch_payload(ev.to, ev.from, ev.msg);
+                self.dispatch_payload(body.to, body.from, body.msg);
             }
         }
         true
@@ -611,7 +616,21 @@ impl<P: Protocol> Simulator<P> {
 
     fn push_delivery(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: Payload<P::Msg>) {
         let seq = self.next_seq();
-        self.queue.push(Event { at, seq, from, to, msg });
+        let body = DeliveryBody { from, to, msg };
+        let slot = match self.delivery_free.pop() {
+            Some(slot) => {
+                debug_assert!(self.delivery_slab[slot as usize].is_none());
+                self.delivery_slab[slot as usize] = Some(body);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.delivery_slab.len())
+                    .expect("more than u32::MAX simultaneous in-flight deliveries");
+                self.delivery_slab.push(Some(body));
+                slot
+            }
+        };
+        self.queue.push(Reverse((at.as_micros(), seq, slot)));
     }
 
     /// Runs `f` against `node`'s protocol with a live context backed by the
@@ -662,8 +681,14 @@ impl<P: Protocol> Simulator<P> {
             match action {
                 Action::Send { to, msg } => self.route(node, to, Payload::One(msg)),
                 Action::Multicast { to, msg } => {
+                    // One aggregated accounting entry for the whole fan-out;
+                    // the per-recipient loop then only decides delivery. The
+                    // counter totals are identical to per-recipient
+                    // record_send calls, so stats fingerprints don't move.
+                    let (wire_size, class) = (msg.wire_size(), msg.class());
+                    self.stats.record_multicast(node, &to, wire_size, class);
                     for t in to {
-                        self.route(node, t, Payload::Shared(Arc::clone(&msg)));
+                        self.route_unaccounted(node, t, Payload::Shared(Arc::clone(&msg)));
                     }
                 }
                 Action::Timer { delay, tag } => {
@@ -689,6 +714,14 @@ impl<P: Protocol> Simulator<P> {
             (m.wire_size(), m.class())
         };
         self.stats.record_send(from, to, wire_size, class);
+        self.route_unaccounted(from, to, msg);
+    }
+
+    /// Delivery decision only — byte accounting already happened (either
+    /// [`NetStats::record_send`] in [`Simulator::route`] or one batched
+    /// [`NetStats::record_multicast`] for a whole fan-out). The order and
+    /// count of engine-RNG draws here is part of the determinism contract.
+    fn route_unaccounted(&mut self, from: NodeId, to: NodeId, msg: Payload<P::Msg>) {
         if let Some(groups) = &self.partitions {
             if groups[from.0] != groups[to.0] {
                 self.stats.record_drop(DropCause::Partition);

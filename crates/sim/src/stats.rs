@@ -122,6 +122,50 @@ impl NetStats {
             .position(|e| std::ptr::eq(e.name, class) || e.name == class)
     }
 
+    /// Records a multicast of one `bytes`-sized message from `from` to every
+    /// node in `to` as a single aggregated update — observably identical to
+    /// calling [`NetStats::record_send`] once per recipient (every counter
+    /// lands on the same final value), but the totals, per-sender, and class
+    /// counters are each touched once per batch instead of once per
+    /// recipient. Only the per-recipient `per_node_received` column still
+    /// needs a loop, and that loop touches nothing else.
+    pub(crate) fn record_multicast(
+        &mut self,
+        from: NodeId,
+        to: &[NodeId],
+        bytes: usize,
+        class: &'static str,
+    ) {
+        if to.is_empty() {
+            return;
+        }
+        let count = to.len() as u64;
+        let batch_bytes = count * bytes as u64;
+        self.total_messages += count;
+        self.total_bytes += batch_bytes;
+        self.per_node_sent[from.0] += batch_bytes;
+        for t in to {
+            self.per_node_received[t.0] += bytes as u64;
+        }
+        let n = self.per_node_sent.len();
+        let entry = match self.class_index(class) {
+            Some(i) => &mut self.by_class[i],
+            None => {
+                self.by_class.push(ClassEntry {
+                    name: class,
+                    totals: ClassStats::default(),
+                    per_sender: vec![ClassStats::default(); n],
+                });
+                self.by_class.last_mut().expect("just pushed")
+            }
+        };
+        entry.totals.messages += count;
+        entry.totals.bytes += batch_bytes;
+        let ps = &mut entry.per_sender[from.0];
+        ps.messages += count;
+        ps.bytes += batch_bytes;
+    }
+
     pub(crate) fn record_drop(&mut self, cause: DropCause) {
         self.dropped[cause.index()] += 1;
     }
@@ -229,6 +273,36 @@ mod tests {
         assert_eq!(s.class("prepare"), ClassStats { messages: 2, bytes: 150 });
         assert_eq!(s.class("unknown"), ClassStats::default());
         assert_eq!(s.classes().count(), 2);
+    }
+
+    #[test]
+    fn record_multicast_matches_send_loop() {
+        let recipients = [NodeId(1), NodeId(2), NodeId(3), NodeId(1)];
+        let mut looped = NetStats::new(4);
+        for &t in &recipients {
+            looped.record_send(NodeId(0), t, 100, "prepare");
+        }
+        looped.record_send(NodeId(2), NodeId(0), 10, "commit");
+        let mut batched = NetStats::new(4);
+        batched.record_multicast(NodeId(0), &recipients, 100, "prepare");
+        batched.record_send(NodeId(2), NodeId(0), 10, "commit");
+        assert_eq!(looped.total_messages(), batched.total_messages());
+        assert_eq!(looped.total_bytes(), batched.total_bytes());
+        for i in 0..4 {
+            assert_eq!(looped.sent_by(NodeId(i)), batched.sent_by(NodeId(i)), "sent {i}");
+            assert_eq!(looped.received_by(NodeId(i)), batched.received_by(NodeId(i)), "recv {i}");
+            assert_eq!(
+                looped.class_sent_by(NodeId(i), "prepare"),
+                batched.class_sent_by(NodeId(i), "prepare"),
+                "class sent {i}"
+            );
+        }
+        assert_eq!(looped.class("prepare"), batched.class("prepare"));
+        assert_eq!(looped.class("commit"), batched.class("commit"));
+        // Empty recipient lists are a no-op, not a zero-class registration.
+        let before = batched.classes().count();
+        batched.record_multicast(NodeId(0), &[], 64, "prepare");
+        assert_eq!(batched.classes().count(), before);
     }
 
     #[test]

@@ -25,7 +25,7 @@ const LEVELS: usize = 4;
 /// Deadlines at least this far ahead of the wheel's clock overflow.
 const HORIZON: u64 = 1 << (SLOT_BITS * LEVELS as u32); // 64^4 µs ≈ 16.7 s
 
-/// One armed timer.
+/// One armed timer, as the engine sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct TimerEntry {
     /// Absolute expiry in simulated microseconds.
@@ -37,6 +37,13 @@ pub(crate) struct TimerEntry {
     /// Protocol-chosen timer tag.
     pub tag: u64,
 }
+
+/// What actually moves through slots, cascades, and the overflow heap: a
+/// compact `(at, seq, slab)` key. The `(node, tag)` payload parks in the
+/// wheel's slab until the key pops, so sorting a cohort or cascading a
+/// far slot shuffles 24-byte keys instead of 32-byte entries. The slab
+/// index never participates in ordering — `(at, seq)` is engine-unique.
+type TimerKey = (u64, u64, u32);
 
 /// One wheel slot: a sorted run of entries consumed front-to-back
 /// (ladder-queue style).
@@ -54,19 +61,19 @@ pub(crate) struct TimerEntry {
 /// and deterministic.
 #[derive(Debug, Default, Clone)]
 struct Slot {
-    /// Live entries are `entries[head..]`.
-    entries: Vec<TimerEntry>,
+    /// Live keys are `entries[head..]`.
+    entries: Vec<TimerKey>,
     /// Consumed-prefix cursor; non-zero only while `sorted`.
     head: usize,
     /// Whether `entries[head..]` is ascending by `(at, seq)`.
     sorted: bool,
-    /// Exact minimum key over live entries; meaningless when empty.
+    /// Exact minimum `(at, seq)` over live keys; meaningless when empty.
     min: (u64, u64),
 }
 
 impl Slot {
-    fn push(&mut self, e: TimerEntry) {
-        let key = (e.at, e.seq);
+    fn push(&mut self, k: TimerKey) {
+        let key = (k.0, k.1);
         if self.is_empty() {
             self.entries.clear();
             self.head = 0;
@@ -75,7 +82,7 @@ impl Slot {
         } else {
             if self.sorted {
                 let last = self.entries.last().expect("non-empty");
-                if key < (last.at, last.seq) {
+                if key < (last.0, last.1) {
                     self.sorted = false;
                 }
             }
@@ -83,7 +90,7 @@ impl Slot {
                 self.min = key;
             }
         }
-        self.entries.push(e);
+        self.entries.push(k);
     }
 
     /// Exact minimum key in O(1); the slot must be non-empty.
@@ -95,28 +102,30 @@ impl Slot {
     /// Sorts the live run if appends broke its order. Amortized: a run is
     /// sorted at most once between becoming extraction-active and being
     /// drained, and already-ascending runs (the common case, since
-    /// cascades emit in order) skip it entirely.
+    /// cascades emit in order) skip it entirely. Sorting the raw triple is
+    /// the `(at, seq)` order: seqs are unique, so the slab index never
+    /// breaks a tie.
     fn ensure_sorted(&mut self) {
         if !self.sorted {
             debug_assert_eq!(self.head, 0, "consumption only starts once sorted");
-            self.entries.sort_unstable_by_key(|e| (e.at, e.seq));
+            self.entries.sort_unstable();
             self.sorted = true;
         }
     }
 
-    /// Removes and returns the minimum entry; the slot must be non-empty.
-    fn pop_min(&mut self) -> TimerEntry {
+    /// Removes and returns the minimum key; the slot must be non-empty.
+    fn pop_min(&mut self) -> TimerKey {
         self.ensure_sorted();
-        let e = self.entries[self.head];
+        let k = self.entries[self.head];
         self.head += 1;
         if self.head == self.entries.len() {
             self.entries.clear();
             self.head = 0;
         } else {
             let next = &self.entries[self.head];
-            self.min = (next.at, next.seq);
+            self.min = (next.0, next.1);
         }
-        e
+        k
     }
 
     fn is_empty(&self) -> bool {
@@ -142,14 +151,19 @@ struct Earliest {
 /// microseconds.
 #[derive(Debug)]
 pub(crate) struct TimerWheel {
-    /// `levels[l][s]` holds entries whose slot at level `l` is `s`.
+    /// `levels[l][s]` holds keys whose slot at level `l` is `s`.
     /// Order within a slot is irrelevant: extraction always selects the
     /// minimum `(at, seq)`.
     levels: Vec<Vec<Slot>>,
     /// Per-level slot-occupancy bitmask (bit `s` ⇔ slot `s` non-empty).
     occupied: [u64; LEVELS],
-    /// Entries ≥ `HORIZON` ahead at arming time, ordered by `(at, seq)`.
-    overflow: BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
+    /// Keys ≥ `HORIZON` ahead at arming time, ordered by `(at, seq)`.
+    overflow: BinaryHeap<Reverse<TimerKey>>,
+    /// `(node, tag)` payloads indexed by the key's slab slot. Contents are
+    /// only meaningful while the slot's key is armed somewhere above.
+    payloads: Vec<(usize, u64)>,
+    /// Free slots in `payloads`, reused LIFO.
+    free: Vec<u32>,
     /// The wheel's clock: never exceeds the earliest pending deadline.
     now: u64,
     len: usize,
@@ -163,7 +177,7 @@ pub(crate) struct TimerWheel {
     level_cache: [Option<Option<Earliest>>; LEVELS],
     /// Reusable cascade buffer so redistributing a slot neither drops the
     /// slot's capacity nor allocates a fresh vector each time.
-    scratch: Vec<TimerEntry>,
+    scratch: Vec<TimerKey>,
 }
 
 impl TimerWheel {
@@ -172,6 +186,8 @@ impl TimerWheel {
             levels: (0..LEVELS).map(|_| vec![Slot::default(); SLOTS]).collect(),
             occupied: [0; LEVELS],
             overflow: BinaryHeap::new(),
+            payloads: Vec::new(),
+            free: Vec::new(),
             now: 0,
             len: 0,
             cached: None,
@@ -200,40 +216,54 @@ impl TimerWheel {
     pub(crate) fn insert(&mut self, entry: TimerEntry) {
         debug_assert!(entry.at >= self.now, "timer armed in the past");
         self.len += 1;
+        // Park the payload in the slab; only the compact key travels.
+        let slab = match self.free.pop() {
+            Some(slab) => {
+                self.payloads[slab as usize] = (entry.node, entry.tag);
+                slab
+            }
+            None => {
+                let slab = u32::try_from(self.payloads.len())
+                    .expect("more than u32::MAX armed timers");
+                self.payloads.push((entry.node, entry.tag));
+                slab
+            }
+        };
         // Keep the cache exact: a new minimum replaces it (seqs are unique,
         // so beating the cached key means *being* the new global earliest),
         // anything later leaves it valid.
         let beats =
             self.cached.is_some_and(|c| (entry.at, entry.seq) < (c.at, c.seq));
         let (at, seq) = (entry.at, entry.seq);
-        let source = self.place(entry);
+        let source = self.place((at, seq, slab));
         if beats {
             self.cached = Some(Earliest { at, seq, source });
         }
     }
 
-    fn place(&mut self, entry: TimerEntry) -> Source {
-        let dt = entry.at - self.now;
+    fn place(&mut self, key: TimerKey) -> Source {
+        let (at, seq, _) = key;
+        let dt = at - self.now;
         if dt >= HORIZON {
-            self.overflow.push(Reverse((entry.at, entry.seq, entry.node, entry.tag)));
+            self.overflow.push(Reverse(key));
             return Source::Overflow;
         }
         let level = (0..LEVELS)
             .find(|&l| dt < 1 << (SLOT_BITS * (l as u32 + 1)))
             .expect("dt < HORIZON");
-        let slot = ((entry.at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
-        self.levels[level][slot].push(entry);
+        let slot = ((at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.levels[level][slot].push(key);
         self.occupied[level] |= 1 << slot;
-        // A fresh level cache stays fresh: the new entry either beats the
+        // A fresh level cache stays fresh: the new key either beats the
         // cached minimum or leaves it untouched. A stale cache stays stale.
         match self.level_cache[level] {
-            Some(Some(b)) if (entry.at, entry.seq) < (b.at, b.seq) => {
+            Some(Some(b)) if (at, seq) < (b.at, b.seq) => {
                 self.level_cache[level] =
-                    Some(Some(Earliest { at: entry.at, seq: entry.seq, source: Source::Slot { level, slot } }));
+                    Some(Some(Earliest { at, seq, source: Source::Slot { level, slot } }));
             }
             Some(None) => {
                 self.level_cache[level] =
-                    Some(Some(Earliest { at: entry.at, seq: entry.seq, source: Source::Slot { level, slot } }));
+                    Some(Some(Earliest { at, seq, source: Source::Slot { level, slot } }));
             }
             _ => {}
         }
@@ -286,7 +316,7 @@ impl TimerWheel {
                     // window; cheap to just compare all four.
                 }
             }
-            if let Some(&Reverse((at, seq, _, _))) = self.overflow.peek() {
+            if let Some(&Reverse((at, seq, _))) = self.overflow.peek() {
                 if best.is_none_or(|b| (at, seq) < (b.at, b.seq)) {
                     best = Some(Earliest { at, seq, source: Source::Overflow });
                 }
@@ -353,7 +383,7 @@ impl TimerWheel {
                 None => return true,
             }
         }
-        if let Some(&Reverse((oat, oseq, _, _))) = self.overflow.peek() {
+        if let Some(&Reverse((oat, oseq, _))) = self.overflow.peek() {
             if (oat, oseq) < (at, seq) {
                 return true;
             }
@@ -370,18 +400,23 @@ impl TimerWheel {
         self.now = c.at;
         match c.source {
             Source::Overflow => {
-                let Reverse((at, seq, node, tag)) = self.overflow.pop().expect("cached overflow");
+                let Reverse((at, seq, slab)) = self.overflow.pop().expect("cached overflow");
                 debug_assert_eq!((at, seq), (c.at, c.seq));
+                let (node, tag) = self.payloads[slab as usize];
+                self.free.push(slab);
                 Some(TimerEntry { at, seq, node, tag })
             }
             Source::Slot { level, slot } => {
-                let (e, next) = {
+                let (k, next) = {
                     let s = &mut self.levels[level][slot];
-                    let e = s.pop_min();
+                    let k = s.pop_min();
                     let next = (!s.is_empty()).then(|| s.min_key());
-                    (e, next)
+                    (k, next)
                 };
-                debug_assert_eq!((e.at, e.seq), (c.at, c.seq), "cached entry was the slot minimum");
+                let (at, seq, slab) = k;
+                debug_assert_eq!((at, seq), (c.at, c.seq), "cached key was the slot minimum");
+                let (node, tag) = self.payloads[slab as usize];
+                self.free.push(slab);
                 match next {
                     None => {
                         self.occupied[level] &= !(1 << slot);
@@ -397,7 +432,7 @@ impl TimerWheel {
                     // overflow. Those are O(1) compares against caches the
                     // preceding peek left fresh — no rescan, and the next
                     // peek is a guaranteed cache hit.
-                    Some((at2, seq2)) if at2 == e.at && !self.beaten_elsewhere(level, at2, seq2) => {
+                    Some((at2, seq2)) if at2 == at && !self.beaten_elsewhere(level, at2, seq2) => {
                         let ee = Earliest { at: at2, seq: seq2, source: Source::Slot { level, slot } };
                         self.level_cache[level] = Some(Some(ee));
                         self.cached = Some(ee);
@@ -406,7 +441,7 @@ impl TimerWheel {
                         self.level_cache[level] = None;
                     }
                 }
-                Some(e)
+                Some(TimerEntry { at, seq, node, tag })
             }
         }
     }

@@ -223,3 +223,165 @@ fn golden_run_is_reproducible() {
     let (b, _) = run_golden();
     assert_eq!(a, b);
 }
+
+// --------------------------------------------------------------------------
+// Second scenario: queue-structure edge paths.
+//
+// The flood trace above exercises the common case; this one pins the event
+// queue's rarer paths so a storage change (e.g. sifting compact keys with
+// payloads in a slab) cannot reorder them undetected:
+//
+// * **Overflow heap** — timers armed ≥ ~16.7 s ahead of the wheel clock
+//   bypass the wheel levels entirely.
+// * **Same-instant cohorts** — every node arms timers for one shared
+//   instant, and a broadcast lands same-instant deliveries; both must pop
+//   in global `seq` (insertion) order.
+// * **Cross-level same-instant firing** — two timers expire at the same
+//   microsecond but were armed at different times, so they live at
+//   different wheel levels until the instant arrives.
+
+struct ParkNode {
+    id: usize,
+    trace: Trace,
+}
+
+impl Protocol for ParkNode {
+    type Msg = Flood;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Flood>) {
+        // Same-instant timer cohort: every node, two timers, one instant.
+        ctx.set_timer(SimDuration::from_millis(10), 400 + self.id as u64);
+        ctx.set_timer(SimDuration::from_millis(10), 500 + self.id as u64);
+        // Overflow heap: far beyond the wheel horizon (~16.7 s).
+        ctx.set_timer(SimDuration::from_secs(20 + self.id as u64), 900 + self.id as u64);
+        // Mid-level slot that must cascade down before firing.
+        if self.id == 0 {
+            ctx.set_timer(SimDuration::from_millis(400), 600);
+            // Stager: at 350 ms, arm a +50 ms timer so two timers fire at
+            // t=400 ms from different wheel levels.
+            ctx.set_timer(SimDuration::from_millis(350), 700);
+        }
+        // Same-instant delivery cohort via one multicast.
+        if self.id == 2 {
+            ctx.broadcast((0..5).filter(|&i| i != 2).map(NodeId), Flood { id: 7, ttl: 1 });
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Flood>, from: NodeId, msg: Flood) {
+        self.trace.borrow_mut().push(format!(
+            "t={} n={} msg from={} id={} ttl={}",
+            ctx.now().as_micros(),
+            self.id,
+            from.0,
+            msg.id,
+            msg.ttl
+        ));
+        if msg.ttl > 0 {
+            ctx.send(NodeId((self.id + 1) % 5), Flood { id: msg.id + 10, ttl: msg.ttl - 1 });
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Flood>, tag: u64) {
+        self.trace.borrow_mut().push(format!(
+            "t={} n={} timer tag={}",
+            ctx.now().as_micros(),
+            self.id,
+            tag
+        ));
+        match tag {
+            // Cohort members broadcast, piling same-instant deliveries on
+            // top of the same-instant timer drain.
+            400..=404 => {
+                ctx.broadcast([(self.id + 1) % 5, (self.id + 2) % 5].map(NodeId), Flood {
+                    id: 20 + self.id as u32,
+                    ttl: 0,
+                });
+            }
+            700 => ctx.set_timer(SimDuration::from_millis(50), 800),
+            // Far timers respond so post-overflow dispatch is pinned too.
+            900..=904 => ctx.send(NodeId((self.id + 1) % 5), Flood { id: 90, ttl: 0 }),
+            _ => {}
+        }
+    }
+}
+
+fn run_golden_park() -> (Vec<String>, Simulator<ParkNode>) {
+    let ms = SimDuration::from_millis;
+    let topo = Topology::full_mesh(5, ms(3));
+    let trace: Trace = Rc::new(RefCell::new(Vec::new()));
+    let nodes = (0..5).map(|id| ParkNode { id, trace: Rc::clone(&trace) }).collect();
+    let mut sim = Simulator::new(topo, nodes, 0xBEEF);
+    sim.start();
+    sim.run_to_quiescence(10_000);
+    let lines = trace.borrow().clone();
+    (lines, sim)
+}
+
+/// Captured from the pre-key-slab engine; see module docs.
+const GOLDEN_PARK: &[&str] = &[
+    "t=3000 n=0 msg from=2 id=7 ttl=1",
+    "t=3000 n=1 msg from=2 id=7 ttl=1",
+    "t=3000 n=3 msg from=2 id=7 ttl=1",
+    "t=3000 n=4 msg from=2 id=7 ttl=1",
+    "t=6000 n=1 msg from=0 id=17 ttl=0",
+    "t=6000 n=2 msg from=1 id=17 ttl=0",
+    "t=6000 n=4 msg from=3 id=17 ttl=0",
+    "t=6000 n=0 msg from=4 id=17 ttl=0",
+    "t=10000 n=0 timer tag=400",
+    "t=10000 n=0 timer tag=500",
+    "t=10000 n=1 timer tag=401",
+    "t=10000 n=1 timer tag=501",
+    "t=10000 n=2 timer tag=402",
+    "t=10000 n=2 timer tag=502",
+    "t=10000 n=3 timer tag=403",
+    "t=10000 n=3 timer tag=503",
+    "t=10000 n=4 timer tag=404",
+    "t=10000 n=4 timer tag=504",
+    "t=13000 n=1 msg from=0 id=20 ttl=0",
+    "t=13000 n=2 msg from=0 id=20 ttl=0",
+    "t=13000 n=2 msg from=1 id=21 ttl=0",
+    "t=13000 n=3 msg from=1 id=21 ttl=0",
+    "t=13000 n=3 msg from=2 id=22 ttl=0",
+    "t=13000 n=4 msg from=2 id=22 ttl=0",
+    "t=13000 n=4 msg from=3 id=23 ttl=0",
+    "t=13000 n=0 msg from=3 id=23 ttl=0",
+    "t=13000 n=0 msg from=4 id=24 ttl=0",
+    "t=13000 n=1 msg from=4 id=24 ttl=0",
+    "t=350000 n=0 timer tag=700",
+    "t=400000 n=0 timer tag=600",
+    "t=400000 n=0 timer tag=800",
+    "t=20000000 n=0 timer tag=900",
+    "t=20003000 n=1 msg from=0 id=90 ttl=0",
+    "t=21000000 n=1 timer tag=901",
+    "t=21003000 n=2 msg from=1 id=90 ttl=0",
+    "t=22000000 n=2 timer tag=902",
+    "t=22003000 n=3 msg from=2 id=90 ttl=0",
+    "t=23000000 n=3 timer tag=903",
+    "t=23003000 n=4 msg from=3 id=90 ttl=0",
+    "t=24000000 n=4 timer tag=904",
+    "t=24003000 n=0 msg from=4 id=90 ttl=0",
+];
+
+#[test]
+fn overflow_and_cohort_order_matches_golden_trace() {
+    let (lines, sim) = run_golden_park();
+    if std::env::var_os("GOLDEN_CAPTURE").is_some() {
+        for l in &lines {
+            println!("    \"{l}\",");
+        }
+        return;
+    }
+    assert_eq!(
+        lines,
+        GOLDEN_PARK.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        "queue edge-path dispatch order diverged from the pinned trace"
+    );
+    assert_eq!(sim.stats().dropped_messages(), 0);
+}
+
+#[test]
+fn overflow_and_cohort_run_is_reproducible() {
+    let (a, _) = run_golden_park();
+    let (b, _) = run_golden_park();
+    assert_eq!(a, b);
+}
