@@ -1,10 +1,10 @@
 //! Measures the fast-path kernels against their frozen "before"
-//! implementations and emits a machine-readable `BENCH_PR5.json`.
+//! implementations and emits a machine-readable `BENCH_PR6.json`.
 //!
 //! ```text
 //! cargo run --release -p oceanstore-bench --bin perf_report
 //! cargo run --release -p oceanstore-bench --bin perf_report -- --small --out /tmp/b.json
-//! cargo run --release -p oceanstore-bench --bin perf_report -- --diff-frozen BENCH_PR4.json BENCH_PR5.json
+//! cargo run --release -p oceanstore-bench --bin perf_report -- --diff-frozen BENCH_PR5.json BENCH_PR6.json
 //! ```
 //!
 //! Flags:
@@ -15,7 +15,7 @@
 //! - `--min-gf256-mbps <N>`: absolute throughput floor for the fast
 //!   gf256 kernel (generous; catches catastrophic regressions in CI
 //!   without being sensitive to runner speed).
-//! - `--out <PATH>`: where to write the JSON (default `BENCH_PR5.json`).
+//! - `--out <PATH>`: where to write the JSON (default `BENCH_PR6.json`).
 //! - `--diff-frozen <OLD> <NEW>`: run no benches; statically compare two
 //!   frozen reports and exit nonzero if any speedup present in both files
 //!   regressed by more than 20%. CI runs this over the committed
@@ -52,7 +52,7 @@ fn parse_args() -> Args {
         small: false,
         check: false,
         min_gf256_mbps: None,
-        out: "BENCH_PR5.json".to_string(),
+        out: "BENCH_PR6.json".to_string(),
         diff_frozen: None,
     };
     let mut it = std::env::args().skip(1);
@@ -332,6 +332,52 @@ fn bench_consensus(small: bool) -> Vec<Bench> {
         before: Some(count as f64 / t_old),
         after: count as f64 / t_new,
     }]
+}
+
+// --------------------------------------------------------- long horizon --
+
+/// Long-horizon macro row: 100k agreement slots through an m=1 tier with
+/// stable checkpoints on (interval 64, window 128 — the shipped
+/// defaults). Two numbers come out: committed-updates per second of wall
+/// clock, and the peak retained consensus log any replica ever showed
+/// between batches. The second is the point of the checkpoint subsystem —
+/// before it, a run this long retained all 100k slots on every replica;
+/// now the peak must sit near `window + interval` regardless of horizon.
+/// There is no frozen "before" side: the baseline stack cannot run this
+/// workload in bounded memory, which is the row's reason to exist.
+fn bench_long_horizon(small: bool) -> Vec<Bench> {
+    let slots: usize = if small { 2_000 } else { 100_000 };
+    let ckpt = oceanstore_consensus::CheckpointConfig::default();
+    assert!(ckpt.enabled, "long-horizon bench needs checkpoints on");
+    let mut ts = oceanstore_consensus::harness::build_tier_custom(
+        1,
+        SimDuration::from_millis(10),
+        5,
+        &[],
+        ckpt,
+    );
+    let mut peak = 0u64;
+    let start = Instant::now();
+    let mut left = slots;
+    while left > 0 {
+        let chunk = left.min(1_000);
+        oceanstore_consensus::harness::run_updates_batched(&mut ts, 256, chunk, 8);
+        for i in 0..4 {
+            let h = ts.sim.node(NodeId(i)).as_replica().expect("replica").health();
+            peak = peak.max(h.log_len);
+        }
+        left -= chunk;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let label = if small {
+        ("consensus/long_horizon_committed_per_sec/m1_2k_slots", "consensus/peak_retained_slots/m1_2k_slots")
+    } else {
+        ("consensus/long_horizon_committed_per_sec/m1_100k_slots", "consensus/peak_retained_slots/m1_100k_slots")
+    };
+    vec![
+        Bench { name: label.0, unit: "updates/s", before: None, after: slots as f64 / wall },
+        Bench { name: label.1, unit: "slots", before: None, after: peak as f64 },
+    ]
 }
 
 // --------------------------------------------------------------- engine --
@@ -671,7 +717,7 @@ fn render_json(preset: &str, benches: &[Bench]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"oceanstore-perf-report/v1\",\n");
-    s.push_str("  \"pr\": 5,\n");
+    s.push_str("  \"pr\": 6,\n");
     s.push_str(&format!("  \"preset\": \"{preset}\",\n"));
     s.push_str(&format!(
         "  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}}},\n",
@@ -780,6 +826,7 @@ fn main() {
     benches.extend(bench_rs(args.small));
     benches.extend(bench_schnorr(args.small));
     benches.extend(bench_consensus(args.small));
+    benches.extend(bench_long_horizon(args.small));
     benches.extend(bench_engine(args.small));
     benches.extend(bench_chaos(args.small));
 

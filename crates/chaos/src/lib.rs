@@ -21,18 +21,22 @@
 //!   CI's chaos job.
 //! * [`fuzz`] — seeded random fault schedules with the invariant
 //!   checkers as oracle (CI's chaos-fuzz job).
+//! * [`rejoin`] — consensus-level crash/rejoin chaos: long outages,
+//!   stable-checkpoint state-transfer catch-up, bounded-memory oracles.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fuzz;
 pub mod invariants;
+pub mod rejoin;
 pub mod runner;
 pub mod scenarios;
 pub mod schedule;
 
 pub use fuzz::{run_fuzz, FuzzOpts, FuzzOutcome};
 pub use invariants::InvariantReport;
+pub use rejoin::{late_rejoin, run_rejoin_fuzz, RejoinFuzzOpts, RejoinOutcome};
 pub use runner::{run_schedule, stats_fingerprint, ScheduleCursor, TraceEntry};
 pub use scenarios::ScenarioOutcome;
 pub use schedule::{FaultAction, Schedule};

@@ -1,0 +1,96 @@
+//! Consensus-level rejoin chaos — CI runs the seed sweep as part of the
+//! `chaos-fuzz` job, in all three feature modes.
+//!
+//! Under `checkpoint-off` the catch-up and bounded-memory properties do
+//! not hold by design (no certificates form, the log grows without
+//! bound, a rejoiner has no transfer path), so those tests invert or
+//! vanish; what remains everywhere is determinism of the runs.
+
+#[cfg(not(feature = "checkpoint-off"))]
+use oceanstore_chaos::rejoin::late_rejoin;
+use oceanstore_chaos::rejoin::{run_rejoin_fuzz, RejoinFuzzOpts};
+
+/// Number of seeds the rejoin sweep covers: a slice of the env-tunable
+/// chaos-fuzz width (`CHAOS_FUZZ_SEEDS`, default 50) — each rejoin run
+/// commits hundreds of slots, so the sweep stays a fraction of the
+/// deployment fuzzer's.
+#[cfg(not(feature = "checkpoint-off"))]
+fn sweep_seeds() -> u64 {
+    let base: u64 =
+        std::env::var("CHAOS_FUZZ_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(50);
+    (base / 6).max(4)
+}
+
+/// Crash–run–rejoin schedules across the seed sweep: every victim must
+/// catch up through state transfer and every replica must stay within
+/// the retained-slot bound.
+#[cfg(not(feature = "checkpoint-off"))]
+#[test]
+fn rejoin_sweep_catches_up_and_stays_bounded() {
+    let opts = RejoinFuzzOpts::default();
+    let mut wiped = 0u64;
+    for seed in 0..sweep_seeds() {
+        let out = run_rejoin_fuzz(seed, &opts);
+        assert!(
+            out.report.passed(),
+            "rejoin seed {seed} (victim {:?}, wiped {}, outage {}) broke invariants: {:#?}\n\
+             trace: {:#?}",
+            out.victim,
+            out.wiped,
+            out.outage_updates,
+            out.report.failures,
+            out.trace,
+        );
+        assert!(
+            out.peak_log <= opts.window + opts.interval,
+            "rejoin seed {seed}: peak retained log {} above the bound",
+            out.peak_log
+        );
+        wiped += u64::from(out.wiped);
+    }
+    // The coin must land both ways across the sweep, or half the
+    // recovery matrix silently went untested.
+    assert!(wiped > 0, "sweep never drew a wiped recovery");
+    assert!(wiped < sweep_seeds(), "sweep never drew an intact recovery");
+}
+
+/// The canned long-horizon scenario: one replica misses five thousand
+/// slots and still rejoins. This is the PR's acceptance scenario.
+#[cfg(not(feature = "checkpoint-off"))]
+#[test]
+fn late_rejoin_scenario_passes() {
+    let out = late_rejoin(7);
+    assert!(out.report.passed(), "late_rejoin broke invariants: {:#?}", out.report.failures);
+}
+
+/// Same seed, same run: trace, fingerprint, and verdict — in every
+/// feature mode (this is the only rejoin test that must also hold under
+/// `checkpoint-off`, where the oracle verdicts legitimately fail).
+#[test]
+fn rejoin_runs_are_deterministic() {
+    let opts = RejoinFuzzOpts::default();
+    for seed in [2u64, 9, 23] {
+        let a = run_rejoin_fuzz(seed, &opts);
+        let b = run_rejoin_fuzz(seed, &opts);
+        assert_eq!(a.trace, b.trace, "trace diverged for seed {seed}");
+        assert_eq!(a.fingerprint, b.fingerprint, "stats diverged for seed {seed}");
+        assert_eq!(a.report.failures, b.report.failures, "verdict diverged for seed {seed}");
+    }
+}
+
+/// With checkpoints compiled out the whole premise inverts: no replica
+/// ever truncates, so a long run's retained log grows with the frontier.
+/// This pins the contrast the feature flag exists to measure.
+#[cfg(feature = "checkpoint-off")]
+#[test]
+fn without_checkpoints_the_log_grows_with_the_frontier() {
+    use oceanstore_consensus::harness::{build_tier, run_updates_batched};
+    use oceanstore_sim::{NodeId, SimDuration};
+    let mut ts = build_tier(1, SimDuration::from_millis(20), 5);
+    run_updates_batched(&mut ts, 64, 256, 8);
+    let r = ts.sim.node(NodeId(0)).as_replica().expect("replica");
+    let h = r.health();
+    assert_eq!(h.low_water, 0, "checkpoint-off must never truncate");
+    assert_eq!(h.checkpoint_seq, 0, "checkpoint-off must never certify");
+    assert!(h.log_len >= 256, "retained log should cover every slot, got {}", h.log_len);
+}

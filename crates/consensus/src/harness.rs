@@ -8,7 +8,7 @@ use oceanstore_sim::{NodeId, SimDuration, Simulator, Topology};
 use crate::client::Client;
 use crate::messages::{Payload, RequestId};
 use crate::node::PbftNode;
-use crate::replica::{FaultMode, Replica, TierConfig};
+use crate::replica::{CheckpointConfig, FaultMode, Replica, TierConfig};
 
 /// The analytic cost model of §4.4.5:
 /// `b = c1·n² + (u + c2)·n + c3` bytes per update.
@@ -73,6 +73,19 @@ pub fn build_tier_with_faults(
     seed: u64,
     faults: &[(usize, FaultMode)],
 ) -> TierSim {
+    build_tier_custom(m, wan_latency, seed, faults, CheckpointConfig::default())
+}
+
+/// Like [`build_tier_with_faults`], with explicit checkpoint/GC knobs
+/// (long-horizon and rejoin tests shrink the interval so stable
+/// checkpoints form within a reasonable number of slots).
+pub fn build_tier_custom(
+    m: usize,
+    wan_latency: SimDuration,
+    seed: u64,
+    faults: &[(usize, FaultMode)],
+    checkpoint: CheckpointConfig,
+) -> TierSim {
     let n = 3 * m + 1;
     let client_node = NodeId(n);
     let topo = Topology::full_mesh(n + 1, wan_latency);
@@ -85,6 +98,7 @@ pub fn build_tier_with_faults(
         replica_keys: replica_keys.iter().map(KeyPair::public).collect(),
         client_keys: HashMap::from([(client_node, client_key.public())]),
         view_timeout: SimDuration::from_micros(wan_latency.as_micros() * 20),
+        checkpoint,
     };
     let mut nodes: Vec<PbftNode> = replica_keys
         .into_iter()
@@ -143,6 +157,54 @@ pub fn run_updates(ts: &mut TierSim, update_size: usize, count: usize) -> Update
             .unwrap_or_else(|| panic!("update {id:?} did not commit"));
         latencies.push(outcome.committed_at.saturating_since(outcome.sent_at));
         ids.push(id);
+    }
+    UpdateRun { total_bytes: ts.sim.stats().total_bytes(), latencies, ids }
+}
+
+/// Submits `count` updates in batches of `batch`, letting each batch run
+/// to quiescence before the next. The long-horizon kernel: thousands of
+/// slots commit without per-update round-trip accounting, which is what
+/// checkpoint/GC behaviour is measured against.
+///
+/// # Panics
+///
+/// Panics if any update fails to commit.
+pub fn run_updates_batched(
+    ts: &mut TierSim,
+    update_size: usize,
+    count: usize,
+    batch: usize,
+) -> UpdateRun {
+    assert!(batch > 0, "batch must be positive");
+    ts.sim.reset_stats();
+    let mut ids = Vec::with_capacity(count);
+    let mut latencies = Vec::with_capacity(count);
+    let client = ts.client;
+    let mut submitted = 0;
+    while submitted < count {
+        let round = batch.min(count - submitted);
+        let mut round_ids = Vec::with_capacity(round);
+        for _ in 0..round {
+            let payload = Payload::simulated(update_size);
+            let id = ts.sim.with_node_ctx(client, |node, ctx| {
+                node.as_client_mut().expect("client node").submit(ctx, payload)
+            });
+            round_ids.push(id);
+        }
+        ts.sim.run_to_quiescence(10_000_000);
+        for id in round_ids {
+            let outcome = ts
+                .sim
+                .node(client)
+                .as_client()
+                .expect("client node")
+                .outcome(id)
+                .copied()
+                .unwrap_or_else(|| panic!("update {id:?} did not commit"));
+            latencies.push(outcome.committed_at.saturating_since(outcome.sent_at));
+            ids.push(id);
+        }
+        submitted += round;
     }
     UpdateRun { total_bytes: ts.sim.stats().total_bytes(), latencies, ids }
 }

@@ -23,10 +23,13 @@ pub mod node;
 pub mod replica;
 
 pub use client::{Client, ClientOutcome};
-pub use harness::{build_tier, build_tier_with_faults, run_updates, CostModel, TierSim};
-pub use messages::{Payload, PbftMsg, RequestId};
+pub use harness::{
+    build_tier, build_tier_custom, build_tier_with_faults, run_updates, run_updates_batched,
+    CostModel, TierSim,
+};
+pub use messages::{Payload, PbftMsg, RequestId, StableCert, StateEntry};
 pub use node::PbftNode;
-pub use replica::{Committed, FaultMode, Replica, TierConfig};
+pub use replica::{CheckpointConfig, Committed, FaultMode, Replica, ReplicaHealth, TierConfig};
 
 #[cfg(test)]
 mod tests {

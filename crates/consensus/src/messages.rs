@@ -65,6 +65,59 @@ pub struct RequestId {
     pub seq: u64,
 }
 
+/// A stable-checkpoint certificate: `2m + 1` matching signed
+/// [`PbftMsg::Checkpoint`] votes at the same `(seq, digest)`. Everything
+/// below `seq` is final tier-wide; a replica holding this certificate may
+/// truncate its agreement state below `seq` and a rejoining replica may
+/// adopt `seq` as its execution frontier without replaying history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StableCert {
+    /// Execution frontier the certificate covers (slots `< seq` are final).
+    pub seq: u64,
+    /// Rolling state digest chained over all executed slots `< seq`.
+    pub digest: Digest,
+    /// `(replica index, signature)` pairs over the corresponding
+    /// `Checkpoint` signing bytes; at least `2m + 1` distinct signers.
+    pub sigs: Vec<(usize, Signature)>,
+}
+
+impl StableCert {
+    /// Bytes charged on the wire when the certificate rides in a message.
+    pub fn wire_len(&self) -> usize {
+        8 + DIGEST_SIZE + self.sigs.len() * (8 + Signature::WIRE_SIZE)
+    }
+}
+
+/// One executed slot shipped by state transfer, self-certifying via its
+/// retained commit certificate: `proof` holds `2m + 1` commit signatures
+/// from view `proof_view`, so the receiver can verify the slot without
+/// replaying agreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateEntry {
+    /// Agreement sequence of the slot.
+    pub seq: u64,
+    /// Digest the slot committed.
+    pub digest: Digest,
+    /// Request executed at the slot.
+    pub id: RequestId,
+    /// Client timestamp of the request.
+    pub timestamp: u64,
+    /// The request payload (must hash to `digest`).
+    pub payload: Payload,
+    /// View the commit certificate was formed in.
+    pub proof_view: u64,
+    /// `(replica index, signature)` commit signatures; `2m + 1` distinct
+    /// signers over `Commit { proof_view, seq, digest, replica }`.
+    pub proof: Vec<(usize, Signature)>,
+}
+
+impl StateEntry {
+    /// Bytes charged on the wire for this entry.
+    pub fn wire_len(&self) -> usize {
+        8 + DIGEST_SIZE + 16 + 8 + self.payload.wire_len() + self.proof.len() * (8 + Signature::WIRE_SIZE)
+    }
+}
+
 /// Messages of the PBFT-style agreement protocol.
 #[derive(Debug, Clone)]
 pub enum PbftMsg {
@@ -140,8 +193,12 @@ pub enum PbftMsg {
         /// Highest sequence executed by the sender.
         last_exec: u64,
         /// Digests the sender holds prepared certificates for:
-        /// `(seq, digest, request id)`.
+        /// `(seq, digest, request id)`. Bounded to the checkpoint window —
+        /// slots below the stable mark are represented by `stable` alone.
         prepared: Vec<(u64, Digest, RequestId)>,
+        /// Latest stable-checkpoint certificate the sender holds, standing
+        /// in for all executed history below its `seq`.
+        stable: Option<StableCert>,
         /// Index of the sending replica.
         replica: usize,
         /// Replica signature.
@@ -156,6 +213,43 @@ pub enum PbftMsg {
         /// Leader signature.
         sig: Signature,
     },
+    /// Replica → all: my rolling state digest at execution frontier `seq`
+    /// (sent every K slots). `2m + 1` matching votes form a [`StableCert`].
+    Checkpoint {
+        /// Execution frontier the vote covers.
+        seq: u64,
+        /// Rolling state digest over all executed slots `< seq`.
+        digest: Digest,
+        /// Index of the sending replica.
+        replica: usize,
+        /// Replica signature.
+        sig: Signature,
+    },
+    /// Lagging replica → one peer: ship me your stable certificate and the
+    /// executed suffix above my frontier.
+    FetchState {
+        /// The requester's execution frontier (`next_exec`).
+        have: u64,
+        /// Index of the requesting replica.
+        replica: usize,
+        /// Replica signature.
+        sig: Signature,
+    },
+    /// Peer → lagging replica: state-transfer response. `stable` covers
+    /// everything below its `seq`; `entries` carry the executed suffix with
+    /// per-slot commit certificates.
+    State {
+        /// Latest stable certificate (present when the requester's frontier
+        /// is below the sender's low-water mark).
+        stable: Option<StableCert>,
+        /// Executed slots from the requester's frontier (or the sender's
+        /// low-water mark) up to the sender's frontier, in sequence order.
+        entries: Vec<StateEntry>,
+        /// Index of the sending replica.
+        replica: usize,
+        /// Replica signature.
+        sig: Signature,
+    },
 }
 
 impl Message for PbftMsg {
@@ -167,10 +261,21 @@ impl Message for PbftMsg {
             | PbftMsg::Prepare { .. }
             | PbftMsg::Commit { .. }
             | PbftMsg::Reply { .. } => HEADER_SIZE + DIGEST_SIZE + sig,
-            PbftMsg::ViewChange { prepared, .. } => {
-                HEADER_SIZE + sig + prepared.len() * (8 + DIGEST_SIZE + 16)
+            PbftMsg::ViewChange { prepared, stable, .. } => {
+                HEADER_SIZE
+                    + sig
+                    + prepared.len() * (8 + DIGEST_SIZE + 16)
+                    + stable.as_ref().map_or(0, StableCert::wire_len)
             }
             PbftMsg::NewView { .. } => HEADER_SIZE + sig,
+            PbftMsg::Checkpoint { .. } => HEADER_SIZE + DIGEST_SIZE + sig,
+            PbftMsg::FetchState { .. } => HEADER_SIZE + sig,
+            PbftMsg::State { stable, entries, .. } => {
+                HEADER_SIZE
+                    + sig
+                    + stable.as_ref().map_or(0, StableCert::wire_len)
+                    + entries.iter().map(StateEntry::wire_len).sum::<usize>()
+            }
         }
     }
 
@@ -183,6 +288,9 @@ impl Message for PbftMsg {
             PbftMsg::Reply { .. } => "pbft/reply",
             PbftMsg::ViewChange { .. } => "pbft/viewchange",
             PbftMsg::NewView { .. } => "pbft/newview",
+            PbftMsg::Checkpoint { .. } => "pbft/checkpoint",
+            PbftMsg::FetchState { .. } => "pbft/fetchstate",
+            PbftMsg::State { .. } => "pbft/state",
         }
     }
 }
@@ -199,7 +307,23 @@ pub fn set_sig(msg: &mut PbftMsg, sig: Signature) {
         | PbftMsg::Commit { sig: s, .. }
         | PbftMsg::Reply { sig: s, .. }
         | PbftMsg::ViewChange { sig: s, .. }
-        | PbftMsg::NewView { sig: s, .. } => *s = sig,
+        | PbftMsg::NewView { sig: s, .. }
+        | PbftMsg::Checkpoint { sig: s, .. }
+        | PbftMsg::FetchState { sig: s, .. }
+        | PbftMsg::State { sig: s, .. } => *s = sig,
+    }
+}
+
+/// Appends a [`StableCert`]'s canonical bytes (certificates are embedded
+/// in view-change votes and state responses, so the outer signature must
+/// cover them).
+fn extend_cert(out: &mut Vec<u8>, cert: &StableCert) {
+    out.extend_from_slice(b"cert");
+    out.extend_from_slice(&cert.seq.to_be_bytes());
+    out.extend_from_slice(&cert.digest);
+    for (r, s) in &cert.sigs {
+        out.extend_from_slice(&(*r as u64).to_be_bytes());
+        out.extend_from_slice(&s.to_bytes());
     }
 }
 
@@ -245,7 +369,7 @@ pub fn signing_bytes(msg: &PbftMsg) -> Vec<u8> {
             out.extend_from_slice(digest);
             out.extend_from_slice(&(*replica as u64).to_be_bytes());
         }
-        PbftMsg::ViewChange { new_view, last_exec, prepared, replica, .. } => {
+        PbftMsg::ViewChange { new_view, last_exec, prepared, stable, replica, .. } => {
             out.extend_from_slice(b"vch");
             out.extend_from_slice(&new_view.to_be_bytes());
             out.extend_from_slice(&last_exec.to_be_bytes());
@@ -255,11 +379,42 @@ pub fn signing_bytes(msg: &PbftMsg) -> Vec<u8> {
                 out.extend_from_slice(&(id.client.0 as u64).to_be_bytes());
                 out.extend_from_slice(&id.seq.to_be_bytes());
             }
+            // `None` appends nothing: votes without a certificate keep the
+            // pre-checkpoint signing bytes (and signatures) bit-identical.
+            if let Some(cert) = stable {
+                extend_cert(&mut out, cert);
+            }
             out.extend_from_slice(&(*replica as u64).to_be_bytes());
         }
         PbftMsg::NewView { view, replica, .. } => {
             out.extend_from_slice(b"nvw");
             out.extend_from_slice(&view.to_be_bytes());
+            out.extend_from_slice(&(*replica as u64).to_be_bytes());
+        }
+        PbftMsg::Checkpoint { seq, digest, replica, .. } => {
+            out.extend_from_slice(b"ckp");
+            out.extend_from_slice(&seq.to_be_bytes());
+            out.extend_from_slice(digest);
+            out.extend_from_slice(&(*replica as u64).to_be_bytes());
+        }
+        PbftMsg::FetchState { have, replica, .. } => {
+            out.extend_from_slice(b"fst");
+            out.extend_from_slice(&have.to_be_bytes());
+            out.extend_from_slice(&(*replica as u64).to_be_bytes());
+        }
+        PbftMsg::State { stable, entries, replica, .. } => {
+            out.extend_from_slice(b"sta");
+            if let Some(cert) = stable {
+                extend_cert(&mut out, cert);
+            }
+            // Entries are bound by (seq, digest, proof view); payload bytes
+            // and proofs are self-verifying against the digest and the
+            // replica keys, so the outer signature need not cover them.
+            for e in entries {
+                out.extend_from_slice(&e.seq.to_be_bytes());
+                out.extend_from_slice(&e.digest);
+                out.extend_from_slice(&e.proof_view.to_be_bytes());
+            }
             out.extend_from_slice(&(*replica as u64).to_be_bytes());
         }
     }
@@ -312,6 +467,64 @@ mod tests {
             sig: kp.sign(b"x"),
         };
         assert_eq!(mk(10_000).wire_size() - mk(0).wire_size(), 10_000);
+    }
+
+    #[test]
+    fn viewchange_without_cert_keeps_legacy_layout() {
+        // A vote carrying no certificate must cost and sign exactly what
+        // the pre-checkpoint protocol did (golden traces depend on it).
+        let kp = oceanstore_crypto::schnorr::KeyPair::from_seed(b"r");
+        let sig = kp.sign(b"x");
+        let prepared = vec![(3, [7u8; 20], RequestId { client: NodeId(9), seq: 1 })];
+        let vote = PbftMsg::ViewChange {
+            new_view: 2,
+            last_exec: 3,
+            prepared: prepared.clone(),
+            stable: None,
+            replica: 1,
+            sig,
+        };
+        assert_eq!(
+            vote.wire_size(),
+            HEADER_SIZE + Signature::WIRE_SIZE + prepared.len() * (8 + DIGEST_SIZE + 16)
+        );
+        let cert = StableCert { seq: 64, digest: [1; 20], sigs: vec![(0, sig), (1, sig), (2, sig)] };
+        let with = PbftMsg::ViewChange {
+            new_view: 2,
+            last_exec: 3,
+            prepared,
+            stable: Some(cert.clone()),
+            replica: 1,
+            sig,
+        };
+        assert_eq!(with.wire_size(), vote.wire_size() + cert.wire_len());
+        assert_ne!(signing_bytes(&vote), signing_bytes(&with));
+    }
+
+    #[test]
+    fn state_size_tracks_payload_and_proofs() {
+        let kp = oceanstore_crypto::schnorr::KeyPair::from_seed(b"r");
+        let sig = kp.sign(b"x");
+        let entry = |size, proofs: usize| StateEntry {
+            seq: 5,
+            digest: [0; 20],
+            id: RequestId { client: NodeId(9), seq: 1 },
+            timestamp: 0,
+            payload: Payload::simulated(size),
+            proof_view: 0,
+            proof: (0..proofs).map(|i| (i, sig)).collect(),
+        };
+        let mk = |size, proofs| PbftMsg::State {
+            stable: None,
+            entries: vec![entry(size, proofs)],
+            replica: 0,
+            sig,
+        };
+        assert_eq!(mk(10_000, 3).wire_size() - mk(0, 3).wire_size(), 10_000);
+        assert_eq!(
+            mk(0, 3).wire_size() - mk(0, 0).wire_size(),
+            3 * (8 + Signature::WIRE_SIZE)
+        );
     }
 
     #[test]

@@ -16,13 +16,46 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use oceanstore_crypto::schnorr::{batch_verify_each, verify, KeyPair, PublicKey, Signature};
-use oceanstore_crypto::sha1::Digest;
-use oceanstore_sim::{Context, NodeId, SimDuration};
+use oceanstore_crypto::sha1::{sha1_concat, Digest};
+use oceanstore_sim::{Context, Message, NodeId, SimDuration};
 
-use crate::messages::{set_sig, signing_bytes, Payload, PbftMsg, RequestId};
+use crate::messages::{
+    set_sig, signing_bytes, Payload, PbftMsg, RequestId, StableCert, StateEntry,
+};
 
 /// Timer tag: view-change alarm (low bits carry the view it guards).
 const TIMER_VIEW_BASE: u64 = 1 << 40;
+
+/// Stable-checkpoint / log-GC knobs.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Whether checkpointing runs at all. The `checkpoint-off` cargo
+    /// feature flips this default to `false` so the unbounded-log mode
+    /// stays covered by the full test matrix.
+    pub enabled: bool,
+    /// Checkpoint every `interval` executed slots (the protocol's K).
+    pub interval: u64,
+    /// Slots a replica will buffer above its low-water mark; agreement
+    /// traffic at or past `low_water + window` is dropped (and counted as
+    /// evidence that the tier has moved on without us).
+    pub window: u64,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            enabled: cfg!(not(feature = "checkpoint-off")),
+            interval: 64,
+            window: 128,
+        }
+    }
+}
+
+impl CheckpointConfig {
+    fn active(&self) -> bool {
+        self.enabled && self.interval > 0
+    }
+}
 
 /// Static configuration of one primary tier.
 #[derive(Debug, Clone)]
@@ -39,6 +72,8 @@ pub struct TierConfig {
     /// How long a replica waits for an accepted request to execute before
     /// starting a view change.
     pub view_timeout: SimDuration,
+    /// Stable-checkpoint / log-GC knobs.
+    pub checkpoint: CheckpointConfig,
 }
 
 impl TierConfig {
@@ -110,6 +145,10 @@ struct Instance {
     pending_prepares: Vec<(usize, Signature)>,
     /// Commits awaiting deferred signature verification, same scheme.
     pending_commits: Vec<(usize, Signature)>,
+    /// Verified commit signatures, parallel to `commits`: the raw material
+    /// of a state-transfer proof. Retained at execution so the slot can be
+    /// shipped to a rejoining replica with a self-certifying quorum.
+    commit_sigs: Vec<(usize, Signature)>,
     /// Sticky: this slot reached a prepare certificate (`> 2m` prepares)
     /// at some point. Survives view changes — the certificate may
     /// underpin a commit elsewhere, so it must keep circulating in
@@ -134,10 +173,56 @@ pub struct Committed {
     pub timestamp: u64,
 }
 
+/// Memory-health snapshot of one replica (fed to the introspection
+/// gauges; see `oceanstore_introspect::memory`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplicaHealth {
+    /// Agreement slots currently retained in the log.
+    pub log_len: u64,
+    /// Committed entries retained (output suffix not yet truncated).
+    pub executed_len: u64,
+    /// Request payloads retained.
+    pub requests_len: u64,
+    /// Request → slot assignments retained.
+    pub assigned_len: u64,
+    /// Executed-request dedup entries retained.
+    pub dedup_len: u64,
+    /// Low-water mark (everything below is truncated).
+    pub low_water: u64,
+    /// High-water mark (agreement traffic at or above is refused).
+    pub high_water: u64,
+    /// Execution frontier.
+    pub next_exec: u64,
+    /// Sequence of the latest stable checkpoint certificate held.
+    pub checkpoint_seq: u64,
+    /// State-transfer bytes served to rejoining peers.
+    pub state_bytes_served: u64,
+    /// State-transfer bytes installed from peers.
+    pub state_bytes_installed: u64,
+    /// State responses that advanced this replica.
+    pub state_installs: u64,
+    /// State responses (or embedded certificates) rejected as invalid.
+    pub state_rejects: u64,
+}
+
 /// One tier member's view-change votes: voter index → its execution
 /// frontier plus the certificate entries (seq, digest, request) it can
 /// vouch for — executed slots and prepared certificates alike.
 type VcVotes = HashMap<usize, (u64, Vec<(u64, Digest, RequestId)>)>;
+
+/// Extends the rolling state digest with one executed slot. Replicas that
+/// executed the same history at the same frontier agree on the result —
+/// which is exactly what a checkpoint vote attests to.
+fn chain_digest(prev: &Digest, seq: u64, digest: &Digest, id: RequestId, timestamp: u64) -> Digest {
+    sha1_concat(&[
+        prev,
+        &seq.to_be_bytes(),
+        digest,
+        &(id.client.0 as u64).to_be_bytes(),
+        &id.seq.to_be_bytes(),
+        &timestamp.to_be_bytes(),
+    ])
+}
 
 /// Verification-cache key for a prepare/commit signature. The key is the
 /// full `(phase, view, seq, digest, replica)` tuple that determines the
@@ -165,12 +250,45 @@ pub struct Replica {
     assigned: HashMap<RequestId, u64>,
     /// Highest sequence executed + 1 == next to execute.
     next_exec: u64,
-    /// The committed order (the tier's output).
+    /// The committed order (the tier's output): the retained suffix.
+    /// Entries below the low-water mark are truncated after the layer
+    /// above has had a chance to drain them; `executed_dropped` keeps the
+    /// absolute index stable across truncation.
     executed: Vec<Committed>,
-    /// Requests that already executed at some slot. A request re-proposed
-    /// across view changes can commit at a second slot; the duplicate
-    /// slot executes as a no-op so the tier's output applies it once.
-    executed_ids: HashSet<RequestId>,
+    /// Committed entries truncated off the front of `executed`.
+    executed_dropped: u64,
+    /// Requests that already executed, with their slot. A request
+    /// re-proposed across view changes can commit at a second slot; the
+    /// duplicate slot executes as a no-op so the tier's output applies it
+    /// once. Truncated at the low-water mark alongside the log (duplicate
+    /// re-execution below a stable checkpoint is impossible — the slot
+    /// range is final tier-wide).
+    executed_ids: HashMap<RequestId, u64>,
+    /// Rolling state digest: chained over every executed slot, so replicas
+    /// at the same frontier with the same history agree on it (the thing a
+    /// checkpoint vote attests to).
+    state_digest: Digest,
+    /// Everything below this mark has been truncated (always ≤ `next_exec`).
+    low_water: u64,
+    /// Latest stable checkpoint certificate held. May run ahead of
+    /// `next_exec` on a lagging replica (the certificate arrived before
+    /// the history did); `low_water` never does.
+    stable: Option<StableCert>,
+    /// Checkpoint votes: seq → voter → (digest, signature).
+    ckpt_votes: BTreeMap<u64, HashMap<usize, (Digest, Signature)>>,
+    /// Commit certificates of executed slots: seq → (view, quorum sigs).
+    /// The payload of state transfer; truncated at the low-water mark.
+    exec_proofs: BTreeMap<u64, (u64, Vec<(usize, Signature)>)>,
+    /// Peers seen sending agreement traffic above our high-water mark
+    /// (peer → highest claimed seq). `m + 1` distinct witnesses prove an
+    /// honest replica is past our window — time to fetch state.
+    ahead: HashMap<usize, u64>,
+    /// State-transfer counters (bytes served / installed, installs,
+    /// rejected responses).
+    st_served: u64,
+    st_installed: u64,
+    st_installs: u64,
+    st_rejects: u64,
     /// View-change votes: new_view → voter → prepared set.
     vc_votes: HashMap<u64, VcVotes>,
     /// Whether a view-change alarm is armed for the current view.
@@ -212,7 +330,18 @@ impl Replica {
             assigned: HashMap::new(),
             next_exec: 0,
             executed: Vec::new(),
-            executed_ids: HashSet::new(),
+            executed_dropped: 0,
+            executed_ids: HashMap::new(),
+            state_digest: Digest::default(),
+            low_water: 0,
+            stable: None,
+            ckpt_votes: BTreeMap::new(),
+            exec_proofs: BTreeMap::new(),
+            ahead: HashMap::new(),
+            st_served: 0,
+            st_installed: 0,
+            st_installs: 0,
+            st_rejects: 0,
             vc_votes: HashMap::new(),
             alarm_armed: false,
             view_changes_sent: 0,
@@ -220,9 +349,91 @@ impl Replica {
         }
     }
 
-    /// The committed updates in serialization order.
+    /// The committed updates in serialization order — the *retained*
+    /// suffix. Entries below the low-water mark are eventually truncated;
+    /// use [`Replica::executed_seen`] / [`Replica::executed_entry`] for a
+    /// truncation-stable cursor.
     pub fn executed(&self) -> &[Committed] {
         &self.executed
+    }
+
+    /// Total committed entries ever produced (truncated ones included).
+    pub fn executed_seen(&self) -> u64 {
+        self.executed_dropped + self.executed.len() as u64
+    }
+
+    /// The committed entry at absolute output index `abs` (0-based over
+    /// the whole history), or `None` if it has been truncated below the
+    /// low-water mark.
+    pub fn executed_entry(&self, abs: u64) -> Option<&Committed> {
+        let idx = abs.checked_sub(self.executed_dropped)?;
+        self.executed.get(idx as usize)
+    }
+
+    /// The execution frontier (highest executed slot + 1).
+    pub fn next_exec(&self) -> u64 {
+        self.next_exec
+    }
+
+    /// The low-water mark: everything below is truncated and final.
+    pub fn low_water(&self) -> u64 {
+        self.low_water
+    }
+
+    /// The high-water mark: agreement traffic at or above is refused.
+    pub fn high_water(&self) -> u64 {
+        if self.ckpt_active() {
+            self.low_water.saturating_add(self.cfg.checkpoint.window)
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// The rolling state digest over all executed slots.
+    pub fn state_digest(&self) -> Digest {
+        self.state_digest
+    }
+
+    /// The latest stable checkpoint certificate held, if any.
+    pub fn stable_checkpoint(&self) -> Option<&StableCert> {
+        self.stable.as_ref()
+    }
+
+    /// State responses that advanced this replica (rejoin diagnostics).
+    pub fn state_installs(&self) -> u64 {
+        self.st_installs
+    }
+
+    /// State responses (or embedded certificates) rejected as invalid.
+    pub fn state_rejects(&self) -> u64 {
+        self.st_rejects
+    }
+
+    /// Memory-health snapshot (introspection gauges).
+    pub fn health(&self) -> ReplicaHealth {
+        ReplicaHealth {
+            log_len: self.log.len() as u64,
+            executed_len: self.executed.len() as u64,
+            requests_len: self.requests.len() as u64,
+            assigned_len: self.assigned.len() as u64,
+            dedup_len: self.executed_ids.len() as u64,
+            low_water: self.low_water,
+            high_water: self.high_water(),
+            next_exec: self.next_exec,
+            checkpoint_seq: self.stable_seq(),
+            state_bytes_served: self.st_served,
+            state_bytes_installed: self.st_installed,
+            state_installs: self.st_installs,
+            state_rejects: self.st_rejects,
+        }
+    }
+
+    fn ckpt_active(&self) -> bool {
+        self.cfg.checkpoint.active()
+    }
+
+    fn stable_seq(&self) -> u64 {
+        self.stable.as_ref().map_or(0, |c| c.seq)
     }
 
     /// Diagnostic: for every agreement slot, the replica indices whose
@@ -299,7 +510,10 @@ impl Replica {
             | PbftMsg::Prepare { sig, .. }
             | PbftMsg::Commit { sig, .. }
             | PbftMsg::ViewChange { sig, .. }
-            | PbftMsg::NewView { sig, .. } => sig,
+            | PbftMsg::NewView { sig, .. }
+            | PbftMsg::Checkpoint { sig, .. }
+            | PbftMsg::FetchState { sig, .. }
+            | PbftMsg::State { sig, .. } => sig,
             _ => return false,
         };
         verify(*key, &signing_bytes(msg), sig)
@@ -413,6 +627,16 @@ impl Replica {
         while self.log.get(&seq).is_some_and(|i| i.digest.is_some()) {
             seq += 1;
         }
+        // Never propose past the window: peers would refuse to buffer the
+        // slot. The request stays unassigned; if the window fails to
+        // advance, the view-change alarm (armed below) takes over.
+        if self.ckpt_active() && seq >= self.high_water() {
+            if !self.alarm_armed {
+                self.alarm_armed = true;
+                ctx.set_timer(self.cfg.view_timeout, TIMER_VIEW_BASE + self.view);
+            }
+            return;
+        }
         self.next_seq = seq + 1;
         self.propose_at(ctx, seq, digest, id);
     }
@@ -473,6 +697,7 @@ impl Replica {
                 // don't count toward the new one.
                 inst.prepares.clear();
                 inst.commits.clear();
+                inst.commit_sigs.clear();
                 // Unverified pools go too: the eager path would have
                 // verified and inserted these at arrival, and the re-seed
                 // would clear them right here — net zero either way.
@@ -596,7 +821,9 @@ impl Replica {
             self.sig_cache.insert((commit_phase, view, seq, digest, replica, sig), ok);
             if ok {
                 if commit_phase {
-                    inst.commits.insert(replica);
+                    if inst.commits.insert(replica) {
+                        inst.commit_sigs.push((replica, sig));
+                    }
                 } else {
                     inst.prepares.insert(replica);
                 }
@@ -656,6 +883,11 @@ impl Replica {
             replica: my,
             sig: Signature::default(),
         });
+        if let PbftMsg::Commit { sig, .. } = &msg {
+            // Keep our own signature with the quorum's: a state-transfer
+            // proof needs the raw signatures, not just the counted set.
+            self.log.get_mut(&seq).expect("slot exists").commit_sigs.push((my, *sig));
+        }
         self.multicast(ctx, msg);
         self.try_execute(ctx);
     }
@@ -679,6 +911,7 @@ impl Replica {
             match self.sig_cache.get(&(true, view, seq, digest, replica, sig)) {
                 Some(true) => {
                     inst.commits.insert(replica);
+                    inst.commit_sigs.push((replica, sig));
                 }
                 Some(false) => {} // known forgery: drop
                 None => {
@@ -723,15 +956,25 @@ impl Replica {
             }
             let inst = self.log.get_mut(&seq).expect("present");
             inst.executed = true;
+            // Snapshot the commit certificate: every counted commit was
+            // accepted in the current view (view entry clears the sets of
+            // unexecuted slots), so this is a same-view 2m + 1 quorum — a
+            // self-certifying proof a state-transfer receiver can check.
+            let proof = inst.commit_sigs.clone();
             self.next_exec += 1;
             self.alarm_armed = false;
-            if !self.executed_ids.insert(id) {
+            self.state_digest = chain_digest(&self.state_digest, seq, &digest, id, timestamp);
+            if self.ckpt_active() {
+                self.exec_proofs.insert(seq, (self.view, proof));
+            }
+            if self.executed_ids.insert(id, seq).is_some() {
                 // The request already executed at a lower slot (it was
                 // re-proposed across a view change before the original
                 // commit was visible here). The slot still commits — the
                 // order must stay gap-free and every replica with the same
                 // log makes the same call — but it adds nothing to the
                 // tier's output, and the client was already answered.
+                self.maybe_checkpoint(ctx);
                 continue;
             }
             self.executed.push(Committed { seq, digest, payload, request: id, timestamp });
@@ -747,7 +990,375 @@ impl Replica {
             if self.fault != FaultMode::Silent {
                 ctx.send(id.client, reply);
             }
+            self.maybe_checkpoint(ctx);
         }
+    }
+
+    /// Broadcasts (and self-records) a checkpoint vote whenever the
+    /// execution frontier crosses a K boundary. The vote carries the
+    /// rolling state digest, which is only available exactly at the
+    /// crossing — hence the call from inside the execution loop.
+    fn maybe_checkpoint(&mut self, ctx: &mut Context<'_, PbftMsg>) {
+        if !self.ckpt_active() {
+            return;
+        }
+        let k = self.cfg.checkpoint.interval;
+        let seq = self.next_exec;
+        if seq == 0 || !seq.is_multiple_of(k) || seq <= self.stable_seq() {
+            return;
+        }
+        if self.ckpt_votes.get(&seq).is_some_and(|v| v.contains_key(&self.index)) {
+            return;
+        }
+        let digest = self.state_digest;
+        let my = self.index;
+        let base = self.signed(PbftMsg::Checkpoint {
+            seq,
+            digest,
+            replica: my,
+            sig: Signature::default(),
+        });
+        let own_sig = match &base {
+            PbftMsg::Checkpoint { sig, .. } => *sig,
+            _ => unreachable!(),
+        };
+        self.broadcast(ctx, |recipient| {
+            let d = self.maybe_corrupt(recipient, digest);
+            if d == digest {
+                Some(base.clone())
+            } else {
+                Some(self.signed(PbftMsg::Checkpoint {
+                    seq,
+                    digest: d,
+                    replica: my,
+                    sig: Signature::default(),
+                }))
+            }
+        });
+        self.record_ckpt_vote(ctx, seq, digest, my, own_sig);
+    }
+
+    /// Records a (signature-verified) checkpoint vote; `2m + 1` matching
+    /// `(seq, digest)` votes form a stable certificate.
+    fn record_ckpt_vote(
+        &mut self,
+        ctx: &mut Context<'_, PbftMsg>,
+        seq: u64,
+        digest: Digest,
+        replica: usize,
+        sig: Signature,
+    ) {
+        if seq <= self.stable_seq() {
+            return;
+        }
+        let quorum = self.cfg.commit_quorum();
+        let votes = self.ckpt_votes.entry(seq).or_default();
+        votes.insert(replica, (digest, sig));
+        let matching = votes.values().filter(|(d, _)| *d == digest).count();
+        if matching < quorum {
+            return;
+        }
+        let mut sigs: Vec<(usize, Signature)> = votes
+            .iter()
+            .filter(|(_, (d, _))| *d == digest)
+            .map(|(&r, &(_, s))| (r, s))
+            .collect();
+        sigs.sort_unstable_by_key(|&(r, _)| r);
+        self.adopt_stable(ctx, StableCert { seq, digest, sigs });
+    }
+
+    /// Adopts a stable certificate (already verified or locally formed):
+    /// advance the low-water mark and truncate; if the certificate is
+    /// ahead of our own frontier, the tier has finalized history we never
+    /// saw — solicit state transfer from one of its signers.
+    fn adopt_stable(&mut self, ctx: &mut Context<'_, PbftMsg>, cert: StableCert) {
+        if cert.seq <= self.stable_seq() {
+            return;
+        }
+        let behind = cert.seq > self.next_exec;
+        let target =
+            cert.sigs.iter().map(|&(r, _)| r).filter(|&r| r != self.index).min();
+        self.stable = Some(cert);
+        self.apply_low_water();
+        if behind {
+            if let Some(target) = target {
+                self.request_state(ctx, target);
+            }
+        }
+    }
+
+    /// Checks a stable certificate against the tier's replica keys:
+    /// `2m + 1` distinct valid signers over the matching checkpoint vote.
+    fn verify_stable_cert(&self, cert: &StableCert) -> bool {
+        let mut seen = HashSet::new();
+        let mut ok = 0;
+        for &(r, sig) in &cert.sigs {
+            if r >= self.cfg.n() || !seen.insert(r) {
+                continue;
+            }
+            let probe =
+                PbftMsg::Checkpoint { seq: cert.seq, digest: cert.digest, replica: r, sig };
+            if verify(self.cfg.replica_keys[r], &signing_bytes(&probe), &sig) {
+                ok += 1;
+            }
+        }
+        ok >= self.cfg.commit_quorum()
+    }
+
+    /// Advances the low-water mark to the stable certificate (clamped to
+    /// our own frontier) and truncates everything below it: log slots,
+    /// request payloads, assignments, dedup entries, commit proofs, and
+    /// checkpoint votes. The committed-output suffix is truncated lazily
+    /// (see [`Replica::gc_executed`]) so the layer above can drain entries
+    /// executed in the very call that formed the certificate.
+    fn apply_low_water(&mut self) {
+        let Some(cert) = &self.stable else { return };
+        let h = cert.seq.min(self.next_exec);
+        if h <= self.low_water {
+            return;
+        }
+        self.low_water = h;
+        self.log = self.log.split_off(&h);
+        self.exec_proofs = self.exec_proofs.split_off(&h);
+        self.ckpt_votes = self.ckpt_votes.split_off(&(h + 1));
+        let stale: Vec<RequestId> = self
+            .assigned
+            .iter()
+            .filter(|(_, &s)| s < h)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &stale {
+            self.requests.remove(id);
+        }
+        self.assigned.retain(|_, &mut s| s >= h);
+        self.executed_ids.retain(|_, &mut s| s >= h);
+        self.next_seq = self.next_seq.max(h);
+    }
+
+    /// Truncates committed-output entries below the low-water mark. Runs
+    /// at the *top* of message/timer dispatch — never in the middle of the
+    /// call that advanced the mark — so entries executed and finalized in
+    /// one call survive until the enclosing node has drained them.
+    fn gc_executed(&mut self) {
+        if self.low_water == 0 {
+            return;
+        }
+        let drop_n = self.executed.iter().take_while(|e| e.seq < self.low_water).count();
+        if drop_n > 0 {
+            self.executed.drain(..drop_n);
+            self.executed_dropped += drop_n as u64;
+        }
+    }
+
+    /// Water-mark admission check for agreement traffic. Below the
+    /// low-water mark the slot is final — drop. At or past the high-water
+    /// mark we refuse to buffer — drop, but count the sender as a catch-up
+    /// witness (see [`Replica::note_ahead`]).
+    fn admit_seq(&mut self, ctx: &mut Context<'_, PbftMsg>, seq: u64, claimant: usize) -> bool {
+        if !self.ckpt_active() {
+            return true;
+        }
+        if seq < self.low_water {
+            return false;
+        }
+        if seq >= self.high_water() {
+            self.note_ahead(ctx, claimant, seq);
+            return false;
+        }
+        true
+    }
+
+    /// Records a peer claiming agreement traffic above our window. One
+    /// claim proves nothing (any single peer may be Byzantine), but `m + 1`
+    /// distinct claimants include an honest replica — the tier really has
+    /// moved past our window, so solicit state transfer from the farthest
+    /// claimant and reset the witness set (natural retry pacing: the next
+    /// fetch needs fresh evidence).
+    fn note_ahead(&mut self, ctx: &mut Context<'_, PbftMsg>, claimant: usize, seq: u64) {
+        if claimant >= self.cfg.n() || claimant == self.index {
+            return;
+        }
+        let e = self.ahead.entry(claimant).or_insert(0);
+        *e = (*e).max(seq);
+        if self.ahead.len() > self.cfg.m {
+            let target = self
+                .ahead
+                .iter()
+                .max_by_key(|(&r, &s)| (s, std::cmp::Reverse(r)))
+                .map(|(&r, _)| r)
+                .expect("witness set non-empty");
+            self.ahead.clear();
+            self.request_state(ctx, target);
+        }
+    }
+
+    /// Asks `target` for the stable certificate plus the executed suffix
+    /// above our frontier.
+    fn request_state(&mut self, ctx: &mut Context<'_, PbftMsg>, target: usize) {
+        if self.fault == FaultMode::Silent || target == self.index || target >= self.cfg.n() {
+            return;
+        }
+        let my = self.index;
+        let msg = self.signed(PbftMsg::FetchState {
+            have: self.next_exec,
+            replica: my,
+            sig: Signature::default(),
+        });
+        ctx.send(self.cfg.members[target], msg);
+    }
+
+    /// Serves a state-transfer request: the stable certificate (when the
+    /// requester's frontier is below our low-water mark) plus executed
+    /// entries from its frontier (or our mark) up to our frontier, each
+    /// with its retained commit certificate.
+    fn serve_state(&mut self, ctx: &mut Context<'_, PbftMsg>, have: u64, requester: usize) {
+        if self.fault == FaultMode::Silent || have >= self.next_exec {
+            return;
+        }
+        let from = have.max(self.low_water);
+        let stable = if have < self.low_water { self.stable.clone() } else { None };
+        let mut entries = Vec::new();
+        for seq in from..self.next_exec {
+            let Some(inst) = self.log.get(&seq) else { break };
+            let (Some(digest), Some(id), true) = (inst.digest, inst.request, inst.executed)
+            else {
+                break;
+            };
+            let Some((payload, timestamp)) = self.requests.get(&id).cloned() else { break };
+            let Some((proof_view, proof)) = self.exec_proofs.get(&seq).cloned() else { break };
+            entries.push(StateEntry { seq, digest, id, timestamp, payload, proof_view, proof });
+        }
+        if stable.is_none() && entries.is_empty() {
+            return;
+        }
+        let my = self.index;
+        let msg = self.signed(PbftMsg::State {
+            stable,
+            entries,
+            replica: my,
+            sig: Signature::default(),
+        });
+        self.st_served += msg.wire_size() as u64;
+        ctx.send(self.cfg.members[requester], msg);
+    }
+
+    /// Installs a state-transfer response. The embedded certificate (if
+    /// any) is checked against the tier keys; an out-of-reach certificate
+    /// lets us *jump* — adopt its frontier and digest wholesale, since the
+    /// history below it is final tier-wide and no longer individually
+    /// retrievable. Entries then extend the frontier one slot at a time,
+    /// each verified against its own commit certificate; the first invalid
+    /// or non-contiguous entry stops the install.
+    fn on_state(
+        &mut self,
+        ctx: &mut Context<'_, PbftMsg>,
+        stable: Option<StableCert>,
+        entries: Vec<StateEntry>,
+    ) {
+        let mut progressed = false;
+        if let Some(cert) = stable {
+            if cert.seq > self.stable_seq() {
+                if !self.verify_stable_cert(&cert) {
+                    self.st_rejects += 1;
+                    return;
+                }
+                if cert.seq > self.next_exec {
+                    // Everything below the certificate is final tier-wide;
+                    // adopt its frontier and rolling digest. Slots we never
+                    // executed leave no output entries here — the layer
+                    // above recovers object state through its own repair
+                    // paths, while agreement is whole again right now.
+                    self.next_exec = cert.seq;
+                    self.next_seq = self.next_seq.max(cert.seq);
+                    self.state_digest = cert.digest;
+                    progressed = true;
+                }
+                self.stable = Some(cert);
+                self.apply_low_water();
+            }
+        }
+        for entry in entries {
+            if entry.seq < self.next_exec {
+                continue; // already have it
+            }
+            if entry.seq > self.next_exec {
+                break; // gap: cannot chain the rolling digest across it
+            }
+            if !self.verify_state_entry(&entry) {
+                self.st_rejects += 1;
+                break;
+            }
+            self.install_entry(ctx, entry);
+            progressed = true;
+        }
+        if progressed {
+            self.st_installs += 1;
+            self.apply_low_water();
+            // Buffered live commits just above the installed suffix may
+            // extend the frontier immediately.
+            self.try_execute(ctx);
+        }
+    }
+
+    /// Checks one state-transfer entry: payload hashes to the committed
+    /// digest, and the commit certificate holds `2m + 1` distinct valid
+    /// signers.
+    fn verify_state_entry(&self, entry: &StateEntry) -> bool {
+        if entry.payload.digest() != entry.digest {
+            return false;
+        }
+        let mut seen = HashSet::new();
+        let mut ok = 0;
+        for &(r, sig) in &entry.proof {
+            if r >= self.cfg.n() || !seen.insert(r) {
+                continue;
+            }
+            let probe = PbftMsg::Commit {
+                view: entry.proof_view,
+                seq: entry.seq,
+                digest: entry.digest,
+                replica: r,
+                sig,
+            };
+            if verify(self.cfg.replica_keys[r], &signing_bytes(&probe), &sig) {
+                ok += 1;
+            }
+        }
+        ok >= self.cfg.commit_quorum()
+    }
+
+    /// Installs one verified entry at the execution frontier: the slot
+    /// lands executed (with its proof retained, so we can serve it
+    /// onward), the output gains an entry unless the request already
+    /// executed, and the rolling digest advances. No client reply — the
+    /// client was answered by the replicas that executed live.
+    fn install_entry(&mut self, ctx: &mut Context<'_, PbftMsg>, entry: StateEntry) {
+        let StateEntry { seq, digest, id, timestamp, payload, proof_view, proof } = entry;
+        self.st_installed += payload.wire_len() as u64
+            + (8 + crate::messages::DIGEST_SIZE + 16 + 8) as u64
+            + (proof.len() * (8 + Signature::WIRE_SIZE)) as u64;
+        self.requests.insert(id, (payload.clone(), timestamp));
+        self.assigned.insert(id, seq);
+        let inst = self.log.entry(seq).or_default();
+        inst.digest = Some(digest);
+        inst.digest_view = proof_view;
+        inst.request = Some(id);
+        inst.executed = true;
+        inst.prepared_cert = true;
+        inst.sent_commit = true;
+        for &(r, _) in &proof {
+            inst.commits.insert(r);
+        }
+        inst.commit_sigs = proof.clone();
+        self.exec_proofs.insert(seq, (proof_view, proof));
+        self.next_exec = seq + 1;
+        self.next_seq = self.next_seq.max(self.next_exec);
+        self.state_digest = chain_digest(&self.state_digest, seq, &digest, id, timestamp);
+        if let std::collections::hash_map::Entry::Vacant(e) = self.executed_ids.entry(id) {
+            e.insert(seq);
+            self.executed.push(Committed { seq, digest, payload, request: id, timestamp });
+        }
+        self.maybe_checkpoint(ctx);
     }
 
     /// View-change alarm fired.
@@ -786,7 +1397,9 @@ impl Replica {
         // that may underpin a commit elsewhere appears in at least one
         // vote of any quorum (certificates are sticky across views), which
         // is what keeps re-proposal from contradicting a committed slot.
-        // Unbounded without checkpoints/GC — fine at simulation scale.
+        // With checkpointing active the log is truncated at the low-water
+        // mark, so the list is bounded by the window — slots below the
+        // mark are represented by the stable certificate alone.
         let prepared: Vec<(u64, Digest, RequestId)> = self
             .log
             .iter()
@@ -800,16 +1413,18 @@ impl Replica {
             .collect();
         let my = self.index;
         let last_exec = self.next_exec;
+        let stable = self.stable.clone();
         let msg = self.signed(PbftMsg::ViewChange {
             new_view,
             last_exec,
             prepared: prepared.clone(),
+            stable: stable.clone(),
             replica: my,
             sig: Signature::default(),
         });
         self.multicast(ctx, msg);
         // Vote for ourselves too.
-        self.record_vc_vote(ctx, new_view, my, last_exec, prepared);
+        self.record_vc_vote(ctx, new_view, my, last_exec, prepared, stable);
     }
 
     fn record_vc_vote(
@@ -819,9 +1434,23 @@ impl Replica {
         replica: usize,
         last_exec: u64,
         prepared: Vec<(u64, Digest, RequestId)>,
+        stable: Option<StableCert>,
     ) {
         if new_view <= self.view {
             return;
+        }
+        // A vote may carry a stable certificate we have never seen (its
+        // sender checkpointed past us). Adopting it both bounds what the
+        // re-proposal below must cover and, if we are behind it, starts
+        // our own catch-up.
+        if self.ckpt_active() {
+            if let Some(cert) = stable {
+                if cert.seq > self.stable_seq()
+                    && (replica == self.index || self.verify_stable_cert(&cert))
+                {
+                    self.adopt_stable(ctx, cert);
+                }
+            }
         }
         self.vc_votes.entry(new_view).or_default().insert(replica, (last_exec, prepared));
         let votes = self.vc_votes[&new_view].len();
@@ -868,6 +1497,7 @@ impl Replica {
             if !i.executed {
                 i.prepares.clear();
                 i.commits.clear();
+                i.commit_sigs.clear();
             }
         }
         let log = &self.log;
@@ -884,12 +1514,19 @@ impl Replica {
     fn repropose(&mut self, ctx: &mut Context<'_, PbftMsg>, view: u64) {
         let votes = self.vc_votes.get(&view).cloned().unwrap_or_default();
         // Re-run agreement from the lowest execution frontier in the vote
-        // quorum (ours included): replicas that missed commits catch up by
+        // quorum (ours included), clamped at the stable mark: everything
+        // below a stable certificate is final tier-wide and recoverable
+        // through state transfer, so re-proposal never reaches below it.
+        // Replicas that missed commits inside the window catch up by
         // re-committing, which is idempotent for everyone already past a
-        // slot. A straggler outside the quorum stays behind until it votes
-        // in a later change — there is no separate state-transfer path.
-        let base =
-            votes.values().map(|&(le, _)| le).chain([self.next_exec]).min().unwrap_or(0);
+        // slot; stragglers below the mark catch up via state transfer.
+        let base = votes
+            .values()
+            .map(|&(le, _)| le)
+            .chain([self.next_exec])
+            .min()
+            .unwrap_or(0)
+            .max(self.stable_seq());
         // Candidate per slot: the certificate reported by the most voters,
         // ties broken by digest for determinism. Conflicting reports for
         // one slot can only pit a live certificate against a stale one
@@ -935,7 +1572,7 @@ impl Replica {
             .requests
             .iter()
             .filter(|(id, _)| {
-                !self.assigned.contains_key(*id) && !self.executed_ids.contains(*id)
+                !self.assigned.contains_key(*id) && !self.executed_ids.contains_key(*id)
             })
             .map(|(id, (_, ts))| (*ts, *id))
             .collect();
@@ -970,32 +1607,48 @@ impl Replica {
 
     /// Main message dispatch (called by the enclosing protocol node).
     pub fn on_message(&mut self, ctx: &mut Context<'_, PbftMsg>, _from: NodeId, msg: PbftMsg) {
+        // Output entries below the low-water mark were drained by the
+        // enclosing node after the previous call; drop them now.
+        self.gc_executed();
         match &msg {
             PbftMsg::Request { id, timestamp, payload, sig } => {
                 self.on_request(ctx, *id, *timestamp, payload.clone(), sig);
             }
             PbftMsg::PrePrepare { view, seq, digest, id, .. } => {
                 let leader = self.cfg.leader(*view);
-                if self.verify_replica(leader, &msg) {
+                if self.admit_seq(ctx, *seq, leader) && self.verify_replica(leader, &msg) {
                     self.on_preprepare(ctx, *view, *seq, *digest, *id);
                 }
             }
             PbftMsg::Prepare { view, seq, digest, replica, sig } => {
                 // Signature verification is deferred into the batch drain;
                 // only the protocol-state checks happen at arrival.
-                if *view == self.view && *replica < self.cfg.n() {
+                if *view == self.view
+                    && *replica < self.cfg.n()
+                    && self.admit_seq(ctx, *seq, *replica)
+                {
                     self.on_prepare(ctx, *seq, *digest, *replica, *sig);
                 }
             }
             PbftMsg::Commit { view, seq, digest, replica, sig } => {
-                if *view == self.view && *replica < self.cfg.n() {
+                if *view == self.view
+                    && *replica < self.cfg.n()
+                    && self.admit_seq(ctx, *seq, *replica)
+                {
                     self.on_commit(ctx, *seq, *digest, *replica, *sig);
                 }
             }
-            PbftMsg::ViewChange { new_view, last_exec, prepared, replica, .. } => {
+            PbftMsg::ViewChange { new_view, last_exec, prepared, stable, replica, .. } => {
                 if self.verify_replica(*replica, &msg) {
                     let nv = *new_view;
-                    self.record_vc_vote(ctx, nv, *replica, *last_exec, prepared.clone());
+                    self.record_vc_vote(
+                        ctx,
+                        nv,
+                        *replica,
+                        *last_exec,
+                        prepared.clone(),
+                        stable.clone(),
+                    );
                     // Join a higher view change we haven't voted in yet:
                     // after a lossy burst, view numbers can diverge across
                     // the tier, and a laggard re-proposing `view + 1`
@@ -1028,6 +1681,33 @@ impl Replica {
                     }
                 }
             }
+            PbftMsg::Checkpoint { seq, digest, replica, sig } => {
+                if self.ckpt_active()
+                    && *replica < self.cfg.n()
+                    && *replica != self.index
+                    && *seq > self.stable_seq()
+                    && self.verify_replica(*replica, &msg)
+                {
+                    self.record_ckpt_vote(ctx, *seq, *digest, *replica, *sig);
+                }
+            }
+            PbftMsg::FetchState { have, replica, .. } => {
+                if self.ckpt_active()
+                    && *replica < self.cfg.n()
+                    && *replica != self.index
+                    && self.verify_replica(*replica, &msg)
+                {
+                    self.serve_state(ctx, *have, *replica);
+                }
+            }
+            PbftMsg::State { stable, entries, replica, .. } => {
+                if self.ckpt_active()
+                    && *replica < self.cfg.n()
+                    && self.verify_replica(*replica, &msg)
+                {
+                    self.on_state(ctx, stable.clone(), entries.clone());
+                }
+            }
             PbftMsg::Reply { .. } => {} // replicas ignore replies
         }
     }
@@ -1036,6 +1716,7 @@ impl Replica {
     /// outside the view-alarm band belong to other sub-protocols sharing
     /// the node's timer namespace and are ignored here.
     pub fn on_timer(&mut self, ctx: &mut Context<'_, PbftMsg>, tag: u64) {
+        self.gc_executed();
         if (TIMER_VIEW_BASE..TIMER_VIEW_BASE << 1).contains(&tag) {
             self.on_view_alarm(ctx, tag - TIMER_VIEW_BASE);
         }

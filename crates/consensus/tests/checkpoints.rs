@@ -1,0 +1,248 @@
+//! Stable-checkpoint, log-GC, and state-transfer coverage: long runs stay
+//! memory-bounded, rejoining replicas catch up through the consensus-level
+//! transfer path, and forged or minority evidence never truncates history
+//! or installs bogus state.
+
+use oceanstore_consensus::harness::{build_tier_custom, run_updates, run_updates_batched};
+use oceanstore_consensus::messages::{
+    set_sig, signing_bytes, Payload, PbftMsg, RequestId, StableCert, StateEntry,
+};
+use oceanstore_consensus::node::PbftNode;
+use oceanstore_consensus::replica::{CheckpointConfig, FaultMode, Replica};
+use oceanstore_crypto::schnorr::{KeyPair, Signature};
+use oceanstore_sim::{NodeId, SimDuration};
+use proptest::prelude::*;
+
+const WAN: SimDuration = SimDuration::from_millis(50);
+
+fn ckpt(interval: u64, window: u64) -> CheckpointConfig {
+    CheckpointConfig { enabled: true, interval, window }
+}
+
+/// Reconstructs the deterministic keypair of tier replica `i` (the same
+/// derivation the harness uses), so tests can craft real signatures.
+fn replica_key(seed: u64, i: usize) -> KeyPair {
+    KeyPair::from_seed(format!("tier-{seed}-replica-{i}").as_bytes())
+}
+
+fn signed_by(kp: &KeyPair, mut msg: PbftMsg) -> PbftMsg {
+    let sig = kp.sign(&signing_bytes(&msg));
+    set_sig(&mut msg, sig);
+    msg
+}
+
+fn replica(ts: &oceanstore_consensus::TierSim, i: usize) -> &Replica {
+    ts.sim.node(NodeId(i)).as_replica().expect("replica node")
+}
+
+#[test]
+fn long_run_truncates_and_stays_bounded() {
+    let interval = 8;
+    let window = 32;
+    let mut ts = build_tier_custom(1, WAN, 11, &[], ckpt(interval, window));
+    let count = 60;
+    run_updates_batched(&mut ts, 256, count, 4);
+    for i in 0..4 {
+        let r = replica(&ts, i);
+        let h = r.health();
+        assert_eq!(h.next_exec, count as u64, "replica {i} frontier");
+        assert!(h.low_water > 0, "replica {i} never advanced its mark");
+        assert!(h.checkpoint_seq > 0, "replica {i} holds no stable certificate");
+        let bound = window + interval;
+        assert!(h.log_len <= bound, "replica {i} log {} > {bound}", h.log_len);
+        assert!(h.dedup_len <= bound, "replica {i} dedup {} > {bound}", h.dedup_len);
+        assert!(h.assigned_len <= bound, "replica {i} assigned {} > {bound}", h.assigned_len);
+        assert!(h.requests_len <= bound, "replica {i} requests {} > {bound}", h.requests_len);
+        assert_eq!(r.executed_seen(), count as u64, "replica {i} output count");
+    }
+    // Stable certificates at the same height attest the same digest, and
+    // the retained output suffixes agree wherever they overlap.
+    let certs: Vec<&StableCert> =
+        (0..4).map(|i| replica(&ts, i).stable_checkpoint().expect("cert")).collect();
+    for c in &certs {
+        for d in &certs {
+            if c.seq == d.seq {
+                assert_eq!(c.digest, d.digest, "conflicting stable digests at {}", c.seq);
+            }
+        }
+    }
+    for abs in 0..count as u64 {
+        let entries: Vec<_> =
+            (0..4).filter_map(|i| replica(&ts, i).executed_entry(abs)).collect();
+        for pair in entries.windows(2) {
+            assert_eq!(pair[0].digest, pair[1].digest, "output divergence at {abs}");
+        }
+    }
+}
+
+#[test]
+fn intact_rejoin_catches_up_via_state_transfer() {
+    let mut ts = build_tier_custom(1, WAN, 12, &[], ckpt(8, 16));
+    run_updates_batched(&mut ts, 128, 8, 4);
+    ts.sim.crash_node(NodeId(3));
+    run_updates_batched(&mut ts, 128, 40, 4);
+    ts.sim.recover_node(NodeId(3));
+    // Fresh traffic both advertises the tier's progress (witnesses above
+    // the rejoiner's window trigger the fetch) and carries the live tail.
+    run_updates_batched(&mut ts, 128, 24, 4);
+    run_updates_batched(&mut ts, 128, 8, 1);
+    let frontier = replica(&ts, 0).next_exec();
+    assert_eq!(frontier, 80);
+    let r3 = replica(&ts, 3);
+    assert!(r3.state_installs() >= 1, "rejoin must use state transfer");
+    assert!(r3.health().state_bytes_installed > 0);
+    assert_eq!(r3.next_exec(), frontier, "rejoined replica not caught up");
+    assert_eq!(r3.state_digest(), replica(&ts, 0).state_digest(), "state digest divergence");
+    // And the transfer really was served by someone.
+    let served: u64 = (0..3).map(|i| replica(&ts, i).health().state_bytes_served).sum();
+    assert!(served > 0, "no peer served state");
+}
+
+#[test]
+fn wiped_rejoin_jumps_via_certificate() {
+    let seed = 13;
+    let mut ts = build_tier_custom(1, WAN, seed, &[], ckpt(8, 16));
+    run_updates_batched(&mut ts, 128, 4, 4);
+    ts.sim.crash_node(NodeId(3));
+    run_updates_batched(&mut ts, 128, 44, 4);
+    // The replica lost everything: rebuild it from its key, state zero.
+    let fresh = Replica::new(ts.cfg.clone(), 3, replica_key(seed, 3), FaultMode::Honest);
+    ts.sim.recover_node_wiped(NodeId(3), PbftNode::Replica(fresh));
+    run_updates_batched(&mut ts, 128, 24, 4);
+    run_updates_batched(&mut ts, 128, 8, 1);
+    let frontier = replica(&ts, 0).next_exec();
+    let r3 = replica(&ts, 3);
+    assert!(r3.state_installs() >= 1, "wiped rejoin must use state transfer");
+    assert!(r3.health().checkpoint_seq > 0, "wiped rejoin must adopt a certificate");
+    assert_eq!(r3.next_exec(), frontier, "wiped replica not caught up");
+    assert_eq!(r3.state_digest(), replica(&ts, 0).state_digest(), "state digest divergence");
+    // The jump skipped history below the certificate: the output stream it
+    // can replay is strictly shorter than the slot frontier.
+    assert!(r3.executed_seen() < frontier, "a wiped replica cannot replay pre-jump output");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Forged checkpoint votes (signed with the wrong key) and minority
+    /// vote sets (< 2m + 1) never advance the low-water mark, never form a
+    /// stable certificate, and never truncate history.
+    #[test]
+    fn bogus_checkpoint_votes_never_truncate(
+        seed in any::<u64>(),
+        digest in any::<[u8; 20]>(),
+        forged in any::<bool>(),
+    ) {
+        let mut ts = build_tier_custom(1, WAN, seed, &[], ckpt(8, 64));
+        run_updates(&mut ts, 128, 4);
+        let before = replica(&ts, 0).executed().len();
+        let decoy = KeyPair::from_seed(b"not-a-tier-key");
+        // Forged: a full quorum of votes, every signature wrong.
+        // Minority: two genuine signers — one short of the 2m + 1 quorum.
+        let voters: &[usize] = if forged { &[1, 2, 3] } else { &[1, 2] };
+        for &v in voters {
+            let kp = if forged { decoy.clone() } else { replica_key(seed, v) };
+            let vote = signed_by(&kp, PbftMsg::Checkpoint {
+                seq: 4,
+                digest,
+                replica: v,
+                sig: Signature::default(),
+            });
+            ts.sim.inject(NodeId(v), NodeId(0), vote);
+        }
+        ts.sim.run_to_quiescence(100_000);
+        let r0 = replica(&ts, 0);
+        prop_assert_eq!(r0.low_water(), 0, "bogus votes advanced the mark");
+        prop_assert!(r0.stable_checkpoint().is_none(), "bogus votes formed a certificate");
+        prop_assert_eq!(r0.executed().len(), before, "bogus votes truncated history");
+    }
+
+    /// State transfer rejects a suffix whose digests mismatch the payload,
+    /// whose commit proofs are signed by the wrong keys, or whose embedded
+    /// certificate lacks a quorum — while a genuine suffix installs.
+    #[test]
+    fn state_transfer_rejects_mismatched_suffix(
+        seed in any::<u64>(),
+        payload_bytes in proptest::collection::vec(any::<u8>(), 1..64),
+        case in 0usize..4,
+    ) {
+        let mut ts = build_tier_custom(1, WAN, seed, &[], ckpt(8, 64));
+        run_updates(&mut ts, 128, 3);
+        let frontier = replica(&ts, 0).next_exec();
+        prop_assert_eq!(frontier, 3);
+        let payload = Payload::from_bytes(payload_bytes);
+        let honest_digest = payload.digest();
+        let mut digest = honest_digest;
+        if case == 0 {
+            digest[0] ^= 0xff; // payload no longer hashes to the digest
+        }
+        let id = RequestId { client: NodeId(4), seq: 999 };
+        let proof_keys: Vec<KeyPair> = if case == 1 {
+            // Proof signed by keys that are not the tier's.
+            (0..4).map(|i| KeyPair::from_seed(format!("imposter-{i}").as_bytes())).collect()
+        } else {
+            (0..4).map(|i| replica_key(seed, i)).collect()
+        };
+        let proof: Vec<(usize, Signature)> = proof_keys
+            .iter()
+            .enumerate()
+            .map(|(i, kp)| {
+                let probe = PbftMsg::Commit {
+                    view: 0,
+                    seq: frontier,
+                    digest,
+                    replica: i,
+                    sig: Signature::default(),
+                };
+                (i, kp.sign(&signing_bytes(&probe)))
+            })
+            .collect();
+        let entry = StateEntry {
+            seq: frontier,
+            digest,
+            id,
+            timestamp: 7,
+            payload,
+            proof_view: 0,
+            proof,
+        };
+        // Case 2: a minority certificate claiming a far frontier.
+        let stable = (case == 2).then(|| StableCert {
+            seq: 100,
+            digest: [9; 20],
+            sigs: (0..2)
+                .map(|i| {
+                    let probe = PbftMsg::Checkpoint {
+                        seq: 100,
+                        digest: [9; 20],
+                        replica: i,
+                        sig: Signature::default(),
+                    };
+                    (i, replica_key(seed, i).sign(&signing_bytes(&probe)))
+                })
+                .collect(),
+        });
+        let entries = if case == 2 { Vec::new() } else { vec![entry] };
+        let sender = replica_key(seed, 1);
+        let msg = signed_by(&sender, PbftMsg::State {
+            stable,
+            entries,
+            replica: 1,
+            sig: Signature::default(),
+        });
+        ts.sim.inject(NodeId(1), NodeId(0), msg);
+        ts.sim.run_to_quiescence(100_000);
+        let r0 = replica(&ts, 0);
+        if case == 3 {
+            // Control: a fully genuine entry must install — the rejection
+            // cases above are not vacuous.
+            prop_assert_eq!(r0.next_exec(), frontier + 1, "genuine suffix refused");
+            prop_assert!(r0.state_installs() >= 1);
+            prop_assert_eq!(r0.state_rejects(), 0);
+        } else {
+            prop_assert_eq!(r0.next_exec(), frontier, "bogus suffix installed");
+            prop_assert_eq!(r0.low_water(), 0);
+            prop_assert!(r0.state_rejects() >= 1, "rejection not recorded");
+        }
+    }
+}

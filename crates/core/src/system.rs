@@ -233,6 +233,7 @@ impl OceanStore {
                 .map(|(node, kp)| (*node, kp.public()))
                 .collect(),
             view_timeout: SimDuration::from_micros(b.latency.as_micros() * 30),
+            checkpoint: Default::default(),
         };
 
         // Location mesh across every node (clients are addressable

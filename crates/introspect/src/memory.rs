@@ -1,0 +1,228 @@
+//! Replica memory-health gauges (§4.7 observation applied to §4.5's inner
+//! ring).
+//!
+//! PBFT stable checkpoints bound how much agreement state a replica
+//! retains; this module is the observation side of that bound. A
+//! [`MemoryGauge`] is one point-in-time sample of a replica's retained
+//! consensus state (log slots, request map, dedup set, water marks,
+//! state-transfer byte counters). The [`MemoryMonitor`] accumulates
+//! samples, tracks peaks, flags bound violations, and can replay each
+//! sample as an [`Event`] so the same loop-free handler DSL that watches
+//! read traffic can watch memory health.
+//!
+//! The crate stays dependency-free: producers (the consensus crate's
+//! `ReplicaHealth`, the chaos harness) copy their counters into a gauge
+//! field by field.
+
+use crate::event::Event;
+
+/// One point-in-time sample of a replica's retained consensus state.
+///
+/// Field names mirror the consensus crate's `ReplicaHealth` so producers
+/// can translate mechanically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryGauge {
+    /// Live slots in the agreement log (everything ≥ the low-water mark).
+    pub log_len: u64,
+    /// Executed-but-undrained output entries.
+    pub executed_len: u64,
+    /// Buffered client request payloads.
+    pub requests_len: u64,
+    /// Request→slot assignment entries.
+    pub assigned_len: u64,
+    /// Request-id dedup entries.
+    pub dedup_len: u64,
+    /// Low-water mark: slots below this are truncated.
+    pub low_water: u64,
+    /// High-water mark: agreement traffic at or above this is refused.
+    pub high_water: u64,
+    /// Execution frontier.
+    pub next_exec: u64,
+    /// Height of the latest stable checkpoint certificate (0 = none).
+    pub checkpoint_seq: u64,
+    /// Bytes of state-transfer responses served to peers.
+    pub state_bytes_served: u64,
+    /// Bytes of state-transfer responses installed locally.
+    pub state_bytes_installed: u64,
+}
+
+impl MemoryGauge {
+    /// Total retained tracking entries — the quantity the checkpoint
+    /// machinery exists to bound.
+    pub fn retained(&self) -> u64 {
+        self.log_len + self.executed_len + self.requests_len + self.assigned_len + self.dedup_len
+    }
+
+    /// Renders the sample as a DSL event of kind `"replica_mem"` so
+    /// [`crate::SummaryDb`] handlers can aggregate it.
+    pub fn to_event(&self, replica: usize) -> Event {
+        Event::new("replica_mem")
+            .with("replica", replica as f64)
+            .with("log_len", self.log_len as f64)
+            .with("executed_len", self.executed_len as f64)
+            .with("requests_len", self.requests_len as f64)
+            .with("assigned_len", self.assigned_len as f64)
+            .with("dedup_len", self.dedup_len as f64)
+            .with("retained", self.retained() as f64)
+            .with("low_water", self.low_water as f64)
+            .with("next_exec", self.next_exec as f64)
+            .with("checkpoint_seq", self.checkpoint_seq as f64)
+            .with("st_served", self.state_bytes_served as f64)
+            .with("st_installed", self.state_bytes_installed as f64)
+    }
+}
+
+/// Accumulates [`MemoryGauge`] samples from one replica: peak tracking
+/// plus an optional retained-state bound (the chaos oracles sample this
+/// between batches and fail the run on any violation).
+#[derive(Debug, Clone, Default)]
+pub struct MemoryMonitor {
+    /// Max retained entries a sample may show; `None` = unbounded.
+    bound: Option<u64>,
+    samples: u64,
+    violations: u64,
+    peak_retained: u64,
+    peak_log: u64,
+    last: MemoryGauge,
+}
+
+impl MemoryMonitor {
+    /// A monitor with no bound (observation only).
+    pub fn new() -> Self {
+        MemoryMonitor::default()
+    }
+
+    /// A monitor that counts samples whose log length exceeds
+    /// `max_retained_slots` as violations. For a checkpointing replica the
+    /// natural bound is `window + interval`: the admission window plus the
+    /// slots that can execute before the next certificate forms.
+    pub fn bounded(max_retained_slots: u64) -> Self {
+        MemoryMonitor { bound: Some(max_retained_slots), ..MemoryMonitor::default() }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, gauge: MemoryGauge) {
+        self.samples += 1;
+        self.peak_retained = self.peak_retained.max(gauge.retained());
+        self.peak_log = self.peak_log.max(gauge.log_len);
+        if let Some(bound) = self.bound {
+            if gauge.log_len > bound {
+                self.violations += 1;
+            }
+        }
+        self.last = gauge;
+    }
+
+    /// Samples recorded so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Samples that exceeded the bound.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// `true` when at least one sample was taken and none broke the bound.
+    pub fn healthy(&self) -> bool {
+        self.samples > 0 && self.violations == 0
+    }
+
+    /// Largest total retained-entry count seen.
+    pub fn peak_retained(&self) -> u64 {
+        self.peak_retained
+    }
+
+    /// Largest log length seen.
+    pub fn peak_log(&self) -> u64 {
+        self.peak_log
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> &MemoryGauge {
+        &self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Aggregate, Expr, Handler, SummaryDb};
+
+    fn gauge(log: u64, low: u64, exec: u64) -> MemoryGauge {
+        MemoryGauge {
+            log_len: log,
+            executed_len: 2,
+            requests_len: log,
+            assigned_len: log,
+            dedup_len: log,
+            low_water: low,
+            high_water: low + 32,
+            next_exec: exec,
+            checkpoint_seq: low,
+            state_bytes_served: 0,
+            state_bytes_installed: 0,
+        }
+    }
+
+    #[test]
+    fn retained_sums_tracking_structures() {
+        assert_eq!(gauge(10, 0, 10).retained(), 42);
+    }
+
+    #[test]
+    fn monitor_tracks_peaks_and_bound() {
+        let mut mon = MemoryMonitor::bounded(16);
+        mon.record(gauge(8, 0, 8));
+        mon.record(gauge(16, 8, 24));
+        assert!(mon.healthy());
+        assert_eq!(mon.peak_log(), 16);
+        assert_eq!(mon.peak_retained(), 16 * 4 + 2);
+        mon.record(gauge(17, 8, 25));
+        assert!(!mon.healthy());
+        assert_eq!(mon.violations(), 1);
+        assert_eq!(mon.samples(), 3);
+        assert_eq!(mon.last().log_len, 17);
+    }
+
+    #[test]
+    fn unbounded_monitor_never_violates() {
+        let mut mon = MemoryMonitor::new();
+        mon.record(gauge(1_000_000, 0, 1_000_000));
+        assert!(mon.healthy());
+    }
+
+    #[test]
+    fn empty_monitor_is_not_healthy() {
+        // No data is not evidence of health.
+        assert!(!MemoryMonitor::new().healthy());
+    }
+
+    #[test]
+    fn gauge_events_feed_the_dsl() {
+        let mut db = SummaryDb::new();
+        db.register(
+            "mem",
+            Handler::new(
+                Expr::KindIs("replica_mem"),
+                vec![
+                    ("peak_log", Aggregate::Max(Expr::Field("log_len"))),
+                    ("avg_retained", Aggregate::Average(Expr::Field("retained"))),
+                    (
+                        "over_bound",
+                        Aggregate::Sum(Expr::Gt(
+                            Box::new(Expr::Field("log_len")),
+                            Box::new(Expr::Const(16.0)),
+                        )),
+                    ),
+                ],
+            ),
+        );
+        db.observe(&gauge(8, 0, 8).to_event(0));
+        db.observe(&gauge(20, 8, 28).to_event(1));
+        let s = db.summary("mem").unwrap();
+        assert_eq!(s.values["peak_log"], 20.0);
+        assert_eq!(s.values["over_bound"], 1.0);
+        assert_eq!(s.matched, 2);
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use oceanstore_consensus::replica::{FaultMode, TierConfig};
+use oceanstore_consensus::replica::{CheckpointConfig, FaultMode, TierConfig};
 use oceanstore_crypto::schnorr::KeyPair;
 use oceanstore_sim::{NodeId, SimDuration, Simulator, Topology};
 
@@ -42,6 +42,10 @@ pub struct DeploymentOpts {
     pub repush: bool,
     /// Secondary indices that run [`SecondaryFault::ForgeOnServe`].
     pub byzantine_secondaries: Vec<usize>,
+    /// Checkpoint/GC knobs of the primary tier (long-horizon chaos
+    /// scenarios shrink the interval; the `checkpoint-off` feature flips
+    /// the default off).
+    pub checkpoint: CheckpointConfig,
     /// RNG/key seed.
     pub seed: u64,
 }
@@ -59,6 +63,7 @@ impl Default for DeploymentOpts {
             failover: true,
             repush: cfg!(not(feature = "repush-off")),
             byzantine_secondaries: Vec::new(),
+            checkpoint: CheckpointConfig::default(),
             seed: 1,
         }
     }
@@ -108,6 +113,7 @@ pub fn build_deployment(opts: &DeploymentOpts) -> Deployment {
             .map(|(node, kp)| (*node, kp.public()))
             .collect::<HashMap<_, _>>(),
         view_timeout: SimDuration::from_micros(opts.latency.as_micros() * 30),
+        checkpoint: opts.checkpoint.clone(),
     };
 
     // Binary tree over the secondaries (heap indexing).

@@ -106,8 +106,9 @@ pub struct Primary {
     /// Dissemination-tree children fed by this primary when it
     /// disseminates.
     children: Vec<(NodeId, ChildMode)>,
-    /// Executed agreement entries already turned into records.
-    drained: usize,
+    /// Executed agreement entries already turned into records (absolute
+    /// output index — stable across the agreement log's checkpoint GC).
+    drained: u64,
     /// Certificate assembly: (object, index) → (record, cert so far).
     assembling: HashMap<(Guid, u64), (CommitRecord, SerializationCert)>,
     /// Records whose certificate exists (assembled here or observed via
@@ -301,8 +302,15 @@ impl Primary {
     }
 
     fn drain_executed(&mut self, ctx: &mut Context<'_, ReplicaMsg>) {
-        while self.drained < self.pbft.executed().len() {
-            let entry = self.pbft.executed()[self.drained].clone();
+        while self.drained < self.pbft.executed_seen() {
+            // An entry below the agreement log's low-water mark can be
+            // truncated before we drain it only when a state-transfer jump
+            // skipped the slot entirely; the object state arrives through
+            // tier anti-entropy instead.
+            let Some(entry) = self.pbft.executed_entry(self.drained).cloned() else {
+                self.drained += 1;
+                continue;
+            };
             self.drained += 1;
             let Some((object, update_bytes)) = decode_payload(&entry.payload.bytes) else {
                 continue; // malformed payload agreed on; logged nowhere to go
