@@ -65,6 +65,27 @@ pub struct RequestId {
     pub seq: u64,
 }
 
+/// The digest agreement actually runs over: the payload digest bound to
+/// the request identity and the client's optimistic timestamp.
+///
+/// Pre-prepares, prepares, and commits all sign this value, so a `2m + 1`
+/// commit quorum certifies *which request* (and which timestamp) a slot
+/// executed — not just its payload bytes. Two places depend on that
+/// binding: a state-transfer receiver verifies a shipped slot's id and
+/// timestamp against the slot's commit certificate (a Byzantine state
+/// server cannot forge them without breaking the quorum), and a Byzantine
+/// leader cannot pair one payload with different request ids at different
+/// replicas (the ids would hash to different digests and never cross-count
+/// toward one quorum).
+pub fn slot_digest(payload: &Payload, id: RequestId, timestamp: u64) -> Digest {
+    sha1_concat(&[
+        &payload.digest(),
+        &(id.client.0 as u64).to_be_bytes(),
+        &id.seq.to_be_bytes(),
+        &timestamp.to_be_bytes(),
+    ])
+}
+
 /// A stable-checkpoint certificate: `2m + 1` matching signed
 /// [`PbftMsg::Checkpoint`] votes at the same `(seq, digest)`. Everything
 /// below `seq` is final tier-wide; a replica holding this certificate may
@@ -96,13 +117,15 @@ impl StableCert {
 pub struct StateEntry {
     /// Agreement sequence of the slot.
     pub seq: u64,
-    /// Digest the slot committed.
+    /// [`slot_digest`] the slot committed (binds payload, id, and
+    /// timestamp to the commit quorum in `proof`).
     pub digest: Digest,
     /// Request executed at the slot.
     pub id: RequestId,
     /// Client timestamp of the request.
     pub timestamp: u64,
-    /// The request payload (must hash to `digest`).
+    /// The request payload (with `id` and `timestamp`, must hash to
+    /// `digest`).
     pub payload: Payload,
     /// View the commit certificate was formed in.
     pub proof_view: u64,

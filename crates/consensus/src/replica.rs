@@ -20,7 +20,7 @@ use oceanstore_crypto::sha1::{sha1_concat, Digest};
 use oceanstore_sim::{Context, Message, NodeId, SimDuration};
 
 use crate::messages::{
-    set_sig, signing_bytes, Payload, PbftMsg, RequestId, StableCert, StateEntry,
+    set_sig, signing_bytes, slot_digest, Payload, PbftMsg, RequestId, StableCert, StateEntry,
 };
 
 /// Timer tag: view-change alarm (low bits carry the view it guards).
@@ -163,7 +163,8 @@ struct Instance {
 pub struct Committed {
     /// Agreement sequence number.
     pub seq: u64,
-    /// Payload digest.
+    /// Slot digest the quorum committed (binds payload, request id, and
+    /// timestamp; see `messages::slot_digest`).
     pub digest: Digest,
     /// The payload itself.
     pub payload: Payload,
@@ -203,6 +204,60 @@ pub struct ReplicaHealth {
     pub state_installs: u64,
     /// State responses (or embedded certificates) rejected as invalid.
     pub state_rejects: u64,
+    /// State-transfer fetches sent (each one costs the tier a round-trip,
+    /// so only signature-verified witness quorums may trigger them).
+    pub state_fetches: u64,
+    /// Per-client reply-cache entries retained (bounded per client).
+    pub reply_cache_len: u64,
+}
+
+/// Re-reply entries retained per client *below* its contiguous floor.
+/// Entries at or above the floor are never trimmed — they are what makes
+/// the dedup exact — so boundedness assumes clients issue sequences in
+/// roughly increasing order, which the tier's client does.
+const REPLY_TAIL: usize = 128;
+
+/// Per-client record of executed requests, surviving checkpoint
+/// truncation. `executed_ids` dedups within the retained window; this
+/// cache is what stops a retransmission of a request whose slot was
+/// truncated below the low-water mark from executing a second time
+/// (classic PBFT's per-client reply cache, adapted to pipelined clients:
+/// requests can execute out of client-sequence order here, so a single
+/// "last executed timestamp" cursor would wrongly reject in-flight
+/// requests and stall the client).
+#[derive(Debug, Default, Clone)]
+struct ClientExec {
+    /// Every client sequence below this mark has executed (the
+    /// contiguous floor — exact dedup for trimmed entries).
+    done_below: u64,
+    /// Executed client sequences not covered by the floor (plus a bounded
+    /// tail below it kept for re-replies), mapped to (slot, slot digest).
+    tail: BTreeMap<u64, (u64, Digest)>,
+}
+
+impl ClientExec {
+    /// Has this client sequence executed, at any point in history?
+    fn executed(&self, cseq: u64) -> bool {
+        cseq < self.done_below || self.tail.contains_key(&cseq)
+    }
+
+    /// The (slot, digest) to re-reply with, if still retained.
+    fn reply(&self, cseq: u64) -> Option<(u64, Digest)> {
+        self.tail.get(&cseq).copied()
+    }
+
+    /// Records an execution and trims the re-reply tail.
+    fn note(&mut self, cseq: u64, slot: u64, digest: Digest) {
+        self.tail.insert(cseq, (slot, digest));
+        while self.tail.contains_key(&self.done_below) {
+            self.done_below += 1;
+        }
+        while self.tail.len() > REPLY_TAIL
+            && self.tail.first_key_value().is_some_and(|(&k, _)| k < self.done_below)
+        {
+            self.tail.pop_first();
+        }
+    }
 }
 
 /// One tier member's view-change votes: voter index → its execution
@@ -264,6 +319,11 @@ pub struct Replica {
     /// re-execution below a stable checkpoint is impossible — the slot
     /// range is final tier-wide).
     executed_ids: HashMap<RequestId, u64>,
+    /// Per-client executed-request cache. Unlike `executed_ids` it
+    /// survives checkpoint truncation, so a client retransmission of a
+    /// request whose slot is below the low-water mark is answered from
+    /// here instead of executing a second time.
+    reply_cache: HashMap<NodeId, ClientExec>,
     /// Rolling state digest: chained over every executed slot, so replicas
     /// at the same frontier with the same history agree on it (the thing a
     /// checkpoint vote attests to).
@@ -289,6 +349,7 @@ pub struct Replica {
     st_installed: u64,
     st_installs: u64,
     st_rejects: u64,
+    st_fetches: u64,
     /// View-change votes: new_view → voter → prepared set.
     vc_votes: HashMap<u64, VcVotes>,
     /// Whether a view-change alarm is armed for the current view.
@@ -332,6 +393,7 @@ impl Replica {
             executed: Vec::new(),
             executed_dropped: 0,
             executed_ids: HashMap::new(),
+            reply_cache: HashMap::new(),
             state_digest: Digest::default(),
             low_water: 0,
             stable: None,
@@ -342,6 +404,7 @@ impl Replica {
             st_installed: 0,
             st_installs: 0,
             st_rejects: 0,
+            st_fetches: 0,
             vc_votes: HashMap::new(),
             alarm_armed: false,
             view_changes_sent: 0,
@@ -409,6 +472,17 @@ impl Replica {
         self.st_rejects
     }
 
+    /// State-transfer fetches this replica has sent.
+    pub fn state_fetches(&self) -> u64 {
+        self.st_fetches
+    }
+
+    /// Distinct checkpoint-vote sequences currently buffered (bounded-
+    /// memory diagnostics: vote spam must not grow this).
+    pub fn checkpoint_vote_seqs(&self) -> usize {
+        self.ckpt_votes.len()
+    }
+
     /// Memory-health snapshot (introspection gauges).
     pub fn health(&self) -> ReplicaHealth {
         ReplicaHealth {
@@ -425,6 +499,8 @@ impl Replica {
             state_bytes_installed: self.st_installed,
             state_installs: self.st_installs,
             state_rejects: self.st_rejects,
+            state_fetches: self.st_fetches,
+            reply_cache_len: self.reply_cache.values().map(|c| c.tail.len() as u64).sum(),
         }
     }
 
@@ -584,27 +660,39 @@ impl Replica {
         if !verify(*key, &signing_bytes(&check), sig) {
             return;
         }
-        self.requests.insert(id, (payload.clone(), timestamp));
-        if let Some(&seq) = self.assigned.get(&id) {
-            // Duplicate (likely a retransmission): re-send the reply if the
-            // request already executed, otherwise re-guard the stuck
-            // agreement with a view-change alarm (messages of the original
-            // round may all have been lost).
-            if !self.log.get(&seq).is_some_and(|i| i.executed) && !self.alarm_armed {
+        // Already executed — possibly at a slot truncated below the
+        // low-water mark, where `assigned`/`executed_ids` no longer
+        // remember it. Never re-propose (the tier's output would apply
+        // the request twice); re-send the reply from the per-client
+        // cache and stop. The request is also *not* re-inserted into
+        // `requests`: resurrecting a payload with no live assignment
+        // would read as a stuck request and churn view changes.
+        if self.reply_cache.get(&id.client).is_some_and(|c| c.executed(id.seq)) {
+            if self.fault != FaultMode::Silent {
+                if let Some((seq, digest)) =
+                    self.reply_cache.get(&id.client).and_then(|c| c.reply(id.seq))
+                {
+                    let my = self.index;
+                    let reply = self.signed(PbftMsg::Reply {
+                        id,
+                        seq,
+                        digest,
+                        replica: my,
+                        sig: Signature::default(),
+                    });
+                    ctx.send(id.client, reply);
+                }
+            }
+            return;
+        }
+        self.requests.insert(id, (payload, timestamp));
+        if self.assigned.contains_key(&id) {
+            // Duplicate of an in-flight request (likely a retransmission):
+            // re-guard the stuck agreement with a view-change alarm
+            // (messages of the original round may all have been lost).
+            if !self.alarm_armed {
                 self.alarm_armed = true;
                 ctx.set_timer(self.cfg.view_timeout, TIMER_VIEW_BASE + self.view);
-            }
-            if self.log.get(&seq).is_some_and(|i| i.executed) && self.fault != FaultMode::Silent {
-                let digest = payload.digest();
-                let my = self.index;
-                let reply = self.signed(PbftMsg::Reply {
-                    id,
-                    seq,
-                    digest,
-                    replica: my,
-                    sig: Signature::default(),
-                });
-                ctx.send(id.client, reply);
             }
             return;
         }
@@ -618,8 +706,8 @@ impl Replica {
     }
 
     fn propose(&mut self, ctx: &mut Context<'_, PbftMsg>, id: RequestId) {
-        let Some((payload, _ts)) = self.requests.get(&id) else { return };
-        let digest = payload.digest();
+        let Some((payload, ts)) = self.requests.get(&id) else { return };
+        let digest = slot_digest(payload, id, *ts);
         // Skip slots already seeded by re-proposal: after a view change
         // `next_seq` points at the lowest unfilled slot, and the slots
         // above it may hold adopted certificates.
@@ -949,9 +1037,10 @@ impl Replica {
             let digest = inst.digest.expect("checked above");
             let id = inst.request.expect("digest implies request");
             let Some((payload, timestamp)) = self.requests.get(&id).cloned() else { break };
-            // A faulty leader could propose a digest that doesn't match the
-            // request payload; never execute such a slot.
-            if payload.digest() != digest {
+            // A faulty leader could propose a digest that doesn't match
+            // the request payload (or its id/timestamp — the slot digest
+            // binds all three); never execute such a slot.
+            if slot_digest(&payload, id, timestamp) != digest {
                 break;
             }
             let inst = self.log.get_mut(&seq).expect("present");
@@ -967,7 +1056,12 @@ impl Replica {
             if self.ckpt_active() {
                 self.exec_proofs.insert(seq, (self.view, proof));
             }
-            if self.executed_ids.insert(id, seq).is_some() {
+            // Dedup spans the whole history: `executed_ids` covers the
+            // retained window, the per-client reply cache everything
+            // truncated below it.
+            let dup = self.executed_ids.insert(id, seq).is_some()
+                || self.reply_cache.get(&id.client).is_some_and(|c| c.executed(id.seq));
+            if dup {
                 // The request already executed at a lower slot (it was
                 // re-proposed across a view change before the original
                 // commit was visible here). The slot still commits — the
@@ -977,6 +1071,7 @@ impl Replica {
                 self.maybe_checkpoint(ctx);
                 continue;
             }
+            self.reply_cache.entry(id.client).or_default().note(id.seq, seq, digest);
             self.executed.push(Committed { seq, digest, payload, request: id, timestamp });
             // Reply to the client.
             let my = self.index;
@@ -1049,6 +1144,16 @@ impl Replica {
         sig: Signature,
     ) {
         if seq <= self.stable_seq() {
+            return;
+        }
+        // A faulty replica must not grow `ckpt_votes` without bound: only
+        // interval-aligned sequences within the admission window are real
+        // checkpoints, so anything else is dropped before it allocates a
+        // vote slot. A tier genuinely checkpointing above our window
+        // reaches us through state transfer and view-change votes, where
+        // its certificate travels whole and is verified as a unit.
+        let k = self.cfg.checkpoint.interval.max(1);
+        if !seq.is_multiple_of(k) || seq > self.high_water() {
             return;
         }
         let quorum = self.cfg.commit_quorum();
@@ -1154,7 +1259,13 @@ impl Replica {
     /// low-water mark the slot is final — drop. At or past the high-water
     /// mark we refuse to buffer — drop, but count the sender as a catch-up
     /// witness (see [`Replica::note_ahead`]).
-    fn admit_seq(&mut self, ctx: &mut Context<'_, PbftMsg>, seq: u64, claimant: usize) -> bool {
+    fn admit_seq(
+        &mut self,
+        ctx: &mut Context<'_, PbftMsg>,
+        seq: u64,
+        claimant: usize,
+        msg: &PbftMsg,
+    ) -> bool {
         if !self.ckpt_active() {
             return true;
         }
@@ -1162,7 +1273,14 @@ impl Replica {
             return false;
         }
         if seq >= self.high_water() {
-            self.note_ahead(ctx, claimant, seq);
+            // The message is dropped here, so its signature would never
+            // reach the normal (deferred) verification path — and an
+            // unverified claim must not count as a catch-up witness: one
+            // Byzantine sender could otherwise forge m + 1 distinct
+            // claimant indices and trigger fetch round-trips at will.
+            if self.verify_replica(claimant, msg) {
+                self.note_ahead(ctx, claimant, seq);
+            }
             return false;
         }
         true
@@ -1204,6 +1322,7 @@ impl Replica {
             replica: my,
             sig: Signature::default(),
         });
+        self.st_fetches += 1;
         ctx.send(self.cfg.members[target], msg);
     }
 
@@ -1300,11 +1419,13 @@ impl Replica {
         }
     }
 
-    /// Checks one state-transfer entry: payload hashes to the committed
-    /// digest, and the commit certificate holds `2m + 1` distinct valid
-    /// signers.
+    /// Checks one state-transfer entry: the payload, request id, and
+    /// timestamp hash to the committed slot digest — binding all three to
+    /// the quorum below, so a Byzantine state server cannot ship a valid
+    /// slot with a forged id or timestamp — and the commit certificate
+    /// holds `2m + 1` distinct valid signers over that digest.
     fn verify_state_entry(&self, entry: &StateEntry) -> bool {
-        if entry.payload.digest() != entry.digest {
+        if slot_digest(&entry.payload, entry.id, entry.timestamp) != entry.digest {
             return false;
         }
         let mut seen = HashSet::new();
@@ -1354,8 +1475,11 @@ impl Replica {
         self.next_exec = seq + 1;
         self.next_seq = self.next_seq.max(self.next_exec);
         self.state_digest = chain_digest(&self.state_digest, seq, &digest, id, timestamp);
-        if let std::collections::hash_map::Entry::Vacant(e) = self.executed_ids.entry(id) {
-            e.insert(seq);
+        let dup = self.executed_ids.contains_key(&id)
+            || self.reply_cache.get(&id.client).is_some_and(|c| c.executed(id.seq));
+        self.executed_ids.entry(id).or_insert(seq);
+        if !dup {
+            self.reply_cache.entry(id.client).or_default().note(id.seq, seq, digest);
             self.executed.push(Committed { seq, digest, payload, request: id, timestamp });
         }
         self.maybe_checkpoint(ctx);
@@ -1572,7 +1696,9 @@ impl Replica {
             .requests
             .iter()
             .filter(|(id, _)| {
-                !self.assigned.contains_key(*id) && !self.executed_ids.contains_key(*id)
+                !self.assigned.contains_key(*id)
+                    && !self.executed_ids.contains_key(*id)
+                    && !self.reply_cache.get(&id.client).is_some_and(|c| c.executed(id.seq))
             })
             .map(|(id, (_, ts))| (*ts, *id))
             .collect();
@@ -1584,7 +1710,8 @@ impl Replica {
                     Some((d, id)) => self.propose_at(ctx, s, d, id),
                     None => {
                         if let Some(id) = unassigned.next() {
-                            let d = self.requests[&id].0.digest();
+                            let (payload, ts) = &self.requests[&id];
+                            let d = slot_digest(payload, id, *ts);
                             self.propose_at(ctx, s, d, id);
                         }
                     }
@@ -1616,7 +1743,7 @@ impl Replica {
             }
             PbftMsg::PrePrepare { view, seq, digest, id, .. } => {
                 let leader = self.cfg.leader(*view);
-                if self.admit_seq(ctx, *seq, leader) && self.verify_replica(leader, &msg) {
+                if self.admit_seq(ctx, *seq, leader, &msg) && self.verify_replica(leader, &msg) {
                     self.on_preprepare(ctx, *view, *seq, *digest, *id);
                 }
             }
@@ -1625,7 +1752,7 @@ impl Replica {
                 // only the protocol-state checks happen at arrival.
                 if *view == self.view
                     && *replica < self.cfg.n()
-                    && self.admit_seq(ctx, *seq, *replica)
+                    && self.admit_seq(ctx, *seq, *replica, &msg)
                 {
                     self.on_prepare(ctx, *seq, *digest, *replica, *sig);
                 }
@@ -1633,7 +1760,7 @@ impl Replica {
             PbftMsg::Commit { view, seq, digest, replica, sig } => {
                 if *view == self.view
                     && *replica < self.cfg.n()
-                    && self.admit_seq(ctx, *seq, *replica)
+                    && self.admit_seq(ctx, *seq, *replica, &msg)
                 {
                     self.on_commit(ctx, *seq, *digest, *replica, *sig);
                 }

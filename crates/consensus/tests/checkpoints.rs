@@ -5,7 +5,7 @@
 
 use oceanstore_consensus::harness::{build_tier_custom, run_updates, run_updates_batched};
 use oceanstore_consensus::messages::{
-    set_sig, signing_bytes, Payload, PbftMsg, RequestId, StableCert, StateEntry,
+    set_sig, signing_bytes, slot_digest, Payload, PbftMsg, RequestId, StableCert, StateEntry,
 };
 use oceanstore_consensus::node::PbftNode;
 use oceanstore_consensus::replica::{CheckpointConfig, FaultMode, Replica};
@@ -23,6 +23,11 @@ fn ckpt(interval: u64, window: u64) -> CheckpointConfig {
 /// derivation the harness uses), so tests can craft real signatures.
 fn replica_key(seed: u64, i: usize) -> KeyPair {
     KeyPair::from_seed(format!("tier-{seed}-replica-{i}").as_bytes())
+}
+
+/// The harness client's keypair, for crafting authentic client requests.
+fn client_key(seed: u64) -> KeyPair {
+    KeyPair::from_seed(format!("tier-{seed}-client").as_bytes())
 }
 
 fn signed_by(kp: &KeyPair, mut msg: PbftMsg) -> PbftMsg {
@@ -121,6 +126,126 @@ fn wiped_rejoin_jumps_via_certificate() {
     assert!(r3.executed_seen() < frontier, "a wiped replica cannot replay pre-jump output");
 }
 
+/// A client retransmission of a request whose slot was truncated below
+/// the low-water mark must not execute a second time: the per-client
+/// reply cache survives checkpoint GC and answers it instead.
+#[test]
+fn gcd_request_retransmits_execute_once() {
+    let seed = 21;
+    let mut ts = build_tier_custom(1, WAN, seed, &[], ckpt(8, 16));
+    let id = RequestId { client: NodeId(4), seq: 999 };
+    let request = signed_by(
+        &client_key(seed),
+        PbftMsg::Request {
+            id,
+            timestamp: 7,
+            payload: Payload::from_bytes(vec![0xab; 32]),
+            sig: Signature::default(),
+        },
+    );
+    for i in 0..4 {
+        ts.sim.inject(NodeId(4), NodeId(i), request.clone());
+    }
+    ts.sim.run_to_quiescence(5_000_000);
+    for i in 0..4 {
+        assert_eq!(replica(&ts, i).executed_seen(), 1, "replica {i} missed the request");
+    }
+    // Run the tier well past a stable checkpoint so the slot — and its
+    // `executed_ids` dedup entry — is truncated.
+    run_updates_batched(&mut ts, 128, 40, 4);
+    let frontier = replica(&ts, 0).next_exec();
+    assert_eq!(frontier, 41);
+    for i in 0..4 {
+        let r = replica(&ts, i);
+        assert!(r.low_water() > 1, "replica {i} never truncated the slot");
+        assert_eq!(r.executed_seen(), 41);
+    }
+    // The retransmission: the same signed message, long after GC. All
+    // replies of the original round may have been lost, so every replica
+    // (the leader included) sees it as fresh traffic.
+    for i in 0..4 {
+        ts.sim.inject(NodeId(4), NodeId(i), request.clone());
+    }
+    ts.sim.run_to_quiescence(5_000_000);
+    for i in 0..4 {
+        let r = replica(&ts, i);
+        assert_eq!(r.executed_seen(), 41, "replica {i} re-executed a GC'd request");
+        assert_eq!(r.next_exec(), frontier, "replica {i} grew new slots");
+        assert!(r.health().reply_cache_len >= 1, "replica {i} lost its reply cache");
+    }
+}
+
+/// Checkpoint votes at non-interval-aligned or above-window sequences
+/// never allocate vote state: one faulty replica with a valid key cannot
+/// grow `ckpt_votes` without bound.
+#[test]
+fn checkpoint_vote_spam_stays_bounded() {
+    let seed = 22;
+    let mut ts = build_tier_custom(1, WAN, seed, &[], ckpt(8, 64));
+    run_updates(&mut ts, 128, 2);
+    assert_eq!(replica(&ts, 0).checkpoint_vote_seqs(), 0);
+    let kp = replica_key(seed, 3);
+    // Unaligned sequences, aligned-but-above-window sequences, and a few
+    // absurd ones — all signed with replica 3's genuine key.
+    let bogus: [u64; 10] = [1, 2, 3, 7, 9, 63, 72, 800, 1 << 40, (1 << 40) + 8];
+    for seq in bogus {
+        let vote = signed_by(
+            &kp,
+            PbftMsg::Checkpoint { seq, digest: [5; 20], replica: 3, sig: Signature::default() },
+        );
+        ts.sim.inject(NodeId(3), NodeId(0), vote);
+    }
+    ts.sim.run_to_quiescence(100_000);
+    let r0 = replica(&ts, 0);
+    assert_eq!(r0.checkpoint_vote_seqs(), 0, "bogus vote sequences allocated state");
+    assert_eq!(r0.low_water(), 0);
+    assert!(r0.stable_checkpoint().is_none());
+    // Control: an interval-aligned in-window vote is recorded.
+    let vote = signed_by(
+        &kp,
+        PbftMsg::Checkpoint { seq: 8, digest: [5; 20], replica: 3, sig: Signature::default() },
+    );
+    ts.sim.inject(NodeId(3), NodeId(0), vote);
+    ts.sim.run_to_quiescence(100_000);
+    assert_eq!(replica(&ts, 0).checkpoint_vote_seqs(), 1, "genuine vote refused");
+}
+
+/// Above-window agreement traffic counts as a catch-up witness only if
+/// its signature verifies: one Byzantine sender forging `m + 1` claimant
+/// indices never triggers a state fetch, while the same claims under
+/// genuine signatures do (the control).
+#[test]
+fn forged_catchup_witnesses_never_trigger_fetch() {
+    let seed = 23;
+    for forged in [true, false] {
+        let mut ts = build_tier_custom(1, WAN, seed, &[], ckpt(8, 16));
+        run_updates(&mut ts, 128, 2);
+        let ahead_seq = replica(&ts, 0).high_water() + 4;
+        let decoy = KeyPair::from_seed(b"not-a-tier-key");
+        for v in [1usize, 2] {
+            let kp = if forged { decoy.clone() } else { replica_key(seed, v) };
+            let msg = signed_by(
+                &kp,
+                PbftMsg::Commit {
+                    view: 0,
+                    seq: ahead_seq,
+                    digest: [5; 20],
+                    replica: v,
+                    sig: Signature::default(),
+                },
+            );
+            ts.sim.inject(NodeId(v), NodeId(0), msg);
+        }
+        ts.sim.run_to_quiescence(100_000);
+        let fetches = replica(&ts, 0).state_fetches();
+        if forged {
+            assert_eq!(fetches, 0, "forged witnesses triggered a fetch");
+        } else {
+            assert_eq!(fetches, 1, "genuine witnesses must trigger the fetch");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -158,25 +283,36 @@ proptest! {
     }
 
     /// State transfer rejects a suffix whose digests mismatch the payload,
-    /// whose commit proofs are signed by the wrong keys, or whose embedded
-    /// certificate lacks a quorum — while a genuine suffix installs.
+    /// whose request id or timestamp differ from what the commit quorum
+    /// signed (a Byzantine state server shipping forged metadata on a
+    /// genuinely committed slot), whose commit proofs are signed by the
+    /// wrong keys, or whose embedded certificate lacks a quorum — while a
+    /// genuine suffix installs.
     #[test]
     fn state_transfer_rejects_mismatched_suffix(
         seed in any::<u64>(),
         payload_bytes in proptest::collection::vec(any::<u8>(), 1..64),
-        case in 0usize..4,
+        case in 0usize..6,
     ) {
         let mut ts = build_tier_custom(1, WAN, seed, &[], ckpt(8, 64));
         run_updates(&mut ts, 128, 3);
         let frontier = replica(&ts, 0).next_exec();
         prop_assert_eq!(frontier, 3);
         let payload = Payload::from_bytes(payload_bytes);
-        let honest_digest = payload.digest();
-        let mut digest = honest_digest;
+        // The digest (and the proof below) commit to this id/timestamp;
+        // cases 4 and 5 then ship *different* metadata in the entry.
+        let signed_id = RequestId { client: NodeId(4), seq: 999 };
+        let signed_ts = 7;
+        let mut digest = slot_digest(&payload, signed_id, signed_ts);
         if case == 0 {
             digest[0] ^= 0xff; // payload no longer hashes to the digest
         }
-        let id = RequestId { client: NodeId(4), seq: 999 };
+        let id = if case == 4 {
+            RequestId { client: NodeId(4), seq: 1000 } // forged request id
+        } else {
+            signed_id
+        };
+        let timestamp = if case == 5 { signed_ts + 1 } else { signed_ts };
         let proof_keys: Vec<KeyPair> = if case == 1 {
             // Proof signed by keys that are not the tier's.
             (0..4).map(|i| KeyPair::from_seed(format!("imposter-{i}").as_bytes())).collect()
@@ -201,7 +337,7 @@ proptest! {
             seq: frontier,
             digest,
             id,
-            timestamp: 7,
+            timestamp,
             payload,
             proof_view: 0,
             proof,
@@ -235,7 +371,7 @@ proptest! {
         let r0 = replica(&ts, 0);
         if case == 3 {
             // Control: a fully genuine entry must install — the rejection
-            // cases above are not vacuous.
+            // cases are not vacuous.
             prop_assert_eq!(r0.next_exec(), frontier + 1, "genuine suffix refused");
             prop_assert!(r0.state_installs() >= 1);
             prop_assert_eq!(r0.state_rejects(), 0);
