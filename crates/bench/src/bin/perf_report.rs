@@ -1,17 +1,18 @@
 //! Measures the fast-path kernels against their frozen "before"
-//! implementations and emits a machine-readable `BENCH_PR6.json`.
+//! implementations and emits a machine-readable `BENCH_PR7.json`.
 //!
 //! ```text
 //! cargo run --release -p oceanstore-bench --bin perf_report
 //! cargo run --release -p oceanstore-bench --bin perf_report -- --small --out /tmp/b.json
-//! cargo run --release -p oceanstore-bench --bin perf_report -- --diff-frozen BENCH_PR5.json BENCH_PR6.json
+//! cargo run --release -p oceanstore-bench --bin perf_report -- --diff-frozen BENCH_PR6.json BENCH_PR7.json
 //! ```
 //!
 //! Flags:
 //! - `--small`: reduced workload sizes (CI smoke preset).
 //! - `--check`: exit nonzero unless the PR's speedup bars hold
 //!   (gf256 ≥ 4x, RS encode ≥ 3x, engine events/sec ≥ 1.5x,
-//!   Schnorr batch-32 verify ≥ 3x, tier commit throughput ≥ 1.1x).
+//!   Schnorr batch-32 verify ≥ 3x, tier commit throughput ≥ 1.1x,
+//!   shard-sweep scale-out ≥ 2x over the single-ring tier).
 //! - `--min-gf256-mbps <N>`: absolute throughput floor for the fast
 //!   gf256 kernel (generous; catches catastrophic regressions in CI
 //!   without being sensitive to runner speed).
@@ -38,6 +39,7 @@ use oceanstore_erasure::rs::ReedSolomon;
 use oceanstore_sim::engine::{Context, Message, Protocol, Simulator};
 use oceanstore_sim::time::{SimDuration, SimTime};
 use oceanstore_sim::topology::{NodeId, Topology};
+use oceanstore_workload::{run_workload, WorkloadSpec};
 
 struct Args {
     small: bool,
@@ -52,7 +54,7 @@ fn parse_args() -> Args {
         small: false,
         check: false,
         min_gf256_mbps: None,
-        out: "BENCH_PR6.json".to_string(),
+        out: "BENCH_PR7.json".to_string(),
         diff_frozen: None,
     };
     let mut it = std::env::args().skip(1);
@@ -680,6 +682,66 @@ fn bench_engine(small: bool) -> Vec<Bench> {
     out
 }
 
+// ---------------------------------------------------------- shard sweep --
+
+/// Scale-out macro bars: committed updates per second of *sim time*
+/// through 1, 4, and 16 consensus rings under a fixed open-loop offered
+/// load chosen to saturate the single-ring tier. The workload harness
+/// pre-generates a Poisson arrival schedule (Zipf-popular objects, pure
+/// writes) and injects it regardless of completion, so a saturated
+/// configuration visibly commits less than it was offered instead of
+/// silently slowing the clients down. The rings-4 and rings-16 rows carry
+/// the rings-1 number as their "before" side, making the speedup column
+/// the scaling factor. Everything here is measured in simulated time from
+/// a seeded run, so the numbers are bit-stable across hosts and the
+/// frozen report diffs exactly.
+fn bench_shard_sweep(small: bool) -> Vec<Bench> {
+    let spec = |rings| WorkloadSpec {
+        rings,
+        m: 1,
+        secondaries: if small { 8 } else { 16 },
+        clients: 4,
+        objects: if small { 64 } else { 128 },
+        zipf_s: 0.9,
+        write_fraction: 1.0,
+        rate: if small { 6000.0 } else { 8000.0 },
+        duration: SimDuration::from_millis(if small { 750 } else { 1500 }),
+        drain: SimDuration::from_millis(500),
+        latency: SimDuration::from_millis(20),
+        seed: 7,
+    };
+    let horizon_secs = (spec(1).duration + spec(1).drain).as_micros() as f64 / 1e6;
+    let per_sec = |rings: usize| {
+        let r = run_workload(&spec(rings));
+        assert_eq!(r.lost, 0, "rings={rings}: committed updates lost");
+        assert_eq!(
+            r.committed + r.pending,
+            r.offered,
+            "rings={rings}: outcomes unaccounted for"
+        );
+        r.committed as f64 / horizon_secs
+    };
+    let (r1, r4, r16) = (per_sec(1), per_sec(4), per_sec(16));
+    assert!(
+        r1 < r4 && r4 <= r16,
+        "shard sweep did not scale: rings1={r1:.0}/s rings4={r4:.0}/s rings16={r16:.0}/s"
+    );
+    let rows = if small {
+        ["workload/shard_sweep_committed_per_sec/rings1_small",
+         "workload/shard_sweep_committed_per_sec/rings4_small",
+         "workload/shard_sweep_committed_per_sec/rings16_small"]
+    } else {
+        ["workload/shard_sweep_committed_per_sec/rings1",
+         "workload/shard_sweep_committed_per_sec/rings4",
+         "workload/shard_sweep_committed_per_sec/rings16"]
+    };
+    vec![
+        Bench { name: rows[0], unit: "updates/s", before: None, after: r1 },
+        Bench { name: rows[1], unit: "updates/s", before: Some(r1), after: r4 },
+        Bench { name: rows[2], unit: "updates/s", before: Some(r1), after: r16 },
+    ]
+}
+
 // ---------------------------------------------------------------- chaos --
 
 fn bench_chaos(small: bool) -> Vec<Bench> {
@@ -717,7 +779,7 @@ fn render_json(preset: &str, benches: &[Bench]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"oceanstore-perf-report/v1\",\n");
-    s.push_str("  \"pr\": 6,\n");
+    s.push_str("  \"pr\": 7,\n");
     s.push_str(&format!("  \"preset\": \"{preset}\",\n"));
     s.push_str(&format!(
         "  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}}},\n",
@@ -828,6 +890,7 @@ fn main() {
     benches.extend(bench_consensus(args.small));
     benches.extend(bench_long_horizon(args.small));
     benches.extend(bench_engine(args.small));
+    benches.extend(bench_shard_sweep(args.small));
     benches.extend(bench_chaos(args.small));
 
     println!("{:<44} {:>12} {:>12} {:>8}  unit", "bench", "before", "after", "speedup");
@@ -860,6 +923,10 @@ fn main() {
             ("engine/events_per_sec", 1.5),
             ("schnorr/verify/batch32", 3.0),
             ("consensus/committed_updates_per_sec", 1.1),
+            // rings1 is the baseline row (no "before"); the scale-out bar
+            // applies to the sharded configurations only.
+            ("workload/shard_sweep_committed_per_sec/rings4", 2.0),
+            ("workload/shard_sweep_committed_per_sec/rings16", 2.0),
         ] {
             for b in benches.iter().filter(|b| b.name.starts_with(prefix)) {
                 match b.speedup() {

@@ -44,7 +44,7 @@ fn main() {
                 seed,
                 ..DeploymentOpts::default()
             });
-            let n = dep.primaries.len();
+            let n = dep.primaries().len();
             // The first `crashed` rotation slots of record 0 must avoid
             // member 0 (crashing the agreement leader would measure view
             // changes, not failover).
@@ -53,7 +53,7 @@ fn main() {
                 .find(|g| (0..=crashed as u64).all(|a| disseminator_for(n, g, 0, a) != 0))
                 .expect("some label avoids the leader slot");
             let victims: Vec<_> = (0..crashed as u64)
-                .map(|a| dep.primaries[disseminator_for(n, &object, 0, a)])
+                .map(|a| dep.primaries()[disseminator_for(n, &object, 0, a)])
                 .collect();
             let sched = victims
                 .iter()
@@ -70,7 +70,7 @@ fn main() {
             let deadline = t(20_000);
             let certified_at = loop {
                 let done = dep
-                    .primaries
+                    .primaries()
                     .iter()
                     .filter(|&&p| !dep.sim.is_down(p))
                     .filter_map(|&p| dep.sim.node(p).as_primary())
@@ -83,7 +83,7 @@ fn main() {
                 }
             };
             let retries: u64 = dep
-                .primaries
+                .primaries()
                 .iter()
                 .map(|&p| dep.sim.stats().class_sent_by(p, "replica/sharerebroadcast").messages)
                 .sum();

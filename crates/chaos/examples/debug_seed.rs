@@ -13,7 +13,7 @@ fn main() {
     for e in &out.trace {
         println!("  trace {:>9}us {}", e.at_micros, e.description);
     }
-    for &p in &dep.primaries {
+    for &p in dep.primaries() {
         let prim = dep.sim.node(p).as_primary().unwrap();
         println!(
             "  primary {:?}: view={} vc_sent={} next_exec={} down={} pending_push={}",
@@ -29,7 +29,7 @@ fn main() {
     let client = dep.sim.node(c).as_client().unwrap();
     println!("  client {:?}: pending={}", c, client.pending_count());
     let object = oceanstore_naming::guid::Guid::from_label(&format!("fuzz-{seed}"));
-    for &p in &dep.primaries {
+    for &p in dep.primaries() {
         let prim = dep.sim.node(p).as_primary().unwrap();
         let records: Vec<String> = prim
             .store

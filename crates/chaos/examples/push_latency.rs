@@ -46,14 +46,14 @@ fn measure(repush: bool, latency_ms: u64) -> (u64, u64, u64) {
         seed: 1,
         ..DeploymentOpts::default()
     });
-    let n = dep.primaries.len();
+    let n = dep.primaries().len();
     // Keep the disseminator off primary 0, the root's anti-entropy
     // parent, so the repush-off leg's repair path stays intact.
     let object = (0..)
         .map(|k| Guid::from_label(&format!("push-latency-{k}")))
         .find(|g| disseminator_for(n, g, 0, 0) != 0)
         .expect("some label dodges primary 0");
-    let dissem = dep.primaries[disseminator_for(n, &object, 0, 0)];
+    let dissem = dep.primaries()[disseminator_for(n, &object, 0, 0)];
     let root = dep.secondaries[0];
     // Seed every secondary with the tentative copy so the root's
     // summaries mention the object even before any commit reaches it.
@@ -72,7 +72,7 @@ fn measure(repush: bool, latency_ms: u64) -> (u64, u64, u64) {
         node.as_client_mut().expect("client").submit(ctx, object, &update)
     });
     let t_cert = ms_until(&mut dep, |d| {
-        d.primaries
+        d.primaries()
             .iter()
             .any(|&p| d.sim.node(p).as_primary().is_some_and(|pr| pr.has_cert(&object, 0)))
     });

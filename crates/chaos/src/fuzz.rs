@@ -168,7 +168,7 @@ fn random_schedule(
 ) -> (Schedule, Vec<(u64, u64)>) {
     let turbulence = opts.turbulence_ms;
     let total = dep.sim.len();
-    let m = dep.cfg.m;
+    let m = dep.cfg().m;
     let mut sched = Schedule::new();
     let mut book = OutageBook::default();
     for fault_i in 0..opts.faults {
@@ -197,7 +197,7 @@ fn random_schedule(
                 // the heal).
                 for _ in 0..8 {
                     let w = draw_window(rng, 500);
-                    let slot = rng.gen_range(0..dep.primaries.len());
+                    let slot = rng.gen_range(0..dep.primaries().len());
                     let mut down = book.primaries_down_during(w);
                     down.insert(slot);
                     if down.len() <= m
@@ -206,8 +206,8 @@ fn random_schedule(
                     {
                         book.primary_windows.push((w.0, w.1, slot));
                         sched = sched
-                            .at(t(w.0), FaultAction::Crash(dep.primaries[slot]))
-                            .at(t(w.1), FaultAction::Recover(dep.primaries[slot]));
+                            .at(t(w.0), FaultAction::Crash(dep.primaries()[slot]))
+                            .at(t(w.1), FaultAction::Recover(dep.primaries()[slot]));
                         break;
                     }
                 }
@@ -251,7 +251,7 @@ fn random_schedule(
             5 => {
                 // Flap the link between a random primary and the root.
                 let (start, end) = draw_window(rng, 500);
-                let p = dep.primaries[rng.gen_range(0..dep.primaries.len())];
+                let p = dep.primaries()[rng.gen_range(0..dep.primaries().len())];
                 let period = SimDuration::from_millis(rng.gen_range(300..700));
                 sched = sched.flapping_link(p, dep.secondaries[0], 1.0, period, t(start), t(end));
             }
@@ -270,7 +270,7 @@ fn random_schedule(
                 for _ in 0..8 {
                     let w = draw_window(rng, 500);
                     let k = rng.gen_range(1..=m);
-                    let mut slots: Vec<usize> = (0..dep.primaries.len()).collect();
+                    let mut slots: Vec<usize> = (0..dep.primaries().len()).collect();
                     slots.shuffle(rng);
                     slots.truncate(k);
                     let mut down = book.primaries_down_during(w);
@@ -279,7 +279,7 @@ fn random_schedule(
                         continue;
                     }
                     let mut islanded: Vec<NodeId> =
-                        slots.iter().map(|&i| dep.primaries[i]).collect();
+                        slots.iter().map(|&i| dep.primaries()[i]).collect();
                     for &s in &dep.secondaries[1..] {
                         if rng.gen_bool(0.2) {
                             islanded.push(s);
@@ -310,10 +310,10 @@ fn random_schedule(
                     {
                         continue;
                     }
-                    let mut slots: Vec<usize> = (0..dep.primaries.len()).collect();
+                    let mut slots: Vec<usize> = (0..dep.primaries().len()).collect();
                     slots.shuffle(rng);
                     slots.truncate(m + 1);
-                    let islanded: Vec<NodeId> = slots.iter().map(|&i| dep.primaries[i]).collect();
+                    let islanded: Vec<NodeId> = slots.iter().map(|&i| dep.primaries()[i]).collect();
                     book.partition_windows.push(w);
                     book.quorum_cuts.push(w);
                     sched = sched.island(total, &islanded, t(w.0), t(w.1));
@@ -505,7 +505,7 @@ mod tests {
             let mut open: HashMap<usize, u64> = HashMap::new();
             let mut windows: Vec<(u64, u64)> = Vec::new();
             let primary_set: std::collections::HashSet<usize> =
-                dep.primaries.iter().map(|p| p.0).collect();
+                dep.primaries().iter().map(|p| p.0).collect();
             for (at, a) in sched.events() {
                 match a {
                     FaultAction::Crash(n) if primary_set.contains(&n.0) => {
@@ -553,12 +553,12 @@ mod tests {
                         _ => None,
                     })
                     .expect("cut start has a partition event");
-                let islanded = dep.primaries.iter().filter(|p| group[p.0] == 1).count();
-                assert_eq!(islanded, dep.cfg.m + 1, "seed {seed}: cut islands wrong count");
+                let islanded = dep.primaries().iter().filter(|p| group[p.0] == 1).count();
+                assert_eq!(islanded, dep.cfg().m + 1, "seed {seed}: cut islands wrong count");
                 // No primary crash window may overlap the cut.
                 for (at, a) in sched.events() {
                     if let FaultAction::Crash(n) = a {
-                        if dep.primaries.contains(n) {
+                        if dep.primaries().contains(n) {
                             let at = at.as_micros() / 1_000;
                             assert!(
                                 !(start..end).contains(&at),

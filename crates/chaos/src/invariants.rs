@@ -28,10 +28,11 @@ impl InvariantReport {
     }
 }
 
-/// Highest committed index any *live* primary reached for `object` (the
-/// tier's authoritative frontier).
+/// Highest committed index any *live* primary of the object's owning
+/// ring reached for `object` (the tier's authoritative frontier).
 pub fn committed_frontier(dep: &Deployment, object: &Guid) -> u64 {
-    dep.primaries
+    dep.ring_for(object)
+        .primaries
         .iter()
         .filter(|&&p| !dep.sim.is_down(p))
         .filter_map(|&p| dep.sim.node(p).as_primary())
@@ -95,11 +96,12 @@ pub fn check_no_committed_loss(dep: &Deployment, object: &Guid, expected: u64) -
 /// not leave a committed update stuck uncertified in the tier.
 pub fn check_every_commit_certifies(dep: &Deployment, objects: &[Guid]) -> InvariantReport {
     let mut report = InvariantReport::default();
-    let threshold = dep.cfg.m + 1;
     for object in objects {
+        let ring = dep.ring_for(object);
+        let threshold = ring.cfg.m + 1;
         let frontier = committed_frontier(dep, object);
         for index in 0..frontier {
-            let certified = dep
+            let certified = ring
                 .primaries
                 .iter()
                 .filter(|&&p| !dep.sim.is_down(p))
@@ -109,7 +111,7 @@ pub fn check_every_commit_certifies(dep: &Deployment, objects: &[Guid]) -> Invar
                         r.index == index
                             && r.cert.verify_threshold(
                                 &r.signing_bytes(),
-                                &dep.cfg.replica_keys,
+                                &ring.cfg.replica_keys,
                                 threshold,
                             )
                     })
@@ -130,7 +132,6 @@ pub fn check_every_commit_certifies(dep: &Deployment, objects: &[Guid]) -> Invar
 /// the ingest checks.
 pub fn check_no_uncertified_records(dep: &Deployment) -> InvariantReport {
     let mut report = InvariantReport::default();
-    let threshold = dep.cfg.m + 1;
     for &s in &dep.secondaries {
         if dep.sim.is_down(s) {
             continue;
@@ -141,8 +142,11 @@ pub fn check_no_uncertified_records(dep: &Deployment) -> InvariantReport {
         }
         let objects: Vec<Guid> = sec.store.guids().copied().collect();
         for object in objects {
+            // Certificates are signed by the object's owning ring.
+            let ring = dep.ring_for(&object);
+            let threshold = ring.cfg.m + 1;
             for r in sec.store.records_from(&object, 0) {
-                if !r.cert.verify_threshold(&r.signing_bytes(), &dep.cfg.replica_keys, threshold) {
+                if !r.cert.verify_threshold(&r.signing_bytes(), &ring.cfg.replica_keys, threshold) {
                     report.failures.push(format!(
                         "uncertified: secondary {s:?} stored {object:?}[{}] without a valid cert",
                         r.index

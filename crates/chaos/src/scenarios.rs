@@ -174,12 +174,12 @@ pub fn leader_crash_view_change(seed: u64) -> ScenarioOutcome {
     // certificate assembly past the dead member. (An earlier version of
     // this scenario dodged member 0 for every record, which masked the
     // single-disseminator liveness hole this now exercises.)
-    let n = dep.primaries.len();
+    let n = dep.primaries().len();
     let object = (0..)
         .map(|k| Guid::from_label(&format!("chaos-view-{k}")))
         .find(|g| disseminator_for(n, g, 0, 0) == 0)
         .expect("some label lands on member 0");
-    let leader = dep.primaries[0];
+    let leader = dep.primaries()[0];
     let root = dep.secondaries[0];
 
     let sched = Schedule::new().at(t(500), FaultAction::Crash(leader));
@@ -216,7 +216,7 @@ pub fn disseminator_crash(failover: bool, seed: u64) -> ScenarioOutcome {
         seed,
         ..DeploymentOpts::default()
     });
-    let n = dep.primaries.len();
+    let n = dep.primaries().len();
     // Record 0's disseminator must not be member 0: crashing the PBFT
     // leader would entangle this scenario with view changes, which
     // `leader_crash_view_change` covers.
@@ -225,7 +225,7 @@ pub fn disseminator_crash(failover: bool, seed: u64) -> ScenarioOutcome {
         .find(|g| disseminator_for(n, g, 0, 0) != 0)
         .expect("some label dodges member 0");
     let victim_idx = disseminator_for(n, &object, 0, 0);
-    let victim = dep.primaries[victim_idx];
+    let victim = dep.primaries()[victim_idx];
 
     let sched = Schedule::new().at(t(500), FaultAction::Crash(victim));
     let mut trace = run_schedule(&mut dep.sim, &sched, t(1_000));
@@ -247,7 +247,7 @@ pub fn disseminator_crash(failover: bool, seed: u64) -> ScenarioOutcome {
             report.failures.push(format!("crashed disseminator {victim:?} sent retries"));
         }
         let live_retries: u64 = dep
-            .primaries
+            .primaries()
             .iter()
             .filter(|&&p| p != victim)
             .map(|&p| stats.class_sent_by(p, "replica/sharerebroadcast").messages)
@@ -277,7 +277,7 @@ pub fn quorum_loss(seed: u64) -> ScenarioOutcome {
     });
     let object = Guid::from_label("chaos-quorum-loss");
     let total = dep.sim.len();
-    let islanded: Vec<NodeId> = dep.primaries[..dep.cfg.m + 1].to_vec();
+    let islanded: Vec<NodeId> = dep.primaries()[..dep.cfg().m + 1].to_vec();
 
     // One update commits on the intact tier.
     submit(&mut dep, object, b"pre-cut");
@@ -291,7 +291,7 @@ pub fn quorum_loss(seed: u64) -> ScenarioOutcome {
     let tier_state = |dep: &Deployment| {
         let mut views = Vec::new();
         let mut vc_sent = 0u64;
-        for &p in &dep.primaries {
+        for &p in dep.primaries() {
             let pbft = dep.sim.node(p).as_primary().expect("primary").pbft();
             views.push(pbft.view());
             vc_sent += pbft.view_changes_sent();
@@ -408,14 +408,14 @@ pub fn link_flap(seed: u64) -> ScenarioOutcome {
         seed,
         ..DeploymentOpts::default()
     });
-    let n = dep.primaries.len();
+    let n = dep.primaries().len();
     // Record 1 (the one submitted mid-flap) must be disseminated by
     // member 0, whose link to the root is the one flapping.
     let object = (0..)
         .map(|k| Guid::from_label(&format!("chaos-flap-{k}")))
         .find(|g| disseminator_for(n, g, 1, 0) == 0)
         .expect("some label lands record 1 on member 0");
-    let p0 = dep.primaries[0];
+    let p0 = dep.primaries()[0];
     let root = dep.secondaries[0];
 
     submit(&mut dep, object, b"calm-before");

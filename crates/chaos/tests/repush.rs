@@ -78,9 +78,9 @@ fn dropped_push_recovers_via_repush_within_retry_deadlines() {
         seed: 5,
         ..DeploymentOpts::default()
     });
-    let n = dep.primaries.len();
+    let n = dep.primaries().len();
     let object = object_off_parent(n, "repush-on");
-    let dissem = dep.primaries[disseminator_for(n, &object, 0, 0)];
+    let dissem = dep.primaries()[disseminator_for(n, &object, 0, 0)];
     let root = dep.secondaries[0];
     dep.sim.set_link_drop(dissem, root, 1.0);
 
@@ -107,9 +107,9 @@ fn dropped_push_recovers_via_anti_entropy_with_repush_disabled() {
         seed: 5,
         ..DeploymentOpts::default()
     });
-    let n = dep.primaries.len();
+    let n = dep.primaries().len();
     let object = object_off_parent(n, "repush-off");
-    let dissem = dep.primaries[disseminator_for(n, &object, 0, 0)];
+    let dissem = dep.primaries()[disseminator_for(n, &object, 0, 0)];
     let root = dep.secondaries[0];
     let clients = dep.clients.clone();
     let fanout = dep.secondaries.len();
@@ -157,9 +157,9 @@ proptest! {
             seed,
             ..DeploymentOpts::default()
         });
-        let n = dep.primaries.len();
+        let n = dep.primaries().len();
         let object = object_off_parent(n, "repush-prop");
-        let dissem = dep.primaries[disseminator_for(n, &object, 0, 0)];
+        let dissem = dep.primaries()[disseminator_for(n, &object, 0, 0)];
         let root = dep.secondaries[0];
         dep.sim.set_link_drop(dissem, root, 1.0);
 

@@ -1,0 +1,211 @@
+//! Ring-isolation chaos: sharded consensus means one ring's total outage
+//! is *that ring's* outage. Crashing an entire primary tier mid-run must
+//! not stall the other rings — their objects keep committing and
+//! disseminating through the shared secondary substrate — and the whole
+//! multi-ring schedule replays bit-identically from a fixed seed.
+
+use oceanstore_chaos::invariants::{
+    check_clients_settled, check_convergence, check_every_commit_certifies,
+    check_no_uncertified_records, committed_frontier,
+};
+use oceanstore_chaos::runner::{stats_fingerprint, ScheduleCursor, TraceEntry};
+use oceanstore_chaos::schedule::Schedule;
+use oceanstore_naming::guid::Guid;
+use oceanstore_replica::{build_deployment, Deployment, DeploymentOpts};
+use oceanstore_sim::{SimDuration, SimTime};
+use oceanstore_update::update::Action;
+use oceanstore_update::Update;
+
+const RINGS: usize = 4;
+/// The ring whose entire primary tier goes dark.
+const VICTIM_RING: usize = 2;
+
+fn t(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+/// The first labeled object the router assigns to `ring`.
+fn object_for_ring(dep: &Deployment, ring: usize) -> Guid {
+    (0..)
+        .map(|i| Guid::from_label(&format!("ring-obj-{i}")))
+        .find(|g| dep.ring_of(g) == ring)
+        .expect("router is balanced; every ring owns some object")
+}
+
+fn submit(dep: &mut Deployment, object: Guid, byte: u8) {
+    let client = dep.clients[0];
+    let update = Update::unconditional(vec![Action::Append { ciphertext: vec![byte] }]);
+    dep.sim.with_node_ctx(client, |node, ctx| {
+        node.as_client_mut().expect("client").submit(ctx, object, &update)
+    });
+}
+
+/// One full ring-outage scenario: commit a round everywhere, kill
+/// `VICTIM_RING`'s whole tier, commit a second round (which can only land
+/// on the live rings), recover, settle. Returns the applied fault trace
+/// and the final network fingerprint for determinism checks.
+fn run_ring_outage(seed: u64) -> (Vec<TraceEntry>, String) {
+    let mut dep = build_deployment(&DeploymentOpts {
+        rings: RINGS,
+        secondaries: 7,
+        seed,
+        ..DeploymentOpts::default()
+    });
+    let objects: Vec<Guid> = (0..RINGS).map(|r| object_for_ring(&dep, r)).collect();
+    let victims = dep.rings[VICTIM_RING].primaries.clone();
+    let schedule = victims
+        .iter()
+        .fold(Schedule::new(), |s, &v| s.crash_rack(t(3_000), &[v]))
+        .recover_rack(t(11_000), &victims);
+    let mut cursor = ScheduleCursor::new(schedule);
+    let mut trace = Vec::new();
+
+    // Round 1: every ring commits and disseminates one update. Sample
+    // the frontiers just before the crash instant — the victim ring has
+    // no live primary afterwards.
+    for &obj in &objects {
+        submit(&mut dep, obj, 1);
+    }
+    trace.extend(cursor.run_to(&mut dep.sim, t(2_900)));
+    for (r, obj) in objects.iter().enumerate() {
+        assert_eq!(committed_frontier(&dep, obj), 1, "ring {r} round-1 commit");
+    }
+    trace.extend(cursor.run_to(&mut dep.sim, t(3_000)));
+
+    // Ring 2 is now entirely dark. Round 2 reaches only the live rings.
+    for &obj in &objects {
+        submit(&mut dep, obj, 2);
+    }
+    trace.extend(cursor.run_to(&mut dep.sim, t(10_000)));
+    for (r, obj) in objects.iter().enumerate() {
+        if r == VICTIM_RING {
+            continue;
+        }
+        assert_eq!(
+            committed_frontier(&dep, obj),
+            2,
+            "live ring {r} stalled during ring {VICTIM_RING}'s outage"
+        );
+    }
+    // The victim ring's object cannot have advanced: every live secondary
+    // still holds exactly the round-1 record, and the client's round-2
+    // request is still pending.
+    for &s in &dep.secondaries {
+        let sec = dep.sim.node(s).as_secondary().expect("secondary");
+        assert!(
+            sec.store.records_from(&objects[VICTIM_RING], 0).len() <= 1,
+            "a committed record appeared while the owning ring was down"
+        );
+    }
+    let pending =
+        dep.sim.node(dep.clients[0]).as_client().expect("client").pending_count();
+    assert!(pending >= 1, "the dark ring's request must still be pending");
+
+    // Recovery: the tier comes back with state intact; the client's
+    // retransmission pushes the stalled request through.
+    trace.extend(cursor.run_to(&mut dep.sim, t(30_000)));
+    assert!(cursor.done(), "recovery events must have been applied");
+    for (r, obj) in objects.iter().enumerate() {
+        assert_eq!(committed_frontier(&dep, obj), 2, "ring {r} final frontier");
+    }
+    let report = check_convergence(&dep, &objects)
+        .merge(check_every_commit_certifies(&dep, &objects))
+        .merge(check_no_uncertified_records(&dep))
+        .merge(check_clients_settled(&dep));
+    assert!(report.passed(), "invariants broken: {:#?}", report.failures);
+    (trace, stats_fingerprint(&dep.sim))
+}
+
+#[test]
+fn ring_outage_isolates_to_owned_objects() {
+    run_ring_outage(1);
+}
+
+/// The multi-ring schedule is deterministic: two runs from the same seed
+/// produce identical fault traces and identical network fingerprints.
+#[test]
+fn multi_ring_schedule_is_deterministic() {
+    let (trace_a, fp_a) = run_ring_outage(5);
+    let (trace_b, fp_b) = run_ring_outage(5);
+    assert_eq!(trace_a, trace_b, "fault trace diverged across replays");
+    assert_eq!(fp_a, fp_b, "network fingerprint diverged across replays");
+}
+
+/// Rings = 1 must keep today's exact behavior: the single-ring default
+/// routes everything to ring 0 and the deployment geometry is unchanged.
+#[test]
+fn single_ring_default_owns_everything() {
+    let dep = build_deployment(&DeploymentOpts::default());
+    assert_eq!(dep.rings.len(), 1);
+    for i in 0..64 {
+        assert_eq!(dep.ring_of(&Guid::from_label(&format!("obj-{i}"))), 0);
+    }
+    assert_eq!(dep.primaries(), &dep.rings[0].primaries[..]);
+    assert_eq!(dep.cfg().members, dep.rings[0].primaries);
+}
+
+/// Every ring of a multi-ring deployment can commit: no ring is
+/// misconfigured, mis-keyed, or shadowed by another (each tier signs with
+/// its own keys and secondaries verify against the owning ring's).
+#[test]
+fn all_rings_commit_and_converge() {
+    let mut dep = build_deployment(&DeploymentOpts {
+        rings: RINGS,
+        secondaries: 7,
+        ..DeploymentOpts::default()
+    });
+    let objects: Vec<Guid> = (0..RINGS).map(|r| object_for_ring(&dep, r)).collect();
+    for &obj in &objects {
+        submit(&mut dep, obj, 9);
+    }
+    dep.sim.run_for(SimDuration::from_secs(8));
+    let report = check_convergence(&dep, &objects)
+        .merge(check_every_commit_certifies(&dep, &objects))
+        .merge(check_no_uncertified_records(&dep))
+        .merge(check_clients_settled(&dep));
+    assert!(report.passed(), "invariants broken: {:#?}", report.failures);
+    for (r, obj) in objects.iter().enumerate() {
+        assert_eq!(committed_frontier(&dep, obj), 1, "ring {r} never committed");
+        // Only the owning ring's primaries hold the object.
+        for (r2, ring) in dep.rings.iter().enumerate() {
+            for &p in &ring.primaries {
+                let holds = dep
+                    .sim
+                    .node(p)
+                    .as_primary()
+                    .expect("primary")
+                    .store
+                    .get(obj)
+                    .is_some();
+                assert_eq!(
+                    holds,
+                    r2 == r,
+                    "object of ring {r} {} on ring {r2}'s primary {p:?}",
+                    if holds { "leaked onto" } else { "missing from" },
+                );
+            }
+        }
+    }
+}
+
+/// Pinned network fingerprint of the seed-1 ring-outage schedule: the
+/// multi-ring deployment path is frozen — any change to layout, key
+/// derivation, routing, or message flow shows up here first. Default
+/// features only (`repush-off` deliberately changes the flow; this
+/// schedule commits too few slots for checkpoints to emit traffic).
+#[cfg(not(feature = "repush-off"))]
+#[test]
+fn ring_outage_fingerprint_pinned() {
+    let (_, fp) = run_ring_outage(1);
+    assert_eq!(
+        fp,
+        "now=30000000 msgs=9069 bytes=267204 drop[NodeDown]=16 drop[Partition]=0 \
+         drop[Random]=0 drop[Unreachable]=0 drop[LinkFlap]=0 pbft/commit=96/10368 \
+         pbft/prepare=72/7776 pbft/preprepare=24/2592 pbft/reply=32/3456 \
+         pbft/request=44/5412 replica/antientropy=4256/157024 \
+         replica/certformed=40/5920 replica/commit=152/29792 \
+         replica/commitack=8/224 replica/heartbeat=4193/33544 \
+         replica/resultshare=24/2520 replica/tentative=128/8576 \
+         ev[repush/exhausted]=24 ev[repush/resend]=96"
+    );
+}

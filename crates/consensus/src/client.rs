@@ -89,12 +89,31 @@ impl Client {
         }
     }
 
+    /// The client sequence a retransmission timer `tag` refers to, if the
+    /// tag belongs to this module's namespace. Lets a composite client
+    /// that multiplexes several tiers route the tag to the right one.
+    pub fn retransmit_seq(tag: u64) -> Option<u64> {
+        tag.checked_sub(TIMER_RETRANSMIT_BASE)
+    }
+
     /// Submits `payload` for serialization; returns the request id to poll
     /// via [`Client::outcome`]. The paper's optimistic timestamp is taken
     /// from the current simulated time.
     pub fn submit(&mut self, ctx: &mut Context<'_, PbftMsg>, payload: Payload) -> RequestId {
-        let id = RequestId { client: ctx.node(), seq: self.next_seq };
-        self.next_seq += 1;
+        self.submit_at(ctx, payload, self.next_seq)
+    }
+
+    /// Like [`Client::submit`], with a caller-chosen client sequence — a
+    /// client sharded over several tiers allocates sequences from one
+    /// counter so request ids stay unique across rings.
+    pub fn submit_at(
+        &mut self,
+        ctx: &mut Context<'_, PbftMsg>,
+        payload: Payload,
+        seq: u64,
+    ) -> RequestId {
+        let id = RequestId { client: ctx.node(), seq };
+        self.next_seq = self.next_seq.max(seq + 1);
         let timestamp = ctx.now().as_micros();
         let mut msg = PbftMsg::Request {
             id,

@@ -1190,6 +1190,36 @@ impl Replica {
                 self.request_state(ctx, target);
             }
         }
+        self.drain_deferred(ctx);
+    }
+
+    /// Proposes client requests that were deferred at the admission-window
+    /// edge (see [`Replica::propose`]) now that a stable checkpoint moved
+    /// the window. Leader-only, in (timestamp, id) order — the same
+    /// deterministic tiebreak as re-proposal — so a saturated tier drains
+    /// its backlog identically on every run instead of waiting out a view
+    /// change per window.
+    fn drain_deferred(&mut self, ctx: &mut Context<'_, PbftMsg>) {
+        if !self.am_leader() {
+            return;
+        }
+        let mut waiting: Vec<(u64, RequestId)> = self
+            .requests
+            .iter()
+            .filter(|(id, _)| {
+                !self.assigned.contains_key(*id)
+                    && !self.executed_ids.contains_key(*id)
+                    && !self.reply_cache.get(&id.client).is_some_and(|c| c.executed(id.seq))
+            })
+            .map(|(id, (_, ts))| (*ts, *id))
+            .collect();
+        waiting.sort_unstable();
+        for (_, id) in waiting {
+            if self.ckpt_active() && self.next_seq >= self.high_water() {
+                break; // still saturated; the next checkpoint drains more
+            }
+            self.propose(ctx, id);
+        }
     }
 
     /// Checks a stable certificate against the tier's replica keys:
@@ -1394,6 +1424,7 @@ impl Replica {
                 }
                 self.stable = Some(cert);
                 self.apply_low_water();
+                self.drain_deferred(ctx);
             }
         }
         for entry in entries {
@@ -1416,6 +1447,7 @@ impl Replica {
             // Buffered live commits just above the installed suffix may
             // extend the frontier immediately.
             self.try_execute(ctx);
+            self.drain_deferred(ctx);
         }
     }
 

@@ -175,6 +175,104 @@ fn gcd_request_retransmits_execute_once() {
     }
 }
 
+/// A burst deeper than the admission window commits in full without a
+/// single view change: requests deferred at the window edge are proposed
+/// again as soon as a stable checkpoint moves the window (the leader's
+/// deferred-drain path), not after a view-change alarm per window.
+#[test]
+fn saturated_window_drains_without_view_change() {
+    let mut ts = build_tier_custom(1, WAN, 31, &[], ckpt(8, 64));
+    // 100 requests in one round against a 64-slot window: 36 are deferred
+    // at submission time and can only commit through drains.
+    run_updates_batched(&mut ts, 64, 100, 100);
+    for i in 0..4 {
+        let r = replica(&ts, i);
+        assert_eq!(r.next_exec(), 100, "replica {i} frontier");
+        assert!(r.low_water() > 0, "replica {i} never checkpointed");
+        assert_eq!(r.view(), 0, "replica {i} needed a view change to drain");
+        assert_eq!(r.view_changes_sent(), 0, "replica {i} voted for a view change");
+    }
+}
+
+/// A retransmission of the *oldest* client sequence still inside the
+/// 128-entry reply tail is answered from the cache: replies go out, no
+/// slot is proposed, and nothing executes a second time.
+#[test]
+fn retransmit_at_reply_tail_answered_from_cache() {
+    let seed = 41;
+    let mut ts = build_tier_custom(1, WAN, seed, &[], ckpt(8, 16));
+    // 140 contiguous executions: the floor is 140, the re-reply tail
+    // holds exactly [12, 140).
+    run_updates_batched(&mut ts, 128, 140, 4);
+    let frontier = replica(&ts, 0).next_exec();
+    assert_eq!(frontier, 140);
+    let replies_before = ts.sim.stats().class("pbft/reply").messages;
+    let proposals_before = ts.sim.stats().class("pbft/preprepare").messages;
+    // Client sequence 12 = 140 - 128: exactly at the tail boundary, the
+    // oldest entry the cache can still answer.
+    let request = signed_by(
+        &client_key(seed),
+        PbftMsg::Request {
+            id: RequestId { client: NodeId(4), seq: 12 },
+            timestamp: 7,
+            payload: Payload::from_bytes(vec![0xcd; 16]),
+            sig: Signature::default(),
+        },
+    );
+    for i in 0..4 {
+        ts.sim.inject(NodeId(4), NodeId(i), request.clone());
+    }
+    ts.sim.run_to_quiescence(5_000_000);
+    let replies = ts.sim.stats().class("pbft/reply").messages - replies_before;
+    let proposals = ts.sim.stats().class("pbft/preprepare").messages - proposals_before;
+    assert_eq!(replies, 4, "every replica must re-reply from its cache");
+    assert_eq!(proposals, 0, "a cached retransmit must not be re-proposed");
+    for i in 0..4 {
+        let r = replica(&ts, i);
+        assert_eq!(r.executed_seen(), 140, "replica {i} re-executed a cached request");
+        assert_eq!(r.next_exec(), frontier, "replica {i} grew new slots");
+    }
+}
+
+/// A retransmission one sequence *past* the tail (evicted from the
+/// re-reply cache but still below the contiguous floor) is known-executed
+/// and therefore silently dropped: no reply can be reconstructed, no slot
+/// is proposed, and nothing executes a second time.
+#[test]
+fn retransmit_past_reply_tail_executes_at_most_once() {
+    let seed = 41;
+    let mut ts = build_tier_custom(1, WAN, seed, &[], ckpt(8, 16));
+    run_updates_batched(&mut ts, 128, 140, 4);
+    let frontier = replica(&ts, 0).next_exec();
+    assert_eq!(frontier, 140);
+    let replies_before = ts.sim.stats().class("pbft/reply").messages;
+    let proposals_before = ts.sim.stats().class("pbft/preprepare").messages;
+    // Client sequence 11 = 140 - 129: one below the tail boundary — the
+    // floor still proves it executed, but its reply was evicted.
+    let request = signed_by(
+        &client_key(seed),
+        PbftMsg::Request {
+            id: RequestId { client: NodeId(4), seq: 11 },
+            timestamp: 7,
+            payload: Payload::from_bytes(vec![0xcd; 16]),
+            sig: Signature::default(),
+        },
+    );
+    for i in 0..4 {
+        ts.sim.inject(NodeId(4), NodeId(i), request.clone());
+    }
+    ts.sim.run_to_quiescence(5_000_000);
+    let replies = ts.sim.stats().class("pbft/reply").messages - replies_before;
+    let proposals = ts.sim.stats().class("pbft/preprepare").messages - proposals_before;
+    assert_eq!(replies, 0, "an evicted entry cannot be re-replied");
+    assert_eq!(proposals, 0, "an executed request must never be re-proposed");
+    for i in 0..4 {
+        let r = replica(&ts, i);
+        assert_eq!(r.executed_seen(), 140, "replica {i} re-executed past the tail");
+        assert_eq!(r.next_exec(), frontier, "replica {i} grew new slots");
+    }
+}
+
 /// Checkpoint votes at non-interval-aligned or above-window sequences
 /// never allocate vote state: one faulty replica with a valid key cannot
 /// grow `ckpt_votes` without bound.

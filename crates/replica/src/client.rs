@@ -1,9 +1,18 @@
 //! The client side of the full update path (Figure 5a): "a client sends it
 //! directly to the object's primary tier, as well as to several other
 //! random replicas for that object."
+//!
+//! With sharded consensus the "object's primary tier" is no longer *the*
+//! tier: the client carries a [`ShardRouter`] plus one PBFT client per
+//! ring and routes each update to the ring that owns its AGUID. Client
+//! sequence numbers are allocated from one counter across all rings, so a
+//! `RequestId` (and the `TentativeId` derived from it) stays unique
+//! per-client no matter which ring served it.
+
+use std::collections::HashMap;
 
 use oceanstore_consensus::client::{Client as PbftClient, ClientOutcome};
-use oceanstore_consensus::messages::{Payload, RequestId};
+use oceanstore_consensus::messages::{Payload, PbftMsg, RequestId};
 use oceanstore_consensus::replica::TierConfig;
 use oceanstore_crypto::schnorr::KeyPair;
 use oceanstore_naming::guid::Guid;
@@ -14,11 +23,18 @@ use std::sync::Arc;
 
 use crate::messages::{ReplicaMsg, TentativeId};
 use crate::primary::encode_payload;
+use crate::shard::ShardRouter;
 
 /// An update-submitting client.
 #[derive(Debug)]
 pub struct UpdateClient {
-    pbft: PbftClient,
+    /// One PBFT client per ring, tier order.
+    rings: Vec<PbftClient>,
+    router: ShardRouter,
+    /// Next client sequence, shared across rings.
+    next_seq: u64,
+    /// Client sequence → ring that serialized it (reply/timer routing).
+    routes: HashMap<u64, usize>,
     /// Known secondary replicas to seed the epidemic path.
     secondaries: Vec<NodeId>,
     /// How many random secondaries receive the tentative copy.
@@ -26,17 +42,41 @@ pub struct UpdateClient {
 }
 
 impl UpdateClient {
-    /// Creates a client of the given tier, seeding tentative updates to
+    /// Creates a client of a single tier, seeding tentative updates to
     /// `secondaries`.
     pub fn new(cfg: TierConfig, keypair: KeyPair, secondaries: Vec<NodeId>) -> Self {
-        UpdateClient { pbft: PbftClient::new(cfg, keypair), secondaries, tentative_fanout: 3 }
+        Self::new_sharded(vec![cfg], ShardRouter::new(1), keypair, secondaries)
+    }
+
+    /// Creates a client of `cfgs.len()` rings routed by `router`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring count disagrees with the router.
+    pub fn new_sharded(
+        cfgs: Vec<TierConfig>,
+        router: ShardRouter,
+        keypair: KeyPair,
+        secondaries: Vec<NodeId>,
+    ) -> Self {
+        assert_eq!(cfgs.len(), router.rings(), "one tier config per routed ring");
+        UpdateClient {
+            rings: cfgs.into_iter().map(|cfg| PbftClient::new(cfg, keypair.clone())).collect(),
+            router,
+            next_seq: 0,
+            routes: HashMap::new(),
+            secondaries,
+            tentative_fanout: 3,
+        }
     }
 
     /// Enables retransmission of unanswered serialize requests
     /// (disconnected operation: "modifications are automatically
     /// disseminated upon reconnection", §3).
     pub fn enable_retransmit(&mut self, interval: SimDuration) {
-        self.pbft.enable_retransmit(interval);
+        for ring in &mut self.rings {
+            ring.enable_retransmit(interval);
+        }
     }
 
     /// Sets the tentative fan-out.
@@ -44,18 +84,25 @@ impl UpdateClient {
         self.tentative_fanout = k;
     }
 
-    /// Submits an update along both paths of Figure 5a. Returns the
-    /// request id for [`UpdateClient::outcome`].
+    /// Submits an update along both paths of Figure 5a, to the ring that
+    /// owns `object`. Returns the request id for [`UpdateClient::outcome`].
     pub fn submit(
         &mut self,
         ctx: &mut Context<'_, ReplicaMsg>,
         object: Guid,
         update: &Update,
     ) -> RequestId {
+        let ring = self.router.ring_of(&object);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.rings.len() > 1 {
+            self.routes.insert(seq, ring);
+        }
         let encoded = Arc::new(encode_update(update));
         let payload = Payload::from_bytes(encode_payload(&object, &encoded));
         let timestamp = ctx.now().as_micros();
-        let id = ctx.with_inner(ReplicaMsg::Pbft, |ictx| self.pbft.submit(ictx, payload));
+        let id =
+            ctx.with_inner(ReplicaMsg::Pbft, |ictx| self.rings[ring].submit_at(ictx, payload, seq));
         // Tentative copies to random secondaries.
         let tid = TentativeId { client: id.client, counter: id.seq };
         let mut secondaries = self.secondaries.clone();
@@ -69,25 +116,41 @@ impl UpdateClient {
         id
     }
 
-    /// The committed outcome, once `m + 1` matching replies arrived.
-    pub fn outcome(&self, id: RequestId) -> Option<&ClientOutcome> {
-        self.pbft.outcome(id)
+    /// The ring a submitted sequence was routed to.
+    fn ring_for(&self, seq: u64) -> usize {
+        if self.rings.len() == 1 {
+            0
+        } else {
+            self.routes.get(&seq).copied().unwrap_or(0)
+        }
     }
 
-    /// Requests still awaiting commitment.
+    /// The committed outcome, once `m + 1` matching replies arrived.
+    pub fn outcome(&self, id: RequestId) -> Option<&ClientOutcome> {
+        self.rings[self.ring_for(id.seq)].outcome(id)
+    }
+
+    /// Requests still awaiting commitment, across all rings.
     pub fn pending_count(&self) -> usize {
-        self.pbft.pending_count()
+        self.rings.iter().map(PbftClient::pending_count).sum()
     }
 
     /// Message dispatch.
     pub fn on_message(&mut self, ctx: &mut Context<'_, ReplicaMsg>, from: NodeId, msg: ReplicaMsg) {
         if let ReplicaMsg::Pbft(inner) = msg {
-            ctx.with_inner(ReplicaMsg::Pbft, |ictx| self.pbft.on_message(ictx, from, inner));
+            let ring = match &inner {
+                PbftMsg::Reply { id, .. } => self.ring_for(id.seq),
+                _ => 0,
+            };
+            ctx.with_inner(ReplicaMsg::Pbft, |ictx| self.rings[ring].on_message(ictx, from, inner));
         }
     }
 
-    /// Timer dispatch (retransmissions).
+    /// Timer dispatch (retransmissions). The retransmit tag carries only
+    /// the client sequence, so route it like a reply; a ring that isn't
+    /// the owner ignores the tag (nothing pending under that id).
     pub fn on_timer(&mut self, ctx: &mut Context<'_, ReplicaMsg>, tag: u64) {
-        ctx.with_inner(ReplicaMsg::Pbft, |ictx| self.pbft.on_timer(ictx, tag));
+        let ring = self.ring_for(PbftClient::retransmit_seq(tag).unwrap_or(0));
+        ctx.with_inner(ReplicaMsg::Pbft, |ictx| self.rings[ring].on_timer(ictx, tag));
     }
 }

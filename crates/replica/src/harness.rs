@@ -1,21 +1,34 @@
 //! Ready-made two-tier deployments for tests, benches, and examples.
+//!
+//! One deployment is `rings` independent consensus rings (each a full PBFT
+//! tier of `3m + 1` primaries) sharing a single secondary-tier substrate:
+//! one binary dissemination tree, one epidemic peer set, one client
+//! population. Objects are partitioned over the rings by a
+//! [`ShardRouter`]; with `rings = 1` (the default) the layout, key seeds,
+//! and schedule are bit-identical to the historical single-ring harness
+//! that the pinned golden traces and chaos fingerprints depend on.
 
 use std::collections::HashMap;
 
 use oceanstore_consensus::replica::{CheckpointConfig, FaultMode, TierConfig};
 use oceanstore_crypto::schnorr::KeyPair;
-use oceanstore_sim::{NodeId, SimDuration, Simulator, Topology};
+use oceanstore_naming::guid::Guid;
+use oceanstore_sim::cluster::{tree_children, tree_grandparent, tree_parent, tree_sibling};
+use oceanstore_sim::{ClusterSpec, NodeId, SimDuration, Simulator};
 
 use crate::client::UpdateClient;
 use crate::config::{ChildMode, FailoverConfig, RepushConfig, SecondaryConfig, SecondaryFault};
 use crate::node::OceanNode;
 use crate::primary::Primary;
 use crate::secondary::Secondary;
+use crate::shard::ShardRouter;
 
 /// Deployment parameters.
 #[derive(Debug, Clone)]
 pub struct DeploymentOpts {
-    /// Faults tolerated by the tier (n = 3m + 1 primaries).
+    /// Number of independent consensus rings sharing the secondary tier.
+    pub rings: usize,
+    /// Faults tolerated by each ring (ring size = 3m + 1 primaries).
     pub m: usize,
     /// Number of secondary replicas.
     pub secondaries: usize,
@@ -42,7 +55,7 @@ pub struct DeploymentOpts {
     pub repush: bool,
     /// Secondary indices that run [`SecondaryFault::ForgeOnServe`].
     pub byzantine_secondaries: Vec<usize>,
-    /// Checkpoint/GC knobs of the primary tier (long-horizon chaos
+    /// Checkpoint/GC knobs of the primary tiers (long-horizon chaos
     /// scenarios shrink the interval; the `checkpoint-off` feature flips
     /// the default off).
     pub checkpoint: CheckpointConfig,
@@ -53,6 +66,7 @@ pub struct DeploymentOpts {
 impl Default for DeploymentOpts {
     fn default() -> Self {
         DeploymentOpts {
+            rings: 1,
             m: 1,
             secondaries: 6,
             clients: 1,
@@ -69,52 +83,156 @@ impl Default for DeploymentOpts {
     }
 }
 
+/// One consensus ring of a deployment.
+pub struct Ring {
+    /// Tier configuration of this ring.
+    pub cfg: TierConfig,
+    /// Node ids of this ring's primaries (tier order).
+    pub primaries: Vec<NodeId>,
+}
+
 /// A constructed deployment.
 pub struct Deployment {
     /// The driving simulator.
     pub sim: Simulator<OceanNode>,
-    /// Tier configuration.
-    pub cfg: TierConfig,
-    /// Node ids of the primaries (tier order).
-    pub primaries: Vec<NodeId>,
+    /// The consensus rings (ring 0 is the historical single ring).
+    pub rings: Vec<Ring>,
+    /// Object → ring assignment shared by clients, primaries, and
+    /// secondaries.
+    pub router: ShardRouter,
     /// Node ids of the secondaries (tree order: 0 is the root).
     pub secondaries: Vec<NodeId>,
     /// Node ids of the clients.
     pub clients: Vec<NodeId>,
 }
 
-/// Builds a deployment: primaries at nodes `0..n`, secondaries next (in a
-/// binary dissemination tree rooted at secondary 0, which all primaries
-/// feed), then clients.
+impl Deployment {
+    /// Ring 0's tier configuration (the only ring in single-ring
+    /// deployments, which is every test written before sharding).
+    pub fn cfg(&self) -> &TierConfig {
+        &self.rings[0].cfg
+    }
+
+    /// Ring 0's primaries (tier order).
+    pub fn primaries(&self) -> &[NodeId] {
+        &self.rings[0].primaries
+    }
+
+    /// Every primary of every ring, ring-major.
+    pub fn all_primaries(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.rings.iter().flat_map(|r| r.primaries.iter().copied())
+    }
+
+    /// The ring index that owns `object`.
+    pub fn ring_of(&self, object: &Guid) -> usize {
+        self.router.ring_of(object)
+    }
+
+    /// The ring that owns `object`.
+    pub fn ring_for(&self, object: &Guid) -> &Ring {
+        &self.rings[self.ring_of(object)]
+    }
+}
+
+/// Above this many secondaries the epidemic peer list is a deterministic
+/// sample instead of "everyone else" — all-to-all peer lists are O(s²)
+/// memory, which matters at the 10k-node scale the workload harness
+/// drives. Below the cap the historical full list is kept bit-identical.
+const PEER_FULL_LIMIT: usize = 128;
+/// Sampled peer-set size above [`PEER_FULL_LIMIT`].
+const PEER_SAMPLE: usize = 16;
+
+/// splitmix64 finalizer: the peer sampler's stateless RNG.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The epidemic peer set of secondary `j` out of `s`: everyone else when
+/// the tier is small, otherwise a deterministic `PEER_SAMPLE`-sized sample
+/// (seeded by the deployment seed, so schedules stay reproducible).
+fn peer_set(secondaries: &[NodeId], j: usize, seed: u64) -> Vec<NodeId> {
+    let s = secondaries.len();
+    if s <= PEER_FULL_LIMIT {
+        return secondaries.iter().copied().filter(|&p| p != secondaries[j]).collect();
+    }
+    let mut peers = Vec::with_capacity(PEER_SAMPLE);
+    let mut chosen = std::collections::HashSet::with_capacity(PEER_SAMPLE);
+    let mut k = 0u64;
+    while peers.len() < PEER_SAMPLE.min(s - 1) {
+        let cand = (mix(seed ^ ((j as u64) << 32) ^ k) % s as u64) as usize;
+        k += 1;
+        if cand != j && chosen.insert(cand) {
+            peers.push(secondaries[cand]);
+        }
+    }
+    peers
+}
+
+/// Builds a deployment: ring `r`'s primaries at nodes
+/// `[r·(3m+1), (r+1)·(3m+1))`, secondaries next (in a binary dissemination
+/// tree rooted at secondary 0, which all primaries feed), then clients.
 pub fn build_deployment(opts: &DeploymentOpts) -> Deployment {
+    assert!(opts.rings >= 1, "need at least one ring");
     let n = 3 * opts.m + 1;
     let s = opts.secondaries;
     assert!(s >= 1, "need at least one secondary for the tree root");
-    let total = n + s + opts.clients;
-    let topo = Topology::full_mesh(total, opts.latency);
+    let spec = ClusterSpec {
+        rings: opts.rings,
+        ring_size: n,
+        secondaries: s,
+        clients: opts.clients,
+    };
+    let total = spec.total();
+    let topo = spec.mesh(opts.latency);
+    let router = ShardRouter::new(opts.rings);
 
-    let primaries: Vec<NodeId> = (0..n).map(NodeId).collect();
-    let secondaries: Vec<NodeId> = (n..n + s).map(NodeId).collect();
-    let clients: Vec<NodeId> = (n + s..total).map(NodeId).collect();
+    let secondaries = spec.secondaries();
+    let clients = spec.clients();
 
-    let replica_keys: Vec<KeyPair> = (0..n)
-        .map(|i| KeyPair::from_seed(format!("dep-{}-primary-{i}", opts.seed).as_bytes()))
+    // Ring 0 keeps the historical key seeds (pinned traces depend on
+    // them); further rings get their own namespace.
+    let ring_keys: Vec<Vec<KeyPair>> = (0..opts.rings)
+        .map(|r| {
+            (0..n)
+                .map(|i| {
+                    let label = if r == 0 {
+                        format!("dep-{}-primary-{i}", opts.seed)
+                    } else {
+                        format!("dep-{}-ring{r}-primary-{i}", opts.seed)
+                    };
+                    KeyPair::from_seed(label.as_bytes())
+                })
+                .collect()
+        })
         .collect();
     let client_keys: Vec<KeyPair> = (0..opts.clients)
         .map(|i| KeyPair::from_seed(format!("dep-{}-client-{i}", opts.seed).as_bytes()))
         .collect();
-    let cfg = TierConfig {
-        m: opts.m,
-        members: primaries.clone(),
-        replica_keys: replica_keys.iter().map(KeyPair::public).collect(),
-        client_keys: clients
-            .iter()
-            .zip(&client_keys)
-            .map(|(node, kp)| (*node, kp.public()))
-            .collect::<HashMap<_, _>>(),
-        view_timeout: SimDuration::from_micros(opts.latency.as_micros() * 30),
-        checkpoint: opts.checkpoint.clone(),
-    };
+    let client_key_map: HashMap<NodeId, _> = clients
+        .iter()
+        .zip(&client_keys)
+        .map(|(node, kp)| (*node, kp.public()))
+        .collect();
+    let rings: Vec<Ring> = (0..opts.rings)
+        .map(|r| Ring {
+            cfg: TierConfig {
+                m: opts.m,
+                members: spec.ring(r),
+                replica_keys: ring_keys[r].iter().map(KeyPair::public).collect(),
+                client_keys: client_key_map.clone(),
+                view_timeout: SimDuration::from_micros(opts.latency.as_micros() * 30),
+                checkpoint: opts.checkpoint.clone(),
+            },
+            primaries: spec.ring(r),
+        })
+        .collect();
+    // Ring-aware certificate verification for the shared secondary tier.
+    let verify_keys: Vec<(Vec<_>, usize)> =
+        rings.iter().map(|r| (r.cfg.replica_keys.clone(), opts.m)).collect();
 
     // Binary tree over the secondaries (heap indexing).
     let child_mode = |j: usize| {
@@ -140,49 +258,47 @@ pub fn build_deployment(opts: &DeploymentOpts) -> Deployment {
         ack_timeout: SimDuration::from_micros(opts.latency.as_micros() * 3),
         ..RepushConfig::default()
     };
-    for (i, kp) in replica_keys.into_iter().enumerate() {
-        let mut primary = Primary::with_knobs(
-            cfg.clone(),
-            i,
-            kp,
-            FaultMode::Honest,
-            vec![(secondaries[0], child_mode(0))],
-            failover.clone(),
-            repush.clone(),
-        );
-        // Primaries gossip certified records among themselves on the same
-        // cadence as the tree's epidemic layer — the catch-up path for a
-        // member whose agreement replica missed commits for good.
-        primary.set_tier_anti_entropy(
-            opts.anti_entropy.unwrap_or(SecondaryConfig::default().anti_entropy_interval),
-        );
-        nodes.push(OceanNode::Primary(primary));
+    for (r, keys) in ring_keys.into_iter().enumerate() {
+        for (i, kp) in keys.into_iter().enumerate() {
+            let mut primary = Primary::with_knobs(
+                rings[r].cfg.clone(),
+                i,
+                kp,
+                FaultMode::Honest,
+                vec![(secondaries[0], child_mode(0))],
+                failover.clone(),
+                repush.clone(),
+            );
+            primary.set_shard(router, r);
+            // Primaries gossip certified records among themselves on the
+            // same cadence as the tree's epidemic layer — the catch-up
+            // path for a member whose agreement replica missed commits
+            // for good.
+            primary.set_tier_anti_entropy(
+                opts.anti_entropy.unwrap_or(SecondaryConfig::default().anti_entropy_interval),
+            );
+            nodes.push(OceanNode::Primary(primary));
+        }
     }
     for j in 0..s {
-        let parent = if j == 0 { primaries[0] } else { secondaries[(j - 1) / 2] };
+        let parent = match tree_parent(j) {
+            None => rings[0].primaries[0],
+            Some(p) => secondaries[p],
+        };
         // Grandparent in the heap tree: the parent's parent; the root's
         // parent is a primary, so its children fall straight through to
         // the primary ring.
-        let grandparent = if j == 0 {
-            None
-        } else {
-            let p = (j - 1) / 2;
-            Some(if p == 0 { primaries[0] } else { secondaries[(p - 1) / 2] })
-        };
+        let grandparent = tree_parent(j).map(|p| match tree_grandparent(j) {
+            None if p == 0 => rings[0].primaries[0],
+            None => secondaries[0],
+            Some(g) => secondaries[g],
+        });
         // The other child of the same parent, if it exists.
-        let siblings: Vec<NodeId> = if j == 0 {
-            Vec::new()
-        } else {
-            let sib = if j % 2 == 1 { j + 1 } else { j - 1 };
-            (sib < s).then(|| secondaries[sib]).into_iter().collect()
-        };
-        let children: Vec<(NodeId, ChildMode)> = [2 * j + 1, 2 * j + 2]
-            .into_iter()
-            .filter(|&c| c < s)
-            .map(|c| (secondaries[c], child_mode(c)))
-            .collect();
-        let peers: Vec<NodeId> =
-            secondaries.iter().copied().filter(|&p| p != secondaries[j]).collect();
+        let siblings: Vec<NodeId> =
+            tree_sibling(j, s).map(|sib| secondaries[sib]).into_iter().collect();
+        let children: Vec<(NodeId, ChildMode)> =
+            tree_children(j, s).map(|c| (secondaries[c], child_mode(c))).collect();
+        let peers = peer_set(&secondaries, j, opts.seed);
         let defaults = SecondaryConfig::default();
         let scfg = SecondaryConfig {
             parent: Some(parent),
@@ -191,7 +307,7 @@ pub fn build_deployment(opts: &DeploymentOpts) -> Deployment {
             anti_entropy_interval: opts.anti_entropy.unwrap_or(defaults.anti_entropy_interval),
             grandparent,
             siblings,
-            fallback_parents: primaries.clone(),
+            fallback_parents: rings[0].primaries.clone(),
             heartbeat_interval: SimDuration::from_micros(opts.latency.as_micros() * 5),
             parent_timeout: SimDuration::from_micros(opts.latency.as_micros() * 25),
             reparent_enabled: opts.reparent,
@@ -202,19 +318,24 @@ pub fn build_deployment(opts: &DeploymentOpts) -> Deployment {
             },
             ..defaults
         };
-        nodes.push(OceanNode::Secondary(Secondary::new(
+        nodes.push(OceanNode::Secondary(Secondary::new_sharded(
             scfg,
-            cfg.replica_keys.clone(),
-            opts.m,
+            verify_keys.clone(),
+            router,
         )));
     }
     for kp in client_keys {
-        let mut c = UpdateClient::new(cfg.clone(), kp, secondaries.clone());
+        let mut c = UpdateClient::new_sharded(
+            rings.iter().map(|r| r.cfg.clone()).collect(),
+            router,
+            kp,
+            secondaries.clone(),
+        );
         c.enable_retransmit(SimDuration::from_micros(opts.latency.as_micros() * 60));
         nodes.push(OceanNode::Client(c));
     }
 
     let mut sim = Simulator::new(topo, nodes, opts.seed);
     sim.start();
-    Deployment { sim, cfg, primaries, secondaries, clients }
+    Deployment { sim, rings, router, secondaries, clients }
 }

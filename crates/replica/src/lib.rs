@@ -9,6 +9,8 @@
 //!   repair and anti-entropy.
 //! * [`client`] — the Figure 5a client: updates flow to the primary tier
 //!   *and* to several random secondaries simultaneously.
+//! * [`shard`] — the deterministic object → consensus-ring router that
+//!   partitions the AGUID space over independent primary tiers.
 //! * [`store`] — versioned object stores replaying certified records.
 //! * [`harness`] — deployment builder for tests/benches/examples.
 
@@ -22,15 +24,17 @@ pub mod messages;
 pub mod node;
 pub mod primary;
 pub mod secondary;
+pub mod shard;
 pub mod store;
 
 pub use client::UpdateClient;
 pub use config::{ChildMode, FailoverConfig, RepushConfig, SecondaryConfig, SecondaryFault};
-pub use harness::{build_deployment, Deployment, DeploymentOpts};
+pub use harness::{build_deployment, Deployment, DeploymentOpts, Ring};
 pub use messages::{CommitRecord, ReplicaMsg, TentativeId};
 pub use node::OceanNode;
 pub use primary::{disseminator_for, Primary};
 pub use secondary::Secondary;
+pub use shard::ShardRouter;
 pub use store::{ObjectStore, ObjectState};
 
 #[cfg(test)]
@@ -71,7 +75,7 @@ mod tests {
         let outcome = dep.sim.node(dep.clients[0]).as_client().unwrap().outcome(id).copied();
         assert!(outcome.is_some(), "client never saw m+1 replies");
         // Every primary executed it.
-        for &p in &dep.primaries {
+        for &p in dep.primaries() {
             let prim = dep.sim.node(p).as_primary().unwrap();
             assert_eq!(prim.store.get(&object).unwrap().data.version_number(), 1);
         }
@@ -184,7 +188,7 @@ mod tests {
         settle(&mut dep, 10);
         // Exactly one commit bumped the version; the loser aborted but was
         // still serialized (two records).
-        for &p in &dep.primaries {
+        for &p in dep.primaries() {
             let st = dep.sim.node(p).as_primary().unwrap().store.get(&object).unwrap();
             assert_eq!(st.next_index, 2, "both updates serialized");
             assert_eq!(st.data.version_number(), 1, "only one committed");

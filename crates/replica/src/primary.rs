@@ -148,6 +148,13 @@ pub struct Primary {
     /// embedded agreement replica cannot rejoin on its own. Without it, a
     /// behind primary serving as a tree parent starves its whole subtree.
     tier_anti_entropy: Option<oceanstore_sim::SimDuration>,
+    /// This primary's place in the sharded layout: the object → ring
+    /// router plus the ring this tier serves. Objects of other rings are
+    /// ignored at every ingress (shares, certs, fetches, summaries), so a
+    /// shared secondary substrate can't make ring A pull — and reject —
+    /// ring B's records forever. The single-ring default owns everything.
+    router: crate::shard::ShardRouter,
+    ring: usize,
 }
 
 impl Primary {
@@ -217,6 +224,8 @@ impl Primary {
             push_acked: HashMap::new(),
             repush_resends: 0,
             tier_anti_entropy: None,
+            router: crate::shard::ShardRouter::new(1),
+            ring: 0,
         }
     }
 
@@ -224,6 +233,19 @@ impl Primary {
     /// (effective from the next [`Primary::on_start`]).
     pub fn set_tier_anti_entropy(&mut self, interval: oceanstore_sim::SimDuration) {
         self.tier_anti_entropy = Some(interval);
+    }
+
+    /// Places this primary in a sharded layout: it serves `ring` under
+    /// `router` and ignores traffic about objects owned by other rings.
+    pub fn set_shard(&mut self, router: crate::shard::ShardRouter, ring: usize) {
+        assert!(ring < router.rings(), "ring {ring} out of range");
+        self.router = router;
+        self.ring = ring;
+    }
+
+    /// Whether this primary's ring owns `object`.
+    fn owns(&self, object: &Guid) -> bool {
+        self.router.ring_of(object) == self.ring
     }
 
     /// Arms the tier anti-entropy tick, if enabled.
@@ -544,6 +566,9 @@ impl Primary {
         object: Guid,
         index: u64,
     ) {
+        if !self.owns(&object) {
+            return;
+        }
         let key = (object, index);
         self.push_acked.entry(key).or_default().insert(from);
         if let Some(entry) = self.pending_push.get_mut(&key) {
@@ -569,6 +594,9 @@ impl Primary {
         index: u64,
         cert: SerializationCert,
     ) {
+        if !self.owns(&object) {
+            return;
+        }
         let key = (object, index);
         let record = self
             .store
@@ -617,6 +645,9 @@ impl Primary {
         replica: usize,
         sig: Signature,
     ) {
+        if !self.owns(&object) {
+            return;
+        }
         // Only meaningful once we executed the same record ourselves.
         let our: Vec<CommitRecord> = self.store.records_from(&object, index);
         let Some(record) = our.first().filter(|r| r.index == index) else {
@@ -780,6 +811,9 @@ impl Primary {
         object: Guid,
         committed_index: u64,
     ) {
+        if !self.owns(&object) {
+            return;
+        }
         self.on_fetch(ctx, from, object, committed_index);
         let ours = self.store.get(&object).map_or(0, |s| s.next_index);
         if committed_index > ours {
@@ -793,6 +827,9 @@ impl Primary {
     /// secondary that baited the pull with an inflated summary.
     pub fn on_commits(&mut self, ctx: &mut Context<'_, ReplicaMsg>, records: Vec<CommitRecord>) {
         for record in records {
+            if !self.owns(&record.object) {
+                continue; // another ring's object on the shared substrate
+            }
             if record.cert.is_empty()
                 || !record.cert.verify_threshold(
                     &record.signing_bytes(),
@@ -824,13 +861,22 @@ impl Primary {
         object: Guid,
         from_index: u64,
     ) {
-        // Only serve records whose certificate is assembled; a record
-        // without one is unverifiable for the requester.
+        if !self.owns(&object) {
+            return;
+        }
+        // Serve the *dense* certified prefix and stop at the first record
+        // whose certificate has not assembled yet: a record without a
+        // cert is unverifiable for the requester, and skipping past it
+        // would hand back a gapped batch — which the requester cannot
+        // apply beyond the hole and would answer with another fetch for
+        // the same prefix, looping until the cert assembles. Records past
+        // the hole reach the requester on a later pull, after the
+        // share/failover machinery closes it.
         let records: Vec<_> = self
             .store
             .records_from(&object, from_index)
             .into_iter()
-            .filter(|r| !r.cert.is_empty())
+            .take_while(|r| !r.cert.is_empty())
             .collect();
         if !records.is_empty() {
             ctx.send(from, ReplicaMsg::Commits { records });

@@ -20,6 +20,7 @@ use rand::seq::SliceRandom;
 
 use crate::config::{ChildMode, SecondaryConfig, SecondaryFault};
 use crate::messages::{CommitRecord, ReplicaMsg, TentativeId};
+use crate::shard::ShardRouter;
 use crate::store::ObjectStore;
 
 /// Timer tag for the anti-entropy exchange.
@@ -30,6 +31,17 @@ const TIMER_HEARTBEAT: u64 = 11;
 /// Tentative updates for one object in (timestamp, id) order — the
 /// tentative serialization order.
 type TentativeLog = BTreeMap<(u64, TentativeId), Arc<Vec<u8>>>;
+
+/// What became of one certified record offered to the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Apply {
+    /// Applied (or a duplicate of something already applied).
+    Applied,
+    /// Forged or partial certificate; dropped.
+    Rejected,
+    /// Ahead of our frontier; the prefix is missing.
+    Gap,
+}
 
 /// A secondary replica.
 #[derive(Debug)]
@@ -42,9 +54,12 @@ pub struct Secondary {
     tentative: HashMap<Guid, TentativeLog>,
     /// Updates already seen (dedup for the rumor mill).
     seen: HashSet<(Guid, TentativeId)>,
-    /// Primary-tier verification material.
-    tier_keys: Vec<PublicKey>,
-    tier_m: usize,
+    /// Per-ring verification material: the owning ring's replica keys and
+    /// fault bound, indexed by [`ShardRouter::ring_of`]. The secondary
+    /// substrate is shared by every ring, so a record is checked against
+    /// the keys of the tier that actually serialized its object.
+    ring_keys: Vec<(Vec<PublicKey>, usize)>,
+    router: ShardRouter,
     /// Last time the current parent gave any sign of life.
     parent_last_seen: SimTime,
     /// Outstanding adoption request: (candidate, when asked).
@@ -67,15 +82,31 @@ pub struct Secondary {
 
 impl Secondary {
     /// Creates a secondary verifying certificates against `tier_keys`
-    /// (threshold `tier_m + 1`).
+    /// (threshold `tier_m + 1`) — the single-ring layout.
     pub fn new(cfg: SecondaryConfig, tier_keys: Vec<PublicKey>, tier_m: usize) -> Self {
+        Self::new_sharded(cfg, vec![(tier_keys, tier_m)], ShardRouter::new(1))
+    }
+
+    /// Creates a secondary shared by `ring_keys.len()` rings: records of
+    /// an object are verified against the keys of the ring `router`
+    /// assigns it to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring count disagrees with the router.
+    pub fn new_sharded(
+        cfg: SecondaryConfig,
+        ring_keys: Vec<(Vec<PublicKey>, usize)>,
+        router: ShardRouter,
+    ) -> Self {
+        assert_eq!(ring_keys.len(), router.rings(), "one key set per routed ring");
         Secondary {
             cfg,
             store: ObjectStore::new(),
             tentative: HashMap::new(),
             seen: HashSet::new(),
-            tier_keys,
-            tier_m,
+            ring_keys,
+            router,
             parent_last_seen: SimTime::ZERO,
             pending_attach: None,
             candidate_cursor: 0,
@@ -416,9 +447,8 @@ impl Secondary {
     }
 
     fn verify_record(&self, record: &CommitRecord) -> bool {
-        record
-            .cert
-            .verify_threshold(&record.signing_bytes(), &self.tier_keys, self.tier_m + 1)
+        let (keys, m) = &self.ring_keys[self.router.ring_of(&record.object)];
+        record.cert.verify_threshold(&record.signing_bytes(), keys, m + 1)
     }
 
     /// Acks a tier→tree push back to the primary ring when the sender was
@@ -444,9 +474,35 @@ impl Secondary {
         from: NodeId,
         record: CommitRecord,
     ) -> bool {
+        let object = record.object;
+        match self.apply_certified(ctx, from, record) {
+            Apply::Applied => true,
+            Apply::Rejected => false,
+            Apply::Gap => {
+                // Pull the missing prefix, while remembering how far the
+                // world has moved.
+                let from_index = self.store.get(&object).map_or(0, |s| s.next_index);
+                if let Some(target) = self.pull_target(ctx) {
+                    ctx.send(target, ReplicaMsg::FetchCommits { object, from_index });
+                }
+                false
+            }
+        }
+    }
+
+    /// Core of the certified-record path, shared by the single-record tree
+    /// push and the batched fetch response. Does *not* issue catch-up
+    /// fetches itself — the callers decide how to react to a gap, because
+    /// a gapped *batch* must collapse into one fetch, not one per record.
+    fn apply_certified(
+        &mut self,
+        ctx: &mut Context<'_, ReplicaMsg>,
+        from: NodeId,
+        record: CommitRecord,
+    ) -> Apply {
         if !self.verify_record(&record) {
             self.rejected += 1;
-            return false; // forged or partial certificate
+            return Apply::Rejected; // forged or partial certificate
         }
         // Duplicate suppression: a record below our committed frontier was
         // already applied *and* already streamed to our children — two
@@ -456,38 +512,31 @@ impl Secondary {
         if self.store.get(&record.object).is_some_and(|s| record.index < s.next_index) {
             self.dup_suppressed += 1;
             self.ack_primary_push(ctx, from, record.object, record.index);
-            return true;
+            return Apply::Applied;
         }
-        let applied = self.store.apply_record(&record);
-        if applied {
-            self.ack_primary_push(ctx, from, record.object, record.index);
-            // Reconcile the optimistic path: this update is now final.
-            if let Some(pending) = self.tentative.get_mut(&record.object) {
-                pending.retain(|(_, id), _| *id != record.id);
-            }
-            // Stream onward per child mode.
-            for (child, mode) in self.cfg.children.clone() {
-                match mode {
-                    ChildMode::Push => ctx.send(child, ReplicaMsg::Commit(record.clone())),
-                    ChildMode::Invalidate => ctx.send(
-                        child,
-                        ReplicaMsg::Invalidate {
-                            object: record.object,
-                            index: record.index,
-                            version: record.version,
-                        },
-                    ),
-                }
-            }
-        } else {
-            // Gap: pull the missing prefix, while remembering how far the
-            // world has moved.
-            let from_index = self.store.get(&record.object).map_or(0, |s| s.next_index);
-            if let Some(target) = self.pull_target(ctx) {
-                ctx.send(target, ReplicaMsg::FetchCommits { object: record.object, from_index });
+        if !self.store.apply_record(&record) {
+            return Apply::Gap;
+        }
+        self.ack_primary_push(ctx, from, record.object, record.index);
+        // Reconcile the optimistic path: this update is now final.
+        if let Some(pending) = self.tentative.get_mut(&record.object) {
+            pending.retain(|(_, id), _| *id != record.id);
+        }
+        // Stream onward per child mode.
+        for (child, mode) in self.cfg.children.clone() {
+            match mode {
+                ChildMode::Push => ctx.send(child, ReplicaMsg::Commit(record.clone())),
+                ChildMode::Invalidate => ctx.send(
+                    child,
+                    ReplicaMsg::Invalidate {
+                        object: record.object,
+                        index: record.index,
+                        version: record.version,
+                    },
+                ),
             }
         }
-        applied
+        Apply::Applied
     }
 
     /// Handles an invalidation: mark stale; the pull happens on the next
@@ -553,6 +602,14 @@ impl Secondary {
     }
 
     /// Handles a batch of fetched records.
+    ///
+    /// A residual gap issues at most **one** follow-up fetch per object.
+    /// Reacting per-record is an amplifier: a server whose log has
+    /// certificate holes answers with a gapped batch, every record past
+    /// the hole fails to apply, and one fetch per failed record yields the
+    /// same gapped batch again — the fetch volume multiplies by the batch
+    /// length every round trip until the hole closes. The workload
+    /// harness's Zipf-hot objects hit exactly this within seconds.
     pub fn on_commits(
         &mut self,
         ctx: &mut Context<'_, ReplicaMsg>,
@@ -562,8 +619,18 @@ impl Secondary {
         // The pull path answered: clear the fallback/backoff state.
         self.unanswered_pulls = 0;
         self.ticks_until_pull = 0;
+        let mut gapped: Vec<Guid> = Vec::new();
         for r in records {
-            self.on_commit(ctx, from, r);
+            let object = r.object;
+            if self.apply_certified(ctx, from, r) == Apply::Gap && !gapped.contains(&object) {
+                gapped.push(object);
+            }
+        }
+        for object in gapped {
+            let from_index = self.store.get(&object).map_or(0, |s| s.next_index);
+            if let Some(target) = self.pull_target(ctx) {
+                ctx.send(target, ReplicaMsg::FetchCommits { object, from_index });
+            }
         }
     }
 

@@ -1,0 +1,93 @@
+//! Properties of the object → consensus-ring assignment.
+//!
+//! The router is the only thing standing between "N independent rings"
+//! and split-brain: clients, primaries, and secondaries each compute ring
+//! ownership locally, so the mapping must be *total* (every AGUID routes
+//! somewhere in range), *stable* (any two parties that agree on the ring
+//! count agree on every assignment — a reconfiguration that preserves the
+//! ring count moves no objects), and *balanced* (no ring becomes a
+//! hotspot by construction).
+
+use oceanstore_naming::guid::Guid;
+use oceanstore_replica::ShardRouter;
+use proptest::prelude::*;
+use rand::RngCore;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Total: every GUID routes, and always to a ring that exists.
+    #[test]
+    fn routing_is_total_and_in_range(bytes in any::<[u8; 20]>(), rings in 1usize..=64) {
+        let g = Guid::from_bytes(bytes);
+        prop_assert!(ShardRouter::new(rings).ring_of(&g) < rings);
+    }
+
+    /// Stable under ring-count-preserving reconfiguration: a rebuilt
+    /// router with the same ring count (new tier keys, new membership —
+    /// none of which the router sees) assigns every object identically,
+    /// and repeated queries of one router never disagree.
+    #[test]
+    fn routing_is_stable_across_reconfiguration(
+        seeds in proptest::collection::vec(any::<[u8; 20]>(), 1..64),
+        rings in 1usize..=64,
+    ) {
+        let before = ShardRouter::new(rings);
+        let after = ShardRouter::new(rings); // the "reconfigured" deployment
+        for bytes in seeds {
+            let g = Guid::from_bytes(bytes);
+            let owner = before.ring_of(&g);
+            prop_assert_eq!(owner, before.ring_of(&g), "self-agreement");
+            prop_assert_eq!(owner, after.ring_of(&g), "cross-reconfiguration agreement");
+        }
+    }
+
+    /// The single-ring degenerate case routes everything to ring 0 — the
+    /// compatibility guarantee every pre-sharding test relies on.
+    #[test]
+    fn single_ring_is_identity(bytes in any::<[u8; 20]>()) {
+        prop_assert_eq!(ShardRouter::new(1).ring_of(&Guid::from_bytes(bytes)), 0);
+    }
+}
+
+/// Balanced: over 100k random AGUIDs at 16 rings the most-loaded ring
+/// carries at most 1.5× the least-loaded one. The expected load is 6250
+/// per ring with a binomial standard deviation of ~76, so a correct
+/// uniform hash sits near 1.05 — 1.5 only fails if the mix is broken.
+#[test]
+fn sixteen_rings_balance_within_ratio() {
+    const GUIDS: usize = 100_000;
+    const RINGS: usize = 16;
+    let router = ShardRouter::new(RINGS);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5ead);
+    let mut counts = [0u64; RINGS];
+    for _ in 0..GUIDS {
+        let mut bytes = [0u8; 20];
+        rng.fill_bytes(&mut bytes);
+        counts[router.ring_of(&Guid::from_bytes(bytes))] += 1;
+    }
+    let max = *counts.iter().max().unwrap();
+    let min = *counts.iter().min().unwrap();
+    assert!(min > 0, "an empty ring at 100k draws means the hash is broken");
+    let ratio = max as f64 / min as f64;
+    assert!(ratio <= 1.5, "load imbalance {ratio:.3} (counts {counts:?})");
+}
+
+/// Balance also holds for structured (labeled) GUIDs, not just uniformly
+/// random ones — real AGUIDs are SHA-1 of meaningful names.
+#[test]
+fn labeled_guids_balance_within_ratio() {
+    const GUIDS: usize = 100_000;
+    const RINGS: usize = 16;
+    let router = ShardRouter::new(RINGS);
+    let mut counts = [0u64; RINGS];
+    for i in 0..GUIDS {
+        counts[router.ring_of(&Guid::from_label(&format!("tenant-{}/obj-{i}", i % 7)))] += 1;
+    }
+    let max = *counts.iter().max().unwrap();
+    let min = *counts.iter().min().unwrap();
+    let ratio = max as f64 / min.max(1) as f64;
+    assert!(ratio <= 1.5, "load imbalance {ratio:.3} (counts {counts:?})");
+}

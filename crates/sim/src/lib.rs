@@ -50,12 +50,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod engine;
 pub mod stats;
 pub mod time;
 pub mod topology;
 mod wheel;
 
+pub use cluster::ClusterSpec;
 pub use engine::{Context, Message, Protocol, Simulator};
 pub use stats::{ClassStats, DropCause, NetStats};
 pub use time::{SimDuration, SimTime};

@@ -37,6 +37,12 @@ impl fmt::Display for NodeId {
 pub struct Topology {
     /// adjacency[u] = (v, one-way latency)
     adj: Vec<Vec<(NodeId, SimDuration)>>,
+    /// Set for [`Topology::uniform_mesh`]: every distinct pair is linked at
+    /// this latency, but no adjacency/cache memory is materialized —
+    /// `dist`/`hops` answer in O(1). A 10k-node full mesh would otherwise
+    /// cost ~10⁸ adjacency entries plus an O(n) Dijkstra row per warmed
+    /// source, which is what caps deployment size.
+    uniform: Option<SimDuration>,
     /// Optional 2-D embedding (geometric topologies keep it for debugging
     /// and for latency-proportional placement experiments).
     positions: Option<Vec<(f64, f64)>>,
@@ -60,6 +66,7 @@ impl Clone for Topology {
     fn clone(&self) -> Self {
         Topology {
             adj: self.adj.clone(),
+            uniform: self.uniform,
             positions: self.positions.clone(),
             dist_cache: Mutex::new(self.dist_cache.lock().clone()),
             hop_cache: Mutex::new(self.hop_cache.lock().clone()),
@@ -83,6 +90,7 @@ impl Topology {
         let n = adj.len();
         Topology {
             adj,
+            uniform: None,
             positions,
             dist_cache: Mutex::new(vec![None; n]),
             hop_cache: Mutex::new(vec![None; n]),
@@ -117,6 +125,19 @@ impl Topology {
             b.edge(NodeId(u), NodeId((u + 1) % n), latency);
         }
         b.build()
+    }
+
+    /// Complete graph on `n` nodes with uniform one-way `latency`, stored
+    /// implicitly: `dist`/`hops` answer in O(1) with no adjacency lists or
+    /// per-source caches, so meshes of 10k+ nodes cost O(n) memory instead
+    /// of O(n²). Latency-identical to [`Topology::full_mesh`] for every
+    /// pair, hence schedule-identical for any protocol that routes by
+    /// [`Topology::dist`]; [`Topology::neighbors`] reports no overlay
+    /// edges, so hop-by-hop overlay protocols should keep `full_mesh`.
+    pub fn uniform_mesh(n: usize, latency: SimDuration) -> Self {
+        let mut t = Self::with_adj(vec![Vec::new(); n], None);
+        t.uniform = Some(latency);
+        t
     }
 
     /// `w × h` grid with uniform edge `latency`.
@@ -221,6 +242,9 @@ impl Topology {
 
     /// Number of undirected edges.
     pub fn edge_count(&self) -> usize {
+        if self.uniform.is_some() {
+            return self.adj.len() * self.adj.len().saturating_sub(1) / 2;
+        }
         self.adj.iter().map(Vec::len).sum::<usize>() / 2
     }
 
@@ -239,6 +263,9 @@ impl Topology {
     pub fn dist(&self, u: NodeId, v: NodeId) -> Option<SimDuration> {
         if u == v {
             return Some(SimDuration::ZERO);
+        }
+        if let Some(lat) = self.uniform {
+            return (u.0 < self.adj.len() && v.0 < self.adj.len()).then_some(lat);
         }
         let mut cache = self.dist_cache.lock();
         if cache[u.0].is_none() {
@@ -269,6 +296,9 @@ impl Topology {
         if u == v {
             return Some(0);
         }
+        if self.uniform.is_some() {
+            return (u.0 < self.adj.len() && v.0 < self.adj.len()).then_some(1);
+        }
         let mut cache = self.hop_cache.lock();
         if cache[u.0].is_none() {
             cache[u.0] = Some(self.bfs(u));
@@ -279,7 +309,7 @@ impl Topology {
 
     /// Whether every node can reach every other node.
     pub fn is_connected(&self) -> bool {
-        if self.adj.is_empty() {
+        if self.adj.is_empty() || self.uniform.is_some() {
             return true;
         }
         let reach = self.bfs(NodeId(0));

@@ -1,0 +1,62 @@
+//! CI smoke for the scale-out path: a 2-ring, 500-node deployment driven
+//! at three offered rates, with the no-committed-update-loss oracle
+//! enforced at every rate. Exits non-zero if the oracle fails or if the
+//! tier cannot keep up at the lowest (clearly feasible) rate.
+
+use oceanstore_sim::SimDuration;
+use oceanstore_workload::{run_workload, WorkloadSpec};
+
+fn main() {
+    // 2 rings × 4 primaries + 488 secondaries + 4 clients = 500 nodes.
+    let spec = WorkloadSpec {
+        rings: 2,
+        m: 1,
+        secondaries: 488,
+        clients: 4,
+        objects: 32,
+        zipf_s: 0.9,
+        write_fraction: 0.8,
+        rate: 0.0, // set per sweep point below
+        duration: SimDuration::from_secs(8),
+        drain: SimDuration::from_secs(4),
+        latency: SimDuration::from_millis(20),
+        seed: 7,
+    };
+    let rates = [5.0, 20.0, 60.0];
+    let mut failed = false;
+    println!("workload-smoke: rings=2 nodes=500 duration=8s drain=4s");
+    println!(
+        "{:>8} {:>9} {:>10} {:>12} {:>9} {:>9} {:>9} {:>6}",
+        "rate/s", "offered", "committed", "committed/s", "p50_ms", "p99_ms", "p999_ms", "lost"
+    );
+    for rate in rates {
+        let report = run_workload(&WorkloadSpec { rate, ..spec.clone() });
+        println!(
+            "{:>8.1} {:>9} {:>10} {:>12.2} {:>9.2} {:>9.2} {:>9.2} {:>6}",
+            rate,
+            report.offered,
+            report.committed,
+            report.committed_per_sec,
+            report.p50_us as f64 / 1e3,
+            report.p99_us as f64 / 1e3,
+            report.p999_us as f64 / 1e3,
+            report.lost,
+        );
+        if report.lost != 0 {
+            eprintln!("FAIL: rate {rate}: {} committed updates lost", report.lost);
+            failed = true;
+        }
+        if rate == rates[0] && !report.kept_up() {
+            eprintln!(
+                "FAIL: rate {rate}: tier fell behind a clearly feasible load \
+                 ({}/{} committed)",
+                report.committed, report.offered
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("workload-smoke: OK");
+}

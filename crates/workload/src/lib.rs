@@ -1,0 +1,397 @@
+//! Open-loop workload generation for sharded OceanStore deployments.
+//!
+//! The paper argues for a system "constructed from untrusted
+//! infrastructure" that still scales to "potentially billions of users";
+//! this crate measures how far the reproduction's consensus path actually
+//! goes. It drives a [`Deployment`] with an *open-loop* arrival process —
+//! requests arrive on a Poisson schedule at a fixed offered rate whether
+//! or not earlier requests have finished, the standard way to expose
+//! saturation and coordinated omission that closed-loop (submit → wait →
+//! submit) harnesses hide.
+//!
+//! A run reports committed-updates/s against offered load plus the
+//! p50/p99/p999 commit-latency profile, and checks a *no committed-update
+//! loss* oracle: every update the client saw commit (`m + 1` matching
+//! replies) must occupy a serialization slot on the owning ring's
+//! primaries.
+
+pub mod zipf;
+
+use std::collections::HashMap;
+
+use oceanstore_naming::guid::Guid;
+use oceanstore_replica::{build_deployment, Deployment, DeploymentOpts};
+use oceanstore_sim::{NodeId, SimDuration, SimTime};
+use oceanstore_update::update::Action;
+use oceanstore_update::Update;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::zipf::Zipf;
+
+pub use oceanstore_consensus::messages::RequestId;
+
+/// Parameters of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Consensus rings sharing the secondary substrate.
+    pub rings: usize,
+    /// Faults tolerated per ring (`3m + 1` primaries each).
+    pub m: usize,
+    /// Secondary replicas (the "nodes" of a scale-out run).
+    pub secondaries: usize,
+    /// Client population; writes rotate round-robin across it.
+    pub clients: usize,
+    /// Distinct objects addressed by the workload.
+    pub objects: usize,
+    /// Zipf popularity exponent over the objects (0 = uniform).
+    pub zipf_s: f64,
+    /// Fraction of arrivals that are writes; the rest are reads served
+    /// locally by a random secondary's committed view.
+    pub write_fraction: f64,
+    /// Offered load in arrivals per simulated second.
+    pub rate: f64,
+    /// Arrival window: requests are injected in `[0, duration)`.
+    pub duration: SimDuration,
+    /// Settle time after the last arrival before outcomes are counted.
+    /// Kept finite on purpose — a saturated tier does *not* get unlimited
+    /// time to drain, which is what makes saturation observable.
+    pub drain: SimDuration,
+    /// Uniform one-way mesh latency.
+    pub latency: SimDuration,
+    /// RNG/key seed (arrival schedule and deployment both derive from it).
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            rings: 1,
+            m: 1,
+            secondaries: 16,
+            clients: 2,
+            objects: 32,
+            zipf_s: 0.9,
+            write_fraction: 0.8,
+            rate: 20.0,
+            duration: SimDuration::from_secs(10),
+            drain: SimDuration::from_secs(4),
+            latency: SimDuration::from_millis(20),
+            seed: 1,
+        }
+    }
+}
+
+/// What one run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadReport {
+    /// Writes injected during the arrival window.
+    pub offered: u64,
+    /// Writes that reached `m + 1` matching replies by the end of drain.
+    pub committed: u64,
+    /// Reads served (from secondaries' committed views).
+    pub reads: u64,
+    /// Reads that observed fewer committed records than the owning ring's
+    /// frontier at read time (dissemination lag).
+    pub stale_reads: u64,
+    /// Committed outcomes with no backing serialization slot on the owning
+    /// ring — the no-loss oracle; always 0 for a correct tier.
+    pub lost: u64,
+    /// Offered write load, per simulated second.
+    pub offered_per_sec: f64,
+    /// Committed throughput, per simulated second of the arrival window.
+    pub committed_per_sec: f64,
+    /// Commit-latency percentiles over committed writes, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile commit latency, microseconds.
+    pub p99_us: u64,
+    /// 99.9th percentile commit latency, microseconds.
+    pub p999_us: u64,
+    /// Worst observed commit latency, microseconds.
+    pub max_us: u64,
+    /// Requests still uncommitted when drain ended.
+    pub pending: u64,
+}
+
+impl WorkloadReport {
+    /// Whether the tier kept up: every offered write committed within the
+    /// run. A `false` here at a given rate is the saturation point.
+    pub fn kept_up(&self) -> bool {
+        self.committed == self.offered
+    }
+}
+
+/// One scheduled arrival.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Write { object: usize },
+    Read { object: usize, secondary: usize },
+}
+
+/// The open-loop arrival schedule: Poisson arrivals (exponential
+/// inter-arrival gaps) at `spec.rate`, each tagged with a Zipf-popular
+/// object and a read/write coin. Generated up front so injection cannot
+/// be back-pressured by the system under test.
+fn arrival_schedule(spec: &WorkloadSpec) -> Vec<(SimTime, Op)> {
+    let zipf = Zipf::new(spec.objects, spec.zipf_s);
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let horizon = spec.duration.as_micros() as f64 / 1e6;
+    let mut schedule = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -u.ln() / spec.rate;
+        if t >= horizon {
+            return schedule;
+        }
+        let object = zipf.sample(&mut rng);
+        let op = if rng.gen_range(0.0..1.0) < spec.write_fraction {
+            Op::Write { object }
+        } else {
+            Op::Read { object, secondary: rng.gen_range(0..spec.secondaries) }
+        };
+        schedule.push((SimTime::ZERO + SimDuration::from_micros((t * 1e6) as u64), op));
+    }
+}
+
+/// The object GUID of workload rank `i`.
+fn object_guid(i: usize) -> Guid {
+    Guid::from_label(&format!("wl-obj-{i}"))
+}
+
+/// Highest committed serialization index for `object` across the owning
+/// ring's primaries — the authoritative frontier reads are judged against.
+fn ring_frontier(dep: &Deployment, object: &Guid) -> u64 {
+    dep.ring_for(object)
+        .primaries
+        .iter()
+        .filter_map(|&p| dep.sim.node(p).as_primary())
+        .filter_map(|prim| prim.store.get(object).map(|st| st.next_index))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Nearest-rank percentile of an ascending latency sample.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Runs one open-loop workload and reports throughput, latency, and the
+/// no-loss oracle.
+pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
+    assert!(spec.rate > 0.0, "offered rate must be positive");
+    assert!(
+        (0.0..=1.0).contains(&spec.write_fraction),
+        "write fraction must be a probability"
+    );
+    let mut dep = build_deployment(&DeploymentOpts {
+        rings: spec.rings,
+        m: spec.m,
+        secondaries: spec.secondaries,
+        clients: spec.clients,
+        latency: spec.latency,
+        seed: spec.seed,
+        ..DeploymentOpts::default()
+    });
+    let schedule = arrival_schedule(spec);
+
+    // Inject the schedule. Writes rotate over the client population and
+    // are tracked as (client node, request id, object rank) for outcome
+    // collection; reads probe a secondary's committed view against the
+    // owning ring's frontier at that instant.
+    let mut submissions: Vec<(NodeId, RequestId, usize)> = Vec::new();
+    let mut reads = 0u64;
+    let mut stale_reads = 0u64;
+    let mut next_client = 0usize;
+    for (at, op) in schedule {
+        dep.sim.run_until(at);
+        match op {
+            Op::Write { object } => {
+                let client = dep.clients[next_client % dep.clients.len()];
+                next_client += 1;
+                let guid = object_guid(object);
+                let marker = submissions.len() as u64;
+                let update = Update::unconditional(vec![Action::Append {
+                    ciphertext: marker.to_le_bytes().to_vec(),
+                }]);
+                let id = dep.sim.with_node_ctx(client, |node, ctx| {
+                    node.as_client_mut().expect("client node").submit(ctx, guid, &update)
+                });
+                submissions.push((client, id, object));
+            }
+            Op::Read { object, secondary } => {
+                let guid = object_guid(object);
+                let have = dep
+                    .sim
+                    .node(dep.secondaries[secondary])
+                    .as_secondary()
+                    .expect("secondary node")
+                    .store
+                    .get(&guid)
+                    .map_or(0, |st| st.next_index);
+                reads += 1;
+                if have < ring_frontier(&dep, &guid) {
+                    stale_reads += 1;
+                }
+            }
+        }
+    }
+    dep.sim.run_until(SimTime::ZERO + spec.duration + spec.drain);
+
+    // Collect outcomes and run the no-loss oracle: each object's committed
+    // count must be covered by serialization slots on its owning ring.
+    let mut latencies = Vec::new();
+    let mut pending = 0u64;
+    let mut committed_per_object: HashMap<usize, u64> = HashMap::new();
+    for &(client, id, object) in &submissions {
+        let outcome =
+            dep.sim.node(client).as_client().expect("client node").outcome(id).copied();
+        match outcome {
+            Some(o) => {
+                latencies.push(o.committed_at.saturating_since(o.sent_at).as_micros());
+                *committed_per_object.entry(object).or_default() += 1;
+            }
+            None => pending += 1,
+        }
+    }
+    let lost: u64 = committed_per_object
+        .iter()
+        .map(|(&object, &count)| {
+            count.saturating_sub(ring_frontier(&dep, &object_guid(object)))
+        })
+        .sum();
+    latencies.sort_unstable();
+
+    let offered = submissions.len() as u64;
+    let committed = latencies.len() as u64;
+    let window = spec.duration.as_micros() as f64 / 1e6;
+    WorkloadReport {
+        offered,
+        committed,
+        reads,
+        stale_reads,
+        lost,
+        offered_per_sec: offered as f64 / window,
+        committed_per_sec: committed as f64 / window,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        p999_us: percentile(&latencies, 0.999),
+        max_us: latencies.last().copied().unwrap_or(0),
+        pending,
+    }
+}
+
+/// Runs `spec` at each offered rate in turn (same seed, fresh deployment
+/// per rate) — the saturation sweep: committed-updates/s tracks the
+/// offered rate until the tier saturates, then plateaus while tail
+/// latency and pending counts blow up.
+pub fn sweep(spec: &WorkloadSpec, rates: &[f64]) -> Vec<WorkloadReport> {
+    rates
+        .iter()
+        .map(|&rate| run_workload(&WorkloadSpec { rate, ..spec.clone() }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            secondaries: 8,
+            objects: 8,
+            rate: 10.0,
+            duration: SimDuration::from_secs(5),
+            drain: SimDuration::from_secs(3),
+            ..WorkloadSpec::default()
+        }
+    }
+
+    #[test]
+    fn underloaded_run_commits_everything() {
+        let report = run_workload(&small_spec());
+        assert!(report.offered > 20, "5 s at 10/s must offer real load");
+        assert!(report.kept_up(), "underloaded tier fell behind: {report:?}");
+        assert_eq!(report.lost, 0, "no-loss oracle");
+        assert_eq!(report.pending, 0);
+        assert!(report.p50_us > 0, "commit latency must be measurable");
+        assert!(report.p99_us >= report.p50_us);
+        assert!(report.p999_us >= report.p99_us);
+        assert!(report.max_us >= report.p999_us);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        assert_eq!(run_workload(&small_spec()), run_workload(&small_spec()));
+    }
+
+    #[test]
+    fn read_write_mix_produces_reads() {
+        let spec = WorkloadSpec { write_fraction: 0.5, ..small_spec() };
+        let report = run_workload(&spec);
+        assert!(report.reads > 5, "half the arrivals must be reads");
+        assert!(report.offered > 5, "half the arrivals must be writes");
+        assert!(report.stale_reads <= report.reads);
+    }
+
+    #[test]
+    fn sharded_run_commits_across_rings() {
+        let spec = WorkloadSpec { rings: 4, secondaries: 15, ..small_spec() };
+        let report = run_workload(&spec);
+        assert!(report.kept_up(), "4-ring tier fell behind: {report:?}");
+        assert_eq!(report.lost, 0);
+    }
+
+    #[test]
+    fn overload_is_visible_as_saturation() {
+        // Far beyond a single ring's service rate at this latency: the
+        // queue grows without bound during the window (commit latency is
+        // hundreds of ms against a ~66 ms unloaded baseline) and the
+        // bounded drain cannot absorb the backlog.
+        let spec = WorkloadSpec {
+            rate: 2_000.0,
+            duration: SimDuration::from_secs(2),
+            drain: SimDuration::from_millis(250),
+            write_fraction: 1.0,
+            ..small_spec()
+        };
+        let report = run_workload(&spec);
+        assert!(report.offered > 3_000);
+        assert!(
+            !report.kept_up(),
+            "an open-loop overload must saturate: {report:?}"
+        );
+        assert!(
+            report.p99_us > 250_000,
+            "overload must show queueing in the tail: {report:?}"
+        );
+        assert_eq!(report.lost, 0, "saturation must not lose committed updates");
+        assert_eq!(report.committed + report.pending, report.offered);
+    }
+
+    /// Scale-out smoke at the paper's target node counts. Ignored by
+    /// default (minutes of wall clock); CI runs the 500-node smoke binary
+    /// instead, and `cargo test -p oceanstore-workload -- --ignored`
+    /// exercises this one.
+    #[test]
+    #[ignore = "10k-node run; minutes of wall clock"]
+    fn ten_thousand_node_run_commits() {
+        let spec = WorkloadSpec {
+            rings: 4,
+            secondaries: 10_000,
+            clients: 4,
+            objects: 64,
+            rate: 30.0,
+            duration: SimDuration::from_secs(5),
+            drain: SimDuration::from_secs(4),
+            ..WorkloadSpec::default()
+        };
+        let report = run_workload(&spec);
+        assert!(report.kept_up(), "10k-node tier fell behind: {report:?}");
+        assert_eq!(report.lost, 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Zipf-distributed object popularity.
+//!
+//! OceanStore's motivating workloads (shared file systems, groupware) are
+//! heavily skewed: a few hot objects take most of the traffic while a long
+//! tail stays almost cold. The generator models that with a Zipf law over
+//! the object ranks — rank `i` (1-based) is drawn with probability
+//! proportional to `1 / i^s`.
+
+use rand::Rng;
+
+/// A precomputed Zipf sampler over `n` ranks with exponent `s`.
+///
+/// Sampling is a binary search over the cumulative mass, so one draw costs
+/// `O(log n)` and a single `f64` from the RNG — cheap enough to drive
+/// millions of arrivals deterministically.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probability mass, `cdf[i]` = P(rank <= i+1).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over ranks `0..n` with exponent `s` (`s = 0` is
+    /// uniform; larger `s` is more skewed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 1..=n {
+            total += 1.0 / (i as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `0..n` (0 is the most popular).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is empty (never: construction requires `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn skewed_draws_favor_low_ranks() {
+        let zipf = Zipf::new(100, 1.1);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Rank 0 dominates and the head outweighs the tail.
+        assert!(counts[0] > counts[10], "head rank must beat rank 10");
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[90..].iter().sum();
+        assert!(head > 10 * tail.max(1), "head must dwarf the tail");
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((3_500..6_500).contains(&c), "uniform draw out of band: {c}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let zipf = Zipf::new(64, 0.9);
+        let draw = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            (0..256).map(|_| zipf.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+}
