@@ -16,6 +16,7 @@ use oceanstore_naming::guid::Guid;
 use oceanstore_sim::{Context, Message, NodeId, Protocol, SimDuration, SimTime};
 
 use crate::fragment::{archive_object, reconstruct_object, Fragment};
+use crate::store::{FragStore, FragStoreHealth};
 
 /// Timer: evaluate the previous sweep round and start a new one.
 const TIMER_SWEEP: u64 = 20;
@@ -109,8 +110,9 @@ pub struct TrackedArchive {
 /// (optionally) repair sweeper.
 #[derive(Debug)]
 pub struct ArchNode {
-    /// Fragments stored here: (archive, index) → fragment.
-    store: HashMap<(Guid, usize), Fragment>,
+    /// Fragments stored here: metadata index over a content-addressed
+    /// blob store holding the payloads.
+    store: FragStore,
     /// Outstanding fetches from this node.
     pending: HashMap<u64, PendingFetch>,
     /// Completed fetches.
@@ -142,7 +144,7 @@ impl ArchNode {
     /// An ordinary fragment server / requester.
     pub fn new() -> Self {
         ArchNode {
-            store: HashMap::new(),
+            store: FragStore::new(),
             pending: HashMap::new(),
             outcomes: HashMap::new(),
             tracked: Vec::new(),
@@ -173,7 +175,18 @@ impl ArchNode {
 
     /// Whether a fragment of `archive` is stored here.
     pub fn holds(&self, archive: &Guid) -> bool {
-        self.store.keys().any(|(a, _)| a == archive)
+        self.store.holds(archive)
+    }
+
+    /// Store-health counters of this node's fragment holdings.
+    pub fn store_health(&self) -> FragStoreHealth {
+        self.store.health()
+    }
+
+    /// Swaps the fragment store's blob backend (chaos scenarios wire
+    /// provider composites in; held payloads are re-homed).
+    pub fn set_blob_store(&mut self, backend: Box<dyn oceanstore_store::BlobStore>) {
+        self.store.set_blob_store(backend);
     }
 
     /// Holders currently believed for a tracked archive (sweeper view).
@@ -188,7 +201,7 @@ impl ArchNode {
 
     /// Stores a fragment locally (out-of-band seeding for tests/benches).
     pub fn seed_fragment(&mut self, fragment: Fragment) {
-        self.store.insert((fragment.archive, fragment.index), fragment);
+        self.store.insert(fragment);
     }
 
     /// Issues a fetch: requests fragments from `k + extra` of the
@@ -212,13 +225,7 @@ impl ArchNode {
         for &h in holders.iter().take(want) {
             if h == origin {
                 // Serve ourselves synchronously.
-                let local: Vec<Fragment> = self
-                    .store
-                    .iter()
-                    .filter(|((a, _), _)| *a == archive)
-                    .map(|(_, f)| f.clone())
-                    .collect();
-                for f in local {
+                for f in self.store.of_archive(&archive) {
                     self.accept_fragment(ctx, id, f);
                 }
             } else {
@@ -286,7 +293,7 @@ impl ArchNode {
             let site = sites[i % sites.len()];
             holders.push(site);
             if site == ctx.node() {
-                self.store.insert((fragment.archive, fragment.index), fragment);
+                self.store.insert(fragment);
             } else {
                 ctx.send(site, ArchMsg::Store(fragment));
             }
@@ -340,13 +347,7 @@ impl Protocol for ArchNode {
             let unique: HashSet<NodeId> = holders.into_iter().collect();
             for h in unique {
                 if h == origin {
-                    let local: Vec<Fragment> = self
-                        .store
-                        .iter()
-                        .filter(|((a, _), _)| *a == archive)
-                        .map(|(_, f)| f.clone())
-                        .collect();
-                    for f in local {
+                    for f in self.store.of_archive(&archive) {
                         self.accept_fragment(ctx, id, f);
                     }
                 } else {
@@ -373,17 +374,11 @@ impl Protocol for ArchNode {
         match msg {
             ArchMsg::Store(fragment) => {
                 if fragment.verify() {
-                    self.store.insert((fragment.archive, fragment.index), fragment);
+                    self.store.insert(fragment);
                 }
             }
             ArchMsg::Request { id, archive, origin } => {
-                let frags: Vec<Fragment> = self
-                    .store
-                    .iter()
-                    .filter(|((a, _), _)| *a == archive)
-                    .map(|(_, f)| f.clone())
-                    .collect();
-                for fragment in frags {
+                for fragment in self.store.of_archive(&archive) {
                     ctx.send(origin, ArchMsg::Response { id, fragment });
                 }
             }

@@ -1,10 +1,10 @@
 //! Measures the fast-path kernels against their frozen "before"
-//! implementations and emits a machine-readable `BENCH_PR7.json`.
+//! implementations and emits a machine-readable `BENCH_PR8.json`.
 //!
 //! ```text
 //! cargo run --release -p oceanstore-bench --bin perf_report
 //! cargo run --release -p oceanstore-bench --bin perf_report -- --small --out /tmp/b.json
-//! cargo run --release -p oceanstore-bench --bin perf_report -- --diff-frozen BENCH_PR6.json BENCH_PR7.json
+//! cargo run --release -p oceanstore-bench --bin perf_report -- --diff-frozen BENCH_PR7.json BENCH_PR8.json
 //! ```
 //!
 //! Flags:
@@ -54,7 +54,7 @@ fn parse_args() -> Args {
         small: false,
         check: false,
         min_gf256_mbps: None,
-        out: "BENCH_PR7.json".to_string(),
+        out: "BENCH_PR8.json".to_string(),
         diff_frozen: None,
     };
     let mut it = std::env::args().skip(1);
@@ -380,6 +380,114 @@ fn bench_long_horizon(small: bool) -> Vec<Bench> {
         Bench { name: label.0, unit: "updates/s", before: None, after: slots as f64 / wall },
         Bench { name: label.1, unit: "slots", before: None, after: peak as f64 },
     ]
+}
+
+// ---------------------------------------------------------------- store --
+
+/// Blob-backend and replica-store rows for the content-addressed storage
+/// layer. One wall-clock bar — put+get+delete throughput of the on-disk
+/// directory backend with the in-memory default as its "after" side, so
+/// the speedup column reads as the dir backend's overhead factor — and
+/// two deterministic rows that diff exactly across frozen reports: the
+/// dedup ratio of a 16-way duplicated block population, and the peak
+/// retained record-log length of a long certified commit stream (the
+/// bounded-log row; its "before" side is the same stream with truncation
+/// disabled, which is what every replica paid before the bound existed).
+fn bench_store(small: bool) -> Vec<Bench> {
+    use oceanstore_store::{BlobStore, DedupStore, DirStore, MemoryStore};
+
+    let blob_len = 64 * 1024;
+    let blobs = if small { 32 } else { 128 };
+    let payloads: Vec<Vec<u8>> = (0..blobs)
+        .map(|i| (0..blob_len).map(|j| ((i * 131 + j * 7) % 256) as u8).collect())
+        .collect();
+    let roundtrip = |store: &mut dyn BlobStore| {
+        let cids: Vec<_> = payloads.iter().map(|p| store.put(p).expect("put")).collect();
+        for cid in &cids {
+            assert_eq!(store.get(cid).expect("get").expect("present").len(), blob_len);
+            store.delete(cid).expect("delete");
+        }
+    };
+    let target = if small { 150 } else { 400 };
+    let (t_dir, t_mem) = ab_time_per_call(
+        target * 2,
+        || {
+            let mut s = DirStore::new_ephemeral();
+            roundtrip(&mut s);
+        },
+        || {
+            let mut s = MemoryStore::new();
+            roundtrip(&mut s);
+        },
+    );
+    let payload_mb = mb(blobs * blob_len);
+    let mut out = vec![Bench {
+        name: "store/put_get_delete_64kib/dir_vs_memory",
+        unit: "MB/s",
+        before: Some(payload_mb / t_dir),
+        after: payload_mb / t_mem,
+    }];
+
+    // Dedup: 16 distinct blocks, each stored 16 times (the dissemination
+    // pattern of one block fanned out across a tier). Exactly one copy of
+    // each may reach the backend, so the logical/stored ratio is 16.
+    let mut dedup = DedupStore::new(Box::new(MemoryStore::new()));
+    for _ in 0..16 {
+        for block in 0..16u8 {
+            dedup.put(&vec![block; 4096]).expect("put");
+        }
+    }
+    let ratio = dedup.dedup_stats().ratio();
+    assert!((ratio - 16.0).abs() < 1e-9, "16-way duplicate ratio came out {ratio}");
+    out.push(Bench {
+        name: "store/dedup_logical_over_stored/16_way_duplicate",
+        unit: "ratio",
+        before: None,
+        after: ratio,
+    });
+
+    // Bounded record log: stream `commits` certified updates through one
+    // object and record the peak retained log length. The "before" side
+    // replays the identical stream with truncation disabled — every
+    // replica retained the full history before the certified-frontier
+    // bound existed. Both sides are seeded and deterministic, so this row
+    // diffs exactly across frozen reports; the speedup column is the
+    // retained-memory fraction (lower is better, ~retention/commits).
+    let commits: u64 = if small { 1_024 } else { 4_096 };
+    let peak_retained = |retention: Option<u64>| -> f64 {
+        use oceanstore_replica::messages::TentativeId;
+        let object = oceanstore_naming::guid::Guid::from_label("bench-record-log");
+        let mut store = oceanstore_replica::ObjectStore::new();
+        if let Some(r) = retention {
+            store.set_record_retention(r);
+        }
+        let kp = oceanstore_crypto::schnorr::KeyPair::from_seed(b"bench-record-log");
+        for i in 0..commits {
+            let update = oceanstore_update::Update::unconditional(vec![
+                oceanstore_update::update::Action::Append { ciphertext: vec![(i % 251) as u8; 32] },
+            ]);
+            let encoded = std::sync::Arc::new(oceanstore_update::encode_update(&update));
+            let rec = store.serialize_update(
+                object,
+                &update,
+                encoded,
+                i,
+                TentativeId { client: NodeId(0), counter: i },
+            );
+            let mut cert = oceanstore_crypto::threshold::SerializationCert::new();
+            cert.add(kp.public(), kp.sign(&rec.signing_bytes()));
+            store.set_cert(&object, i, cert);
+        }
+        store.health().peak_retained_records as f64
+    };
+    let (label, unbounded, bounded) = if small {
+        ("store/peak_retained_records/1k_certified_commits", peak_retained(Some(u64::MAX)), peak_retained(None))
+    } else {
+        ("store/peak_retained_records/4k_certified_commits", peak_retained(Some(u64::MAX)), peak_retained(None))
+    };
+    assert_eq!(unbounded, commits as f64, "truncation-disabled run must retain everything");
+    out.push(Bench { name: label, unit: "records", before: Some(unbounded), after: bounded });
+    out
 }
 
 // --------------------------------------------------------------- engine --
@@ -779,7 +887,7 @@ fn render_json(preset: &str, benches: &[Bench]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"oceanstore-perf-report/v1\",\n");
-    s.push_str("  \"pr\": 7,\n");
+    s.push_str("  \"pr\": 8,\n");
     s.push_str(&format!("  \"preset\": \"{preset}\",\n"));
     s.push_str(&format!(
         "  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}}},\n",
@@ -889,6 +997,7 @@ fn main() {
     benches.extend(bench_schnorr(args.small));
     benches.extend(bench_consensus(args.small));
     benches.extend(bench_long_horizon(args.small));
+    benches.extend(bench_store(args.small));
     benches.extend(bench_engine(args.small));
     benches.extend(bench_shard_sweep(args.small));
     benches.extend(bench_chaos(args.small));

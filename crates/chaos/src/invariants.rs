@@ -174,6 +174,66 @@ pub fn check_frontier_stalled(label: &str, before: u64, after: u64) -> Invariant
     report
 }
 
+/// Translates a replica store's health counters into the introspection
+/// gauge (field-by-field, the introspect crate stays dependency-free).
+pub fn store_gauge_of(h: &oceanstore_replica::StoreHealth) -> oceanstore_introspect::StoreGauge {
+    oceanstore_introspect::StoreGauge {
+        objects: h.objects,
+        retained_records: h.retained_records,
+        total_records_applied: h.total_records_applied,
+        records_dropped: h.records_dropped,
+        blob_count: h.blob_count,
+        blob_bytes: h.blob_bytes,
+        dedup_hits: h.dedup_hits,
+        dedup_bytes_saved: h.dedup_bytes_saved,
+        fallback_reads: h.fallback_reads,
+        blob_put_failures: h.blob_put_failures,
+    }
+}
+
+/// Bounded replica-store memory: no live primary's or secondary's record
+/// log may retain more than `max_retained_records` commit records (the
+/// PR 6 consensus-log bound, extended to the replica store's record log).
+/// Sampling goes through the introspection [`StoreMonitor`] so the same
+/// gauge the long-horizon harnesses watch is the one enforced here.
+///
+/// [`StoreMonitor`]: oceanstore_introspect::StoreMonitor
+pub fn check_store_memory(dep: &Deployment, max_retained_records: u64) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    let mut monitor = oceanstore_introspect::StoreMonitor::bounded(max_retained_records);
+    let stores = dep
+        .rings
+        .iter()
+        .flat_map(|r| r.primaries.iter())
+        .chain(dep.secondaries.iter())
+        .filter(|&&n| !dep.sim.is_down(n))
+        .filter_map(|&n| {
+            dep.sim
+                .node(n)
+                .as_primary()
+                .map(|p| (n, p.store.health()))
+                .or_else(|| dep.sim.node(n).as_secondary().map(|s| (n, s.store.health())))
+        });
+    for (n, health) in stores {
+        monitor.record(store_gauge_of(&health));
+        if health.peak_retained_records > max_retained_records {
+            report.failures.push(format!(
+                "store-mem: node {n:?} peaked at {} retained records (bound {})",
+                health.peak_retained_records, max_retained_records
+            ));
+        }
+    }
+    if !monitor.healthy() {
+        report.failures.push(format!(
+            "store-mem: {}/{} sampled stores over the {}-record bound",
+            monitor.violations(),
+            monitor.samples(),
+            max_retained_records
+        ));
+    }
+    report
+}
+
 /// All clients saw their submissions commit (`m + 1` matching replies).
 pub fn check_clients_settled(dep: &Deployment) -> InvariantReport {
     let mut report = InvariantReport::default();

@@ -20,7 +20,7 @@ use rand_chacha::ChaCha8Rng;
 use crate::invariants::{
     check_clients_settled, check_convergence, check_every_commit_certifies,
     check_frontier_stalled, check_no_committed_loss, check_no_uncertified_records,
-    committed_frontier, InvariantReport,
+    check_store_memory, committed_frontier, InvariantReport,
 };
 use crate::runner::{run_schedule, stats_fingerprint, ScheduleCursor, TraceEntry};
 use crate::schedule::{FaultAction, Schedule};
@@ -439,6 +439,107 @@ pub fn link_flap(seed: u64) -> ScenarioOutcome {
         .merge(check_every_commit_certifies(&dep, &[object]));
     if dep.sim.stats().dropped_by_cause(DropCause::LinkFlap) == 0 {
         report.failures.push("flap schedule never actually dropped a message".into());
+    }
+    ScenarioOutcome { trace, fingerprint: stats_fingerprint(&dep.sim), report }
+}
+
+/// Kills one hash-range blob provider mid-run.
+///
+/// Every replica's block store is rewired onto a two-shard provider pair
+/// (CIDs `00-7f` → provider A, `80-ff` → provider B, shared by all
+/// nodes). Updates commit before and after provider A dies. The tier
+/// must lose nothing: commits keep flowing (the blob layer is storage,
+/// not the replication path), and every committed byte still *reads* on
+/// every secondary — blocks whose CID lands in the dead range are served
+/// by the in-memory replica fallback, which is the paper's durability
+/// argument for untrusted infrastructure.
+pub fn provider_loss(seed: u64) -> ScenarioOutcome {
+    use oceanstore_store::{shard_of, BlobStore, ShardedStore, SharedStore, SimRemoteStore};
+
+    let mut dep = build_deployment(&DeploymentOpts {
+        latency: SimDuration::from_millis(20),
+        seed,
+        ..DeploymentOpts::default()
+    });
+    let object = Guid::from_label("chaos-provider-loss");
+    // The shared provider pair. Latency is accounted (not scheduled), so
+    // rewiring storage cannot perturb the pinned message schedule.
+    let provider_a = SharedStore::new(SimRemoteStore::new(seed, 200, 0.0));
+    let provider_b = SharedStore::new(SimRemoteStore::new(seed ^ 1, 200, 0.0));
+    let two_shard = || -> Box<dyn BlobStore> {
+        Box::new(ShardedStore::new(vec![
+            Box::new(provider_a.clone()),
+            Box::new(provider_b.clone()),
+        ]))
+    };
+    let nodes: Vec<NodeId> = dep
+        .primaries()
+        .to_vec()
+        .into_iter()
+        .chain(dep.secondaries.iter().copied())
+        .collect();
+    for &n in &nodes {
+        let node = dep.sim.node_mut(n);
+        if let Some(p) = node.as_primary_mut() {
+            p.store.set_blob_store(two_shard());
+        } else if let Some(s) = node.as_secondary_mut() {
+            s.store.set_blob_store(two_shard());
+        }
+    }
+    // Payloads picked so the committed blocks provably span both hash
+    // ranges: two land on provider A (the one that will die), one on B.
+    let pick = |want_shard: usize, tag: &str| -> Vec<u8> {
+        (0..)
+            .map(|k| format!("chaos-provider-{tag}-{k}").into_bytes())
+            .find(|p| shard_of(&oceanstore_store::cid_of(p), 2) == want_shard)
+            .expect("some payload hashes into the range")
+    };
+    let (on_a, on_a2, on_b) = (pick(0, "a1"), pick(0, "a2"), pick(1, "b"));
+
+    submit(&mut dep, object, &on_a);
+    let mut trace = run_schedule(&mut dep.sim, &Schedule::new(), t(3_000));
+    submit(&mut dep, object, &on_b);
+    trace.extend(run_schedule(&mut dep.sim, &Schedule::new(), t(6_000)));
+    // Provider A dies with two committed blocks in its range…
+    provider_a.with(|p| p.set_down(true));
+    // …and the tier keeps committing straight through the outage.
+    submit(&mut dep, object, &on_a2);
+    trace.extend(run_schedule(&mut dep.sim, &Schedule::new(), t(12_000)));
+
+    let mut report = check_convergence(&dep, &[object])
+        .merge(check_no_committed_loss(&dep, &object, 3))
+        .merge(check_clients_settled(&dep))
+        .merge(check_every_commit_certifies(&dep, &[object]))
+        // One object in play: every store's record log must sit inside a
+        // single retention window (plus in-flight slack).
+        .merge(check_store_memory(&dep, oceanstore_replica::RECORD_RETENTION + 16));
+    // Both ranges were genuinely populated before the kill.
+    if provider_a.with(|p| p.stats().blobs) == 0 {
+        report.failures.push("range 00-7f (provider A) never stored a block".into());
+    }
+    if provider_b.with(|p| p.stats().blobs) == 0 {
+        report.failures.push("range 80-ff (provider B) never stored a block".into());
+    }
+    // Every committed byte still reads on every secondary, dead provider
+    // and all: blob-path reads must match the replica's committed state.
+    let expected: Vec<u8> = [on_a.as_slice(), &on_b, &on_a2].concat();
+    let mut fallbacks = 0u64;
+    for &s in &dep.secondaries.clone() {
+        let sec = dep.sim.node_mut(s).as_secondary_mut().expect("secondary");
+        match sec.store.read_object_bytes(&object) {
+            Some(bytes) if bytes == expected => {}
+            Some(_) => report.failures.push(format!("secondary {s:?} read wrong bytes")),
+            None => report.failures.push(format!("secondary {s:?} could not read the object")),
+        }
+        fallbacks += sec.store.health().fallback_reads;
+    }
+    if fallbacks == 0 {
+        report
+            .failures
+            .push("no read ever fell back to the replica — the dead range went unexercised".into());
+    }
+    if provider_a.with(|p| p.stats().denied) == 0 {
+        report.failures.push("dead provider A never denied an operation".into());
     }
     ScenarioOutcome { trace, fingerprint: stats_fingerprint(&dep.sim), report }
 }

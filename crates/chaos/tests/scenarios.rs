@@ -131,6 +131,20 @@ fn locate_scenario_is_deterministic() {
 }
 
 #[test]
+fn provider_loss_keeps_every_committed_byte_readable() {
+    let out = scenarios::provider_loss(29);
+    assert!(out.report.passed(), "invariants failed: {:#?}", out.report.failures);
+}
+
+#[test]
+fn provider_loss_is_deterministic() {
+    let a = scenarios::provider_loss(29);
+    let b = scenarios::provider_loss(29);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.fingerprint, b.fingerprint);
+}
+
+#[test]
 fn quorum_loss_stalls_then_recovers() {
     let out = scenarios::quorum_loss(23);
     assert!(out.report.passed(), "invariants failed: {:#?}", out.report.failures);

@@ -23,10 +23,12 @@ pub mod memory;
 pub mod migration;
 pub mod prefetch;
 pub mod replica_mgmt;
+pub mod store;
 
 pub use cluster::ClusterRecognizer;
 pub use event::{Aggregate, Event, Expr, Handler, RollUp, Summary, SummaryDb};
 pub use memory::{MemoryGauge, MemoryMonitor};
+pub use store::{StoreGauge, StoreMonitor};
 pub use migration::MigrationDetector;
 pub use prefetch::{hit_rate, Prefetcher};
 pub use replica_mgmt::{ReplicaAction, ReplicaManager};

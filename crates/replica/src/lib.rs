@@ -35,7 +35,7 @@ pub use node::OceanNode;
 pub use primary::{disseminator_for, Primary};
 pub use secondary::Secondary;
 pub use shard::ShardRouter;
-pub use store::{ObjectStore, ObjectState};
+pub use store::{ObjectState, ObjectStore, StoreHealth, RECORD_RETENTION};
 
 #[cfg(test)]
 mod tests {

@@ -38,6 +38,14 @@ impl OceanNode {
         }
     }
 
+    /// Mutable primary accessor.
+    pub fn as_primary_mut(&mut self) -> Option<&mut Primary> {
+        match self {
+            OceanNode::Primary(p) => Some(p),
+            _ => None,
+        }
+    }
+
     /// Mutable secondary accessor.
     pub fn as_secondary_mut(&mut self) -> Option<&mut Secondary> {
         match self {

@@ -1,47 +1,182 @@
-//! Per-server object store: committed state plus the commit-record log.
+//! Per-server object store: committed state, a *bounded* commit-record
+//! log, and the content-addressed blob layer underneath.
+//!
+//! Two changes over the original in-memory-only store:
+//!
+//! * **Block state routes through a [`BlobStore`]** (§4.5's
+//!   content-addressed storage made real): every data block of an
+//!   object's committed version is mirrored into a pluggable blob store
+//!   under its CID, with refcounted dedup. The in-memory `DataObject`
+//!   stays authoritative for deterministic re-execution — the blob layer
+//!   is the storage backend, and reads that miss it (a dead provider, a
+//!   corrupt disk blob) fall back to the replica, which is exactly the
+//!   paper's durability argument: any server can hold a replica, so no
+//!   single provider's death loses committed data.
+//! * **The record log is bounded.** `records` used to grow by one
+//!   `CommitRecord` per commit forever — O(total commits) memory even
+//!   after PR 6 bounded the consensus log. The log is now dense from
+//!   [`ObjectState::first_index`] and truncated below
+//!   `certified frontier − retention`: anti-entropy and fetch serving
+//!   come from the retained (certified) suffix only, and history the
+//!   whole tier has certified is dropped.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use oceanstore_naming::guid::Guid;
-use oceanstore_update::object::DataObject;
+use oceanstore_store::{BlobStore, DedupStore};
+use oceanstore_update::object::{Block, DataObject};
 use oceanstore_update::update::{apply, Outcome};
 use oceanstore_update::{decode_update, Update};
 
 use crate::messages::CommitRecord;
+
+/// Commit records retained *below* the certified frontier. Matches the
+/// consensus admission window (PR 6), so a peer the agreement protocol
+/// still talks to can always be served record-by-record; anything
+/// further behind recovers via the state-transfer / frontier paths. The
+/// pinned short-run suites never certify this many records per object,
+/// so the default changes no golden trace.
+pub const RECORD_RETENTION: u64 = 128;
+
+/// Per-slot blob-sync cache: which `Arc` we last hashed for this slot,
+/// and the CID we stored it under.
+#[derive(Debug, Clone)]
+struct SlotSync {
+    /// `Arc::as_ptr` of the block last synced (cheap change detection —
+    /// versions share unchanged blocks by `Arc`).
+    ptr: usize,
+    /// The block's CID in the blob store.
+    cid: Guid,
+}
 
 /// One object's replicated state on a server.
 #[derive(Debug, Default)]
 pub struct ObjectState {
     /// The committed object (active form).
     pub data: DataObject,
-    /// Commit records in index order (dense from `first_index`).
+    /// Commit records in index order, dense from `first_index`.
     pub records: Vec<CommitRecord>,
+    /// Log floor: records below this index have been certified tier-wide
+    /// and truncated.
+    pub first_index: u64,
     /// Next expected serialization index.
     pub next_index: u64,
     /// For invalidation-mode children: highest index known to exist (may
     /// exceed `next_index` when stale).
     pub known_index: u64,
+    /// All indices below this carry a serialization certificate.
+    certified_upto: u64,
+    /// Blob-sync state per block slot of the current version (`None` for
+    /// index blocks and slots whose last put was refused).
+    slots: Vec<Option<SlotSync>>,
 }
 
 impl ObjectState {
-
     /// Whether this replica knows it is missing commits.
     pub fn is_stale(&self) -> bool {
         self.known_index > self.next_index
     }
+
+    /// Records currently retained for this object.
+    pub fn retained_records(&self) -> u64 {
+        self.records.len() as u64
+    }
+}
+
+/// Aggregate store-health counters, exported field-by-field to the
+/// introspection gauges (the replica crate stays free of an introspect
+/// dependency, mirroring how consensus exports `ReplicaHealth`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreHealth {
+    /// Objects resident.
+    pub objects: u64,
+    /// Commit records currently retained across all objects.
+    pub retained_records: u64,
+    /// Peak of `retained_records` over the store's lifetime.
+    pub peak_retained_records: u64,
+    /// Records ever applied (monotonic; the O(total commits) quantity the
+    /// retained count must stay decoupled from).
+    pub total_records_applied: u64,
+    /// Records dropped below the certified low-water mark.
+    pub records_dropped: u64,
+    /// Blobs held by the backend.
+    pub blob_count: u64,
+    /// Logical bytes held by the backend.
+    pub blob_bytes: u64,
+    /// Dedup hits (puts elided by refcounting).
+    pub dedup_hits: u64,
+    /// Bytes those elided puts saved.
+    pub dedup_bytes_saved: u64,
+    /// Block reads the blob layer missed and the in-memory replica
+    /// served instead (dead provider, corrupt blob).
+    pub fallback_reads: u64,
+    /// Block puts the backend refused (retried on the next commit).
+    pub blob_put_failures: u64,
 }
 
 /// A server's store of replicated objects.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ObjectStore {
     objects: HashMap<Guid, ObjectState>,
+    /// The pluggable content-addressed backend, dedup-wrapped.
+    blobs: DedupStore,
+    /// Records kept below the certified frontier.
+    retention: u64,
+    /// Σ `records.len()` across objects (kept incrementally).
+    retained_total: u64,
+    peak_retained: u64,
+    total_applied: u64,
+    dropped: u64,
+    fallback_reads: u64,
+    blob_put_failures: u64,
+}
+
+impl Default for ObjectStore {
+    fn default() -> Self {
+        ObjectStore::new()
+    }
 }
 
 impl ObjectStore {
-    /// An empty store.
+    /// An empty store over the environment-selected blob backend
+    /// (`OCEANSTORE_STORE_BACKEND`; in-memory by default).
     pub fn new() -> Self {
-        ObjectStore::default()
+        Self::with_backend(oceanstore_store::default_store())
+    }
+
+    /// An empty store over a specific blob backend.
+    pub fn with_backend(backend: Box<dyn BlobStore>) -> Self {
+        ObjectStore {
+            objects: HashMap::new(),
+            blobs: DedupStore::new(backend),
+            retention: RECORD_RETENTION,
+            retained_total: 0,
+            peak_retained: 0,
+            total_applied: 0,
+            dropped: 0,
+            fallback_reads: 0,
+            blob_put_failures: 0,
+        }
+    }
+
+    /// Swaps the blob backend (chaos scenarios wire provider composites
+    /// in before traffic starts). Existing objects re-sync their block
+    /// state into the new backend immediately.
+    pub fn set_blob_store(&mut self, backend: Box<dyn BlobStore>) {
+        self.blobs = DedupStore::new(backend);
+        for st in self.objects.values_mut() {
+            st.slots.clear();
+            self.blob_put_failures +=
+                sync_blocks(&mut self.blobs, st);
+        }
+    }
+
+    /// Overrides the record-log retention window (tests and the
+    /// unbounded-baseline bench side use this; deployments keep
+    /// [`RECORD_RETENTION`]).
+    pub fn set_record_retention(&mut self, retention: u64) {
+        self.retention = retention;
     }
 
     /// State for `object`, creating an empty one on first touch.
@@ -69,6 +204,25 @@ impl ObjectStore {
         self.objects.is_empty()
     }
 
+    /// Point-in-time store-health counters.
+    pub fn health(&self) -> StoreHealth {
+        let blob = self.blobs.stats();
+        let dedup = self.blobs.dedup_stats();
+        StoreHealth {
+            objects: self.objects.len() as u64,
+            retained_records: self.retained_total,
+            peak_retained_records: self.peak_retained,
+            total_records_applied: self.total_applied,
+            records_dropped: self.dropped,
+            blob_count: blob.blobs,
+            blob_bytes: blob.bytes,
+            dedup_hits: dedup.hits,
+            dedup_bytes_saved: dedup.bytes_saved,
+            fallback_reads: self.fallback_reads,
+            blob_put_failures: self.blob_put_failures,
+        }
+    }
+
     /// Applies `record` if it is the next expected index. Returns `true`
     /// if applied (or already applied), `false` if a gap remains.
     ///
@@ -77,7 +231,7 @@ impl ObjectStore {
     /// re-execution matching (the cert's job is authenticating the
     /// *serialization order*, determinism does the rest).
     pub fn apply_record(&mut self, record: &CommitRecord) -> bool {
-        let st = self.entry(record.object);
+        let st = self.objects.entry(record.object).or_default();
         st.known_index = st.known_index.max(record.index + 1);
         if record.index < st.next_index {
             return true; // duplicate
@@ -99,11 +253,18 @@ impl ObjectStore {
         );
         st.records.push(record.clone());
         st.next_index += 1;
+        self.retained_total += 1;
+        self.total_applied += 1;
+        self.peak_retained = self.peak_retained.max(self.retained_total);
+        self.blob_put_failures += sync_blocks(&mut self.blobs, st);
+        self.note_certs(record.object);
         true
     }
 
     /// Attaches an assembled serialization certificate to a stored record
     /// (primary-tier path: records are created before their cert exists).
+    /// An index below the log floor is already certified and truncated —
+    /// a no-op.
     pub fn set_cert(
         &mut self,
         object: &Guid,
@@ -115,9 +276,39 @@ impl ObjectStore {
                 r.cert = cert;
             }
         }
+        self.note_certs(*object);
     }
 
-    /// Serialized-but-unapplied catch-up: commit records from `from_index`.
+    /// Advances the certified frontier past every dense leading cert and
+    /// truncates history below `frontier − retention`. Serving stays on
+    /// the retained suffix; everything dropped was certified tier-wide.
+    fn note_certs(&mut self, object: Guid) {
+        let Some(st) = self.objects.get_mut(&object) else { return };
+        if st.certified_upto < st.first_index {
+            // A fresh entry starts at 0; certification is only tracked
+            // from the log floor up.
+            st.certified_upto = st.first_index;
+        }
+        while let Some(r) = st.records.get((st.certified_upto - st.first_index) as usize) {
+            if r.cert.is_empty() {
+                break;
+            }
+            st.certified_upto += 1;
+        }
+        let low_water = st.certified_upto.saturating_sub(self.retention);
+        if low_water > st.first_index {
+            let drop = (low_water - st.first_index) as usize;
+            st.records.drain(..drop);
+            st.first_index = low_water;
+            self.retained_total -= drop as u64;
+            self.dropped += drop as u64;
+        }
+    }
+
+    /// Serialized-but-unapplied catch-up: retained commit records from
+    /// `from_index` up. History below the log floor is gone — callers
+    /// that far behind recover through the frontier/state-transfer
+    /// paths, not record replay.
     pub fn records_from(&self, object: &Guid, from_index: u64) -> Vec<CommitRecord> {
         let Some(st) = self.objects.get(object) else { return Vec::new() };
         st.records
@@ -138,7 +329,7 @@ impl ObjectStore {
         timestamp: u64,
         id: crate::messages::TentativeId,
     ) -> CommitRecord {
-        let st = self.entry(object);
+        let st = self.objects.entry(object).or_default();
         let outcome = apply(&mut st.data, update);
         let version = match outcome {
             Outcome::Committed { version } => Some(version),
@@ -156,15 +347,92 @@ impl ObjectStore {
         st.records.push(record.clone());
         st.next_index += 1;
         st.known_index = st.known_index.max(st.next_index);
+        self.retained_total += 1;
+        self.total_applied += 1;
+        self.peak_retained = self.peak_retained.max(self.retained_total);
+        self.blob_put_failures += sync_blocks(&mut self.blobs, st);
         record
     }
+
+    /// Reads one data-block slot of `object`'s committed version through
+    /// the blob layer, falling back to the in-memory replica when the
+    /// backend misses (dead provider, corrupt blob) — committed data
+    /// survives any single store's death because the replica *is* a
+    /// store of it.
+    pub fn read_block(&mut self, object: &Guid, slot: usize) -> Option<Vec<u8>> {
+        let st = self.objects.get(object)?;
+        let version = Arc::clone(st.data.current());
+        let Block::Data(mem) = version.blocks.get(slot)? else { return None };
+        let mem = Arc::clone(mem);
+        let synced = st.slots.get(slot).cloned().flatten();
+        if let Some(s) = synced {
+            if let Ok(Some(bytes)) = self.blobs.get(&s.cid) {
+                return Some(bytes);
+            }
+        }
+        self.fallback_reads += 1;
+        Some(mem.as_ref().clone())
+    }
+
+    /// Reads `object`'s full committed byte sequence (logical block
+    /// order) through the blob layer with replica fallback.
+    pub fn read_object_bytes(&mut self, object: &Guid) -> Option<Vec<u8>> {
+        let version = Arc::clone(self.objects.get(object)?.data.current());
+        let mut out = Vec::new();
+        for slot in version.logical_order() {
+            out.extend_from_slice(&self.read_block(object, slot)?);
+        }
+        Some(out)
+    }
+}
+
+/// Mirrors the current version's data blocks into the blob store:
+/// changed/new slots are put (dedup-refcounted), replaced/removed slots
+/// drop their reference. Returns the number of refused puts.
+fn sync_blocks(blobs: &mut DedupStore, st: &mut ObjectState) -> u64 {
+    let version = Arc::clone(st.data.current());
+    let blocks = &version.blocks;
+    let mut failures = 0;
+    // Slots removed by a shrinking version drop their blob references.
+    for old in st.slots.drain(blocks.len().min(st.slots.len())..).flatten() {
+        let _ = blobs.delete(&old.cid);
+    }
+    for (i, block) in blocks.iter().enumerate() {
+        let desired = match block {
+            Block::Data(d) => Some(Arc::as_ptr(d) as *const u8 as usize),
+            Block::Index(_) => None,
+        };
+        if i < st.slots.len() {
+            if st.slots[i].as_ref().map(|s| s.ptr) == desired
+                && (desired.is_some() || st.slots[i].is_none())
+            {
+                continue; // unchanged slot (or still an index block)
+            }
+            if let Some(old) = st.slots[i].take() {
+                let _ = blobs.delete(&old.cid);
+            }
+        } else {
+            st.slots.push(None);
+        }
+        if let Block::Data(d) = block {
+            match blobs.put(d) {
+                Ok(cid) => {
+                    st.slots[i] = Some(SlotSync { ptr: Arc::as_ptr(d) as *const u8 as usize, cid })
+                }
+                Err(_) => failures += 1, // retried on the next commit
+            }
+        }
+    }
+    failures
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::messages::TentativeId;
+    use oceanstore_crypto::threshold::SerializationCert;
     use oceanstore_sim::NodeId;
+    use oceanstore_store::cid_of;
     use oceanstore_update::encode_update;
     use oceanstore_update::update::Action;
 
@@ -176,6 +444,15 @@ mod tests {
 
     fn tid(c: u64) -> TentativeId {
         TentativeId { client: NodeId(99), counter: c }
+    }
+
+    /// A cert that counts as "present" for frontier tracking (store-level
+    /// tests don't verify signatures; ingest paths do that upstream).
+    fn fake_cert() -> SerializationCert {
+        let kp = oceanstore_crypto::schnorr::KeyPair::from_seed(b"store-test-signer");
+        let mut cert = SerializationCert::new();
+        cert.add(kp.public(), kp.sign(b"store-test"));
+        cert
     }
 
     #[test]
@@ -240,5 +517,165 @@ mod tests {
         let st = primary.get(&obj).unwrap();
         assert_eq!(st.next_index, 1);
         assert_eq!(st.data.version_number(), 0);
+    }
+
+    #[test]
+    fn committed_blocks_route_through_the_blob_store() {
+        let obj = Guid::from_label("blobs");
+        let mut store = ObjectStore::new();
+        for i in 0..3u8 {
+            let (u, enc) = update(i);
+            store.serialize_update(obj, &u, enc, i as u64, tid(i as u64));
+        }
+        let health = store.health();
+        assert_eq!(health.blob_count, 3, "one blob per distinct appended block");
+        assert_eq!(health.blob_bytes, 12);
+        // The blob layer serves each block under its CID.
+        for (slot, tag) in [(0usize, 0u8), (1, 1), (2, 2)] {
+            assert_eq!(store.read_block(&obj, slot).unwrap(), vec![tag; 4]);
+        }
+        assert_eq!(store.health().fallback_reads, 0, "healthy backend, no fallback");
+        assert_eq!(
+            store.read_object_bytes(&obj).unwrap(),
+            [vec![0u8; 4], vec![1u8; 4], vec![2u8; 4]].concat()
+        );
+    }
+
+    #[test]
+    fn identical_blocks_dedup_across_objects() {
+        let mut store = ObjectStore::new();
+        for label in ["a", "b", "c"] {
+            let (u, enc) = update(7); // same block bytes everywhere
+            store.serialize_update(Guid::from_label(label), &u, enc, 0, tid(0));
+        }
+        let health = store.health();
+        assert_eq!(health.blob_count, 1, "identical content stored once");
+        assert_eq!(health.dedup_hits, 2);
+        assert_eq!(health.dedup_bytes_saved, 8);
+    }
+
+    #[test]
+    fn dead_backend_reads_fall_back_to_the_replica() {
+        use oceanstore_store::{SharedStore, SimRemoteStore};
+        let provider = SharedStore::new(SimRemoteStore::new(1, 0, 0.0));
+        let mut store = ObjectStore::with_backend(Box::new(provider.clone()));
+        let obj = Guid::from_label("fallback");
+        let (u, enc) = update(9);
+        store.serialize_update(obj, &u, enc, 0, tid(0));
+        assert_eq!(store.read_block(&obj, 0).unwrap(), vec![9u8; 4]);
+        assert_eq!(store.health().fallback_reads, 0);
+        provider.with(|p| p.set_down(true));
+        // The provider is dead; the committed bytes still read.
+        assert_eq!(store.read_block(&obj, 0).unwrap(), vec![9u8; 4]);
+        assert_eq!(store.health().fallback_reads, 1);
+        assert_eq!(
+            store.read_object_bytes(&obj).unwrap(),
+            vec![9u8; 4],
+            "object reads survive provider death via the replica"
+        );
+    }
+
+    #[test]
+    fn writes_to_a_dead_backend_do_not_lose_commits() {
+        use oceanstore_store::{SharedStore, SimRemoteStore};
+        let provider = SharedStore::new(SimRemoteStore::new(2, 0, 0.0));
+        provider.with(|p| p.set_down(true));
+        let mut store = ObjectStore::with_backend(Box::new(provider.clone()));
+        let obj = Guid::from_label("dead-writes");
+        let (u, enc) = update(4);
+        store.serialize_update(obj, &u, enc, 0, tid(0));
+        assert!(store.health().blob_put_failures > 0);
+        assert_eq!(store.read_block(&obj, 0).unwrap(), vec![4u8; 4], "replica serves");
+        // Provider revives: the next commit re-syncs everything pending.
+        provider.with(|p| p.set_down(false));
+        let (u, enc) = update(5);
+        store.serialize_update(obj, &u, enc, 1, tid(1));
+        assert_eq!(store.health().blob_count, 2, "missed block re-synced on next commit");
+        assert!(provider.clone().has(&cid_of(&[4u8; 4])));
+    }
+
+    #[test]
+    fn record_log_is_bounded_by_certified_frontier() {
+        let obj = Guid::from_label("bounded");
+        let mut store = ObjectStore::new();
+        store.set_record_retention(16);
+        let total = 200u64;
+        for i in 0..total {
+            let (u, enc) = update((i % 251) as u8);
+            store.serialize_update(obj, &u, enc, i, tid(i));
+            store.set_cert(&obj, i, fake_cert());
+        }
+        let st = store.get(&obj).unwrap();
+        assert_eq!(st.next_index, total);
+        assert_eq!(st.retained_records(), 16, "only the retention window survives");
+        assert_eq!(st.first_index, total - 16);
+        let health = store.health();
+        assert_eq!(health.total_records_applied, total);
+        assert_eq!(health.records_dropped, total - 16);
+        assert!(
+            health.peak_retained_records <= 17,
+            "peak {} must track the window, not total commits",
+            health.peak_retained_records
+        );
+        // Serving comes from the retained certified suffix only.
+        let served = store.records_from(&obj, 0);
+        assert_eq!(served.len(), 16);
+        assert_eq!(served[0].index, total - 16);
+        assert!(served.iter().all(|r| !r.cert.is_empty()));
+    }
+
+    #[test]
+    fn uncertified_tail_is_never_truncated() {
+        let obj = Guid::from_label("uncertified");
+        let mut store = ObjectStore::new();
+        store.set_record_retention(4);
+        // 50 commits, none certified: the frontier never advances, so
+        // nothing may be dropped (certs are the proof the tier has the
+        // history; without them every record is still needed).
+        for i in 0..50u64 {
+            let (u, enc) = update(i as u8);
+            store.serialize_update(obj, &u, enc, i, tid(i));
+        }
+        assert_eq!(store.get(&obj).unwrap().retained_records(), 50);
+        // Certifying up to 40 allows truncation below 40 − retention.
+        for i in 0..40u64 {
+            store.set_cert(&obj, i, fake_cert());
+        }
+        let st = store.get(&obj).unwrap();
+        assert_eq!(st.first_index, 36);
+        assert_eq!(st.retained_records(), 14, "4 certified + 10 uncertified tail");
+    }
+
+    #[test]
+    fn truncated_history_set_cert_is_a_noop() {
+        let obj = Guid::from_label("late-cert");
+        let mut store = ObjectStore::new();
+        store.set_record_retention(2);
+        for i in 0..10u64 {
+            let (u, enc) = update(i as u8);
+            store.serialize_update(obj, &u, enc, i, tid(i));
+            store.set_cert(&obj, i, fake_cert());
+        }
+        assert_eq!(store.get(&obj).unwrap().first_index, 8);
+        // A duplicate cert for dropped history must not panic or resurrect.
+        store.set_cert(&obj, 1, fake_cert());
+        assert_eq!(store.get(&obj).unwrap().first_index, 8);
+        assert_eq!(store.get(&obj).unwrap().retained_records(), 2);
+    }
+
+    #[test]
+    fn default_retention_never_truncates_short_runs() {
+        let obj = Guid::from_label("short-run");
+        let mut store = ObjectStore::new();
+        for i in 0..100u64 {
+            let (u, enc) = update(i as u8);
+            store.serialize_update(obj, &u, enc, i, tid(i));
+            store.set_cert(&obj, i, fake_cert());
+        }
+        // 100 < RECORD_RETENTION: the full log is retained, so every
+        // pinned short-run schedule is byte-identical to the unbounded
+        // behaviour.
+        assert_eq!(store.get(&obj).unwrap().first_index, 0);
+        assert_eq!(store.health().records_dropped, 0);
     }
 }

@@ -1,0 +1,84 @@
+//! The in-memory backend: the plain map the replica and archival tiers
+//! always used, now behind the [`BlobStore`] trait. This is the default
+//! backend and must stay bit-identical in behaviour — it never fails, and
+//! it performs no verification on read because the bytes never left RAM.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use oceanstore_naming::guid::Guid;
+
+use crate::{cid_of, BlobStore, StoreError, StoreStats};
+
+/// An in-RAM content-addressed store.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    blobs: HashMap<Guid, Arc<Vec<u8>>>,
+    stats: StoreStats,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemoryStore::default()
+    }
+}
+
+impl BlobStore for MemoryStore {
+    fn put(&mut self, data: &[u8]) -> Result<Guid, StoreError> {
+        let cid = cid_of(data);
+        if self.blobs.insert(cid, Arc::new(data.to_vec())).is_none() {
+            self.stats.blobs += 1;
+            self.stats.bytes += data.len() as u64;
+            self.stats.puts += 1;
+        }
+        Ok(cid)
+    }
+
+    fn get(&mut self, cid: &Guid) -> Result<Option<Vec<u8>>, StoreError> {
+        match self.blobs.get(cid) {
+            Some(b) => {
+                self.stats.gets += 1;
+                Ok(Some(b.as_ref().clone()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn has(&mut self, cid: &Guid) -> bool {
+        self.blobs.contains_key(cid)
+    }
+
+    fn delete(&mut self, cid: &Guid) -> Result<bool, StoreError> {
+        match self.blobs.remove(cid) {
+            Some(b) => {
+                self.stats.blobs -= 1;
+                self.stats.bytes -= b.len() as u64;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_contents() {
+        let mut s = MemoryStore::new();
+        s.put(b"aaaa").unwrap();
+        s.put(b"bbbbbb").unwrap();
+        s.put(b"aaaa").unwrap(); // idempotent: no double count
+        assert_eq!(s.stats().blobs, 2);
+        assert_eq!(s.stats().bytes, 10);
+        s.delete(&cid_of(b"aaaa")).unwrap();
+        assert_eq!(s.stats().blobs, 1);
+        assert_eq!(s.stats().bytes, 6);
+    }
+}

@@ -1,0 +1,133 @@
+//! Minimal self-contained run-length compression for on-disk blobs
+//! (`compress` feature).
+//!
+//! The build environment vendors no compression library, so this is a
+//! deliberately simple byte-oriented RLE: good on the runs that dominate
+//! zero-padded blocks and erasure-coded parity of structured data, and
+//! never worse than `len/128 + 2` bytes of overhead on incompressible
+//! input. CIDs are computed over the *logical* bytes, so compression is
+//! invisible to every caller of the store.
+//!
+//! Format: a one-byte magic `0x52` ('R'), then tokens. Token byte `t`:
+//! * `t < 0x80` — literal run: the next `t + 1` bytes are copied.
+//! * `t >= 0x80` — repeat run: the next byte repeats `t - 0x80 + 4`
+//!   times (runs shorter than 4 are not worth a token).
+
+const MAGIC: u8 = 0x52;
+const MAX_LITERAL: usize = 0x80; // t + 1 ∈ [1, 128]
+const MIN_RUN: usize = 4;
+const MAX_RUN: usize = 0x7f + MIN_RUN; // t - 0x80 + 4 ∈ [4, 131]
+
+/// Compresses `data` into the framed RLE format.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = vec![MAGIC];
+    let mut i = 0;
+    let mut lit_start = 0;
+    let mut flush_literal = |out: &mut Vec<u8>, from: usize, to: usize, data: &[u8]| {
+        let mut s = from;
+        while s < to {
+            let n = (to - s).min(MAX_LITERAL);
+            out.push((n - 1) as u8);
+            out.extend_from_slice(&data[s..s + n]);
+            s += n;
+        }
+    };
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1;
+        while run < MAX_RUN && i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        if run >= MIN_RUN {
+            flush_literal(&mut out, lit_start, i, data);
+            out.push(0x80 + (run - MIN_RUN) as u8);
+            out.push(b);
+            i += run;
+            lit_start = i;
+        } else {
+            i += run;
+        }
+    }
+    flush_literal(&mut out, lit_start, data.len(), data);
+    out
+}
+
+/// Decompresses the framed RLE format; `None` on malformed input.
+pub fn decompress(raw: &[u8]) -> Option<Vec<u8>> {
+    let (&magic, mut rest) = raw.split_first()?;
+    if magic != MAGIC {
+        return None;
+    }
+    let mut out = Vec::new();
+    while let Some((&t, tail)) = rest.split_first() {
+        if t < 0x80 {
+            let n = t as usize + 1;
+            if tail.len() < n {
+                return None;
+            }
+            out.extend_from_slice(&tail[..n]);
+            rest = &tail[n..];
+        } else {
+            let (&b, tail) = tail.split_first()?;
+            out.extend(std::iter::repeat_n(b, (t - 0x80) as usize + MIN_RUN));
+            rest = tail;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn runs_shrink() {
+        let data = vec![0u8; 4096];
+        let c = compress(&data);
+        assert!(c.len() < 80, "4 KiB of zeros → {} bytes", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_overhead_is_bounded() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 7 + i / 3) as u8).collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + data.len() / 128 + 2);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for data in [&[][..], &[9][..], &[1, 1, 1][..], &[5, 5, 5, 5][..]] {
+            assert_eq!(decompress(&compress(data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_rejected() {
+        assert_eq!(decompress(&[]), None);
+        assert_eq!(decompress(&[0x00, 0x05]), None); // wrong magic
+        let mut c = compress(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        c.truncate(c.len() - 2);
+        assert_eq!(decompress(&c), None);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trips(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn round_trips_runny(
+            runs in proptest::collection::vec((any::<u8>(), 1usize..300), 0..20)
+        ) {
+            let mut data = Vec::new();
+            for (b, n) in runs {
+                data.extend(std::iter::repeat_n(b, n));
+            }
+            prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        }
+    }
+}

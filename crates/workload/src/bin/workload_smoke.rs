@@ -24,15 +24,20 @@ fn main() {
     };
     let rates = [5.0, 20.0, 60.0];
     let mut failed = false;
-    println!("workload-smoke: rings=2 nodes=500 duration=8s drain=4s");
+    // The blob backend is picked up from the environment by every
+    // node-local store (`OCEANSTORE_STORE_BACKEND`); the CI matrix runs
+    // this smoke once per backend.
+    let backend = std::env::var("OCEANSTORE_STORE_BACKEND").unwrap_or_else(|_| "memory".into());
+    println!("workload-smoke: rings=2 nodes=500 duration=8s drain=4s backend={backend}");
     println!(
-        "{:>8} {:>9} {:>10} {:>12} {:>9} {:>9} {:>9} {:>6}",
-        "rate/s", "offered", "committed", "committed/s", "p50_ms", "p99_ms", "p999_ms", "lost"
+        "{:>8} {:>9} {:>10} {:>12} {:>9} {:>9} {:>9} {:>6} {:>9} {:>9}",
+        "rate/s", "offered", "committed", "committed/s", "p50_ms", "p99_ms", "p999_ms", "lost",
+        "peak_rec", "dropped"
     );
     for rate in rates {
         let report = run_workload(&WorkloadSpec { rate, ..spec.clone() });
         println!(
-            "{:>8.1} {:>9} {:>10} {:>12.2} {:>9.2} {:>9.2} {:>9.2} {:>6}",
+            "{:>8.1} {:>9} {:>10} {:>12.2} {:>9.2} {:>9.2} {:>9.2} {:>6} {:>9} {:>9}",
             rate,
             report.offered,
             report.committed,
@@ -41,6 +46,8 @@ fn main() {
             report.p99_us as f64 / 1e3,
             report.p999_us as f64 / 1e3,
             report.lost,
+            report.peak_retained_records,
+            report.store_records_dropped,
         );
         if report.lost != 0 {
             eprintln!("FAIL: rate {rate}: {} committed updates lost", report.lost);
@@ -51,6 +58,15 @@ fn main() {
                 "FAIL: rate {rate}: tier fell behind a clearly feasible load \
                  ({}/{} committed)",
                 report.committed, report.offered
+            );
+            failed = true;
+        }
+        // Bounded replica record logs: no store may retain more than one
+        // retention window (plus in-flight slack) per object.
+        if !report.records_bounded(spec.objects, 64) {
+            eprintln!(
+                "FAIL: rate {rate}: record log unbounded (peak {} retained records)",
+                report.peak_retained_records
             );
             failed = true;
         }

@@ -111,6 +111,23 @@ pub struct WorkloadReport {
     pub max_us: u64,
     /// Requests still uncommitted when drain ended.
     pub pending: u64,
+    /// Largest per-replica peak of retained commit records — the
+    /// bounded-memory gauge for the record log. Stays near the retention
+    /// window on long runs while `store_records_applied` keeps growing.
+    pub peak_retained_records: u64,
+    /// Commit records applied across every replica store (monotonic with
+    /// run length).
+    pub store_records_applied: u64,
+    /// Commit records truncated below the certified low-water mark across
+    /// every replica store.
+    pub store_records_dropped: u64,
+    /// Block puts elided by dedup across every replica store.
+    pub dedup_hits: u64,
+    /// Bytes those elided puts saved.
+    pub dedup_bytes_saved: u64,
+    /// Block reads served by the in-memory replica because the blob
+    /// backend missed — 0 on a healthy backend (store-health oracle).
+    pub store_fallback_reads: u64,
 }
 
 impl WorkloadReport {
@@ -119,6 +136,46 @@ impl WorkloadReport {
     pub fn kept_up(&self) -> bool {
         self.committed == self.offered
     }
+
+    /// Bounded-memory oracle for the replica record log: no store's peak
+    /// retained records may exceed the retention window (plus the
+    /// uncertified in-flight tail) per addressed object.
+    pub fn records_bounded(&self, objects: usize, slack: u64) -> bool {
+        self.peak_retained_records
+            <= objects as u64 * (oceanstore_replica::RECORD_RETENTION + slack)
+    }
+}
+
+/// Sums replica-store health over every primary and secondary in the
+/// deployment; `peak_retained_records` takes the per-store maximum (it is
+/// a per-node memory bound, not a fleet total).
+fn collect_store_health(dep: &Deployment) -> oceanstore_replica::StoreHealth {
+    let mut total = oceanstore_replica::StoreHealth::default();
+    let stores = dep
+        .rings
+        .iter()
+        .flat_map(|r| r.primaries.iter())
+        .filter_map(|&p| dep.sim.node(p).as_primary().map(|n| &n.store))
+        .chain(
+            dep.secondaries
+                .iter()
+                .filter_map(|&s| dep.sim.node(s).as_secondary().map(|n| &n.store)),
+        );
+    for store in stores {
+        let h = store.health();
+        total.objects += h.objects;
+        total.retained_records += h.retained_records;
+        total.peak_retained_records = total.peak_retained_records.max(h.peak_retained_records);
+        total.total_records_applied += h.total_records_applied;
+        total.records_dropped += h.records_dropped;
+        total.blob_count += h.blob_count;
+        total.blob_bytes += h.blob_bytes;
+        total.dedup_hits += h.dedup_hits;
+        total.dedup_bytes_saved += h.dedup_bytes_saved;
+        total.fallback_reads += h.fallback_reads;
+        total.blob_put_failures += h.blob_put_failures;
+    }
+    total
 }
 
 /// One scheduled arrival.
@@ -171,13 +228,18 @@ fn ring_frontier(dep: &Deployment, object: &Guid) -> u64 {
         .unwrap_or(0)
 }
 
-/// Nearest-rank percentile of an ascending latency sample.
+/// Nearest-rank percentile of an ascending latency sample: the value at
+/// rank `⌈q · len⌉` (1-based, clamped to the sample). The previous
+/// `((len − 1) · q).round()` interpolation over-reported the median (for
+/// 10 samples it returned the 6th, not the 5th) and could under-report
+/// tails on small samples; nearest-rank always answers with an observed
+/// value at or above the requested quantile.
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Runs one open-loop workload and reports throughput, latency, and the
@@ -269,6 +331,7 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
     let offered = submissions.len() as u64;
     let committed = latencies.len() as u64;
     let window = spec.duration.as_micros() as f64 / 1e6;
+    let store = collect_store_health(&dep);
     WorkloadReport {
         offered,
         committed,
@@ -282,6 +345,12 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
         p999_us: percentile(&latencies, 0.999),
         max_us: latencies.last().copied().unwrap_or(0),
         pending,
+        peak_retained_records: store.peak_retained_records,
+        store_records_applied: store.total_records_applied,
+        store_records_dropped: store.records_dropped,
+        dedup_hits: store.dedup_hits,
+        dedup_bytes_saved: store.dedup_bytes_saved,
+        store_fallback_reads: store.fallback_reads,
     }
 }
 
@@ -299,6 +368,43 @@ pub fn sweep(spec: &WorkloadSpec, rates: &[f64]) -> Vec<WorkloadReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        // Ten known samples: nearest-rank p50 is the 5th value (the old
+        // rounding interpolation returned the 6th), and the tails pin to
+        // the 10th.
+        let v: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.90), 90);
+        assert_eq!(percentile(&v, 0.99), 100);
+        assert_eq!(percentile(&v, 0.999), 100);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&[], 0.5), 0, "empty sample reports 0");
+        assert_eq!(percentile(&[7], 0.5), 7);
+        assert_eq!(percentile(&[7], 0.999), 7);
+        let v = [1u64, 2, 3, 4];
+        assert_eq!(percentile(&v, 0.0), 1, "q = 0 clamps to the minimum");
+        assert_eq!(percentile(&v, 0.25), 1);
+        assert_eq!(percentile(&v, 0.50), 2);
+        assert_eq!(percentile(&v, 0.75), 3);
+        assert_eq!(percentile(&v, 0.99), 4);
+        assert_eq!(percentile(&v, 1.0), 4);
+    }
+
+    #[test]
+    fn percentile_rank_five_of_a_thousand_nines() {
+        // 1000 samples 0..1000: p999 must be the 999th rank, p50 the
+        // 500th — exact nearest-rank indices at a size where an off-by-one
+        // is visible.
+        let v: Vec<u64> = (0..1000).collect();
+        assert_eq!(percentile(&v, 0.50), 499);
+        assert_eq!(percentile(&v, 0.99), 989);
+        assert_eq!(percentile(&v, 0.999), 998);
+    }
 
     fn small_spec() -> WorkloadSpec {
         WorkloadSpec {
@@ -371,6 +477,39 @@ mod tests {
         );
         assert_eq!(report.lost, 0, "saturation must not lose committed updates");
         assert_eq!(report.committed + report.pending, report.offered);
+    }
+
+    #[test]
+    fn long_horizon_record_log_stays_bounded() {
+        // Hammer two objects with writes only, long enough that each
+        // object certifies several retention windows' worth of commits:
+        // the record log must truncate (drops observed, totals far above
+        // what any store retains) while committed data stays lossless.
+        let spec = WorkloadSpec {
+            secondaries: 8,
+            objects: 2,
+            zipf_s: 0.0,
+            write_fraction: 1.0,
+            rate: 40.0,
+            duration: SimDuration::from_secs(20),
+            drain: SimDuration::from_secs(4),
+            ..WorkloadSpec::default()
+        };
+        let report = run_workload(&spec);
+        assert!(report.offered > 600, "20 s at 40/s must offer real load");
+        assert_eq!(report.lost, 0, "truncation must never lose committed updates");
+        assert!(
+            report.store_records_applied > report.offered * 4,
+            "every commit lands on 4 primaries and 8 secondaries; the fleet \
+             total must dwarf the offered count"
+        );
+        assert!(report.store_records_dropped > 0, "long run must actually truncate");
+        assert!(
+            report.records_bounded(spec.objects, 64),
+            "replica memory unbounded: peak {} retained records",
+            report.peak_retained_records
+        );
+        assert_eq!(report.store_fallback_reads, 0, "healthy backend serves all blocks");
     }
 
     /// Scale-out smoke at the paper's target node counts. Ignored by
