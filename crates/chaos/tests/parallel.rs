@@ -1,0 +1,90 @@
+//! Parallel-scheduler determinism matrix — CI runs this as the
+//! `sim-parallel` job.
+//!
+//! Every test drives a full OceanStore deployment (consensus ring,
+//! dissemination tree, clients) through a fault schedule at several
+//! worker-thread counts and asserts the chaos fingerprint is
+//! byte-for-byte identical. The seed sweep width is tunable: CI sets
+//! `CHAOS_PAR_SEEDS` (the issue bar is 120) without a code change.
+
+use oceanstore_chaos::{run_schedule, stats_fingerprint, FaultAction, Schedule};
+use oceanstore_naming::guid::Guid;
+use oceanstore_replica::{build_deployment, Deployment, DeploymentOpts};
+use oceanstore_sim::{SimDuration, SimTime};
+use oceanstore_update::update::Action;
+use oceanstore_update::Update;
+
+fn t(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+/// Seeds per sweep (env `CHAOS_PAR_SEEDS`, default 12; CI sets 120).
+fn sweep_seeds() -> u64 {
+    std::env::var("CHAOS_PAR_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(12)
+}
+
+fn submit(dep: &mut Deployment, object: Guid, payload: &[u8]) {
+    let client = dep.clients[0];
+    let update = Update::unconditional(vec![Action::Append { ciphertext: payload.to_vec() }]);
+    dep.sim.with_node_ctx(client, |node, ctx| {
+        node.as_client_mut().expect("client").submit(ctx, object, &update)
+    });
+}
+
+/// One full chaos run at a given worker count: commit traffic, a crash,
+/// a partition + heal, a latency stretch, and a random-drop burst (which
+/// forces the scheduler's sequential fallback and a later re-shard).
+/// Returns the replayable trace plus the stats fingerprint.
+fn run_matrix_case(seed: u64, threads: usize) -> (String, String) {
+    let mut dep = build_deployment(&DeploymentOpts {
+        latency: SimDuration::from_millis(20),
+        seed,
+        ..DeploymentOpts::default()
+    });
+    dep.sim.set_threads(threads);
+    let object = Guid::from_label("chaos-parallel");
+    let total = dep.sim.len();
+    let mut groups = vec![0u32; total];
+    groups[dep.secondaries[2].0] = 1;
+    groups[dep.secondaries[5].0] = 1;
+
+    submit(&mut dep, object, b"pre-fault");
+    let sched = Schedule::new()
+        .at(t(1_000), FaultAction::Crash(dep.secondaries[1]))
+        .at(t(2_000), FaultAction::Partition(groups))
+        .at(t(2_500), FaultAction::LatencyFactor(2.0))
+        .at(t(4_000), FaultAction::Heal)
+        .at(t(4_500), FaultAction::Recover(dep.secondaries[1]))
+        .at(t(5_000), FaultAction::DropProb(0.15))
+        .at(t(6_000), FaultAction::DropProb(0.0))
+        .at(t(6_000), FaultAction::LatencyFactor(1.0));
+    let mut trace = run_schedule(&mut dep.sim, &sched, t(3_000));
+    submit(&mut dep, object, b"mid-fault");
+    trace.extend(run_schedule(&mut dep.sim, &sched, t(12_000)));
+    (format!("{trace:?}"), stats_fingerprint(&dep.sim))
+}
+
+/// The headline matrix: threads ∈ {1, 2, 8} over the seed sweep, every
+/// trace and fingerprint byte-identical to the sequential run.
+#[test]
+fn fingerprints_are_identical_across_thread_counts() {
+    for seed in 0..sweep_seeds() {
+        let (seq_trace, seq_fp) = run_matrix_case(seed, 1);
+        for threads in [2usize, 8] {
+            let (trace, fp) = run_matrix_case(seed, threads);
+            assert_eq!(trace, seq_trace, "seed {seed} threads {threads}: trace diverged");
+            assert_eq!(fp, seq_fp, "seed {seed} threads {threads}: fingerprint diverged");
+        }
+    }
+}
+
+/// Same seed, same thread count, run twice: the parallel scheduler must
+/// also be self-deterministic (no dependence on OS scheduling).
+#[test]
+fn parallel_runs_are_self_deterministic() {
+    for seed in [5u64, 23] {
+        let a = run_matrix_case(seed, 8);
+        let b = run_matrix_case(seed, 8);
+        assert_eq!(a, b, "seed {seed}: parallel run not reproducible");
+    }
+}

@@ -237,6 +237,190 @@ struct DeliveryBody<M> {
     msg: Payload<M>,
 }
 
+/// The one next-event decision, shared by the sequential step loop and each
+/// parallel domain's window loop: the global `(at, seq)` minimum across a
+/// delivery queue and a timer wheel. Seqs are unique across both sources,
+/// so the two never tie. Returns `(at, seq, take_timer)`.
+fn peek_next(queue: &BinaryHeap<DeliveryKey>, timers: &mut TimerWheel) -> Option<(u64, u64, bool)> {
+    let msg_key = queue.peek().map(|&Reverse((at, seq, _))| (at, seq));
+    match (msg_key, timers.peek()) {
+        (None, None) => None,
+        (Some((at, seq)), None) => Some((at, seq, false)),
+        (None, Some((at, seq))) => Some((at, seq, true)),
+        (Some(m), Some(t)) => {
+            if t < m {
+                Some((t.0, t.1, true))
+            } else {
+                Some((m.0, m.1, false))
+            }
+        }
+    }
+}
+
+/// Parks `body` in `slab` (reusing a free slot LIFO) and returns the slot
+/// for the compact heap key. Shared by the global queue and the per-domain
+/// queues so both sides keep identical slab semantics.
+fn park_delivery<M>(
+    slab: &mut Vec<Option<DeliveryBody<M>>>,
+    free: &mut Vec<u32>,
+    body: DeliveryBody<M>,
+) -> u32 {
+    match free.pop() {
+        Some(slot) => {
+            debug_assert!(slab[slot as usize].is_none());
+            slab[slot as usize] = Some(body);
+            slot
+        }
+        None => {
+            let slot = u32::try_from(slab.len())
+                .expect("more than u32::MAX simultaneous in-flight deliveries");
+            slab.push(Some(body));
+            slot
+        }
+    }
+}
+
+/// Deterministic contiguous block partition of `n` nodes into `count`
+/// domains: node `i`'s domain depends only on `(n, count)`, never on thread
+/// scheduling. Contiguity matters twice over — it matches the positional
+/// rack/ring layout [`crate::cluster::ClusterSpec`] assigns (so domains
+/// align with cluster structure), and it lets the window runner hand each
+/// worker a disjoint `&mut` slice of the node and RNG vectors.
+pub(crate) fn contiguous_domains(n: usize, count: usize) -> Vec<u32> {
+    let count = count.clamp(1, n.max(1));
+    let base = n / count;
+    let rem = n % count;
+    let mut of_node = Vec::with_capacity(n);
+    for d in 0..count {
+        let size = base + usize::from(d < rem);
+        of_node.extend(std::iter::repeat_n(d as u32, size));
+    }
+    of_node
+}
+
+/// Outcome of routing one recipient during a window, resolved again at the
+/// barrier in exact sequential order.
+#[derive(Debug)]
+enum Disp<M> {
+    /// Dropped at send time (partition / unreachable). Consumes no seq.
+    Dropped(DropCause),
+    /// Delivered *inside* this window to this domain: it already executed
+    /// under a provisional key and consumes one real seq at commit.
+    Executed,
+    /// Survives the window (cross-domain, or lands past the window end):
+    /// enqueued into the target domain at commit with its real seq. The
+    /// body rides in an `Option` so the commit loop can take it by value.
+    Parked { at: u64, body: Option<Payload<M>> },
+}
+
+/// One action a window dispatch emitted, logged in action order so the
+/// barrier can replay seq assignment and byte accounting exactly as the
+/// sequential engine would have.
+#[derive(Debug)]
+enum Emission<M> {
+    Send { to: NodeId, wire: usize, class: &'static str, disp: Disp<M> },
+    Multicast { to: Vec<NodeId>, wire: usize, class: &'static str, disps: Vec<Disp<M>> },
+    Timer { at: u64, tag: u64, executed: bool },
+}
+
+/// One window dispatch that emitted something: the dispatched event's key
+/// (provisional iff `seq >= seq_base`) plus its slice of the domain's
+/// emission log. Zero-emission dispatches need no record — they consume no
+/// seqs and nothing downstream orders against them.
+#[derive(Debug, Clone, Copy)]
+struct DispatchRecord {
+    at: u64,
+    seq: u64,
+    node: u32,
+    emi: u32,
+    emi_len: u32,
+}
+
+/// One spatial domain of the conservative PDES scheduler: a contiguous
+/// node block with its own delivery queue, slab, and timer-wheel shard,
+/// plus the per-window logs the barrier commit consumes.
+struct Domain<M> {
+    /// First node id in this domain's contiguous block.
+    base: usize,
+    /// One-past-last node id.
+    end: usize,
+    queue: BinaryHeap<DeliveryKey>,
+    slab: Vec<Option<DeliveryBody<M>>>,
+    free: Vec<u32>,
+    wheel: TimerWheel,
+    /// Dispatches with emissions, in domain execution order.
+    records: Vec<DispatchRecord>,
+    /// Flat emission log; records hold ranges into it.
+    emissions: Vec<Emission<M>>,
+    /// Per-domain accumulator for counters recorded mid-window off the
+    /// emission path (delivery-time `NodeDown` drops, `Context::count`
+    /// events); folded into the global [`NetStats`] at the barrier.
+    stats: NetStats,
+    events_processed: u64,
+    /// Count of intra-window seq-consuming emissions so far: the k-th one
+    /// runs under provisional key `seq_base + k`.
+    provisional: u64,
+    /// Reusable action buffer for this domain's dispatches.
+    actions: Vec<Action<M>>,
+}
+
+impl<M> Domain<M> {
+    fn new(base: usize, end: usize) -> Self {
+        Domain {
+            base,
+            end,
+            queue: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            wheel: TimerWheel::new(),
+            records: Vec::new(),
+            emissions: Vec::new(),
+            stats: NetStats::accumulator(0),
+            events_processed: 0,
+            provisional: 0,
+            actions: Vec::new(),
+        }
+    }
+
+    fn push_with_seq(&mut self, at: u64, seq: u64, body: DeliveryBody<M>) {
+        let slot = park_delivery(&mut self.slab, &mut self.free, body);
+        self.queue.push(Reverse((at, seq, slot)));
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len() + self.wheel.len()
+    }
+}
+
+/// Live sharded state of a parallel epoch.
+struct ParState<M> {
+    domains: Vec<Domain<M>>,
+    /// Domain index per node (contiguous blocks).
+    of_node: Vec<u32>,
+    /// Unscaled PDES lookahead in µs: the minimum cross-domain link
+    /// latency. `u64::MAX` when domains are network-isolated.
+    base_lookahead: u64,
+}
+
+/// Read-only world state shared by every domain worker during one window,
+/// plus the window constants.
+struct WindowEnv<'a> {
+    topo: &'a Topology,
+    down: &'a [bool],
+    partitions: Option<&'a [u32]>,
+    latency_factor: f64,
+    /// Exclusive end of the window: events with `at < window_end` execute.
+    window_end: u64,
+    /// Global seq counter at window start; provisional keys start here.
+    seq_base: u64,
+}
+
+/// Below this many pending events across all domains, a window runs inline
+/// on the driver thread: results are identical either way (domains are
+/// independent within a window), so threads are only worth their spawn cost
+/// when the window carries real work.
+const PARALLEL_SPAWN_THRESHOLD: usize = 64;
+
 /// The discrete-event simulator driving one [`Protocol`] instance per node.
 pub struct Simulator<P: Protocol> {
     nodes: Vec<P>,
@@ -268,6 +452,16 @@ pub struct Simulator<P: Protocol> {
     events_processed: u64,
     /// Reusable per-callback action buffer (dispatch is not reentrant).
     scratch: Vec<Action<P::Msg>>,
+    /// Configured worker count for the conservative PDES scheduler; 1 =
+    /// the classic sequential loop.
+    threads: usize,
+    /// Sharded per-domain event structures, present while a parallel epoch
+    /// is live. `None` means the global `queue`/`timers` are authoritative.
+    par: Option<ParState<P::Msg>>,
+    /// Monomorphized parallel driver, installed by [`Simulator::set_threads`]
+    /// (which carries the `Send` bounds the thread scope needs); `None`
+    /// keeps every run on the sequential path.
+    par_exec: Option<fn(&mut Simulator<P>, u64)>,
 }
 
 impl<P: Protocol> std::fmt::Debug for Simulator<P> {
@@ -313,6 +507,9 @@ impl<P: Protocol> Simulator<P> {
             engine_rng: ChaCha8Rng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03),
             events_processed: 0,
             scratch: Vec::new(),
+            threads: 1,
+            par: None,
+            par_exec: None,
         }
     }
 
@@ -338,6 +535,13 @@ impl<P: Protocol> Simulator<P> {
     /// Resets the byte counters (e.g. after warm-up).
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+        if let Some(par) = &mut self.par {
+            // Domain accumulators are drained at every window barrier, so
+            // they are empty between runs; clear defensively anyway.
+            for dom in &mut par.domains {
+                dom.stats = NetStats::accumulator(0);
+            }
+        }
     }
 
     /// The topology the simulation runs over.
@@ -506,7 +710,12 @@ impl<P: Protocol> Simulator<P> {
     }
 
     /// Runs a single event. Returns `false` when the queue is empty.
+    ///
+    /// Single-stepping is inherently sequential: if a parallel epoch is
+    /// live, its sharded queues are merged back into the global structures
+    /// first (a no-op otherwise).
     pub fn step(&mut self) -> bool {
+        self.unshard();
         self.step_bounded(u64::MAX)
     }
 
@@ -515,20 +724,8 @@ impl<P: Protocol> Simulator<P> {
     /// there an event" and "is it in range", so `run_until` doesn't pay a
     /// second round of queue peeks per event.
     fn step_bounded(&mut self, bound: u64) -> bool {
-        // Global minimum across deliveries and timers by (at, seq); seqs
-        // are unique, so the two sources never tie.
-        let msg_key = self.queue.peek().map(|&Reverse((at, seq, _))| (at, seq));
-        let timer_key = self.timers.peek();
-        let take_timer = match (msg_key, timer_key) {
-            (None, None) => return false,
-            (Some(_), None) => false,
-            (None, Some(_)) => true,
-            (Some(m), Some(t)) => t < m,
-        };
-        let (next_at, _) = if take_timer {
-            timer_key.expect("chosen side is non-empty")
-        } else {
-            msg_key.expect("chosen side is non-empty")
+        let Some((next_at, _seq, take_timer)) = peek_next(&self.queue, &mut self.timers) else {
+            return false;
         };
         if next_at > bound {
             return false;
@@ -583,12 +780,24 @@ impl<P: Protocol> Simulator<P> {
 
     /// Runs events with timestamps `<= until`, leaving later events queued.
     /// The clock is advanced to `until` even if the queue drains early.
+    ///
+    /// With [`Simulator::set_threads`] above 1 this drives the conservative
+    /// PDES scheduler; the observable schedule is bit-identical to the
+    /// sequential loop at any thread count.
     pub fn run_until(&mut self, until: SimTime) {
         let bound = until.as_micros();
-        while self.step_bounded(bound) {}
+        match self.par_exec {
+            Some(f) => f(self, bound),
+            None => while self.step_bounded(bound) {},
+        }
         if self.clock < until {
             self.clock = until;
             self.timers.advance(bound);
+            if let Some(par) = &mut self.par {
+                for dom in &mut par.domains {
+                    dom.wheel.advance(bound);
+                }
+            }
         }
     }
 
@@ -603,9 +812,24 @@ impl<P: Protocol> Simulator<P> {
         self.events_processed
     }
 
-    /// Number of events currently queued (deliveries and timers).
+    /// Number of events currently queued (deliveries and timers), across
+    /// the global structures and any live domain shards.
     pub fn pending_events(&self) -> usize {
-        self.queue.len() + self.timers.len()
+        let sharded: usize =
+            self.par.iter().flat_map(|p| p.domains.iter()).map(Domain::pending).sum();
+        self.queue.len() + self.timers.len() + sharded
+    }
+
+    /// The configured worker count (1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The domain a node is assigned to under the current thread
+    /// configuration (contiguous blocks; see `contiguous_domains`).
+    /// Exposed for tests and diagnostics.
+    pub fn domain_of(&self, node: NodeId) -> u32 {
+        contiguous_domains(self.nodes.len(), self.threads)[node.0]
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -617,19 +841,15 @@ impl<P: Protocol> Simulator<P> {
     fn push_delivery(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: Payload<P::Msg>) {
         let seq = self.next_seq();
         let body = DeliveryBody { from, to, msg };
-        let slot = match self.delivery_free.pop() {
-            Some(slot) => {
-                debug_assert!(self.delivery_slab[slot as usize].is_none());
-                self.delivery_slab[slot as usize] = Some(body);
-                slot
-            }
-            None => {
-                let slot = u32::try_from(self.delivery_slab.len())
-                    .expect("more than u32::MAX simultaneous in-flight deliveries");
-                self.delivery_slab.push(Some(body));
-                slot
-            }
-        };
+        // Between windows of a parallel epoch the sharded queues are
+        // authoritative: route straight into the destination's domain.
+        // (Seqs are global and real here, so ordering is unaffected.)
+        if let Some(par) = &mut self.par {
+            let d = par.of_node[to.0] as usize;
+            par.domains[d].push_with_seq(at.as_micros(), seq, body);
+            return;
+        }
+        let slot = park_delivery(&mut self.delivery_slab, &mut self.delivery_free, body);
         self.queue.push(Reverse((at.as_micros(), seq, slot)));
     }
 
@@ -694,12 +914,14 @@ impl<P: Protocol> Simulator<P> {
                 Action::Timer { delay, tag } => {
                     let at = self.clock + delay;
                     let seq = self.next_seq();
-                    self.timers.insert(TimerEntry {
-                        at: at.as_micros(),
-                        seq,
-                        node: node.0,
-                        tag,
-                    });
+                    let entry = TimerEntry { at: at.as_micros(), seq, node: node.0, tag };
+                    match &mut self.par {
+                        Some(par) => {
+                            let d = par.of_node[node.0] as usize;
+                            par.domains[d].wheel.insert(entry);
+                        }
+                        None => self.timers.insert(entry),
+                    }
                 }
                 Action::Count { name, n } => self.stats.record_event(name, n),
             }
@@ -752,6 +974,530 @@ impl<P: Protocol> Simulator<P> {
             if self.latency_factor == 1.0 { latency } else { latency.mul_f64(self.latency_factor) };
         let at = self.clock + latency;
         self.push_delivery(at, from, to, msg);
+    }
+
+    /// Splits the global queue and timer wheel into per-domain shards for a
+    /// parallel epoch. No-op if already sharded. Seqs travel with their
+    /// keys, so the merged `(at, seq)` order is untouched.
+    fn ensure_sharded(&mut self) {
+        if self.par.is_some() {
+            return;
+        }
+        let n = self.nodes.len();
+        let of_node = contiguous_domains(n, self.threads);
+        let count = of_node.last().map_or(1, |&d| d as usize + 1);
+        let mut domains: Vec<Domain<P::Msg>> = Vec::with_capacity(count);
+        let mut base = 0;
+        for d in 0..count {
+            let end = of_node.iter().filter(|&&x| x == d as u32).count() + base;
+            let mut dom = Domain::new(base, end);
+            dom.wheel.advance(self.clock.as_micros());
+            domains.push(dom);
+            base = end;
+        }
+        let base_lookahead = self
+            .topo
+            .min_cross_group_latency(&of_node)
+            .map_or(u64::MAX, |l| l.as_micros());
+        while let Some(Reverse((at, seq, slot))) = self.queue.pop() {
+            let body = self.delivery_slab[slot as usize]
+                .take()
+                .expect("queued key points at a parked body");
+            let d = of_node[body.to.0] as usize;
+            domains[d].push_with_seq(at, seq, body);
+        }
+        self.delivery_slab.clear();
+        self.delivery_free.clear();
+        for e in self.timers.drain_sorted() {
+            domains[of_node[e.node] as usize].wheel.insert(e);
+        }
+        self.timers = TimerWheel::new();
+        self.timers.advance(self.clock.as_micros());
+        self.par = Some(ParState { domains, of_node, base_lookahead });
+    }
+
+    /// Merges any live domain shards back into the global structures (the
+    /// inverse of `ensure_sharded`). Called whenever sequential stepping
+    /// needs the single-queue view: `step`, thread-count changes, and the
+    /// random-drop fallback.
+    fn unshard(&mut self) {
+        let Some(mut par) = self.par.take() else { return };
+        for dom in &mut par.domains {
+            while let Some(Reverse((at, seq, slot))) = dom.queue.pop() {
+                let body = dom.slab[slot as usize]
+                    .take()
+                    .expect("queued key points at a parked body");
+                let slot =
+                    park_delivery(&mut self.delivery_slab, &mut self.delivery_free, body);
+                self.queue.push(Reverse((at, seq, slot)));
+            }
+            for e in dom.wheel.drain_sorted() {
+                self.timers.insert(e);
+            }
+            // Empty between windows; defensive so no counter is ever lost.
+            self.stats.merge(&dom.stats);
+            self.events_processed += dom.events_processed;
+        }
+    }
+
+    /// The window barrier: replays every domain's emission log in exact
+    /// sequential dispatch order, assigning real seqs, folding byte
+    /// accounting into the global [`NetStats`], and enqueueing surviving
+    /// (cross-domain or post-window) events into their target domains.
+    ///
+    /// Dispatch records merge by the dispatched event's real `(at, seq)`
+    /// key. A record whose key is provisional (`seq >= seq_base`) was
+    /// emitted *this* window by its own domain, and its emitter's record
+    /// sits earlier in the same domain's list — so by the time it reaches
+    /// the merge head, its real seq is already known. This reconstructs
+    /// the exact global emission order of the sequential engine, which is
+    /// what makes every thread count bit-identical.
+    fn commit_window(&mut self, seq_base: u64) {
+        let mut par = self.par.take().expect("commit only inside a parallel epoch");
+        let count = par.domains.len();
+        let mut heads = vec![0usize; count];
+        let mut cursors = vec![0usize; count];
+        // real_of[d][k] = real seq of domain d's k-th executed emission.
+        let mut real_of: Vec<Vec<u64>> = par
+            .domains
+            .iter()
+            .map(|d| Vec::with_capacity(d.provisional as usize))
+            .collect();
+        loop {
+            let mut best: Option<(u64, u64, usize)> = None;
+            for d in 0..count {
+                let recs = &par.domains[d].records;
+                if heads[d] >= recs.len() {
+                    continue;
+                }
+                let r = &recs[heads[d]];
+                let seq = if r.seq >= seq_base {
+                    real_of[d][(r.seq - seq_base) as usize]
+                } else {
+                    r.seq
+                };
+                if best.is_none_or(|b| (r.at, seq) < (b.0, b.1)) {
+                    best = Some((r.at, seq, d));
+                }
+            }
+            let Some((_, _, d)) = best else { break };
+            let r = par.domains[d].records[heads[d]];
+            heads[d] += 1;
+            debug_assert_eq!(cursors[d], r.emi as usize, "emission ranges are consecutive");
+            let from = NodeId(r.node as usize);
+            for i in r.emi as usize..(r.emi + r.emi_len) as usize {
+                cursors[d] = i + 1;
+                // Pull the per-emission values out first so the borrow of
+                // this domain's log ends before any cross-domain park.
+                enum Todo<M> {
+                    Done,
+                    Exec,
+                    Park { to: NodeId, at: u64, body: Payload<M> },
+                    ArmTimer { at: u64, tag: u64 },
+                }
+                let mut plan: Vec<Todo<P::Msg>> = Vec::new();
+                match &mut par.domains[d].emissions[i] {
+                    Emission::Send { to, wire, class, disp } => {
+                        self.stats.record_send(from, *to, *wire, class);
+                        plan.push(match disp {
+                            Disp::Dropped(c) => {
+                                self.stats.record_drop(*c);
+                                Todo::Done
+                            }
+                            Disp::Executed => Todo::Exec,
+                            Disp::Parked { at, body } => Todo::Park {
+                                to: *to,
+                                at: *at,
+                                body: body.take().expect("parked body consumed once"),
+                            },
+                        });
+                    }
+                    Emission::Multicast { to, wire, class, disps } => {
+                        self.stats.record_multicast(from, to, *wire, class);
+                        for (t, disp) in to.iter().zip(disps.iter_mut()) {
+                            plan.push(match disp {
+                                Disp::Dropped(c) => {
+                                    self.stats.record_drop(*c);
+                                    Todo::Done
+                                }
+                                Disp::Executed => Todo::Exec,
+                                Disp::Parked { at, body } => Todo::Park {
+                                    to: *t,
+                                    at: *at,
+                                    body: body.take().expect("parked body consumed once"),
+                                },
+                            });
+                        }
+                    }
+                    Emission::Timer { at, tag, executed } => {
+                        plan.push(if *executed {
+                            Todo::Exec
+                        } else {
+                            Todo::ArmTimer { at: *at, tag: *tag }
+                        });
+                    }
+                }
+                for todo in plan {
+                    match todo {
+                        Todo::Done => {}
+                        Todo::Exec => {
+                            let s = self.next_seq();
+                            real_of[d].push(s);
+                        }
+                        Todo::Park { to, at, body } => {
+                            let s = self.next_seq();
+                            let td = par.of_node[to.0] as usize;
+                            par.domains[td].push_with_seq(at, s, DeliveryBody {
+                                from,
+                                to,
+                                msg: body,
+                            });
+                        }
+                        Todo::ArmTimer { at, tag } => {
+                            let s = self.next_seq();
+                            par.domains[d].wheel.insert(TimerEntry {
+                                at,
+                                seq: s,
+                                node: r.node as usize,
+                                tag,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for (d, dom) in par.domains.iter_mut().enumerate() {
+            debug_assert_eq!(heads[d], dom.records.len(), "every record merged");
+            debug_assert_eq!(cursors[d], dom.emissions.len(), "every emission replayed");
+            dom.records.clear();
+            dom.emissions.clear();
+            self.stats.merge(&dom.stats);
+            dom.stats = NetStats::accumulator(0);
+            self.events_processed += dom.events_processed;
+            dom.events_processed = 0;
+            dom.provisional = 0;
+        }
+        self.par = Some(par);
+    }
+}
+
+/// Parallel execution requires moving protocol state and messages across
+/// worker threads, hence the bounds. A `Simulator` whose protocol is not
+/// `Send` simply never gains `set_threads` and stays sequential.
+impl<P> Simulator<P>
+where
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
+{
+    /// Sets the worker-thread count for [`Simulator::run_until`] /
+    /// [`Simulator::run_for`]. `1` restores the plain sequential loop.
+    ///
+    /// The observable schedule — traces, stats, fingerprints, RNG streams —
+    /// is bit-identical at every thread count; threads only change
+    /// wall-clock time. Counts above the node count are capped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads >= 1, "thread count must be at least 1");
+        let threads = threads.min(self.nodes.len().max(1));
+        if threads == self.threads {
+            return;
+        }
+        // Repartitioning invalidates the current shards; fold them back
+        // first (cheap, and only on reconfiguration).
+        self.unshard();
+        self.threads = threads;
+        // Stored as a fn pointer so the unbounded `run_until` can invoke
+        // the parallel path without carrying these bounds itself.
+        self.par_exec = if threads > 1 { Some(Self::parallel_epoch) } else { None };
+    }
+
+    /// The conservative-PDES driver behind `run_until` when `threads > 1`:
+    /// repeatedly picks the global minimum next-event time `t`, lets every
+    /// domain run independently inside `[t, t + lookahead)`, then commits
+    /// the window barrier. Falls back to the sequential loop whenever
+    /// random drops are active (they consume shared engine RNG in global
+    /// event order, which cannot be windowed) or no lookahead exists.
+    fn parallel_epoch(sim: &mut Self, bound: u64) {
+        loop {
+            let eligible = sim.threads > 1
+                && sim.drop_prob == 0.0
+                && sim.link_drops.is_empty()
+                && sim.nodes.len() >= 2;
+            if !eligible {
+                sim.unshard();
+                while sim.step_bounded(bound) {}
+                return;
+            }
+            sim.ensure_sharded();
+            let par = sim.par.as_mut().expect("just sharded");
+            // Scale the lookahead exactly like message routing scales
+            // latency: rounding is monotone, so the scaled bound is still a
+            // valid lower bound on cross-domain delivery delay.
+            let w = match par.base_lookahead {
+                u64::MAX => u64::MAX,
+                base if sim.latency_factor == 1.0 => base,
+                base => SimDuration::from_micros(base).mul_f64(sim.latency_factor).as_micros(),
+            };
+            if w == 0 {
+                // A zero-latency cross-domain link means no safe window.
+                sim.unshard();
+                while sim.step_bounded(bound) {}
+                return;
+            }
+            let mut t_min: Option<u64> = None;
+            for dom in &mut par.domains {
+                if let Some((at, _, _)) = peek_next(&dom.queue, &mut dom.wheel) {
+                    t_min = Some(t_min.map_or(at, |t| t.min(at)));
+                }
+            }
+            let Some(t) = t_min else { break };
+            if t > bound {
+                break;
+            }
+            // `bound + 1` because the window is half-open while `bound` is
+            // inclusive (run events with `at <= bound`).
+            let window_end = t.saturating_add(w).min(bound.saturating_add(1));
+            let seq_base = sim.seq;
+            sim.run_window(window_end, seq_base);
+            sim.commit_window(seq_base);
+        }
+    }
+
+    /// Executes one window `[t, window_end)` across all domains, in
+    /// parallel when enough work is pending. Domains are contiguous node
+    /// blocks, so `split_at_mut` hands each worker disjoint `&mut` slices
+    /// of protocol state and per-node RNGs without any locking.
+    fn run_window(&mut self, window_end: u64, seq_base: u64) {
+        let mut par = self.par.take().expect("window requires live shards");
+        let env = WindowEnv {
+            topo: &self.topo,
+            down: &self.down,
+            partitions: self.partitions.as_deref(),
+            latency_factor: self.latency_factor,
+            window_end,
+            seq_base,
+        };
+        let pending: usize = par.domains.iter().map(Domain::pending).sum();
+        // One window job per domain: its shard plus disjoint `&mut`
+        // slices of protocol state and per-node RNGs.
+        type Job<'a, P> =
+            (&'a mut Domain<<P as Protocol>::Msg>, &'a mut [P], &'a mut [ChaCha8Rng]);
+        let mut jobs: Vec<Job<'_, P>> = Vec::with_capacity(par.domains.len());
+        let mut nodes_rest: &mut [P] = &mut self.nodes;
+        let mut rngs_rest: &mut [ChaCha8Rng] = &mut self.node_rngs;
+        for dom in &mut par.domains {
+            let take = dom.end - dom.base;
+            let (n, nr) = nodes_rest.split_at_mut(take);
+            let (r, rr) = rngs_rest.split_at_mut(take);
+            nodes_rest = nr;
+            rngs_rest = rr;
+            jobs.push((dom, n, r));
+        }
+        if pending < PARALLEL_SPAWN_THRESHOLD {
+            // Tiny windows aren't worth thread wake-ups. Domains are
+            // independent within a window, so inline execution produces
+            // byte-identical results.
+            for (dom, nodes, rngs) in jobs {
+                run_domain_window(dom, nodes, rngs, &env);
+            }
+        } else {
+            std::thread::scope(|s| {
+                let mut jobs = jobs.into_iter();
+                let first = jobs.next();
+                for (dom, nodes, rngs) in jobs {
+                    let env = &env;
+                    s.spawn(move || run_domain_window(dom, nodes, rngs, env));
+                }
+                // The driver thread works the first domain instead of
+                // idling at the join.
+                if let Some((dom, nodes, rngs)) = first {
+                    run_domain_window(dom, nodes, rngs, &env);
+                }
+            });
+        }
+        self.par = Some(par);
+    }
+}
+
+/// One domain's event loop for one window: run every local event with
+/// `at < window_end` in `(at, seq)` order, recording emissions for the
+/// barrier replay instead of touching global state.
+fn run_domain_window<P: Protocol>(
+    dom: &mut Domain<P::Msg>,
+    nodes: &mut [P],
+    rngs: &mut [ChaCha8Rng],
+    env: &WindowEnv<'_>,
+) {
+    loop {
+        let Some((at, _seq, take_timer)) = peek_next(&dom.queue, &mut dom.wheel) else {
+            return;
+        };
+        if at >= env.window_end {
+            return;
+        }
+        if take_timer {
+            let entry = dom.wheel.pop_earliest().expect("peeked");
+            dom.events_processed += 1;
+            if !env.down[entry.node] {
+                dispatch_window(dom, nodes, rngs, env, (entry.at, entry.seq), NodeId(entry.node), |p, ctx| {
+                    p.on_timer(ctx, entry.tag)
+                });
+            }
+        } else {
+            let Reverse((at_us, seq, slot)) = dom.queue.pop().expect("peeked");
+            let body = dom.slab[slot as usize]
+                .take()
+                .expect("queued key points at a parked body");
+            dom.free.push(slot);
+            // Mirrors the sequential loop: timers armed by this handler
+            // must be placeable relative to the new local time.
+            dom.wheel.advance(at_us);
+            dom.events_processed += 1;
+            if env.down[body.to.0] {
+                // Delivery-time drops are pure counters, so they can live
+                // in the domain accumulator and merge at the barrier.
+                dom.stats.record_drop(DropCause::NodeDown);
+            } else {
+                let (to, from) = (body.to, body.from);
+                match body.msg {
+                    Payload::One(msg) => {
+                        dispatch_window(dom, nodes, rngs, env, (at_us, seq), to, |p, ctx| {
+                            p.on_message(ctx, from, msg)
+                        });
+                    }
+                    Payload::Shared(arc) => match Arc::try_unwrap(arc) {
+                        Ok(msg) => {
+                            dispatch_window(dom, nodes, rngs, env, (at_us, seq), to, |p, ctx| {
+                                p.on_message(ctx, from, msg)
+                            });
+                        }
+                        Err(arc) => {
+                            dispatch_window(dom, nodes, rngs, env, (at_us, seq), to, |p, ctx| {
+                                p.on_message_ref(ctx, from, &arc)
+                            });
+                        }
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// Runs one handler inside a window and logs its emissions. Intra-window
+/// intra-domain effects execute immediately under provisional seqs
+/// (`seq_base + k`, `k` counting only executed emissions in this domain);
+/// everything else parks for the barrier. The provisional numbering
+/// preserves the domain-local relative order the sequential engine would
+/// produce, and the barrier replay rewrites it into the real global order.
+fn dispatch_window<P: Protocol>(
+    dom: &mut Domain<P::Msg>,
+    nodes: &mut [P],
+    rngs: &mut [ChaCha8Rng],
+    env: &WindowEnv<'_>,
+    key: (u64, u64),
+    node: NodeId,
+    f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>),
+) {
+    let mut actions = std::mem::take(&mut dom.actions);
+    debug_assert!(actions.is_empty());
+    {
+        let mut ctx = Context {
+            now: SimTime::ZERO + SimDuration::from_micros(key.0),
+            node,
+            actions: &mut actions,
+            rng: &mut rngs[node.0 - dom.base],
+        };
+        f(&mut nodes[node.0 - dom.base], &mut ctx);
+    }
+    let emi = dom.emissions.len() as u32;
+    for action in actions.drain(..) {
+        match action {
+            Action::Send { to, msg } => {
+                let (wire, class) = (msg.wire_size(), msg.class());
+                let disp = window_disp(dom, env, node, to, key.0, Payload::One(msg));
+                dom.emissions.push(Emission::Send { to, wire, class, disp });
+            }
+            Action::Multicast { to, msg } => {
+                let (wire, class) = (msg.wire_size(), msg.class());
+                let mut disps = Vec::with_capacity(to.len());
+                for &t in &to {
+                    disps.push(window_disp(
+                        dom,
+                        env,
+                        node,
+                        t,
+                        key.0,
+                        Payload::Shared(Arc::clone(&msg)),
+                    ));
+                }
+                dom.emissions.push(Emission::Multicast { to, wire, class, disps });
+            }
+            Action::Timer { delay, tag } => {
+                let at = (SimTime::ZERO + SimDuration::from_micros(key.0) + delay).as_micros();
+                let executed = at < env.window_end;
+                if executed {
+                    let seq = env.seq_base + dom.provisional;
+                    dom.provisional += 1;
+                    dom.wheel.insert(TimerEntry { at, seq, node: node.0, tag });
+                }
+                dom.emissions.push(Emission::Timer { at, tag, executed });
+            }
+            Action::Count { name, n } => dom.stats.record_event(name, n),
+        }
+    }
+    dom.actions = actions;
+    let emi_len = dom.emissions.len() as u32 - emi;
+    if emi_len > 0 {
+        dom.records.push(DispatchRecord {
+            at: key.0,
+            seq: key.1,
+            node: node.0 as u32,
+            emi,
+            emi_len,
+        });
+    }
+}
+
+/// The window-local delivery decision, mirroring `route_unaccounted` minus
+/// the random-drop coins (a parallel epoch is only entered when those are
+/// inactive, so no engine RNG is consumed here — exactly as the sequential
+/// engine would behave).
+fn window_disp<M>(
+    dom: &mut Domain<M>,
+    env: &WindowEnv<'_>,
+    from: NodeId,
+    to: NodeId,
+    now_us: u64,
+    msg: Payload<M>,
+) -> Disp<M> {
+    if let Some(groups) = env.partitions {
+        if groups[from.0] != groups[to.0] {
+            return Disp::Dropped(DropCause::Partition);
+        }
+    }
+    let Some(latency) = env.topo.dist(from, to) else {
+        return Disp::Dropped(DropCause::Unreachable);
+    };
+    let latency =
+        if env.latency_factor == 1.0 { latency } else { latency.mul_f64(env.latency_factor) };
+    let at = (SimTime::ZERO + SimDuration::from_micros(now_us) + latency).as_micros();
+    let intra = dom.base <= to.0 && to.0 < dom.end;
+    if intra && at < env.window_end {
+        let seq = env.seq_base + dom.provisional;
+        dom.provisional += 1;
+        dom.push_with_seq(at, seq, DeliveryBody { from, to, msg });
+        Disp::Executed
+    } else {
+        // The lookahead guarantee: a cross-domain delivery can never land
+        // inside the window that produced it.
+        debug_assert!(
+            intra || at >= env.window_end,
+            "cross-domain send inside its own window violates lookahead"
+        );
+        Disp::Parked { at, body: Some(msg) }
     }
 }
 
@@ -1283,5 +2029,205 @@ mod tests {
                 sim.events_processed() as f64 / dt / 1e6
             );
         }
+    }
+
+    /// Gossip workload for the parallel-scheduler tests: timers, unicast,
+    /// multicast, per-node RNG draws, and counters, with fan-out that
+    /// straddles domain boundaries on a ring.
+    #[derive(Debug)]
+    struct Gossip {
+        id: usize,
+        n: usize,
+        rounds_left: u32,
+        heard: u64,
+        rng_sum: u64,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Rumor(u32);
+
+    impl Message for Rumor {
+        fn wire_size(&self) -> usize {
+            24
+        }
+        fn class(&self) -> &'static str {
+            "rumor"
+        }
+    }
+
+    impl Protocol for Gossip {
+        type Msg = Rumor;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Rumor>) {
+            ctx.set_timer(SimDuration::from_millis(1 + (self.id % 7) as u64), 0);
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<'_, Rumor>, _from: NodeId, msg: Rumor) {
+            self.heard += 1;
+            self.rng_sum = self.rng_sum.wrapping_add(ctx.rng().gen::<u64>());
+            if msg.0 > 0 && self.heard.is_multiple_of(3) {
+                ctx.send(NodeId((self.id + 1) % self.n), Rumor(msg.0 - 1));
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Context<'_, Rumor>, _tag: u64) {
+            if self.rounds_left == 0 {
+                return;
+            }
+            self.rounds_left -= 1;
+            ctx.count("gossip_round");
+            let targets: Vec<NodeId> = (1..=3).map(|k| NodeId((self.id + k) % self.n)).collect();
+            ctx.broadcast(targets, Rumor(2));
+            ctx.set_timer(SimDuration::from_millis(5 + (self.id % 3) as u64), 0);
+        }
+    }
+
+    fn gossip_sim(n: usize, seed: u64) -> Simulator<Gossip> {
+        let topo = crate::topology::Topology::ring(n, SimDuration::from_millis(10));
+        let nodes = (0..n)
+            .map(|id| Gossip { id, n, rounds_left: 8, heard: 0, rng_sum: 0 })
+            .collect();
+        Simulator::new(topo, nodes, seed)
+    }
+
+    /// Everything observable: clock, event count, network totals, drops,
+    /// classes, counters, per-node traffic, and per-node protocol state.
+    fn gossip_fingerprint(sim: &Simulator<Gossip>) -> String {
+        use std::fmt::Write as _;
+        let s = sim.stats();
+        let mut out = format!(
+            "now={} ev={} msgs={} bytes={} dropped={}",
+            sim.now().as_micros(),
+            sim.events_processed(),
+            s.total_messages(),
+            s.total_bytes(),
+            s.dropped_messages(),
+        );
+        for (cause, n) in s.drops_by_cause() {
+            let _ = write!(out, " drop[{cause:?}]={n}");
+        }
+        for (class, c) in s.classes() {
+            let _ = write!(out, " {class}={}/{}", c.messages, c.bytes);
+        }
+        for (event, n) in s.events() {
+            let _ = write!(out, " ev[{event}]={n}");
+        }
+        for (i, g) in sim.nodes().enumerate() {
+            let _ = write!(
+                out,
+                " n{i}=[{}/{}/{}/{}/{}]",
+                g.heard,
+                g.rng_sum,
+                g.rounds_left,
+                s.sent_by(NodeId(i)),
+                s.received_by(NodeId(i)),
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_gossip_is_bit_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut sim = gossip_sim(24, 42);
+            sim.set_threads(threads);
+            sim.start();
+            sim.run_for(SimDuration::from_millis(500));
+            gossip_fingerprint(&sim)
+        };
+        let sequential = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), sequential, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_ring_token_matches_sequential() {
+        let run = |threads: usize| {
+            let mut sim = ring_sim(10, 5, 7);
+            sim.set_threads(threads);
+            sim.start();
+            sim.run_for(SimDuration::from_secs(10));
+            let seen: Vec<u32> = sim.nodes().map(|n| n.seen).collect();
+            (sim.now(), sim.events_processed(), sim.stats().total_messages(), seen)
+        };
+        assert_eq!(run(8), run(1));
+        assert_eq!(run(2), run(1));
+    }
+
+    #[test]
+    fn random_drops_fall_back_to_sequential_and_resume() {
+        // Random drops consume shared engine RNG, so the parallel epoch
+        // must fall back mid-run and re-shard when drops end — with the
+        // exact same schedule as a purely sequential run.
+        let run = |threads: usize| {
+            let mut sim = gossip_sim(20, 99);
+            sim.set_threads(threads);
+            sim.start();
+            sim.run_for(SimDuration::from_millis(100));
+            sim.set_drop_prob(0.25);
+            sim.run_for(SimDuration::from_millis(100));
+            sim.set_drop_prob(0.0);
+            sim.run_for(SimDuration::from_millis(300));
+            gossip_fingerprint(&sim)
+        };
+        assert_eq!(run(8), run(1));
+    }
+
+    #[test]
+    fn chaos_controls_between_windows_match_sequential() {
+        // Crashes, partitions, latency changes, injections, and direct
+        // node access interleaved with parallel epochs must all replay the
+        // sequential schedule exactly.
+        let run = |threads: usize| {
+            let mut sim = gossip_sim(20, 123);
+            sim.set_threads(threads);
+            sim.start();
+            sim.run_for(SimDuration::from_millis(60));
+            sim.crash_node(NodeId(3));
+            sim.set_latency_factor(1.5);
+            sim.run_for(SimDuration::from_millis(60));
+            sim.inject(NodeId(0), NodeId(11), Rumor(4));
+            sim.with_node_ctx(NodeId(5), |g, ctx| {
+                g.heard += 100;
+                ctx.send(NodeId(6), Rumor(1));
+            });
+            sim.recover_node(NodeId(3));
+            sim.set_partitions(Some(
+                (0..20).map(|i| u32::from(i >= 10)).collect::<Vec<_>>(),
+            ));
+            sim.run_for(SimDuration::from_millis(120));
+            sim.set_partitions(None);
+            sim.set_latency_factor(1.0);
+            // A single sequential step mid-flight forces an unshard and a
+            // later re-shard.
+            sim.step();
+            sim.run_for(SimDuration::from_millis(260));
+            gossip_fingerprint(&sim)
+        };
+        let sequential = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), sequential, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn contiguous_domains_partitions_evenly() {
+        let of_node = contiguous_domains(10, 3);
+        assert_eq!(of_node, [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        assert_eq!(contiguous_domains(3, 8), [0, 1, 2]);
+        assert_eq!(contiguous_domains(4, 1), [0, 0, 0, 0]);
+        assert!(contiguous_domains(0, 4).is_empty());
+    }
+
+    #[test]
+    fn set_threads_caps_and_reports() {
+        let mut sim = gossip_sim(4, 1);
+        sim.set_threads(16);
+        assert_eq!(sim.threads(), 4);
+        assert_eq!(sim.domain_of(NodeId(0)), 0);
+        assert_eq!(sim.domain_of(NodeId(3)), 3);
+        sim.set_threads(1);
+        assert_eq!(sim.threads(), 1);
     }
 }

@@ -89,6 +89,64 @@ impl NetStats {
         }
     }
 
+    /// An empty accumulator sized for `n` nodes. Per-domain accumulators in
+    /// the parallel scheduler (and external tooling aggregating over runs)
+    /// build partial counters with this and fold them with
+    /// [`NetStats::merge`].
+    pub fn accumulator(n: usize) -> Self {
+        NetStats::new(n)
+    }
+
+    /// Folds `other` into `self`. Every counter is a sum, so merging is
+    /// commutative and associative: accumulating per-domain partials in any
+    /// merge order yields exactly the totals a single global accumulator
+    /// would have recorded, which is what keeps chaos fingerprints
+    /// identical at any thread count. Per-node vectors may be sized for
+    /// fewer nodes on either side (accumulators that never saw a send stay
+    /// empty); the merged result covers the larger of the two.
+    pub fn merge(&mut self, other: &NetStats) {
+        fn add_nodes(dst: &mut Vec<u64>, src: &[u64]) {
+            if dst.len() < src.len() {
+                dst.resize(src.len(), 0);
+            }
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        self.total_messages += other.total_messages;
+        self.total_bytes += other.total_bytes;
+        for (d, s) in self.dropped.iter_mut().zip(&other.dropped) {
+            *d += s;
+        }
+        add_nodes(&mut self.per_node_sent, &other.per_node_sent);
+        add_nodes(&mut self.per_node_received, &other.per_node_received);
+        for src in &other.by_class {
+            let entry = match self.class_index(src.name) {
+                Some(i) => &mut self.by_class[i],
+                None => {
+                    self.by_class.push(ClassEntry {
+                        name: src.name,
+                        totals: ClassStats::default(),
+                        per_sender: Vec::new(),
+                    });
+                    self.by_class.last_mut().expect("just pushed")
+                }
+            };
+            entry.totals.messages += src.totals.messages;
+            entry.totals.bytes += src.totals.bytes;
+            if entry.per_sender.len() < src.per_sender.len() {
+                entry.per_sender.resize(src.per_sender.len(), ClassStats::default());
+            }
+            for (d, s) in entry.per_sender.iter_mut().zip(&src.per_sender) {
+                d.messages += s.messages;
+                d.bytes += s.bytes;
+            }
+        }
+        for (name, n) in &other.events {
+            *self.events.entry(name).or_insert(0) += n;
+        }
+    }
+
     pub(crate) fn record_send(&mut self, from: NodeId, to: NodeId, bytes: usize, class: &'static str) {
         self.total_messages += 1;
         self.total_bytes += bytes as u64;
@@ -341,6 +399,84 @@ mod tests {
         assert_eq!(s.sent_by(NodeId(0)), 0);
         assert_eq!(s.classes().count(), 0);
         assert_eq!(s.event("ev"), 0);
+    }
+
+    #[test]
+    fn merge_matches_single_accumulator() {
+        // Record the same operation stream into one global accumulator and
+        // into three per-domain partials merged in a scrambled order: every
+        // readable counter must agree.
+        let ops: [(usize, usize, usize, &'static str); 6] = [
+            (0, 1, 100, "prepare"),
+            (2, 0, 50, "commit"),
+            (1, 2, 10, "prepare"),
+            (3, 1, 70, "gossip"),
+            (0, 3, 5, "commit"),
+            (2, 3, 25, "gossip"),
+        ];
+        let mut global = NetStats::new(4);
+        let mut parts = [NetStats::accumulator(4), NetStats::accumulator(4), NetStats::accumulator(4)];
+        for (i, &(f, t, b, c)) in ops.iter().enumerate() {
+            global.record_send(NodeId(f), NodeId(t), b, c);
+            parts[i % 3].record_send(NodeId(f), NodeId(t), b, c);
+        }
+        global.record_multicast(NodeId(1), &[NodeId(0), NodeId(2)], 40, "prepare");
+        parts[2].record_multicast(NodeId(1), &[NodeId(0), NodeId(2)], 40, "prepare");
+        global.record_drop(DropCause::Random);
+        global.record_drop(DropCause::NodeDown);
+        parts[0].record_drop(DropCause::Random);
+        parts[1].record_drop(DropCause::NodeDown);
+        global.record_event("repush/resend", 2);
+        parts[0].record_event("repush/resend", 1);
+        parts[2].record_event("repush/resend", 1);
+        // Merge in non-domain order to prove commutativity.
+        let mut merged = NetStats::accumulator(4);
+        for i in [2, 0, 1] {
+            merged.merge(&parts[i]);
+        }
+        assert_eq!(merged.total_messages(), global.total_messages());
+        assert_eq!(merged.total_bytes(), global.total_bytes());
+        for (c, n) in global.drops_by_cause() {
+            assert_eq!(merged.dropped_by_cause(c), n, "{c:?}");
+        }
+        for i in 0..4 {
+            assert_eq!(merged.sent_by(NodeId(i)), global.sent_by(NodeId(i)), "sent {i}");
+            assert_eq!(merged.received_by(NodeId(i)), global.received_by(NodeId(i)), "recv {i}");
+            for class in ["prepare", "commit", "gossip"] {
+                assert_eq!(
+                    merged.class_sent_by(NodeId(i), class),
+                    global.class_sent_by(NodeId(i), class),
+                    "class {class} sent {i}"
+                );
+            }
+        }
+        let a: Vec<_> = merged.classes().collect();
+        let b: Vec<_> = global.classes().collect();
+        assert_eq!(a, b);
+        let ea: Vec<_> = merged.events().collect();
+        let eb: Vec<_> = global.events().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn merge_handles_short_and_empty_accumulators() {
+        // A drop-only accumulator carries no per-node vectors at all; the
+        // merged result must still line up node-indexed counters correctly.
+        let mut base = NetStats::new(3);
+        base.record_send(NodeId(0), NodeId(2), 10, "x");
+        let mut drops_only = NetStats::accumulator(0);
+        drops_only.record_drop(DropCause::LinkFlap);
+        drops_only.record_event("ev", 3);
+        base.merge(&drops_only);
+        assert_eq!(base.dropped_by_cause(DropCause::LinkFlap), 1);
+        assert_eq!(base.event("ev"), 3);
+        assert_eq!(base.sent_by(NodeId(0)), 10);
+        // Merging a wider accumulator into a narrower one grows it.
+        let mut narrow = NetStats::accumulator(0);
+        narrow.merge(&base);
+        assert_eq!(narrow.sent_by(NodeId(0)), 10);
+        assert_eq!(narrow.received_by(NodeId(2)), 10);
+        assert_eq!(narrow.class("x"), ClassStats { messages: 1, bytes: 10 });
     }
 
     #[test]

@@ -307,6 +307,34 @@ impl Topology {
         (h != u32::MAX).then_some(h)
     }
 
+    /// Minimum one-way latency over links that cross `groups` boundaries —
+    /// the conservative PDES lookahead bound: any message between nodes in
+    /// different groups travels a shortest path containing at least one
+    /// crossing edge, so its latency is at least this value. `None` when no
+    /// link crosses (the groups are network-isolated, i.e. unbounded
+    /// lookahead). For a [`Topology::uniform_mesh`] every distinct pair is
+    /// a crossing link, so the answer is the uniform latency in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups.len()` differs from the node count.
+    pub fn min_cross_group_latency(&self, groups: &[u32]) -> Option<SimDuration> {
+        assert_eq!(groups.len(), self.adj.len(), "one group per node");
+        if let Some(lat) = self.uniform {
+            let first = groups.first().copied().unwrap_or(0);
+            return groups.iter().any(|&g| g != first).then_some(lat);
+        }
+        let mut best: Option<SimDuration> = None;
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            for &(v, lat) in nbrs {
+                if groups[u] != groups[v.0] && best.is_none_or(|b| lat < b) {
+                    best = Some(lat);
+                }
+            }
+        }
+        best
+    }
+
     /// Whether every node can reach every other node.
     pub fn is_connected(&self) -> bool {
         if self.adj.is_empty() || self.uniform.is_some() {
@@ -500,5 +528,39 @@ mod tests {
     #[should_panic(expected = "self-loops")]
     fn self_loop_panics() {
         Topology::builder(2).edge(NodeId(0), NodeId(0), MS(1));
+    }
+
+    #[test]
+    fn min_cross_group_latency_is_the_lookahead_bound() {
+        // Ring 0-1-2-3-0 with one cheap edge inside group 0 and crossing
+        // edges of 10 ms and 7 ms: the lookahead is the cheapest *crossing*
+        // edge, not the cheapest edge overall.
+        let mut b = Topology::builder(4);
+        b.edge(NodeId(0), NodeId(1), MS(1));
+        b.edge(NodeId(1), NodeId(2), MS(10));
+        b.edge(NodeId(2), NodeId(3), MS(2));
+        b.edge(NodeId(3), NodeId(0), MS(7));
+        let t = b.build();
+        let groups = [0, 0, 1, 1];
+        assert_eq!(t.min_cross_group_latency(&groups), Some(MS(7)));
+        // Every cross-group shortest path respects the bound.
+        for u in 0..4 {
+            for v in 0..4 {
+                if groups[u] != groups[v] {
+                    assert!(t.dist(NodeId(u), NodeId(v)).unwrap() >= MS(7));
+                }
+            }
+        }
+        // One group: no crossing links.
+        assert_eq!(t.min_cross_group_latency(&[0; 4]), None);
+        // Isolated groups: unbounded lookahead.
+        let iso = Topology::builder(2).build();
+        assert_eq!(iso.min_cross_group_latency(&[0, 1]), None);
+        // Uniform meshes answer in O(1).
+        let u = Topology::uniform_mesh(100, MS(25));
+        let mut g = vec![0u32; 100];
+        g[50..].iter_mut().for_each(|x| *x = 1);
+        assert_eq!(u.min_cross_group_latency(&g), Some(MS(25)));
+        assert_eq!(u.min_cross_group_latency(&vec![0u32; 100]), None);
     }
 }

@@ -391,6 +391,14 @@ impl TimerWheel {
         false
     }
 
+    /// Removes and returns every pending entry in `(at, seq)` order.
+    /// Used when the engine re-shards timers between the global wheel and
+    /// per-domain wheels: entries carry their seqs, so re-inserting them
+    /// into another wheel preserves the fire schedule exactly.
+    pub(crate) fn drain_sorted(&mut self) -> impl Iterator<Item = TimerEntry> + '_ {
+        std::iter::from_fn(|| self.pop_earliest())
+    }
+
     /// Removes and returns the earliest timer. Must follow a `peek` with
     /// no intervening `insert` (the engine's step loop guarantees this).
     pub(crate) fn pop_earliest(&mut self) -> Option<TimerEntry> {

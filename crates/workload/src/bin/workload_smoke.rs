@@ -21,6 +21,14 @@ fn main() {
         drain: SimDuration::from_secs(4),
         latency: SimDuration::from_millis(20),
         seed: 7,
+        // The schedule is identical at any worker count, so the smoke can
+        // use whatever cores CI has (env `WORKLOAD_THREADS` overrides).
+        threads: std::env::var("WORKLOAD_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
+            }),
     };
     let rates = [5.0, 20.0, 60.0];
     let mut failed = false;

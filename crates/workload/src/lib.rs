@@ -61,6 +61,9 @@ pub struct WorkloadSpec {
     pub latency: SimDuration,
     /// RNG/key seed (arrival schedule and deployment both derive from it).
     pub seed: u64,
+    /// Simulator worker threads (1 = sequential). Any value yields the
+    /// identical schedule and report; threads only change wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for WorkloadSpec {
@@ -78,6 +81,7 @@ impl Default for WorkloadSpec {
             drain: SimDuration::from_secs(4),
             latency: SimDuration::from_millis(20),
             seed: 1,
+            threads: 1,
         }
     }
 }
@@ -259,6 +263,7 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
         seed: spec.seed,
         ..DeploymentOpts::default()
     });
+    dep.sim.set_threads(spec.threads.max(1));
     let schedule = arrival_schedule(spec);
 
     // Inject the schedule. Writes rotate over the client population and
@@ -433,6 +438,15 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         assert_eq!(run_workload(&small_spec()), run_workload(&small_spec()));
+    }
+
+    #[test]
+    fn report_is_identical_at_any_thread_count() {
+        let sequential = run_workload(&small_spec());
+        for threads in [2usize, 8] {
+            let parallel = run_workload(&WorkloadSpec { threads, ..small_spec() });
+            assert_eq!(parallel, sequential, "threads={threads} changed the report");
+        }
     }
 
     #[test]
