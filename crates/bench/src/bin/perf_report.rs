@@ -1,5 +1,5 @@
 //! Measures the fast-path kernels against their frozen "before"
-//! implementations and emits a machine-readable `BENCH_PR9.json`.
+//! implementations and emits a machine-readable `BENCH_PR10.json`.
 //!
 //! ```text
 //! cargo run --release -p oceanstore-bench --bin perf_report
@@ -17,7 +17,7 @@
 //! - `--min-gf256-mbps <N>`: absolute throughput floor for the fast
 //!   gf256 kernel (generous; catches catastrophic regressions in CI
 //!   without being sensitive to runner speed).
-//! - `--out <PATH>`: where to write the JSON (default `BENCH_PR6.json`).
+//! - `--out <PATH>`: where to write the JSON (default `BENCH_PR10.json`).
 //! - `--diff-frozen <OLD> <NEW>`: run no benches; statically compare two
 //!   frozen reports and exit nonzero if any speedup present in both files
 //!   regressed by more than 20%. CI runs this over the committed
@@ -40,7 +40,9 @@ use oceanstore_erasure::rs::ReedSolomon;
 use oceanstore_sim::engine::{Context, Message, Protocol, Simulator};
 use oceanstore_sim::time::{SimDuration, SimTime};
 use oceanstore_sim::topology::{NodeId, Topology};
-use oceanstore_workload::{run_workload, WorkloadSpec};
+use oceanstore_workload::{
+    run_workload, run_workload_with_coverage, DropPhase, WorkloadSpec,
+};
 
 struct Args {
     small: bool,
@@ -55,7 +57,7 @@ fn parse_args() -> Args {
         small: false,
         check: false,
         min_gf256_mbps: None,
-        out: "BENCH_PR9.json".to_string(),
+        out: "BENCH_PR10.json".to_string(),
         diff_frozen: None,
     };
     let mut it = std::env::args().skip(1);
@@ -819,6 +821,7 @@ fn bench_shard_sweep(small: bool) -> Vec<Bench> {
         latency: SimDuration::from_millis(20),
         seed: 7,
         threads: 1,
+        drop_phase: None,
     };
     let horizon_secs = (spec(1).duration + spec(1).drain).as_micros() as f64 / 1e6;
     let per_sec = |rings: usize| {
@@ -880,6 +883,7 @@ fn bench_threads_sweep(small: bool) -> Vec<Bench> {
         latency: SimDuration::from_millis(20),
         seed: 7,
         threads: 1,
+        drop_phase: None,
     };
     let scale = if small { "1k_nodes" } else { "10k_nodes" };
     let mut rows = Vec::new();
@@ -927,6 +931,113 @@ fn bench_threads_sweep(small: bool) -> Vec<Bench> {
     rows
 }
 
+// -------------------------------------------------- chaos threads sweep --
+
+/// The threads sweep again, but with a random-drop burst active across
+/// the middle half of the run — the fault-injection regime that used to
+/// force the scheduler's sequential fallback. Counter-mode drop verdicts
+/// keep the epochs sharded straight through the burst, which this bench
+/// proves before trusting any timing: the reports must be bit-identical
+/// across thread counts, the threaded runs must schedule parallel windows
+/// with zero fallbacks, and the serial barrier-commit fraction of epoch
+/// wall time is recorded as its own rows.
+///
+/// Every row name here is new in PR10, so `--diff-frozen` never compares
+/// these host-dependent wall-clock numbers against reports frozen on
+/// different hardware. The serial-fraction rows carry no "before", so no
+/// speedup bar ever applies to them; on 1-CPU hosts the t2/t8 rows are
+/// honest overhead measurements (`machine.cpus` in the JSON says which).
+fn bench_chaos_threads_sweep(small: bool) -> Vec<Bench> {
+    let duration = SimDuration::from_secs(if small { 2 } else { 4 });
+    let spec = WorkloadSpec {
+        rings: 2,
+        m: 1,
+        secondaries: if small { 500 } else { 2_000 },
+        clients: 4,
+        objects: 64,
+        zipf_s: 0.9,
+        write_fraction: 0.8,
+        rate: 30.0,
+        duration,
+        drain: SimDuration::from_secs(2),
+        latency: SimDuration::from_millis(20),
+        seed: 11,
+        threads: 1,
+        drop_phase: Some(DropPhase {
+            start: SimDuration::from_micros(duration.as_micros() / 4),
+            end: SimDuration::from_micros(duration.as_micros() * 3 / 4),
+            prob: 0.1,
+        }),
+    };
+    let mut rows = Vec::new();
+    let mut t1: Option<(oceanstore_workload::WorkloadReport, f64)> = None;
+    for threads in [1usize, 2, 8] {
+        let start = Instant::now();
+        let (report, cov) =
+            run_workload_with_coverage(&WorkloadSpec { threads, ..spec.clone() });
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(report.lost, 0, "threads={threads}: committed updates lost");
+        let rate = report.committed as f64 / wall;
+        match &t1 {
+            None => {
+                t1 = Some((report, rate));
+                rows.push(Bench {
+                    name: if small {
+                        "sim/chaos_threads_sweep_committed_per_wall_sec_t1/small"
+                    } else {
+                        "sim/chaos_threads_sweep_committed_per_wall_sec_t1/2k_nodes"
+                    },
+                    unit: "updates/s",
+                    before: None,
+                    after: rate,
+                });
+            }
+            Some((t1_report, t1_rate)) => {
+                assert_eq!(
+                    &report, t1_report,
+                    "threads={threads} changed the chaos-phase workload report — \
+                     determinism broken"
+                );
+                assert!(
+                    cov.windows_parallel + cov.windows_inline > 0,
+                    "threads={threads}: drop burst scheduled no parallel windows"
+                );
+                assert_eq!(
+                    cov.fallback_entries, 0,
+                    "threads={threads}: drop burst forced a sequential fallback"
+                );
+                rows.push(Bench {
+                    name: match (small, threads) {
+                        (true, 2) => "sim/chaos_threads_sweep_committed_per_wall_sec_t2/small",
+                        (true, _) => "sim/chaos_threads_sweep_committed_per_wall_sec_t8/small",
+                        (false, 2) => {
+                            "sim/chaos_threads_sweep_committed_per_wall_sec_t2/2k_nodes"
+                        }
+                        (false, _) => {
+                            "sim/chaos_threads_sweep_committed_per_wall_sec_t8/2k_nodes"
+                        }
+                    },
+                    unit: "updates/s",
+                    before: Some(*t1_rate),
+                    after: rate,
+                });
+                rows.push(Bench {
+                    name: match (small, threads) {
+                        (true, 2) => "sim/chaos_threads_sweep_serial_fraction_t2/small",
+                        (true, _) => "sim/chaos_threads_sweep_serial_fraction_t8/small",
+                        (false, 2) => "sim/chaos_threads_sweep_serial_fraction_t2/2k_nodes",
+                        (false, _) => "sim/chaos_threads_sweep_serial_fraction_t8/2k_nodes",
+                    },
+                    unit: "fraction",
+                    before: None,
+                    after: cov.serial_fraction(),
+                });
+            }
+        }
+    }
+    rows
+}
+
 // ---------------------------------------------------------------- chaos --
 
 fn bench_chaos(small: bool) -> Vec<Bench> {
@@ -964,7 +1075,7 @@ fn render_json(preset: &str, benches: &[Bench]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"oceanstore-perf-report/v1\",\n");
-    s.push_str("  \"pr\": 9,\n");
+    s.push_str("  \"pr\": 10,\n");
     s.push_str(&format!("  \"preset\": \"{preset}\",\n"));
     s.push_str(&format!(
         "  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}}},\n",
@@ -1078,6 +1189,7 @@ fn main() {
     benches.extend(bench_engine(args.small));
     benches.extend(bench_shard_sweep(args.small));
     benches.extend(bench_threads_sweep(args.small));
+    benches.extend(bench_chaos_threads_sweep(args.small));
     benches.extend(bench_chaos(args.small));
 
     println!("{:<44} {:>12} {:>12} {:>8}  unit", "bench", "before", "after", "speedup");

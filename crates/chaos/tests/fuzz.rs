@@ -76,11 +76,16 @@ fn fuzz_runs_are_deterministic() {
 
 /// Pins the exact network fingerprint of four representative seeds, as
 /// captured before the PR-4 engine overhaul (`Arc` multicast payloads,
-/// hierarchical timer wheel, pooled action buffers). The overhaul's
+/// hierarchical timer wheel, pooled action buffers) and re-frozen
+/// exactly once when drop decisions moved to counter-mode per-link
+/// hashing (DESIGN.md §11): the drop-active seeds (7, 13, 42) flip
+/// different coins — at statistically unchanged rates — while seed 0's
+/// drop-free portion stays pinned to the original capture. The
 /// determinism contract is that event order — and therefore every
 /// message, byte, and drop counter — is bit-for-bit unchanged for the
-/// same seed. Do not update these strings to "fix" a failure unless an
-/// ordering change is deliberate and documented in DESIGN.md.
+/// same seed. Do not update these strings to "fix" a failure
+/// (`GOLDEN_CAPTURE=1` prints fresh ones) unless an ordering change is
+/// deliberate and documented in DESIGN.md.
 ///
 /// Default features only: the strings were captured with re-push
 /// enabled, and `repush-off` deliberately changes the message flow
@@ -91,13 +96,17 @@ fn fingerprints_pinned_across_engine_overhaul() {
     let opts = FuzzOpts::default();
     let pinned: [(u64, &str); 4] = [
         (0, "now=30000000 msgs=4395 bytes=82709 drop[NodeDown]=81 drop[Partition]=34 drop[Random]=0 drop[Unreachable]=0 drop[LinkFlap]=0 pbft/commit=36/3888 pbft/newview=6/528 pbft/prepare=27/2916 pbft/preprepare=18/1944 pbft/reply=7/756 pbft/request=12/1644 pbft/viewchange=36/5148 replica/antientropy=700/25712 replica/attach=9/104 replica/certformed=10/1480 replica/commit=21/4410 replica/commitack=12/336 replica/commits=7/1792 replica/fetch=8/288 replica/heartbeat=3435/27480 replica/resultshare=5/525 replica/sharerebroadcast=1/113 replica/tentative=45/3645 ev[tier-ae/adopt]=6"),
-        (7, "now=30000000 msgs=4499 bytes=88220 drop[NodeDown]=38 drop[Partition]=115 drop[Random]=99 drop[Unreachable]=0 drop[LinkFlap]=0 pbft/commit=30/3240 pbft/newview=6/528 pbft/prepare=24/2592 pbft/preprepare=15/1620 pbft/reply=10/1080 pbft/request=16/2192 pbft/viewchange=30/3960 replica/antientropy=934/34264 replica/attach=28/264 replica/certformed=13/1924 replica/commit=21/4410 replica/commitack=12/336 replica/commits=5/1130 replica/fetch=6/216 replica/heartbeat=3301/26408 replica/resultshare=7/735 replica/tentative=41/3321 ev[tier-ae/adopt]=2"),
-        (13, "now=30000000 msgs=4743 bytes=100132 drop[NodeDown]=9 drop[Partition]=17 drop[Random]=90 drop[Unreachable]=0 drop[LinkFlap]=0 pbft/commit=51/5508 pbft/newview=6/528 pbft/prepare=39/4212 pbft/preprepare=15/1620 pbft/reply=13/1404 pbft/request=20/2760 pbft/viewchange=54/11088 replica/antientropy=876/33040 replica/certformed=14/2072 replica/commit=18/3798 replica/commitack=12/336 replica/fetch=4/144 replica/heartbeat=3563/28504 replica/resultshare=9/945 replica/sharerebroadcast=5/565 replica/tentative=44/3608"),
-        (42, "now=30000000 msgs=4674 bytes=103887 drop[NodeDown]=0 drop[Partition]=60 drop[Random]=75 drop[Unreachable]=0 drop[LinkFlap]=0 pbft/commit=36/3888 pbft/prepare=27/2916 pbft/preprepare=9/972 pbft/reply=11/1188 pbft/request=12/1656 pbft/viewchange=87/19140 replica/antientropy=912/33056 replica/attach=16/152 replica/certformed=14/2072 replica/commit=21/4431 replica/commitack=20/560 replica/commits=3/681 replica/fetch=7/252 replica/heartbeat=3436/27488 replica/resultshare=9/945 replica/sharerebroadcast=2/226 replica/tentative=52/4264 ev[repush/recovered]=2 ev[repush/resend]=2 ev[tier-ae/adopt]=3"),
+        (7, "now=30000000 msgs=4617 bytes=112420 drop[NodeDown]=34 drop[Partition]=128 drop[Random]=100 drop[Unreachable]=0 drop[LinkFlap]=0 pbft/commit=30/3240 pbft/newview=3/264 pbft/prepare=21/2268 pbft/preprepare=12/1296 pbft/reply=8/864 pbft/request=12/1644 pbft/viewchange=129/26136 replica/antientropy=934/35096 replica/attach=30/288 replica/certformed=11/1628 replica/commit=24/5040 replica/commitack=24/672 replica/commits=8/1808 replica/fetch=13/468 replica/heartbeat=3298/26384 replica/resultshare=6/630 replica/sharerebroadcast=10/1130 replica/tentative=44/3564 ev[repush/recovered]=1 ev[repush/resend]=1 ev[tier-ae/adopt]=5"),
+        (13, "now=30000000 msgs=4761 bytes=106784 drop[NodeDown]=7 drop[Partition]=11 drop[Random]=103 drop[Unreachable]=0 drop[LinkFlap]=0 pbft/commit=45/4860 pbft/newview=3/264 pbft/prepare=36/3888 pbft/preprepare=12/1296 pbft/reply=11/1188 pbft/request=16/2208 pbft/viewchange=99/20988 replica/antientropy=876/31888 replica/certformed=14/2072 replica/commit=19/4009 replica/commitack=16/448 replica/commits=3/681 replica/heartbeat=3558/28464 replica/resultshare=8/840 replica/tentative=45/3690 ev[repush/recovered]=1 ev[repush/resend]=1 ev[tier-ae/adopt]=1"),
+        (42, "now=30000000 msgs=4659 bytes=102560 drop[NodeDown]=0 drop[Partition]=63 drop[Random]=73 drop[Unreachable]=0 drop[LinkFlap]=0 pbft/commit=36/3888 pbft/prepare=27/2916 pbft/preprepare=9/972 pbft/reply=11/1188 pbft/request=12/1656 pbft/viewchange=87/19140 replica/antientropy=912/32928 replica/attach=16/152 replica/certformed=14/2072 replica/commit=21/4431 replica/commitack=20/560 replica/commits=1/227 replica/fetch=3/108 replica/heartbeat=3433/27464 replica/resultshare=8/840 replica/tentative=49/4018 ev[tier-ae/adopt]=1"),
     ];
     for (seed, expect) in pinned {
         let out = run_fuzz(seed, &opts);
         assert!(out.report.passed(), "seed {seed} must still pass");
+        if std::env::var_os("GOLDEN_CAPTURE").is_some() {
+            println!("        ({seed}, \"{}\"),", out.fingerprint);
+            continue;
+        }
         assert_eq!(out.fingerprint, expect, "fingerprint diverged for seed {seed}");
     }
 }

@@ -10,7 +10,7 @@
 use oceanstore_chaos::{run_schedule, stats_fingerprint, FaultAction, Schedule};
 use oceanstore_naming::guid::Guid;
 use oceanstore_replica::{build_deployment, Deployment, DeploymentOpts};
-use oceanstore_sim::{SimDuration, SimTime};
+use oceanstore_sim::{ParCoverage, SimDuration, SimTime};
 use oceanstore_update::update::Action;
 use oceanstore_update::Update;
 
@@ -32,10 +32,13 @@ fn submit(dep: &mut Deployment, object: Guid, payload: &[u8]) {
 }
 
 /// One full chaos run at a given worker count: commit traffic, a crash,
-/// a partition + heal, a latency stretch, and a random-drop burst (which
-/// forces the scheduler's sequential fallback and a later re-shard).
-/// Returns the replayable trace plus the stats fingerprint.
-fn run_matrix_case(seed: u64, threads: usize) -> (String, String) {
+/// a partition + heal, a latency stretch, and a random-drop burst plus a
+/// link flap. Drop decisions are counter-mode hashes of each routing
+/// attempt (DESIGN.md §11), so the scheduler stays sharded straight
+/// through the drop phases — the coverage counters returned alongside
+/// the trace prove it. Returns the replayable trace, the stats
+/// fingerprint, and the epoch coverage.
+fn run_matrix_case(seed: u64, threads: usize) -> (String, String, ParCoverage) {
     let mut dep = build_deployment(&DeploymentOpts {
         latency: SimDuration::from_millis(20),
         seed,
@@ -56,24 +59,51 @@ fn run_matrix_case(seed: u64, threads: usize) -> (String, String) {
         .at(t(4_000), FaultAction::Heal)
         .at(t(4_500), FaultAction::Recover(dep.secondaries[1]))
         .at(t(5_000), FaultAction::DropProb(0.15))
+        .at(t(5_000), FaultAction::LinkDrop(dep.secondaries[0], dep.secondaries[3], 0.5))
         .at(t(6_000), FaultAction::DropProb(0.0))
+        .at(t(6_000), FaultAction::LinkDrop(dep.secondaries[0], dep.secondaries[3], 0.0))
         .at(t(6_000), FaultAction::LatencyFactor(1.0));
     let mut trace = run_schedule(&mut dep.sim, &sched, t(3_000));
     submit(&mut dep, object, b"mid-fault");
+    // Pause exactly around the drop burst so the coverage delta below
+    // measures the drops-active phase in isolation.
+    trace.extend(run_schedule(&mut dep.sim, &sched, t(5_500)));
+    let before = dep.sim.par_coverage();
+    trace.extend(run_schedule(&mut dep.sim, &sched, t(6_000)));
+    let during = dep.sim.par_coverage();
     trace.extend(run_schedule(&mut dep.sim, &sched, t(12_000)));
-    (format!("{trace:?}"), stats_fingerprint(&dep.sim))
+    let drop_phase = ParCoverage {
+        windows_parallel: during.windows_parallel - before.windows_parallel,
+        windows_inline: during.windows_inline - before.windows_inline,
+        fallback_entries: during.fallback_entries - before.fallback_entries,
+        fallback_events: during.fallback_events - before.fallback_events,
+        serial_nanos: during.serial_nanos - before.serial_nanos,
+        epoch_nanos: during.epoch_nanos - before.epoch_nanos,
+    };
+    (format!("{trace:?}"), stats_fingerprint(&dep.sim), drop_phase)
 }
 
 /// The headline matrix: threads ∈ {1, 2, 8} over the seed sweep, every
-/// trace and fingerprint byte-identical to the sequential run.
+/// trace and fingerprint byte-identical to the sequential run — and the
+/// drops-active window (5s–6s, `drop_prob` 0.15 + a 0.5 link flap) runs
+/// with parallel coverage, never the sequential fallback.
 #[test]
 fn fingerprints_are_identical_across_thread_counts() {
     for seed in 0..sweep_seeds() {
-        let (seq_trace, seq_fp) = run_matrix_case(seed, 1);
+        let (seq_trace, seq_fp, seq_cov) = run_matrix_case(seed, 1);
+        assert_eq!(seq_cov, ParCoverage::default(), "seed {seed}: sequential run used ParState");
         for threads in [2usize, 8] {
-            let (trace, fp) = run_matrix_case(seed, threads);
+            let (trace, fp, cov) = run_matrix_case(seed, threads);
             assert_eq!(trace, seq_trace, "seed {seed} threads {threads}: trace diverged");
             assert_eq!(fp, seq_fp, "seed {seed} threads {threads}: fingerprint diverged");
+            assert!(
+                cov.windows_parallel + cov.windows_inline > 0,
+                "seed {seed} threads {threads}: drop phase scheduled no parallel windows"
+            );
+            assert_eq!(
+                cov.fallback_entries, 0,
+                "seed {seed} threads {threads}: drop phase fell back to sequential"
+            );
         }
     }
 }
@@ -83,8 +113,11 @@ fn fingerprints_are_identical_across_thread_counts() {
 #[test]
 fn parallel_runs_are_self_deterministic() {
     for seed in [5u64, 23] {
-        let a = run_matrix_case(seed, 8);
-        let b = run_matrix_case(seed, 8);
-        assert_eq!(a, b, "seed {seed}: parallel run not reproducible");
+        // Coverage wall-clock nanos legitimately vary run to run; the
+        // trace and fingerprint must not.
+        let (trace_a, fp_a, _) = run_matrix_case(seed, 8);
+        let (trace_b, fp_b, _) = run_matrix_case(seed, 8);
+        assert_eq!(trace_a, trace_b, "seed {seed}: parallel trace not reproducible");
+        assert_eq!(fp_a, fp_b, "seed {seed}: parallel stats not reproducible");
     }
 }

@@ -6,7 +6,10 @@
 //! clock, the [`crate::topology::Topology`], failure injection,
 //! and byte accounting. Everything is deterministic for a given seed:
 //! events at equal times fire in insertion order, and all randomness flows
-//! from per-node ChaCha streams derived from the master seed.
+//! from per-node ChaCha streams derived from the master seed — except drop
+//! and link-flap coins, which are counter-mode hashes of the master seed
+//! and each routing attempt's identity (see `counter_drop`), so they too
+//! are pure functions of the seed.
 //!
 //! # Hot-path structure
 //!
@@ -298,29 +301,98 @@ pub(crate) fn contiguous_domains(n: usize, count: usize) -> Vec<u32> {
     of_node
 }
 
-/// Outcome of routing one recipient during a window, resolved again at the
-/// barrier in exact sequential order.
-#[derive(Debug)]
-enum Disp<M> {
-    /// Dropped at send time (partition / unreachable). Consumes no seq.
-    Dropped(DropCause),
-    /// Delivered *inside* this window to this domain: it already executed
-    /// under a provisional key and consumes one real seq at commit.
-    Executed,
-    /// Survives the window (cross-domain, or lands past the window end):
-    /// enqueued into the target domain at commit with its real seq. The
-    /// body rides in an `Option` so the commit loop can take it by value.
-    Parked { at: u64, body: Option<Payload<M>> },
+/// SplitMix64 finalizer: a cheap, statistically strong 64-bit mixer.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
-/// One action a window dispatch emitted, logged in action order so the
-/// barrier can replay seq assignment and byte accounting exactly as the
-/// sequential engine would have.
+/// Domain-separation salts so the global-probability coin and the per-link
+/// flap coin of the same routing attempt are independent draws.
+const DROP_SALT_RANDOM: u64 = 0x9E6C_63D0_985E_E21B;
+const DROP_SALT_FLAP: u64 = 0x517C_C1B7_2722_0A95;
+
+/// One counter-mode drop coin in `[0, 1)`: a splitmix-style hash of
+/// `(drop seed, directed link, attempt counter, salt)` widened to the same
+/// 53-bit-mantissa uniform float `rand` produces. A pure function of the
+/// routing attempt's identity — no shared RNG stream, so the verdict is
+/// independent of evaluation order and thread count.
+fn drop_coin(drop_seed: u64, link: (u32, u32), ctr: u64, salt: u64) -> f64 {
+    let mut h = mix64(drop_seed ^ salt ^ ((u64::from(link.0) << 32) | u64::from(link.1)));
+    h = mix64(h ^ ctr);
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The counter-mode drop decision for one routing attempt from `from` to
+/// `to`. Bumps the directed-link attempt counter once iff any coin is live
+/// (global `drop_prob` or a per-link override), so drop-free runs never
+/// touch `ctrs` and their schedules stay byte-identical to a build without
+/// this machinery. Counters are keyed by the *directed* link: every attempt
+/// on `from → to` happens while dispatching `from`, i.e. inside `from`'s
+/// domain, so a directed counter advances in domain-local order — which for
+/// a single sender is exactly the sequential global order restricted to its
+/// dispatches. (An undirected key would be shared by two domains and race.)
+fn counter_drop(
+    ctrs: &mut HashMap<(u32, u32), u64>,
+    drop_seed: u64,
+    drop_prob: f64,
+    link_drops: &HashMap<(usize, usize), f64>,
+    from: NodeId,
+    to: NodeId,
+) -> Option<DropCause> {
+    let link_p = if link_drops.is_empty() {
+        None
+    } else {
+        link_drops.get(&(from.0.min(to.0), from.0.max(to.0))).copied()
+    };
+    if drop_prob == 0.0 && link_p.is_none() {
+        return None;
+    }
+    let link = (from.0 as u32, to.0 as u32);
+    let ctr = ctrs.entry(link).or_insert(0);
+    let attempt = *ctr;
+    *ctr += 1;
+    if drop_prob > 0.0 && drop_coin(drop_seed, link, attempt, DROP_SALT_RANDOM) < drop_prob {
+        return Some(DropCause::Random);
+    }
+    if let Some(p) = link_p {
+        if drop_coin(drop_seed, link, attempt, DROP_SALT_FLAP) < p {
+            return Some(DropCause::LinkFlap);
+        }
+    }
+    None
+}
+
+/// One *seq-consuming* emission logged by a window dispatch, in action
+/// order, replayed at the barrier to assign real seqs exactly as the
+/// sequential engine would have. Dropped sends consume no seq and are
+/// tallied thread-side in the domain accumulator, so they produce no entry;
+/// multicasts are flattened to one entry per surviving recipient (byte
+/// accounting for the whole fan-out also happens thread-side).
 #[derive(Debug)]
 enum Emission<M> {
-    Send { to: NodeId, wire: usize, class: &'static str, disp: Disp<M> },
-    Multicast { to: Vec<NodeId>, wire: usize, class: &'static str, disps: Vec<Disp<M>> },
-    Timer { at: u64, tag: u64, executed: bool },
+    /// Executed inside this window under a provisional key: consumes one
+    /// real seq at commit.
+    Exec,
+    /// A delivery that survives the window (cross-domain, or lands past the
+    /// window end): enqueued into the target domain at commit with its real
+    /// seq. The body rides in an `Option` so the commit loop can take it by
+    /// value.
+    Park { to: NodeId, at: u64, body: Option<Payload<M>> },
+    /// A timer armed past the window end: inserted into this domain's wheel
+    /// at commit with its real seq.
+    ArmTimer { at: u64, tag: u64 },
+}
+
+/// One decoded [`Emission`], pulled out of the log by value so the borrow
+/// of the emitting domain's log ends before any cross-domain park — a
+/// single stack slot where the commit loop once allocated a `Vec` per
+/// emission record.
+enum Step<M> {
+    Exec,
+    Park { to: NodeId, at: u64, body: Payload<M> },
+    Arm { at: u64, tag: u64 },
 }
 
 /// One window dispatch that emitted something: the dispatched event's key
@@ -352,10 +424,18 @@ struct Domain<M> {
     records: Vec<DispatchRecord>,
     /// Flat emission log; records hold ranges into it.
     emissions: Vec<Emission<M>>,
-    /// Per-domain accumulator for counters recorded mid-window off the
-    /// emission path (delivery-time `NodeDown` drops, `Context::count`
-    /// events); folded into the global [`NetStats`] at the barrier.
+    /// Per-domain accumulator for every commutative counter recorded
+    /// mid-window: byte accounting (`record_send` / `record_multicast`),
+    /// per-cause drop tallies, and `Context::count` events. Sized for the
+    /// full node count (recipients can live in other domains). Persists
+    /// *across* windows and folds into the global [`NetStats`] once per
+    /// epoch (`drain_epoch_stats`), so the barrier never pays a per-window
+    /// `O(nodes)` clear.
     stats: NetStats,
+    /// Attempt counters of directed links whose source node lives in this
+    /// domain, sharded out of [`Simulator::link_ctrs`] for lock-free
+    /// counter-mode drop decisions during windows.
+    link_ctrs: HashMap<(u32, u32), u64>,
     events_processed: u64,
     /// Count of intra-window seq-consuming emissions so far: the k-th one
     /// runs under provisional key `seq_base + k`.
@@ -365,7 +445,7 @@ struct Domain<M> {
 }
 
 impl<M> Domain<M> {
-    fn new(base: usize, end: usize) -> Self {
+    fn new(base: usize, end: usize, n: usize) -> Self {
         Domain {
             base,
             end,
@@ -375,7 +455,8 @@ impl<M> Domain<M> {
             wheel: TimerWheel::new(),
             records: Vec::new(),
             emissions: Vec::new(),
-            stats: NetStats::accumulator(0),
+            stats: NetStats::accumulator(n),
+            link_ctrs: HashMap::new(),
             events_processed: 0,
             provisional: 0,
             actions: Vec::new(),
@@ -400,6 +481,150 @@ struct ParState<M> {
     /// Unscaled PDES lookahead in µs: the minimum cross-domain link
     /// latency. `u64::MAX` when domains are network-isolated.
     base_lookahead: u64,
+    /// Barrier-commit scratch, reused across windows (cleared each commit,
+    /// capacity kept) so the serial section allocates nothing steady-state.
+    merge: MergeScratch,
+}
+
+/// Reusable state of one barrier commit: per-domain record cursors, the
+/// loser tree and its external keys, and the provisional→real seq tables.
+#[derive(Default)]
+struct MergeScratch {
+    /// Next unmerged record index per domain.
+    heads: Vec<usize>,
+    /// Resolved `(at, seq)` merge key of each domain's head record;
+    /// `None` = run exhausted.
+    keys: Vec<Option<(u64, u64)>>,
+    tree: LoserTree,
+    /// `real_of[d][k]` = real seq of domain d's k-th executed emission.
+    real_of: Vec<Vec<u64>>,
+}
+
+/// Tournament loser tree over `k` sorted runs, keyed externally through a
+/// `keys` slice (`None` = exhausted = +infinity; live keys never tie, since
+/// seqs are unique — the leaf index breaks `None` ties determinstically).
+/// Slot 0 holds the overall winner and internal slots `1..k` hold match
+/// losers, with leaf `d` conceptually at heap slot `k + d`. After the
+/// winner's run advances, only its leaf-to-root path replays: `O(log k)`
+/// comparisons per pop instead of the `O(k)` head scan the commit loop used
+/// to pay per record.
+#[derive(Default)]
+struct LoserTree {
+    node: Vec<u32>,
+    k: usize,
+}
+
+/// Whether leaf `a`'s key beats (merges before) leaf `b`'s.
+fn leaf_beats(keys: &[Option<(u64, u64)>], a: usize, b: usize) -> bool {
+    match (&keys[a], &keys[b]) {
+        (Some(x), Some(y)) => (x, a) < (y, b),
+        (Some(_), None) => true,
+        (None, Some(_)) => false,
+        (None, None) => a < b,
+    }
+}
+
+impl LoserTree {
+    /// Rebuilds the tournament bottom-up for `k` runs. Heap-shaped with
+    /// leaves at slots `k..2k`, which is well-formed for any `k`, not just
+    /// powers of two.
+    fn rebuild(&mut self, k: usize, keys: &[Option<(u64, u64)>]) {
+        self.k = k;
+        self.node.clear();
+        if k == 1 {
+            self.node.push(0);
+            return;
+        }
+        let mut winner = vec![0u32; 2 * k];
+        for d in 0..k {
+            winner[k + d] = d as u32;
+        }
+        self.node.resize(k, 0);
+        for i in (1..k).rev() {
+            let (a, b) = (winner[2 * i], winner[2 * i + 1]);
+            let (w, l) =
+                if leaf_beats(keys, a as usize, b as usize) { (a, b) } else { (b, a) };
+            winner[i] = w;
+            self.node[i] = l;
+        }
+        self.node[0] = winner[1];
+    }
+
+    /// The leaf holding the smallest key.
+    fn winner(&self) -> usize {
+        self.node[0] as usize
+    }
+
+    /// Replays the matches along leaf `d`'s path after its key changed.
+    fn replay(&mut self, d: usize, keys: &[Option<(u64, u64)>]) {
+        if self.k == 1 {
+            return;
+        }
+        let mut w = d as u32;
+        let mut i = (self.k + d) / 2;
+        while i >= 1 {
+            let l = self.node[i];
+            if leaf_beats(keys, l as usize, w as usize) {
+                self.node[i] = w;
+                w = l;
+            }
+            i /= 2;
+        }
+        self.node[0] = w;
+    }
+}
+
+/// The resolved `(at, seq)` merge key of `records[head]`, `None` when the
+/// run is exhausted. A provisional seq (`>= seq_base`) resolves through
+/// `real_of`: its emitter's record sits strictly earlier in the same run
+/// (the emitter dispatched first and logged at least that emission), so by
+/// the time a record becomes its run's head, its entry exists.
+fn head_key(
+    records: &[DispatchRecord],
+    head: usize,
+    seq_base: u64,
+    real_of: &[u64],
+) -> Option<(u64, u64)> {
+    let r = records.get(head)?;
+    let seq = if r.seq >= seq_base { real_of[(r.seq - seq_base) as usize] } else { r.seq };
+    Some((r.at, seq))
+}
+
+/// Coverage counters for the parallel scheduler: how much of the run
+/// actually executed under windows, and what fraction of epoch wall time
+/// the single-threaded barrier commit consumed.
+///
+/// Deliberately *not* part of [`NetStats`]: stats are asserted bit-identical
+/// across thread counts, while coverage varies with the thread count and
+/// the wall clock by design.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ParCoverage {
+    /// Windows fanned out across worker threads.
+    pub windows_parallel: u64,
+    /// Windows run inline on the driver thread (below the spawn threshold).
+    /// Still windowed execution — identical schedule, no thread wake-ups.
+    pub windows_inline: u64,
+    /// Times a `run_until` abandoned the windowed scheduler for the
+    /// sequential loop (no usable lookahead, or single-threaded config).
+    pub fallback_entries: u64,
+    /// Events processed by the sequential loop inside those fallbacks.
+    pub fallback_events: u64,
+    /// Wall-clock nanoseconds inside the single-threaded barrier commit.
+    pub serial_nanos: u64,
+    /// Wall-clock nanoseconds across entire parallel epochs (windows,
+    /// barriers, and scheduling glue).
+    pub epoch_nanos: u64,
+}
+
+impl ParCoverage {
+    /// Fraction of epoch wall time spent in the serial barrier commit.
+    pub fn serial_fraction(&self) -> f64 {
+        if self.epoch_nanos == 0 {
+            0.0
+        } else {
+            self.serial_nanos as f64 / self.epoch_nanos as f64
+        }
+    }
 }
 
 /// Read-only world state shared by every domain worker during one window,
@@ -409,6 +634,9 @@ struct WindowEnv<'a> {
     down: &'a [bool],
     partitions: Option<&'a [u32]>,
     latency_factor: f64,
+    drop_prob: f64,
+    link_drops: &'a HashMap<(usize, usize), f64>,
+    drop_seed: u64,
     /// Exclusive end of the window: events with `at < window_end` execute.
     window_end: u64,
     /// Global seq counter at window start; provisional keys start here.
@@ -448,8 +676,18 @@ pub struct Simulator<P: Protocol> {
     link_drops: HashMap<(usize, usize), f64>,
     /// Multiplier applied to every link latency (link degradation).
     latency_factor: f64,
-    engine_rng: ChaCha8Rng,
+    /// Seed of the counter-mode drop coins: every drop verdict is a pure
+    /// hash of `(drop_seed, directed link, attempt counter)`, never a draw
+    /// from a shared RNG stream — so drop decisions commute with evaluation
+    /// order and thread count.
+    drop_seed: u64,
+    /// Per-directed-link attempt counters backing [`counter_drop`],
+    /// authoritative while no parallel epoch is live (sharded into each
+    /// [`Domain::link_ctrs`] otherwise).
+    link_ctrs: HashMap<(u32, u32), u64>,
     events_processed: u64,
+    /// Parallel-scheduler coverage counters; see [`ParCoverage`].
+    coverage: ParCoverage,
     /// Reusable per-callback action buffer (dispatch is not reentrant).
     scratch: Vec<Action<P::Msg>>,
     /// Configured worker count for the conservative PDES scheduler; 1 =
@@ -504,8 +742,10 @@ impl<P: Protocol> Simulator<P> {
             drop_prob: 0.0,
             link_drops: HashMap::new(),
             latency_factor: 1.0,
-            engine_rng: ChaCha8Rng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03),
+            drop_seed: mix64(seed ^ 0xD1B5_4A32_D192_ED03),
+            link_ctrs: HashMap::new(),
             events_processed: 0,
+            coverage: ParCoverage::default(),
             scratch: Vec::new(),
             threads: 1,
             par: None,
@@ -536,12 +776,21 @@ impl<P: Protocol> Simulator<P> {
     pub fn reset_stats(&mut self) {
         self.stats.reset();
         if let Some(par) = &mut self.par {
-            // Domain accumulators are drained at every window barrier, so
-            // they are empty between runs; clear defensively anyway.
+            // Domain accumulators are drained at every epoch end, so they
+            // are empty between runs; clear defensively anyway.
             for dom in &mut par.domains {
-                dom.stats = NetStats::accumulator(0);
+                dom.stats.clear_for_reuse();
             }
         }
+    }
+
+    /// Parallel-scheduler coverage counters accumulated since construction:
+    /// how many windows actually ran (parallel vs inline), how often the
+    /// scheduler fell back to the sequential loop, and the wall-clock split
+    /// between the serial barrier commit and whole epochs. All zeros on a
+    /// purely sequential simulator.
+    pub fn par_coverage(&self) -> ParCoverage {
+        self.coverage
     }
 
     /// The topology the simulation runs over.
@@ -941,8 +1190,9 @@ impl<P: Protocol> Simulator<P> {
 
     /// Delivery decision only — byte accounting already happened (either
     /// [`NetStats::record_send`] in [`Simulator::route`] or one batched
-    /// [`NetStats::record_multicast`] for a whole fan-out). The order and
-    /// count of engine-RNG draws here is part of the determinism contract.
+    /// [`NetStats::record_multicast`] for a whole fan-out). Which attempts
+    /// bump a link's drop counter, and in what per-link order, is part of
+    /// the determinism contract.
     fn route_unaccounted(&mut self, from: NodeId, to: NodeId, msg: Payload<P::Msg>) {
         if let Some(groups) = &self.partitions {
             if groups[from.0] != groups[to.0] {
@@ -950,21 +1200,19 @@ impl<P: Protocol> Simulator<P> {
                 return;
             }
         }
-        if self.drop_prob > 0.0 && self.engine_rng.gen::<f64>() < self.drop_prob {
-            self.stats.record_drop(DropCause::Random);
+        // Counter-mode drop coins: identical verdicts whether this attempt
+        // runs here or inside a window, because the decision depends only
+        // on the link's attempt counter — which lives wherever the sender's
+        // domain lives while shards are up.
+        let ctrs = match &mut self.par {
+            Some(par) => &mut par.domains[par.of_node[from.0] as usize].link_ctrs,
+            None => &mut self.link_ctrs,
+        };
+        if let Some(cause) =
+            counter_drop(ctrs, self.drop_seed, self.drop_prob, &self.link_drops, from, to)
+        {
+            self.stats.record_drop(cause);
             return;
-        }
-        // Per-link flap coin. Consumes engine randomness only when the link
-        // actually has an override, so installing none leaves event streams
-        // of unrelated runs byte-identical. The emptiness guard spares the
-        // common no-overrides case the per-message hash of the link key.
-        if !self.link_drops.is_empty() {
-            if let Some(&p) = self.link_drops.get(&(from.0.min(to.0), from.0.max(to.0))) {
-                if self.engine_rng.gen::<f64>() < p {
-                    self.stats.record_drop(DropCause::LinkFlap);
-                    return;
-                }
-            }
         }
         let Some(latency) = self.topo.dist(from, to) else {
             self.stats.record_drop(DropCause::Unreachable);
@@ -990,10 +1238,15 @@ impl<P: Protocol> Simulator<P> {
         let mut base = 0;
         for d in 0..count {
             let end = of_node.iter().filter(|&&x| x == d as u32).count() + base;
-            let mut dom = Domain::new(base, end);
+            let mut dom = Domain::new(base, end, n);
             dom.wheel.advance(self.clock.as_micros());
             domains.push(dom);
             base = end;
+        }
+        // Drop counters shard by the *sender's* domain: every attempt on a
+        // directed link happens while its source node dispatches.
+        for ((from, to), c) in self.link_ctrs.drain() {
+            domains[of_node[from as usize] as usize].link_ctrs.insert((from, to), c);
         }
         let base_lookahead = self
             .topo
@@ -1013,13 +1266,13 @@ impl<P: Protocol> Simulator<P> {
         }
         self.timers = TimerWheel::new();
         self.timers.advance(self.clock.as_micros());
-        self.par = Some(ParState { domains, of_node, base_lookahead });
+        self.par = Some(ParState { domains, of_node, base_lookahead, merge: MergeScratch::default() });
     }
 
     /// Merges any live domain shards back into the global structures (the
     /// inverse of `ensure_sharded`). Called whenever sequential stepping
     /// needs the single-queue view: `step`, thread-count changes, and the
-    /// random-drop fallback.
+    /// zero-lookahead fallback.
     fn unshard(&mut self) {
         let Some(mut par) = self.par.take() else { return };
         for dom in &mut par.domains {
@@ -1034,149 +1287,126 @@ impl<P: Protocol> Simulator<P> {
             for e in dom.wheel.drain_sorted() {
                 self.timers.insert(e);
             }
-            // Empty between windows; defensive so no counter is ever lost.
-            self.stats.merge(&dom.stats);
+            // Domain shards of disjoint key sets fold straight back in.
+            for (k, v) in dom.link_ctrs.drain() {
+                self.link_ctrs.insert(k, v);
+            }
+            // Load-bearing: window-side accounting accumulates here until
+            // the epoch-end drain, and a mid-epoch fallback lands in this
+            // merge instead.
+            if !dom.stats.is_untouched() {
+                self.stats.merge(&dom.stats);
+            }
             self.events_processed += dom.events_processed;
         }
     }
 
+    /// Folds every domain's window-side accumulator into the global stats.
+    /// Called once per epoch (and implicitly by `unshard`): accumulators
+    /// persist across the epoch's windows, so the per-window barrier never
+    /// touches the `O(nodes)` counter vectors.
+    fn drain_epoch_stats(&mut self) {
+        let Some(par) = &mut self.par else { return };
+        for dom in &mut par.domains {
+            if dom.stats.is_untouched() {
+                continue;
+            }
+            self.stats.merge(&dom.stats);
+            dom.stats.clear_for_reuse();
+        }
+    }
+
     /// The window barrier: replays every domain's emission log in exact
-    /// sequential dispatch order, assigning real seqs, folding byte
-    /// accounting into the global [`NetStats`], and enqueueing surviving
-    /// (cross-domain or post-window) events into their target domains.
+    /// sequential dispatch order, assigning real seqs and enqueueing
+    /// surviving (cross-domain or post-window) events into their target
+    /// domains. All commutative accounting — bytes, classes, drop tallies,
+    /// counter events — already happened thread-side in the domain
+    /// accumulators, so the serial section here replays only the
+    /// ordering-sensitive emissions.
     ///
     /// Dispatch records merge by the dispatched event's real `(at, seq)`
     /// key. A record whose key is provisional (`seq >= seq_base`) was
     /// emitted *this* window by its own domain, and its emitter's record
     /// sits earlier in the same domain's list — so by the time it reaches
-    /// the merge head, its real seq is already known. This reconstructs
-    /// the exact global emission order of the sequential engine, which is
-    /// what makes every thread count bit-identical.
+    /// the merge head, its real seq is already known. Each domain's record
+    /// list is already sorted (domains execute in local `(at, seq)` order),
+    /// so the merge is a loser-tree tournament over the per-domain runs:
+    /// `O(log D)` per record, with all scratch reused window to window.
+    /// This reconstructs the exact global emission order of the sequential
+    /// engine, which is what makes every thread count bit-identical.
     fn commit_window(&mut self, seq_base: u64) {
         let mut par = self.par.take().expect("commit only inside a parallel epoch");
         let count = par.domains.len();
-        let mut heads = vec![0usize; count];
-        let mut cursors = vec![0usize; count];
-        // real_of[d][k] = real seq of domain d's k-th executed emission.
-        let mut real_of: Vec<Vec<u64>> = par
-            .domains
-            .iter()
-            .map(|d| Vec::with_capacity(d.provisional as usize))
-            .collect();
+        let mut scratch = std::mem::take(&mut par.merge);
+        scratch.heads.clear();
+        scratch.heads.resize(count, 0);
+        scratch.real_of.resize_with(count, Vec::new);
+        for (d, v) in scratch.real_of.iter_mut().enumerate() {
+            v.clear();
+            v.reserve(par.domains[d].provisional as usize);
+        }
+        scratch.keys.clear();
+        for d in 0..count {
+            scratch.keys.push(head_key(&par.domains[d].records, 0, seq_base, &scratch.real_of[d]));
+        }
+        scratch.tree.rebuild(count, &scratch.keys);
         loop {
-            let mut best: Option<(u64, u64, usize)> = None;
-            for d in 0..count {
-                let recs = &par.domains[d].records;
-                if heads[d] >= recs.len() {
-                    continue;
-                }
-                let r = &recs[heads[d]];
-                let seq = if r.seq >= seq_base {
-                    real_of[d][(r.seq - seq_base) as usize]
-                } else {
-                    r.seq
-                };
-                if best.is_none_or(|b| (r.at, seq) < (b.0, b.1)) {
-                    best = Some((r.at, seq, d));
-                }
+            let d = scratch.tree.winner();
+            if scratch.keys[d].is_none() {
+                break;
             }
-            let Some((_, _, d)) = best else { break };
-            let r = par.domains[d].records[heads[d]];
-            heads[d] += 1;
-            debug_assert_eq!(cursors[d], r.emi as usize, "emission ranges are consecutive");
+            let r = par.domains[d].records[scratch.heads[d]];
+            scratch.heads[d] += 1;
             let from = NodeId(r.node as usize);
             for i in r.emi as usize..(r.emi + r.emi_len) as usize {
-                cursors[d] = i + 1;
-                // Pull the per-emission values out first so the borrow of
-                // this domain's log ends before any cross-domain park.
-                enum Todo<M> {
-                    Done,
-                    Exec,
-                    Park { to: NodeId, at: u64, body: Payload<M> },
-                    ArmTimer { at: u64, tag: u64 },
-                }
-                let mut plan: Vec<Todo<P::Msg>> = Vec::new();
-                match &mut par.domains[d].emissions[i] {
-                    Emission::Send { to, wire, class, disp } => {
-                        self.stats.record_send(from, *to, *wire, class);
-                        plan.push(match disp {
-                            Disp::Dropped(c) => {
-                                self.stats.record_drop(*c);
-                                Todo::Done
-                            }
-                            Disp::Executed => Todo::Exec,
-                            Disp::Parked { at, body } => Todo::Park {
-                                to: *to,
-                                at: *at,
-                                body: body.take().expect("parked body consumed once"),
-                            },
+                // Pull the emission out by value so the borrow of this
+                // domain's log ends before any cross-domain park.
+                let step: Step<P::Msg> = match &mut par.domains[d].emissions[i] {
+                    Emission::Exec => Step::Exec,
+                    Emission::Park { to, at, body } => Step::Park {
+                        to: *to,
+                        at: *at,
+                        body: body.take().expect("parked body consumed once"),
+                    },
+                    Emission::ArmTimer { at, tag } => Step::Arm { at: *at, tag: *tag },
+                };
+                let s = self.next_seq();
+                match step {
+                    Step::Exec => scratch.real_of[d].push(s),
+                    Step::Park { to, at, body } => {
+                        let td = par.of_node[to.0] as usize;
+                        par.domains[td].push_with_seq(at, s, DeliveryBody { from, to, msg: body });
+                    }
+                    Step::Arm { at, tag } => {
+                        par.domains[d].wheel.insert(TimerEntry {
+                            at,
+                            seq: s,
+                            node: r.node as usize,
+                            tag,
                         });
-                    }
-                    Emission::Multicast { to, wire, class, disps } => {
-                        self.stats.record_multicast(from, to, *wire, class);
-                        for (t, disp) in to.iter().zip(disps.iter_mut()) {
-                            plan.push(match disp {
-                                Disp::Dropped(c) => {
-                                    self.stats.record_drop(*c);
-                                    Todo::Done
-                                }
-                                Disp::Executed => Todo::Exec,
-                                Disp::Parked { at, body } => Todo::Park {
-                                    to: *t,
-                                    at: *at,
-                                    body: body.take().expect("parked body consumed once"),
-                                },
-                            });
-                        }
-                    }
-                    Emission::Timer { at, tag, executed } => {
-                        plan.push(if *executed {
-                            Todo::Exec
-                        } else {
-                            Todo::ArmTimer { at: *at, tag: *tag }
-                        });
-                    }
-                }
-                for todo in plan {
-                    match todo {
-                        Todo::Done => {}
-                        Todo::Exec => {
-                            let s = self.next_seq();
-                            real_of[d].push(s);
-                        }
-                        Todo::Park { to, at, body } => {
-                            let s = self.next_seq();
-                            let td = par.of_node[to.0] as usize;
-                            par.domains[td].push_with_seq(at, s, DeliveryBody {
-                                from,
-                                to,
-                                msg: body,
-                            });
-                        }
-                        Todo::ArmTimer { at, tag } => {
-                            let s = self.next_seq();
-                            par.domains[d].wheel.insert(TimerEntry {
-                                at,
-                                seq: s,
-                                node: r.node as usize,
-                                tag,
-                            });
-                        }
                     }
                 }
             }
+            // Only this leaf's key can have changed: `real_of` entries for
+            // other domains are appended exclusively by their own records.
+            scratch.keys[d] =
+                head_key(&par.domains[d].records, scratch.heads[d], seq_base, &scratch.real_of[d]);
+            scratch.tree.replay(d, &scratch.keys);
         }
         for (d, dom) in par.domains.iter_mut().enumerate() {
-            debug_assert_eq!(heads[d], dom.records.len(), "every record merged");
-            debug_assert_eq!(cursors[d], dom.emissions.len(), "every emission replayed");
+            debug_assert_eq!(scratch.heads[d], dom.records.len(), "every record merged");
+            debug_assert_eq!(
+                dom.records.iter().map(|r| r.emi_len as usize).sum::<usize>(),
+                dom.emissions.len(),
+                "every emission replayed"
+            );
             dom.records.clear();
             dom.emissions.clear();
-            self.stats.merge(&dom.stats);
-            dom.stats = NetStats::accumulator(0);
             self.events_processed += dom.events_processed;
             dom.events_processed = 0;
             dom.provisional = 0;
         }
+        par.merge = scratch;
         self.par = Some(par);
     }
 }
@@ -1217,19 +1447,17 @@ where
     /// The conservative-PDES driver behind `run_until` when `threads > 1`:
     /// repeatedly picks the global minimum next-event time `t`, lets every
     /// domain run independently inside `[t, t + lookahead)`, then commits
-    /// the window barrier. Falls back to the sequential loop whenever
-    /// random drops are active (they consume shared engine RNG in global
-    /// event order, which cannot be windowed) or no lookahead exists.
+    /// the window barrier. Random drops and link flaps do *not* force a
+    /// fallback: their verdicts are counter-mode hashes of each attempt's
+    /// identity, so windows stay parallel through chaos phases. The only
+    /// remaining fallback is the absence of a usable lookahead window.
     fn parallel_epoch(sim: &mut Self, bound: u64) {
+        let epoch_start = std::time::Instant::now();
         loop {
-            let eligible = sim.threads > 1
-                && sim.drop_prob == 0.0
-                && sim.link_drops.is_empty()
-                && sim.nodes.len() >= 2;
+            let eligible = sim.threads > 1 && sim.nodes.len() >= 2;
             if !eligible {
-                sim.unshard();
-                while sim.step_bounded(bound) {}
-                return;
+                sim.fallback(bound);
+                break;
             }
             sim.ensure_sharded();
             let par = sim.par.as_mut().expect("just sharded");
@@ -1243,9 +1471,8 @@ where
             };
             if w == 0 {
                 // A zero-latency cross-domain link means no safe window.
-                sim.unshard();
-                while sim.step_bounded(bound) {}
-                return;
+                sim.fallback(bound);
+                break;
             }
             let mut t_min: Option<u64> = None;
             for dom in &mut par.domains {
@@ -1262,8 +1489,22 @@ where
             let window_end = t.saturating_add(w).min(bound.saturating_add(1));
             let seq_base = sim.seq;
             sim.run_window(window_end, seq_base);
+            let serial_start = std::time::Instant::now();
             sim.commit_window(seq_base);
+            sim.coverage.serial_nanos += serial_start.elapsed().as_nanos() as u64;
         }
+        sim.drain_epoch_stats();
+        sim.coverage.epoch_nanos += epoch_start.elapsed().as_nanos() as u64;
+    }
+
+    /// Abandons the windowed scheduler for this `run_until`: folds shards
+    /// back and drains the bound sequentially, with coverage accounting.
+    fn fallback(&mut self, bound: u64) {
+        self.coverage.fallback_entries += 1;
+        self.unshard();
+        let before = self.events_processed;
+        while self.step_bounded(bound) {}
+        self.coverage.fallback_events += self.events_processed - before;
     }
 
     /// Executes one window `[t, window_end)` across all domains, in
@@ -1277,10 +1518,18 @@ where
             down: &self.down,
             partitions: self.partitions.as_deref(),
             latency_factor: self.latency_factor,
+            drop_prob: self.drop_prob,
+            link_drops: &self.link_drops,
+            drop_seed: self.drop_seed,
             window_end,
             seq_base,
         };
         let pending: usize = par.domains.iter().map(Domain::pending).sum();
+        if pending < PARALLEL_SPAWN_THRESHOLD {
+            self.coverage.windows_inline += 1;
+        } else {
+            self.coverage.windows_parallel += 1;
+        }
         // One window job per domain: its shard plus disjoint `&mut`
         // slices of protocol state and per-node RNGs.
         type Job<'a, P> =
@@ -1417,33 +1666,28 @@ fn dispatch_window<P: Protocol>(
         match action {
             Action::Send { to, msg } => {
                 let (wire, class) = (msg.wire_size(), msg.class());
-                let disp = window_disp(dom, env, node, to, key.0, Payload::One(msg));
-                dom.emissions.push(Emission::Send { to, wire, class, disp });
+                dom.stats.record_send(node, to, wire, class);
+                window_route(dom, env, node, to, key.0, Payload::One(msg));
             }
             Action::Multicast { to, msg } => {
+                // One aggregated accounting entry for the fan-out, exactly
+                // like the sequential `apply_actions` path.
                 let (wire, class) = (msg.wire_size(), msg.class());
-                let mut disps = Vec::with_capacity(to.len());
+                dom.stats.record_multicast(node, &to, wire, class);
                 for &t in &to {
-                    disps.push(window_disp(
-                        dom,
-                        env,
-                        node,
-                        t,
-                        key.0,
-                        Payload::Shared(Arc::clone(&msg)),
-                    ));
+                    window_route(dom, env, node, t, key.0, Payload::Shared(Arc::clone(&msg)));
                 }
-                dom.emissions.push(Emission::Multicast { to, wire, class, disps });
             }
             Action::Timer { delay, tag } => {
                 let at = (SimTime::ZERO + SimDuration::from_micros(key.0) + delay).as_micros();
-                let executed = at < env.window_end;
-                if executed {
+                if at < env.window_end {
                     let seq = env.seq_base + dom.provisional;
                     dom.provisional += 1;
                     dom.wheel.insert(TimerEntry { at, seq, node: node.0, tag });
+                    dom.emissions.push(Emission::Exec);
+                } else {
+                    dom.emissions.push(Emission::ArmTimer { at, tag });
                 }
-                dom.emissions.push(Emission::Timer { at, tag, executed });
             }
             Action::Count { name, n } => dom.stats.record_event(name, n),
         }
@@ -1461,25 +1705,40 @@ fn dispatch_window<P: Protocol>(
     }
 }
 
-/// The window-local delivery decision, mirroring `route_unaccounted` minus
-/// the random-drop coins (a parallel epoch is only entered when those are
-/// inactive, so no engine RNG is consumed here — exactly as the sequential
-/// engine would behave).
-fn window_disp<M>(
+/// The window-local routing decision, mirroring `route_unaccounted` step
+/// for step: partition check, counter-mode drop coins (against this
+/// domain's shard of the link counters — the sender always lives here),
+/// reachability, then latency. Drops tally into the domain accumulator and
+/// log nothing; surviving recipients log exactly one seq-consuming
+/// [`Emission`] for the barrier replay.
+fn window_route<M>(
     dom: &mut Domain<M>,
     env: &WindowEnv<'_>,
     from: NodeId,
     to: NodeId,
     now_us: u64,
     msg: Payload<M>,
-) -> Disp<M> {
+) {
     if let Some(groups) = env.partitions {
         if groups[from.0] != groups[to.0] {
-            return Disp::Dropped(DropCause::Partition);
+            dom.stats.record_drop(DropCause::Partition);
+            return;
         }
     }
+    if let Some(cause) = counter_drop(
+        &mut dom.link_ctrs,
+        env.drop_seed,
+        env.drop_prob,
+        env.link_drops,
+        from,
+        to,
+    ) {
+        dom.stats.record_drop(cause);
+        return;
+    }
     let Some(latency) = env.topo.dist(from, to) else {
-        return Disp::Dropped(DropCause::Unreachable);
+        dom.stats.record_drop(DropCause::Unreachable);
+        return;
     };
     let latency =
         if env.latency_factor == 1.0 { latency } else { latency.mul_f64(env.latency_factor) };
@@ -1489,7 +1748,7 @@ fn window_disp<M>(
         let seq = env.seq_base + dom.provisional;
         dom.provisional += 1;
         dom.push_with_seq(at, seq, DeliveryBody { from, to, msg });
-        Disp::Executed
+        dom.emissions.push(Emission::Exec);
     } else {
         // The lookahead guarantee: a cross-domain delivery can never land
         // inside the window that produced it.
@@ -1497,7 +1756,7 @@ fn window_disp<M>(
             intra || at >= env.window_end,
             "cross-domain send inside its own window violates lookahead"
         );
-        Disp::Parked { at, body: Some(msg) }
+        dom.emissions.push(Emission::Park { to, at, body: Some(msg) });
     }
 }
 
@@ -1801,7 +2060,7 @@ mod tests {
     #[test]
     fn broadcast_matches_send_loop_exactly() {
         // Two identical sims, one protocol using a send loop, the other
-        // ctx.broadcast: stats, drop attribution, engine RNG consumption,
+        // ctx.broadcast: stats, drop attribution, drop-coin consumption,
         // and delivery order must be indistinguishable.
         #[derive(Debug)]
         struct Fan {
@@ -2156,10 +2415,11 @@ mod tests {
     }
 
     #[test]
-    fn random_drops_fall_back_to_sequential_and_resume() {
-        // Random drops consume shared engine RNG, so the parallel epoch
-        // must fall back mid-run and re-shard when drops end — with the
-        // exact same schedule as a purely sequential run.
+    fn parallel_random_drops_stay_parallel_and_match_sequential() {
+        // Drop coins are counter-mode hashes of (seed, link, attempt), so
+        // a drop phase no longer forces the sequential fallback: the epoch
+        // stays sharded straight through it, with the exact same schedule
+        // as a purely sequential run.
         let run = |threads: usize| {
             let mut sim = gossip_sim(20, 99);
             sim.set_threads(threads);
@@ -2169,9 +2429,45 @@ mod tests {
             sim.run_for(SimDuration::from_millis(100));
             sim.set_drop_prob(0.0);
             sim.run_for(SimDuration::from_millis(300));
-            gossip_fingerprint(&sim)
+            (gossip_fingerprint(&sim), sim.par_coverage())
         };
-        assert_eq!(run(8), run(1));
+        let (seq_fp, seq_cov) = run(1);
+        let (par_fp, par_cov) = run(8);
+        assert_eq!(par_fp, seq_fp);
+        // Sequential runs never enter the parallel machinery at all.
+        assert_eq!(seq_cov, ParCoverage::default());
+        // The threaded run stayed parallel through the drop phase: windows
+        // were scheduled (parallel or inline) and nothing fell back.
+        assert!(par_cov.windows_parallel + par_cov.windows_inline > 0);
+        assert_eq!(par_cov.fallback_entries, 0);
+        assert_eq!(par_cov.fallback_events, 0);
+        assert!(par_cov.epoch_nanos > 0);
+        assert!(par_cov.serial_nanos <= par_cov.epoch_nanos);
+    }
+
+    #[test]
+    fn parallel_coverage_counts_fallback_on_zero_lookahead() {
+        // A topology whose minimum cross-domain latency is zero leaves no
+        // lookahead window, so every epoch must take the sequential
+        // fallback — and say so in the coverage counters.
+        let mut b = crate::topology::Topology::builder(4);
+        for i in 0..4usize {
+            for j in (i + 1)..4 {
+                b.edge(NodeId(i), NodeId(j), SimDuration::ZERO);
+            }
+        }
+        let nodes = (0..4)
+            .map(|id| Gossip { id, n: 4, rounds_left: 4, heard: 0, rng_sum: 0 })
+            .collect();
+        let mut sim: Simulator<Gossip> = Simulator::new(b.build(), nodes, 5);
+        sim.set_threads(2);
+        sim.start();
+        sim.run_for(SimDuration::from_millis(50));
+        let cov = sim.par_coverage();
+        assert!(cov.fallback_entries > 0);
+        assert!(cov.fallback_events > 0);
+        assert_eq!(cov.windows_parallel + cov.windows_inline, 0);
+        assert!(cov.serial_fraction() <= 1.0);
     }
 
     #[test]

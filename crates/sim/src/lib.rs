@@ -58,7 +58,7 @@ pub mod topology;
 mod wheel;
 
 pub use cluster::ClusterSpec;
-pub use engine::{Context, Message, Protocol, Simulator};
+pub use engine::{Context, Message, ParCoverage, Protocol, Simulator};
 pub use stats::{ClassStats, DropCause, NetStats};
 pub use time::{SimDuration, SimTime};
 pub use topology::{NodeId, Topology, TopologyBuilder};

@@ -121,6 +121,14 @@ impl NetStats {
         add_nodes(&mut self.per_node_sent, &other.per_node_sent);
         add_nodes(&mut self.per_node_received, &other.per_node_received);
         for src in &other.by_class {
+            // Zeroed entries are left behind by `clear_for_reuse` so domain
+            // accumulators keep their per-sender tables across epochs;
+            // skipping them here keeps a merge from registering classes the
+            // source never actually recorded (which would perturb
+            // `classes()` counts after a reset).
+            if src.totals == ClassStats::default() {
+                continue;
+            }
             let entry = match self.class_index(src.name) {
                 Some(i) => &mut self.by_class[i],
                 None => {
@@ -310,6 +318,33 @@ impl NetStats {
         let n = self.per_node_sent.len();
         *self = NetStats::new(n);
     }
+
+    /// Zeroes every counter in place, keeping allocations — the per-node
+    /// vectors and each class's per-sender table — so a per-domain
+    /// accumulator can be reused across epochs without reallocating
+    /// `O(nodes)` storage. Class entries stay in `by_class` with zero
+    /// totals; [`NetStats::merge`] skips them, so they are invisible
+    /// downstream.
+    pub(crate) fn clear_for_reuse(&mut self) {
+        self.total_messages = 0;
+        self.total_bytes = 0;
+        self.dropped = [0; 5];
+        self.per_node_sent.fill(0);
+        self.per_node_received.fill(0);
+        for e in &mut self.by_class {
+            e.totals = ClassStats::default();
+            e.per_sender.fill(ClassStats::default());
+        }
+        self.events.clear();
+    }
+
+    /// Whether nothing has been recorded since construction or the last
+    /// clear. Every record path bumps `total_messages`, a drop counter, or
+    /// an event, so this is a three-field check rather than an `O(nodes)`
+    /// scan — cheap enough to gate a merge on.
+    pub(crate) fn is_untouched(&self) -> bool {
+        self.total_messages == 0 && self.dropped == [0; 5] && self.events.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -399,6 +434,30 @@ mod tests {
         assert_eq!(s.sent_by(NodeId(0)), 0);
         assert_eq!(s.classes().count(), 0);
         assert_eq!(s.event("ev"), 0);
+    }
+
+    #[test]
+    fn clear_for_reuse_keeps_zeroed_classes_invisible_to_merge() {
+        let mut acc = NetStats::accumulator(2);
+        acc.record_send(NodeId(0), NodeId(1), 5, "x");
+        acc.record_event("ev", 1);
+        acc.record_drop(DropCause::Random);
+        assert!(!acc.is_untouched());
+        acc.clear_for_reuse();
+        assert!(acc.is_untouched());
+        assert_eq!(acc.total_bytes(), 0);
+        assert_eq!(acc.sent_by(NodeId(0)), 0);
+        assert_eq!(acc.class_sent_by(NodeId(0), "x"), ClassStats::default());
+        // Merging a cleared accumulator must not register its zeroed class.
+        let mut global = NetStats::new(2);
+        global.merge(&acc);
+        assert_eq!(global.classes().count(), 0);
+        assert_eq!(global.total_messages(), 0);
+        // Reuse after clearing lands in the retained tables correctly.
+        acc.record_send(NodeId(1), NodeId(0), 7, "x");
+        global.merge(&acc);
+        assert_eq!(global.class("x"), ClassStats { messages: 1, bytes: 7 });
+        assert_eq!(global.class_sent_by(NodeId(1), "x"), ClassStats { messages: 1, bytes: 7 });
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn main() {
             .unwrap_or_else(|| {
                 std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
             }),
+        drop_phase: None,
     };
     let rates = [5.0, 20.0, 60.0];
     let mut failed = false;

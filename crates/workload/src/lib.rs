@@ -21,7 +21,7 @@ use std::collections::HashMap;
 
 use oceanstore_naming::guid::Guid;
 use oceanstore_replica::{build_deployment, Deployment, DeploymentOpts};
-use oceanstore_sim::{NodeId, SimDuration, SimTime};
+use oceanstore_sim::{NodeId, ParCoverage, SimDuration, SimTime};
 use oceanstore_update::update::Action;
 use oceanstore_update::Update;
 use rand::{Rng, SeedableRng};
@@ -64,6 +64,25 @@ pub struct WorkloadSpec {
     /// Simulator worker threads (1 = sequential). Any value yields the
     /// identical schedule and report; threads only change wall-clock time.
     pub threads: usize,
+    /// Optional mid-run random-drop burst. Drop verdicts are counter-mode
+    /// hashes of each routing attempt (never a shared RNG stream), so the
+    /// burst changes neither the determinism contract nor the parallel
+    /// schedule: the report stays identical at every thread count.
+    pub drop_phase: Option<DropPhase>,
+}
+
+/// A random-drop burst in the middle of a run: `drop_prob` is raised to
+/// `prob` at `start` and restored to zero at `end` (both measured in
+/// simulated time since the run began), at exact simulated instants so
+/// the toggle is identical at every thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropPhase {
+    /// Burst start, relative to the run's start.
+    pub start: SimDuration,
+    /// Burst end, relative to the run's start.
+    pub end: SimDuration,
+    /// Random-drop probability while the burst is active.
+    pub prob: f64,
 }
 
 impl Default for WorkloadSpec {
@@ -82,6 +101,7 @@ impl Default for WorkloadSpec {
             latency: SimDuration::from_millis(20),
             seed: 1,
             threads: 1,
+            drop_phase: None,
         }
     }
 }
@@ -249,6 +269,16 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 /// Runs one open-loop workload and reports throughput, latency, and the
 /// no-loss oracle.
 pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
+    run_workload_with_coverage(spec).0
+}
+
+/// [`run_workload`] plus the simulator's parallel-coverage counters.
+///
+/// Coverage is returned *beside* the report, never inside it: the report
+/// is asserted bit-identical across thread counts, while coverage
+/// (windows scheduled, fallbacks taken, serial-fraction wall time)
+/// legitimately varies with the thread count and the host.
+pub fn run_workload_with_coverage(spec: &WorkloadSpec) -> (WorkloadReport, ParCoverage) {
     assert!(spec.rate > 0.0, "offered rate must be positive");
     assert!(
         (0.0..=1.0).contains(&spec.write_fraction),
@@ -266,6 +296,27 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
     dep.sim.set_threads(spec.threads.max(1));
     let schedule = arrival_schedule(spec);
 
+    // Drop-phase toggles, applied at exact simulated instants (not at the
+    // nearest arrival) so the fault window is identical for every thread
+    // count and arrival schedule.
+    let toggles: Vec<(SimTime, f64)> = spec.drop_phase.map_or_else(Vec::new, |p| {
+        assert!(p.start <= p.end, "drop phase must not end before it starts");
+        vec![(SimTime::ZERO + p.start, p.prob), (SimTime::ZERO + p.end, 0.0)]
+    });
+    let mut next_toggle = 0usize;
+    macro_rules! advance_to {
+        ($to:expr) => {{
+            let to = $to;
+            while next_toggle < toggles.len() && toggles[next_toggle].0 <= to {
+                let (at, prob) = toggles[next_toggle];
+                dep.sim.run_until(at);
+                dep.sim.set_drop_prob(prob);
+                next_toggle += 1;
+            }
+            dep.sim.run_until(to);
+        }};
+    }
+
     // Inject the schedule. Writes rotate over the client population and
     // are tracked as (client node, request id, object rank) for outcome
     // collection; reads probe a secondary's committed view against the
@@ -275,7 +326,7 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
     let mut stale_reads = 0u64;
     let mut next_client = 0usize;
     for (at, op) in schedule {
-        dep.sim.run_until(at);
+        advance_to!(at);
         match op {
             Op::Write { object } => {
                 let client = dep.clients[next_client % dep.clients.len()];
@@ -307,7 +358,7 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
             }
         }
     }
-    dep.sim.run_until(SimTime::ZERO + spec.duration + spec.drain);
+    advance_to!(SimTime::ZERO + spec.duration + spec.drain);
 
     // Collect outcomes and run the no-loss oracle: each object's committed
     // count must be covered by serialization slots on its owning ring.
@@ -337,7 +388,8 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
     let committed = latencies.len() as u64;
     let window = spec.duration.as_micros() as f64 / 1e6;
     let store = collect_store_health(&dep);
-    WorkloadReport {
+    let coverage = dep.sim.par_coverage();
+    let report = WorkloadReport {
         offered,
         committed,
         reads,
@@ -356,7 +408,8 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadReport {
         dedup_hits: store.dedup_hits,
         dedup_bytes_saved: store.dedup_bytes_saved,
         store_fallback_reads: store.fallback_reads,
-    }
+    };
+    (report, coverage)
 }
 
 /// Runs `spec` at each offered rate in turn (same seed, fresh deployment
@@ -524,6 +577,38 @@ mod tests {
             report.peak_retained_records
         );
         assert_eq!(report.store_fallback_reads, 0, "healthy backend serves all blocks");
+    }
+
+    #[test]
+    fn parallel_drop_phase_keeps_report_identical_and_stays_parallel() {
+        // A mid-run drop burst must not change the report at any thread
+        // count (counter-mode drop verdicts) and must not knock the
+        // scheduler off the parallel path (the old engine-RNG scheme
+        // forced a sequential fallback here).
+        let spec = WorkloadSpec {
+            drop_phase: Some(DropPhase {
+                start: SimDuration::from_secs(1),
+                end: SimDuration::from_secs(3),
+                prob: 0.1,
+            }),
+            ..small_spec()
+        };
+        let (seq_report, seq_cov) = run_workload_with_coverage(&spec);
+        assert_eq!(seq_cov, ParCoverage::default(), "threads=1 must never shard");
+        assert_eq!(seq_report.lost, 0, "drop burst must not lose committed updates");
+        for threads in [2usize, 8] {
+            let (report, cov) =
+                run_workload_with_coverage(&WorkloadSpec { threads, ..spec.clone() });
+            assert_eq!(report, seq_report, "threads={threads} changed the report");
+            assert!(
+                cov.windows_parallel + cov.windows_inline > 0,
+                "threads={threads}: no parallel windows scheduled"
+            );
+            assert_eq!(
+                cov.fallback_entries, 0,
+                "threads={threads}: drop burst forced a sequential fallback"
+            );
+        }
     }
 
     /// Scale-out smoke at the paper's target node counts. Ignored by
